@@ -1,0 +1,31 @@
+//! Criterion bench for experiment **E5**: optimization ablation — base
+//! Hippo (per-check SQL membership queries) vs knowledge gathering vs
+//! knowledge gathering + core filter on a difference query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hippo_cqa::prelude::*;
+use hippo_engine::Database;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_ablation");
+    group.sample_size(10);
+    let spec = FdTableSpec::new("t", 1000, 0.05, 81);
+    let q = SjudQuery::rel("t")
+        .diff(SjudQuery::rel("t").select(Pred::cmp_const(2, CmpOp::Ge, 900i64)));
+    for (label, opts) in [
+        ("base", HippoOptions::base()),
+        ("kg", HippoOptions::kg()),
+        ("kg_core_filter", HippoOptions::full()),
+    ] {
+        let mut db = Database::new();
+        spec.populate(&mut db).unwrap();
+        let hippo = Hippo::with_options(db, vec![spec.fd()], opts).unwrap();
+        group.bench_with_input(BenchmarkId::new(label, 1000), &label, |b, _| {
+            b.iter(|| hippo.consistent_answers(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

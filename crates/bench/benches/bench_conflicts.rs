@@ -1,0 +1,34 @@
+//! Criterion bench for experiment **E2**: CQA running time vs conflict
+//! rate at fixed size — Hippo's cost should be flat in the conflict rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hippo_cqa::prelude::*;
+
+fn join_query() -> SjudQuery {
+    SjudQuery::rel("r")
+        .product(SjudQuery::rel("s"))
+        .select(Pred::cmp_cols(0, CmpOp::Eq, 3).and(Pred::cmp_const(2, CmpOp::Ge, 500i64)))
+}
+
+fn bench_conflicts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_conflicts");
+    group.sample_size(10);
+    for rate_pct in [0u32, 2, 5, 10] {
+        let w = JoinWorkload::new(1000, rate_pct as f64 / 100.0, 78);
+        let q = join_query();
+        let hippo =
+            Hippo::with_options(w.build().unwrap(), w.constraints(), HippoOptions::full())
+                .unwrap();
+        group.bench_with_input(BenchmarkId::new("hippo_full", rate_pct), &rate_pct, |b, _| {
+            b.iter(|| hippo.consistent_answers(&q).unwrap())
+        });
+        let db = w.build().unwrap();
+        group.bench_with_input(BenchmarkId::new("rewriting", rate_pct), &rate_pct, |b, _| {
+            b.iter(|| rewritten_answers(&q, &w.constraints(), &db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conflicts);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for experiment **E4**: conflict detection / hypergraph
+//! construction time vs relation size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hippo_cqa::detect::detect_conflicts;
+use hippo_cqa::prelude::*;
+use hippo_engine::Database;
+
+fn bench_detect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_detect");
+    group.sample_size(10);
+    for &n in &[1000usize, 4000, 16000] {
+        let spec = FdTableSpec::new("t", n, 0.02, 80);
+        let mut db = Database::new();
+        spec.populate(&mut db).unwrap();
+        let constraints = [spec.fd()];
+        group.bench_with_input(BenchmarkId::new("fd_fast_path", n), &n, |b, _| {
+            b.iter(|| detect_conflicts(db.catalog(), &constraints).unwrap())
+        });
+    }
+    // Exclusion constraints exercise the general (hash-joined) path.
+    for &n in &[1000usize, 4000] {
+        let w = JoinWorkload::new(n, 0.02, 80);
+        let db = w.build().unwrap();
+        let constraints = [DenialConstraint::exclusion("r", "s", &[(0, 0), (1, 1)])];
+        group.bench_with_input(BenchmarkId::new("exclusion_hash_join", n), &n, |b, _| {
+            b.iter(|| detect_conflicts(db.catalog(), &constraints).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detect);
+criterion_main!(benches);

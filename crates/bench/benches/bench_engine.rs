@@ -1,0 +1,54 @@
+//! Microbenchmarks for the RDBMS substrate itself (not a paper figure —
+//! sanity numbers for the backend the CQA layer sits on): parsing, point
+//! membership queries, hash joins and set operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hippo_engine::{Database, Value};
+
+fn db_with(n: usize) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+    db.execute("CREATE TABLE u (k INT, v INT)").unwrap();
+    let rows: Vec<Vec<Value>> =
+        (0..n as i64).map(|i| vec![Value::Int(i), Value::Int(i * 7 % 1000)]).collect();
+    db.insert_rows("t", rows.clone()).unwrap();
+    db.insert_rows("u", rows).unwrap();
+    db
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+
+    group.bench_function("parse_select", |b| {
+        b.iter(|| {
+            hippo_sql::parse_query(
+                "SELECT a.k, b.v FROM t a INNER JOIN u b ON a.k = b.k WHERE a.v > 10 \
+                 UNION SELECT k, v FROM t WHERE v < 5 ORDER BY 1 LIMIT 10",
+            )
+            .unwrap()
+        })
+    });
+
+    for &n in &[1000usize, 10000] {
+        let db = db_with(n);
+        group.bench_with_input(BenchmarkId::new("hash_join", n), &n, |b, _| {
+            b.iter(|| {
+                db.query("SELECT COUNT(*) FROM t a, u b WHERE a.k = b.k AND a.v >= 500")
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("point_membership", n), &n, |b, _| {
+            b.iter(|| db.query("SELECT 1 FROM t WHERE k = 500 AND v = 500 LIMIT 1").unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("except", n), &n, |b, _| {
+            b.iter(|| {
+                db.query("SELECT k FROM t EXCEPT SELECT k FROM u WHERE v < 500").unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for experiment **E7**: naive repair enumeration
+//! (exponential in the number of conflicts) vs Hippo (polynomial) on the
+//! same instances. This is the quantitative version of the paper's
+//! argument against repair-materialising approaches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hippo_cqa::detect::detect_conflicts;
+use hippo_cqa::naive::naive_consistent_answers;
+use hippo_cqa::prelude::*;
+use hippo_engine::{Database, Value};
+
+fn instance(k: usize) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (k INT, v INT, payload INT)").unwrap();
+    let mut rows = Vec::new();
+    for i in 0..k {
+        for copy in 0..3 {
+            rows.push(vec![
+                Value::Int(i as i64),
+                Value::Int(copy as i64),
+                Value::Int((i * 3 + copy) as i64),
+            ]);
+        }
+    }
+    db.insert_rows("t", rows).unwrap();
+    db
+}
+
+fn bench_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_repair_blowup");
+    group.sample_size(10);
+    let q = SjudQuery::rel("t")
+        .diff(SjudQuery::rel("t").select(Pred::cmp_const(1, CmpOp::Ge, 2i64)));
+    for &k in &[2usize, 4, 6, 8] {
+        let db = instance(k);
+        let constraints = vec![DenialConstraint::functional_dependency("t", &[0], 1)];
+        let (g, _) = detect_conflicts(db.catalog(), &constraints).unwrap();
+        group.bench_with_input(BenchmarkId::new("naive_enumeration", k), &k, |b, _| {
+            b.iter(|| naive_consistent_answers(&q, db.catalog(), &g))
+        });
+        let hippo =
+            Hippo::with_options(instance(k), constraints, HippoOptions::full()).unwrap();
+        group.bench_with_input(BenchmarkId::new("hippo_full", k), &k, |b, _| {
+            b.iter(|| hippo.consistent_answers(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_naive);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for experiment **E3**: Hippo running time per query
+//! class (S, SJ, SUD, SJUD) on the same instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hippo_cqa::prelude::*;
+
+fn queries() -> Vec<(&'static str, SjudQuery)> {
+    let s = SjudQuery::rel("r").select(Pred::cmp_const(2, CmpOp::Ge, 500i64));
+    let sj = SjudQuery::rel("r")
+        .product(SjudQuery::rel("s"))
+        .select(Pred::cmp_cols(0, CmpOp::Eq, 3).and(Pred::cmp_const(2, CmpOp::Ge, 500i64)));
+    let sud = SjudQuery::rel("r")
+        .select(Pred::cmp_const(2, CmpOp::Ge, 800i64))
+        .union(SjudQuery::rel("s").select(Pred::cmp_const(2, CmpOp::Lt, 100i64)))
+        .diff(SjudQuery::rel("r").select(Pred::cmp_const(1, CmpOp::Lt, 1000i64)));
+    let sjud = SjudQuery::rel("r")
+        .product(SjudQuery::rel("s"))
+        .select(Pred::cmp_cols(0, CmpOp::Eq, 3).and(Pred::cmp_const(2, CmpOp::Ge, 800i64)))
+        .diff(
+            SjudQuery::rel("r")
+                .product(SjudQuery::rel("s"))
+                .select(Pred::cmp_cols(0, CmpOp::Eq, 3).and(Pred::cmp_const(5, CmpOp::Lt, 100i64))),
+        );
+    vec![("S", s), ("SJ", sj), ("SUD", sud), ("SJUD", sjud)]
+}
+
+fn bench_queryclass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_queryclass");
+    group.sample_size(10);
+    let w = JoinWorkload::new(1000, 0.02, 79);
+    let hippo =
+        Hippo::with_options(w.build().unwrap(), w.constraints(), HippoOptions::full()).unwrap();
+    for (class, q) in queries() {
+        group.bench_with_input(BenchmarkId::new("hippo_full", class), &class, |b, _| {
+            b.iter(|| hippo.consistent_answers(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queryclass);
+criterion_main!(benches);

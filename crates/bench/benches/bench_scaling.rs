@@ -1,0 +1,47 @@
+//! Criterion bench for experiment **E1**: CQA running time vs relation
+//! size on the σ+join workload (2% conflicts), for each strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hippo_cqa::prelude::*;
+
+fn join_query() -> SjudQuery {
+    SjudQuery::rel("r")
+        .product(SjudQuery::rel("s"))
+        .select(Pred::cmp_cols(0, CmpOp::Eq, 3).and(Pred::cmp_const(2, CmpOp::Ge, 500i64)))
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_scaling");
+    group.sample_size(10);
+    for &n in &[500usize, 1000, 2000] {
+        let w = JoinWorkload::new(n, 0.02, 77);
+        let q = join_query();
+
+        let db = w.build().unwrap();
+        let sql = q.to_sql(db.catalog()).unwrap();
+        group.bench_with_input(BenchmarkId::new("plain_sql", n), &n, |b, _| {
+            b.iter(|| db.query(&sql).unwrap())
+        });
+
+        group.bench_with_input(BenchmarkId::new("rewriting", n), &n, |b, _| {
+            b.iter(|| rewritten_answers(&q, &w.constraints(), &db).unwrap())
+        });
+
+        let hippo_kg =
+            Hippo::with_options(w.build().unwrap(), w.constraints(), HippoOptions::kg()).unwrap();
+        group.bench_with_input(BenchmarkId::new("hippo_kg", n), &n, |b, _| {
+            b.iter(|| hippo_kg.consistent_answers(&q).unwrap())
+        });
+
+        let hippo_full =
+            Hippo::with_options(w.build().unwrap(), w.constraints(), HippoOptions::full())
+                .unwrap();
+        group.bench_with_input(BenchmarkId::new("hippo_full", n), &n, |b, _| {
+            b.iter(|| hippo_full.consistent_answers(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Experiment harness: regenerates every table/figure of the reproduction.
+//!
+//! Usage:
+//!   harness [--quick] [all|d1|d2|e1|e2|e3|e4|e5|e6|e7]...
+//!
+//! With no experiment arguments, runs everything. `--quick` shrinks
+//! workload sizes (used in CI and on laptops; the full sizes match
+//! EXPERIMENTS.md).
+
+use hippo_bench::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let run_all = wanted.is_empty() || wanted.contains(&"all");
+
+    let mut failures = 0;
+    let mut run = |id: &str, f: &dyn Fn(bool) -> Result<ex::Table, Box<dyn std::error::Error>>| {
+        if run_all || wanted.contains(&id) {
+            match f(quick) {
+                Ok(t) => println!("{}\n", t.render()),
+                Err(e) => {
+                    eprintln!("experiment {id} failed: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    };
+
+    println!(
+        "# Hippo experiment harness ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+    run("d1", &ex::d1_information);
+    run("d2", &|_| ex::d2_expressiveness());
+    run("e1", &ex::e1_scaling);
+    run("e2", &ex::e2_conflicts);
+    run("e3", &ex::e3_query_classes);
+    run("e4", &ex::e4_detection);
+    run("e5", &ex::e5_ablation);
+    run("e6", &ex::e6_envelope);
+    run("e7", &ex::e7_repair_blowup);
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

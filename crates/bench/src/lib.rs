@@ -1,0 +1,8 @@
+//! # hippo-bench
+//!
+//! Experiment harness and Criterion benchmarks reproducing the Hippo
+//! paper's demonstration measurements. See [`experiments`] for the
+//! per-table/figure implementations and DESIGN.md for the experiment
+//! index; the `harness` binary prints every table.
+
+pub mod experiments;

@@ -1,0 +1,424 @@
+//! Conflict detection: build the conflict hypergraph from a database
+//! instance and a set of denial constraints.
+//!
+//! This is the "Conflict Detection" stage of the paper's Figure 1: it runs
+//! once per (instance, constraint set) and produces the main-memory
+//! hypergraph the Prover consults. Two evaluation strategies:
+//!
+//! * **FD fast path** — functional dependencies group tuples by the LHS
+//!   columns with one hash pass and emit an edge per RHS-disagreeing pair.
+//! * **General denials** — atoms are joined left-to-right; whenever the
+//!   next atom is linked to an already-bound atom by equality comparisons,
+//!   a hash index on those columns replaces the nested-loop scan.
+
+use crate::constraint::{Comparison, DenialConstraint, Term};
+use crate::hypergraph::{ConflictHypergraph, Vertex};
+use crate::pred::CmpOp;
+use hippo_engine::{Catalog, EngineError, Row, TupleId, Value};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Detection statistics (reported by experiment E4).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DetectStats {
+    /// Wall-clock time spent detecting.
+    pub elapsed: Duration,
+    /// Candidate tuple combinations tested against constraint conditions.
+    pub combinations_checked: usize,
+    /// Edges produced (before dedup; the hypergraph dedups internally).
+    pub edges_emitted: usize,
+}
+
+/// Build the conflict hypergraph for `constraints` over the catalog.
+pub fn detect_conflicts(
+    catalog: &Catalog,
+    constraints: &[DenialConstraint],
+) -> Result<(ConflictHypergraph, DetectStats), EngineError> {
+    let start = Instant::now();
+    let mut g = ConflictHypergraph::new();
+    let mut stats = DetectStats::default();
+    for c in constraints {
+        c.validate(catalog)?;
+    }
+    for (ci, c) in constraints.iter().enumerate() {
+        if let Some((rel, lhs, rhs)) = as_fd(c) {
+            detect_fd(catalog, &mut g, ci, &rel, &lhs, rhs, &mut stats)?;
+        } else {
+            detect_general(catalog, &mut g, ci, c, &mut stats)?;
+        }
+    }
+    stats.elapsed = start.elapsed();
+    Ok((g, stats))
+}
+
+/// Recognise the FD pattern: two atoms over the same relation, condition =
+/// equalities on L columns plus exactly one `<>` on the same column of
+/// both atoms.
+fn as_fd(c: &DenialConstraint) -> Option<(String, Vec<usize>, usize)> {
+    if c.atoms.len() != 2 || c.atoms[0] != c.atoms[1] {
+        return None;
+    }
+    let mut lhs = Vec::new();
+    let mut rhs = None;
+    for cmp in &c.condition {
+        match cmp {
+            Comparison { op: CmpOp::Eq, left: Term::Attr(a), right: Term::Attr(b) }
+                if a.atom != b.atom && a.col == b.col =>
+            {
+                lhs.push(a.col);
+            }
+            Comparison { op: CmpOp::Neq, left: Term::Attr(a), right: Term::Attr(b) }
+                if a.atom != b.atom && a.col == b.col && rhs.is_none() =>
+            {
+                rhs = Some(a.col);
+            }
+            _ => return None,
+        }
+    }
+    rhs.map(|r| (c.atoms[0].clone(), lhs, r))
+}
+
+fn detect_fd(
+    catalog: &Catalog,
+    g: &mut ConflictHypergraph,
+    ci: usize,
+    rel: &str,
+    lhs: &[usize],
+    rhs: usize,
+    stats: &mut DetectStats,
+) -> Result<(), EngineError> {
+    let table = catalog.table(rel)?;
+    let ri = g.intern(rel);
+    // Group by LHS values.
+    let mut groups: HashMap<Vec<Value>, Vec<(TupleId, &Row)>> = HashMap::new();
+    for (tid, row) in table.iter() {
+        let key: Vec<Value> = lhs.iter().map(|&c| row[c].clone()).collect();
+        // NULLs in the LHS never participate in FD violations (SQL
+        // comparison with NULL is unknown).
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        groups.entry(key).or_default().push((tid, row));
+    }
+    for group in groups.values() {
+        if group.len() < 2 {
+            continue;
+        }
+        // Partition by RHS value; any cross-partition pair is an edge.
+        for (i, (tid_a, row_a)) in group.iter().enumerate() {
+            for (tid_b, row_b) in group.iter().skip(i + 1) {
+                stats.combinations_checked += 1;
+                let va = &row_a[rhs];
+                let vb = &row_b[rhs];
+                if va.sql_eq(vb) == Some(false) {
+                    stats.edges_emitted += 1;
+                    g.add_edge(
+                        vec![Vertex { rel: ri, tid: *tid_a }, Vertex { rel: ri, tid: *tid_b }],
+                        &[row_a, row_b],
+                        ci,
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn detect_general(
+    catalog: &Catalog,
+    g: &mut ConflictHypergraph,
+    ci: usize,
+    c: &DenialConstraint,
+    stats: &mut DetectStats,
+) -> Result<(), EngineError> {
+    // Intern all atom relations first.
+    let rels: Vec<u32> = c.atoms.iter().map(|r| g.intern(r)).collect();
+
+    // Materialise each atom's rows (tables are already in memory; this
+    // borrows them).
+    let tables: Vec<&hippo_engine::Table> =
+        c.atoms.iter().map(|r| catalog.table(r)).collect::<Result<_, _>>()?;
+
+    // Bind atoms left to right; each partial assignment is a prefix of
+    // (tuple id, row) bindings. Start from the single empty assignment.
+    let mut current: Vec<Vec<(TupleId, Row)>> = vec![Vec::new()];
+
+    for (atom_idx, table) in tables.iter().enumerate() {
+        // Equalities linking this atom to an already-bound atom.
+        let mut links: Vec<(usize, usize, usize)> = Vec::new(); // (bound_atom, bound_col, new_col)
+        for prev in 0..atom_idx {
+            for (pc, nc) in c.equalities_between(prev, atom_idx) {
+                links.push((prev, pc, nc));
+            }
+        }
+        let mut next: Vec<Vec<(TupleId, Row)>> = Vec::new();
+        if links.is_empty() {
+            // Nested loop extension.
+            for assign in &current {
+                for (tid, row) in table.iter() {
+                    stats.combinations_checked += 1;
+                    let mut a = assign.clone();
+                    a.push((tid, row.clone()));
+                    if partial_condition_ok(c, &a) {
+                        next.push(a);
+                    }
+                }
+            }
+        } else {
+            // Hash index on the new atom keyed by the linked columns.
+            let key_cols: Vec<usize> = links.iter().map(|&(_, _, nc)| nc).collect();
+            let mut index: HashMap<Vec<Value>, Vec<(TupleId, Row)>> = HashMap::new();
+            for (tid, row) in table.iter() {
+                let key: Vec<Value> = key_cols.iter().map(|&c| row[c].clone()).collect();
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                index.entry(key).or_default().push((tid, row.clone()));
+            }
+            for assign in &current {
+                let key: Vec<Value> = links
+                    .iter()
+                    .map(|&(prev, pc, _)| assign[prev].1[pc].clone())
+                    .collect();
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                if let Some(matches) = index.get(&key) {
+                    for (tid, row) in matches {
+                        stats.combinations_checked += 1;
+                        let mut a = assign.clone();
+                        a.push((*tid, row.clone()));
+                        if partial_condition_ok(c, &a) {
+                            next.push(a);
+                        }
+                    }
+                }
+            }
+        }
+        current = next;
+    }
+
+    for assign in current {
+        // Full assignment satisfying the condition = violation.
+        let rows: Vec<&Row> = assign.iter().map(|(_, r)| r).collect();
+        debug_assert!(c.condition_holds(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>()));
+        stats.edges_emitted += 1;
+        let vertices: Vec<Vertex> = assign
+            .iter()
+            .enumerate()
+            .map(|(i, (tid, _))| Vertex { rel: rels[i], tid: *tid })
+            .collect();
+        g.add_edge(vertices, &rows, ci);
+    }
+    Ok(())
+}
+
+/// Check the comparisons whose atoms are all bound so far; used to prune
+/// partial assignments early.
+fn partial_condition_ok(c: &DenialConstraint, assign: &[(TupleId, Row)]) -> bool {
+    let bound = assign.len();
+    c.condition.iter().all(|cmp| {
+        let val = |t: &Term| -> Option<Option<Value>> {
+            // Outer None = atom not bound yet (skip); inner Option = value.
+            match t {
+                Term::Attr(a) => {
+                    if a.atom >= bound {
+                        None
+                    } else {
+                        Some(assign[a.atom].1.get(a.col).cloned())
+                    }
+                }
+                Term::Const(v) => Some(Some(v.clone())),
+            }
+        };
+        match (val(&cmp.left), val(&cmp.right)) {
+            (Some(Some(l)), Some(Some(r))) => match l.sql_cmp(&r) {
+                Some(ord) => cmp.op.test(ord),
+                None => false,
+            },
+            (Some(None), _) | (_, Some(None)) => false, // missing column
+            _ => true,                                  // not fully bound yet
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::AttrRef;
+    use hippo_engine::{Column, DataType, Database, TableSchema};
+
+    fn emp_db(rows: &[(&str, i64)]) -> Database {
+        let mut db = Database::new();
+        db.catalog_mut()
+            .create_table(
+                TableSchema::new(
+                    "emp",
+                    vec![
+                        Column::new("name", DataType::Text),
+                        Column::new("salary", DataType::Int),
+                    ],
+                    &[],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        db.insert_rows(
+            "emp",
+            rows.iter().map(|&(n, s)| vec![Value::text(n), Value::Int(s)]).collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn fd_detects_pairs() {
+        let db = emp_db(&[("ann", 100), ("ann", 200), ("bob", 300)]);
+        let fd = DenialConstraint::functional_dependency("emp", &[0], 1);
+        let (g, stats) = detect_conflicts(db.catalog(), &[fd]).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.conflicting_vertex_count(), 2);
+        assert_eq!(stats.edges_emitted, 1);
+    }
+
+    #[test]
+    fn fd_group_of_three_distinct_values_gives_three_edges() {
+        let db = emp_db(&[("ann", 1), ("ann", 2), ("ann", 3)]);
+        let fd = DenialConstraint::functional_dependency("emp", &[0], 1);
+        let (g, _) = detect_conflicts(db.catalog(), &[fd]).unwrap();
+        assert_eq!(g.edge_count(), 3, "all pairs violate");
+    }
+
+    #[test]
+    fn fd_duplicate_rhs_values_do_not_conflict() {
+        let db = emp_db(&[("ann", 100), ("ann", 100)]);
+        let fd = DenialConstraint::functional_dependency("emp", &[0], 1);
+        let (g, _) = detect_conflicts(db.catalog(), &[fd]).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn fd_null_lhs_is_ignored() {
+        let mut db = emp_db(&[("ann", 100)]);
+        db.insert_rows("emp", vec![vec![Value::Null, Value::Int(1)], vec![Value::Null, Value::Int(2)]])
+            .unwrap();
+        let fd = DenialConstraint::functional_dependency("emp", &[0], 1);
+        let (g, _) = detect_conflicts(db.catalog(), &[fd]).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn check_constraint_gives_singleton_edges() {
+        let db = emp_db(&[("ann", -5), ("bob", 10), ("cyd", -1)]);
+        let chk = DenialConstraint::check(
+            "emp",
+            vec![Comparison {
+                op: CmpOp::Lt,
+                left: Term::Attr(AttrRef { atom: 0, col: 1 }),
+                right: Term::Const(Value::Int(0)),
+            }],
+        );
+        let (g, _) = detect_conflicts(db.catalog(), &[chk]).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        for (_, e) in g.edges() {
+            assert_eq!(e.len(), 1, "CHECK denials produce singleton edges");
+        }
+    }
+
+    #[test]
+    fn exclusion_across_relations() {
+        let mut db = emp_db(&[("ann", 100), ("bob", 200)]);
+        db.catalog_mut()
+            .create_table(
+                TableSchema::new(
+                    "contractor",
+                    vec![Column::new("name", DataType::Text), Column::new("rate", DataType::Int)],
+                    &[],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        db.insert_rows(
+            "contractor",
+            vec![
+                vec![Value::text("ann"), Value::Int(50)],
+                vec![Value::text("cyd"), Value::Int(60)],
+            ],
+        )
+        .unwrap();
+        let ex = DenialConstraint::exclusion("emp", "contractor", &[(0, 0)]);
+        let (g, _) = detect_conflicts(db.catalog(), &[ex]).unwrap();
+        assert_eq!(g.edge_count(), 1, "only ann is in both");
+        let (_, e) = g.edges().next().unwrap();
+        assert_eq!(e.len(), 2);
+        assert_ne!(e[0].rel, e[1].rel);
+    }
+
+    #[test]
+    fn multiple_constraints_combine() {
+        let db = emp_db(&[("ann", 100), ("ann", 200), ("bob", -1)]);
+        let fd = DenialConstraint::functional_dependency("emp", &[0], 1);
+        let chk = DenialConstraint::check(
+            "emp",
+            vec![Comparison {
+                op: CmpOp::Lt,
+                left: Term::Attr(AttrRef { atom: 0, col: 1 }),
+                right: Term::Const(Value::Int(0)),
+            }],
+        );
+        let (g, _) = detect_conflicts(db.catalog(), &[fd.clone(), chk]).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        // Constraint attribution is preserved.
+        let by_constraint: Vec<usize> = g.edges().map(|(id, _)| g.edge_constraint(id)).collect();
+        assert!(by_constraint.contains(&0));
+        assert!(by_constraint.contains(&1));
+        let _ = fd;
+    }
+
+    #[test]
+    fn general_three_atom_denial() {
+        // ¬(emp(a) ∧ emp(b) ∧ emp(c) ∧ a.salary < b.salary ∧ b.salary < c.salary
+        //   ∧ a.name = b.name ∧ b.name = c.name) — contrived ternary chain.
+        let db = emp_db(&[("ann", 1), ("ann", 2), ("ann", 3), ("bob", 9)]);
+        let attr = |atom, col| AttrRef { atom, col };
+        let c = DenialConstraint::new(
+            "chain",
+            vec!["emp".into(), "emp".into(), "emp".into()],
+            vec![
+                Comparison::attr_eq(attr(0, 0), attr(1, 0)),
+                Comparison::attr_eq(attr(1, 0), attr(2, 0)),
+                Comparison {
+                    op: CmpOp::Lt,
+                    left: Term::Attr(attr(0, 1)),
+                    right: Term::Attr(attr(1, 1)),
+                },
+                Comparison {
+                    op: CmpOp::Lt,
+                    left: Term::Attr(attr(1, 1)),
+                    right: Term::Attr(attr(2, 1)),
+                },
+            ],
+        );
+        let (g, _) = detect_conflicts(db.catalog(), &[c]).unwrap();
+        assert_eq!(g.edge_count(), 1, "only 1<2<3 for ann");
+        let (_, e) = g.edges().next().unwrap();
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn detection_on_consistent_instance_is_empty() {
+        let db = emp_db(&[("ann", 100), ("bob", 200)]);
+        let fd = DenialConstraint::functional_dependency("emp", &[0], 1);
+        let (g, stats) = detect_conflicts(db.catalog(), &[fd]).unwrap();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.conflicting_vertex_count(), 0);
+        assert!(stats.elapsed.as_secs() < 5);
+    }
+
+    #[test]
+    fn invalid_constraint_errors() {
+        let db = emp_db(&[]);
+        let bad = DenialConstraint::functional_dependency("emp", &[9], 1);
+        assert!(detect_conflicts(db.catalog(), &[bad]).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Enveloping: computing the candidate set.
+//!
+//! The **envelope** of a query `Q` is a query `env(Q)` whose evaluation on
+//! the (possibly inconsistent) instance `D` is guaranteed to contain every
+//! consistent answer, so the Prover only has to examine `env(Q)(D)`:
+//!
+//! * `env(R) = R`, `env(σ E) = σ env(E)`, `env(E1 × E2) = env(E1) × env(E2)`,
+//!   `env(E1 ∪ E2) = env(E1) ∪ env(E2)`, `env(π E) = π env(E)`;
+//! * `env(E1 − E2) = env(E1)` — the subtrahend is dropped, because a tuple
+//!   can belong to `(E1 − E2)(D')` (and thus be a consistent answer) while
+//!   being filtered out of the difference on `D` itself.
+//!
+//! The invariant is `E(D'') ⊆ env(E)(D)` for every subinstance `D'' ⊆ D`,
+//! by induction on the structure; consistent answers live in `Q(D')` for
+//! any repair `D' ⊆ D`, hence in the envelope.
+
+use crate::query::SjudQuery;
+
+/// Compute the envelope query of `q`.
+pub fn envelope(q: &SjudQuery) -> SjudQuery {
+    match q {
+        SjudQuery::Rel(r) => SjudQuery::Rel(r.clone()),
+        SjudQuery::Select { input, pred } => SjudQuery::Select {
+            input: Box::new(envelope(input)),
+            pred: pred.clone(),
+        },
+        SjudQuery::Product(l, r) => {
+            SjudQuery::Product(Box::new(envelope(l)), Box::new(envelope(r)))
+        }
+        SjudQuery::Union(l, r) => SjudQuery::Union(Box::new(envelope(l)), Box::new(envelope(r))),
+        // The whole point: drop the subtraction.
+        SjudQuery::Diff(l, _) => envelope(l),
+        SjudQuery::Permute { input, perm } => SjudQuery::Permute {
+            input: Box::new(envelope(input)),
+            perm: perm.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::{CmpOp, Pred};
+    use hippo_engine::{Row, Value};
+
+    fn rows(xs: &[i64]) -> Vec<Row> {
+        xs.iter().map(|&x| vec![Value::Int(x)]).collect()
+    }
+
+    #[test]
+    fn envelope_drops_difference() {
+        let q = SjudQuery::rel("r").diff(SjudQuery::rel("s"));
+        assert_eq!(envelope(&q), SjudQuery::rel("r"));
+    }
+
+    #[test]
+    fn envelope_is_homomorphic_elsewhere() {
+        let q = SjudQuery::rel("r")
+            .select(Pred::cmp_const(0, CmpOp::Gt, 0i64))
+            .union(SjudQuery::rel("s").product(SjudQuery::rel("u")).permute(vec![1, 0]));
+        assert_eq!(envelope(&q), q, "no difference → envelope is the query itself");
+    }
+
+    #[test]
+    fn nested_differences_all_dropped() {
+        // (r − s) − (u − v)  →  r
+        let q = SjudQuery::rel("r")
+            .diff(SjudQuery::rel("s"))
+            .diff(SjudQuery::rel("u").diff(SjudQuery::rel("v")));
+        assert_eq!(envelope(&q), SjudQuery::rel("r"));
+    }
+
+    #[test]
+    fn difference_under_union_dropped_locally() {
+        // (r − s) ∪ u  →  r ∪ u
+        let q = SjudQuery::rel("r").diff(SjudQuery::rel("s")).union(SjudQuery::rel("u"));
+        assert_eq!(envelope(&q), SjudQuery::rel("r").union(SjudQuery::rel("u")));
+    }
+
+    /// The containment invariant on concrete data: `E(D'') ⊆ env(E)(D)`
+    /// for subinstances `D''` of `D`.
+    #[test]
+    fn envelope_contains_every_subinstance_result() {
+        let q = SjudQuery::rel("r")
+            .diff(SjudQuery::rel("s"))
+            .union(SjudQuery::rel("u").select(Pred::cmp_const(0, CmpOp::Lt, 100i64)));
+        let env = envelope(&q);
+        let full = |rel: &str| match rel {
+            "r" => rows(&[1, 2, 3]),
+            "s" => rows(&[2, 3]),
+            "u" => rows(&[5, 200]),
+            _ => vec![],
+        };
+        let env_rows: std::collections::HashSet<Row> =
+            env.eval_over(&full).into_iter().collect();
+        // Enumerate a few subinstances (drop each element in turn).
+        for drop_r in 0..3i64 {
+            for drop_s in 0..2i64 {
+                let sub = |rel: &str| -> Vec<Row> {
+                    full(rel)
+                        .into_iter()
+                        .filter(|row| {
+                            !(rel == "r" && row[0] == Value::Int(drop_r + 1)
+                                || rel == "s" && row[0] == Value::Int(drop_s + 2))
+                        })
+                        .collect()
+                };
+                for row in q.eval_over(&sub) {
+                    assert!(
+                        env_rows.contains(&row),
+                        "envelope misses {row:?} from subinstance"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! The Hippo system facade: the data flow of the paper's Figure 1.
+//!
+//! ```text
+//! Query ──▶ Enveloping ──▶ Candidates(SQL) ──▶ Evaluation (RDBMS) ──▶ Prover ──▶ Answer Set
+//! IC, DB ──▶ Conflict Detection ──▶ Conflict Hypergraph (main memory) ──▶ Prover
+//! ```
+//!
+//! [`Hippo::new`] performs conflict detection once; each
+//! [`Hippo::consistent_answers`] run envelopes the query, evaluates the
+//! candidates on the SQL backend, and filters them through the Prover.
+//! [`HippoOptions`] selects the optimization level:
+//!
+//! * **base** — the prover issues one SQL membership query per literal
+//!   check (the costly behaviour the paper describes);
+//! * **knowledge gathering** — the envelope is extended to prefetch every
+//!   membership flag; zero membership queries;
+//! * **core filter** — additionally, tuples provably consistent from the
+//!   conflict-free core skip the prover.
+
+use crate::constraint::DenialConstraint;
+use crate::corefilter::core_filter_on_catalog;
+use crate::detect::{detect_conflicts, DetectStats};
+use crate::envelope::envelope;
+use crate::formula::MembershipTemplate;
+use crate::hypergraph::ConflictHypergraph;
+use crate::kg::{extended_envelope_sql, split_gathered, GatheredMembership, SqlMembership};
+use crate::prover::{Prover, ProverRunStats};
+use crate::query::SjudQuery;
+use hippo_engine::{Database, EngineError, Row};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Optimization switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HippoOptions {
+    /// Prefetch membership flags in the envelope query (knowledge
+    /// gathering) instead of issuing per-check SQL queries.
+    pub knowledge_gathering: bool,
+    /// Skip the prover for tuples caught by the core filter.
+    pub core_filter: bool,
+}
+
+impl HippoOptions {
+    /// Base system: no optimizations.
+    pub fn base() -> Self {
+        HippoOptions { knowledge_gathering: false, core_filter: false }
+    }
+
+    /// Knowledge gathering only.
+    pub fn kg() -> Self {
+        HippoOptions { knowledge_gathering: true, core_filter: false }
+    }
+
+    /// Knowledge gathering + core filter (the fully optimized system).
+    pub fn full() -> Self {
+        HippoOptions { knowledge_gathering: true, core_filter: true }
+    }
+}
+
+impl Default for HippoOptions {
+    fn default() -> Self {
+        HippoOptions::full()
+    }
+}
+
+/// Statistics of one consistent-query-answering run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Candidate tuples returned by the envelope.
+    pub candidates: usize,
+    /// Tuples accepted without the prover by the core filter.
+    pub filtered_consistent: usize,
+    /// Prover invocations.
+    pub prover_calls: usize,
+    /// Prover-internal counters.
+    pub prover: ProverRunStats,
+    /// SQL membership queries issued against the backend (base mode).
+    pub membership_queries: usize,
+    /// Consistent answers produced.
+    pub answers: usize,
+    /// Time enveloping + evaluating candidates.
+    pub t_envelope: Duration,
+    /// Time in the core filter.
+    pub t_filter: Duration,
+    /// Time proving.
+    pub t_prover: Duration,
+    /// Total wall-clock for the run.
+    pub t_total: Duration,
+}
+
+/// The Hippo system: database + constraints + conflict hypergraph.
+pub struct Hippo {
+    db: Database,
+    constraints: Vec<DenialConstraint>,
+    graph: ConflictHypergraph,
+    detect_stats: DetectStats,
+    /// Options applied to subsequent runs.
+    pub options: HippoOptions,
+}
+
+impl Hippo {
+    /// Build the system: validates constraints and performs conflict
+    /// detection (Figure 1's lower path).
+    pub fn new(db: Database, constraints: Vec<DenialConstraint>) -> Result<Hippo, EngineError> {
+        let (graph, detect_stats) = detect_conflicts(db.catalog(), &constraints)?;
+        Ok(Hippo { db, constraints, graph, detect_stats, options: HippoOptions::default() })
+    }
+
+    /// Build with explicit options.
+    pub fn with_options(
+        db: Database,
+        constraints: Vec<DenialConstraint>,
+        options: HippoOptions,
+    ) -> Result<Hippo, EngineError> {
+        let mut h = Hippo::new(db, constraints)?;
+        h.options = options;
+        Ok(h)
+    }
+
+    /// The underlying database (read access).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable database access. Mutations invalidate the hypergraph — call
+    /// [`Hippo::redetect`] afterwards.
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Re-run conflict detection after data changes.
+    pub fn redetect(&mut self) -> Result<DetectStats, EngineError> {
+        let (graph, stats) = detect_conflicts(self.db.catalog(), &self.constraints)?;
+        self.graph = graph;
+        self.detect_stats = stats;
+        Ok(stats)
+    }
+
+    /// The conflict hypergraph.
+    pub fn graph(&self) -> &ConflictHypergraph {
+        &self.graph
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[DenialConstraint] {
+        &self.constraints
+    }
+
+    /// Conflict-detection statistics.
+    pub fn detect_stats(&self) -> DetectStats {
+        self.detect_stats
+    }
+
+    /// Build the system with restricted foreign keys in addition to denial
+    /// constraints (the paper's future-work extension — see
+    /// [`crate::inclusion`]): parents must be constraint-free; orphaned
+    /// child tuples become singleton hyperedges.
+    pub fn with_foreign_keys(
+        db: Database,
+        constraints: Vec<DenialConstraint>,
+        foreign_keys: Vec<crate::inclusion::ForeignKey>,
+    ) -> Result<Hippo, EngineError> {
+        crate::inclusion::validate_restricted(&foreign_keys, &constraints, db.catalog())?;
+        let (mut graph, mut detect_stats) = detect_conflicts(db.catalog(), &constraints)?;
+        for (i, fk) in foreign_keys.iter().enumerate() {
+            let added =
+                crate::inclusion::orphan_edges(&mut graph, db.catalog(), fk, constraints.len() + i)?;
+            detect_stats.edges_emitted += added;
+        }
+        Ok(Hippo { db, constraints, graph, detect_stats, options: HippoOptions::default() })
+    }
+
+    /// Compute the consistent answers to `query`. Returns sorted rows.
+    pub fn consistent_answers(&self, query: &SjudQuery) -> Result<Vec<Row>, EngineError> {
+        Ok(self.consistent_answers_with_stats(query)?.0)
+    }
+
+    /// Compute the consistent answers to a SQL `SELECT` (see
+    /// [`crate::sql_front`] for the accepted class).
+    pub fn consistent_answers_sql(&self, sql: &str) -> Result<Vec<Row>, EngineError> {
+        let q = crate::sql_front::sjud_from_sql(sql, self.db.catalog())
+            .map_err(|e| EngineError::new(e.to_string()))?;
+        self.consistent_answers(&q)
+    }
+
+    /// Compute consistent answers plus run statistics.
+    pub fn consistent_answers_with_stats(
+        &self,
+        query: &SjudQuery,
+    ) -> Result<(Vec<Row>, RunStats), EngineError> {
+        let t0 = Instant::now();
+        let mut stats = RunStats::default();
+        let arity = query.validate(self.db.catalog())?;
+        let template = MembershipTemplate::build(query, self.db.catalog())?;
+        let env = envelope(query);
+
+        // ---- Enveloping + Evaluation ----
+        let te = Instant::now();
+        let (candidates, flags) = if self.options.knowledge_gathering {
+            let sql_q = extended_envelope_sql(&env, &template, self.db.catalog())?;
+            let sql = hippo_sql::print_query(&sql_q);
+            let rows = self.db.query(&sql)?.rows;
+            let gathered = split_gathered(rows, arity, template.literals.len());
+            (gathered.candidates, Some(gathered.flags))
+        } else {
+            let sql = env.to_sql(self.db.catalog())?;
+            (self.db.query(&sql)?.rows, None)
+        };
+        stats.candidates = candidates.len();
+        stats.t_envelope = te.elapsed();
+
+        // ---- Core filter (optional) ----
+        let tf = Instant::now();
+        let filtered: HashSet<Row> = if self.options.core_filter {
+            core_filter_on_catalog(query, self.db.catalog(), &self.graph)
+                .into_iter()
+                .collect()
+        } else {
+            HashSet::new()
+        };
+        stats.t_filter = tf.elapsed();
+
+        // ---- Prover ----
+        let tp = Instant::now();
+        let mut answers: Vec<Row> = Vec::new();
+        let mut seen: HashSet<Row> = HashSet::with_capacity(candidates.len());
+        let mut prover_stats = ProverRunStats::default();
+        let mut membership_queries = 0usize;
+        for (i, cand) in candidates.iter().enumerate() {
+            if !seen.insert(cand.clone()) {
+                continue; // duplicate candidate (envelope is set-semantics, but be safe)
+            }
+            if self.options.core_filter && filtered.contains(cand) {
+                stats.filtered_consistent += 1;
+                answers.push(cand.clone());
+                continue;
+            }
+            stats.prover_calls += 1;
+            let ok = if let Some(flags) = &flags {
+                let membership =
+                    GatheredMembership::for_candidate(&template, cand, &flags[i]);
+                let mut prover = Prover::new(&self.graph, &template, membership);
+                let ok = prover.is_consistent_answer(cand)?;
+                prover_stats = merge(prover_stats, prover.stats);
+                ok
+            } else {
+                let membership = SqlMembership::new(&self.db);
+                let mut prover = Prover::new(&self.graph, &template, membership);
+                let ok = prover.is_consistent_answer(cand)?;
+                prover_stats = merge(prover_stats, prover.stats);
+                membership_queries += prover.into_membership().queries_issued;
+                ok
+            };
+            if ok {
+                answers.push(cand.clone());
+            }
+        }
+        stats.prover = prover_stats;
+        stats.membership_queries = membership_queries;
+        stats.t_prover = tp.elapsed();
+
+        answers.sort();
+        answers.dedup();
+        stats.answers = answers.len();
+        stats.t_total = t0.elapsed();
+        Ok((answers, stats))
+    }
+}
+
+fn merge(a: ProverRunStats, b: ProverRunStats) -> ProverRunStats {
+    ProverRunStats {
+        tuples_checked: a.tuples_checked + b.tuples_checked,
+        membership_checks: a.membership_checks + b.membership_checks,
+        disjuncts_checked: a.disjuncts_checked + b.disjuncts_checked,
+        edge_visits: a.edge_visits + b.edge_visits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_consistent_answers;
+    use crate::pred::{CmpOp, Pred};
+    use hippo_engine::{Column, DataType, TableSchema, Value};
+
+    fn emp_db(rows: &[(&str, i64)]) -> Database {
+        let mut db = Database::new();
+        db.catalog_mut()
+            .create_table(
+                TableSchema::new(
+                    "emp",
+                    vec![
+                        Column::new("name", DataType::Text),
+                        Column::new("salary", DataType::Int),
+                    ],
+                    &[],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        db.insert_rows(
+            "emp",
+            rows.iter().map(|&(n, s)| vec![Value::text(n), Value::Int(s)]).collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn fd() -> Vec<DenialConstraint> {
+        vec![DenialConstraint::functional_dependency("emp", &[0], 1)]
+    }
+
+    fn queries() -> Vec<SjudQuery> {
+        vec![
+            SjudQuery::rel("emp"),
+            SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Ge, 150i64)),
+            SjudQuery::rel("emp")
+                .diff(SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Lt, 150i64))),
+            SjudQuery::rel("emp")
+                .select(Pred::cmp_const(1, CmpOp::Lt, 150i64))
+                .union(SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Ge, 250i64))),
+            SjudQuery::rel("emp").permute(vec![1, 0]),
+        ]
+    }
+
+    #[test]
+    fn all_option_levels_agree_with_ground_truth() {
+        let rows =
+            [("ann", 100), ("ann", 200), ("bob", 300), ("cyd", 50), ("cyd", 60), ("dee", 400)];
+        for opts in [HippoOptions::base(), HippoOptions::kg(), HippoOptions::full()] {
+            let db = emp_db(&rows);
+            let hippo = Hippo::with_options(db, fd(), opts).unwrap();
+            let truth_graph = hippo.graph();
+            for q in queries() {
+                let got = hippo.consistent_answers(&q).unwrap();
+                let truth = naive_consistent_answers(&q, hippo.db().catalog(), truth_graph);
+                assert_eq!(got, truth, "query {q} options {opts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kg_issues_no_membership_queries_base_does() {
+        let rows = [("ann", 100), ("ann", 200), ("bob", 300)];
+        let q = SjudQuery::rel("emp")
+            .diff(SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Lt, 150i64)));
+
+        let hippo = Hippo::with_options(emp_db(&rows), fd(), HippoOptions::base()).unwrap();
+        let (_, base_stats) = hippo.consistent_answers_with_stats(&q).unwrap();
+        assert!(base_stats.membership_queries > 0, "base mode pays per-check queries");
+
+        let hippo = Hippo::with_options(emp_db(&rows), fd(), HippoOptions::kg()).unwrap();
+        let (_, kg_stats) = hippo.consistent_answers_with_stats(&q).unwrap();
+        assert_eq!(kg_stats.membership_queries, 0, "KG answers from gathered flags");
+        assert!(kg_stats.prover.membership_checks > 0, "checks still happen, just locally");
+    }
+
+    #[test]
+    fn core_filter_reduces_prover_calls() {
+        // Lots of clean tuples, one conflict.
+        let mut rows: Vec<(String, i64)> =
+            (0..50).map(|i| (format!("p{i}"), 100 + i)).collect();
+        rows.push(("p0".into(), 999)); // conflict with p0
+        let mut db = Database::new();
+        db.catalog_mut()
+            .create_table(
+                TableSchema::new(
+                    "emp",
+                    vec![
+                        Column::new("name", DataType::Text),
+                        Column::new("salary", DataType::Int),
+                    ],
+                    &[],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        db.insert_rows(
+            "emp",
+            rows.iter().map(|(n, s)| vec![Value::text(n.clone()), Value::Int(*s)]).collect(),
+        )
+        .unwrap();
+        let q = SjudQuery::rel("emp");
+
+        let h_kg = Hippo::with_options(
+            {
+                let mut d = Database::new();
+                d.catalog_mut()
+                    .create_table(
+                        TableSchema::new(
+                            "emp",
+                            vec![
+                                Column::new("name", DataType::Text),
+                                Column::new("salary", DataType::Int),
+                            ],
+                            &[],
+                        )
+                        .unwrap(),
+                    )
+                    .unwrap();
+                d.insert_rows(
+                    "emp",
+                    rows.iter()
+                        .map(|(n, s)| vec![Value::text(n.clone()), Value::Int(*s)])
+                        .collect(),
+                )
+                .unwrap();
+                d
+            },
+            fd(),
+            HippoOptions::kg(),
+        )
+        .unwrap();
+        let (ans_kg, s_kg) = h_kg.consistent_answers_with_stats(&q).unwrap();
+
+        let h_full = Hippo::with_options(db, fd(), HippoOptions::full()).unwrap();
+        let (ans_full, s_full) = h_full.consistent_answers_with_stats(&q).unwrap();
+
+        assert_eq!(ans_kg, ans_full);
+        assert!(s_full.prover_calls < s_kg.prover_calls);
+        assert_eq!(s_full.prover_calls, 2, "only the two conflicting tuples reach the prover");
+        assert_eq!(s_full.filtered_consistent, 49);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let hippo = Hippo::new(emp_db(&[("ann", 100), ("ann", 200)]), fd()).unwrap();
+        let (_, stats) = hippo
+            .consistent_answers_with_stats(&SjudQuery::rel("emp"))
+            .unwrap();
+        assert_eq!(stats.candidates, 2);
+        assert_eq!(stats.answers, 0);
+        assert!(hippo.detect_stats().combinations_checked > 0);
+        assert_eq!(hippo.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn redetect_after_mutation() {
+        let mut hippo = Hippo::new(emp_db(&[("ann", 100)]), fd()).unwrap();
+        assert_eq!(hippo.graph().edge_count(), 0);
+        hippo
+            .db_mut()
+            .execute("INSERT INTO emp VALUES ('ann', 999)")
+            .unwrap();
+        hippo.redetect().unwrap();
+        assert_eq!(hippo.graph().edge_count(), 1);
+        let answers = hippo.consistent_answers(&SjudQuery::rel("emp")).unwrap();
+        assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn consistent_database_passes_everything_through() {
+        let hippo = Hippo::new(emp_db(&[("ann", 100), ("bob", 200)]), fd()).unwrap();
+        let (answers, stats) = hippo
+            .consistent_answers_with_stats(&SjudQuery::rel("emp"))
+            .unwrap();
+        assert_eq!(answers.len(), 2);
+        assert_eq!(stats.answers, 2);
+        assert_eq!(stats.prover_calls, 0, "core filter accepts everything");
+    }
+}

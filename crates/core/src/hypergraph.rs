@@ -1,0 +1,313 @@
+//! The conflict hypergraph.
+//!
+//! Vertices are the *physical tuples* of the database instance; a
+//! hyperedge connects the tuples that jointly violate one integrity
+//! constraint. Repairs of the database (maximal consistent subsets under
+//! tuple deletion) are exactly the **maximal independent sets** of this
+//! hypergraph, which is why Hippo can answer consistency questions without
+//! ever materialising a repair. The hypergraph has polynomial size (at
+//! most `n^k` edges for `k`-ary constraints) and is kept in main memory,
+//! as the paper assumes.
+
+use hippo_engine::{Row, TupleId};
+use std::collections::{HashMap, HashSet};
+
+/// A vertex: one physical tuple, identified by interned relation index and
+/// stable tuple id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vertex {
+    /// Interned relation index (see [`ConflictHypergraph::relation_name`]).
+    pub rel: u32,
+    /// Tuple id within the relation.
+    pub tid: TupleId,
+}
+
+/// Edge identifier (index into the edge list).
+pub type EdgeId = usize;
+
+/// A fact: relation name + tuple values. Facts are what query answers talk
+/// about; vertices are the physical tuples that carry them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fact {
+    /// Relation name.
+    pub rel: String,
+    /// Tuple values.
+    pub values: Row,
+}
+
+impl Fact {
+    /// Constructor.
+    pub fn new(rel: impl Into<String>, values: Row) -> Fact {
+        Fact { rel: rel.into(), values }
+    }
+}
+
+/// The conflict hypergraph.
+#[derive(Debug, Default)]
+pub struct ConflictHypergraph {
+    rel_names: Vec<String>,
+    rel_index: HashMap<String, u32>,
+    /// Sorted, deduplicated vertex sets; no two edges identical.
+    edges: Vec<Vec<Vertex>>,
+    edge_set: HashSet<Vec<Vertex>>,
+    /// vertex → edges containing it.
+    adjacency: HashMap<Vertex, Vec<EdgeId>>,
+    /// Which constraint produced each edge (index into the detector's
+    /// constraint list; for diagnostics and experiments).
+    edge_constraint: Vec<usize>,
+    /// fact (rel index, values) → conflicting vertices carrying it.
+    fact_vertices: HashMap<(u32, Row), Vec<Vertex>>,
+}
+
+impl ConflictHypergraph {
+    /// Empty hypergraph.
+    pub fn new() -> ConflictHypergraph {
+        ConflictHypergraph::default()
+    }
+
+    /// Intern a relation name.
+    pub fn intern(&mut self, rel: &str) -> u32 {
+        if let Some(&i) = self.rel_index.get(rel) {
+            return i;
+        }
+        let i = self.rel_names.len() as u32;
+        self.rel_names.push(rel.to_string());
+        self.rel_index.insert(rel.to_string(), i);
+        i
+    }
+
+    /// Look up an interned relation index.
+    pub fn relation_index(&self, rel: &str) -> Option<u32> {
+        self.rel_index.get(rel).copied()
+    }
+
+    /// The name of an interned relation.
+    pub fn relation_name(&self, rel: u32) -> &str {
+        &self.rel_names[rel as usize]
+    }
+
+    /// Add an edge (the violation set of one constraint instance).
+    /// Vertices are sorted and deduplicated; duplicate edges are ignored.
+    /// `values` provides each vertex's tuple values for the fact index.
+    pub fn add_edge(
+        &mut self,
+        mut vertices: Vec<Vertex>,
+        values: &[&Row],
+        constraint: usize,
+    ) -> Option<EdgeId> {
+        debug_assert_eq!(vertices.len(), values.len());
+        // Register facts before dedup (values parallel to vertices).
+        for (v, row) in vertices.iter().zip(values) {
+            let key = (v.rel, (*row).clone());
+            let entry = self.fact_vertices.entry(key).or_default();
+            if !entry.contains(v) {
+                entry.push(*v);
+            }
+        }
+        vertices.sort();
+        vertices.dedup();
+        if self.edge_set.contains(&vertices) {
+            return None;
+        }
+        let id = self.edges.len();
+        for v in &vertices {
+            self.adjacency.entry(*v).or_default().push(id);
+        }
+        self.edge_set.insert(vertices.clone());
+        self.edges.push(vertices);
+        self.edge_constraint.push(constraint);
+        Some(id)
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of distinct conflicting vertices.
+    pub fn conflicting_vertex_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// The vertices of an edge.
+    pub fn edge(&self, id: EdgeId) -> &[Vertex] {
+        &self.edges[id]
+    }
+
+    /// The constraint index that produced an edge.
+    pub fn edge_constraint(&self, id: EdgeId) -> usize {
+        self.edge_constraint[id]
+    }
+
+    /// Iterate all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &[Vertex])> {
+        self.edges.iter().enumerate().map(|(i, e)| (i, e.as_slice()))
+    }
+
+    /// Edges containing a vertex.
+    pub fn edges_of(&self, v: Vertex) -> &[EdgeId] {
+        self.adjacency.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Is the vertex involved in any conflict?
+    pub fn is_conflicting(&self, v: Vertex) -> bool {
+        self.adjacency.contains_key(&v)
+    }
+
+    /// All conflicting vertices (unsorted).
+    pub fn conflicting_vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        self.adjacency.keys().copied()
+    }
+
+    /// Conflicting vertices carrying a given fact (empty slice when the
+    /// fact is not part of any conflict).
+    pub fn vertices_of_fact(&self, rel: &str, values: &Row) -> &[Vertex] {
+        let Some(&ri) = self.rel_index.get(rel) else { return &[] };
+        self.fact_vertices
+            .get(&(ri, values.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Is a set of vertices independent (no edge fully contained in it)?
+    ///
+    /// Only edges adjacent to the set need checking, so this is fast for
+    /// the small witness sets the prover builds.
+    pub fn is_independent(&self, set: &HashSet<Vertex>) -> bool {
+        let mut seen = HashSet::new();
+        for v in set {
+            for &eid in self.edges_of(*v) {
+                if seen.insert(eid) && self.edges[eid].iter().all(|u| set.contains(u)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Is vertex `v` *blocked* by the set `s` — i.e. does some edge `e ∋ v`
+    /// have all its other vertices inside `s`? A blocked vertex cannot be
+    /// added to any independent superset of `s`.
+    pub fn is_blocked_by(&self, v: Vertex, s: &HashSet<Vertex>) -> bool {
+        self.edges_of(v)
+            .iter()
+            .any(|&eid| self.edges[eid].iter().all(|u| *u == v || s.contains(u)))
+    }
+
+    /// Total size of all edges (Σ|e|; diagnostics).
+    pub fn total_edge_size(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hippo_engine::Value;
+
+    fn v(rel: u32, tid: u32) -> Vertex {
+        Vertex { rel, tid: TupleId(tid) }
+    }
+
+    fn row(x: i64) -> Row {
+        vec![Value::Int(x)]
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut g = ConflictHypergraph::new();
+        let a = g.intern("r");
+        let b = g.intern("r");
+        let c = g.intern("s");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(g.relation_name(a), "r");
+        assert_eq!(g.relation_index("s"), Some(c));
+        assert_eq!(g.relation_index("zzz"), None);
+    }
+
+    #[test]
+    fn add_edge_dedups_vertices_and_edges() {
+        let mut g = ConflictHypergraph::new();
+        let r = g.intern("r");
+        let r0 = row(0);
+        let r1 = row(1);
+        let e1 = g.add_edge(vec![v(r, 1), v(r, 0)], &[&r1, &r0], 0);
+        assert!(e1.is_some());
+        // Same edge in different order is a duplicate.
+        let e2 = g.add_edge(vec![v(r, 0), v(r, 1)], &[&r0, &r1], 0);
+        assert!(e2.is_none());
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge(0), &[v(r, 0), v(r, 1)]);
+        // Same vertex twice collapses to a singleton edge.
+        let e3 = g.add_edge(vec![v(r, 5), v(r, 5)], &[&row(5), &row(5)], 1);
+        assert_eq!(g.edge(e3.unwrap()), &[v(r, 5)]);
+    }
+
+    #[test]
+    fn adjacency_and_conflicting() {
+        let mut g = ConflictHypergraph::new();
+        let r = g.intern("r");
+        g.add_edge(vec![v(r, 0), v(r, 1)], &[&row(0), &row(1)], 0);
+        g.add_edge(vec![v(r, 1), v(r, 2)], &[&row(1), &row(2)], 0);
+        assert!(g.is_conflicting(v(r, 1)));
+        assert!(!g.is_conflicting(v(r, 9)));
+        assert_eq!(g.edges_of(v(r, 1)).len(), 2);
+        assert_eq!(g.conflicting_vertex_count(), 3);
+        assert_eq!(g.total_edge_size(), 4);
+    }
+
+    #[test]
+    fn independence_checks() {
+        let mut g = ConflictHypergraph::new();
+        let r = g.intern("r");
+        g.add_edge(vec![v(r, 0), v(r, 1)], &[&row(0), &row(1)], 0);
+        g.add_edge(vec![v(r, 1), v(r, 2), v(r, 3)], &[&row(1), &row(2), &row(3)], 1);
+        let set: HashSet<Vertex> = [v(r, 0), v(r, 2), v(r, 3)].into_iter().collect();
+        assert!(g.is_independent(&set));
+        let set: HashSet<Vertex> = [v(r, 0), v(r, 1)].into_iter().collect();
+        assert!(!g.is_independent(&set));
+        // Subsets of an edge are independent.
+        let set: HashSet<Vertex> = [v(r, 1), v(r, 2)].into_iter().collect();
+        assert!(g.is_independent(&set));
+        assert!(g.is_independent(&HashSet::new()));
+    }
+
+    #[test]
+    fn blocking() {
+        let mut g = ConflictHypergraph::new();
+        let r = g.intern("r");
+        g.add_edge(vec![v(r, 0), v(r, 1), v(r, 2)], &[&row(0), &row(1), &row(2)], 0);
+        let s: HashSet<Vertex> = [v(r, 1), v(r, 2)].into_iter().collect();
+        assert!(g.is_blocked_by(v(r, 0), &s));
+        let s: HashSet<Vertex> = [v(r, 1)].into_iter().collect();
+        assert!(!g.is_blocked_by(v(r, 0), &s), "edge not fully covered");
+        // Singleton edge blocks its vertex against the empty set.
+        g.add_edge(vec![v(r, 7)], &[&row(7)], 1);
+        assert!(g.is_blocked_by(v(r, 7), &HashSet::new()));
+    }
+
+    #[test]
+    fn fact_index_tracks_conflicting_tuples() {
+        let mut g = ConflictHypergraph::new();
+        let r = g.intern("r");
+        let a = row(10);
+        let b = row(20);
+        g.add_edge(vec![v(r, 0), v(r, 1)], &[&a, &b], 0);
+        assert_eq!(g.vertices_of_fact("r", &a), &[v(r, 0)]);
+        assert_eq!(g.vertices_of_fact("r", &b), &[v(r, 1)]);
+        assert!(g.vertices_of_fact("r", &row(99)).is_empty());
+        assert!(g.vertices_of_fact("zzz", &a).is_empty());
+    }
+
+    #[test]
+    fn duplicate_facts_map_to_multiple_vertices() {
+        let mut g = ConflictHypergraph::new();
+        let r = g.intern("r");
+        let a = row(10);
+        // Two distinct physical tuples with the same values, each in a conflict.
+        g.add_edge(vec![v(r, 0), v(r, 5)], &[&a, &row(50)], 0);
+        g.add_edge(vec![v(r, 1), v(r, 5)], &[&a, &row(50)], 0);
+        assert_eq!(g.vertices_of_fact("r", &a), &[v(r, 0), v(r, 1)]);
+    }
+}

@@ -1,0 +1,272 @@
+//! Knowledge gathering: the extended-envelope optimization.
+//!
+//! In the base system, the Prover resolves every literal `fact ∈ D?` with a
+//! separate membership query against the RDBMS — the paper identifies this
+//! as the dominant cost. Knowledge gathering rewrites the envelope query so
+//! the *same single evaluation* also returns, per candidate tuple, the
+//! truth of every membership the prover could ask: one extra boolean
+//! column (`EXISTS (SELECT … FROM rel WHERE …)`) per literal template.
+//! The prover then answers membership checks from the fetched flags and
+//! issues **zero** queries against the database.
+
+use crate::formula::{LitTemplate, MembershipTemplate};
+use crate::pred::value_to_sql;
+use crate::prover::MembershipSource;
+use crate::query::SjudQuery;
+use hippo_engine::{Catalog, EngineError, Row};
+use hippo_sql::{Expr, Query, SelectCore, SelectItem, TableRef};
+use std::collections::HashMap;
+
+/// Build the extended envelope query: envelope columns `c0..c{n-1}` plus
+/// one membership flag `f0..f{m-1}` per literal template.
+pub fn extended_envelope_sql(
+    envelope: &SjudQuery,
+    template: &MembershipTemplate,
+    catalog: &Catalog,
+) -> Result<Query, EngineError> {
+    let arity = envelope.validate(catalog)?;
+    let inner = envelope.to_sql_query(catalog)?;
+    let mut core = SelectCore::empty();
+    core.from = vec![TableRef::Subquery { query: Box::new(inner), alias: "e".into() }];
+    core.projection = (0..arity)
+        .map(|i| SelectItem::Expr {
+            expr: Expr::qcol("e", format!("c{i}")),
+            alias: Some(format!("c{i}")),
+        })
+        .collect();
+    for (fi, lit) in template.literals.iter().enumerate() {
+        core.projection.push(SelectItem::Expr {
+            expr: membership_exists_expr(lit, catalog)?,
+            alias: Some(format!("f{fi}")),
+        });
+    }
+    Ok(Query::Select(Box::new(core)))
+}
+
+/// `EXISTS (SELECT * FROM rel WHERE rel.col_j = e.c{lit.cols[j]} ...)`.
+fn membership_exists_expr(lit: &LitTemplate, catalog: &Catalog) -> Result<Expr, EngineError> {
+    let schema = &catalog.table(&lit.rel)?.schema;
+    if schema.arity() != lit.cols.len() {
+        return Err(EngineError::new(format!(
+            "literal template arity mismatch for {:?}",
+            lit.rel
+        )));
+    }
+    let mut sub = SelectCore::empty();
+    sub.projection = vec![SelectItem::Wildcard];
+    sub.from = vec![TableRef::Table { name: lit.rel.clone(), alias: Some("m".into()) }];
+    let cond = Expr::conjoin(schema.columns.iter().enumerate().map(|(j, col)| {
+        Expr::qcol("m", col.name.clone()).eq(Expr::qcol("e", format!("c{}", lit.cols[j])))
+    }))
+    .expect("relations have at least one column");
+    sub.filter = Some(cond);
+    Ok(Expr::Exists { query: Box::new(Query::Select(Box::new(sub))), negated: false })
+}
+
+/// The result of one extended-envelope evaluation: candidates plus their
+/// prefetched membership flags.
+#[derive(Debug, Clone)]
+pub struct GatheredCandidates {
+    /// Candidate tuples (envelope columns only).
+    pub candidates: Vec<Row>,
+    /// `flags[i][fi]` = is literal `fi`'s fact (instantiated with candidate
+    /// `i`) present in the database?
+    pub flags: Vec<Vec<bool>>,
+}
+
+/// Split the raw rows of the extended envelope into candidates and flags.
+pub fn split_gathered(rows: Vec<Row>, arity: usize, n_literals: usize) -> GatheredCandidates {
+    let mut candidates = Vec::with_capacity(rows.len());
+    let mut flags = Vec::with_capacity(rows.len());
+    for row in rows {
+        debug_assert_eq!(row.len(), arity + n_literals);
+        let mut it = row.into_iter();
+        let cand: Row = it.by_ref().take(arity).collect();
+        let f: Vec<bool> = it.map(|v| v == hippo_engine::Value::Bool(true)).collect();
+        candidates.push(cand);
+        flags.push(f);
+    }
+    GatheredCandidates { candidates, flags }
+}
+
+/// A [`MembershipSource`] answering from gathered flags for the current
+/// candidate. Literal facts are recognised by (relation, values); the
+/// flags were computed for exactly the facts each literal template
+/// produces for the current tuple, so lookup is by value.
+pub struct GatheredMembership<'a> {
+    by_fact: HashMap<(String, Row), bool>,
+    /// Checks that could not be answered from gathered knowledge (should
+    /// stay zero; tested).
+    pub misses: usize,
+    _phantom: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> GatheredMembership<'a> {
+    /// Build for one candidate: instantiate each literal template with the
+    /// tuple and associate the prefetched flag.
+    pub fn for_candidate(
+        template: &MembershipTemplate,
+        tuple: &Row,
+        flags: &[bool],
+    ) -> GatheredMembership<'a> {
+        let mut by_fact = HashMap::with_capacity(template.literals.len());
+        for (fi, lit) in template.literals.iter().enumerate() {
+            let fact = lit.instantiate(tuple);
+            by_fact.insert((fact.rel, fact.values), flags[fi]);
+        }
+        GatheredMembership { by_fact, misses: 0, _phantom: std::marker::PhantomData }
+    }
+}
+
+impl<'a> MembershipSource for GatheredMembership<'a> {
+    fn fact_in_db(&mut self, rel: &str, values: &Row) -> Result<bool, EngineError> {
+        match self.by_fact.get(&(rel.to_string(), values.clone())) {
+            Some(&b) => Ok(b),
+            None => {
+                self.misses += 1;
+                Err(EngineError::new(format!(
+                    "knowledge gathering miss for fact {rel}{values:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// A [`MembershipSource`] that issues one SQL membership query per check —
+/// the base system's behaviour, whose cost the KG optimization removes.
+pub struct SqlMembership<'a> {
+    /// The database to query.
+    pub db: &'a hippo_engine::Database,
+    /// Number of SQL queries issued.
+    pub queries_issued: usize,
+}
+
+impl<'a> SqlMembership<'a> {
+    /// Constructor.
+    pub fn new(db: &'a hippo_engine::Database) -> Self {
+        SqlMembership { db, queries_issued: 0 }
+    }
+}
+
+impl<'a> MembershipSource for SqlMembership<'a> {
+    fn fact_in_db(&mut self, rel: &str, values: &Row) -> Result<bool, EngineError> {
+        let schema = &self.db.catalog().table(rel)?.schema;
+        let mut core = SelectCore::empty();
+        core.projection = vec![SelectItem::Expr { expr: Expr::int(1), alias: None }];
+        core.from = vec![TableRef::Table { name: rel.to_string(), alias: None }];
+        core.filter = Expr::conjoin(schema.columns.iter().zip(values).map(|(c, v)| {
+            Expr::col(c.name.clone()).eq(value_to_sql(v))
+        }));
+        core.limit = Some(1);
+        let sql = hippo_sql::print_query(&Query::Select(Box::new(core)));
+        self.queries_issued += 1;
+        Ok(!self.db.query(&sql)?.rows.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::envelope;
+    use crate::pred::{CmpOp, Pred};
+    use hippo_engine::{Column, DataType, Database, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        for name in ["r", "s"] {
+            db.catalog_mut()
+                .create_table(
+                    TableSchema::new(
+                        name,
+                        vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)],
+                        &[],
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+        }
+        db.insert_rows(
+            "r",
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(20)],
+            ],
+        )
+        .unwrap();
+        db.insert_rows("s", vec![vec![Value::Int(1), Value::Int(10)]]).unwrap();
+        db
+    }
+
+    #[test]
+    fn extended_envelope_carries_flags() {
+        let db = db();
+        let q = SjudQuery::rel("r").diff(SjudQuery::rel("s"));
+        let env = envelope(&q);
+        let template = MembershipTemplate::build(&q, db.catalog()).unwrap();
+        assert_eq!(template.literals.len(), 2);
+        let sql_q = extended_envelope_sql(&env, &template, db.catalog()).unwrap();
+        let sql = hippo_sql::print_query(&sql_q);
+        let result = db.query(&sql).unwrap();
+        assert_eq!(result.columns, vec!["c0", "c1", "f0", "f1"]);
+        let gathered = split_gathered(result.rows, 2, 2);
+        assert_eq!(gathered.candidates.len(), 2);
+        // Candidate (1,10): in r (f0) and in s (f1). Candidate (2,20): in r only.
+        for (cand, flags) in gathered.candidates.iter().zip(&gathered.flags) {
+            if cand[0] == Value::Int(1) {
+                assert_eq!(flags, &vec![true, true]);
+            } else {
+                assert_eq!(flags, &vec![true, false]);
+            }
+        }
+    }
+
+    #[test]
+    fn gathered_membership_answers_without_queries() {
+        let db = db();
+        let q = SjudQuery::rel("r").diff(SjudQuery::rel("s"));
+        let template = MembershipTemplate::build(&q, db.catalog()).unwrap();
+        let tuple = vec![Value::Int(1), Value::Int(10)];
+        let mut m = GatheredMembership::for_candidate(&template, &tuple, &[true, false]);
+        assert!(m.fact_in_db("r", &tuple).unwrap());
+        assert!(!m.fact_in_db("s", &tuple).unwrap());
+        assert_eq!(m.misses, 0);
+        // Unknown fact is a miss (the prover never asks for one).
+        assert!(m.fact_in_db("r", &vec![Value::Int(9), Value::Int(9)]).is_err());
+        assert_eq!(m.misses, 1);
+    }
+
+    #[test]
+    fn sql_membership_counts_queries() {
+        let db = db();
+        let mut m = SqlMembership::new(&db);
+        assert!(m
+            .fact_in_db("r", &vec![Value::Int(1), Value::Int(10)])
+            .unwrap());
+        assert!(!m
+            .fact_in_db("r", &vec![Value::Int(9), Value::Int(9)])
+            .unwrap());
+        assert_eq!(m.queries_issued, 2);
+    }
+
+    #[test]
+    fn flags_agree_with_sql_membership() {
+        let db = db();
+        let q = SjudQuery::rel("r")
+            .select(Pred::cmp_const(1, CmpOp::Ge, 0i64))
+            .diff(SjudQuery::rel("s"));
+        let env = envelope(&q);
+        let template = MembershipTemplate::build(&q, db.catalog()).unwrap();
+        let sql_q = extended_envelope_sql(&env, &template, db.catalog()).unwrap();
+        let result = db.query(&hippo_sql::print_query(&sql_q)).unwrap();
+        let arity = 2;
+        let gathered = split_gathered(result.rows, arity, template.literals.len());
+        let mut sqlm = SqlMembership::new(&db);
+        for (cand, flags) in gathered.candidates.iter().zip(&gathered.flags) {
+            for (fi, lit) in template.literals.iter().enumerate() {
+                let fact = lit.instantiate(cand);
+                let expected = sqlm.fact_in_db(&fact.rel, &fact.values).unwrap();
+                assert_eq!(flags[fi], expected, "candidate {cand:?} literal {fi}");
+            }
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! The `Database` facade: SQL in, rows out.
+//!
+//! This is the interface shape Hippo used against PostgreSQL over JDBC —
+//! the CQA layer only ever submits SQL text (envelope queries, membership
+//! queries) and reads back row sets. A direct typed API is also provided
+//! for bulk loading and for the conflict detector's fast paths.
+
+use crate::bind::{bind_const_expr, bind_query, bind_table_expr, BoundQuery};
+use crate::catalog::Catalog;
+use crate::exec::execute;
+use crate::expr::{eval, EvalEnv};
+use crate::optimize::optimize;
+use crate::plan::LogicalPlan;
+use crate::schema::{Column, EngineError, TableSchema};
+use crate::table::TupleId;
+use crate::value::{Row, Value};
+use hippo_sql::{parse_statement, parse_statements, InsertSource, Statement};
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecResult {
+    /// A query result: column names and rows.
+    Rows(QueryResult),
+    /// Rows affected by DML, or 0 for DDL.
+    Count(usize),
+}
+
+/// A query result set.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the result empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Statistics counters for one `Database` (queries executed, rows read).
+/// Hippo's experiments report the number of membership queries sent to the
+/// backend, so the backend counts every statement it executes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Queries (SELECT) executed.
+    pub queries: usize,
+    /// DML/DDL statements executed.
+    pub statements: usize,
+}
+
+/// An in-memory SQL database.
+#[derive(Debug, Default)]
+pub struct Database {
+    catalog: Catalog,
+    stats: std::cell::Cell<DbStats>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Read access to the catalog (used by conflict detection fast paths).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> DbStats {
+        self.stats.get()
+    }
+
+    /// Reset statistics counters.
+    pub fn reset_stats(&self) {
+        self.stats.set(DbStats::default());
+    }
+
+    fn bump_queries(&self) {
+        let mut s = self.stats.get();
+        s.queries += 1;
+        self.stats.set(s);
+    }
+
+    fn bump_statements(&self) {
+        let mut s = self.stats.get();
+        s.statements += 1;
+        self.stats.set(s);
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecResult, EngineError> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a `;`-separated script; returns the last statement's result.
+    pub fn execute_script(&mut self, sql: &str) -> Result<ExecResult, EngineError> {
+        let stmts = parse_statements(sql)?;
+        let mut last = ExecResult::Count(0);
+        for stmt in &stmts {
+            last = self.execute_statement(stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Run a query (read-only) and return its result set.
+    pub fn query(&self, sql: &str) -> Result<QueryResult, EngineError> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(q) = stmt else {
+            return Err(EngineError::new("expected a SELECT statement"));
+        };
+        self.run_query_ast(&q)
+    }
+
+    /// Run an already-parsed query.
+    pub fn run_query_ast(&self, q: &hippo_sql::Query) -> Result<QueryResult, EngineError> {
+        self.bump_queries();
+        let bound = bind_query(&self.catalog, q)?;
+        let plan = optimize(bound.plan, &self.catalog)?;
+        let mut env = EvalEnv::new(&self.catalog);
+        let rows = execute(&plan, &mut env)?;
+        Ok(QueryResult { columns: bound.columns, rows })
+    }
+
+    /// Plan a query without executing it (diagnostics / tests).
+    pub fn plan(&self, sql: &str) -> Result<BoundQuery, EngineError> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(q) = stmt else {
+            return Err(EngineError::new("expected a SELECT statement"));
+        };
+        let bound = bind_query(&self.catalog, &q)?;
+        let plan = optimize(bound.plan, &self.catalog)?;
+        Ok(BoundQuery { plan, columns: bound.columns })
+    }
+
+    fn execute_statement(&mut self, stmt: &Statement) -> Result<ExecResult, EngineError> {
+        match stmt {
+            Statement::Select(q) => Ok(ExecResult::Rows(self.run_query_ast(q)?)),
+            Statement::CreateTable(ct) => {
+                self.bump_statements();
+                if ct.if_not_exists && self.catalog.contains(&ct.name) {
+                    return Ok(ExecResult::Count(0));
+                }
+                let columns: Vec<Column> = ct
+                    .columns
+                    .iter()
+                    .map(|c| Column {
+                        name: c.name.clone(),
+                        ty: c.ty.into(),
+                        not_null: c.not_null,
+                    })
+                    .collect();
+                let pk: Vec<&str> = ct.primary_key.iter().map(String::as_str).collect();
+                let schema = TableSchema::new(ct.name.clone(), columns, &pk)?;
+                self.catalog.create_table(schema)?;
+                Ok(ExecResult::Count(0))
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.bump_statements();
+                self.catalog.drop_table(name, *if_exists)?;
+                Ok(ExecResult::Count(0))
+            }
+            Statement::Insert(ins) => {
+                self.bump_statements();
+                let rows: Vec<Row> = match &ins.source {
+                    InsertSource::Values(value_rows) => {
+                        let mut out = Vec::with_capacity(value_rows.len());
+                        for vr in value_rows {
+                            let row: Row = vr
+                                .iter()
+                                .map(|e| {
+                                    let bound = bind_const_expr(&self.catalog, e)?;
+                                    let mut env = EvalEnv::new(&self.catalog);
+                                    eval(&bound, &[], &mut env)
+                                })
+                                .collect::<Result<_, _>>()?;
+                            out.push(row);
+                        }
+                        out
+                    }
+                    InsertSource::Query(q) => self.run_query_ast(q)?.rows,
+                };
+                let n = self.insert_rows_ordered(&ins.table, &ins.columns, rows)?;
+                Ok(ExecResult::Count(n))
+            }
+            Statement::Delete { table, filter } => {
+                self.bump_statements();
+                let pred = match filter {
+                    Some(f) => Some(bind_table_expr(&self.catalog, table, f)?),
+                    None => None,
+                };
+                // Two-phase: find ids, then delete (no iterator invalidation).
+                let ids: Vec<TupleId> = {
+                    let t = self.catalog.table(table)?;
+                    let mut ids = Vec::new();
+                    for (id, row) in t.iter() {
+                        let keep = match &pred {
+                            Some(p) => {
+                                let mut env = EvalEnv::new(&self.catalog);
+                                eval(p, row, &mut env)? == Value::Bool(true)
+                            }
+                            None => true,
+                        };
+                        if keep {
+                            ids.push(id);
+                        }
+                    }
+                    ids
+                };
+                let t = self.catalog.table_mut(table)?;
+                let mut n = 0;
+                for id in ids {
+                    if t.delete(id) {
+                        n += 1;
+                    }
+                }
+                Ok(ExecResult::Count(n))
+            }
+            Statement::Update { table, assignments, filter } => {
+                self.bump_statements();
+                let pred = match filter {
+                    Some(f) => Some(bind_table_expr(&self.catalog, table, f)?),
+                    None => None,
+                };
+                let mut bound_assignments = Vec::with_capacity(assignments.len());
+                {
+                    let t = self.catalog.table(table)?;
+                    for (col, e) in assignments {
+                        let idx = t.schema.column_index(col).ok_or_else(|| {
+                            EngineError::new(format!("unknown column {col:?} in UPDATE"))
+                        })?;
+                        bound_assignments.push((idx, bind_table_expr(&self.catalog, table, e)?));
+                    }
+                }
+                let updates: Vec<(TupleId, Row)> = {
+                    let t = self.catalog.table(table)?;
+                    let mut updates = Vec::new();
+                    for (id, row) in t.iter() {
+                        let hit = match &pred {
+                            Some(p) => {
+                                let mut env = EvalEnv::new(&self.catalog);
+                                eval(p, row, &mut env)? == Value::Bool(true)
+                            }
+                            None => true,
+                        };
+                        if hit {
+                            let mut new_row = row.clone();
+                            for (idx, e) in &bound_assignments {
+                                let mut env = EvalEnv::new(&self.catalog);
+                                new_row[*idx] = eval(e, row, &mut env)?;
+                            }
+                            updates.push((id, new_row));
+                        }
+                    }
+                    updates
+                };
+                let n = updates.len();
+                let t = self.catalog.table_mut(table)?;
+                for (id, new_row) in updates {
+                    t.update(id, new_row)?;
+                }
+                Ok(ExecResult::Count(n))
+            }
+        }
+    }
+
+    /// Bulk insert with an optional explicit column order (empty = table
+    /// order). Used by `INSERT` and by workload generators.
+    pub fn insert_rows_ordered(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        rows: Vec<Row>,
+    ) -> Result<usize, EngineError> {
+        let t = self.catalog.table_mut(table)?;
+        let perm: Option<Vec<usize>> = if columns.is_empty() {
+            None
+        } else {
+            if columns.len() != t.schema.arity() {
+                return Err(EngineError::new(format!(
+                    "INSERT column list must cover all {} columns of {:?}",
+                    t.schema.arity(),
+                    table
+                )));
+            }
+            let mut perm = vec![usize::MAX; t.schema.arity()];
+            for (i, c) in columns.iter().enumerate() {
+                let idx = t.schema.column_index(c).ok_or_else(|| {
+                    EngineError::new(format!("unknown column {c:?} in INSERT"))
+                })?;
+                perm[idx] = i;
+            }
+            if perm.contains(&usize::MAX) {
+                return Err(EngineError::new("INSERT column list misses a column"));
+            }
+            Some(perm)
+        };
+        let mut n = 0;
+        for row in rows {
+            let row = match &perm {
+                None => row,
+                Some(perm) => {
+                    if row.len() != perm.len() {
+                        return Err(EngineError::new("INSERT row arity mismatch"));
+                    }
+                    perm.iter().map(|&i| row[i].clone()).collect()
+                }
+            };
+            t.insert(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Bulk insert in table order.
+    pub fn insert_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<usize, EngineError> {
+        self.insert_rows_ordered(table, &[], rows)
+    }
+
+    /// Evaluate a query plan that was produced by [`Database::plan`].
+    pub fn run_plan(&self, plan: &LogicalPlan) -> Result<Vec<Row>, EngineError> {
+        self.bump_queries();
+        let mut env = EvalEnv::new(&self.catalog);
+        execute(plan, &mut env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE emp (name TEXT NOT NULL, dept TEXT, salary INT)").unwrap();
+        db.execute(
+            "INSERT INTO emp VALUES ('ann', 'cs', 100), ('bob', 'cs', 200), ('cyd', 'ee', 300)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let db = db();
+        let r = db.query("SELECT name FROM emp WHERE salary >= 200 ORDER BY name").unwrap();
+        assert_eq!(r.columns, vec!["name"]);
+        assert_eq!(r.rows, vec![vec![Value::text("bob")], vec![Value::text("cyd")]]);
+    }
+
+    #[test]
+    fn join_query() {
+        let mut db = db();
+        db.execute("CREATE TABLE dept (dname TEXT, budget INT)").unwrap();
+        db.execute("INSERT INTO dept VALUES ('cs', 1000), ('ee', 2000)").unwrap();
+        let r = db
+            .query(
+                "SELECT e.name, d.budget FROM emp e, dept d WHERE e.dept = d.dname AND d.budget > 1500",
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::text("cyd"), Value::Int(2000)]]);
+    }
+
+    #[test]
+    fn union_except_intersect() {
+        let db = db();
+        let r = db
+            .query("SELECT name FROM emp WHERE dept = 'cs' UNION SELECT name FROM emp WHERE salary > 250")
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        let r = db
+            .query("SELECT name FROM emp EXCEPT SELECT name FROM emp WHERE dept = 'cs'")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::text("cyd")]]);
+        let r = db
+            .query("SELECT name FROM emp INTERSECT SELECT name FROM emp WHERE salary < 150")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::text("ann")]]);
+    }
+
+    #[test]
+    fn correlated_not_exists() {
+        let db = db();
+        // employees with the max salary of their department
+        let r = db
+            .query(
+                "SELECT e.name FROM emp e WHERE NOT EXISTS \
+                 (SELECT * FROM emp f WHERE f.dept = e.dept AND f.salary > e.salary) \
+                 ORDER BY e.name",
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::text("bob")], vec![Value::text("cyd")]]);
+    }
+
+    #[test]
+    fn scalar_subquery_and_in() {
+        let db = db();
+        let r = db
+            .query("SELECT name FROM emp WHERE salary = (SELECT MAX(salary) FROM emp)")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::text("cyd")]]);
+        let r = db
+            .query("SELECT name FROM emp WHERE dept IN (SELECT dept FROM emp WHERE salary > 250)")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::text("cyd")]]);
+    }
+
+    #[test]
+    fn aggregates_group_having() {
+        let db = db();
+        let r = db
+            .query(
+                "SELECT dept, COUNT(*), SUM(salary) FROM emp GROUP BY dept \
+                 HAVING COUNT(*) > 1 ORDER BY dept",
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::text("cs"), Value::Int(2), Value::Int(300)]]);
+    }
+
+    #[test]
+    fn dml_roundtrip() {
+        let mut db = db();
+        let ExecResult::Count(n) = db.execute("UPDATE emp SET salary = 999 WHERE dept = 'cs'").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(n, 2);
+        let ExecResult::Count(n) = db.execute("DELETE FROM emp WHERE salary = 999").unwrap() else {
+            panic!()
+        };
+        assert_eq!(n, 2);
+        let r = db.query("SELECT COUNT(*) FROM emp").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn insert_with_column_order() {
+        let mut db = db();
+        db.execute("INSERT INTO emp (salary, name, dept) VALUES (50, 'eve', 'me')").unwrap();
+        let r = db.query("SELECT salary FROM emp WHERE name = 'eve'").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(50)]]);
+    }
+
+    #[test]
+    fn insert_partial_columns_rejected() {
+        let mut db = db();
+        let err = db.execute("INSERT INTO emp (name) VALUES ('x')").unwrap_err();
+        assert!(err.message.contains("cover all"), "{err}");
+    }
+
+    #[test]
+    fn not_null_enforced_via_sql() {
+        let mut db = db();
+        assert!(db.execute("INSERT INTO emp VALUES (NULL, 'cs', 1)").is_err());
+    }
+
+    #[test]
+    fn script_execution() {
+        let mut db = Database::new();
+        let r = db
+            .execute_script(
+                "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2); SELECT COUNT(*) FROM t;",
+            )
+            .unwrap();
+        assert_eq!(r, ExecResult::Rows(QueryResult {
+            columns: vec!["count".into()],
+            rows: vec![vec![Value::Int(2)]],
+        }));
+    }
+
+    #[test]
+    fn stats_count_queries() {
+        let db = db();
+        db.reset_stats();
+        db.query("SELECT * FROM emp").unwrap();
+        db.query("SELECT * FROM emp").unwrap();
+        assert_eq!(db.stats().queries, 2);
+    }
+
+    #[test]
+    fn insert_select_moves_rows() {
+        let mut db = db();
+        db.execute("CREATE TABLE arch (name TEXT, dept TEXT, salary INT)").unwrap();
+        db.execute("INSERT INTO arch SELECT * FROM emp WHERE salary > 150").unwrap();
+        let r = db.query("SELECT COUNT(*) FROM arch").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn select_without_from_works() {
+        let db = Database::new();
+        let r = db.query("SELECT 1 + 2, 'x' || 'y'").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(3), Value::text("xy")]]);
+    }
+
+    #[test]
+    fn error_on_unknown_table() {
+        let db = Database::new();
+        assert!(db.query("SELECT * FROM missing").is_err());
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let db = db();
+        let r = db.query("SELECT DISTINCT dept FROM emp ORDER BY dept LIMIT 1").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::text("cs")]]);
+    }
+
+    #[test]
+    fn left_join_via_sql() {
+        let mut db = db();
+        db.execute("CREATE TABLE dept (dname TEXT, budget INT)").unwrap();
+        db.execute("INSERT INTO dept VALUES ('cs', 1000)").unwrap();
+        let r = db
+            .query(
+                "SELECT e.name, d.budget FROM emp e LEFT JOIN dept d ON e.dept = d.dname ORDER BY e.name",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[2], vec![Value::text("cyd"), Value::Null], "ee has no dept row");
+    }
+}

@@ -1,0 +1,750 @@
+//! Plan execution.
+//!
+//! Execution is bottom-up and materialising: every operator consumes fully
+//! materialised child results and produces a `Vec<Row>`. This keeps
+//! correlated-subquery evaluation simple (the environment carries enclosing
+//! rows) and is plenty fast at the scales the Hippo experiments run at.
+
+use crate::expr::{eval, BoundExpr, EvalEnv};
+use crate::plan::{AggExpr, AggFunc, JoinType, LogicalPlan};
+use crate::schema::EngineError;
+use crate::value::{Row, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Execute a plan within an environment (catalog + enclosing rows).
+pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, EngineError> {
+    match plan {
+        LogicalPlan::Empty { .. } => Ok(Vec::new()),
+        LogicalPlan::Values { rows, .. } => {
+            let mut out = Vec::with_capacity(rows.len());
+            for exprs in rows {
+                let row: Row =
+                    exprs.iter().map(|e| eval(e, &[], env)).collect::<Result<_, _>>()?;
+                out.push(row);
+            }
+            Ok(out)
+        }
+        LogicalPlan::Scan { table } => Ok(env.catalog.table(table)?.rows()),
+        LogicalPlan::Filter { input, predicate } => {
+            let rows = execute(input, env)?;
+            let mut out = Vec::new();
+            for row in rows {
+                if eval(predicate, &row, env)? == Value::Bool(true) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let rows = execute(input, env)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let projected: Row =
+                    exprs.iter().map(|e| eval(e, &row, env)).collect::<Result<_, _>>()?;
+                out.push(projected);
+            }
+            Ok(out)
+        }
+        LogicalPlan::CrossJoin { left, right } => {
+            let l = execute(left, env)?;
+            let r = execute(right, env)?;
+            let mut out = Vec::with_capacity(l.len().saturating_mul(r.len()));
+            for lr in &l {
+                for rr in &r {
+                    let mut row = lr.clone();
+                    row.extend(rr.iter().cloned());
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::HashJoin { left, right, left_keys, right_keys, residual, join_type } => {
+            hash_join(left, right, left_keys, right_keys, residual.as_ref(), *join_type, env)
+        }
+        LogicalPlan::NestedLoopJoin { left, right, predicate, join_type } => {
+            nested_loop_join(left, right, predicate.as_ref(), *join_type, env)
+        }
+        LogicalPlan::Union { left, right, all } => {
+            let mut l = execute(left, env)?;
+            let r = execute(right, env)?;
+            l.extend(r);
+            if *all {
+                Ok(l)
+            } else {
+                Ok(dedup(l))
+            }
+        }
+        LogicalPlan::Except { left, right, all } => {
+            let l = execute(left, env)?;
+            let r = execute(right, env)?;
+            if *all {
+                // Bag difference: remove one occurrence per right row.
+                let mut counts: HashMap<Row, usize> = HashMap::new();
+                for row in r {
+                    *counts.entry(row).or_insert(0) += 1;
+                }
+                let mut out = Vec::new();
+                for row in l {
+                    match counts.get_mut(&row) {
+                        Some(c) if *c > 0 => *c -= 1,
+                        _ => out.push(row),
+                    }
+                }
+                Ok(out)
+            } else {
+                let rset: HashSet<Row> = r.into_iter().collect();
+                Ok(dedup(l.into_iter().filter(|row| !rset.contains(row)).collect()))
+            }
+        }
+        LogicalPlan::Intersect { left, right, all } => {
+            let l = execute(left, env)?;
+            let r = execute(right, env)?;
+            if *all {
+                let mut counts: HashMap<Row, usize> = HashMap::new();
+                for row in r {
+                    *counts.entry(row).or_insert(0) += 1;
+                }
+                let mut out = Vec::new();
+                for row in l {
+                    if let Some(c) = counts.get_mut(&row) {
+                        if *c > 0 {
+                            *c -= 1;
+                            out.push(row);
+                        }
+                    }
+                }
+                Ok(out)
+            } else {
+                let rset: HashSet<Row> = r.into_iter().collect();
+                Ok(dedup(l.into_iter().filter(|row| rset.contains(row)).collect()))
+            }
+        }
+        LogicalPlan::Distinct { input } => Ok(dedup(execute(input, env)?)),
+        LogicalPlan::Aggregate { input, group_exprs, aggregates } => {
+            aggregate(input, group_exprs, aggregates, env)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let rows = execute(input, env)?;
+            // Evaluate keys once per row, then sort stably.
+            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+            for row in rows {
+                let k: Vec<Value> =
+                    keys.iter().map(|(e, _)| eval(e, &row, env)).collect::<Result<_, _>>()?;
+                keyed.push((k, row));
+            }
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for (i, (_, desc)) in keys.iter().enumerate() {
+                    let ord = ka[i].cmp(&kb[i]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(keyed.into_iter().map(|(_, r)| r).collect())
+        }
+        LogicalPlan::Limit { input, limit, offset } => {
+            let rows = execute(input, env)?;
+            let start = (*offset as usize).min(rows.len());
+            let end = match limit {
+                Some(l) => (start + *l as usize).min(rows.len()),
+                None => rows.len(),
+            };
+            Ok(rows[start..end].to_vec())
+        }
+    }
+}
+
+/// Order-preserving duplicate elimination.
+fn dedup(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if seen.insert(row.clone()) {
+            out.push(row);
+        }
+    }
+    out
+}
+
+fn hash_join(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    left_keys: &[BoundExpr],
+    right_keys: &[BoundExpr],
+    residual: Option<&BoundExpr>,
+    join_type: JoinType,
+    env: &mut EvalEnv<'_>,
+) -> Result<Vec<Row>, EngineError> {
+    let l = execute(left, env)?;
+    let r = execute(right, env)?;
+    let right_arity = r.first().map(Vec::len).unwrap_or(0);
+
+    // Build hash table over the right side; NULL keys never match.
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(r.len());
+    'rows: for (i, row) in r.iter().enumerate() {
+        let mut key = Vec::with_capacity(right_keys.len());
+        for k in right_keys {
+            let v = eval(k, row, env)?;
+            if v.is_null() {
+                continue 'rows;
+            }
+            key.push(v);
+        }
+        table.entry(key).or_default().push(i);
+    }
+
+    let mut out = Vec::new();
+    for lrow in &l {
+        let mut matched = false;
+        let mut key = Vec::with_capacity(left_keys.len());
+        let mut null_key = false;
+        for k in left_keys {
+            let v = eval(k, lrow, env)?;
+            if v.is_null() {
+                null_key = true;
+                break;
+            }
+            key.push(v);
+        }
+        if !null_key {
+            if let Some(candidates) = table.get(&key) {
+                for &i in candidates {
+                    let mut row = lrow.clone();
+                    row.extend(r[i].iter().cloned());
+                    let keep = match residual {
+                        Some(p) => eval(p, &row, env)? == Value::Bool(true),
+                        None => true,
+                    };
+                    if keep {
+                        matched = true;
+                        out.push(row);
+                    }
+                }
+            }
+        }
+        if !matched && join_type == JoinType::Left {
+            let mut row = lrow.clone();
+            row.extend(std::iter::repeat(Value::Null).take(right_arity));
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+fn nested_loop_join(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    predicate: Option<&BoundExpr>,
+    join_type: JoinType,
+    env: &mut EvalEnv<'_>,
+) -> Result<Vec<Row>, EngineError> {
+    let l = execute(left, env)?;
+    let r = execute(right, env)?;
+    let right_arity = match r.first() {
+        Some(row) => row.len(),
+        None => right.arity(env.catalog)?,
+    };
+    let mut out = Vec::new();
+    for lrow in &l {
+        let mut matched = false;
+        for rrow in &r {
+            let mut row = lrow.clone();
+            row.extend(rrow.iter().cloned());
+            let keep = match predicate {
+                Some(p) => eval(p, &row, env)? == Value::Bool(true),
+                None => true,
+            };
+            if keep {
+                matched = true;
+                out.push(row);
+            }
+        }
+        if !matched && join_type == JoinType::Left {
+            let mut row = lrow.clone();
+            row.extend(std::iter::repeat(Value::Null).take(right_arity));
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Accumulator for one aggregate in one group.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    Sum { sum_i: i64, sum_f: f64, is_float: bool, seen: bool },
+    Avg { sum: f64, n: i64 },
+    MinMax { best: Option<Value>, is_min: bool },
+    Distinct { values: HashSet<Value>, func: AggFunc },
+}
+
+impl Acc {
+    fn new(agg: &AggExpr) -> Acc {
+        if agg.distinct {
+            return Acc::Distinct { values: HashSet::new(), func: agg.func };
+        }
+        match agg.func {
+            AggFunc::CountStar | AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum { sum_i: 0, sum_f: 0.0, is_float: false, seen: false },
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Acc::MinMax { best: None, is_min: true },
+            AggFunc::Max => Acc::MinMax { best: None, is_min: false },
+        }
+    }
+
+    fn update(&mut self, v: Option<Value>) -> Result<(), EngineError> {
+        match self {
+            Acc::Count(n) => match v {
+                // COUNT(*) gets None (always counts); COUNT(e) skips NULLs.
+                None => *n += 1,
+                Some(Value::Null) => {}
+                Some(_) => *n += 1,
+            },
+            Acc::Sum { sum_i, sum_f, is_float, seen } => match v {
+                Some(Value::Int(x)) => {
+                    *seen = true;
+                    *sum_i = sum_i
+                        .checked_add(x)
+                        .ok_or_else(|| EngineError::new("integer overflow in SUM"))?;
+                    *sum_f += x as f64;
+                }
+                Some(Value::Float(x)) => {
+                    *seen = true;
+                    *is_float = true;
+                    *sum_f += x;
+                }
+                Some(Value::Null) | None => {}
+                Some(other) => {
+                    return Err(EngineError::new(format!("SUM of {}", other.type_name())))
+                }
+            },
+            Acc::Avg { sum, n } => match v {
+                Some(Value::Int(x)) => {
+                    *sum += x as f64;
+                    *n += 1;
+                }
+                Some(Value::Float(x)) => {
+                    *sum += x;
+                    *n += 1;
+                }
+                Some(Value::Null) | None => {}
+                Some(other) => {
+                    return Err(EngineError::new(format!("AVG of {}", other.type_name())))
+                }
+            },
+            Acc::MinMax { best, is_min } => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        let better = match best {
+                            None => true,
+                            Some(b) => match v.sql_cmp(b) {
+                                Some(std::cmp::Ordering::Less) => *is_min,
+                                Some(std::cmp::Ordering::Greater) => !*is_min,
+                                _ => false,
+                            },
+                        };
+                        if better {
+                            *best = Some(v);
+                        }
+                    }
+                }
+            }
+            Acc::Distinct { values, .. } => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        values.insert(v);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<Value, EngineError> {
+        Ok(match self {
+            Acc::Count(n) => Value::Int(n),
+            Acc::Sum { sum_i, sum_f, is_float, seen } => {
+                if !seen {
+                    Value::Null
+                } else if is_float {
+                    Value::Float(sum_f)
+                } else {
+                    Value::Int(sum_i)
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            Acc::MinMax { best, .. } => best.unwrap_or(Value::Null),
+            Acc::Distinct { values, func } => {
+                let mut acc = Acc::new(&AggExpr { func, arg: None, distinct: false });
+                for v in values {
+                    acc.update(Some(v))?;
+                }
+                acc.finish()?
+            }
+        })
+    }
+}
+
+fn aggregate(
+    input: &LogicalPlan,
+    group_exprs: &[BoundExpr],
+    aggregates: &[AggExpr],
+    env: &mut EvalEnv<'_>,
+) -> Result<Vec<Row>, EngineError> {
+    let rows = execute(input, env)?;
+    // Deterministic group order: remember first-seen order.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    for row in &rows {
+        let key: Vec<Value> =
+            group_exprs.iter().map(|e| eval(e, row, env)).collect::<Result<_, _>>()?;
+        let accs = match groups.get_mut(&key) {
+            Some(a) => a,
+            None => {
+                order.push(key.clone());
+                groups.entry(key.clone()).or_insert_with(|| {
+                    aggregates.iter().map(Acc::new).collect::<Vec<_>>()
+                })
+            }
+        };
+        for (acc, agg) in accs.iter_mut().zip(aggregates) {
+            let v = match &agg.arg {
+                Some(e) => Some(eval(e, row, env)?),
+                None => None,
+            };
+            acc.update(v)?;
+        }
+    }
+    // Global aggregate over an empty input still yields one row.
+    if group_exprs.is_empty() && groups.is_empty() {
+        let accs: Vec<Acc> = aggregates.iter().map(Acc::new).collect();
+        let mut row = Vec::new();
+        for acc in accs {
+            row.push(acc.finish()?);
+        }
+        return Ok(vec![row]);
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups.remove(&key).expect("group recorded");
+        let mut row = key;
+        for acc in accs {
+            row.push(acc.finish()?);
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::schema::{Column, DataType, TableSchema};
+
+    fn catalog_with_t() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            TableSchema::new(
+                "t",
+                vec![Column::new("a", DataType::Int), Column::new("b", DataType::Text)],
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let t = c.table_mut("t").unwrap();
+        for (a, b) in [(1, "x"), (2, "y"), (3, "x")] {
+            t.insert(vec![Value::Int(a), Value::text(b)]).unwrap();
+        }
+        c
+    }
+
+    fn run(c: &Catalog, plan: &LogicalPlan) -> Vec<Row> {
+        let mut env = EvalEnv::new(c);
+        execute(plan, &mut env).unwrap()
+    }
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::Scan { table: "t".into() }
+    }
+
+    #[test]
+    fn scan_and_filter() {
+        let c = catalog_with_t();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: BoundExpr::Binary {
+                op: hippo_sql::BinaryOp::Gt,
+                left: Box::new(BoundExpr::Column(0)),
+                right: Box::new(BoundExpr::Literal(Value::Int(1))),
+            },
+        };
+        let rows = run(&c, &plan);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn cross_join_sizes() {
+        let c = catalog_with_t();
+        let plan = LogicalPlan::CrossJoin { left: Box::new(scan()), right: Box::new(scan()) };
+        assert_eq!(run(&c, &plan).len(), 9);
+    }
+
+    #[test]
+    fn hash_join_inner_and_left() {
+        let c = catalog_with_t();
+        // join t with itself on b
+        let join = |jt| LogicalPlan::HashJoin {
+            left: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan()),
+                predicate: BoundExpr::Binary {
+                    op: hippo_sql::BinaryOp::Eq,
+                    left: Box::new(BoundExpr::Column(0)),
+                    right: Box::new(BoundExpr::Literal(Value::Int(1))),
+                },
+            }),
+            right: Box::new(scan()),
+            left_keys: vec![BoundExpr::Column(1)],
+            right_keys: vec![BoundExpr::Column(1)],
+            residual: None,
+            join_type: jt,
+        };
+        // left side = (1, x); matches rows with b=x: (1,x),(3,x)
+        assert_eq!(run(&c, &join(JoinType::Inner)).len(), 2);
+        assert_eq!(run(&c, &join(JoinType::Left)).len(), 2);
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let mut c = catalog_with_t();
+        c.create_table(
+            TableSchema::new("empty", vec![Column::new("z", DataType::Int)], &[]).unwrap(),
+        )
+        .unwrap();
+        let plan = LogicalPlan::NestedLoopJoin {
+            left: Box::new(scan()),
+            right: Box::new(LogicalPlan::Scan { table: "empty".into() }),
+            predicate: None,
+            join_type: JoinType::Left,
+        };
+        let rows = run(&c, &plan);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.len() == 3 && r[2] == Value::Null));
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let mut c = Catalog::new();
+        c.create_table(
+            TableSchema::new("n", vec![Column::new("k", DataType::Int)], &[]).unwrap(),
+        )
+        .unwrap();
+        c.table_mut("n").unwrap().insert(vec![Value::Null]).unwrap();
+        let plan = LogicalPlan::HashJoin {
+            left: Box::new(LogicalPlan::Scan { table: "n".into() }),
+            right: Box::new(LogicalPlan::Scan { table: "n".into() }),
+            left_keys: vec![BoundExpr::Column(0)],
+            right_keys: vec![BoundExpr::Column(0)],
+            residual: None,
+            join_type: JoinType::Inner,
+        };
+        assert!(run(&c, &plan).is_empty());
+    }
+
+    #[test]
+    fn set_operations() {
+        let c = Catalog::new();
+        let vals = |xs: &[i64]| {
+            LogicalPlan::values_literal(xs.iter().map(|&x| vec![Value::Int(x)]).collect(), 1)
+        };
+        let union = LogicalPlan::Union {
+            left: Box::new(vals(&[1, 2, 2])),
+            right: Box::new(vals(&[2, 3])),
+            all: false,
+        };
+        assert_eq!(run(&c, &union).len(), 3);
+        let union_all = LogicalPlan::Union {
+            left: Box::new(vals(&[1, 2, 2])),
+            right: Box::new(vals(&[2, 3])),
+            all: true,
+        };
+        assert_eq!(run(&c, &union_all).len(), 5);
+        let except = LogicalPlan::Except {
+            left: Box::new(vals(&[1, 2, 2, 3])),
+            right: Box::new(vals(&[2])),
+            all: false,
+        };
+        assert_eq!(run(&c, &except), vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+        let except_all = LogicalPlan::Except {
+            left: Box::new(vals(&[1, 2, 2, 3])),
+            right: Box::new(vals(&[2])),
+            all: true,
+        };
+        assert_eq!(run(&c, &except_all).len(), 3, "EXCEPT ALL removes one occurrence");
+        let intersect = LogicalPlan::Intersect {
+            left: Box::new(vals(&[1, 2, 2])),
+            right: Box::new(vals(&[2, 2, 3])),
+            all: false,
+        };
+        assert_eq!(run(&c, &intersect), vec![vec![Value::Int(2)]]);
+        let intersect_all = LogicalPlan::Intersect {
+            left: Box::new(vals(&[1, 2, 2])),
+            right: Box::new(vals(&[2, 2, 3])),
+            all: true,
+        };
+        assert_eq!(run(&c, &intersect_all).len(), 2);
+    }
+
+    #[test]
+    fn distinct_dedups_preserving_order() {
+        let c = Catalog::new();
+        let plan = LogicalPlan::Distinct {
+            input: Box::new(LogicalPlan::values_literal(
+                vec![
+                    vec![Value::Int(2)],
+                    vec![Value::Int(1)],
+                    vec![Value::Int(2)],
+                ],
+                1,
+            )),
+        };
+        assert_eq!(run(&c, &plan), vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let c = catalog_with_t();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(scan()),
+            group_exprs: vec![BoundExpr::Column(1)],
+            aggregates: vec![
+                AggExpr { func: AggFunc::CountStar, arg: None, distinct: false },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(BoundExpr::Column(0)),
+                    distinct: false,
+                },
+                AggExpr {
+                    func: AggFunc::Min,
+                    arg: Some(BoundExpr::Column(0)),
+                    distinct: false,
+                },
+                AggExpr {
+                    func: AggFunc::Max,
+                    arg: Some(BoundExpr::Column(0)),
+                    distinct: false,
+                },
+                AggExpr {
+                    func: AggFunc::Avg,
+                    arg: Some(BoundExpr::Column(0)),
+                    distinct: false,
+                },
+            ],
+        };
+        let rows = run(&c, &plan);
+        assert_eq!(rows.len(), 2);
+        // groups in first-seen order: x then y
+        assert_eq!(
+            rows[0],
+            vec![
+                Value::text("x"),
+                Value::Int(2),
+                Value::Int(4),
+                Value::Int(1),
+                Value::Int(3),
+                Value::Float(2.0)
+            ]
+        );
+        assert_eq!(rows[1][0], Value::text("y"));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let c = Catalog::new();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Empty { arity: 1 }),
+            group_exprs: vec![],
+            aggregates: vec![
+                AggExpr { func: AggFunc::CountStar, arg: None, distinct: false },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(BoundExpr::Column(0)),
+                    distinct: false,
+                },
+            ],
+        };
+        let rows = run(&c, &plan);
+        assert_eq!(rows, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let c = Catalog::new();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::values_literal(
+                vec![
+                    vec![Value::Int(1)],
+                    vec![Value::Int(1)],
+                    vec![Value::Int(2)],
+                    vec![Value::Null],
+                ],
+                1,
+            )),
+            group_exprs: vec![],
+            aggregates: vec![AggExpr {
+                func: AggFunc::Count,
+                arg: Some(BoundExpr::Column(0)),
+                distinct: true,
+            }],
+        };
+        assert_eq!(run(&c, &plan), vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let c = catalog_with_t();
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Sort {
+                input: Box::new(scan()),
+                keys: vec![(BoundExpr::Column(0), true)],
+            }),
+            limit: Some(2),
+            offset: 1,
+        };
+        let rows = run(&c, &plan);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Int(2));
+        assert_eq!(rows[1][0], Value::Int(1));
+    }
+
+    #[test]
+    fn count_skips_nulls_count_star_does_not() {
+        let c = Catalog::new();
+        let input = LogicalPlan::values_literal(
+            vec![vec![Value::Int(1)], vec![Value::Null]],
+            1,
+        );
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(input),
+            group_exprs: vec![],
+            aggregates: vec![
+                AggExpr { func: AggFunc::CountStar, arg: None, distinct: false },
+                AggExpr {
+                    func: AggFunc::Count,
+                    arg: Some(BoundExpr::Column(0)),
+                    distinct: false,
+                },
+            ],
+        };
+        assert_eq!(run(&c, &plan), vec![vec![Value::Int(2), Value::Int(1)]]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # hippo-engine
+//!
+//! A self-contained in-memory SQL RDBMS used as the backend of the Hippo
+//! consistent-query-answering system (the role PostgreSQL played in the
+//! original EDBT 2004 demonstration).
+//!
+//! The engine offers:
+//!
+//! * a [`Database`] facade: SQL text in, rows out ([`Database::execute`],
+//!   [`Database::query`]), plus bulk-load and direct catalog access;
+//! * a name-resolving binder ([`bind`]) lowering the `hippo-sql` AST to
+//!   [`plan::LogicalPlan`]s;
+//! * a rule-based optimizer ([`optimize`]): constant folding, predicate
+//!   pushdown, cross-product → hash-join conversion;
+//! * a materialising executor ([`exec`]) with hash joins, set operations
+//!   (set and bag), grouping/aggregation, sorting, and correlated
+//!   `EXISTS` / `IN` / scalar subqueries;
+//! * row storage with **stable tuple identifiers** ([`table::Table`],
+//!   [`table::TupleId`]) — the conflict hypergraph's vertices are physical
+//!   tuples, so ids must survive unrelated deletions.
+//!
+//! ```
+//! use hippo_engine::Database;
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+//! db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+//! let r = db.query("SELECT b FROM t WHERE a = 2").unwrap();
+//! assert_eq!(r.rows.len(), 1);
+//! ```
+
+pub mod bind;
+pub mod catalog;
+pub mod db;
+pub mod exec;
+pub mod expr;
+pub mod optimize;
+pub mod plan;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use db::{Database, DbStats, ExecResult, QueryResult};
+pub use schema::{Column, DataType, EngineError, TableSchema};
+pub use table::{Table, TupleId};
+pub use value::{Row, Value};

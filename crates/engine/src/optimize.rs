@@ -1,0 +1,524 @@
+//! Rule-based plan rewrites.
+//!
+//! Three passes, applied bottom-up until fixpoint-ish (one traversal is
+//! enough for the shapes the binder emits):
+//!
+//! 1. **Constant folding** — literal-only expressions collapse to literals.
+//! 2. **Predicate pushdown** — conjuncts of a `Filter` over a `CrossJoin`
+//!    that reference only one side move below the join.
+//! 3. **Join conversion** — remaining equi-conjuncts across the two sides
+//!    turn `Filter(CrossJoin)` into a `HashJoin`.
+//!
+//! Expressions containing subqueries are never moved (their `OuterRef`
+//! levels are position-dependent).
+
+use crate::catalog::Catalog;
+use crate::expr::{eval, BoundExpr, EvalEnv};
+use crate::plan::{JoinType, LogicalPlan};
+use crate::schema::EngineError;
+use hippo_sql::BinaryOp;
+
+/// Optimize a plan.
+pub fn optimize(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan, EngineError> {
+    let plan = rewrite(plan, catalog)?;
+    Ok(plan)
+}
+
+fn rewrite(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan, EngineError> {
+    // Recurse first (bottom-up).
+    let plan = match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = rewrite(*input, catalog)?;
+            let predicate = fold_expr(predicate, catalog);
+            // Drop trivially-true filters; empty out trivially-false ones.
+            match &predicate {
+                BoundExpr::Literal(crate::value::Value::Bool(true)) => return Ok(input),
+                BoundExpr::Literal(
+                    crate::value::Value::Bool(false) | crate::value::Value::Null,
+                ) => {
+                    let arity = input.arity(catalog)?;
+                    return Ok(LogicalPlan::Empty { arity });
+                }
+                _ => {}
+            }
+            push_filter(input, predicate, catalog)?
+        }
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(rewrite(*input, catalog)?),
+            exprs: exprs.into_iter().map(|e| fold_expr(e, catalog)).collect(),
+        },
+        LogicalPlan::CrossJoin { left, right } => LogicalPlan::CrossJoin {
+            left: Box::new(rewrite(*left, catalog)?),
+            right: Box::new(rewrite(*right, catalog)?),
+        },
+        LogicalPlan::HashJoin { left, right, left_keys, right_keys, residual, join_type } => {
+            LogicalPlan::HashJoin {
+                left: Box::new(rewrite(*left, catalog)?),
+                right: Box::new(rewrite(*right, catalog)?),
+                left_keys,
+                right_keys,
+                residual,
+                join_type,
+            }
+        }
+        LogicalPlan::NestedLoopJoin { left, right, predicate, join_type } => {
+            let left = rewrite(*left, catalog)?;
+            let right = rewrite(*right, catalog)?;
+            // Try converting a LEFT nested-loop with pure equi predicate
+            // into a left hash join.
+            if join_type == JoinType::Left {
+                if let Some(pred) = &predicate {
+                    if !pred.contains_subquery() {
+                        let la = left.arity(catalog)?;
+                        let (equi, residual) = split_equi(pred, la);
+                        if !equi.is_empty() {
+                            return Ok(LogicalPlan::HashJoin {
+                                left: Box::new(left),
+                                right: Box::new(right),
+                                left_keys: equi.iter().map(|(l, _)| l.clone()).collect(),
+                                right_keys: equi.iter().map(|(_, r)| r.clone()).collect(),
+                                residual,
+                                join_type: JoinType::Left,
+                            });
+                        }
+                    }
+                }
+            }
+            LogicalPlan::NestedLoopJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                predicate,
+                join_type,
+            }
+        }
+        LogicalPlan::Union { left, right, all } => LogicalPlan::Union {
+            left: Box::new(rewrite(*left, catalog)?),
+            right: Box::new(rewrite(*right, catalog)?),
+            all,
+        },
+        LogicalPlan::Except { left, right, all } => LogicalPlan::Except {
+            left: Box::new(rewrite(*left, catalog)?),
+            right: Box::new(rewrite(*right, catalog)?),
+            all,
+        },
+        LogicalPlan::Intersect { left, right, all } => LogicalPlan::Intersect {
+            left: Box::new(rewrite(*left, catalog)?),
+            right: Box::new(rewrite(*right, catalog)?),
+            all,
+        },
+        LogicalPlan::Distinct { input } => {
+            LogicalPlan::Distinct { input: Box::new(rewrite(*input, catalog)?) }
+        }
+        LogicalPlan::Aggregate { input, group_exprs, aggregates } => LogicalPlan::Aggregate {
+            input: Box::new(rewrite(*input, catalog)?),
+            group_exprs,
+            aggregates,
+        },
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(rewrite(*input, catalog)?), keys }
+        }
+        LogicalPlan::Limit { input, limit, offset } => {
+            LogicalPlan::Limit { input: Box::new(rewrite(*input, catalog)?), limit, offset }
+        }
+        leaf @ (LogicalPlan::Empty { .. } | LogicalPlan::Values { .. } | LogicalPlan::Scan { .. }) => {
+            leaf
+        }
+    };
+    Ok(plan)
+}
+
+/// Place a filter above `input`, pushing conjuncts down / converting joins.
+fn push_filter(
+    input: LogicalPlan,
+    predicate: BoundExpr,
+    catalog: &Catalog,
+) -> Result<LogicalPlan, EngineError> {
+    match input {
+        // Filters commute with duplicate elimination.
+        LogicalPlan::Distinct { input } => Ok(LogicalPlan::Distinct {
+            input: Box::new(push_filter(*input, predicate, catalog)?),
+        }),
+        // Push through a projection when every column the predicate reads
+        // maps to a plain column of the input (no computed expressions),
+        // so the join-conversion rule can see the cross join underneath.
+        LogicalPlan::Project { input: proj_input, exprs }
+            if !predicate.contains_subquery() && remappable(&predicate, &exprs) =>
+        {
+            let mapped = predicate.map_columns(&|i| match &exprs[i] {
+                BoundExpr::Column(c) => *c,
+                _ => unreachable!("remappable() checked"),
+            });
+            Ok(LogicalPlan::Project {
+                input: Box::new(push_filter(*proj_input, mapped, catalog)?),
+                exprs,
+            })
+        }
+        LogicalPlan::CrossJoin { left, right } => {
+            let la = left.arity(catalog)?;
+            let conjuncts = split_conjuncts(&predicate);
+
+            let mut left_preds = Vec::new();
+            let mut right_preds = Vec::new();
+            let mut equi: Vec<(BoundExpr, BoundExpr)> = Vec::new();
+            let mut rest = Vec::new();
+
+            for c in conjuncts {
+                if c.contains_subquery() {
+                    rest.push(c);
+                    continue;
+                }
+                let mut cols = Vec::new();
+                c.collect_columns(&mut cols);
+                let all_left = cols.iter().all(|&i| i < la);
+                let all_right = cols.iter().all(|&i| i >= la);
+                if all_left && !cols.is_empty() {
+                    left_preds.push(c);
+                } else if all_right {
+                    right_preds.push(c.map_columns(&|i| i - la));
+                } else if let Some((lk, rk)) = as_equi(&c, la) {
+                    equi.push((lk, rk));
+                } else {
+                    rest.push(c);
+                }
+            }
+
+            let mut l = *left;
+            if !left_preds.is_empty() {
+                l = LogicalPlan::Filter {
+                    input: Box::new(l),
+                    predicate: BoundExpr::conjoin(left_preds),
+                };
+            }
+            let mut r = *right;
+            if !right_preds.is_empty() {
+                r = LogicalPlan::Filter {
+                    input: Box::new(r),
+                    predicate: BoundExpr::conjoin(right_preds),
+                };
+            }
+
+            let joined = if equi.is_empty() {
+                LogicalPlan::CrossJoin { left: Box::new(l), right: Box::new(r) }
+            } else {
+                LogicalPlan::HashJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    left_keys: equi.iter().map(|(lk, _)| lk.clone()).collect(),
+                    right_keys: equi
+                        .iter()
+                        .map(|(_, rk)| rk.map_columns(&|i| i - la))
+                        .collect(),
+                    residual: None,
+                    join_type: JoinType::Inner,
+                }
+            };
+            if rest.is_empty() {
+                Ok(joined)
+            } else {
+                Ok(LogicalPlan::Filter {
+                    input: Box::new(joined),
+                    predicate: BoundExpr::conjoin(rest),
+                })
+            }
+        }
+        other => Ok(LogicalPlan::Filter { input: Box::new(other), predicate }),
+    }
+}
+
+/// Does every column the predicate references map to a plain column in the
+/// projection list?
+fn remappable(predicate: &BoundExpr, exprs: &[BoundExpr]) -> bool {
+    let mut cols = Vec::new();
+    predicate.collect_columns(&mut cols);
+    cols.iter().all(|&i| matches!(exprs.get(i), Some(BoundExpr::Column(_))))
+}
+
+/// Split an `AND` tree into conjuncts.
+pub fn split_conjuncts(e: &BoundExpr) -> Vec<BoundExpr> {
+    match e {
+        BoundExpr::Binary { op: BinaryOp::And, left, right } => {
+            let mut out = split_conjuncts(left);
+            out.extend(split_conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Is `e` an equality between a left-only and a right-only expression
+/// (relative to a split at column `la`)? Returns (left key, right key in
+/// combined offsets).
+fn as_equi(e: &BoundExpr, la: usize) -> Option<(BoundExpr, BoundExpr)> {
+    let BoundExpr::Binary { op: BinaryOp::Eq, left, right } = e else { return None };
+    if left.contains_subquery() || right.contains_subquery() {
+        return None;
+    }
+    let side = |x: &BoundExpr| -> Option<bool> {
+        // Some(true) = all-left, Some(false) = all-right, None = mixed/none
+        let mut cols = Vec::new();
+        x.collect_columns(&mut cols);
+        if cols.is_empty() {
+            return None;
+        }
+        if cols.iter().all(|&i| i < la) {
+            Some(true)
+        } else if cols.iter().all(|&i| i >= la) {
+            Some(false)
+        } else {
+            None
+        }
+    };
+    match (side(left), side(right)) {
+        (Some(true), Some(false)) => Some((*left.clone(), *right.clone())),
+        (Some(false), Some(true)) => Some((*right.clone(), *left.clone())),
+        _ => None,
+    }
+}
+
+/// Split a predicate over a join into equi pairs (left expr, right expr in
+/// right-local offsets) and a residual.
+fn split_equi(pred: &BoundExpr, la: usize) -> (Vec<(BoundExpr, BoundExpr)>, Option<BoundExpr>) {
+    let mut equi = Vec::new();
+    let mut rest = Vec::new();
+    for c in split_conjuncts(pred) {
+        match as_equi(&c, la) {
+            Some((l, r)) => equi.push((l, r.map_columns(&|i| i - la))),
+            None => rest.push(c),
+        }
+    }
+    let residual = if rest.is_empty() { None } else { Some(BoundExpr::conjoin(rest)) };
+    (equi, residual)
+}
+
+/// Fold literal-only expressions into literals (best effort; errors and
+/// anything touching columns/subqueries are left intact).
+fn fold_expr(e: BoundExpr, catalog: &Catalog) -> BoundExpr {
+    if matches!(e, BoundExpr::Literal(_)) {
+        return e;
+    }
+    if e.references_columns() || e.contains_subquery() || contains_outer_ref(&e) {
+        // Fold children of AND/OR even if the whole can't fold.
+        if let BoundExpr::Binary { op, left, right } = e {
+            return BoundExpr::Binary {
+                op,
+                left: Box::new(fold_expr(*left, catalog)),
+                right: Box::new(fold_expr(*right, catalog)),
+            };
+        }
+        return e;
+    }
+    let mut env = EvalEnv::new(catalog);
+    match eval(&e, &[], &mut env) {
+        Ok(v) => BoundExpr::Literal(v),
+        Err(_) => e, // leave runtime errors to execution time
+    }
+}
+
+fn contains_outer_ref(e: &BoundExpr) -> bool {
+    let mut found = false;
+    e.visit(&mut |x| {
+        if matches!(x, BoundExpr::OuterRef { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType, TableSchema};
+    use crate::value::Value;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for (name, cols) in [("r", 2usize), ("s", 2)] {
+            let columns: Vec<Column> = (0..cols)
+                .map(|i| Column::new(format!("c{i}"), DataType::Int))
+                .collect();
+            c.create_table(TableSchema::new(name, columns, &[]).unwrap()).unwrap();
+        }
+        c
+    }
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::Column(i)
+    }
+
+    fn eq(l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary { op: BinaryOp::Eq, left: Box::new(l), right: Box::new(r) }
+    }
+
+    fn lit(v: i64) -> BoundExpr {
+        BoundExpr::Literal(Value::Int(v))
+    }
+
+    #[test]
+    fn filter_over_cross_becomes_hash_join() {
+        let c = catalog();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::CrossJoin {
+                left: Box::new(LogicalPlan::Scan { table: "r".into() }),
+                right: Box::new(LogicalPlan::Scan { table: "s".into() }),
+            }),
+            predicate: eq(col(0), col(2)),
+        };
+        let opt = optimize(plan, &c).unwrap();
+        let LogicalPlan::HashJoin { left_keys, right_keys, .. } = opt else {
+            panic!("expected hash join, got {opt:?}")
+        };
+        assert_eq!(left_keys, vec![col(0)]);
+        assert_eq!(right_keys, vec![col(0)], "right key rebased to right side");
+    }
+
+    #[test]
+    fn single_side_conjuncts_push_down() {
+        let c = catalog();
+        let pred = eq(col(0), col(2)).and(eq(col(1), lit(5))).and(eq(col(3), lit(7)));
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::CrossJoin {
+                left: Box::new(LogicalPlan::Scan { table: "r".into() }),
+                right: Box::new(LogicalPlan::Scan { table: "s".into() }),
+            }),
+            predicate: pred,
+        };
+        let opt = optimize(plan, &c).unwrap();
+        let LogicalPlan::HashJoin { left, right, .. } = opt else { panic!("{opt:?}") };
+        assert!(matches!(*left, LogicalPlan::Filter { .. }), "left filter pushed");
+        let LogicalPlan::Filter { predicate, .. } = *right else { panic!() };
+        // right-side predicate rebased: col(3) -> col(1)
+        assert_eq!(predicate, eq(col(1), lit(7)));
+    }
+
+    #[test]
+    fn non_equi_stays_as_residual_filter() {
+        let c = catalog();
+        let pred = BoundExpr::Binary {
+            op: BinaryOp::Lt,
+            left: Box::new(col(0)),
+            right: Box::new(col(2)),
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::CrossJoin {
+                left: Box::new(LogicalPlan::Scan { table: "r".into() }),
+                right: Box::new(LogicalPlan::Scan { table: "s".into() }),
+            }),
+            predicate: pred.clone(),
+        };
+        let opt = optimize(plan, &c).unwrap();
+        let LogicalPlan::Filter { input, predicate } = opt else { panic!("{opt:?}") };
+        assert_eq!(predicate, pred);
+        assert!(matches!(*input, LogicalPlan::CrossJoin { .. }));
+    }
+
+    #[test]
+    fn constant_folding_collapses_filters() {
+        let c = catalog();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan { table: "r".into() }),
+            predicate: eq(lit(1), lit(1)),
+        };
+        let opt = optimize(plan, &c).unwrap();
+        assert!(matches!(opt, LogicalPlan::Scan { .. }), "true filter removed: {opt:?}");
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan { table: "r".into() }),
+            predicate: eq(lit(1), lit(2)),
+        };
+        let opt = optimize(plan, &c).unwrap();
+        assert!(matches!(opt, LogicalPlan::Empty { arity: 2 }), "false filter empties: {opt:?}");
+    }
+
+    #[test]
+    fn left_nested_loop_with_equi_becomes_left_hash_join() {
+        let c = catalog();
+        let plan = LogicalPlan::NestedLoopJoin {
+            left: Box::new(LogicalPlan::Scan { table: "r".into() }),
+            right: Box::new(LogicalPlan::Scan { table: "s".into() }),
+            predicate: Some(eq(col(0), col(2))),
+            join_type: JoinType::Left,
+        };
+        let opt = optimize(plan, &c).unwrap();
+        assert!(
+            matches!(opt, LogicalPlan::HashJoin { join_type: JoinType::Left, .. }),
+            "{opt:?}"
+        );
+    }
+
+    #[test]
+    fn filter_pushes_through_project_and_distinct() {
+        // Filter(Project(CrossJoin)) with a column-only projection becomes
+        // Project(HashJoin) — the shape SJUD SQL rendering produces.
+        let c = catalog();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Project {
+                input: Box::new(LogicalPlan::CrossJoin {
+                    left: Box::new(LogicalPlan::Scan { table: "r".into() }),
+                    right: Box::new(LogicalPlan::Scan { table: "s".into() }),
+                }),
+                exprs: vec![col(1), col(0), col(2), col(3)], // permuted columns
+            }),
+            predicate: eq(col(1), col(2)), // output cols 1,2 = input cols 0,2
+        };
+        let opt = optimize(plan, &c).unwrap();
+        let LogicalPlan::Project { input, .. } = opt else { panic!("{opt:?}") };
+        let LogicalPlan::HashJoin { left_keys, right_keys, .. } = *input else {
+            panic!("expected hash join under project: {input:?}")
+        };
+        assert_eq!(left_keys, vec![col(0)]);
+        assert_eq!(right_keys, vec![col(0)]);
+
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Distinct {
+                input: Box::new(LogicalPlan::CrossJoin {
+                    left: Box::new(LogicalPlan::Scan { table: "r".into() }),
+                    right: Box::new(LogicalPlan::Scan { table: "s".into() }),
+                }),
+            }),
+            predicate: eq(col(0), col(2)),
+        };
+        let opt = optimize(plan, &c).unwrap();
+        let LogicalPlan::Distinct { input } = opt else { panic!("{opt:?}") };
+        assert!(matches!(*input, LogicalPlan::HashJoin { .. }));
+    }
+
+    #[test]
+    fn filter_not_pushed_through_computed_projection() {
+        let c = catalog();
+        let computed = BoundExpr::Binary {
+            op: BinaryOp::Add,
+            left: Box::new(col(0)),
+            right: Box::new(lit(1)),
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Project {
+                input: Box::new(LogicalPlan::Scan { table: "r".into() }),
+                exprs: vec![computed],
+            }),
+            predicate: eq(col(0), lit(5)),
+        };
+        let opt = optimize(plan, &c).unwrap();
+        assert!(
+            matches!(opt, LogicalPlan::Filter { .. }),
+            "computed projections block pushdown: {opt:?}"
+        );
+    }
+
+    #[test]
+    fn subquery_predicates_are_not_moved() {
+        let c = catalog();
+        let sub = BoundExpr::Exists {
+            plan: Box::new(LogicalPlan::Scan { table: "s".into() }),
+            negated: false,
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::CrossJoin {
+                left: Box::new(LogicalPlan::Scan { table: "r".into() }),
+                right: Box::new(LogicalPlan::Scan { table: "s".into() }),
+            }),
+            predicate: sub.clone(),
+        };
+        let opt = optimize(plan, &c).unwrap();
+        let LogicalPlan::Filter { predicate, .. } = opt else { panic!("{opt:?}") };
+        assert_eq!(predicate, sub);
+    }
+}

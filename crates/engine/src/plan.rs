@@ -1,0 +1,330 @@
+//! Logical query plans.
+//!
+//! The binder lowers a SQL AST into a [`LogicalPlan`]; the optimizer
+//! rewrites it; the executor materialises it. Plans carry only column
+//! *offsets* — output names live in the binder's result ([`crate::bind::BoundQuery`]).
+
+use crate::catalog::Catalog;
+use crate::expr::BoundExpr;
+use crate::schema::EngineError;
+use crate::value::Value;
+
+/// Join types supported by the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Inner join.
+    Inner,
+    /// Left outer join (unmatched left rows padded with NULLs).
+    Left,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)`
+    CountStar,
+    /// `COUNT(expr)` (non-null values)
+    Count,
+    /// `SUM(expr)`
+    Sum,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+impl AggFunc {
+    /// Look up by lower-case name (excluding `COUNT(*)`, which the binder
+    /// special-cases).
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// One aggregate computation in an [`LogicalPlan::Aggregate`] node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument (`None` only for `COUNT(*)`).
+    pub arg: Option<BoundExpr>,
+    /// `DISTINCT` aggregation.
+    pub distinct: bool,
+}
+
+/// A logical plan node. Execution is bottom-up and materialising.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Produces no rows, with the given arity.
+    Empty {
+        /// Output arity.
+        arity: usize,
+    },
+    /// Literal rows (each row a vector of constant expressions).
+    Values {
+        /// The rows.
+        rows: Vec<Vec<BoundExpr>>,
+        /// Output arity.
+        arity: usize,
+    },
+    /// Full scan of a base table.
+    Scan {
+        /// Table name.
+        table: String,
+    },
+    /// Filter rows by a boolean predicate.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Keep rows where this evaluates to `TRUE`.
+        predicate: BoundExpr,
+    },
+    /// Compute output columns from input rows.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output expressions.
+        exprs: Vec<BoundExpr>,
+    },
+    /// Cartesian product.
+    CrossJoin {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+    },
+    /// Equi-join executed with a hash table on the right side.
+    HashJoin {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Key expressions over left rows.
+        left_keys: Vec<BoundExpr>,
+        /// Key expressions over right rows.
+        right_keys: Vec<BoundExpr>,
+        /// Residual predicate over the concatenated row.
+        residual: Option<BoundExpr>,
+        /// Inner or left outer.
+        join_type: JoinType,
+    },
+    /// General join evaluated by nested loops.
+    NestedLoopJoin {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Join predicate over the concatenated row (`None` = always true).
+        predicate: Option<BoundExpr>,
+        /// Inner or left outer.
+        join_type: JoinType,
+    },
+    /// Set/bag union.
+    Union {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Bag semantics (`UNION ALL`).
+        all: bool,
+    },
+    /// Set/bag difference.
+    Except {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Bag semantics (`EXCEPT ALL`).
+        all: bool,
+    },
+    /// Set/bag intersection.
+    Intersect {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Bag semantics (`INTERSECT ALL`).
+        all: bool,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Grouped aggregation. Output = group expressions, then aggregates.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Grouping expressions (empty = single global group).
+        group_exprs: Vec<BoundExpr>,
+        /// Aggregates.
+        aggregates: Vec<AggExpr>,
+    },
+    /// Sort.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// `(expression, descending)` keys, major first.
+        keys: Vec<(BoundExpr, bool)>,
+    },
+    /// Limit/offset.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Maximum rows to emit (`None` = unbounded).
+        limit: Option<u64>,
+        /// Rows to skip.
+        offset: u64,
+    },
+}
+
+impl LogicalPlan {
+    /// Output arity of the plan.
+    pub fn arity(&self, catalog: &Catalog) -> Result<usize, EngineError> {
+        Ok(match self {
+            LogicalPlan::Empty { arity } | LogicalPlan::Values { arity, .. } => *arity,
+            LogicalPlan::Scan { table } => catalog.table(table)?.schema.arity(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.arity(catalog)?,
+            LogicalPlan::Project { exprs, .. } => exprs.len(),
+            LogicalPlan::CrossJoin { left, right }
+            | LogicalPlan::HashJoin { left, right, .. }
+            | LogicalPlan::NestedLoopJoin { left, right, .. } => {
+                left.arity(catalog)? + right.arity(catalog)?
+            }
+            LogicalPlan::Union { left, .. }
+            | LogicalPlan::Except { left, .. }
+            | LogicalPlan::Intersect { left, .. } => left.arity(catalog)?,
+            LogicalPlan::Aggregate { group_exprs, aggregates, .. } => {
+                group_exprs.len() + aggregates.len()
+            }
+        })
+    }
+
+    /// A plan producing exactly one empty row (used for `SELECT` without
+    /// `FROM`).
+    pub fn one_row() -> LogicalPlan {
+        LogicalPlan::Values { rows: vec![Vec::new()], arity: 0 }
+    }
+
+    /// Literal single-row values plan.
+    pub fn values_literal(rows: Vec<Vec<Value>>, arity: usize) -> LogicalPlan {
+        LogicalPlan::Values {
+            rows: rows
+                .into_iter()
+                .map(|r| r.into_iter().map(BoundExpr::Literal).collect())
+                .collect(),
+            arity,
+        }
+    }
+
+    /// Visit all nodes of the plan tree (pre-order), not descending into
+    /// subquery plans inside expressions.
+    pub fn visit(&self, f: &mut impl FnMut(&LogicalPlan)) {
+        f(self);
+        match self {
+            LogicalPlan::Empty { .. } | LogicalPlan::Values { .. } | LogicalPlan::Scan { .. } => {}
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.visit(f),
+            LogicalPlan::CrossJoin { left, right }
+            | LogicalPlan::HashJoin { left, right, .. }
+            | LogicalPlan::NestedLoopJoin { left, right, .. }
+            | LogicalPlan::Union { left, right, .. }
+            | LogicalPlan::Except { left, right, .. }
+            | LogicalPlan::Intersect { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+        }
+    }
+
+    /// Count plan nodes (diagnostics / tests).
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType, TableSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            TableSchema::new(
+                "t",
+                vec![Column::new("a", DataType::Int), Column::new("b", DataType::Text)],
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn arity_propagates() {
+        let c = catalog();
+        let scan = LogicalPlan::Scan { table: "t".into() };
+        assert_eq!(scan.arity(&c).unwrap(), 2);
+        let join = LogicalPlan::CrossJoin {
+            left: Box::new(scan.clone()),
+            right: Box::new(scan.clone()),
+        };
+        assert_eq!(join.arity(&c).unwrap(), 4);
+        let proj = LogicalPlan::Project {
+            input: Box::new(join),
+            exprs: vec![BoundExpr::Column(0)],
+        };
+        assert_eq!(proj.arity(&c).unwrap(), 1);
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(scan),
+            group_exprs: vec![BoundExpr::Column(1)],
+            aggregates: vec![AggExpr { func: AggFunc::CountStar, arg: None, distinct: false }],
+        };
+        assert_eq!(agg.arity(&c).unwrap(), 2);
+    }
+
+    #[test]
+    fn arity_errors_on_missing_table() {
+        let c = catalog();
+        let scan = LogicalPlan::Scan { table: "missing".into() };
+        assert!(scan.arity(&c).is_err());
+    }
+
+    #[test]
+    fn node_count_counts() {
+        let scan = LogicalPlan::Scan { table: "t".into() };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Distinct { input: Box::new(scan) }),
+            predicate: BoundExpr::true_(),
+        };
+        assert_eq!(plan.node_count(), 3);
+    }
+
+    #[test]
+    fn one_row_has_single_empty_row() {
+        let p = LogicalPlan::one_row();
+        let LogicalPlan::Values { rows, arity } = p else { panic!() };
+        assert_eq!(rows.len(), 1);
+        assert_eq!(arity, 0);
+    }
+}

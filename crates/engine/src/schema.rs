@@ -1,0 +1,279 @@
+//! Column types, table schemas and the shared error type.
+
+use crate::value::Value;
+use hippo_sql::TypeName;
+use std::fmt;
+
+/// Engine column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl DataType {
+    /// Does `value` inhabit this type (NULL inhabits all)?
+    pub fn admits(self, value: &Value) -> bool {
+        match (self, value) {
+            (_, Value::Null) => true,
+            (DataType::Int, Value::Int(_)) => true,
+            // Integers are accepted into float columns (widening).
+            (DataType::Float, Value::Float(_) | Value::Int(_)) => true,
+            (DataType::Text, Value::Text(_)) => true,
+            (DataType::Bool, Value::Bool(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Coerce `value` for storage in a column of this type (int → float
+    /// widening only). Returns `None` when the value does not fit.
+    pub fn coerce(self, value: Value) -> Option<Value> {
+        match (self, value) {
+            (_, Value::Null) => Some(Value::Null),
+            (DataType::Float, Value::Int(v)) => Some(Value::Float(v as f64)),
+            (ty, v) if ty.admits(&v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<TypeName> for DataType {
+    fn from(t: TypeName) -> Self {
+        match t {
+            TypeName::Int => DataType::Int,
+            TypeName::Float => DataType::Float,
+            TypeName::Text => DataType::Text,
+            TypeName::Bool => DataType::Bool,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "BIGINT"),
+            DataType::Float => write!(f, "DOUBLE PRECISION"),
+            DataType::Text => write!(f, "TEXT"),
+            DataType::Bool => write!(f, "BOOLEAN"),
+        }
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (lower-cased unless the user quoted it).
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+    /// `NOT NULL` constraint.
+    pub not_null: bool,
+}
+
+impl Column {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Column {
+        Column { name: name.into(), ty, not_null: false }
+    }
+
+    /// Mark the column `NOT NULL`.
+    pub fn not_null(mut self) -> Column {
+        self.not_null = true;
+        self
+    }
+}
+
+/// A table schema: named, ordered columns plus an optional primary key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+    /// Indices of primary-key columns (empty = no key declared).
+    pub primary_key: Vec<usize>,
+}
+
+impl TableSchema {
+    /// Build a schema; `primary_key` lists column names.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<Column>,
+        primary_key: &[&str],
+    ) -> Result<TableSchema, EngineError> {
+        let name = name.into();
+        let mut schema = TableSchema { name, columns, primary_key: Vec::new() };
+        let mut seen = std::collections::HashSet::new();
+        for c in &schema.columns {
+            if !seen.insert(c.name.clone()) {
+                return Err(EngineError::new(format!(
+                    "duplicate column {:?} in table {:?}",
+                    c.name, schema.name
+                )));
+            }
+        }
+        for pk in primary_key {
+            let idx = schema.column_index(pk).ok_or_else(|| {
+                EngineError::new(format!(
+                    "primary key column {pk:?} not found in table {:?}",
+                    schema.name
+                ))
+            })?;
+            schema.primary_key.push(idx);
+        }
+        Ok(schema)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Validate and coerce a row for insertion.
+    pub fn check_row(&self, row: Vec<Value>) -> Result<Vec<Value>, EngineError> {
+        if row.len() != self.columns.len() {
+            return Err(EngineError::new(format!(
+                "table {:?} expects {} values, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        row.into_iter()
+            .zip(&self.columns)
+            .map(|(v, c)| {
+                if v.is_null() && c.not_null {
+                    return Err(EngineError::new(format!(
+                        "null value in NOT NULL column {:?} of table {:?}",
+                        c.name, self.name
+                    )));
+                }
+                c.ty.coerce(v.clone()).ok_or_else(|| {
+                    EngineError::new(format!(
+                        "type mismatch for column {:?} of table {:?}: expected {}, got {}",
+                        c.name,
+                        self.name,
+                        c.ty,
+                        v.type_name()
+                    ))
+                })
+            })
+            .collect()
+    }
+}
+
+/// The engine error type (also used by the planner and executor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl EngineError {
+    /// Construct from a message.
+    pub fn new(message: impl Into<String>) -> EngineError {
+        EngineError { message: message.into() }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "engine error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<hippo_sql::ParseError> for EngineError {
+    fn from(e: hippo_sql::ParseError) -> Self {
+        EngineError::new(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp_schema() -> TableSchema {
+        TableSchema::new(
+            "emp",
+            vec![
+                Column::new("name", DataType::Text).not_null(),
+                Column::new("salary", DataType::Int),
+                Column::new("rate", DataType::Float),
+            ],
+            &["name"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = emp_schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column_index("salary"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+        assert_eq!(s.primary_key, vec![0]);
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = TableSchema::new(
+            "t",
+            vec![Column::new("a", DataType::Int), Column::new("a", DataType::Text)],
+            &[],
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate column"));
+    }
+
+    #[test]
+    fn unknown_pk_rejected() {
+        let err =
+            TableSchema::new("t", vec![Column::new("a", DataType::Int)], &["b"]).unwrap_err();
+        assert!(err.message.contains("primary key"));
+    }
+
+    #[test]
+    fn check_row_validates_arity_nullability_types() {
+        let s = emp_schema();
+        assert!(s.check_row(vec![Value::text("a")]).is_err(), "arity");
+        assert!(
+            s.check_row(vec![Value::Null, Value::Int(1), Value::Null]).is_err(),
+            "not null"
+        );
+        assert!(
+            s.check_row(vec![Value::text("a"), Value::text("x"), Value::Null]).is_err(),
+            "type"
+        );
+        let row = s
+            .check_row(vec![Value::text("a"), Value::Int(1), Value::Int(2)])
+            .unwrap();
+        assert_eq!(row[2], Value::Float(2.0), "int widens to float column");
+    }
+
+    #[test]
+    fn coercion_rules() {
+        assert_eq!(DataType::Float.coerce(Value::Int(3)), Some(Value::Float(3.0)));
+        assert_eq!(DataType::Int.coerce(Value::Float(3.0)), None);
+        assert_eq!(DataType::Text.coerce(Value::Null), Some(Value::Null));
+        assert!(DataType::Bool.admits(&Value::Bool(true)));
+        assert!(!DataType::Bool.admits(&Value::Int(1)));
+    }
+}

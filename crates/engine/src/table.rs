@@ -1,0 +1,282 @@
+//! Row storage with stable tuple identifiers and hash indexes.
+//!
+//! The conflict hypergraph identifies vertices by *physical tuple*, so the
+//! store must hand out identifiers that stay valid across deletions of
+//! other tuples. Rows live in an append-only slot vector; deletion leaves a
+//! tombstone. A [`TupleId`] is the slot index.
+
+use crate::schema::{EngineError, TableSchema};
+use crate::value::{Row, Value};
+use std::collections::HashMap;
+
+/// Stable identifier of a row within one table (slot index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId(pub u32);
+
+/// A hash index over a fixed set of columns.
+#[derive(Debug, Default)]
+struct HashIndex {
+    /// Key values → slots holding live rows with that key.
+    map: HashMap<Vec<Value>, Vec<TupleId>>,
+}
+
+impl HashIndex {
+    fn insert(&mut self, key: Vec<Value>, id: TupleId) {
+        self.map.entry(key).or_default().push(id);
+    }
+
+    fn remove(&mut self, key: &[Value], id: TupleId) {
+        if let Some(ids) = self.map.get_mut(key) {
+            ids.retain(|x| *x != id);
+            if ids.is_empty() {
+                self.map.remove(key);
+            }
+        }
+    }
+}
+
+/// An in-memory table: schema + slotted rows + optional hash indexes.
+#[derive(Debug)]
+pub struct Table {
+    /// The table schema.
+    pub schema: TableSchema,
+    slots: Vec<Option<Row>>,
+    live: usize,
+    /// column sets → index
+    indexes: HashMap<Vec<usize>, HashIndex>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(schema: TableSchema) -> Table {
+        Table { schema, slots: Vec::new(), live: 0, indexes: HashMap::new() }
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots (live + tombstoned); tuple ids range over `0..slot_count`.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Insert a row (validated and coerced against the schema); returns its id.
+    pub fn insert(&mut self, row: Row) -> Result<TupleId, EngineError> {
+        let row = self.schema.check_row(row)?;
+        if self.slots.len() > u32::MAX as usize {
+            return Err(EngineError::new("table full"));
+        }
+        let id = TupleId(self.slots.len() as u32);
+        for (cols, index) in &mut self.indexes {
+            let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+            index.insert(key, id);
+        }
+        self.slots.push(Some(row));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Fetch a live row by id.
+    pub fn get(&self, id: TupleId) -> Option<&Row> {
+        self.slots.get(id.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Delete by id; returns `true` if the row existed.
+    pub fn delete(&mut self, id: TupleId) -> bool {
+        let Some(slot) = self.slots.get_mut(id.0 as usize) else { return false };
+        let Some(row) = slot.take() else { return false };
+        self.live -= 1;
+        for (cols, index) in &mut self.indexes {
+            let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+            index.remove(&key, id);
+        }
+        true
+    }
+
+    /// Replace the row at `id`; returns the old row.
+    pub fn update(&mut self, id: TupleId, new_row: Row) -> Result<Row, EngineError> {
+        let new_row = self.schema.check_row(new_row)?;
+        let slot = self
+            .slots
+            .get_mut(id.0 as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or_else(|| EngineError::new("update of missing tuple"))?;
+        let old = std::mem::replace(slot, new_row);
+        // Re-key indexes.
+        let new_ref = self.slots[id.0 as usize].as_ref().expect("just replaced");
+        for (cols, index) in &mut self.indexes {
+            let old_key: Vec<Value> = cols.iter().map(|&c| old[c].clone()).collect();
+            let new_key: Vec<Value> = cols.iter().map(|&c| new_ref[c].clone()).collect();
+            if old_key != new_key {
+                index.remove(&old_key, id);
+                index.insert(new_key, id);
+            }
+        }
+        Ok(old)
+    }
+
+    /// Iterate live rows with their ids, in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (TupleId(i as u32), r)))
+    }
+
+    /// Clone all live rows (in slot order).
+    pub fn rows(&self) -> Vec<Row> {
+        self.iter().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// Build (or rebuild) a hash index on the given columns.
+    pub fn create_index(&mut self, cols: Vec<usize>) -> Result<(), EngineError> {
+        for &c in &cols {
+            if c >= self.schema.arity() {
+                return Err(EngineError::new(format!(
+                    "index column {c} out of range for table {:?}",
+                    self.schema.name
+                )));
+            }
+        }
+        let mut index = HashIndex::default();
+        for (id, row) in self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (TupleId(i as u32), r)))
+        {
+            let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+            index.insert(key, id);
+        }
+        self.indexes.insert(cols, index);
+        Ok(())
+    }
+
+    /// Look up live rows by indexed key; `None` if no such index exists.
+    pub fn index_lookup(&self, cols: &[usize], key: &[Value]) -> Option<Vec<TupleId>> {
+        self.indexes.get(cols).map(|ix| ix.map.get(key).cloned().unwrap_or_default())
+    }
+
+    /// Does an index exist on exactly these columns?
+    pub fn has_index(&self, cols: &[usize]) -> bool {
+        self.indexes.contains_key(cols)
+    }
+
+    /// Find ids of live rows equal to `row` (full-row comparison).
+    pub fn find_exact(&self, row: &[Value]) -> Vec<TupleId> {
+        self.iter().filter(|(_, r)| r.as_slice() == row).map(|(id, _)| id).collect()
+    }
+
+    /// Remove all rows.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.live = 0;
+        for index in self.indexes.values_mut() {
+            index.map.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+
+    fn table() -> Table {
+        Table::new(
+            TableSchema::new(
+                "t",
+                vec![Column::new("a", DataType::Int), Column::new("b", DataType::Text)],
+                &[],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut t = table();
+        let id0 = t.insert(vec![Value::Int(1), Value::text("x")]).unwrap();
+        let id1 = t.insert(vec![Value::Int(2), Value::text("y")]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(id0).unwrap()[0], Value::Int(1));
+        assert!(t.delete(id0));
+        assert!(!t.delete(id0), "double delete is a no-op");
+        assert_eq!(t.len(), 1);
+        assert!(t.get(id0).is_none());
+        // id1 stays valid after deleting id0 (stability requirement).
+        assert_eq!(t.get(id1).unwrap()[0], Value::Int(2));
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut t = table();
+        let id0 = t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        t.delete(id0);
+        let id1 = t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        assert_ne!(id0, id1);
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut t = table();
+        let a = t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        t.delete(a);
+        let got: Vec<i64> = t
+            .iter()
+            .map(|(_, r)| match r[0] {
+                Value::Int(v) => v,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(got, vec![2]);
+    }
+
+    #[test]
+    fn index_tracks_mutations() {
+        let mut t = table();
+        t.create_index(vec![0]).unwrap();
+        let id0 = t.insert(vec![Value::Int(1), Value::text("x")]).unwrap();
+        let id1 = t.insert(vec![Value::Int(1), Value::text("y")]).unwrap();
+        t.insert(vec![Value::Int(2), Value::text("z")]).unwrap();
+        assert_eq!(t.index_lookup(&[0], &[Value::Int(1)]).unwrap(), vec![id0, id1]);
+        t.delete(id0);
+        assert_eq!(t.index_lookup(&[0], &[Value::Int(1)]).unwrap(), vec![id1]);
+        t.update(id1, vec![Value::Int(5), Value::text("y")]).unwrap();
+        assert!(t.index_lookup(&[0], &[Value::Int(1)]).unwrap().is_empty());
+        assert_eq!(t.index_lookup(&[0], &[Value::Int(5)]).unwrap(), vec![id1]);
+    }
+
+    #[test]
+    fn index_built_over_existing_rows() {
+        let mut t = table();
+        let id = t.insert(vec![Value::Int(7), Value::Null]).unwrap();
+        t.create_index(vec![0]).unwrap();
+        assert_eq!(t.index_lookup(&[0], &[Value::Int(7)]).unwrap(), vec![id]);
+        assert!(t.index_lookup(&[1], &[Value::Null]).is_none(), "no such index");
+    }
+
+    #[test]
+    fn find_exact_matches_full_rows() {
+        let mut t = table();
+        let id = t.insert(vec![Value::Int(1), Value::text("x")]).unwrap();
+        t.insert(vec![Value::Int(1), Value::text("y")]).unwrap();
+        assert_eq!(t.find_exact(&[Value::Int(1), Value::text("x")]), vec![id]);
+        assert!(t.find_exact(&[Value::Int(9), Value::Null]).is_empty());
+    }
+
+    #[test]
+    fn insert_validates_via_schema() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::text("wrong"), Value::Null]).is_err());
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+    }
+}

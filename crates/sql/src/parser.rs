@@ -1,0 +1,1042 @@
+//! Recursive-descent parser for the Hippo SQL dialect.
+//!
+//! Expression parsing uses precedence climbing with the usual SQL binding
+//! order: `OR` < `AND` < `NOT` < comparison/`BETWEEN`/`IN`/`LIKE`/`IS` <
+//! additive < multiplicative < unary minus < concatenation/primary.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, LexError};
+use crate::token::{Keyword, Token, TokenKind};
+use std::fmt;
+
+/// A parse error, with the byte offset of the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the original SQL text.
+    pub pos: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, pos: e.pos }
+    }
+}
+
+/// Parse a single SQL statement (a trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.statement()?;
+    p.eat(TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script into statements.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat(TokenKind::Semicolon) {}
+        if p.at_eof() {
+            return Ok(out);
+        }
+        out.push(p.statement()?);
+        if !p.at(TokenKind::Semicolon) {
+            p.expect_eof()?;
+            return Ok(out);
+        }
+    }
+}
+
+/// Parse a query (`SELECT`, possibly under set operations).
+pub fn parse_query(sql: &str) -> Result<Query, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let q = p.query()?;
+    p.eat(TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse a standalone scalar/boolean expression.
+pub fn parse_expr(sql: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Self, ParseError> {
+        Ok(Parser { tokens: tokenize(sql)?, idx: 0 })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.idx].kind
+    }
+
+    fn peek_at(&self, offset: usize) -> &TokenKind {
+        let i = (self.idx + offset).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens[self.idx].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.idx].kind.clone();
+        if self.idx + 1 < self.tokens.len() {
+            self.idx += 1;
+        }
+        kind
+    }
+
+    fn at(&self, kind: TokenKind) -> bool {
+        *self.peek() == kind
+    }
+
+    fn at_eof(&self) -> bool {
+        self.at(TokenKind::Eof)
+    }
+
+    fn at_kw(&self, kw: Keyword) -> bool {
+        *self.peek() == TokenKind::Keyword(kw)
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat(TokenKind::Keyword(kw))
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), pos: self.pos() })
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if self.eat(kind.clone()) {
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<(), ParseError> {
+        self.expect(TokenKind::Keyword(kw))
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            self.err(format!("unexpected trailing input: {}", self.peek()))
+        }
+    }
+
+    /// Parse an identifier; unquoted identifiers fold to lower case.
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s.to_ascii_lowercase())
+            }
+            TokenKind::QuotedIdent(s) => {
+                self.bump();
+                Ok(s)
+            }
+            // A few keywords double as common column names in practice.
+            TokenKind::Keyword(kw @ (Keyword::Key | Keyword::Values | Keyword::Left)) => {
+                self.bump();
+                Ok(kw.text().to_ascii_lowercase())
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    // ----- statements -----
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        match self.peek() {
+            TokenKind::Keyword(Keyword::Create) => self.create_table(),
+            TokenKind::Keyword(Keyword::Drop) => self.drop_table(),
+            TokenKind::Keyword(Keyword::Insert) => self.insert(),
+            TokenKind::Keyword(Keyword::Delete) => self.delete(),
+            TokenKind::Keyword(Keyword::Update) => self.update(),
+            TokenKind::Keyword(Keyword::Select) | TokenKind::LParen => {
+                Ok(Statement::Select(self.query()?))
+            }
+            other => self.err(format!("expected statement, found {other}")),
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw(Keyword::Create)?;
+        self.expect_kw(Keyword::Table)?;
+        let if_not_exists = if self.eat_kw(Keyword::If) {
+            self.expect_kw(Keyword::Not)?;
+            self.expect_kw(Keyword::Exists)?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        let mut primary_key = Vec::new();
+        loop {
+            if self.at_kw(Keyword::Primary) {
+                self.bump();
+                self.expect_kw(Keyword::Key)?;
+                self.expect(TokenKind::LParen)?;
+                loop {
+                    primary_key.push(self.ident()?);
+                    if !self.eat(TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+            } else {
+                let col_name = self.ident()?;
+                let ty = self.type_name()?;
+                let mut not_null = false;
+                loop {
+                    if self.eat_kw(Keyword::Not) {
+                        self.expect_kw(Keyword::Null)?;
+                        not_null = true;
+                    } else if self.eat_kw(Keyword::Primary) {
+                        self.expect_kw(Keyword::Key)?;
+                        primary_key.push(col_name.clone());
+                        not_null = true;
+                    } else {
+                        break;
+                    }
+                }
+                columns.push(ColumnDef { name: col_name, ty, not_null });
+            }
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(Statement::CreateTable(CreateTable { name, columns, primary_key, if_not_exists }))
+    }
+
+    fn type_name(&mut self) -> Result<TypeName, ParseError> {
+        let ty = match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Int | Keyword::Integer | Keyword::Bigint) => {
+                self.bump();
+                TypeName::Int
+            }
+            TokenKind::Keyword(Keyword::Real) => {
+                self.bump();
+                TypeName::Float
+            }
+            TokenKind::Keyword(Keyword::Double) => {
+                self.bump();
+                self.eat_kw(Keyword::Precision);
+                TypeName::Float
+            }
+            TokenKind::Keyword(Keyword::Text) => {
+                self.bump();
+                TypeName::Text
+            }
+            TokenKind::Keyword(Keyword::Varchar) => {
+                self.bump();
+                if self.eat(TokenKind::LParen) {
+                    match self.bump() {
+                        TokenKind::Int(_) => {}
+                        other => return self.err(format!("expected length, found {other}")),
+                    }
+                    self.expect(TokenKind::RParen)?;
+                }
+                TypeName::Text
+            }
+            TokenKind::Keyword(Keyword::Boolean) => {
+                self.bump();
+                TypeName::Bool
+            }
+            other => return self.err(format!("expected type name, found {other}")),
+        };
+        Ok(ty)
+    }
+
+    fn drop_table(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw(Keyword::Drop)?;
+        self.expect_kw(Keyword::Table)?;
+        let if_exists = if self.eat_kw(Keyword::If) {
+            self.expect_kw(Keyword::Exists)?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        Ok(Statement::DropTable { name, if_exists })
+    }
+
+    fn insert(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw(Keyword::Insert)?;
+        self.expect_kw(Keyword::Into)?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.at(TokenKind::LParen) && !matches!(self.peek_at(1), TokenKind::Keyword(Keyword::Select)) {
+            self.bump();
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        let source = if self.eat_kw(Keyword::Values) {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(TokenKind::LParen)?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.expr()?);
+                    if !self.eat(TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+                rows.push(row);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else {
+            InsertSource::Query(Box::new(self.query()?))
+        };
+        Ok(Statement::Insert(Insert { table, columns, source }))
+    }
+
+    fn delete(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw(Keyword::Delete)?;
+        self.expect_kw(Keyword::From)?;
+        let table = self.ident()?;
+        let filter = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete { table, filter })
+    }
+
+    fn update(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw(Keyword::Update)?;
+        let table = self.ident()?;
+        self.expect_kw(Keyword::Set)?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(TokenKind::Eq)?;
+            let value = self.expr()?;
+            assignments.push((col, value));
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        Ok(Statement::Update { table, assignments, filter })
+    }
+
+    // ----- queries -----
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        // UNION/EXCEPT are left-associative and bind weaker than INTERSECT.
+        let mut left = self.query_intersect()?;
+        loop {
+            let op = if self.eat_kw(Keyword::Union) {
+                SetOp::Union
+            } else if self.eat_kw(Keyword::Except) {
+                SetOp::Except
+            } else {
+                return Ok(left);
+            };
+            let all = self.eat_kw(Keyword::All);
+            let right = self.query_intersect()?;
+            left = Query::SetOp { op, all, left: Box::new(left), right: Box::new(right) };
+        }
+    }
+
+    fn query_intersect(&mut self) -> Result<Query, ParseError> {
+        let mut left = self.query_primary()?;
+        while self.eat_kw(Keyword::Intersect) {
+            let all = self.eat_kw(Keyword::All);
+            let right = self.query_primary()?;
+            left = Query::SetOp { op: SetOp::Intersect, all, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn query_primary(&mut self) -> Result<Query, ParseError> {
+        if self.eat(TokenKind::LParen) {
+            let q = self.query()?;
+            self.expect(TokenKind::RParen)?;
+            Ok(q)
+        } else {
+            Ok(Query::Select(Box::new(self.select_core()?)))
+        }
+    }
+
+    fn select_core(&mut self) -> Result<SelectCore, ParseError> {
+        self.expect_kw(Keyword::Select)?;
+        let mut core = SelectCore::empty();
+        if self.eat_kw(Keyword::Distinct) {
+            core.distinct = true;
+        } else {
+            self.eat_kw(Keyword::All);
+        }
+        loop {
+            core.projection.push(self.select_item()?);
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        if self.eat_kw(Keyword::From) {
+            loop {
+                core.from.push(self.table_ref()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw(Keyword::Where) {
+            core.filter = Some(self.expr()?);
+        }
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                core.group_by.push(self.expr()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw(Keyword::Having) {
+            core.having = Some(self.expr()?);
+        }
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw(Keyword::Desc) {
+                    true
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    false
+                };
+                core.order_by.push(OrderItem { expr, desc });
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw(Keyword::Limit) {
+            core.limit = Some(self.unsigned()?);
+        }
+        if self.eat_kw(Keyword::Offset) {
+            core.offset = Some(self.unsigned()?);
+        }
+        Ok(core)
+    }
+
+    fn unsigned(&mut self) -> Result<u64, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) if v >= 0 => {
+                self.bump();
+                Ok(v as u64)
+            }
+            other => self.err(format!("expected non-negative integer, found {other}")),
+        }
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat(TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let TokenKind::Ident(_) | TokenKind::QuotedIdent(_) = self.peek() {
+            if *self.peek_at(1) == TokenKind::Dot && *self.peek_at(2) == TokenKind::Star {
+                let q = self.ident()?;
+                self.bump(); // .
+                self.bump(); // *
+                return Ok(SelectItem::QualifiedWildcard(q));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else if matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let mut left = self.table_factor()?;
+        loop {
+            let kind = if self.eat_kw(Keyword::Cross) {
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Cross
+            } else if self.eat_kw(Keyword::Inner) {
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Inner
+            } else if self.eat_kw(Keyword::Left) {
+                self.eat_kw(Keyword::Outer);
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Left
+            } else if self.eat_kw(Keyword::Join) {
+                JoinKind::Inner
+            } else {
+                return Ok(left);
+            };
+            let right = self.table_factor()?;
+            let on = if kind == JoinKind::Cross {
+                None
+            } else {
+                self.expect_kw(Keyword::On)?;
+                Some(self.expr()?)
+            };
+            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
+        }
+    }
+
+    fn table_factor(&mut self) -> Result<TableRef, ParseError> {
+        if self.eat(TokenKind::LParen) {
+            let query = self.query()?;
+            self.expect(TokenKind::RParen)?;
+            self.eat_kw(Keyword::As);
+            let alias = self.ident()?;
+            return Ok(TableRef::Subquery { query: Box::new(query), alias });
+        }
+        let name = self.ident()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else if matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // ----- expressions -----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.expr_or()
+    }
+
+    fn expr_or(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.expr_and()?;
+        while self.eat_kw(Keyword::Or) {
+            let right = self.expr_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn expr_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.expr_not()?;
+        while self.eat_kw(Keyword::And) {
+            let right = self.expr_not()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn expr_not(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw(Keyword::Not) {
+            let inner = self.expr_not()?;
+            Ok(inner.not())
+        } else {
+            self.expr_predicate()
+        }
+    }
+
+    /// Comparison operators plus SQL predicate forms
+    /// (`BETWEEN`, `IN`, `LIKE`, `IS [NOT] NULL`).
+    fn expr_predicate(&mut self) -> Result<Expr, ParseError> {
+        let left = self.expr_additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw(Keyword::Is) {
+            let negated = self.eat_kw(Keyword::Not);
+            self.expect_kw(Keyword::Null)?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let negated = if self.at_kw(Keyword::Not)
+            && matches!(
+                self.peek_at(1),
+                TokenKind::Keyword(Keyword::Between | Keyword::In | Keyword::Like)
+            ) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw(Keyword::Between) {
+            let low = self.expr_additive()?;
+            self.expect_kw(Keyword::And)?;
+            let high = self.expr_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw(Keyword::Like) {
+            let pattern = self.expr_additive()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if self.eat_kw(Keyword::In) {
+            self.expect(TokenKind::LParen)?;
+            // `IN (SELECT …)` or `IN ((SELECT …) UNION …)` is a subquery;
+            // `IN ((1 + 2), x)` is a parenthesised list element. Look past
+            // any run of `(` to decide.
+            let mut k = 0;
+            while *self.peek_at(k) == TokenKind::LParen {
+                k += 1;
+            }
+            let is_subquery = *self.peek_at(k) == TokenKind::Keyword(Keyword::Select);
+            if is_subquery {
+                let query = self.query()?;
+                self.expect(TokenKind::RParen)?;
+                return Ok(Expr::InSubquery { expr: Box::new(left), query: Box::new(query), negated });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if negated {
+            return self.err("expected BETWEEN, IN or LIKE after NOT");
+        }
+        let op = match self.peek() {
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::Neq => BinaryOp::Neq,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::Le => BinaryOp::Le,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::Ge => BinaryOp::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.expr_additive()?;
+        Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+    }
+
+    fn expr_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.expr_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                TokenKind::Concat => BinaryOp::Concat,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.expr_multiplicative()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+    }
+
+    fn expr_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.expr_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Mod,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.expr_unary()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+    }
+
+    fn expr_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(TokenKind::Minus) {
+            let inner = self.expr_unary()?;
+            // Fold negative literals immediately so `-1` is a literal.
+            return Ok(match inner {
+                Expr::Literal(Literal::Int(v)) => Expr::Literal(Literal::Int(-v)),
+                Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        if self.eat(TokenKind::Plus) {
+            return self.expr_unary();
+        }
+        self.expr_primary()
+    }
+
+    fn expr_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            TokenKind::Keyword(Keyword::Exists) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let query = self.query()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr::Exists { query: Box::new(query), negated: false })
+            }
+            TokenKind::Keyword(Keyword::Not) => {
+                // handled by expr_not normally; reachable via `a = NOT b` forms
+                self.bump();
+                let inner = self.expr_primary()?;
+                Ok(inner.not())
+            }
+            TokenKind::Keyword(Keyword::Case) => self.case_expr(),
+            TokenKind::LParen => {
+                // Could be a scalar subquery or a parenthesised expression.
+                self.bump();
+                if self.at_kw(Keyword::Select) {
+                    let query = self.query()?;
+                    self.expect(TokenKind::RParen)?;
+                    Ok(Expr::ScalarSubquery(Box::new(query)))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(TokenKind::RParen)?;
+                    Ok(e)
+                }
+            }
+            TokenKind::Ident(_) | TokenKind::QuotedIdent(_) | TokenKind::Keyword(Keyword::Key | Keyword::Values | Keyword::Left) => {
+                let name = self.ident()?;
+                if self.eat(TokenKind::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::qcol(name, col));
+                }
+                if self.at(TokenKind::LParen) {
+                    return self.function_call(name);
+                }
+                Ok(Expr::col(name))
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+
+    fn function_call(&mut self, name: String) -> Result<Expr, ParseError> {
+        self.expect(TokenKind::LParen)?;
+        if self.eat(TokenKind::Star) {
+            self.expect(TokenKind::RParen)?;
+            return Ok(Expr::Function { name, args: Vec::new(), star: true, distinct: false });
+        }
+        let distinct = self.eat_kw(Keyword::Distinct);
+        let mut args = Vec::new();
+        if !self.at(TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(Expr::Function { name, args, star: false, distinct })
+    }
+
+    fn case_expr(&mut self) -> Result<Expr, ParseError> {
+        self.expect_kw(Keyword::Case)?;
+        let mut branches = Vec::new();
+        while self.eat_kw(Keyword::When) {
+            let cond = self.expr()?;
+            self.expect_kw(Keyword::Then)?;
+            let value = self.expr()?;
+            branches.push((cond, value));
+        }
+        if branches.is_empty() {
+            return self.err("CASE requires at least one WHEN branch");
+        }
+        let else_value =
+            if self.eat_kw(Keyword::Else) { Some(Box::new(self.expr()?)) } else { None };
+        self.expect_kw(Keyword::End)?;
+        Ok(Expr::Case { branches, else_value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table() {
+        let stmt = parse_statement(
+            "CREATE TABLE emp (name TEXT NOT NULL, dept VARCHAR(20), salary INT, PRIMARY KEY (name))",
+        )
+        .unwrap();
+        let Statement::CreateTable(ct) = stmt else { panic!("not a create table") };
+        assert_eq!(ct.name, "emp");
+        assert_eq!(ct.columns.len(), 3);
+        assert!(ct.columns[0].not_null);
+        assert_eq!(ct.columns[1].ty, TypeName::Text);
+        assert_eq!(ct.primary_key, vec!["name"]);
+    }
+
+    #[test]
+    fn parses_inline_primary_key() {
+        let stmt = parse_statement("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        let Statement::CreateTable(ct) = stmt else { panic!() };
+        assert_eq!(ct.primary_key, vec!["id"]);
+        assert!(ct.columns[0].not_null);
+    }
+
+    #[test]
+    fn parses_insert_values() {
+        let stmt =
+            parse_statement("INSERT INTO emp (name, salary) VALUES ('a', 1), ('b', 2)").unwrap();
+        let Statement::Insert(ins) = stmt else { panic!() };
+        assert_eq!(ins.table, "emp");
+        assert_eq!(ins.columns, vec!["name", "salary"]);
+        let InsertSource::Values(rows) = ins.source else { panic!() };
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn parses_insert_select() {
+        let stmt = parse_statement("INSERT INTO t SELECT * FROM s").unwrap();
+        let Statement::Insert(ins) = stmt else { panic!() };
+        assert!(matches!(ins.source, InsertSource::Query(_)));
+    }
+
+    #[test]
+    fn parses_select_with_everything() {
+        let q = parse_query(
+            "SELECT DISTINCT e.name AS n, d.budget FROM emp e, dept AS d \
+             WHERE e.dept = d.name AND e.salary > 100 \
+             ORDER BY n DESC LIMIT 10 OFFSET 2",
+        )
+        .unwrap();
+        let Query::Select(core) = q else { panic!() };
+        assert!(core.distinct);
+        assert_eq!(core.projection.len(), 2);
+        assert_eq!(core.from.len(), 2);
+        assert!(core.filter.is_some());
+        assert_eq!(core.order_by.len(), 1);
+        assert!(core.order_by[0].desc);
+        assert_eq!(core.limit, Some(10));
+        assert_eq!(core.offset, Some(2));
+    }
+
+    #[test]
+    fn identifiers_fold_to_lowercase_unless_quoted() {
+        let q = parse_query("SELECT NaMe FROM EMP").unwrap();
+        let Query::Select(core) = q else { panic!() };
+        assert_eq!(core.projection[0], SelectItem::Expr { expr: Expr::col("name"), alias: None });
+        let TableRef::Table { name, .. } = &core.from[0] else { panic!() };
+        assert_eq!(name, "emp");
+        let q = parse_query("SELECT \"NaMe\" FROM t").unwrap();
+        let Query::Select(core) = q else { panic!() };
+        assert_eq!(core.projection[0], SelectItem::Expr { expr: Expr::col("NaMe"), alias: None });
+    }
+
+    #[test]
+    fn union_is_left_associative_and_weaker_than_intersect() {
+        let q = parse_query("SELECT a FROM t UNION SELECT a FROM u INTERSECT SELECT a FROM v").unwrap();
+        let Query::SetOp { op: SetOp::Union, right, .. } = q else { panic!("expected top union") };
+        assert!(matches!(*right, Query::SetOp { op: SetOp::Intersect, .. }));
+    }
+
+    #[test]
+    fn parses_set_op_all() {
+        let q = parse_query("SELECT a FROM t UNION ALL SELECT a FROM u").unwrap();
+        let Query::SetOp { all, .. } = q else { panic!() };
+        assert!(all);
+    }
+
+    #[test]
+    fn parses_parenthesised_query() {
+        let q = parse_query("(SELECT a FROM t EXCEPT SELECT a FROM u) INTERSECT SELECT a FROM v")
+            .unwrap();
+        let Query::SetOp { op: SetOp::Intersect, left, .. } = q else { panic!() };
+        assert!(matches!(*left, Query::SetOp { op: SetOp::Except, .. }));
+    }
+
+    #[test]
+    fn parses_joins() {
+        let q = parse_query(
+            "SELECT * FROM a INNER JOIN b ON a.x = b.x CROSS JOIN c LEFT JOIN d ON c.y = d.y",
+        )
+        .unwrap();
+        let Query::Select(core) = q else { panic!() };
+        let TableRef::Join { kind: JoinKind::Left, left, .. } = &core.from[0] else {
+            panic!("expected left join at top")
+        };
+        let TableRef::Join { kind: JoinKind::Cross, left: l2, .. } = &**left else {
+            panic!("expected cross join")
+        };
+        assert!(matches!(&**l2, TableRef::Join { kind: JoinKind::Inner, .. }));
+    }
+
+    #[test]
+    fn parses_exists_and_in_subquery() {
+        let e = parse_expr("EXISTS (SELECT * FROM t WHERE t.a = 1)").unwrap();
+        assert!(matches!(e, Expr::Exists { negated: false, .. }));
+        let e = parse_expr("NOT EXISTS (SELECT * FROM t)").unwrap();
+        // NOT EXISTS parses as NOT(EXISTS ...) via expr_not
+        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+        let e = parse_expr("x IN (SELECT a FROM t)").unwrap();
+        assert!(matches!(e, Expr::InSubquery { negated: false, .. }));
+        let e = parse_expr("x NOT IN (1, 2, 3)").unwrap();
+        assert!(matches!(e, Expr::InList { negated: true, .. }));
+        // Regression (found by the round-trip property test): a
+        // parenthesised first list element is not a subquery.
+        let e = parse_expr("x IN ((1 + 2), 3)").unwrap();
+        assert!(matches!(e, Expr::InList { negated: false, .. }));
+        let e = parse_expr("x IN ((SELECT a FROM t) UNION (SELECT b FROM u))").unwrap();
+        assert!(matches!(e, Expr::InSubquery { .. }));
+    }
+
+    #[test]
+    fn parses_scalar_subquery() {
+        let e = parse_expr("(SELECT COUNT(*) FROM t) > 5").unwrap();
+        let Expr::Binary { left, .. } = e else { panic!() };
+        assert!(matches!(*left, Expr::ScalarSubquery(_)));
+    }
+
+    #[test]
+    fn parses_between_like_isnull() {
+        assert!(matches!(
+            parse_expr("a BETWEEN 1 AND 2").unwrap(),
+            Expr::Between { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr("a NOT BETWEEN 1 AND 2").unwrap(),
+            Expr::Between { negated: true, .. }
+        ));
+        assert!(matches!(parse_expr("a LIKE 'x%'").unwrap(), Expr::Like { negated: false, .. }));
+        assert!(matches!(parse_expr("a IS NULL").unwrap(), Expr::IsNull { negated: false, .. }));
+        assert!(matches!(parse_expr("a IS NOT NULL").unwrap(), Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn precedence_or_and_not_cmp_arith() {
+        // a = 1 OR b = 2 AND NOT c < 3 + 4 * 5
+        let e = parse_expr("a = 1 OR b = 2 AND NOT c < 3 + 4 * 5").unwrap();
+        let Expr::Binary { op: BinaryOp::Or, right, .. } = e else { panic!("top is OR") };
+        let Expr::Binary { op: BinaryOp::And, right: and_r, .. } = *right else {
+            panic!("right of OR is AND")
+        };
+        let Expr::Unary { op: UnaryOp::Not, expr } = *and_r else { panic!("NOT under AND") };
+        let Expr::Binary { op: BinaryOp::Lt, right: lt_r, .. } = *expr else { panic!("cmp") };
+        let Expr::Binary { op: BinaryOp::Add, right: add_r, .. } = *lt_r else { panic!("add") };
+        assert!(matches!(*add_r, Expr::Binary { op: BinaryOp::Mul, .. }));
+    }
+
+    #[test]
+    fn unary_minus_folds_literals() {
+        assert_eq!(parse_expr("-5").unwrap(), Expr::Literal(Literal::Int(-5)));
+        assert_eq!(parse_expr("-2.5").unwrap(), Expr::Literal(Literal::Float(-2.5)));
+        assert!(matches!(parse_expr("-a").unwrap(), Expr::Unary { op: UnaryOp::Neg, .. }));
+    }
+
+    #[test]
+    fn parses_case() {
+        let e = parse_expr("CASE WHEN a = 1 THEN 'x' WHEN a = 2 THEN 'y' ELSE 'z' END").unwrap();
+        let Expr::Case { branches, else_value } = e else { panic!() };
+        assert_eq!(branches.len(), 2);
+        assert!(else_value.is_some());
+    }
+
+    #[test]
+    fn parses_count_star_and_distinct() {
+        let e = parse_expr("COUNT(*)").unwrap();
+        assert!(matches!(e, Expr::Function { star: true, .. }));
+        let e = parse_expr("COUNT(DISTINCT x)").unwrap();
+        assert!(matches!(e, Expr::Function { distinct: true, .. }));
+    }
+
+    #[test]
+    fn parses_statements_script() {
+        let stmts = parse_statements(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("SELEC * FROM t").is_err());
+        assert!(parse_query("SELECT * FROM t WHERE").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("a NOT 5").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(parse_query("SELECT a FROM t garbage garbage").is_err());
+    }
+
+    #[test]
+    fn subquery_in_from_requires_alias() {
+        assert!(parse_query("SELECT * FROM (SELECT a FROM t) s").is_ok());
+        assert!(parse_query("SELECT * FROM (SELECT a FROM t)").is_err());
+    }
+
+    #[test]
+    fn delete_update_parse() {
+        assert!(matches!(
+            parse_statement("DELETE FROM t WHERE a = 1").unwrap(),
+            Statement::Delete { .. }
+        ));
+        let Statement::Update { assignments, .. } =
+            parse_statement("UPDATE t SET a = 1, b = 'x' WHERE c > 0").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(assignments.len(), 2);
+    }
+}

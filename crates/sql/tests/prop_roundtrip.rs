@@ -1,0 +1,138 @@
+//! Property test: printing any generated AST and re-parsing it yields the
+//! same AST (`parse ∘ print = id`). Hippo depends on this to ship
+//! generated envelope queries to the RDBMS as SQL text.
+
+use hippo_sql::*;
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Unquoted-safe identifiers plus a few nasty quoted ones.
+    prop_oneof![
+        4 => "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+            hippo_sql::parse_expr(s).map(|e| matches!(e, Expr::Column { .. })).unwrap_or(false)
+        }),
+        1 => Just("Mixed Case".to_string()),
+        1 => Just("select".to_string()),
+        1 => Just("we\"ird".to_string()),
+    ]
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Bool),
+        any::<i64>().prop_map(Literal::Int),
+        // Finite floats only: NaN/inf do not round-trip through SQL text.
+        (-1e15f64..1e15).prop_map(Literal::Float),
+        "[ a-zA-Z0-9'%_]{0,12}".prop_map(Literal::Str),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal().prop_map(Expr::Literal),
+        arb_ident().prop_map(Expr::col),
+        (arb_ident(), arb_ident()).prop_map(|(q, n)| Expr::qcol(q, n)),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinaryOp::And), Just(BinaryOp::Or), Just(BinaryOp::Eq),
+                Just(BinaryOp::Neq), Just(BinaryOp::Lt), Just(BinaryOp::Le),
+                Just(BinaryOp::Gt), Just(BinaryOp::Ge), Just(BinaryOp::Add),
+                Just(BinaryOp::Sub), Just(BinaryOp::Mul), Just(BinaryOp::Div),
+                Just(BinaryOp::Mod), Just(BinaryOp::Concat),
+            ])
+                .prop_map(|(l, r, op)| Expr::Binary { op, left: Box::new(l), right: Box::new(r) }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
+            (inner.clone(), any::<bool>())
+                .prop_map(|(e, n)| Expr::IsNull { expr: Box::new(e), negated: n }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, n)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated: n
+                }
+            ),
+            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>())
+                .prop_map(|(e, list, n)| Expr::InList { expr: Box::new(e), list, negated: n }),
+            (
+                prop::collection::vec((inner.clone(), inner.clone()), 1..3),
+                prop::option::of(inner.clone())
+            )
+                .prop_map(|(branches, ev)| Expr::Case {
+                    branches,
+                    else_value: ev.map(Box::new)
+                }),
+        ]
+    })
+}
+
+fn arb_select_core() -> impl Strategy<Value = SelectCore> {
+    (
+        any::<bool>(),
+        prop::collection::vec(
+            prop_oneof![
+                Just(SelectItem::Wildcard),
+                (arb_expr(), prop::option::of(arb_ident()))
+                    .prop_map(|(e, a)| SelectItem::Expr { expr: e, alias: a }),
+            ],
+            1..4,
+        ),
+        prop::collection::vec(
+            (arb_ident(), prop::option::of(arb_ident()))
+                .prop_map(|(n, a)| TableRef::Table { name: n, alias: a }),
+            0..3,
+        ),
+        prop::option::of(arb_expr()),
+        prop::option::of((0u64..100, 0u64..10)),
+    )
+        .prop_map(|(distinct, projection, from, filter, lim)| {
+            let mut core = SelectCore::empty();
+            core.distinct = distinct;
+            core.projection = projection;
+            core.from = from;
+            core.filter = filter;
+            if let Some((l, o)) = lim {
+                core.limit = Some(l);
+                core.offset = Some(o);
+            }
+            core
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    let leaf = arb_select_core().prop_map(|c| Query::Select(Box::new(c)));
+    leaf.prop_recursive(2, 6, 2, |inner| {
+        (inner.clone(), inner, prop_oneof![
+            Just(SetOp::Union), Just(SetOp::Except), Just(SetOp::Intersect)
+        ], any::<bool>())
+            .prop_map(|(l, r, op, all)| Query::SetOp {
+                op,
+                all,
+                left: Box::new(l),
+                right: Box::new(r),
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    #[test]
+    fn expr_print_parse_roundtrip(e in arb_expr()) {
+        let printed = print_expr(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed for {printed:?}: {err}"));
+        prop_assert_eq!(reparsed, e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn query_print_parse_roundtrip(q in arb_query()) {
+        let printed = print_query(&q);
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed for {printed:?}: {err}"));
+        prop_assert_eq!(reparsed, q, "printed: {}", printed);
+    }
+}

@@ -1,0 +1,16 @@
+//! # hippo
+//!
+//! Umbrella crate for the Hippo consistent-query-answering system
+//! (reproduction of Chomicki, Marcinkowski, Staworko: "Hippo: A System for
+//! Computing Consistent Answers to a Class of SQL Queries", EDBT 2004).
+//!
+//! Re-exports the three library crates:
+//!
+//! * [`sql`] — SQL lexer/parser/printer,
+//! * [`engine`] — the in-memory RDBMS backend,
+//! * [`cqa`] — the consistent-query-answering core (conflict hypergraph,
+//!   enveloping, prover, optimizations, baselines).
+
+pub use hippo_cqa as cqa;
+pub use hippo_engine as engine;
+pub use hippo_sql as sql;

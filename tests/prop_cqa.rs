@@ -1,0 +1,289 @@
+//! Property-based tests over randomized instances and queries.
+//!
+//! The central invariants of the system:
+//! * repairs are independent and maximal;
+//! * Hippo (every optimization level) ≡ naive repair-enumeration CQA;
+//! * core filter ⊆ consistent answers ⊆ envelope;
+//! * query rewriting ≡ ground truth on its supported class;
+//! * SJUD SQL rendering ≡ direct algebra evaluation.
+
+use hippo::cqa::corefilter::core_filter_on_catalog;
+use hippo::cqa::detect::detect_conflicts;
+use hippo::cqa::naive::naive_consistent_answers;
+use hippo::cqa::prelude::*;
+use hippo::engine::{Database, Row, Value};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A small random instance: emp(name:int, salary:int) with values from a
+/// narrow domain so conflicts happen often but repairs stay enumerable.
+fn arb_instance() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..6, 0i64..4), 0..12)
+}
+
+fn build_db(rows: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE emp (name INT, salary INT)").unwrap();
+    // Deduplicate: the theory assumes set instances.
+    let unique: HashSet<(i64, i64)> = rows.iter().copied().collect();
+    db.insert_rows(
+        "emp",
+        unique.into_iter().map(|(n, s)| vec![Value::Int(n), Value::Int(s)]).collect(),
+    )
+    .unwrap();
+    db
+}
+
+/// A small random SJUD query over emp.
+fn arb_query() -> impl Strategy<Value = SjudQuery> {
+    let leaf = Just(SjudQuery::rel("emp"));
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), 0i64..4).prop_map(|(q, c)| q
+                .select(Pred::cmp_const(1, CmpOp::Ge, c))),
+            (inner.clone(), 0i64..6).prop_map(|(q, c)| q
+                .select(Pred::cmp_const(0, CmpOp::Eq, c))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.diff(b)),
+            inner.clone().prop_map(|q| q.permute(vec![1, 0])),
+        ]
+    })
+    // Keep arity 2 everywhere: unions/diffs of same-shaped subqueries.
+    .prop_filter("arity-2 only", |q| query_arity_ok(q))
+}
+
+fn query_arity_ok(q: &SjudQuery) -> bool {
+    fn arity(q: &SjudQuery) -> Option<usize> {
+        match q {
+            SjudQuery::Rel(_) => Some(2),
+            SjudQuery::Select { input, .. } => arity(input),
+            SjudQuery::Product(l, r) => Some(arity(l)? + arity(r)?),
+            SjudQuery::Union(l, r) | SjudQuery::Diff(l, r) => {
+                let (a, b) = (arity(l)?, arity(r)?);
+                (a == b).then_some(a)
+            }
+            SjudQuery::Permute { input, perm } => {
+                let a = arity(input)?;
+                (perm.iter().all(|&p| p < a) && (0..a).all(|c| perm.contains(&c)))
+                    .then_some(perm.len())
+            }
+        }
+    }
+    arity(q).is_some()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn repairs_are_independent_and_maximal(rows in arb_instance()) {
+        let db = build_db(&rows);
+        let fd = [DenialConstraint::functional_dependency("emp", &[0], 1)];
+        let (g, _) = detect_conflicts(db.catalog(), &fd).unwrap();
+        let repairs = enumerate_repairs(&g, None);
+        prop_assert!(!repairs.is_empty(), "at least one repair always exists");
+        for r in &repairs {
+            prop_assert!(is_repair(&g, r));
+        }
+        // Repairs are pairwise incomparable (no repair contains another).
+        for a in &repairs {
+            for b in &repairs {
+                if a != b {
+                    prop_assert!(!a.is_subset(b), "repairs must be ⊆-incomparable");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hippo_equals_naive_ground_truth(rows in arb_instance(), q in arb_query()) {
+        let constraints = vec![DenialConstraint::functional_dependency("emp", &[0], 1)];
+        let db = build_db(&rows);
+        let (g, _) = detect_conflicts(db.catalog(), &constraints).unwrap();
+        let truth = naive_consistent_answers(&q, db.catalog(), &g);
+        for opts in [HippoOptions::base(), HippoOptions::kg(), HippoOptions::full()] {
+            let hippo = Hippo::with_options(build_db(&rows), constraints.clone(), opts).unwrap();
+            let got = hippo.consistent_answers(&q).unwrap();
+            prop_assert_eq!(&got, &truth, "query {} opts {:?}", q, opts);
+        }
+    }
+
+    #[test]
+    fn filter_subset_consistent_subset_envelope(rows in arb_instance(), q in arb_query()) {
+        let constraints = vec![DenialConstraint::functional_dependency("emp", &[0], 1)];
+        let db = build_db(&rows);
+        let (g, _) = detect_conflicts(db.catalog(), &constraints).unwrap();
+        let truth: HashSet<Row> =
+            naive_consistent_answers(&q, db.catalog(), &g).into_iter().collect();
+        // core filter ⊆ consistent
+        for row in core_filter_on_catalog(&q, db.catalog(), &g) {
+            prop_assert!(truth.contains(&row), "filter overclaims {:?} for {}", row, q);
+        }
+        // consistent ⊆ envelope(D)
+        let env_rows: HashSet<Row> =
+            envelope(&q).eval_on_catalog(db.catalog()).unwrap().into_iter().collect();
+        for row in &truth {
+            prop_assert!(env_rows.contains(row), "envelope misses {:?} for {}", row, q);
+        }
+    }
+
+    #[test]
+    fn rewriting_equals_truth_on_supported_class(rows in arb_instance(), sel in 0i64..4) {
+        let constraints = vec![DenialConstraint::functional_dependency("emp", &[0], 1)];
+        let db = build_db(&rows);
+        let (g, _) = detect_conflicts(db.catalog(), &constraints).unwrap();
+        // An SJD query: σ(emp) − σ(emp).
+        let q = SjudQuery::rel("emp")
+            .select(Pred::cmp_const(1, CmpOp::Ge, sel))
+            .diff(SjudQuery::rel("emp").select(Pred::cmp_const(0, CmpOp::Eq, sel)));
+        let truth = naive_consistent_answers(&q, db.catalog(), &g);
+        let rewritten = rewritten_answers(&q, &constraints, &db).unwrap();
+        prop_assert_eq!(rewritten, truth);
+    }
+
+    #[test]
+    fn sql_rendering_matches_algebra_eval(rows in arb_instance(), q in arb_query()) {
+        let db = build_db(&rows);
+        let sql = q.to_sql(db.catalog()).unwrap();
+        let mut via_sql = db.query(&sql).unwrap().rows;
+        via_sql.sort();
+        via_sql.dedup();
+        let direct = q.eval_on_catalog(db.catalog()).unwrap();
+        prop_assert_eq!(via_sql, direct, "query {} sql {}", q, sql);
+    }
+
+    #[test]
+    fn consistent_answers_hold_in_every_repair(rows in arb_instance(), q in arb_query()) {
+        let constraints = vec![DenialConstraint::functional_dependency("emp", &[0], 1)];
+        let db = build_db(&rows);
+        let hippo = Hippo::new(db, constraints).unwrap();
+        let answers = hippo.consistent_answers(&q).unwrap();
+        let repairs = enumerate_repairs(hippo.graph(), None);
+        for kept in &repairs {
+            let inst = hippo::cqa::repair::repair_instance(
+                hippo.db().catalog(), hippo.graph(), kept);
+            let result: HashSet<Row> = q.eval_over(&inst).into_iter().collect();
+            for a in &answers {
+                prop_assert!(result.contains(a),
+                    "answer {:?} missing from a repair for {}", a, q);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Two-constraint mix: FD plus a CHECK denial — exercises singleton
+    /// edges interacting with pair edges (the hard case for the prover's
+    /// blocking logic).
+    #[test]
+    fn hippo_equals_naive_with_check_constraints(rows in arb_instance(), q in arb_query()) {
+        let chk = DenialConstraint::check(
+            "emp",
+            vec![Comparison {
+                op: CmpOp::Eq,
+                left: Term::Attr(AttrRef { atom: 0, col: 1 }),
+                right: Term::Const(Value::Int(0)),
+            }],
+        );
+        let constraints = vec![
+            DenialConstraint::functional_dependency("emp", &[0], 1),
+            chk,
+        ];
+        let db = build_db(&rows);
+        let (g, _) = detect_conflicts(db.catalog(), &constraints).unwrap();
+        let truth = naive_consistent_answers(&q, db.catalog(), &g);
+        for opts in [HippoOptions::kg(), HippoOptions::full()] {
+            let hippo = Hippo::with_options(build_db(&rows), constraints.clone(), opts).unwrap();
+            prop_assert_eq!(hippo.consistent_answers(&q).unwrap(), truth.clone(),
+                "query {} opts {:?}", q, opts);
+        }
+    }
+}
+
+/// Two-relation instances with an FD on `emp` plus an exclusion constraint
+/// between `emp` and `ban` — cross-relation hyperedges.
+fn arb_two_rel() -> impl Strategy<Value = (Vec<(i64, i64)>, Vec<(i64, i64)>)> {
+    (
+        prop::collection::vec((0i64..5, 0i64..3), 0..9),
+        prop::collection::vec((0i64..5, 0i64..3), 0..5),
+    )
+}
+
+fn build_two_rel_db(emp: &[(i64, i64)], ban: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE emp (name INT, salary INT)").unwrap();
+    db.execute("CREATE TABLE ban (name INT, why INT)").unwrap();
+    let dedup = |rows: &[(i64, i64)]| -> Vec<Vec<Value>> {
+        let u: HashSet<(i64, i64)> = rows.iter().copied().collect();
+        u.into_iter().map(|(a, b)| vec![Value::Int(a), Value::Int(b)]).collect()
+    };
+    db.insert_rows("emp", dedup(emp)).unwrap();
+    db.insert_rows("ban", dedup(ban)).unwrap();
+    db
+}
+
+fn two_rel_constraints() -> Vec<DenialConstraint> {
+    vec![
+        DenialConstraint::functional_dependency("emp", &[0], 1),
+        DenialConstraint::exclusion("emp", "ban", &[(0, 0)]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn hippo_equals_naive_with_exclusion_constraints(
+        (emp, ban) in arb_two_rel(),
+        sel in 0i64..3,
+    ) {
+        let constraints = two_rel_constraints();
+        let db = build_two_rel_db(&emp, &ban);
+        let (g, _) = detect_conflicts(db.catalog(), &constraints).unwrap();
+        let queries = vec![
+            SjudQuery::rel("emp"),
+            SjudQuery::rel("ban"),
+            SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Ge, sel)),
+            SjudQuery::rel("emp").diff(SjudQuery::rel("ban")),
+            SjudQuery::rel("emp").union(SjudQuery::rel("ban")),
+            SjudQuery::rel("emp")
+                .product(SjudQuery::rel("ban"))
+                .select(Pred::cmp_cols(0, CmpOp::Eq, 2)),
+        ];
+        for q in queries {
+            let truth = naive_consistent_answers(&q, db.catalog(), &g);
+            for opts in [HippoOptions::kg(), HippoOptions::full()] {
+                let hippo = Hippo::with_options(
+                    build_two_rel_db(&emp, &ban), constraints.clone(), opts).unwrap();
+                prop_assert_eq!(hippo.consistent_answers(&q).unwrap(), truth.clone(),
+                    "query {} opts {:?}", q, opts);
+            }
+        }
+    }
+
+    #[test]
+    fn rewriting_equals_truth_with_exclusion(( emp, ban) in arb_two_rel()) {
+        let constraints = two_rel_constraints();
+        let db = build_two_rel_db(&emp, &ban);
+        let (g, _) = detect_conflicts(db.catalog(), &constraints).unwrap();
+        let q = SjudQuery::rel("emp");
+        let truth = naive_consistent_answers(&q, db.catalog(), &g);
+        let rewritten = rewritten_answers(&q, &constraints, &db).unwrap();
+        prop_assert_eq!(rewritten, truth);
+    }
+
+    #[test]
+    fn range_aggregation_matches_enumeration(rows in arb_instance()) {
+        use hippo::cqa::aggregate::{range_aggregate_fd, range_aggregate_naive, AggOp};
+        let db = build_db(&rows);
+        let constraints = vec![DenialConstraint::functional_dependency("emp", &[0], 1)];
+        for op in [AggOp::Count, AggOp::Sum, AggOp::Min, AggOp::Max] {
+            let fast = range_aggregate_fd(db.catalog(), "emp", &[0], 1, 1, op).unwrap();
+            let slow = range_aggregate_naive(db.catalog(), "emp", &constraints, 1, op).unwrap();
+            prop_assert_eq!(fast.glb.as_f64(), slow.glb.as_f64(), "glb for {:?}", op);
+            prop_assert_eq!(fast.lub.as_f64(), slow.lub.as_f64(), "lub for {:?}", op);
+        }
+    }
+}
