@@ -10,8 +10,8 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_ablation");
     group.sample_size(10);
     let spec = FdTableSpec::new("t", 1000, 0.05, 81);
-    let q = SjudQuery::rel("t")
-        .diff(SjudQuery::rel("t").select(Pred::cmp_const(2, CmpOp::Ge, 900i64)));
+    let q =
+        SjudQuery::rel("t").diff(SjudQuery::rel("t").select(Pred::cmp_const(2, CmpOp::Ge, 900i64)));
     for (label, opts) in [
         ("base", HippoOptions::base()),
         ("kg", HippoOptions::kg()),

@@ -17,15 +17,18 @@ fn bench_conflicts(c: &mut Criterion) {
         let w = JoinWorkload::new(1000, rate_pct as f64 / 100.0, 78);
         let q = join_query();
         let hippo =
-            Hippo::with_options(w.build().unwrap(), w.constraints(), HippoOptions::full())
-                .unwrap();
-        group.bench_with_input(BenchmarkId::new("hippo_full", rate_pct), &rate_pct, |b, _| {
-            b.iter(|| hippo.consistent_answers(&q).unwrap())
-        });
+            Hippo::with_options(w.build().unwrap(), w.constraints(), HippoOptions::full()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("hippo_full", rate_pct),
+            &rate_pct,
+            |b, _| b.iter(|| hippo.consistent_answers(&q).unwrap()),
+        );
         let db = w.build().unwrap();
-        group.bench_with_input(BenchmarkId::new("rewriting", rate_pct), &rate_pct, |b, _| {
-            b.iter(|| rewritten_answers(&q, &w.constraints(), &db).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rewriting", rate_pct),
+            &rate_pct,
+            |b, _| b.iter(|| rewritten_answers(&q, &w.constraints(), &db).unwrap()),
+        );
     }
     group.finish();
 }

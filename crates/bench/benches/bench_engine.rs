@@ -9,8 +9,9 @@ fn db_with(n: usize) -> Database {
     let mut db = Database::new();
     db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
     db.execute("CREATE TABLE u (k INT, v INT)").unwrap();
-    let rows: Vec<Vec<Value>> =
-        (0..n as i64).map(|i| vec![Value::Int(i), Value::Int(i * 7 % 1000)]).collect();
+    let rows: Vec<Vec<Value>> = (0..n as i64)
+        .map(|i| vec![Value::Int(i), Value::Int(i * 7 % 1000)])
+        .collect();
     db.insert_rows("t", rows.clone()).unwrap();
     db.insert_rows("u", rows).unwrap();
     db
@@ -39,11 +40,15 @@ fn bench_engine(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("point_membership", n), &n, |b, _| {
-            b.iter(|| db.query("SELECT 1 FROM t WHERE k = 500 AND v = 500 LIMIT 1").unwrap())
+            b.iter(|| {
+                db.query("SELECT 1 FROM t WHERE k = 500 AND v = 500 LIMIT 1")
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("except", n), &n, |b, _| {
             b.iter(|| {
-                db.query("SELECT k FROM t EXCEPT SELECT k FROM u WHERE v < 500").unwrap()
+                db.query("SELECT k FROM t EXCEPT SELECT k FROM u WHERE v < 500")
+                    .unwrap()
             })
         });
     }

@@ -11,7 +11,8 @@ use hippo_engine::{Database, Value};
 
 fn instance(k: usize) -> Database {
     let mut db = Database::new();
-    db.execute("CREATE TABLE t (k INT, v INT, payload INT)").unwrap();
+    db.execute("CREATE TABLE t (k INT, v INT, payload INT)")
+        .unwrap();
     let mut rows = Vec::new();
     for i in 0..k {
         for copy in 0..3 {
@@ -29,8 +30,8 @@ fn instance(k: usize) -> Database {
 fn bench_naive(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_repair_blowup");
     group.sample_size(10);
-    let q = SjudQuery::rel("t")
-        .diff(SjudQuery::rel("t").select(Pred::cmp_const(1, CmpOp::Ge, 2i64)));
+    let q =
+        SjudQuery::rel("t").diff(SjudQuery::rel("t").select(Pred::cmp_const(1, CmpOp::Ge, 2i64)));
     for &k in &[2usize, 4, 6, 8] {
         let db = instance(k);
         let constraints = vec![DenialConstraint::functional_dependency("t", &[0], 1)];
@@ -38,8 +39,7 @@ fn bench_naive(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive_enumeration", k), &k, |b, _| {
             b.iter(|| naive_consistent_answers(&q, db.catalog(), &g))
         });
-        let hippo =
-            Hippo::with_options(instance(k), constraints, HippoOptions::full()).unwrap();
+        let hippo = Hippo::with_options(instance(k), constraints, HippoOptions::full()).unwrap();
         group.bench_with_input(BenchmarkId::new("hippo_full", k), &k, |b, _| {
             b.iter(|| hippo.consistent_answers(&q).unwrap())
         });

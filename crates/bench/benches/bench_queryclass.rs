@@ -13,14 +13,13 @@ fn queries() -> Vec<(&'static str, SjudQuery)> {
         .select(Pred::cmp_const(2, CmpOp::Ge, 800i64))
         .union(SjudQuery::rel("s").select(Pred::cmp_const(2, CmpOp::Lt, 100i64)))
         .diff(SjudQuery::rel("r").select(Pred::cmp_const(1, CmpOp::Lt, 1000i64)));
-    let sjud = SjudQuery::rel("r")
-        .product(SjudQuery::rel("s"))
-        .select(Pred::cmp_cols(0, CmpOp::Eq, 3).and(Pred::cmp_const(2, CmpOp::Ge, 800i64)))
-        .diff(
-            SjudQuery::rel("r")
-                .product(SjudQuery::rel("s"))
-                .select(Pred::cmp_cols(0, CmpOp::Eq, 3).and(Pred::cmp_const(5, CmpOp::Lt, 100i64))),
-        );
+    let sjud =
+        SjudQuery::rel("r")
+            .product(SjudQuery::rel("s"))
+            .select(Pred::cmp_cols(0, CmpOp::Eq, 3).and(Pred::cmp_const(2, CmpOp::Ge, 800i64)))
+            .diff(SjudQuery::rel("r").product(SjudQuery::rel("s")).select(
+                Pred::cmp_cols(0, CmpOp::Eq, 3).and(Pred::cmp_const(5, CmpOp::Lt, 100i64)),
+            ));
     vec![("S", s), ("SJ", sj), ("SUD", sud), ("SJUD", sjud)]
 }
 

@@ -34,8 +34,7 @@ fn bench_scaling(c: &mut Criterion) {
         });
 
         let hippo_full =
-            Hippo::with_options(w.build().unwrap(), w.constraints(), HippoOptions::full())
-                .unwrap();
+            Hippo::with_options(w.build().unwrap(), w.constraints(), HippoOptions::full()).unwrap();
         group.bench_with_input(BenchmarkId::new("hippo_full", n), &n, |b, _| {
             b.iter(|| hippo_full.consistent_answers(&q).unwrap())
         });

@@ -1,29 +1,49 @@
 //! Experiment harness: regenerates every table/figure of the reproduction.
 //!
 //! Usage:
-//!   harness [--quick] [all|d1|d2|e1|e2|e3|e4|e5|e6|e7]...
+//!   harness [--quick] [--json PATH] [all|d1|d2|e1|e2|e3|e4|e5|e6|e7]...
 //!
 //! With no experiment arguments, runs everything. `--quick` shrinks
 //! workload sizes (used in CI and on laptops; the full sizes match
-//! EXPERIMENTS.md).
+//! EXPERIMENTS.md). `--json PATH` additionally writes every produced
+//! table as a JSON document — CI uploads it so benchmark trajectories
+//! accumulate across commits.
 
 use hippo_bench::experiments as ex;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let run_all = wanted.is_empty() || wanted.contains(&"all");
+    let mut args = std::env::args().skip(1).peekable();
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
 
     let mut failures = 0;
+    let mut tables: Vec<ex::Table> = Vec::new();
     let mut run = |id: &str, f: &dyn Fn(bool) -> Result<ex::Table, Box<dyn std::error::Error>>| {
-        if run_all || wanted.contains(&id) {
+        if run_all || wanted.iter().any(|w| w == id) {
             match f(quick) {
-                Ok(t) => println!("{}\n", t.render()),
+                Ok(t) => {
+                    println!("{}\n", t.render());
+                    tables.push(t);
+                }
                 Err(e) => {
                     eprintln!("experiment {id} failed: {e}");
                     failures += 1;
@@ -46,7 +66,74 @@ fn main() {
     run("e6", &ex::e6_envelope);
     run("e7", &ex::e7_repair_blowup);
 
+    if let Some(path) = json_path {
+        let json = render_json(quick, &tables);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            failures += 1;
+        } else {
+            println!("wrote JSON results to {path}");
+        }
+    }
+
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// Hand-rolled JSON rendering (the build environment has no serde).
+fn render_json(quick: bool, tables: &[ex::Table]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"experiments\": [\n",
+        if quick { "quick" } else { "full" }
+    ));
+    for (i, t) in tables.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"id\": {},\n", json_str(t.id)));
+        out.push_str(&format!("      \"title\": {},\n", json_str(&t.title)));
+        out.push_str(&format!(
+            "      \"header\": {},\n",
+            json_str_array(&t.header)
+        ));
+        out.push_str("      \"rows\": [");
+        for (j, row) in t.rows.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str_array(row));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("      \"notes\": {}\n", json_str_array(&t.notes)));
+        out.push_str(if i + 1 < tables.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let parts: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", parts.join(", "))
 }

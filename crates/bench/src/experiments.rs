@@ -43,7 +43,12 @@ impl Table {
         all.extend(self.rows.clone());
         let cols = self.header.len();
         let widths: Vec<usize> = (0..cols)
-            .map(|c| all.iter().map(|r| r.get(c).map(String::len).unwrap_or(0)).max().unwrap_or(0))
+            .map(|c| {
+                all.iter()
+                    .map(|r| r.get(c).map(String::len).unwrap_or(0))
+                    .max()
+                    .unwrap_or(0)
+            })
             .collect();
         let mut out = format!("## {} — {}\n\n", self.id, self.title);
         let fmt_row = |r: &[String]| {
@@ -55,7 +60,13 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.header));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
         out.push('\n');
         for r in &self.rows {
             out.push_str(&fmt_row(r));
@@ -124,7 +135,14 @@ fn measure_strategies(
     let (hippo_kg, _) = run(HippoOptions::kg())?;
     let (hippo_full, n) = run(HippoOptions::full())?;
 
-    Ok(StrategyTimes { plain_sql, rewriting, hippo_base, hippo_kg, hippo_full, answers: n })
+    Ok(StrategyTimes {
+        plain_sql,
+        rewriting,
+        hippo_base,
+        hippo_kg,
+        hippo_full,
+        answers: n,
+    })
 }
 
 /// D1 — information extracted: CQA vs conflict-free strawman vs plain SQL,
@@ -142,7 +160,14 @@ pub fn d1_information(quick: bool) -> Result<Table, Box<dyn std::error::Error>> 
     let mut t = Table::new(
         "D1",
         "information extracted: consistent answers vs deleting conflicting tuples",
-        &["conflict%", "rows", "plain", "conflict-free", "consistent(CQA)", "CQA-gain"],
+        &[
+            "conflict%",
+            "rows",
+            "plain",
+            "conflict-free",
+            "consistent(CQA)",
+            "CQA-gain",
+        ],
     );
     let base_rows = if quick { 400 } else { 2000 };
     for rate in [0.0, 0.02, 0.05, 0.10, 0.20] {
@@ -262,7 +287,12 @@ pub fn d2_expressiveness() -> Result<Table, Box<dyn std::error::Error>> {
         ("SJ", sj_query.clone(), "FD", vec![fd.clone()]),
         ("SD", sd_query.clone(), "FD", vec![fd.clone()]),
         ("SUD", sud_query.clone(), "FD", vec![fd.clone()]),
-        ("S", s_query.clone(), "FD+exclusion", vec![fd.clone(), excl.clone()]),
+        (
+            "S",
+            s_query.clone(),
+            "FD+exclusion",
+            vec![fd.clone(), excl.clone()],
+        ),
         ("S", s_query, "ternary denial", vec![ternary.clone()]),
         ("SJ", sj_query, "ternary denial", vec![ternary]),
     ];
@@ -272,7 +302,11 @@ pub fn d2_expressiveness() -> Result<Table, Box<dyn std::error::Error>> {
         let truth = naive_consistent_answers(&q, db.catalog(), &g);
 
         let hippo = Hippo::new(fresh_db()?, constraints.clone())?;
-        let hippo_cell = if hippo.consistent_answers(&q)? == truth { "✓" } else { "✗ WRONG" };
+        let hippo_cell = if hippo.consistent_answers(&q)? == truth {
+            "✓"
+        } else {
+            "✗ WRONG"
+        };
 
         let rw_cell = match rewritten_answers(&q, &constraints, &db) {
             Ok(rows) => {
@@ -305,9 +339,21 @@ pub fn e1_scaling(quick: bool) -> Result<Table, Box<dyn std::error::Error>> {
     let mut t = Table::new(
         "E1",
         "running time vs relation size (σ+join query, 2% conflicts; ms)",
-        &["|r|=|s|", "plain SQL", "rewriting", "Hippo base", "Hippo+KG", "Hippo full", "answers"],
+        &[
+            "|r|=|s|",
+            "plain SQL",
+            "rewriting",
+            "Hippo base",
+            "Hippo+KG",
+            "Hippo full",
+            "answers",
+        ],
     );
-    let sizes: &[usize] = if quick { &[500, 1000, 2000] } else { &[1000, 2000, 4000, 8000, 16000] };
+    let sizes: &[usize] = if quick {
+        &[500, 1000, 2000]
+    } else {
+        &[1000, 2000, 4000, 8000, 16000]
+    };
     for &n in sizes {
         let w = JoinWorkload::new(n, 0.02, 77);
         let q = join_query(500);
@@ -336,7 +382,15 @@ pub fn e2_conflicts(quick: bool) -> Result<Table, Box<dyn std::error::Error>> {
     let mut t = Table::new(
         "E2",
         format!("running time vs conflict rate (|r|=|s|={n}; ms)"),
-        &["conflict%", "plain SQL", "rewriting", "Hippo base", "Hippo+KG", "Hippo full", "answers"],
+        &[
+            "conflict%",
+            "plain SQL",
+            "rewriting",
+            "Hippo base",
+            "Hippo+KG",
+            "Hippo full",
+            "answers",
+        ],
     );
     for rate in [0.0, 0.01, 0.02, 0.05, 0.10] {
         let w = JoinWorkload::new(n, rate, 78);
@@ -376,14 +430,13 @@ pub fn e3_query_classes(quick: bool) -> Result<Table, Box<dyn std::error::Error>
         .select(Pred::cmp_const(2, CmpOp::Ge, 800i64))
         .union(SjudQuery::rel("s").select(Pred::cmp_const(2, CmpOp::Lt, 100i64)))
         .diff(SjudQuery::rel("r").select(Pred::cmp_const(1, CmpOp::Lt, 1000i64)));
-    let sjud_q = SjudQuery::rel("r")
-        .product(SjudQuery::rel("s"))
-        .select(Pred::cmp_cols(0, CmpOp::Eq, 3).and(Pred::cmp_const(2, CmpOp::Ge, 800i64)))
-        .diff(
-            SjudQuery::rel("r")
-                .product(SjudQuery::rel("s"))
-                .select(Pred::cmp_cols(0, CmpOp::Eq, 3).and(Pred::cmp_const(5, CmpOp::Lt, 100i64))),
-        );
+    let sjud_q =
+        SjudQuery::rel("r")
+            .product(SjudQuery::rel("s"))
+            .select(Pred::cmp_cols(0, CmpOp::Eq, 3).and(Pred::cmp_const(2, CmpOp::Ge, 800i64)))
+            .diff(SjudQuery::rel("r").product(SjudQuery::rel("s")).select(
+                Pred::cmp_cols(0, CmpOp::Eq, 3).and(Pred::cmp_const(5, CmpOp::Lt, 100i64)),
+            ));
 
     for (class, q) in [("S", s_q), ("SJ", sj_q), ("SUD", sud_q), ("SJUD", sjud_q)] {
         let db = w.build()?;
@@ -415,7 +468,8 @@ pub fn e3_query_classes(quick: bool) -> Result<Table, Box<dyn std::error::Error>
             answers.len().to_string(),
         ]);
     }
-    t.notes.push("rewriting cannot run the union classes at all (n/a)".into());
+    t.notes
+        .push("rewriting cannot run the union classes at all (n/a)".into());
     Ok(t)
 }
 
@@ -424,10 +478,19 @@ pub fn e4_detection(quick: bool) -> Result<Table, Box<dyn std::error::Error>> {
     let mut t = Table::new(
         "E4",
         "conflict detection and hypergraph size vs relation size (2% conflicts)",
-        &["rows", "detect ms", "edges", "conflicting tuples", "combinations checked"],
+        &[
+            "rows",
+            "detect ms",
+            "edges",
+            "conflicting tuples",
+            "combinations checked",
+        ],
     );
-    let sizes: &[usize] =
-        if quick { &[1000, 4000, 16000] } else { &[1000, 4000, 16000, 64000, 128000] };
+    let sizes: &[usize] = if quick {
+        &[1000, 4000, 16000]
+    } else {
+        &[1000, 4000, 16000, 64000, 128000]
+    };
     for &n in sizes {
         let spec = FdTableSpec::new("t", n, 0.02, 80);
         let mut db = Database::new();
@@ -441,7 +504,8 @@ pub fn e4_detection(quick: bool) -> Result<Table, Box<dyn std::error::Error>> {
             stats.combinations_checked.to_string(),
         ]);
     }
-    t.notes.push("FD fast path: one hash pass, near-linear scaling".into());
+    t.notes
+        .push("FD fast path: one hash pass, near-linear scaling".into());
     Ok(t)
 }
 
@@ -451,12 +515,19 @@ pub fn e5_ablation(quick: bool) -> Result<Table, Box<dyn std::error::Error>> {
     let mut t = Table::new(
         "E5",
         format!("optimization ablation on a difference query (|t|={n}, 5% conflicts)"),
-        &["variant", "time ms", "DB membership queries", "prover calls", "filtered", "answers"],
+        &[
+            "variant",
+            "time ms",
+            "DB membership queries",
+            "prover calls",
+            "filtered",
+            "answers",
+        ],
     );
     let spec = FdTableSpec::new("t", n, 0.05, 81);
     let constraints = vec![spec.fd()];
-    let q = SjudQuery::rel("t")
-        .diff(SjudQuery::rel("t").select(Pred::cmp_const(2, CmpOp::Ge, 900i64)));
+    let q =
+        SjudQuery::rel("t").diff(SjudQuery::rel("t").select(Pred::cmp_const(2, CmpOp::Ge, 900i64)));
     for (label, opts) in [
         ("base", HippoOptions::base()),
         ("+KG", HippoOptions::kg()),
@@ -491,15 +562,24 @@ pub fn e6_envelope(quick: bool) -> Result<Table, Box<dyn std::error::Error>> {
     let mut t = Table::new(
         "E6",
         format!("envelope tightness vs conflict rate (|t|={n}, difference query)"),
-        &["conflict%", "candidates", "core-filtered", "prover calls", "consistent"],
+        &[
+            "conflict%",
+            "candidates",
+            "core-filtered",
+            "prover calls",
+            "consistent",
+        ],
     );
     for rate in [0.0, 0.02, 0.05, 0.10, 0.20] {
         let spec = FdTableSpec::new("t", n, rate, 82);
         let mut db = Database::new();
         spec.populate(&mut db)?;
         let constraints = vec![spec.fd()];
-        let q = SjudQuery::rel("t")
-            .diff(SjudQuery::rel("t").select(Pred::cmp_const(2, CmpOp::Ge, 900i64)));
+        let q = SjudQuery::rel("t").diff(SjudQuery::rel("t").select(Pred::cmp_const(
+            2,
+            CmpOp::Ge,
+            900i64,
+        )));
         let hippo = Hippo::with_options(db, constraints, HippoOptions::full())?;
         let (answers, stats) = hippo.consistent_answers_with_stats(&q)?;
         t.rows.push(vec![
@@ -523,7 +603,11 @@ pub fn e7_repair_blowup(quick: bool) -> Result<Table, Box<dyn std::error::Error>
         "repair enumeration blow-up vs Hippo (3 copies per conflicting key → 3^k repairs)",
         &["conflicts", "repairs", "naive ms", "Hippo full ms", "agree"],
     );
-    let counts: &[usize] = if quick { &[2, 4, 6, 8] } else { &[2, 4, 6, 8, 10, 12] };
+    let counts: &[usize] = if quick {
+        &[2, 4, 6, 8]
+    } else {
+        &[2, 4, 6, 8, 10, 12]
+    };
     for &k in counts {
         // k independent FD conflicts of 3 tuples each: 3^k repairs.
         let mut db = Database::new();
@@ -541,8 +625,11 @@ pub fn e7_repair_blowup(quick: bool) -> Result<Table, Box<dyn std::error::Error>
         db.insert_rows("t", rows)?;
         let constraints = vec![DenialConstraint::functional_dependency("t", &[0], 1)];
         let (g, _) = detect_conflicts(db.catalog(), &constraints)?;
-        let q = SjudQuery::rel("t")
-            .diff(SjudQuery::rel("t").select(Pred::cmp_const(1, CmpOp::Ge, 2i64)));
+        let q = SjudQuery::rel("t").diff(SjudQuery::rel("t").select(Pred::cmp_const(
+            1,
+            CmpOp::Ge,
+            2i64,
+        )));
 
         let t0 = Instant::now();
         let repairs = enumerate_repairs(&g, None).len();

@@ -88,7 +88,12 @@ pub fn range_aggregate_fd(
             .entry(gkey)
             .or_default()
             .entry(ckey)
-            .or_insert(ClassStats { count: 0, sum: 0.0, min: None, max: None });
+            .or_insert(ClassStats {
+                count: 0,
+                sum: 0.0,
+                min: None,
+                max: None,
+            });
         entry.count += 1;
         if let Some(b) = b {
             entry.sum += b;
@@ -111,7 +116,10 @@ pub fn range_aggregate_fd(
                     lub += max;
                 }
             }
-            Ok(AggRange { glb: Value::Int(glb), lub: Value::Int(lub) })
+            Ok(AggRange {
+                glb: Value::Int(glb),
+                lub: Value::Int(lub),
+            })
         }
         AggOp::Sum => {
             let (mut glb, mut lub) = (0.0f64, 0.0f64);
@@ -127,7 +135,10 @@ pub fn range_aggregate_fd(
                     lub += max;
                 }
             }
-            Ok(AggRange { glb: Value::Float(glb), lub: Value::Float(lub) })
+            Ok(AggRange {
+                glb: Value::Float(glb),
+                lub: Value::Float(lub),
+            })
         }
         AggOp::Min => {
             // glb: some repair keeps the class holding the global minimum.
@@ -154,9 +165,15 @@ pub fn range_aggregate_fd(
                 }
             }
             if glb.is_infinite() {
-                return Ok(AggRange { glb: Value::Null, lub: Value::Null });
+                return Ok(AggRange {
+                    glb: Value::Null,
+                    lub: Value::Null,
+                });
             }
-            Ok(AggRange { glb: Value::Float(glb), lub: Value::Float(lub) })
+            Ok(AggRange {
+                glb: Value::Float(glb),
+                lub: Value::Float(lub),
+            })
         }
         AggOp::Max => {
             let lub = groups
@@ -180,9 +197,15 @@ pub fn range_aggregate_fd(
                 }
             }
             if lub.is_infinite() {
-                return Ok(AggRange { glb: Value::Null, lub: Value::Null });
+                return Ok(AggRange {
+                    glb: Value::Null,
+                    lub: Value::Null,
+                });
             }
-            Ok(AggRange { glb: Value::Float(glb), lub: Value::Float(lub) })
+            Ok(AggRange {
+                glb: Value::Float(glb),
+                lub: Value::Float(lub),
+            })
         }
     }
 }
@@ -226,11 +249,18 @@ pub fn range_aggregate_naive(
     }
     let _ = any_empty; // MIN/MAX over an empty repair is NULL; ranges ignore it
     match (glb, lub, op) {
-        (Some(g_), Some(l), AggOp::Count) => {
-            Ok(AggRange { glb: Value::Int(g_ as i64), lub: Value::Int(l as i64) })
-        }
-        (Some(g_), Some(l), _) => Ok(AggRange { glb: Value::Float(g_), lub: Value::Float(l) }),
-        _ => Ok(AggRange { glb: Value::Null, lub: Value::Null }),
+        (Some(g_), Some(l), AggOp::Count) => Ok(AggRange {
+            glb: Value::Int(g_ as i64),
+            lub: Value::Int(l as i64),
+        }),
+        (Some(g_), Some(l), _) => Ok(AggRange {
+            glb: Value::Float(g_),
+            lub: Value::Float(l),
+        }),
+        _ => Ok(AggRange {
+            glb: Value::Null,
+            lub: Value::Null,
+        }),
     }
 }
 
@@ -254,12 +284,12 @@ pub fn fd_group_sizes(
 
 /// Sanity helper: are the hypergraph's conflicts confined to `rel` (the
 /// single-FD algorithms assume no other constraints touch the relation)?
-pub fn single_relation_conflicts(
-    g: &crate::hypergraph::ConflictHypergraph,
-    rel: &str,
-) -> bool {
-    let Some(ri) = g.relation_index(rel) else { return true };
-    g.edges().all(|(_, e)| e.iter().all(|v: &Vertex| v.rel == ri))
+pub fn single_relation_conflicts(g: &crate::hypergraph::ConflictHypergraph, rel: &str) -> bool {
+    let Some(ri) = g.relation_index(rel) else {
+        return true;
+    };
+    g.edges()
+        .all(|(_, e)| e.iter().all(|v: &Vertex| v.rel == ri))
 }
 
 #[cfg(test)]
@@ -307,7 +337,13 @@ mod tests {
     fn consistent_relation_has_point_ranges() {
         let db = db(&[(1, 10, 5), (2, 20, 7)]);
         let r = range_aggregate_fd(db.catalog(), "t", &[0], 1, 2, AggOp::Count).unwrap();
-        assert_eq!(r, AggRange { glb: Value::Int(2), lub: Value::Int(2) });
+        assert_eq!(
+            r,
+            AggRange {
+                glb: Value::Int(2),
+                lub: Value::Int(2)
+            }
+        );
         let r = range_aggregate_fd(db.catalog(), "t", &[0], 1, 2, AggOp::Sum).unwrap();
         assert_eq!(r.glb.as_f64(), Some(12.0));
         assert_eq!(r.lub.as_f64(), Some(12.0));
@@ -318,13 +354,25 @@ mod tests {
         // key 1: class v=10 has two tuples, class v=11 has one.
         let db = db(&[(1, 10, 1), (1, 10, 2), (1, 11, 3), (2, 20, 4)]);
         let r = range_aggregate_fd(db.catalog(), "t", &[0], 1, 2, AggOp::Count).unwrap();
-        assert_eq!(r, AggRange { glb: Value::Int(2), lub: Value::Int(3) });
+        assert_eq!(
+            r,
+            AggRange {
+                glb: Value::Int(2),
+                lub: Value::Int(3)
+            }
+        );
     }
 
     #[test]
     fn matches_naive_on_handcrafted_cases() {
         check_all_ops(&[(1, 10, 5), (1, 20, 9), (2, 30, 1)]);
-        check_all_ops(&[(1, 10, 5), (1, 10, 6), (1, 20, -3), (2, 30, 0), (2, 31, 100)]);
+        check_all_ops(&[
+            (1, 10, 5),
+            (1, 10, 6),
+            (1, 20, -3),
+            (2, 30, 0),
+            (2, 31, 100),
+        ]);
         check_all_ops(&[(1, 1, 1)]);
         check_all_ops(&[]);
         check_all_ops(&[(1, 1, -5), (1, 2, -9), (1, 3, 7)]);
@@ -339,7 +387,11 @@ mod tests {
             let n = rng.gen_range(0..10);
             let rows: Vec<(i64, i64, i64)> = (0..n)
                 .map(|_| {
-                    (rng.gen_range(0..4), rng.gen_range(0..3), rng.gen_range(-10..10))
+                    (
+                        rng.gen_range(0..4),
+                        rng.gen_range(0..3),
+                        rng.gen_range(-10..10),
+                    )
                 })
                 .collect();
             // Deduplicate (set semantics).
@@ -354,9 +406,21 @@ mod tests {
     fn empty_relation_yields_null_minmax() {
         let db = db(&[]);
         let r = range_aggregate_fd(db.catalog(), "t", &[0], 1, 2, AggOp::Min).unwrap();
-        assert_eq!(r, AggRange { glb: Value::Null, lub: Value::Null });
+        assert_eq!(
+            r,
+            AggRange {
+                glb: Value::Null,
+                lub: Value::Null
+            }
+        );
         let r = range_aggregate_fd(db.catalog(), "t", &[0], 1, 2, AggOp::Count).unwrap();
-        assert_eq!(r, AggRange { glb: Value::Int(0), lub: Value::Int(0) });
+        assert_eq!(
+            r,
+            AggRange {
+                glb: Value::Int(0),
+                lub: Value::Int(0)
+            }
+        );
     }
 
     #[test]

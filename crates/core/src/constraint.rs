@@ -49,7 +49,11 @@ pub struct Comparison {
 impl Comparison {
     /// Attribute-to-attribute equality shorthand.
     pub fn attr_eq(a: AttrRef, b: AttrRef) -> Comparison {
-        Comparison { op: CmpOp::Eq, left: Term::Attr(a), right: Term::Attr(b) }
+        Comparison {
+            op: CmpOp::Eq,
+            left: Term::Attr(a),
+            right: Term::Attr(b),
+        }
     }
 }
 
@@ -73,7 +77,11 @@ impl DenialConstraint {
         atoms: Vec<String>,
         condition: Vec<Comparison>,
     ) -> DenialConstraint {
-        DenialConstraint { name: name.into(), atoms, condition }
+        DenialConstraint {
+            name: name.into(),
+            atoms,
+            condition,
+        }
     }
 
     /// A functional dependency `lhs → rhs` on `rel`: two tuples agreeing on
@@ -82,9 +90,7 @@ impl DenialConstraint {
         let rel = rel.into();
         let mut condition: Vec<Comparison> = lhs
             .iter()
-            .map(|&c| {
-                Comparison::attr_eq(AttrRef { atom: 0, col: c }, AttrRef { atom: 1, col: c })
-            })
+            .map(|&c| Comparison::attr_eq(AttrRef { atom: 0, col: c }, AttrRef { atom: 1, col: c }))
             .collect();
         condition.push(Comparison {
             op: CmpOp::Neq,
@@ -93,9 +99,16 @@ impl DenialConstraint {
         });
         let name = format!(
             "fd:{rel}:{}->{rhs}",
-            lhs.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+            lhs.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
         );
-        DenialConstraint { name, atoms: vec![rel.clone(), rel], condition }
+        DenialConstraint {
+            name,
+            atoms: vec![rel.clone(), rel],
+            condition,
+        }
     }
 
     /// A key constraint: `key` columns determine every other column
@@ -126,7 +139,11 @@ impl DenialConstraint {
             })
             .collect();
         let name = format!("excl:{rel_a}/{rel_b}");
-        DenialConstraint { name, atoms: vec![rel_a, rel_b], condition }
+        DenialConstraint {
+            name,
+            atoms: vec![rel_a, rel_b],
+            condition,
+        }
     }
 
     /// A single-atom CHECK-style denial: tuples of `rel` satisfying `pred`
@@ -309,7 +326,10 @@ mod tests {
         let b: Vec<Value> = vec![Value::text("ann"), Value::Int(200)];
         let c: Vec<Value> = vec![Value::text("bob"), Value::Int(100)];
         assert!(fd.condition_holds(&[&a, &b]), "same name, different salary");
-        assert!(!fd.condition_holds(&[&a, &a]), "identical tuples never violate an FD");
+        assert!(
+            !fd.condition_holds(&[&a, &a]),
+            "identical tuples never violate an FD"
+        );
         assert!(!fd.condition_holds(&[&a, &c]), "different names");
     }
 
@@ -319,7 +339,10 @@ mod tests {
         let a: Vec<Value> = vec![Value::text("ann"), Value::Int(1)];
         let b: Vec<Value> = vec![Value::text("ann"), Value::Int(2)];
         assert!(ex.condition_holds(&[&a, &b]));
-        assert!(ex.condition_holds(&[&a, &a]), "exclusion can be violated by one tuple twice");
+        assert!(
+            ex.condition_holds(&[&a, &a]),
+            "exclusion can be violated by one tuple twice"
+        );
     }
 
     #[test]
@@ -362,11 +385,19 @@ mod tests {
         let fd = DenialConstraint::functional_dependency("emp", &[0], 1);
         let pred = fd.condition_as_pred(&[2, 2]);
         // t0 = (ann, 100), t1 = (ann, 200) concatenated
-        let row: Vec<Value> =
-            vec![Value::text("ann"), Value::Int(100), Value::text("ann"), Value::Int(200)];
+        let row: Vec<Value> = vec![
+            Value::text("ann"),
+            Value::Int(100),
+            Value::text("ann"),
+            Value::Int(200),
+        ];
         assert!(pred.eval(&row));
-        let same: Vec<Value> =
-            vec![Value::text("ann"), Value::Int(100), Value::text("ann"), Value::Int(100)];
+        let same: Vec<Value> = vec![
+            Value::text("ann"),
+            Value::Int(100),
+            Value::text("ann"),
+            Value::Int(100),
+        ];
         assert!(!pred.eval(&same));
     }
 

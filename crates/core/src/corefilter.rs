@@ -19,7 +19,7 @@ use crate::envelope::envelope;
 use crate::hypergraph::ConflictHypergraph;
 use crate::query::SjudQuery;
 use hippo_engine::{Catalog, Row};
-use std::collections::HashSet;
+use rustc_hash::FxHashSet;
 
 /// Evaluate the core filter: a set of tuples guaranteed to be consistent
 /// answers. `core` is the conflict-free instance view, `full` the complete
@@ -69,8 +69,11 @@ fn eval_filter(
             // over-approximation of r in any repair, so what survives the
             // subtraction is absent from r in every repair.
             let renv = envelope(r);
-            let rv: HashSet<Row> = renv.eval_over(full).into_iter().collect();
-            eval_filter(l, core, full).into_iter().filter(|row| !rv.contains(row)).collect()
+            let rv: FxHashSet<Row> = renv.eval_over(full).into_iter().collect();
+            eval_filter(l, core, full)
+                .into_iter()
+                .filter(|row| !rv.contains(row))
+                .collect()
         }
         SjudQuery::Permute { input, perm } => eval_filter(input, core, full)
             .into_iter()
@@ -95,11 +98,7 @@ pub fn core_filter_on_catalog(
 
 /// Direct (nested-loop) evaluation over instance views — the reference
 /// implementation the SQL path is checked against in tests.
-pub fn core_filter_direct(
-    q: &SjudQuery,
-    catalog: &Catalog,
-    g: &ConflictHypergraph,
-) -> Vec<Row> {
+pub fn core_filter_direct(q: &SjudQuery, catalog: &Catalog, g: &ConflictHypergraph) -> Vec<Row> {
     let core = crate::repair::core_instance(catalog, g);
     let full = |rel: &str| catalog.table(rel).map(|t| t.rows()).unwrap_or_default();
     core_filter_rows(q, &core, &full)
@@ -216,7 +215,9 @@ mod tests {
             .unwrap();
         db.insert_rows(
             "emp",
-            rows.iter().map(|&(n, s)| vec![Value::text(n), Value::Int(s)]).collect(),
+            rows.iter()
+                .map(|&(n, s)| vec![Value::text(n), Value::Int(s)])
+                .collect(),
         )
         .unwrap();
         db
@@ -238,13 +239,21 @@ mod tests {
         let fd = [DenialConstraint::functional_dependency("emp", &[0], 1)];
         let (g, _) = detect_conflicts(db.catalog(), &fd).unwrap();
         // q = emp − σ_{salary < 150}(emp)
-        let q = SjudQuery::rel("emp")
-            .diff(SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Lt, 150i64)));
+        let q = SjudQuery::rel("emp").diff(SjudQuery::rel("emp").select(Pred::cmp_const(
+            1,
+            CmpOp::Lt,
+            150i64,
+        )));
         let filtered = core_filter_on_catalog(&q, db.catalog(), &g);
         // Every filtered tuple must be verified consistent by the prover.
         let template = MembershipTemplate::build(&q, db.catalog()).unwrap();
-        let mut prover =
-            Prover::new(&g, &template, CatalogMembership { catalog: db.catalog() });
+        let mut prover = Prover::new(
+            &g,
+            &template,
+            CatalogMembership {
+                catalog: db.catalog(),
+            },
+        );
         for row in &filtered {
             assert!(
                 prover.is_consistent_answer(row).unwrap(),
@@ -297,7 +306,10 @@ mod sql_path_tests {
                 .create_table(
                     TableSchema::new(
                         name,
-                        vec![Column::new("k", DataType::Int), Column::new("v", DataType::Int)],
+                        vec![
+                            Column::new("k", DataType::Int),
+                            Column::new("v", DataType::Int),
+                        ],
                         &[],
                     )
                     .unwrap(),
@@ -305,9 +317,12 @@ mod sql_path_tests {
                 .unwrap();
         }
         let rows = |xs: &[(i64, i64)]| {
-            xs.iter().map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]).collect()
+            xs.iter()
+                .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)])
+                .collect()
         };
-        db.insert_rows("t", rows(&[(1, 10), (1, 20), (2, 30), (3, 40), (3, 40)])).unwrap();
+        db.insert_rows("t", rows(&[(1, 10), (1, 20), (2, 30), (3, 40), (3, 40)]))
+            .unwrap();
         db.insert_rows("u", rows(&[(2, 30), (9, 90)])).unwrap();
         db
     }

@@ -7,15 +7,25 @@
 //!
 //! * **FD fast path** — functional dependencies group tuples by the LHS
 //!   columns with one hash pass and emit an edge per RHS-disagreeing pair.
+//!   Grouping is *zero-copy*: rows are bucketed by the Fx hash of their
+//!   LHS projection (no key `Vec<Value>` is built) and candidate pairs
+//!   re-verify LHS equality, which also neutralises hash collisions.
 //! * **General denials** — atoms are joined left-to-right; whenever the
 //!   next atom is linked to an already-bound atom by equality comparisons,
-//!   a hash index on those columns replaces the nested-loop scan.
+//!   a pre-sized Fx hash index on those columns replaces the nested-loop
+//!   scan.
+//!
+//! Edges are pushed straight into the [`ConflictHypergraph`]'s CSR arena
+//! (facts are interned on insert); detection ends with
+//! [`ConflictHypergraph::finalize`], which freezes the vertex→edge
+//! adjacency into its compact offset-array form for the prover's reads.
 
 use crate::constraint::{Comparison, DenialConstraint, Term};
 use crate::hypergraph::{ConflictHypergraph, Vertex};
 use crate::pred::CmpOp;
 use hippo_engine::{Catalog, EngineError, Row, TupleId, Value};
-use std::collections::HashMap;
+use rustc_hash::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
 /// Detection statistics (reported by experiment E4).
@@ -31,6 +41,22 @@ pub struct DetectStats {
 
 /// Build the conflict hypergraph for `constraints` over the catalog.
 pub fn detect_conflicts(
+    catalog: &Catalog,
+    constraints: &[DenialConstraint],
+) -> Result<(ConflictHypergraph, DetectStats), EngineError> {
+    let start = Instant::now();
+    let (mut g, mut stats) = detect_conflicts_unfinalized(catalog, constraints)?;
+    // Compact adjacency into CSR form: construction is over, the prover
+    // only reads from here on.
+    g.finalize();
+    stats.elapsed = start.elapsed();
+    Ok((g, stats))
+}
+
+/// Like [`detect_conflicts`] but leaves the graph un-finalized, for callers
+/// that will add more edges (e.g. foreign-key orphan edges) before
+/// freezing the adjacency themselves.
+pub(crate) fn detect_conflicts_unfinalized(
     catalog: &Catalog,
     constraints: &[DenialConstraint],
 ) -> Result<(ConflictHypergraph, DetectStats), EngineError> {
@@ -62,14 +88,18 @@ fn as_fd(c: &DenialConstraint) -> Option<(String, Vec<usize>, usize)> {
     let mut rhs = None;
     for cmp in &c.condition {
         match cmp {
-            Comparison { op: CmpOp::Eq, left: Term::Attr(a), right: Term::Attr(b) }
-                if a.atom != b.atom && a.col == b.col =>
-            {
+            Comparison {
+                op: CmpOp::Eq,
+                left: Term::Attr(a),
+                right: Term::Attr(b),
+            } if a.atom != b.atom && a.col == b.col => {
                 lhs.push(a.col);
             }
-            Comparison { op: CmpOp::Neq, left: Term::Attr(a), right: Term::Attr(b) }
-                if a.atom != b.atom && a.col == b.col && rhs.is_none() =>
-            {
+            Comparison {
+                op: CmpOp::Neq,
+                left: Term::Attr(a),
+                right: Term::Attr(b),
+            } if a.atom != b.atom && a.col == b.col && rhs.is_none() => {
                 rhs = Some(a.col);
             }
             _ => return None,
@@ -89,31 +119,51 @@ fn detect_fd(
 ) -> Result<(), EngineError> {
     let table = catalog.table(rel)?;
     let ri = g.intern(rel);
-    // Group by LHS values.
-    let mut groups: HashMap<Vec<Value>, Vec<(TupleId, &Row)>> = HashMap::new();
-    for (tid, row) in table.iter() {
-        let key: Vec<Value> = lhs.iter().map(|&c| row[c].clone()).collect();
-        // NULLs in the LHS never participate in FD violations (SQL
-        // comparison with NULL is unknown).
-        if key.iter().any(Value::is_null) {
-            continue;
+    // Group by LHS values — zero-clone: buckets are keyed by the Fx hash
+    // of the LHS projection and pairs re-verify LHS equality, so no key
+    // `Vec<Value>` is ever materialised. (Hash collisions merely co-locate
+    // unrelated rows; the equality check keeps them from pairing.)
+    let mut groups: FxHashMap<u64, Vec<(TupleId, &Row)>> =
+        FxHashMap::with_capacity_and_hasher(table.len(), Default::default());
+    'rows: for (tid, row) in table.iter() {
+        let mut h = FxHasher::default();
+        for &c in lhs {
+            // NULLs in the LHS never participate in FD violations (SQL
+            // comparison with NULL is unknown).
+            if row[c].is_null() {
+                continue 'rows;
+            }
+            row[c].hash(&mut h);
         }
-        groups.entry(key).or_default().push((tid, row));
+        groups.entry(h.finish()).or_default().push((tid, row));
     }
     for group in groups.values() {
         if group.len() < 2 {
             continue;
         }
-        // Partition by RHS value; any cross-partition pair is an edge.
+        // Partition by RHS value; any same-LHS cross-partition pair is an
+        // edge.
         for (i, (tid_a, row_a)) in group.iter().enumerate() {
             for (tid_b, row_b) in group.iter().skip(i + 1) {
                 stats.combinations_checked += 1;
+                if lhs.iter().any(|&c| row_a[c] != row_b[c]) {
+                    continue; // hash collision, not a real group-mate
+                }
                 let va = &row_a[rhs];
                 let vb = &row_b[rhs];
                 if va.sql_eq(vb) == Some(false) {
                     stats.edges_emitted += 1;
                     g.add_edge(
-                        vec![Vertex { rel: ri, tid: *tid_a }, Vertex { rel: ri, tid: *tid_b }],
+                        &[
+                            Vertex {
+                                rel: ri,
+                                tid: *tid_a,
+                            },
+                            Vertex {
+                                rel: ri,
+                                tid: *tid_b,
+                            },
+                        ],
                         &[row_a, row_b],
                         ci,
                     );
@@ -136,8 +186,11 @@ fn detect_general(
 
     // Materialise each atom's rows (tables are already in memory; this
     // borrows them).
-    let tables: Vec<&hippo_engine::Table> =
-        c.atoms.iter().map(|r| catalog.table(r)).collect::<Result<_, _>>()?;
+    let tables: Vec<&hippo_engine::Table> = c
+        .atoms
+        .iter()
+        .map(|r| catalog.table(r))
+        .collect::<Result<_, _>>()?;
 
     // Bind atoms left to right; each partial assignment is a prefix of
     // (tuple id, row) bindings. Start from the single empty assignment.
@@ -167,7 +220,8 @@ fn detect_general(
         } else {
             // Hash index on the new atom keyed by the linked columns.
             let key_cols: Vec<usize> = links.iter().map(|&(_, _, nc)| nc).collect();
-            let mut index: HashMap<Vec<Value>, Vec<(TupleId, Row)>> = HashMap::new();
+            let mut index: FxHashMap<Vec<Value>, Vec<(TupleId, Row)>> =
+                FxHashMap::with_capacity_and_hasher(table.len(), Default::default());
             for (tid, row) in table.iter() {
                 let key: Vec<Value> = key_cols.iter().map(|&c| row[c].clone()).collect();
                 if key.iter().any(Value::is_null) {
@@ -206,9 +260,12 @@ fn detect_general(
         let vertices: Vec<Vertex> = assign
             .iter()
             .enumerate()
-            .map(|(i, (tid, _))| Vertex { rel: rels[i], tid: *tid })
+            .map(|(i, (tid, _))| Vertex {
+                rel: rels[i],
+                tid: *tid,
+            })
             .collect();
-        g.add_edge(vertices, &rows, ci);
+        g.add_edge(&vertices, &rows, ci);
     }
     Ok(())
 }
@@ -265,7 +322,9 @@ mod tests {
             .unwrap();
         db.insert_rows(
             "emp",
-            rows.iter().map(|&(n, s)| vec![Value::text(n), Value::Int(s)]).collect(),
+            rows.iter()
+                .map(|&(n, s)| vec![Value::text(n), Value::Int(s)])
+                .collect(),
         )
         .unwrap();
         db
@@ -300,8 +359,14 @@ mod tests {
     #[test]
     fn fd_null_lhs_is_ignored() {
         let mut db = emp_db(&[("ann", 100)]);
-        db.insert_rows("emp", vec![vec![Value::Null, Value::Int(1)], vec![Value::Null, Value::Int(2)]])
-            .unwrap();
+        db.insert_rows(
+            "emp",
+            vec![
+                vec![Value::Null, Value::Int(1)],
+                vec![Value::Null, Value::Int(2)],
+            ],
+        )
+        .unwrap();
         let fd = DenialConstraint::functional_dependency("emp", &[0], 1);
         let (g, _) = detect_conflicts(db.catalog(), &[fd]).unwrap();
         assert_eq!(g.edge_count(), 0);
@@ -332,7 +397,10 @@ mod tests {
             .create_table(
                 TableSchema::new(
                     "contractor",
-                    vec![Column::new("name", DataType::Text), Column::new("rate", DataType::Int)],
+                    vec![
+                        Column::new("name", DataType::Text),
+                        Column::new("rate", DataType::Int),
+                    ],
                     &[],
                 )
                 .unwrap(),

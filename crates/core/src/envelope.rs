@@ -57,8 +57,16 @@ mod tests {
     fn envelope_is_homomorphic_elsewhere() {
         let q = SjudQuery::rel("r")
             .select(Pred::cmp_const(0, CmpOp::Gt, 0i64))
-            .union(SjudQuery::rel("s").product(SjudQuery::rel("u")).permute(vec![1, 0]));
-        assert_eq!(envelope(&q), q, "no difference → envelope is the query itself");
+            .union(
+                SjudQuery::rel("s")
+                    .product(SjudQuery::rel("u"))
+                    .permute(vec![1, 0]),
+            );
+        assert_eq!(
+            envelope(&q),
+            q,
+            "no difference → envelope is the query itself"
+        );
     }
 
     #[test]
@@ -73,7 +81,9 @@ mod tests {
     #[test]
     fn difference_under_union_dropped_locally() {
         // (r − s) ∪ u  →  r ∪ u
-        let q = SjudQuery::rel("r").diff(SjudQuery::rel("s")).union(SjudQuery::rel("u"));
+        let q = SjudQuery::rel("r")
+            .diff(SjudQuery::rel("s"))
+            .union(SjudQuery::rel("u"));
         assert_eq!(envelope(&q), SjudQuery::rel("r").union(SjudQuery::rel("u")));
     }
 
@@ -91,8 +101,7 @@ mod tests {
             "u" => rows(&[5, 200]),
             _ => vec![],
         };
-        let env_rows: std::collections::HashSet<Row> =
-            env.eval_over(&full).into_iter().collect();
+        let env_rows: std::collections::HashSet<Row> = env.eval_over(&full).into_iter().collect();
         // Enumerate a few subinstances (drop each element in turn).
         for drop_r in 0..3i64 {
             for drop_s in 0..2i64 {

@@ -37,7 +37,10 @@ pub struct LitTemplate {
 impl LitTemplate {
     /// Instantiate against a candidate tuple.
     pub fn instantiate(&self, tuple: &Row) -> Fact {
-        Fact::new(self.rel.clone(), self.cols.iter().map(|&c| tuple[c].clone()).collect())
+        Fact::new(
+            self.rel.clone(),
+            self.cols.iter().map(|&c| tuple[c].clone()).collect(),
+        )
     }
 }
 
@@ -97,7 +100,10 @@ fn build_rec(
 ) -> Result<FormulaTemplate, EngineError> {
     match q {
         SjudQuery::Rel(rel) => {
-            let lit = LitTemplate { rel: rel.clone(), cols: mapping.to_vec() };
+            let lit = LitTemplate {
+                rel: rel.clone(),
+                cols: mapping.to_vec(),
+            };
             let idx = match literals.iter().position(|l| *l == lit) {
                 Some(i) => i,
                 None => {
@@ -143,11 +149,8 @@ fn build_rec(
                 match inv[j] {
                     None => inv[j] = Some(mapping[i]),
                     Some(first) => {
-                        guards = guards.and(Pred::cmp_cols(
-                            first,
-                            crate::pred::CmpOp::Eq,
-                            mapping[i],
-                        ));
+                        guards =
+                            guards.and(Pred::cmp_cols(first, crate::pred::CmpOp::Eq, mapping[i]));
                     }
                 }
             }
@@ -200,7 +203,10 @@ fn instantiate_rec(t: &FormulaTemplate, tuple: &Row, _literals: &[LitTemplate]) 
     match t {
         FormulaTemplate::True => Formula::Const(true),
         FormulaTemplate::False => Formula::Const(false),
-        FormulaTemplate::Lit(i) => Formula::Lit { index: *i, negated: false },
+        FormulaTemplate::Lit(i) => Formula::Lit {
+            index: *i,
+            negated: false,
+        },
         FormulaTemplate::Guard(p) => Formula::Const(p.eval(tuple)),
         FormulaTemplate::And(a, b) => {
             let fa = instantiate_rec(a, tuple, _literals);
@@ -228,7 +234,10 @@ fn instantiate_rec(t: &FormulaTemplate, tuple: &Row, _literals: &[LitTemplate]) 
 pub fn negate(f: Formula) -> Formula {
     match f {
         Formula::Const(b) => Formula::Const(!b),
-        Formula::Lit { index, negated } => Formula::Lit { index, negated: !negated },
+        Formula::Lit { index, negated } => Formula::Lit {
+            index,
+            negated: !negated,
+        },
         Formula::And(parts) => Formula::Or(parts.into_iter().map(negate).collect()),
         Formula::Or(parts) => Formula::And(parts.into_iter().map(negate).collect()),
     }
@@ -318,7 +327,10 @@ mod tests {
                 .create_table(
                     TableSchema::new(
                         name,
-                        vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)],
+                        vec![
+                            Column::new("a", DataType::Int),
+                            Column::new("b", DataType::Int),
+                        ],
                         &[],
                     )
                     .unwrap(),
@@ -336,10 +348,25 @@ mod tests {
     fn relation_leaf_is_single_literal() {
         let db = db();
         let t = MembershipTemplate::build(&SjudQuery::rel("r"), db.catalog()).unwrap();
-        assert_eq!(t.literals, vec![LitTemplate { rel: "r".into(), cols: vec![0, 1] }]);
+        assert_eq!(
+            t.literals,
+            vec![LitTemplate {
+                rel: "r".into(),
+                cols: vec![0, 1]
+            }]
+        );
         let f = t.instantiate(&row(&[1, 2]));
-        assert_eq!(f, Formula::Lit { index: 0, negated: false });
-        assert_eq!(t.literals[0].instantiate(&row(&[1, 2])), Fact::new("r", row(&[1, 2])));
+        assert_eq!(
+            f,
+            Formula::Lit {
+                index: 0,
+                negated: false
+            }
+        );
+        assert_eq!(
+            t.literals[0].instantiate(&row(&[1, 2])),
+            Fact::new("r", row(&[1, 2]))
+        );
     }
 
     #[test]
@@ -348,7 +375,13 @@ mod tests {
         let q = SjudQuery::rel("r").select(Pred::cmp_const(0, CmpOp::Gt, 5i64));
         let t = MembershipTemplate::build(&q, db.catalog()).unwrap();
         // Guard true: formula is the literal; guard false: formula is false.
-        assert_eq!(t.instantiate(&row(&[9, 0])), Formula::Lit { index: 0, negated: false });
+        assert_eq!(
+            t.instantiate(&row(&[9, 0])),
+            Formula::Lit {
+                index: 0,
+                negated: false
+            }
+        );
         assert_eq!(t.instantiate(&row(&[1, 0])), Formula::Const(false));
     }
 
@@ -361,9 +394,14 @@ mod tests {
         assert_eq!(t.literals[0].cols, vec![0, 1]);
         assert_eq!(t.literals[1].cols, vec![2, 3]);
         let f = t.instantiate(&row(&[1, 2, 3, 4]));
-        let Formula::And(parts) = f else { panic!("{f:?}") };
+        let Formula::And(parts) = f else {
+            panic!("{f:?}")
+        };
         assert_eq!(parts.len(), 2);
-        assert_eq!(t.literals[1].instantiate(&row(&[1, 2, 3, 4])), Fact::new("s", row(&[3, 4])));
+        assert_eq!(
+            t.literals[1].instantiate(&row(&[1, 2, 3, 4])),
+            Fact::new("s", row(&[3, 4]))
+        );
     }
 
     #[test]
@@ -374,16 +412,27 @@ mod tests {
         assert!(matches!(t.instantiate(&row(&[1, 2])), Formula::Or(_)));
         let q = SjudQuery::rel("r").diff(SjudQuery::rel("s"));
         let t = MembershipTemplate::build(&q, db.catalog()).unwrap();
-        let Formula::And(parts) = t.instantiate(&row(&[1, 2])) else { panic!() };
-        assert_eq!(parts[1], Formula::Lit { index: 1, negated: true });
+        let Formula::And(parts) = t.instantiate(&row(&[1, 2])) else {
+            panic!()
+        };
+        assert_eq!(
+            parts[1],
+            Formula::Lit {
+                index: 1,
+                negated: true
+            }
+        );
     }
 
     #[test]
     fn identical_leaves_share_a_literal() {
         let db = db();
         // r − σ(r): both leaves have the same (rel, cols) template.
-        let q = SjudQuery::rel("r")
-            .diff(SjudQuery::rel("r").select(Pred::cmp_const(0, CmpOp::Lt, 0i64)));
+        let q = SjudQuery::rel("r").diff(SjudQuery::rel("r").select(Pred::cmp_const(
+            0,
+            CmpOp::Lt,
+            0i64,
+        )));
         let t = MembershipTemplate::build(&q, db.catalog()).unwrap();
         assert_eq!(t.literals.len(), 1);
     }
@@ -395,7 +444,10 @@ mod tests {
         let t = MembershipTemplate::build(&q, db.catalog()).unwrap();
         // candidate (x, y) corresponds to base fact r(y, x)
         assert_eq!(t.literals[0].cols, vec![1, 0]);
-        assert_eq!(t.literals[0].instantiate(&row(&[10, 20])), Fact::new("r", row(&[20, 10])));
+        assert_eq!(
+            t.literals[0].instantiate(&row(&[10, 20])),
+            Fact::new("r", row(&[20, 10]))
+        );
     }
 
     #[test]
@@ -405,21 +457,36 @@ mod tests {
         let t = MembershipTemplate::build(&q, db.catalog()).unwrap();
         // candidate (x, y, z): requires x = z
         assert_eq!(t.instantiate(&row(&[1, 2, 3])), Formula::Const(false));
-        assert!(matches!(t.instantiate(&row(&[1, 2, 1])), Formula::Lit { .. }));
+        assert!(matches!(
+            t.instantiate(&row(&[1, 2, 1])),
+            Formula::Lit { .. }
+        ));
     }
 
     #[test]
     fn negate_flips_polarity_in_nnf() {
         let f = Formula::And(vec![
-            Formula::Lit { index: 0, negated: false },
-            Formula::Lit { index: 1, negated: true },
+            Formula::Lit {
+                index: 0,
+                negated: false,
+            },
+            Formula::Lit {
+                index: 1,
+                negated: true,
+            },
         ]);
         let n = negate(f);
         assert_eq!(
             n,
             Formula::Or(vec![
-                Formula::Lit { index: 0, negated: true },
-                Formula::Lit { index: 1, negated: false },
+                Formula::Lit {
+                    index: 0,
+                    negated: true
+                },
+                Formula::Lit {
+                    index: 1,
+                    negated: false
+                },
             ])
         );
     }
@@ -429,23 +496,50 @@ mod tests {
         // (a ∨ b) ∧ ¬c → {a,¬c}, {b,¬c}
         let f = Formula::And(vec![
             Formula::Or(vec![
-                Formula::Lit { index: 0, negated: false },
-                Formula::Lit { index: 1, negated: false },
+                Formula::Lit {
+                    index: 0,
+                    negated: false,
+                },
+                Formula::Lit {
+                    index: 1,
+                    negated: false,
+                },
             ]),
-            Formula::Lit { index: 2, negated: true },
+            Formula::Lit {
+                index: 2,
+                negated: true,
+            },
         ]);
         let dnf = to_dnf(&f);
         assert_eq!(dnf.len(), 2);
-        assert_eq!(dnf[0], Disjunct { positive: vec![0], negative: vec![2] });
-        assert_eq!(dnf[1], Disjunct { positive: vec![1], negative: vec![2] });
+        assert_eq!(
+            dnf[0],
+            Disjunct {
+                positive: vec![0],
+                negative: vec![2]
+            }
+        );
+        assert_eq!(
+            dnf[1],
+            Disjunct {
+                positive: vec![1],
+                negative: vec![2]
+            }
+        );
     }
 
     #[test]
     fn dnf_drops_contradictions() {
         // a ∧ ¬a → empty DNF (unsatisfiable)
         let f = Formula::And(vec![
-            Formula::Lit { index: 0, negated: false },
-            Formula::Lit { index: 0, negated: true },
+            Formula::Lit {
+                index: 0,
+                negated: false,
+            },
+            Formula::Lit {
+                index: 0,
+                negated: true,
+            },
         ]);
         assert!(to_dnf(&f).is_empty());
     }
@@ -461,10 +555,19 @@ mod tests {
         // random-ish spot check: f = (l0 ∧ ¬l1) ∨ l2
         let f = Formula::Or(vec![
             Formula::And(vec![
-                Formula::Lit { index: 0, negated: false },
-                Formula::Lit { index: 1, negated: true },
+                Formula::Lit {
+                    index: 0,
+                    negated: false,
+                },
+                Formula::Lit {
+                    index: 1,
+                    negated: true,
+                },
             ]),
-            Formula::Lit { index: 2, negated: false },
+            Formula::Lit {
+                index: 2,
+                negated: false,
+            },
         ]);
         let dnf = to_dnf(&f);
         for bits in 0u8..8 {

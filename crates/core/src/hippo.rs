@@ -27,7 +27,7 @@ use crate::kg::{extended_envelope_sql, split_gathered, GatheredMembership, SqlMe
 use crate::prover::{Prover, ProverRunStats};
 use crate::query::SjudQuery;
 use hippo_engine::{Database, EngineError, Row};
-use std::collections::HashSet;
+use rustc_hash::FxHashSet;
 use std::time::{Duration, Instant};
 
 /// Optimization switches.
@@ -43,17 +43,26 @@ pub struct HippoOptions {
 impl HippoOptions {
     /// Base system: no optimizations.
     pub fn base() -> Self {
-        HippoOptions { knowledge_gathering: false, core_filter: false }
+        HippoOptions {
+            knowledge_gathering: false,
+            core_filter: false,
+        }
     }
 
     /// Knowledge gathering only.
     pub fn kg() -> Self {
-        HippoOptions { knowledge_gathering: true, core_filter: false }
+        HippoOptions {
+            knowledge_gathering: true,
+            core_filter: false,
+        }
     }
 
     /// Knowledge gathering + core filter (the fully optimized system).
     pub fn full() -> Self {
-        HippoOptions { knowledge_gathering: true, core_filter: true }
+        HippoOptions {
+            knowledge_gathering: true,
+            core_filter: true,
+        }
     }
 }
 
@@ -103,7 +112,13 @@ impl Hippo {
     /// detection (Figure 1's lower path).
     pub fn new(db: Database, constraints: Vec<DenialConstraint>) -> Result<Hippo, EngineError> {
         let (graph, detect_stats) = detect_conflicts(db.catalog(), &constraints)?;
-        Ok(Hippo { db, constraints, graph, detect_stats, options: HippoOptions::default() })
+        Ok(Hippo {
+            db,
+            constraints,
+            graph,
+            detect_stats,
+            options: HippoOptions::default(),
+        })
     }
 
     /// Build with explicit options.
@@ -126,6 +141,12 @@ impl Hippo {
     /// [`Hippo::redetect`] afterwards.
     pub fn db_mut(&mut self) -> &mut Database {
         &mut self.db
+    }
+
+    /// Tear down the system, returning the owned database (e.g. to rebuild
+    /// with different constraints).
+    pub fn into_database(self) -> Database {
+        self.db
     }
 
     /// Re-run conflict detection after data changes.
@@ -161,13 +182,26 @@ impl Hippo {
         foreign_keys: Vec<crate::inclusion::ForeignKey>,
     ) -> Result<Hippo, EngineError> {
         crate::inclusion::validate_restricted(&foreign_keys, &constraints, db.catalog())?;
-        let (mut graph, mut detect_stats) = detect_conflicts(db.catalog(), &constraints)?;
+        // Un-finalized: orphan edges are still coming; freeze once, below.
+        let (mut graph, mut detect_stats) =
+            crate::detect::detect_conflicts_unfinalized(db.catalog(), &constraints)?;
         for (i, fk) in foreign_keys.iter().enumerate() {
-            let added =
-                crate::inclusion::orphan_edges(&mut graph, db.catalog(), fk, constraints.len() + i)?;
+            let added = crate::inclusion::orphan_edges(
+                &mut graph,
+                db.catalog(),
+                fk,
+                constraints.len() + i,
+            )?;
             detect_stats.edges_emitted += added;
         }
-        Ok(Hippo { db, constraints, graph, detect_stats, options: HippoOptions::default() })
+        graph.finalize();
+        Ok(Hippo {
+            db,
+            constraints,
+            graph,
+            detect_stats,
+            options: HippoOptions::default(),
+        })
     }
 
     /// Compute the consistent answers to `query`. Returns sorted rows.
@@ -211,19 +245,20 @@ impl Hippo {
 
         // ---- Core filter (optional) ----
         let tf = Instant::now();
-        let filtered: HashSet<Row> = if self.options.core_filter {
+        let filtered: FxHashSet<Row> = if self.options.core_filter {
             core_filter_on_catalog(query, self.db.catalog(), &self.graph)
                 .into_iter()
                 .collect()
         } else {
-            HashSet::new()
+            FxHashSet::default()
         };
         stats.t_filter = tf.elapsed();
 
         // ---- Prover ----
         let tp = Instant::now();
         let mut answers: Vec<Row> = Vec::new();
-        let mut seen: HashSet<Row> = HashSet::with_capacity(candidates.len());
+        let mut seen: FxHashSet<Row> =
+            FxHashSet::with_capacity_and_hasher(candidates.len(), Default::default());
         let mut prover_stats = ProverRunStats::default();
         let mut membership_queries = 0usize;
         for (i, cand) in candidates.iter().enumerate() {
@@ -237,8 +272,7 @@ impl Hippo {
             }
             stats.prover_calls += 1;
             let ok = if let Some(flags) = &flags {
-                let membership =
-                    GatheredMembership::for_candidate(&template, cand, &flags[i]);
+                let membership = GatheredMembership::for_candidate(&template, cand, &flags[i]);
                 let mut prover = Prover::new(&self.graph, &template, membership);
                 let ok = prover.is_consistent_answer(cand)?;
                 prover_stats = merge(prover_stats, prover.stats);
@@ -300,7 +334,9 @@ mod tests {
             .unwrap();
         db.insert_rows(
             "emp",
-            rows.iter().map(|&(n, s)| vec![Value::text(n), Value::Int(s)]).collect(),
+            rows.iter()
+                .map(|&(n, s)| vec![Value::text(n), Value::Int(s)])
+                .collect(),
         )
         .unwrap();
         db
@@ -314,8 +350,11 @@ mod tests {
         vec![
             SjudQuery::rel("emp"),
             SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Ge, 150i64)),
-            SjudQuery::rel("emp")
-                .diff(SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Lt, 150i64))),
+            SjudQuery::rel("emp").diff(SjudQuery::rel("emp").select(Pred::cmp_const(
+                1,
+                CmpOp::Lt,
+                150i64,
+            ))),
             SjudQuery::rel("emp")
                 .select(Pred::cmp_const(1, CmpOp::Lt, 150i64))
                 .union(SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Ge, 250i64))),
@@ -325,9 +364,19 @@ mod tests {
 
     #[test]
     fn all_option_levels_agree_with_ground_truth() {
-        let rows =
-            [("ann", 100), ("ann", 200), ("bob", 300), ("cyd", 50), ("cyd", 60), ("dee", 400)];
-        for opts in [HippoOptions::base(), HippoOptions::kg(), HippoOptions::full()] {
+        let rows = [
+            ("ann", 100),
+            ("ann", 200),
+            ("bob", 300),
+            ("cyd", 50),
+            ("cyd", 60),
+            ("dee", 400),
+        ];
+        for opts in [
+            HippoOptions::base(),
+            HippoOptions::kg(),
+            HippoOptions::full(),
+        ] {
             let db = emp_db(&rows);
             let hippo = Hippo::with_options(db, fd(), opts).unwrap();
             let truth_graph = hippo.graph();
@@ -342,24 +391,35 @@ mod tests {
     #[test]
     fn kg_issues_no_membership_queries_base_does() {
         let rows = [("ann", 100), ("ann", 200), ("bob", 300)];
-        let q = SjudQuery::rel("emp")
-            .diff(SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Lt, 150i64)));
+        let q = SjudQuery::rel("emp").diff(SjudQuery::rel("emp").select(Pred::cmp_const(
+            1,
+            CmpOp::Lt,
+            150i64,
+        )));
 
         let hippo = Hippo::with_options(emp_db(&rows), fd(), HippoOptions::base()).unwrap();
         let (_, base_stats) = hippo.consistent_answers_with_stats(&q).unwrap();
-        assert!(base_stats.membership_queries > 0, "base mode pays per-check queries");
+        assert!(
+            base_stats.membership_queries > 0,
+            "base mode pays per-check queries"
+        );
 
         let hippo = Hippo::with_options(emp_db(&rows), fd(), HippoOptions::kg()).unwrap();
         let (_, kg_stats) = hippo.consistent_answers_with_stats(&q).unwrap();
-        assert_eq!(kg_stats.membership_queries, 0, "KG answers from gathered flags");
-        assert!(kg_stats.prover.membership_checks > 0, "checks still happen, just locally");
+        assert_eq!(
+            kg_stats.membership_queries, 0,
+            "KG answers from gathered flags"
+        );
+        assert!(
+            kg_stats.prover.membership_checks > 0,
+            "checks still happen, just locally"
+        );
     }
 
     #[test]
     fn core_filter_reduces_prover_calls() {
         // Lots of clean tuples, one conflict.
-        let mut rows: Vec<(String, i64)> =
-            (0..50).map(|i| (format!("p{i}"), 100 + i)).collect();
+        let mut rows: Vec<(String, i64)> = (0..50).map(|i| (format!("p{i}"), 100 + i)).collect();
         rows.push(("p0".into(), 999)); // conflict with p0
         let mut db = Database::new();
         db.catalog_mut()
@@ -377,7 +437,9 @@ mod tests {
             .unwrap();
         db.insert_rows(
             "emp",
-            rows.iter().map(|(n, s)| vec![Value::text(n.clone()), Value::Int(*s)]).collect(),
+            rows.iter()
+                .map(|(n, s)| vec![Value::text(n.clone()), Value::Int(*s)])
+                .collect(),
         )
         .unwrap();
         let q = SjudQuery::rel("emp");
@@ -418,7 +480,10 @@ mod tests {
 
         assert_eq!(ans_kg, ans_full);
         assert!(s_full.prover_calls < s_kg.prover_calls);
-        assert_eq!(s_full.prover_calls, 2, "only the two conflicting tuples reach the prover");
+        assert_eq!(
+            s_full.prover_calls, 2,
+            "only the two conflicting tuples reach the prover"
+        );
         assert_eq!(s_full.filtered_consistent, 49);
     }
 

@@ -1,4 +1,5 @@
-//! The conflict hypergraph.
+//! The conflict hypergraph, stored in compressed sparse row (CSR) form
+//! with an interned fact table.
 //!
 //! Vertices are the *physical tuples* of the database instance; a
 //! hyperedge connects the tuples that jointly violate one integrity
@@ -8,9 +9,38 @@
 //! ever materialising a repair. The hypergraph has polynomial size (at
 //! most `n^k` edges for `k`-ary constraints) and is kept in main memory,
 //! as the paper assumes.
+//!
+//! # Representation
+//!
+//! The paper's performance argument rests on the prover doing *cheap*
+//! main-memory lookups, so the layout is optimized for probe cost:
+//!
+//! * **Edges** live in a flat vertex arena (`edge_vertices`) with an
+//!   offset array (`edge_offsets`); edge `e` is the slice
+//!   `edge_vertices[edge_offsets[e] .. edge_offsets[e+1]]`. No per-edge
+//!   `Vec`, no second copy for dedup: duplicates are detected through a
+//!   hash → chained-index table (`edge_dedup_head` / `edge_dedup_next`)
+//!   keyed by the Fx hash of the sorted vertex slice, comparing against
+//!   the arena on collision.
+//! * **Facts** (`(relation, values)` pairs that query answers talk about)
+//!   are interned to dense [`FactId`]s. The values row is cloned exactly
+//!   once — on first interning — and every later probe
+//!   ([`ConflictHypergraph::fact_id`], [`ConflictHypergraph::vertices_of_fact`])
+//!   hashes the *borrowed* relation + row and walks a chained bucket, so
+//!   lookups (hit or miss) never allocate.
+//! * **Vertex → edge adjacency** is built incrementally in a hash map and
+//!   compacted into a CSR offset/edge-id array pair by
+//!   [`ConflictHypergraph::finalize`] (called automatically at the end of
+//!   conflict detection). Queries work in either state; adding an edge to
+//!   a finalized graph transparently un-freezes it.
+//!
+//! All hash tables use the Fx hasher: keys are small (integers, vertex
+//! pairs, short value rows) and the DoS resistance of SipHash buys nothing
+//! against data the system itself generated.
 
 use hippo_engine::{Row, TupleId};
-use std::collections::{HashMap, HashSet};
+use rustc_hash::{FxHashMap, FxHasher};
+use std::hash::{BuildHasher, Hash, Hasher};
 
 /// A vertex: one physical tuple, identified by interned relation index and
 /// stable tuple id.
@@ -23,7 +53,12 @@ pub struct Vertex {
 }
 
 /// Edge identifier (index into the edge list).
-pub type EdgeId = usize;
+pub type EdgeId = u32;
+
+/// Interned fact identifier: a dense index for one distinct
+/// `(relation, values)` pair. Stable for the lifetime of the hypergraph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactId(pub u32);
 
 /// A fact: relation name + tuple values. Facts are what query answers talk
 /// about; vertices are the physical tuples that carry them.
@@ -38,31 +73,113 @@ pub struct Fact {
 impl Fact {
     /// Constructor.
     pub fn new(rel: impl Into<String>, values: Row) -> Fact {
-        Fact { rel: rel.into(), values }
+        Fact {
+            rel: rel.into(),
+            values,
+        }
     }
 }
 
-/// The conflict hypergraph.
-#[derive(Debug, Default)]
+/// Sentinel for "no next entry" in the chained bucket arrays.
+const NIL: u32 = u32::MAX;
+
+/// Fx hash of a borrowed fact key; identical for owned and borrowed forms.
+#[inline]
+fn fact_hash(rel: u32, values: &[hippo_engine::Value]) -> u64 {
+    let mut h = FxHasher::default();
+    rel.hash(&mut h);
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Fx hash of a sorted, deduplicated vertex slice.
+#[inline]
+fn edge_hash(vertices: &[Vertex]) -> u64 {
+    let mut h = FxHasher::default();
+    for v in vertices {
+        v.rel.hash(&mut h);
+        v.tid.0.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The conflict hypergraph. `Default` is equivalent to
+/// [`ConflictHypergraph::new`] (the CSR offset array is never empty).
+#[derive(Debug)]
 pub struct ConflictHypergraph {
     rel_names: Vec<String>,
-    rel_index: HashMap<String, u32>,
-    /// Sorted, deduplicated vertex sets; no two edges identical.
-    edges: Vec<Vec<Vertex>>,
-    edge_set: HashSet<Vec<Vertex>>,
-    /// vertex → edges containing it.
-    adjacency: HashMap<Vertex, Vec<EdgeId>>,
+    rel_index: FxHashMap<String, u32>,
+
+    // ---- interned facts ----
+    /// FactId → relation index.
+    fact_rel: Vec<u32>,
+    /// FactId → values (the only owned copy).
+    fact_values: Vec<Row>,
+    /// FactId → conflicting vertices carrying the fact.
+    fact_vertices: Vec<Vec<Vertex>>,
+    /// fact hash → head FactId of the collision chain.
+    fact_head: FxHashMap<u64, u32>,
+    /// FactId → next FactId with the same hash (NIL-terminated).
+    fact_next: Vec<u32>,
+
+    // ---- CSR edge arena ----
+    /// Edge `e` occupies `edge_vertices[edge_offsets[e] .. edge_offsets[e+1]]`.
+    edge_offsets: Vec<u32>,
+    edge_vertices: Vec<Vertex>,
     /// Which constraint produced each edge (index into the detector's
     /// constraint list; for diagnostics and experiments).
-    edge_constraint: Vec<usize>,
-    /// fact (rel index, values) → conflicting vertices carrying it.
-    fact_vertices: HashMap<(u32, Row), Vec<Vertex>>,
+    edge_constraint: Vec<u32>,
+    /// edge hash → head EdgeId of the collision chain (dedup table).
+    edge_dedup_head: FxHashMap<u64, u32>,
+    /// EdgeId → next EdgeId with the same hash (NIL-terminated).
+    edge_dedup_next: Vec<u32>,
+    /// Scratch buffer for sorting incoming edges (reused across calls).
+    scratch: Vec<Vertex>,
+
+    // ---- vertex → edges adjacency ----
+    /// Construction-time adjacency (drained into CSR by `finalize`).
+    adj_build: FxHashMap<Vertex, Vec<EdgeId>>,
+    /// Frozen CSR view: vertex → dense index, offsets, flat edge ids.
+    frozen: bool,
+    vertex_dense: FxHashMap<Vertex, u32>,
+    vertex_list: Vec<Vertex>,
+    adj_offsets: Vec<u32>,
+    adj_edges: Vec<EdgeId>,
+}
+
+impl Default for ConflictHypergraph {
+    fn default() -> ConflictHypergraph {
+        ConflictHypergraph::new()
+    }
 }
 
 impl ConflictHypergraph {
-    /// Empty hypergraph.
+    /// Empty hypergraph. `edge_offsets` starts with the leading 0 sentinel
+    /// every CSR offset array needs (edge `e` spans `offsets[e]..offsets[e+1]`).
     pub fn new() -> ConflictHypergraph {
-        ConflictHypergraph::default()
+        ConflictHypergraph {
+            rel_names: Vec::new(),
+            rel_index: FxHashMap::default(),
+            fact_rel: Vec::new(),
+            fact_values: Vec::new(),
+            fact_vertices: Vec::new(),
+            fact_head: FxHashMap::default(),
+            fact_next: Vec::new(),
+            edge_offsets: vec![0],
+            edge_vertices: Vec::new(),
+            edge_constraint: Vec::new(),
+            edge_dedup_head: FxHashMap::default(),
+            edge_dedup_next: Vec::new(),
+            scratch: Vec::new(),
+            adj_build: FxHashMap::default(),
+            frozen: false,
+            vertex_dense: FxHashMap::default(),
+            vertex_list: Vec::new(),
+            adj_offsets: Vec::new(),
+            adj_edges: Vec::new(),
+        }
     }
 
     /// Intern a relation name.
@@ -86,98 +203,228 @@ impl ConflictHypergraph {
         &self.rel_names[rel as usize]
     }
 
+    // ---- fact interner ----
+
+    /// Number of distinct interned facts.
+    pub fn fact_count(&self) -> usize {
+        self.fact_rel.len()
+    }
+
+    /// Probe for an interned fact by borrowed key. Never allocates —
+    /// hashes the borrowed row and compares within the hash chain.
+    pub fn fact_id_interned(&self, rel: u32, values: &Row) -> Option<FactId> {
+        let hash = fact_hash(rel, values);
+        let mut cur = *self.fact_head.get(&hash)?;
+        while cur != NIL {
+            let i = cur as usize;
+            if self.fact_rel[i] == rel && &self.fact_values[i] == values {
+                return Some(FactId(cur));
+            }
+            cur = self.fact_next[i];
+        }
+        None
+    }
+
+    /// Probe for an interned fact by relation name + borrowed row.
+    pub fn fact_id(&self, rel: &str, values: &Row) -> Option<FactId> {
+        let ri = self.relation_index(rel)?;
+        self.fact_id_interned(ri, values)
+    }
+
+    /// The relation index and values of an interned fact.
+    pub fn fact(&self, id: FactId) -> (u32, &Row) {
+        (
+            self.fact_rel[id.0 as usize],
+            &self.fact_values[id.0 as usize],
+        )
+    }
+
+    /// Intern a fact, cloning the row only on first sight.
+    pub fn intern_fact(&mut self, rel: u32, values: &Row) -> FactId {
+        let hash = fact_hash(rel, values);
+        let head = self.fact_head.get(&hash).copied().unwrap_or(NIL);
+        let mut cur = head;
+        while cur != NIL {
+            let i = cur as usize;
+            if self.fact_rel[i] == rel && &self.fact_values[i] == values {
+                return FactId(cur);
+            }
+            cur = self.fact_next[i];
+        }
+        let id = self.fact_rel.len() as u32;
+        self.fact_rel.push(rel);
+        self.fact_values.push(values.clone());
+        self.fact_vertices.push(Vec::new());
+        self.fact_next.push(head);
+        self.fact_head.insert(hash, id);
+        FactId(id)
+    }
+
+    // ---- edges ----
+
     /// Add an edge (the violation set of one constraint instance).
     /// Vertices are sorted and deduplicated; duplicate edges are ignored.
     /// `values` provides each vertex's tuple values for the fact index.
     pub fn add_edge(
         &mut self,
-        mut vertices: Vec<Vertex>,
+        vertices: &[Vertex],
         values: &[&Row],
         constraint: usize,
     ) -> Option<EdgeId> {
         debug_assert_eq!(vertices.len(), values.len());
-        // Register facts before dedup (values parallel to vertices).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend_from_slice(vertices);
+        scratch.sort_unstable();
+        scratch.dedup();
+        // Duplicate probe first: the dedup tables survive `finalize`, so a
+        // duplicate add on a frozen graph is a pure read (no thaw, no fact
+        // work — a duplicate edge carries no new fact→vertex pairs either).
+        let hash = edge_hash(&scratch);
+        if self.is_duplicate_edge(hash, &scratch) {
+            self.scratch = scratch;
+            return None;
+        }
+        self.unfreeze();
+        // Register facts (values parallel to the caller's vertex order).
         for (v, row) in vertices.iter().zip(values) {
-            let key = (v.rel, (*row).clone());
-            let entry = self.fact_vertices.entry(key).or_default();
+            let fid = self.intern_fact(v.rel, row);
+            let entry = &mut self.fact_vertices[fid.0 as usize];
             if !entry.contains(v) {
                 entry.push(*v);
             }
         }
-        vertices.sort();
-        vertices.dedup();
-        if self.edge_set.contains(&vertices) {
-            return None;
-        }
-        let id = self.edges.len();
-        for v in &vertices {
-            self.adjacency.entry(*v).or_default().push(id);
-        }
-        self.edge_set.insert(vertices.clone());
-        self.edges.push(vertices);
-        self.edge_constraint.push(constraint);
+        let id = self.append_edge(hash, &scratch, constraint);
+        self.scratch = scratch;
         Some(id)
+    }
+
+    /// Walk the chained dedup table for an edge equal to `sorted`.
+    fn is_duplicate_edge(&self, hash: u64, sorted: &[Vertex]) -> bool {
+        let mut cur = self.edge_dedup_head.get(&hash).copied().unwrap_or(NIL);
+        while cur != NIL {
+            if self.edge(cur) == sorted {
+                return true;
+            }
+            cur = self.edge_dedup_next[cur as usize];
+        }
+        false
+    }
+
+    /// Append a known-new edge to the arena, dedup chain and adjacency.
+    fn append_edge(&mut self, hash: u64, sorted: &[Vertex], constraint: usize) -> EdgeId {
+        let id = self.edge_constraint.len() as u32;
+        self.edge_vertices.extend_from_slice(sorted);
+        self.edge_offsets.push(self.edge_vertices.len() as u32);
+        self.edge_constraint.push(constraint as u32);
+        self.edge_dedup_next
+            .push(self.edge_dedup_head.get(&hash).copied().unwrap_or(NIL));
+        self.edge_dedup_head.insert(hash, id);
+        for v in sorted {
+            self.adj_build.entry(*v).or_default().push(id);
+        }
+        id
     }
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.edge_constraint.len()
     }
 
     /// Number of distinct conflicting vertices.
     pub fn conflicting_vertex_count(&self) -> usize {
-        self.adjacency.len()
+        if self.frozen {
+            self.vertex_list.len()
+        } else {
+            self.adj_build.len()
+        }
     }
 
     /// The vertices of an edge.
+    #[inline]
     pub fn edge(&self, id: EdgeId) -> &[Vertex] {
-        &self.edges[id]
+        let i = id as usize;
+        &self.edge_vertices[self.edge_offsets[i] as usize..self.edge_offsets[i + 1] as usize]
     }
 
     /// The constraint index that produced an edge.
     pub fn edge_constraint(&self, id: EdgeId) -> usize {
-        self.edge_constraint[id]
+        self.edge_constraint[id as usize] as usize
     }
 
     /// Iterate all edges.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &[Vertex])> {
-        self.edges.iter().enumerate().map(|(i, e)| (i, e.as_slice()))
+        (0..self.edge_count() as u32).map(|id| (id, self.edge(id)))
     }
 
     /// Edges containing a vertex.
+    #[inline]
     pub fn edges_of(&self, v: Vertex) -> &[EdgeId] {
-        self.adjacency.get(&v).map(Vec::as_slice).unwrap_or(&[])
+        if self.frozen {
+            match self.vertex_dense.get(&v) {
+                Some(&d) => {
+                    let d = d as usize;
+                    &self.adj_edges[self.adj_offsets[d] as usize..self.adj_offsets[d + 1] as usize]
+                }
+                None => &[],
+            }
+        } else {
+            self.adj_build.get(&v).map(Vec::as_slice).unwrap_or(&[])
+        }
     }
 
     /// Is the vertex involved in any conflict?
     pub fn is_conflicting(&self, v: Vertex) -> bool {
-        self.adjacency.contains_key(&v)
+        if self.frozen {
+            self.vertex_dense.contains_key(&v)
+        } else {
+            self.adj_build.contains_key(&v)
+        }
     }
 
-    /// All conflicting vertices (unsorted).
+    /// All conflicting vertices (unsorted before [`finalize`], sorted
+    /// after).
+    ///
+    /// [`finalize`]: ConflictHypergraph::finalize
     pub fn conflicting_vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
-        self.adjacency.keys().copied()
+        // Exactly one side is non-empty depending on frozen state.
+        self.vertex_list
+            .iter()
+            .copied()
+            .chain(self.adj_build.keys().copied())
     }
 
     /// Conflicting vertices carrying a given fact (empty slice when the
-    /// fact is not part of any conflict).
+    /// fact is not part of any conflict). Borrow-based probe: no clone,
+    /// no allocation, hit or miss.
     pub fn vertices_of_fact(&self, rel: &str, values: &Row) -> &[Vertex] {
-        let Some(&ri) = self.rel_index.get(rel) else { return &[] };
-        self.fact_vertices
-            .get(&(ri, values.clone()))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        match self.fact_id(rel, values) {
+            Some(fid) => self.vertices_of_fact_id(fid),
+            None => &[],
+        }
+    }
+
+    /// Conflicting vertices carrying an interned fact.
+    #[inline]
+    pub fn vertices_of_fact_id(&self, id: FactId) -> &[Vertex] {
+        &self.fact_vertices[id.0 as usize]
     }
 
     /// Is a set of vertices independent (no edge fully contained in it)?
     ///
     /// Only edges adjacent to the set need checking, so this is fast for
-    /// the small witness sets the prover builds.
-    pub fn is_independent(&self, set: &HashSet<Vertex>) -> bool {
-        let mut seen = HashSet::new();
-        for v in set {
-            for &eid in self.edges_of(*v) {
-                if seen.insert(eid) && self.edges[eid].iter().all(|u| set.contains(u)) {
+    /// the small witness sets the prover builds. Allocation-free: instead
+    /// of tracking seen edges, an edge touching the set `k` times is
+    /// simply re-checked `k` times (edges are tiny, sets are tiny).
+    /// Generic over the set's hasher so both `FxHashSet` (prover) and the
+    /// default `HashSet` (tests, repair enumeration) work.
+    pub fn is_independent<S: BuildHasher>(
+        &self,
+        set: &std::collections::HashSet<Vertex, S>,
+    ) -> bool {
+        for &v in set {
+            for &eid in self.edges_of(v) {
+                if self.edge(eid).iter().all(|u| set.contains(u)) {
                     return false;
                 }
             }
@@ -188,15 +435,89 @@ impl ConflictHypergraph {
     /// Is vertex `v` *blocked* by the set `s` — i.e. does some edge `e ∋ v`
     /// have all its other vertices inside `s`? A blocked vertex cannot be
     /// added to any independent superset of `s`.
-    pub fn is_blocked_by(&self, v: Vertex, s: &HashSet<Vertex>) -> bool {
+    pub fn is_blocked_by<S: BuildHasher>(
+        &self,
+        v: Vertex,
+        s: &std::collections::HashSet<Vertex, S>,
+    ) -> bool {
         self.edges_of(v)
             .iter()
-            .any(|&eid| self.edges[eid].iter().all(|u| *u == v || s.contains(u)))
+            .any(|&eid| self.edge(eid).iter().all(|u| *u == v || s.contains(u)))
     }
 
     /// Total size of all edges (Σ|e|; diagnostics).
     pub fn total_edge_size(&self) -> usize {
-        self.edges.iter().map(Vec::len).sum()
+        self.edge_vertices.len()
+    }
+
+    // ---- CSR freeze / thaw ----
+
+    /// Compact the vertex → edge adjacency into CSR arrays. Called by the
+    /// detector once construction is done; safe to call repeatedly.
+    /// Queries work before and after; probes are cheapest after.
+    pub fn finalize(&mut self) {
+        if self.frozen {
+            return;
+        }
+        let mut vertex_list: Vec<Vertex> = self.adj_build.keys().copied().collect();
+        vertex_list.sort_unstable();
+        let mut vertex_dense =
+            FxHashMap::with_capacity_and_hasher(vertex_list.len(), Default::default());
+        for (d, v) in vertex_list.iter().enumerate() {
+            vertex_dense.insert(*v, d as u32);
+        }
+        // Counting pass, then placement pass, iterating edges in id order
+        // so each vertex's edge list stays sorted by edge id.
+        let mut counts = vec![0u32; vertex_list.len() + 1];
+        for v in &self.edge_vertices {
+            counts[vertex_dense[v] as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let adj_offsets = counts.clone();
+        let mut adj_edges = vec![0u32; self.edge_vertices.len()];
+        let mut cursor = counts;
+        for (id, _) in self.edge_constraint.iter().enumerate() {
+            for v in self.edge(id as u32) {
+                let d = vertex_dense[v] as usize;
+                adj_edges[cursor[d] as usize] = id as u32;
+                cursor[d] += 1;
+            }
+        }
+        self.vertex_list = vertex_list;
+        self.vertex_dense = vertex_dense;
+        self.adj_offsets = adj_offsets;
+        self.adj_edges = adj_edges;
+        self.adj_build = FxHashMap::default();
+        self.frozen = true;
+    }
+
+    /// Has [`ConflictHypergraph::finalize`] been applied (and no edge
+    /// added since)?
+    pub fn is_finalized(&self) -> bool {
+        self.frozen
+    }
+
+    /// Rebuild the construction-time adjacency from the CSR view so more
+    /// edges can be added.
+    fn unfreeze(&mut self) {
+        if !self.frozen {
+            return;
+        }
+        let mut adj_build: FxHashMap<Vertex, Vec<EdgeId>> =
+            FxHashMap::with_capacity_and_hasher(self.vertex_list.len(), Default::default());
+        for (d, v) in self.vertex_list.iter().enumerate() {
+            let ids =
+                &self.adj_edges[self.adj_offsets[d] as usize..self.adj_offsets[d + 1] as usize];
+            adj_build.insert(*v, ids.to_vec());
+        }
+        self.adj_build = adj_build;
+        self.vertex_list = Vec::new();
+        self.vertex_dense = FxHashMap::default();
+        self.adj_offsets = Vec::new();
+        self.adj_edges = Vec::new();
+        self.frozen = false;
     }
 }
 
@@ -204,9 +525,13 @@ impl ConflictHypergraph {
 mod tests {
     use super::*;
     use hippo_engine::Value;
+    use std::collections::HashSet;
 
     fn v(rel: u32, tid: u32) -> Vertex {
-        Vertex { rel, tid: TupleId(tid) }
+        Vertex {
+            rel,
+            tid: TupleId(tid),
+        }
     }
 
     fn row(x: i64) -> Row {
@@ -232,15 +557,15 @@ mod tests {
         let r = g.intern("r");
         let r0 = row(0);
         let r1 = row(1);
-        let e1 = g.add_edge(vec![v(r, 1), v(r, 0)], &[&r1, &r0], 0);
+        let e1 = g.add_edge(&[v(r, 1), v(r, 0)], &[&r1, &r0], 0);
         assert!(e1.is_some());
         // Same edge in different order is a duplicate.
-        let e2 = g.add_edge(vec![v(r, 0), v(r, 1)], &[&r0, &r1], 0);
+        let e2 = g.add_edge(&[v(r, 0), v(r, 1)], &[&r0, &r1], 0);
         assert!(e2.is_none());
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.edge(0), &[v(r, 0), v(r, 1)]);
         // Same vertex twice collapses to a singleton edge.
-        let e3 = g.add_edge(vec![v(r, 5), v(r, 5)], &[&row(5), &row(5)], 1);
+        let e3 = g.add_edge(&[v(r, 5), v(r, 5)], &[&row(5), &row(5)], 1);
         assert_eq!(g.edge(e3.unwrap()), &[v(r, 5)]);
     }
 
@@ -248,8 +573,8 @@ mod tests {
     fn adjacency_and_conflicting() {
         let mut g = ConflictHypergraph::new();
         let r = g.intern("r");
-        g.add_edge(vec![v(r, 0), v(r, 1)], &[&row(0), &row(1)], 0);
-        g.add_edge(vec![v(r, 1), v(r, 2)], &[&row(1), &row(2)], 0);
+        g.add_edge(&[v(r, 0), v(r, 1)], &[&row(0), &row(1)], 0);
+        g.add_edge(&[v(r, 1), v(r, 2)], &[&row(1), &row(2)], 0);
         assert!(g.is_conflicting(v(r, 1)));
         assert!(!g.is_conflicting(v(r, 9)));
         assert_eq!(g.edges_of(v(r, 1)).len(), 2);
@@ -261,8 +586,12 @@ mod tests {
     fn independence_checks() {
         let mut g = ConflictHypergraph::new();
         let r = g.intern("r");
-        g.add_edge(vec![v(r, 0), v(r, 1)], &[&row(0), &row(1)], 0);
-        g.add_edge(vec![v(r, 1), v(r, 2), v(r, 3)], &[&row(1), &row(2), &row(3)], 1);
+        g.add_edge(&[v(r, 0), v(r, 1)], &[&row(0), &row(1)], 0);
+        g.add_edge(
+            &[v(r, 1), v(r, 2), v(r, 3)],
+            &[&row(1), &row(2), &row(3)],
+            1,
+        );
         let set: HashSet<Vertex> = [v(r, 0), v(r, 2), v(r, 3)].into_iter().collect();
         assert!(g.is_independent(&set));
         let set: HashSet<Vertex> = [v(r, 0), v(r, 1)].into_iter().collect();
@@ -277,13 +606,17 @@ mod tests {
     fn blocking() {
         let mut g = ConflictHypergraph::new();
         let r = g.intern("r");
-        g.add_edge(vec![v(r, 0), v(r, 1), v(r, 2)], &[&row(0), &row(1), &row(2)], 0);
+        g.add_edge(
+            &[v(r, 0), v(r, 1), v(r, 2)],
+            &[&row(0), &row(1), &row(2)],
+            0,
+        );
         let s: HashSet<Vertex> = [v(r, 1), v(r, 2)].into_iter().collect();
         assert!(g.is_blocked_by(v(r, 0), &s));
         let s: HashSet<Vertex> = [v(r, 1)].into_iter().collect();
         assert!(!g.is_blocked_by(v(r, 0), &s), "edge not fully covered");
         // Singleton edge blocks its vertex against the empty set.
-        g.add_edge(vec![v(r, 7)], &[&row(7)], 1);
+        g.add_edge(&[v(r, 7)], &[&row(7)], 1);
         assert!(g.is_blocked_by(v(r, 7), &HashSet::new()));
     }
 
@@ -293,7 +626,7 @@ mod tests {
         let r = g.intern("r");
         let a = row(10);
         let b = row(20);
-        g.add_edge(vec![v(r, 0), v(r, 1)], &[&a, &b], 0);
+        g.add_edge(&[v(r, 0), v(r, 1)], &[&a, &b], 0);
         assert_eq!(g.vertices_of_fact("r", &a), &[v(r, 0)]);
         assert_eq!(g.vertices_of_fact("r", &b), &[v(r, 1)]);
         assert!(g.vertices_of_fact("r", &row(99)).is_empty());
@@ -306,8 +639,129 @@ mod tests {
         let r = g.intern("r");
         let a = row(10);
         // Two distinct physical tuples with the same values, each in a conflict.
-        g.add_edge(vec![v(r, 0), v(r, 5)], &[&a, &row(50)], 0);
-        g.add_edge(vec![v(r, 1), v(r, 5)], &[&a, &row(50)], 0);
+        g.add_edge(&[v(r, 0), v(r, 5)], &[&a, &row(50)], 0);
+        g.add_edge(&[v(r, 1), v(r, 5)], &[&a, &row(50)], 0);
         assert_eq!(g.vertices_of_fact("r", &a), &[v(r, 0), v(r, 1)]);
+    }
+
+    #[test]
+    fn fact_interning_assigns_stable_dense_ids() {
+        let mut g = ConflictHypergraph::new();
+        let r = g.intern("r");
+        let a = row(1);
+        let b = row(2);
+        let fa = g.intern_fact(r, &a);
+        let fb = g.intern_fact(r, &b);
+        assert_ne!(fa, fb);
+        assert_eq!(g.intern_fact(r, &a), fa, "re-interning returns the same id");
+        assert_eq!(g.fact_count(), 2);
+        assert_eq!(g.fact_id("r", &a), Some(fa));
+        assert_eq!(g.fact_id_interned(r, &b), Some(fb));
+        let (rel, values) = g.fact(fa);
+        assert_eq!(rel, r);
+        assert_eq!(values, &a);
+    }
+
+    /// Regression (issue 1 satellite): the borrowed probe must work for
+    /// hits *and misses* without cloning — exercised here through rows
+    /// that were never interned and relations that do not exist. (The
+    /// zero-clone property itself is structural: `fact_id` takes `&Row`
+    /// and the interner compares borrowed slices in the hash chain.)
+    #[test]
+    fn borrowed_fact_lookup_hits_and_misses() {
+        let mut g = ConflictHypergraph::new();
+        let r = g.intern("r");
+        let present = row(1);
+        g.add_edge(&[v(r, 0), v(r, 1)], &[&present, &row(2)], 0);
+        // Hit via borrow.
+        assert_eq!(g.vertices_of_fact("r", &present), &[v(r, 0)]);
+        assert_eq!(g.fact_id("r", &present), Some(FactId(0)));
+        // Miss on a never-interned row of the same relation.
+        let absent = row(777);
+        assert!(g.fact_id("r", &absent).is_none());
+        assert!(g.vertices_of_fact("r", &absent).is_empty());
+        // Miss on an unknown relation.
+        assert!(g.fact_id("nope", &present).is_none());
+        // Miss on a row that collides in length/shape but differs in value.
+        let near = vec![Value::Int(1), Value::Int(0)];
+        assert!(g.fact_id("r", &near).is_none());
+        // Interner state unchanged by misses.
+        assert_eq!(g.fact_count(), 2);
+    }
+
+    #[test]
+    fn finalize_preserves_all_queries() {
+        let mut g = ConflictHypergraph::new();
+        let r = g.intern("r");
+        let s = g.intern("s");
+        g.add_edge(&[v(r, 0), v(r, 1)], &[&row(0), &row(1)], 0);
+        g.add_edge(&[v(r, 1), v(s, 2)], &[&row(1), &row(2)], 1);
+        g.add_edge(&[v(s, 9)], &[&row(9)], 2);
+        let before: Vec<(Vertex, Vec<EdgeId>)> = {
+            let mut vs: Vec<Vertex> = g.conflicting_vertices().collect();
+            vs.sort();
+            vs.iter().map(|&v| (v, g.edges_of(v).to_vec())).collect()
+        };
+        assert!(!g.is_finalized());
+        g.finalize();
+        assert!(g.is_finalized());
+        let after: Vec<(Vertex, Vec<EdgeId>)> = {
+            let vs: Vec<Vertex> = g.conflicting_vertices().collect();
+            vs.iter().map(|&v| (v, g.edges_of(v).to_vec())).collect()
+        };
+        assert_eq!(before, after, "finalize must not change adjacency");
+        assert_eq!(
+            g.edges_of(v(r, 9)),
+            &[] as &[EdgeId],
+            "unknown vertex still empty"
+        );
+        assert_eq!(g.conflicting_vertex_count(), 4);
+        // Graph remains usable for independence/blocking.
+        let set: HashSet<Vertex> = [v(r, 0), v(r, 1)].into_iter().collect();
+        assert!(!g.is_independent(&set));
+        g.finalize(); // idempotent
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn default_graph_is_usable() {
+        // Regression: `default()` must uphold the CSR leading-offset
+        // invariant, exactly like `new()`.
+        let mut g = ConflictHypergraph::default();
+        let r = g.intern("r");
+        g.add_edge(&[v(r, 0), v(r, 1)], &[&row(0), &row(1)], 0);
+        assert_eq!(g.edge(0), &[v(r, 0), v(r, 1)]);
+        assert_eq!(g.edges().count(), 1);
+    }
+
+    #[test]
+    fn duplicate_add_on_frozen_graph_stays_frozen() {
+        let mut g = ConflictHypergraph::new();
+        let r = g.intern("r");
+        g.add_edge(&[v(r, 0), v(r, 1)], &[&row(0), &row(1)], 0);
+        g.finalize();
+        assert!(g
+            .add_edge(&[v(r, 1), v(r, 0)], &[&row(1), &row(0)], 0)
+            .is_none());
+        assert!(g.is_finalized(), "duplicate insert must not thaw the CSR");
+    }
+
+    #[test]
+    fn add_edge_after_finalize_unfreezes() {
+        let mut g = ConflictHypergraph::new();
+        let r = g.intern("r");
+        g.add_edge(&[v(r, 0), v(r, 1)], &[&row(0), &row(1)], 0);
+        g.finalize();
+        // Duplicate through the dedup table still detected post-freeze.
+        assert!(g
+            .add_edge(&[v(r, 1), v(r, 0)], &[&row(1), &row(0)], 0)
+            .is_none());
+        let e = g.add_edge(&[v(r, 1), v(r, 2)], &[&row(1), &row(2)], 0);
+        assert!(e.is_some());
+        assert!(!g.is_finalized());
+        assert_eq!(g.edges_of(v(r, 1)).len(), 2);
+        g.finalize();
+        assert_eq!(g.edges_of(v(r, 1)).len(), 2);
+        assert_eq!(g.conflicting_vertex_count(), 3);
     }
 }

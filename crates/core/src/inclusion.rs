@@ -42,7 +42,12 @@ impl ForeignKey {
         parent: impl Into<String>,
         parent_cols: Vec<usize>,
     ) -> ForeignKey {
-        ForeignKey { child: child.into(), child_cols, parent: parent.into(), parent_cols }
+        ForeignKey {
+            child: child.into(),
+            child_cols,
+            parent: parent.into(),
+            parent_cols,
+        }
     }
 
     /// Schema-level validation.
@@ -139,7 +144,7 @@ pub fn orphan_edges(
             continue;
         }
         if !keys.contains(&key) {
-            g.add_edge(vec![Vertex { rel, tid }], &[row], constraint_index);
+            g.add_edge(&[Vertex { rel, tid }], &[row], constraint_index);
             added += 1;
         }
     }
@@ -156,9 +161,12 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE orders (id INT, cust INT)").unwrap();
-        db.execute("CREATE TABLE customers (cid INT, tier INT)").unwrap();
-        db.execute("INSERT INTO customers VALUES (1, 10), (2, 20)").unwrap();
+        db.execute("CREATE TABLE orders (id INT, cust INT)")
+            .unwrap();
+        db.execute("CREATE TABLE customers (cid INT, tier INT)")
+            .unwrap();
+        db.execute("INSERT INTO customers VALUES (1, 10), (2, 20)")
+            .unwrap();
         db.execute("INSERT INTO orders VALUES (100, 1), (101, 2), (102, 9), (103, NULL)")
             .unwrap();
         db
@@ -173,7 +181,10 @@ mod tests {
         let db = db();
         let mut g = ConflictHypergraph::new();
         let added = orphan_edges(&mut g, db.catalog(), &fk(), 0).unwrap();
-        assert_eq!(added, 1, "only order 102 is orphaned; NULL fk does not violate");
+        assert_eq!(
+            added, 1,
+            "only order 102 is orphaned; NULL fk does not violate"
+        );
         assert_eq!(g.edge_count(), 1);
         let (_, e) = g.edges().next().unwrap();
         assert_eq!(e.len(), 1);
@@ -195,10 +206,8 @@ mod tests {
     #[test]
     fn restriction_rejects_constrained_parents() {
         let db = db();
-        let fd_on_parent =
-            DenialConstraint::functional_dependency("customers", &[0], 1);
-        let err =
-            validate_restricted(&[fk()], &[fd_on_parent], db.catalog()).unwrap_err();
+        let fd_on_parent = DenialConstraint::functional_dependency("customers", &[0], 1);
+        let err = validate_restricted(&[fk()], &[fd_on_parent], db.catalog()).unwrap_err();
         assert!(err.message.contains("parent relation"), "{err}");
 
         let fd_on_child = DenialConstraint::functional_dependency("orders", &[0], 1);

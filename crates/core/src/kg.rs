@@ -15,7 +15,6 @@ use crate::prover::MembershipSource;
 use crate::query::SjudQuery;
 use hippo_engine::{Catalog, EngineError, Row};
 use hippo_sql::{Expr, Query, SelectCore, SelectItem, TableRef};
-use std::collections::HashMap;
 
 /// Build the extended envelope query: envelope columns `c0..c{n-1}` plus
 /// one membership flag `f0..f{m-1}` per literal template.
@@ -27,7 +26,10 @@ pub fn extended_envelope_sql(
     let arity = envelope.validate(catalog)?;
     let inner = envelope.to_sql_query(catalog)?;
     let mut core = SelectCore::empty();
-    core.from = vec![TableRef::Subquery { query: Box::new(inner), alias: "e".into() }];
+    core.from = vec![TableRef::Subquery {
+        query: Box::new(inner),
+        alias: "e".into(),
+    }];
     core.projection = (0..arity)
         .map(|i| SelectItem::Expr {
             expr: Expr::qcol("e", format!("c{i}")),
@@ -54,13 +56,19 @@ fn membership_exists_expr(lit: &LitTemplate, catalog: &Catalog) -> Result<Expr, 
     }
     let mut sub = SelectCore::empty();
     sub.projection = vec![SelectItem::Wildcard];
-    sub.from = vec![TableRef::Table { name: lit.rel.clone(), alias: Some("m".into()) }];
+    sub.from = vec![TableRef::Table {
+        name: lit.rel.clone(),
+        alias: Some("m".into()),
+    }];
     let cond = Expr::conjoin(schema.columns.iter().enumerate().map(|(j, col)| {
         Expr::qcol("m", col.name.clone()).eq(Expr::qcol("e", format!("c{}", lit.cols[j])))
     }))
     .expect("relations have at least one column");
     sub.filter = Some(cond);
-    Ok(Expr::Exists { query: Box::new(Query::Select(Box::new(sub))), negated: false })
+    Ok(Expr::Exists {
+        query: Box::new(Query::Select(Box::new(sub))),
+        negated: false,
+    })
 }
 
 /// The result of one extended-envelope evaluation: candidates plus their
@@ -90,38 +98,66 @@ pub fn split_gathered(rows: Vec<Row>, arity: usize, n_literals: usize) -> Gather
 }
 
 /// A [`MembershipSource`] answering from gathered flags for the current
-/// candidate. Literal facts are recognised by (relation, values); the
-/// flags were computed for exactly the facts each literal template
-/// produces for the current tuple, so lookup is by value.
+/// candidate. Construction is allocation-free: it borrows the template,
+/// the candidate tuple and the flag slice.
+///
+/// The prover only ever asks about the facts the literal templates produce
+/// for the current tuple, and it knows *which* literal it is asking about,
+/// so the fast path ([`MembershipSource::literal_in_db`]) is a bare array
+/// access into the prefetched flags — no hashing, no allocation, no
+/// comparison. The by-value path ([`MembershipSource::fact_in_db`]) is
+/// kept for generic callers and matches the (query-size-bounded) literal
+/// templates against the borrowed key column-by-column, so no fact is ever
+/// instantiated; the former `HashMap<(String, Row), bool>` keyed lookup —
+/// which cloned the relation name *and* the row on every probe — is gone.
 pub struct GatheredMembership<'a> {
-    by_fact: HashMap<(String, Row), bool>,
+    template: &'a MembershipTemplate,
+    tuple: &'a Row,
+    flags: &'a [bool],
     /// Checks that could not be answered from gathered knowledge (should
     /// stay zero; tested).
     pub misses: usize,
-    _phantom: std::marker::PhantomData<&'a ()>,
 }
 
 impl<'a> GatheredMembership<'a> {
-    /// Build for one candidate: instantiate each literal template with the
-    /// tuple and associate the prefetched flag.
+    /// Build for one candidate; `flags` are the prefetched per-literal
+    /// membership answers, parallel to `template.literals`.
     pub fn for_candidate(
-        template: &MembershipTemplate,
-        tuple: &Row,
-        flags: &[bool],
+        template: &'a MembershipTemplate,
+        tuple: &'a Row,
+        flags: &'a [bool],
     ) -> GatheredMembership<'a> {
-        let mut by_fact = HashMap::with_capacity(template.literals.len());
-        for (fi, lit) in template.literals.iter().enumerate() {
-            let fact = lit.instantiate(tuple);
-            by_fact.insert((fact.rel, fact.values), flags[fi]);
+        debug_assert_eq!(template.literals.len(), flags.len());
+        GatheredMembership {
+            template,
+            tuple,
+            flags,
+            misses: 0,
         }
-        GatheredMembership { by_fact, misses: 0, _phantom: std::marker::PhantomData }
+    }
+
+    /// Would literal `lit`, instantiated with the current tuple, produce
+    /// exactly the fact `(rel, values)`? Borrowed comparison, no build.
+    fn literal_matches(&self, lit: &LitTemplate, rel: &str, values: &Row) -> bool {
+        lit.rel == rel
+            && lit.cols.len() == values.len()
+            && lit
+                .cols
+                .iter()
+                .zip(values)
+                .all(|(&c, v)| &self.tuple[c] == v)
     }
 }
 
-impl<'a> MembershipSource for GatheredMembership<'a> {
+impl MembershipSource for GatheredMembership<'_> {
     fn fact_in_db(&mut self, rel: &str, values: &Row) -> Result<bool, EngineError> {
-        match self.by_fact.get(&(rel.to_string(), values.clone())) {
-            Some(&b) => Ok(b),
+        match self
+            .template
+            .literals
+            .iter()
+            .position(|lit| self.literal_matches(lit, rel, values))
+        {
+            Some(fi) => Ok(self.flags[fi]),
             None => {
                 self.misses += 1;
                 Err(EngineError::new(format!(
@@ -129,6 +165,10 @@ impl<'a> MembershipSource for GatheredMembership<'a> {
                 )))
             }
         }
+    }
+
+    fn literal_in_db(&mut self, li: usize, _rel: &str, _values: &Row) -> Result<bool, EngineError> {
+        Ok(self.flags[li])
     }
 }
 
@@ -144,7 +184,10 @@ pub struct SqlMembership<'a> {
 impl<'a> SqlMembership<'a> {
     /// Constructor.
     pub fn new(db: &'a hippo_engine::Database) -> Self {
-        SqlMembership { db, queries_issued: 0 }
+        SqlMembership {
+            db,
+            queries_issued: 0,
+        }
     }
 }
 
@@ -152,11 +195,21 @@ impl<'a> MembershipSource for SqlMembership<'a> {
     fn fact_in_db(&mut self, rel: &str, values: &Row) -> Result<bool, EngineError> {
         let schema = &self.db.catalog().table(rel)?.schema;
         let mut core = SelectCore::empty();
-        core.projection = vec![SelectItem::Expr { expr: Expr::int(1), alias: None }];
-        core.from = vec![TableRef::Table { name: rel.to_string(), alias: None }];
-        core.filter = Expr::conjoin(schema.columns.iter().zip(values).map(|(c, v)| {
-            Expr::col(c.name.clone()).eq(value_to_sql(v))
-        }));
+        core.projection = vec![SelectItem::Expr {
+            expr: Expr::int(1),
+            alias: None,
+        }];
+        core.from = vec![TableRef::Table {
+            name: rel.to_string(),
+            alias: None,
+        }];
+        core.filter = Expr::conjoin(
+            schema
+                .columns
+                .iter()
+                .zip(values)
+                .map(|(c, v)| Expr::col(c.name.clone()).eq(value_to_sql(v))),
+        );
         core.limit = Some(1);
         let sql = hippo_sql::print_query(&Query::Select(Box::new(core)));
         self.queries_issued += 1;
@@ -178,7 +231,10 @@ mod tests {
                 .create_table(
                     TableSchema::new(
                         name,
-                        vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)],
+                        vec![
+                            Column::new("a", DataType::Int),
+                            Column::new("b", DataType::Int),
+                        ],
                         &[],
                     )
                     .unwrap(),
@@ -193,7 +249,8 @@ mod tests {
             ],
         )
         .unwrap();
-        db.insert_rows("s", vec![vec![Value::Int(1), Value::Int(10)]]).unwrap();
+        db.insert_rows("s", vec![vec![Value::Int(1), Value::Int(10)]])
+            .unwrap();
         db
     }
 
@@ -231,7 +288,9 @@ mod tests {
         assert!(!m.fact_in_db("s", &tuple).unwrap());
         assert_eq!(m.misses, 0);
         // Unknown fact is a miss (the prover never asks for one).
-        assert!(m.fact_in_db("r", &vec![Value::Int(9), Value::Int(9)]).is_err());
+        assert!(m
+            .fact_in_db("r", &vec![Value::Int(9), Value::Int(9)])
+            .is_err());
         assert_eq!(m.misses, 1);
     }
 

@@ -74,12 +74,12 @@ pub mod prelude {
     pub use crate::hippo::{Hippo, HippoOptions, RunStats};
     pub use crate::hypergraph::{ConflictHypergraph, Fact, Vertex};
     pub use crate::inclusion::ForeignKey;
-    pub use crate::sql_front::{sjud_from_sql, SqlClassError};
     pub use crate::naive::{conflict_free_answers, naive_consistent_answers, plain_answers};
     pub use crate::pred::{CmpOp, Operand, Pred};
     pub use crate::query::SjudQuery;
     pub use crate::repair::{enumerate_repairs, is_repair};
     pub use crate::rewrite::{rewrite_query, rewritten_answers, RewriteError};
+    pub use crate::sql_front::{sjud_from_sql, SqlClassError};
     pub use crate::workload::{FdTableSpec, IntegrationWorkload, JoinWorkload};
 }
 

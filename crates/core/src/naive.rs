@@ -42,11 +42,7 @@ pub fn naive_consistent_answers(
 }
 
 /// The "delete all conflicting tuples, then query" strawman.
-pub fn conflict_free_answers(
-    q: &SjudQuery,
-    catalog: &Catalog,
-    g: &ConflictHypergraph,
-) -> Vec<Row> {
+pub fn conflict_free_answers(q: &SjudQuery, catalog: &Catalog, g: &ConflictHypergraph) -> Vec<Row> {
     let inst = core_instance(catalog, g);
     q.eval_over(&inst)
 }
@@ -82,7 +78,9 @@ mod tests {
             .unwrap();
         db.insert_rows(
             "emp",
-            rows.iter().map(|&(n, s)| vec![Value::text(n), Value::Int(s)]).collect(),
+            rows.iter()
+                .map(|&(n, s)| vec![Value::text(n), Value::Int(s)])
+                .collect(),
         )
         .unwrap();
         db
@@ -94,7 +92,10 @@ mod tests {
         let fd = [DenialConstraint::functional_dependency("emp", &[0], 1)];
         let (g, _) = detect_conflicts(db.catalog(), &fd).unwrap();
         let q = SjudQuery::rel("emp");
-        assert_eq!(naive_consistent_answers(&q, db.catalog(), &g), plain_answers(&q, db.catalog()));
+        assert_eq!(
+            naive_consistent_answers(&q, db.catalog(), &g),
+            plain_answers(&q, db.catalog())
+        );
     }
 
     #[test]
@@ -141,13 +142,17 @@ mod tests {
                 .unwrap(),
             )
             .unwrap();
-        db.insert_rows("u", vec![vec![Value::text("ann"), Value::Int(100)]]).unwrap();
+        db.insert_rows("u", vec![vec![Value::text("ann"), Value::Int(100)]])
+            .unwrap();
         let fd = [DenialConstraint::functional_dependency("emp", &[0], 1)];
         let (g, _) = detect_conflicts(db.catalog(), &fd).unwrap();
         // q: tuples of u that are, in every repair, not conflicting emp
         // tuples with salary < 150.
-        let q = SjudQuery::rel("u")
-            .diff(SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Lt, 150i64)));
+        let q = SjudQuery::rel("u").diff(SjudQuery::rel("emp").select(Pred::cmp_const(
+            1,
+            CmpOp::Lt,
+            150i64,
+        )));
         let cqa = naive_consistent_answers(&q, db.catalog(), &g);
         let strawman = conflict_free_answers(&q, db.catalog(), &g);
         // CQA: (ann,100) ∈ u always; (ann,100) ∈ σ<150(emp) only in the
@@ -170,7 +175,10 @@ mod tests {
             "the disjunctive fact about ann is consistently true"
         );
         let straw_union = conflict_free_answers(&q_union, db.catalog(), &g);
-        assert!(straw_union.is_empty(), "strawman loses the disjunctive fact");
+        assert!(
+            straw_union.is_empty(),
+            "strawman loses the disjunctive fact"
+        );
     }
 
     #[test]

@@ -130,12 +130,20 @@ pub enum Pred {
 impl Pred {
     /// `col <op> const` shorthand.
     pub fn cmp_const(col: usize, op: CmpOp, v: impl Into<Value>) -> Pred {
-        Pred::Cmp { op, left: Operand::Col(col), right: Operand::Const(v.into()) }
+        Pred::Cmp {
+            op,
+            left: Operand::Col(col),
+            right: Operand::Const(v.into()),
+        }
     }
 
     /// `col <op> col` shorthand.
     pub fn cmp_cols(l: usize, op: CmpOp, r: usize) -> Pred {
-        Pred::Cmp { op, left: Operand::Col(l), right: Operand::Col(r) }
+        Pred::Cmp {
+            op,
+            left: Operand::Col(l),
+            right: Operand::Col(r),
+        }
     }
 
     /// `a AND b`.
@@ -162,7 +170,11 @@ impl Pred {
         match self {
             Pred::True => Pred::False,
             Pred::False => Pred::True,
-            Pred::Cmp { op, left, right } => Pred::Cmp { op: op.negate(), left, right },
+            Pred::Cmp { op, left, right } => Pred::Cmp {
+                op: op.negate(),
+                left,
+                right,
+            },
             Pred::Not(inner) => *inner,
             p => Pred::Not(Box::new(p)),
         }
@@ -201,9 +213,11 @@ impl Pred {
         match self {
             Pred::True => Pred::True,
             Pred::False => Pred::False,
-            Pred::Cmp { op, left, right } => {
-                Pred::Cmp { op: *op, left: left.shift(by), right: right.shift(by) }
-            }
+            Pred::Cmp { op, left, right } => Pred::Cmp {
+                op: *op,
+                left: left.shift(by),
+                right: right.shift(by),
+            },
             Pred::And(a, b) => Pred::And(Box::new(a.shift(by)), Box::new(b.shift(by))),
             Pred::Or(a, b) => Pred::Or(Box::new(a.shift(by)), Box::new(b.shift(by))),
             Pred::Not(p) => Pred::Not(Box::new(p.shift(by))),
@@ -220,7 +234,11 @@ impl Pred {
                     Operand::Col(i) => Operand::Col(f(*i)),
                     c => c.clone(),
                 };
-                Pred::Cmp { op: *op, left: m(left), right: m(right) }
+                Pred::Cmp {
+                    op: *op,
+                    left: m(left),
+                    right: m(right),
+                }
             }
             Pred::And(a, b) => Pred::And(Box::new(a.map_cols(f)), Box::new(b.map_cols(f))),
             Pred::Or(a, b) => Pred::Or(Box::new(a.map_cols(f)), Box::new(b.map_cols(f))),
@@ -303,7 +321,10 @@ mod tests {
         let p = Pred::cmp_const(0, CmpOp::Eq, 5i64);
         assert!(!p.eval(&[Value::Null]));
         let p = Pred::cmp_const(0, CmpOp::Neq, 5i64);
-        assert!(!p.eval(&[Value::Null]), "negated comparison on NULL is also false");
+        assert!(
+            !p.eval(&[Value::Null]),
+            "negated comparison on NULL is also false"
+        );
     }
 
     #[test]
@@ -320,8 +341,10 @@ mod tests {
 
     #[test]
     fn smart_constructors_simplify() {
-        assert_eq!(Pred::True.and(Pred::cmp_const(0, CmpOp::Eq, 1i64)),
-                   Pred::cmp_const(0, CmpOp::Eq, 1i64));
+        assert_eq!(
+            Pred::True.and(Pred::cmp_const(0, CmpOp::Eq, 1i64)),
+            Pred::cmp_const(0, CmpOp::Eq, 1i64)
+        );
         assert_eq!(Pred::False.and(Pred::True), Pred::False);
         assert_eq!(Pred::False.or(Pred::True), Pred::True);
         assert_eq!(Pred::True.not(), Pred::False);

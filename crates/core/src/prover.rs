@@ -24,14 +24,24 @@
 //! answers during envelope evaluation.
 
 use crate::formula::{to_dnf, Disjunct, MembershipTemplate};
-use crate::hypergraph::{ConflictHypergraph, Vertex};
+use crate::hypergraph::{ConflictHypergraph, Fact, Vertex};
 use hippo_engine::{EngineError, Row};
-use std::collections::HashSet;
+use rustc_hash::FxHashSet;
 
 /// How the prover learns whether a base fact is present in the database.
 pub trait MembershipSource {
     /// Is the fact `rel(values)` present in the current instance `D`?
     fn fact_in_db(&mut self, rel: &str, values: &Row) -> Result<bool, EngineError>;
+
+    /// Literal-indexed fast path: the prover always asks about the fact of
+    /// literal template `li` instantiated with the current candidate, so
+    /// sources that prefetched per-literal answers (knowledge gathering)
+    /// can respond with an array access instead of any lookup. Defaults to
+    /// [`MembershipSource::fact_in_db`].
+    fn literal_in_db(&mut self, li: usize, rel: &str, values: &Row) -> Result<bool, EngineError> {
+        let _ = li;
+        self.fact_in_db(rel, values)
+    }
 }
 
 /// Counters accumulated while proving (experiment E5 reports these).
@@ -63,7 +73,12 @@ impl<'a, M: MembershipSource> Prover<'a, M> {
         template: &'a MembershipTemplate,
         membership: M,
     ) -> Self {
-        Prover { graph, template, membership, stats: ProverRunStats::default() }
+        Prover {
+            graph,
+            template,
+            membership,
+            stats: ProverRunStats::default(),
+        }
     }
 
     /// Recover the membership source (e.g. to read query counters).
@@ -77,9 +92,24 @@ impl<'a, M: MembershipSource> Prover<'a, M> {
         let formula = self.template.instantiate(tuple);
         let negated = crate::formula::negate(formula);
         let dnf = to_dnf(&negated);
+        if dnf.is_empty() {
+            return Ok(true);
+        }
+        // Resolve every literal once per tuple: instantiating a literal
+        // template is the only place a row is built; all later membership
+        // and hypergraph probes borrow from here. Membership answers are
+        // memoized so each literal consults the source at most once per
+        // tuple, no matter how many disjuncts mention it.
+        let facts: Vec<Fact> = self
+            .template
+            .literals
+            .iter()
+            .map(|l| l.instantiate(tuple))
+            .collect();
+        let mut in_db: Vec<Option<bool>> = vec![None; facts.len()];
         for disjunct in &dnf {
             self.stats.disjuncts_checked += 1;
-            if self.disjunct_satisfiable(disjunct, tuple)? {
+            if self.disjunct_satisfiable(disjunct, &facts, &mut in_db)? {
                 // Some repair falsifies membership → not consistent.
                 return Ok(false);
             }
@@ -87,29 +117,48 @@ impl<'a, M: MembershipSource> Prover<'a, M> {
         Ok(true)
     }
 
+    /// Memoized membership check for literal `li`.
+    fn lit_in_db(
+        &mut self,
+        li: usize,
+        facts: &[Fact],
+        memo: &mut [Option<bool>],
+    ) -> Result<bool, EngineError> {
+        if let Some(b) = memo[li] {
+            return Ok(b);
+        }
+        self.stats.membership_checks += 1;
+        let fact = &facts[li];
+        let b = self.membership.literal_in_db(li, &fact.rel, &fact.values)?;
+        memo[li] = Some(b);
+        Ok(b)
+    }
+
     /// Can some repair contain all `positive` facts and none of the
     /// `negative` facts?
     fn disjunct_satisfiable(
         &mut self,
         d: &Disjunct,
-        tuple: &Row,
+        facts: &[Fact],
+        in_db: &mut [Option<bool>],
     ) -> Result<bool, EngineError> {
+        let graph = self.graph;
         // Resolve literals to facts and database status.
         // A-side: every positive fact must exist in D; collect the vertex
         // choices carrying it (non-conflicting facts are in every repair
-        // and impose nothing).
-        let mut a_choices: Vec<Vec<Vertex>> = Vec::new();
+        // and impose nothing). Choices borrow the hypergraph's fact index
+        // directly — no copy.
+        let mut a_choices: Vec<&[Vertex]> = Vec::new();
         for &li in &d.positive {
-            let fact = self.template.literals[li].instantiate(tuple);
-            self.stats.membership_checks += 1;
-            if !self.membership.fact_in_db(&fact.rel, &fact.values)? {
+            if !self.lit_in_db(li, facts, in_db)? {
                 return Ok(false); // required fact missing from D entirely
             }
-            let vs = self.graph.vertices_of_fact(&fact.rel, &fact.values);
+            let fact = &facts[li];
+            let vs = graph.vertices_of_fact(&fact.rel, &fact.values);
             if !vs.is_empty() {
                 // Conflicting fact: must pick one of its physical tuples to
                 // keep. (Non-conflicting facts are kept automatically.)
-                a_choices.push(vs.to_vec());
+                a_choices.push(vs);
             }
         }
         // B-side: negative facts absent from D are trivially satisfied;
@@ -118,44 +167,43 @@ impl<'a, M: MembershipSource> Prover<'a, M> {
         // vertices excluded.
         let mut b_vertices: Vec<Vertex> = Vec::new();
         for &li in &d.negative {
-            let fact = self.template.literals[li].instantiate(tuple);
-            self.stats.membership_checks += 1;
-            if !self.membership.fact_in_db(&fact.rel, &fact.values)? {
+            if !self.lit_in_db(li, facts, in_db)? {
                 continue;
             }
-            let vs = self.graph.vertices_of_fact(&fact.rel, &fact.values);
+            let fact = &facts[li];
+            let vs = graph.vertices_of_fact(&fact.rel, &fact.values);
             if vs.is_empty() {
                 return Ok(false); // in D, never in a conflict → in every repair
             }
             b_vertices.extend_from_slice(vs);
         }
-        b_vertices.sort();
+        b_vertices.sort_unstable();
         b_vertices.dedup();
 
         // Enumerate A-side vertex choices (usually singletons).
-        self.enumerate_a(&a_choices, 0, &mut HashSet::new(), &b_vertices)
+        let mut a = FxHashSet::default();
+        self.enumerate_a(&a_choices, 0, &mut a, &b_vertices)
     }
 
     fn enumerate_a(
         &mut self,
-        choices: &[Vec<Vertex>],
+        choices: &[&[Vertex]],
         idx: usize,
-        a: &mut HashSet<Vertex>,
+        a: &mut FxHashSet<Vertex>,
         b: &[Vertex],
     ) -> Result<bool, EngineError> {
         if idx == choices.len() {
-            // A complete; reject if it intersects B.
-            if b.iter().any(|v| a.contains(v)) {
+            // A complete; reject if it intersects B (B is sorted).
+            if a.iter().any(|v| b.binary_search(v).is_ok()) {
                 return Ok(false);
             }
             if !self.graph.is_independent(a) {
                 return Ok(false);
             }
-            let b_set: HashSet<Vertex> = b.iter().copied().collect();
             let mut s = a.clone();
-            return Ok(self.block_all(b, 0, &mut s, &b_set));
+            return Ok(self.block_all(b, 0, &mut s));
         }
-        for &v in &choices[idx] {
+        for &v in choices[idx] {
             let inserted = a.insert(v);
             let ok = self.enumerate_a(choices, idx + 1, a, b)?;
             if inserted {
@@ -170,37 +218,35 @@ impl<'a, M: MembershipSource> Prover<'a, M> {
 
     /// Backtracking search for blocking edges: for each `b` pick an edge
     /// `e ∋ b` with `e ∖ {b}` disjoint from B, add `e ∖ {b}` to the witness
-    /// `s`, and keep `s` independent.
-    fn block_all(
-        &mut self,
-        b: &[Vertex],
-        idx: usize,
-        s: &mut HashSet<Vertex>,
-        b_set: &HashSet<Vertex>,
-    ) -> bool {
+    /// `s`, and keep `s` independent. `b` stays sorted, so exclusion tests
+    /// are binary searches.
+    fn block_all(&mut self, b: &[Vertex], idx: usize, s: &mut FxHashSet<Vertex>) -> bool {
         if idx == b.len() {
             return true;
         }
+        let graph = self.graph;
         let v = b[idx];
         // Already blocked by the current witness? (Common: v conflicts
         // directly with an A-side vertex.)
-        if self.graph.is_blocked_by(v, s) {
-            return self.block_all(b, idx + 1, s, b_set);
+        if graph.is_blocked_by(v, s) {
+            return self.block_all(b, idx + 1, s);
         }
-        let edges: Vec<usize> = self.graph.edges_of(v).to_vec();
-        for eid in edges {
+        for &eid in graph.edges_of(v) {
             self.stats.edge_visits += 1;
-            let edge = self.graph.edge(eid);
+            let edge = graph.edge(eid);
             // e ∖ {v} must avoid B (those must stay out) and v itself.
-            if edge.iter().any(|u| *u != v && b_set.contains(u)) {
+            if edge.iter().any(|u| *u != v && b.binary_search(u).is_ok()) {
                 continue;
             }
-            let added: Vec<Vertex> =
-                edge.iter().filter(|u| **u != v && !s.contains(*u)).copied().collect();
+            let added: Vec<Vertex> = edge
+                .iter()
+                .filter(|u| **u != v && !s.contains(*u))
+                .copied()
+                .collect();
             for &u in &added {
                 s.insert(u);
             }
-            if self.graph.is_independent(s) && self.block_all(b, idx + 1, s, b_set) {
+            if graph.is_independent(s) && self.block_all(b, idx + 1, s) {
                 return true;
             }
             for &u in &added {
@@ -250,7 +296,9 @@ mod tests {
             .unwrap();
         db.insert_rows(
             "emp",
-            rows.iter().map(|&(n, s)| vec![Value::text(n), Value::Int(s)]).collect(),
+            rows.iter()
+                .map(|&(n, s)| vec![Value::text(n), Value::Int(s)])
+                .collect(),
         )
         .unwrap();
         db
@@ -264,8 +312,13 @@ mod tests {
     ) -> bool {
         let (g, _) = detect_conflicts(db.catalog(), constraints).unwrap();
         let template = MembershipTemplate::build(q, db.catalog()).unwrap();
-        let mut prover =
-            Prover::new(&g, &template, CatalogMembership { catalog: db.catalog() });
+        let mut prover = Prover::new(
+            &g,
+            &template,
+            CatalogMembership {
+                catalog: db.catalog(),
+            },
+        );
         prover.is_consistent_answer(&tuple).unwrap()
     }
 
@@ -274,9 +327,24 @@ mod tests {
         let db = emp_db(&[("ann", 100), ("ann", 200), ("bob", 300)]);
         let fd = [DenialConstraint::functional_dependency("emp", &[0], 1)];
         let q = SjudQuery::rel("emp");
-        assert!(!check(&db, &fd, &q, vec![Value::text("ann"), Value::Int(100)]));
-        assert!(!check(&db, &fd, &q, vec![Value::text("ann"), Value::Int(200)]));
-        assert!(check(&db, &fd, &q, vec![Value::text("bob"), Value::Int(300)]));
+        assert!(!check(
+            &db,
+            &fd,
+            &q,
+            vec![Value::text("ann"), Value::Int(100)]
+        ));
+        assert!(!check(
+            &db,
+            &fd,
+            &q,
+            vec![Value::text("ann"), Value::Int(200)]
+        ));
+        assert!(check(
+            &db,
+            &fd,
+            &q,
+            vec![Value::text("bob"), Value::Int(300)]
+        ));
     }
 
     #[test]
@@ -284,7 +352,12 @@ mod tests {
         let db = emp_db(&[("ann", 100)]);
         let fd = [DenialConstraint::functional_dependency("emp", &[0], 1)];
         let q = SjudQuery::rel("emp");
-        assert!(!check(&db, &fd, &q, vec![Value::text("zzz"), Value::Int(1)]));
+        assert!(!check(
+            &db,
+            &fd,
+            &q,
+            vec![Value::text("zzz"), Value::Int(1)]
+        ));
     }
 
     #[test]
@@ -292,7 +365,12 @@ mod tests {
         let db = emp_db(&[("ann", 100), ("bob", 300)]);
         let fd = [DenialConstraint::functional_dependency("emp", &[0], 1)];
         let q = SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Ge, 200i64));
-        assert!(check(&db, &fd, &q, vec![Value::text("bob"), Value::Int(300)]));
+        assert!(check(
+            &db,
+            &fd,
+            &q,
+            vec![Value::text("bob"), Value::Int(300)]
+        ));
         assert!(
             !check(&db, &fd, &q, vec![Value::text("ann"), Value::Int(100)]),
             "fails the selection, so not an answer at all"
@@ -315,7 +393,12 @@ mod tests {
         let q = SjudQuery::rel("emp")
             .select(Pred::cmp_const(1, CmpOp::Ge, 150i64))
             .union(SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Lt, 150i64)));
-        assert!(!check(&db, &fd, &q, vec![Value::text("ann"), Value::Int(100)]));
+        assert!(!check(
+            &db,
+            &fd,
+            &q,
+            vec![Value::text("ann"), Value::Int(100)]
+        ));
     }
 
     #[test]
@@ -324,13 +407,26 @@ mod tests {
         // bob ∈ emp always, bob ∉ σ (salary 300) → consistent.
         let db = emp_db(&[("ann", 100), ("ann", 200), ("bob", 300)]);
         let fd = [DenialConstraint::functional_dependency("emp", &[0], 1)];
-        let q = SjudQuery::rel("emp")
-            .diff(SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Lt, 150i64)));
-        assert!(check(&db, &fd, &q, vec![Value::text("bob"), Value::Int(300)]));
+        let q = SjudQuery::rel("emp").diff(SjudQuery::rel("emp").select(Pred::cmp_const(
+            1,
+            CmpOp::Lt,
+            150i64,
+        )));
+        assert!(check(
+            &db,
+            &fd,
+            &q,
+            vec![Value::text("bob"), Value::Int(300)]
+        ));
         // (ann, 200): in the repair keeping (ann,200), 200 ∉ σ<150 → in
         // result; in the repair keeping (ann,100), (ann,200) ∉ emp → not in
         // result. Not consistent.
-        assert!(!check(&db, &fd, &q, vec![Value::text("ann"), Value::Int(200)]));
+        assert!(!check(
+            &db,
+            &fd,
+            &q,
+            vec![Value::text("ann"), Value::Int(200)]
+        ));
     }
 
     #[test]
@@ -354,7 +450,8 @@ mod tests {
                 .unwrap(),
             )
             .unwrap();
-        db.insert_rows("other", vec![vec![Value::text("cyd"), Value::Int(-5)]]).unwrap();
+        db.insert_rows("other", vec![vec![Value::text("cyd"), Value::Int(-5)]])
+            .unwrap();
         let chk = DenialConstraint::check(
             "emp",
             vec![Comparison {
@@ -366,7 +463,12 @@ mod tests {
         let q = SjudQuery::rel("other").diff(SjudQuery::rel("emp"));
         // (cyd, -5) ∈ other (consistent, no constraints on other); the
         // subtracted emp tuple is in no repair → answer is consistent.
-        assert!(check(&db, &[chk], &q, vec![Value::text("cyd"), Value::Int(-5)]));
+        assert!(check(
+            &db,
+            &[chk],
+            &q,
+            vec![Value::text("cyd"), Value::Int(-5)]
+        ));
     }
 
     #[test]
@@ -374,11 +476,11 @@ mod tests {
         let mut db = emp_db(&[("ann", 100), ("ann", 200), ("bob", 300)]);
         db.catalog_mut()
             .create_table(
-                TableSchema::new("dept", vec![Column::new("dname", DataType::Text)], &[])
-                    .unwrap(),
+                TableSchema::new("dept", vec![Column::new("dname", DataType::Text)], &[]).unwrap(),
             )
             .unwrap();
-        db.insert_rows("dept", vec![vec![Value::text("cs")]]).unwrap();
+        db.insert_rows("dept", vec![vec![Value::text("cs")]])
+            .unwrap();
         let fd = [DenialConstraint::functional_dependency("emp", &[0], 1)];
         let q = SjudQuery::rel("emp").product(SjudQuery::rel("dept"));
         assert!(check(
@@ -398,11 +500,20 @@ mod tests {
     #[test]
     fn prover_matches_naive_on_small_fd_instance() {
         use crate::repair::{enumerate_repairs, repair_instance};
-        let db = emp_db(&[("ann", 100), ("ann", 200), ("bob", 300), ("bob", 400), ("cyd", 5)]);
+        let db = emp_db(&[
+            ("ann", 100),
+            ("ann", 200),
+            ("bob", 300),
+            ("bob", 400),
+            ("cyd", 5),
+        ]);
         let fd = [DenialConstraint::functional_dependency("emp", &[0], 1)];
         let (g, _) = detect_conflicts(db.catalog(), &fd).unwrap();
-        let q = SjudQuery::rel("emp")
-            .diff(SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Ge, 350i64)));
+        let q = SjudQuery::rel("emp").diff(SjudQuery::rel("emp").select(Pred::cmp_const(
+            1,
+            CmpOp::Ge,
+            350i64,
+        )));
         // Naive: intersect over all repairs.
         let repairs = enumerate_repairs(&g, None);
         let mut naive: Option<std::collections::HashSet<Vec<Value>>> = None;
@@ -418,8 +529,13 @@ mod tests {
         let naive = naive.unwrap();
         // Prover: check every tuple in the envelope (here: all emp rows).
         let template = MembershipTemplate::build(&q, db.catalog()).unwrap();
-        let mut prover =
-            Prover::new(&g, &template, CatalogMembership { catalog: db.catalog() });
+        let mut prover = Prover::new(
+            &g,
+            &template,
+            CatalogMembership {
+                catalog: db.catalog(),
+            },
+        );
         for (_, row) in db.catalog().table("emp").unwrap().iter() {
             let expected = naive.contains(row);
             let got = prover.is_consistent_answer(row).unwrap();
@@ -434,9 +550,16 @@ mod tests {
         let (g, _) = detect_conflicts(db.catalog(), &fd).unwrap();
         let q = SjudQuery::rel("emp");
         let template = MembershipTemplate::build(&q, db.catalog()).unwrap();
-        let mut prover =
-            Prover::new(&g, &template, CatalogMembership { catalog: db.catalog() });
-        prover.is_consistent_answer(&vec![Value::text("ann"), Value::Int(100)]).unwrap();
+        let mut prover = Prover::new(
+            &g,
+            &template,
+            CatalogMembership {
+                catalog: db.catalog(),
+            },
+        );
+        prover
+            .is_consistent_answer(&vec![Value::text("ann"), Value::Int(100)])
+            .unwrap();
         assert_eq!(prover.stats.tuples_checked, 1);
         assert!(prover.stats.membership_checks >= 1);
         assert!(prover.stats.disjuncts_checked >= 1);

@@ -56,7 +56,10 @@ impl SjudQuery {
 
     /// `σ_pred(self)`.
     pub fn select(self, pred: Pred) -> SjudQuery {
-        SjudQuery::Select { input: Box::new(self), pred }
+        SjudQuery::Select {
+            input: Box::new(self),
+            pred,
+        }
     }
 
     /// `self × other`.
@@ -76,14 +79,18 @@ impl SjudQuery {
 
     /// Existential-free projection.
     pub fn permute(self, perm: Vec<usize>) -> SjudQuery {
-        SjudQuery::Permute { input: Box::new(self), perm }
+        SjudQuery::Permute {
+            input: Box::new(self),
+            perm,
+        }
     }
 
     /// Equi-join convenience: `σ_{left_col = right_col}(self × other)`.
     /// Both column positions are *combined* offsets over the product's
     /// columns (left columns first).
     pub fn join_on(self, left_col: usize, other: SjudQuery, right_col: usize) -> SjudQuery {
-        self.product(other).select(Pred::cmp_cols(left_col, crate::pred::CmpOp::Eq, right_col))
+        self.product(other)
+            .select(Pred::cmp_cols(left_col, crate::pred::CmpOp::Eq, right_col))
     }
 
     /// All base relations referenced (sorted, deduplicated).
@@ -122,9 +129,7 @@ impl SjudQuery {
     pub fn has_union(&self) -> bool {
         match self {
             SjudQuery::Rel(_) => false,
-            SjudQuery::Select { input, .. } | SjudQuery::Permute { input, .. } => {
-                input.has_union()
-            }
+            SjudQuery::Select { input, .. } | SjudQuery::Permute { input, .. } => input.has_union(),
             SjudQuery::Product(l, r) | SjudQuery::Diff(l, r) => l.has_union() || r.has_union(),
             SjudQuery::Union(_, _) => true,
         }
@@ -209,14 +214,20 @@ impl SjudQuery {
                         alias: Some(format!("c{i}")),
                     })
                     .collect();
-                core.from = vec![TableRef::Table { name: r.clone(), alias: None }];
+                core.from = vec![TableRef::Table {
+                    name: r.clone(),
+                    alias: None,
+                }];
                 Ok(Query::Select(Box::new(core)))
             }
             SjudQuery::Select { input, pred } => {
                 let inner = input.render(catalog)?;
                 let mut core = SelectCore::empty();
                 core.projection = vec![SelectItem::Wildcard];
-                core.from = vec![TableRef::Subquery { query: Box::new(inner), alias: "s".into() }];
+                core.from = vec![TableRef::Subquery {
+                    query: Box::new(inner),
+                    alias: "s".into(),
+                }];
                 core.filter = Some(pred.to_sql_expr(&|i| Expr::qcol("s", format!("c{i}"))));
                 Ok(Query::Select(Box::new(core)))
             }
@@ -237,8 +248,14 @@ impl SjudQuery {
                     }))
                     .collect();
                 core.from = vec![
-                    TableRef::Subquery { query: Box::new(lq), alias: "a".into() },
-                    TableRef::Subquery { query: Box::new(rq), alias: "b".into() },
+                    TableRef::Subquery {
+                        query: Box::new(lq),
+                        alias: "a".into(),
+                    },
+                    TableRef::Subquery {
+                        query: Box::new(rq),
+                        alias: "b".into(),
+                    },
                 ];
                 Ok(Query::Select(Box::new(core)))
             }
@@ -266,7 +283,10 @@ impl SjudQuery {
                         alias: Some(format!("c{i}")),
                     })
                     .collect();
-                core.from = vec![TableRef::Subquery { query: Box::new(inner), alias: "s".into() }];
+                core.from = vec![TableRef::Subquery {
+                    query: Box::new(inner),
+                    alias: "s".into(),
+                }];
                 Ok(Query::Select(Box::new(core)))
             }
         }
@@ -310,7 +330,10 @@ impl SjudQuery {
             SjudQuery::Diff(l, r) => {
                 let rv: std::collections::HashSet<Row> =
                     r.eval_inner(instance).into_iter().collect();
-                l.eval_inner(instance).into_iter().filter(|row| !rv.contains(row)).collect()
+                l.eval_inner(instance)
+                    .into_iter()
+                    .filter(|row| !rv.contains(row))
+                    .collect()
             }
             SjudQuery::Permute { input, perm } => input
                 .eval_inner(instance)
@@ -366,9 +389,13 @@ mod tests {
                 .create_table(TableSchema::new(name, cols, &[]).unwrap())
                 .unwrap();
         }
-        let rows =
-            |xs: &[(i64, i64)]| xs.iter().map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]).collect();
-        db.insert_rows("r", rows(&[(1, 10), (2, 20), (3, 30)])).unwrap();
+        let rows = |xs: &[(i64, i64)]| {
+            xs.iter()
+                .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)])
+                .collect()
+        };
+        db.insert_rows("r", rows(&[(1, 10), (2, 20), (3, 30)]))
+            .unwrap();
         db.insert_rows("s", rows(&[(1, 100), (2, 200)])).unwrap();
         db.insert_rows("u", rows(&[(1, 10)])).unwrap();
         db
@@ -461,7 +488,9 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let q = SjudQuery::rel("r").product(SjudQuery::rel("s")).diff(SjudQuery::rel("u"));
+        let q = SjudQuery::rel("r")
+            .product(SjudQuery::rel("s"))
+            .diff(SjudQuery::rel("u"));
         assert_eq!(q.to_string(), "((r × s) − u)");
     }
 

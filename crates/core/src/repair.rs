@@ -106,7 +106,9 @@ pub fn repair_instance<'a>(
     kept: &'a RepairKept,
 ) -> impl Fn(&str) -> Vec<Row> + 'a {
     move |rel: &str| {
-        let Ok(table) = catalog.table(rel) else { return Vec::new() };
+        let Ok(table) = catalog.table(rel) else {
+            return Vec::new();
+        };
         let ri = g.relation_index(rel);
         table
             .iter()
@@ -131,7 +133,9 @@ pub fn core_instance<'a>(
     g: &'a ConflictHypergraph,
 ) -> impl Fn(&str) -> Vec<Row> + 'a {
     move |rel: &str| {
-        let Ok(table) = catalog.table(rel) else { return Vec::new() };
+        let Ok(table) = catalog.table(rel) else {
+            return Vec::new();
+        };
         let ri = g.relation_index(rel);
         table
             .iter()
@@ -161,7 +165,10 @@ mod tests {
     use hippo_engine::{TupleId, Value};
 
     fn v(tid: u32) -> Vertex {
-        Vertex { rel: 0, tid: TupleId(tid) }
+        Vertex {
+            rel: 0,
+            tid: TupleId(tid),
+        }
     }
 
     fn graph(edges: &[&[u32]]) -> ConflictHypergraph {
@@ -170,7 +177,8 @@ mod tests {
         for (i, e) in edges.iter().enumerate() {
             let rows: Vec<Row> = e.iter().map(|&t| vec![Value::Int(t as i64)]).collect();
             let refs: Vec<&Row> = rows.iter().collect();
-            g.add_edge(e.iter().map(|&t| v(t)).collect(), &refs, i);
+            let vertices: Vec<Vertex> = e.iter().map(|&t| v(t)).collect();
+            g.add_edge(&vertices, &refs, i);
         }
         g
     }

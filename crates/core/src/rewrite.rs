@@ -128,7 +128,10 @@ fn render(
             let inner = render(input, constraints, catalog)?;
             let mut core = SelectCore::empty();
             core.projection = vec![SelectItem::Wildcard];
-            core.from = vec![TableRef::Subquery { query: Box::new(inner), alias: "s".into() }];
+            core.from = vec![TableRef::Subquery {
+                query: Box::new(inner),
+                alias: "s".into(),
+            }];
             core.filter = Some(pred.to_sql_expr(&|i| Expr::qcol("s", format!("c{i}"))));
             Ok(Query::Select(Box::new(core)))
         }
@@ -149,8 +152,14 @@ fn render(
                 }))
                 .collect();
             core.from = vec![
-                TableRef::Subquery { query: Box::new(lq), alias: "a".into() },
-                TableRef::Subquery { query: Box::new(rq), alias: "b".into() },
+                TableRef::Subquery {
+                    query: Box::new(lq),
+                    alias: "a".into(),
+                },
+                TableRef::Subquery {
+                    query: Box::new(rq),
+                    alias: "b".into(),
+                },
             ];
             Ok(Query::Select(Box::new(core)))
         }
@@ -166,8 +175,7 @@ fn render(
             // certain-absence reasoning beyond residues — unsupported.
             if r.has_diff() {
                 return Err(RewriteError::Unsupported(
-                    "nested difference on the subtrahend side is beyond one-round residues"
-                        .into(),
+                    "nested difference on the subtrahend side is beyond one-round residues".into(),
                 ));
             }
             let lq = render(l, constraints, catalog)?;
@@ -192,7 +200,10 @@ fn render(
                     alias: Some(format!("c{i}")),
                 })
                 .collect();
-            core.from = vec![TableRef::Subquery { query: Box::new(inner), alias: "s".into() }];
+            core.from = vec![TableRef::Subquery {
+                query: Box::new(inner),
+                alias: "s".into(),
+            }];
             Ok(Query::Select(Box::new(core)))
         }
     }
@@ -217,7 +228,10 @@ fn rewritten_leaf(
             alias: Some(format!("c{i}")),
         })
         .collect();
-    core.from = vec![TableRef::Table { name: rel.to_string(), alias: Some("t0".into()) }];
+    core.from = vec![TableRef::Table {
+        name: rel.to_string(),
+        alias: Some("t0".into()),
+    }];
 
     let mut residues: Vec<Expr> = Vec::new();
     for c in constraints {
@@ -267,7 +281,11 @@ fn residue_for_atom(
     let offset0 = 0usize;
     let offset1 = arities[0];
     let name = |i: usize| -> Expr {
-        let (atom, col) = if i < offset1 { (0, i - offset0) } else { (1, i - offset1) };
+        let (atom, col) = if i < offset1 {
+            (0, i - offset0)
+        } else {
+            (1, i - offset1)
+        };
         let (alias, schema) = if atom == atom_idx {
             ("t0", this_schema)
         } else {
@@ -277,14 +295,23 @@ fn residue_for_atom(
     };
     let mut sub = SelectCore::empty();
     sub.projection = vec![SelectItem::Wildcard];
-    sub.from = vec![TableRef::Table { name: other_rel.clone(), alias: Some("t1".into()) }];
+    sub.from = vec![TableRef::Table {
+        name: other_rel.clone(),
+        alias: Some("t1".into()),
+    }];
     sub.filter = Some(cond.to_sql_expr(&name));
-    Ok(Expr::Exists { query: Box::new(Query::Select(Box::new(sub))), negated: true })
+    Ok(Expr::Exists {
+        query: Box::new(Query::Select(Box::new(sub))),
+        negated: true,
+    })
 }
 
 /// Can this (query, constraints) pair be rewritten at all? Used by the
 /// expressiveness matrix (experiment D2).
-pub fn rewrite_supported(q: &SjudQuery, constraints: &[DenialConstraint]) -> Result<(), RewriteError> {
+pub fn rewrite_supported(
+    q: &SjudQuery,
+    constraints: &[DenialConstraint],
+) -> Result<(), RewriteError> {
     check_constraints(constraints)?;
     if q.has_union() {
         return Err(RewriteError::Unsupported("union".into()));
@@ -330,7 +357,9 @@ mod tests {
             .unwrap();
         db.insert_rows(
             "emp",
-            rows.iter().map(|&(n, s)| vec![Value::text(n), Value::Int(s)]).collect(),
+            rows.iter()
+                .map(|&(n, s)| vec![Value::text(n), Value::Int(s)])
+                .collect(),
         )
         .unwrap();
         db
@@ -367,7 +396,10 @@ mod tests {
             .create_table(
                 TableSchema::new(
                     "dept",
-                    vec![Column::new("dname", DataType::Text), Column::new("head", DataType::Text)],
+                    vec![
+                        Column::new("dname", DataType::Text),
+                        Column::new("head", DataType::Text),
+                    ],
                     &[],
                 )
                 .unwrap(),
@@ -399,27 +431,37 @@ mod tests {
             .create_table(
                 TableSchema::new(
                     "banned",
-                    vec![Column::new("name", DataType::Text), Column::new("x", DataType::Int)],
+                    vec![
+                        Column::new("name", DataType::Text),
+                        Column::new("x", DataType::Int),
+                    ],
                     &[],
                 )
                 .unwrap(),
             )
             .unwrap();
-        db.insert_rows("banned", vec![vec![Value::text("ann"), Value::Int(0)]]).unwrap();
+        db.insert_rows("banned", vec![vec![Value::text("ann"), Value::Int(0)]])
+            .unwrap();
         let constraints = vec![DenialConstraint::exclusion("emp", "banned", &[(0, 0)])];
         let (g, _) = detect_conflicts(db.catalog(), &constraints).unwrap();
         let q = SjudQuery::rel("emp");
         let rewritten = rewritten_answers(&q, &constraints, &db).unwrap();
         let truth = naive_consistent_answers(&q, db.catalog(), &g);
-        assert_eq!(rewritten, truth, "ann conflicts with a banned row in both directions");
+        assert_eq!(
+            rewritten, truth,
+            "ann conflicts with a banned row in both directions"
+        );
     }
 
     #[test]
     fn rewriting_matches_ground_truth_on_difference() {
         let db = emp_db(&[("ann", 100), ("ann", 200), ("bob", 300), ("cyd", 10)]);
         let (g, _) = detect_conflicts(db.catalog(), &fd()).unwrap();
-        let q = SjudQuery::rel("emp")
-            .diff(SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Lt, 50i64)));
+        let q = SjudQuery::rel("emp").diff(SjudQuery::rel("emp").select(Pred::cmp_const(
+            1,
+            CmpOp::Lt,
+            50i64,
+        )));
         let rewritten = rewritten_answers(&q, &fd(), &db).unwrap();
         let truth = naive_consistent_answers(&q, db.catalog(), &g);
         assert_eq!(rewritten, truth);
@@ -449,8 +491,7 @@ mod tests {
     #[test]
     fn nested_difference_unsupported() {
         let db = emp_db(&[("ann", 100)]);
-        let q = SjudQuery::rel("emp")
-            .diff(SjudQuery::rel("emp").diff(SjudQuery::rel("emp")));
+        let q = SjudQuery::rel("emp").diff(SjudQuery::rel("emp").diff(SjudQuery::rel("emp")));
         let err = rewrite_query(&q, &fd(), db.catalog()).unwrap_err();
         assert!(matches!(err, RewriteError::Unsupported(_)));
     }
@@ -458,8 +499,9 @@ mod tests {
     #[test]
     fn rewritten_sql_uses_not_exists() {
         let db = emp_db(&[("ann", 100)]);
-        let sql =
-            hippo_sql::print_query(&rewrite_query(&SjudQuery::rel("emp"), &fd(), db.catalog()).unwrap());
+        let sql = hippo_sql::print_query(
+            &rewrite_query(&SjudQuery::rel("emp"), &fd(), db.catalog()).unwrap(),
+        );
         assert!(sql.contains("NOT EXISTS"), "{sql}");
     }
 

@@ -35,13 +35,19 @@ pub struct SqlClassError {
 
 impl SqlClassError {
     fn new(message: impl Into<String>) -> SqlClassError {
-        SqlClassError { message: message.into() }
+        SqlClassError {
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for SqlClassError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query outside the supported SJUD class: {}", self.message)
+        write!(
+            f,
+            "query outside the supported SJUD class: {}",
+            self.message
+        )
     }
 }
 
@@ -63,7 +69,9 @@ impl From<hippo_engine::EngineError> for SqlClassError {
 pub fn sjud_from_sql(sql: &str, catalog: &Catalog) -> Result<SjudQuery, SqlClassError> {
     let stmt = hippo_sql::parse_statement(sql)?;
     let Statement::Select(q) = stmt else {
-        return Err(SqlClassError::new("only SELECT statements can be queried consistently"));
+        return Err(SqlClassError::new(
+            "only SELECT statements can be queried consistently",
+        ));
     };
     let q = sjud_from_query(&q, catalog)?;
     q.validate(catalog)?;
@@ -74,7 +82,12 @@ pub fn sjud_from_sql(sql: &str, catalog: &Catalog) -> Result<SjudQuery, SqlClass
 pub fn sjud_from_query(q: &Query, catalog: &Catalog) -> Result<SjudQuery, SqlClassError> {
     match q {
         Query::Select(core) => sjud_from_core(core, catalog),
-        Query::SetOp { op, all, left, right } => {
+        Query::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             if *all {
                 return Err(SqlClassError::new(
                     "bag semantics (ALL) is not supported; consistent answers are sets",
@@ -106,7 +119,7 @@ impl FromScope {
             .columns
             .iter()
             .enumerate()
-            .filter(|(_, (q, n))| n == name && qualifier.map_or(true, |want| q == want))
+            .filter(|(_, (q, n))| n == name && qualifier.is_none_or(|want| q == want))
             .map(|(i, _)| i)
             .collect();
         match matches.as_slice() {
@@ -115,7 +128,9 @@ impl FromScope {
                 "unknown column {}{name}",
                 qualifier.map(|q| format!("{q}.")).unwrap_or_default()
             ))),
-            _ => Err(SqlClassError::new(format!("ambiguous column reference {name:?}"))),
+            _ => Err(SqlClassError::new(format!(
+                "ambiguous column reference {name:?}"
+            ))),
         }
     }
 }
@@ -135,11 +150,15 @@ fn sjud_from_core(core: &SelectCore, catalog: &Catalog) -> Result<SjudQuery, Sql
         ));
     }
     if core.from.is_empty() {
-        return Err(SqlClassError::new("a FROM clause over base tables is required"));
+        return Err(SqlClassError::new(
+            "a FROM clause over base tables is required",
+        ));
     }
 
     // Build the product of FROM items and the flat scope.
-    let mut scope = FromScope { columns: Vec::new() };
+    let mut scope = FromScope {
+        columns: Vec::new(),
+    };
     let mut query: Option<SjudQuery> = None;
     let mut join_preds: Vec<Pred> = Vec::new();
     for item in &core.from {
@@ -175,10 +194,15 @@ fn sjud_from_core(core: &SelectCore, catalog: &Catalog) -> Result<SjudQuery, Sql
                     }
                 }
                 if !found {
-                    return Err(SqlClassError::new(format!("unknown alias {q:?} in wildcard")));
+                    return Err(SqlClassError::new(format!(
+                        "unknown alias {q:?} in wildcard"
+                    )));
                 }
             }
-            SelectItem::Expr { expr: Expr::Column { qualifier, name }, .. } => {
+            SelectItem::Expr {
+                expr: Expr::Column { qualifier, name },
+                ..
+            } => {
                 perm.push(scope.resolve(qualifier.as_deref(), name)?);
             }
             SelectItem::Expr { expr, .. } => {
@@ -227,7 +251,12 @@ fn from_item(
         TableRef::Subquery { .. } => Err(SqlClassError::new(
             "FROM subqueries are not supported; compose the algebra with SjudQuery instead",
         )),
-        TableRef::Join { left, right, kind, on } => {
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
             let l = from_item(left, catalog, scope, join_preds)?;
             let r = from_item(right, catalog, scope, join_preds)?;
             match kind {
@@ -251,13 +280,20 @@ fn from_item(
 
 fn where_pred(e: &Expr, scope: &FromScope) -> Result<Pred, SqlClassError> {
     match e {
-        Expr::Binary { op: BinaryOp::And, left, right } => {
-            Ok(where_pred(left, scope)?.and(where_pred(right, scope)?))
-        }
-        Expr::Binary { op: BinaryOp::Or, left, right } => {
-            Ok(where_pred(left, scope)?.or(where_pred(right, scope)?))
-        }
-        Expr::Unary { op: UnaryOp::Not, expr } => Ok(where_pred(expr, scope)?.not()),
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => Ok(where_pred(left, scope)?.and(where_pred(right, scope)?)),
+        Expr::Binary {
+            op: BinaryOp::Or,
+            left,
+            right,
+        } => Ok(where_pred(left, scope)?.or(where_pred(right, scope)?)),
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => Ok(where_pred(expr, scope)?.not()),
         Expr::Binary { op, left, right } if op.is_comparison() => {
             let cmp = match op {
                 BinaryOp::Eq => CmpOp::Eq,
@@ -268,19 +304,36 @@ fn where_pred(e: &Expr, scope: &FromScope) -> Result<Pred, SqlClassError> {
                 BinaryOp::Ge => CmpOp::Ge,
                 _ => unreachable!("is_comparison"),
             };
-            Ok(Pred::Cmp { op: cmp, left: operand(left, scope)?, right: operand(right, scope)? })
+            Ok(Pred::Cmp {
+                op: cmp,
+                left: operand(left, scope)?,
+                right: operand(right, scope)?,
+            })
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let e_op = operand(expr, scope)?;
             let both = Pred::Cmp {
                 op: CmpOp::Ge,
                 left: e_op.clone(),
                 right: operand(low, scope)?,
             }
-            .and(Pred::Cmp { op: CmpOp::Le, left: e_op, right: operand(high, scope)? });
+            .and(Pred::Cmp {
+                op: CmpOp::Le,
+                left: e_op,
+                right: operand(high, scope)?,
+            });
             Ok(if *negated { both.not() } else { both })
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let e_op = operand(expr, scope)?;
             let mut disj = Pred::False;
             for item in list {
@@ -327,10 +380,14 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE emp (name TEXT, salary INT)").unwrap();
-        db.execute("CREATE TABLE dept (head TEXT, budget INT)").unwrap();
-        db.execute("INSERT INTO emp VALUES ('ann', 100), ('ann', 200), ('bob', 300)").unwrap();
-        db.execute("INSERT INTO dept VALUES ('bob', 1000), ('ann', 500)").unwrap();
+        db.execute("CREATE TABLE emp (name TEXT, salary INT)")
+            .unwrap();
+        db.execute("CREATE TABLE dept (head TEXT, budget INT)")
+            .unwrap();
+        db.execute("INSERT INTO emp VALUES ('ann', 100), ('ann', 200), ('bob', 300)")
+            .unwrap();
+        db.execute("INSERT INTO dept VALUES ('bob', 1000), ('ann', 500)")
+            .unwrap();
         db
     }
 
@@ -345,7 +402,9 @@ mod tests {
     fn translates_selection() {
         let db = db();
         let q = sjud_from_sql("SELECT * FROM emp WHERE salary >= 150", db.catalog()).unwrap();
-        let SjudQuery::Select { pred, .. } = q else { panic!() };
+        let SjudQuery::Select { pred, .. } = q else {
+            panic!()
+        };
         assert!(pred.eval(&[Value::text("x"), Value::Int(200)]));
         assert!(!pred.eval(&[Value::text("x"), Value::Int(100)]));
     }
@@ -359,7 +418,9 @@ mod tests {
         )
         .unwrap();
         // product(emp, dept) with σ(c0 = c2) then permute [3,0,1,2]
-        let SjudQuery::Permute { perm, .. } = &q else { panic!("{q:?}") };
+        let SjudQuery::Permute { perm, .. } = &q else {
+            panic!("{q:?}")
+        };
         assert_eq!(perm, &vec![3, 0, 1, 2]);
         assert_eq!(q.validate(db.catalog()).unwrap(), 4);
     }
@@ -410,11 +471,15 @@ mod tests {
     fn rejects_aggregates_and_order_by() {
         let db = db();
         let err = sjud_from_sql("SELECT COUNT(*) FROM emp", db.catalog()).unwrap_err();
-        assert!(err.message.contains("plain columns") || err.message.contains("aggregation"),
-                "{err}");
-        let err =
-            sjud_from_sql("SELECT name, salary FROM emp GROUP BY name, salary", db.catalog())
-                .unwrap_err();
+        assert!(
+            err.message.contains("plain columns") || err.message.contains("aggregation"),
+            "{err}"
+        );
+        let err = sjud_from_sql(
+            "SELECT name, salary FROM emp GROUP BY name, salary",
+            db.catalog(),
+        )
+        .unwrap_err();
         assert!(err.message.contains("aggregation"), "{err}");
         let err = sjud_from_sql("SELECT * FROM emp ORDER BY salary", db.catalog()).unwrap_err();
         assert!(err.message.contains("ORDER BY"), "{err}");
@@ -442,8 +507,7 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("outer joins"), "{err}");
-        let err =
-            sjud_from_sql("SELECT * FROM (SELECT * FROM emp) s", db.catalog()).unwrap_err();
+        let err = sjud_from_sql("SELECT * FROM (SELECT * FROM emp) s", db.catalog()).unwrap_err();
         assert!(err.message.contains("FROM subqueries"), "{err}");
     }
 
@@ -472,17 +536,19 @@ mod tests {
         ];
         for sql in sqls {
             let q = sjud_from_sql(sql, db.catalog()).unwrap();
-            let (g, _) =
-                crate::detect::detect_conflicts(db.catalog(), &constraints).unwrap();
+            let (g, _) = crate::detect::detect_conflicts(db.catalog(), &constraints).unwrap();
             let truth = naive_consistent_answers(&q, db.catalog(), &g);
             let hippo = Hippo::new(
                 {
                     let mut d = Database::new();
-                    d.execute("CREATE TABLE emp (name TEXT, salary INT)").unwrap();
-                    d.execute("CREATE TABLE dept (head TEXT, budget INT)").unwrap();
+                    d.execute("CREATE TABLE emp (name TEXT, salary INT)")
+                        .unwrap();
+                    d.execute("CREATE TABLE dept (head TEXT, budget INT)")
+                        .unwrap();
                     d.execute("INSERT INTO emp VALUES ('ann', 100), ('ann', 200), ('bob', 300)")
                         .unwrap();
-                    d.execute("INSERT INTO dept VALUES ('bob', 1000), ('ann', 500)").unwrap();
+                    d.execute("INSERT INTO dept VALUES ('bob', 1000), ('ann', 500)")
+                        .unwrap();
                     d
                 },
                 constraints.clone(),

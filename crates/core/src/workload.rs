@@ -32,7 +32,12 @@ pub struct FdTableSpec {
 impl FdTableSpec {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, rows: usize, conflict_rate: f64, seed: u64) -> Self {
-        FdTableSpec { name: name.into(), rows, conflict_rate, seed }
+        FdTableSpec {
+            name: name.into(),
+            rows,
+            conflict_rate,
+            seed,
+        }
     }
 
     /// The relation's FD constraint (`k → v`, i.e. column 0 → column 1).
@@ -69,7 +74,11 @@ impl FdTableSpec {
             };
             let v = base_v + 1 + rng.gen_range(0..1000);
             let payload = rng.gen_range(0..1_000);
-            rows.push(vec![Value::Int(c as i64), Value::Int(v), Value::Int(payload)]);
+            rows.push(vec![
+                Value::Int(c as i64),
+                Value::Int(v),
+                Value::Int(payload),
+            ]);
         }
         let n = rows.len();
         db.insert_rows(&self.name, rows)?;
@@ -152,12 +161,12 @@ impl IntegrationWorkload {
             rows.push(vec![Value::Int(acct as i64), Value::Int(b), Value::Int(1)]);
         }
         // Source 2: overlapping accounts 0..n_overlap plus fresh n..(2n - n_overlap)
-        for acct in 0..n_overlap {
+        for (acct, &balance) in balances.iter().enumerate().take(n_overlap) {
             let disagree = rng.gen_bool(self.disagreement);
             let b = if disagree {
-                balances[acct] + 1 + rng.gen_range(0..10_000)
+                balance + 1 + rng.gen_range(0..10_000)
             } else {
-                balances[acct]
+                balance
             };
             rows.push(vec![Value::Int(acct as i64), Value::Int(b), Value::Int(2)]);
         }
@@ -208,7 +217,11 @@ mod tests {
         let mut db = Database::new();
         spec.populate(&mut db).unwrap();
         let (g, _) = detect_conflicts(db.catalog(), &[spec.fd()]).unwrap();
-        assert_eq!(g.edge_count(), 10, "each conflicting extra pairs with exactly one base row");
+        assert_eq!(
+            g.edge_count(),
+            10,
+            "each conflicting extra pairs with exactly one base row"
+        );
         assert_eq!(g.conflicting_vertex_count(), 20);
     }
 
@@ -241,7 +254,10 @@ mod tests {
         let db = w.build().unwrap();
         let (g, _) = detect_conflicts(db.catalog(), &[w.constraint()]).unwrap();
         assert_eq!(g.edge_count(), 50, "all overlapping accounts disagree");
-        let w2 = IntegrationWorkload { disagreement: 0.0, ..w };
+        let w2 = IntegrationWorkload {
+            disagreement: 0.0,
+            ..w
+        };
         let db2 = w2.build().unwrap();
         let (g2, _) = detect_conflicts(db2.catalog(), &[w2.constraint()]).unwrap();
         assert_eq!(g2.edge_count(), 0, "agreeing sources are consistent");

@@ -39,12 +39,19 @@ struct Scope {
 
 impl Scope {
     fn width(&self) -> usize {
-        self.entries.last().map(|e| e.offset + e.columns.len()).unwrap_or(0)
+        self.entries
+            .last()
+            .map(|e| e.offset + e.columns.len())
+            .unwrap_or(0)
     }
 
     fn add(&mut self, qualifier: Option<String>, columns: Vec<String>) {
         let offset = self.width();
-        self.entries.push(ScopeEntry { qualifier, columns, offset });
+        self.entries.push(ScopeEntry {
+            qualifier,
+            columns,
+            offset,
+        });
     }
 
     /// Resolve a possibly-qualified column to a flat offset.
@@ -59,7 +66,9 @@ impl Scope {
             if let Some(i) = e.columns.iter().position(|c| c == name) {
                 let flat = e.offset + i;
                 if found.is_some() {
-                    return Err(EngineError::new(format!("ambiguous column reference {name:?}")));
+                    return Err(EngineError::new(format!(
+                        "ambiguous column reference {name:?}"
+                    )));
                 }
                 found = Some(flat);
                 // With a qualifier, a single entry can still have duplicate
@@ -82,7 +91,11 @@ impl Scope {
 
 /// Bind a query against the catalog (no outer scopes).
 pub fn bind_query(catalog: &Catalog, query: &Query) -> Result<BoundQuery, EngineError> {
-    Binder { catalog, scopes: Vec::new() }.query(query)
+    Binder {
+        catalog,
+        scopes: Vec::new(),
+    }
+    .query(query)
 }
 
 /// Bind a standalone expression against a table's row (used by DML filters).
@@ -94,13 +107,19 @@ pub fn bind_table_expr(
     let t = catalog.table(table)?;
     let mut scope = Scope::default();
     scope.add(Some(table.to_string()), t.schema.column_names());
-    let mut b = Binder { catalog, scopes: vec![scope] };
+    let mut b = Binder {
+        catalog,
+        scopes: vec![scope],
+    };
     b.expr(expr)
 }
 
 /// Bind a constant expression (no columns in scope), e.g. `VALUES` items.
 pub fn bind_const_expr(catalog: &Catalog, expr: &Expr) -> Result<BoundExpr, EngineError> {
-    let mut b = Binder { catalog, scopes: vec![Scope::default()] };
+    let mut b = Binder {
+        catalog,
+        scopes: vec![Scope::default()],
+    };
     b.expr(expr)
 }
 
@@ -114,7 +133,12 @@ impl<'a> Binder<'a> {
     fn query(&mut self, query: &Query) -> Result<BoundQuery, EngineError> {
         match query {
             Query::Select(core) => self.select_core(core),
-            Query::SetOp { op, all, left, right } => {
+            Query::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
                 let l = self.query(left)?;
                 let r = self.query(right)?;
                 let la = l.plan.arity(self.catalog)?;
@@ -141,7 +165,10 @@ impl<'a> Binder<'a> {
                         all: *all,
                     },
                 };
-                Ok(BoundQuery { plan, columns: l.columns })
+                Ok(BoundQuery {
+                    plan,
+                    columns: l.columns,
+                })
             }
         }
     }
@@ -154,7 +181,10 @@ impl<'a> Binder<'a> {
             let (p, entries) = self.table_ref(tr, &mut scope)?;
             plan = Some(match plan {
                 None => p,
-                Some(prev) => LogicalPlan::CrossJoin { left: Box::new(prev), right: Box::new(p) },
+                Some(prev) => LogicalPlan::CrossJoin {
+                    left: Box::new(prev),
+                    right: Box::new(p),
+                },
             });
             // entries already added to scope by table_ref
             let _ = entries;
@@ -177,10 +207,15 @@ impl<'a> Binder<'a> {
         // ----- WHERE -----
         if let Some(f) = &core.filter {
             if contains_aggregate(f) {
-                return Err(EngineError::new("aggregate functions are not allowed in WHERE"));
+                return Err(EngineError::new(
+                    "aggregate functions are not allowed in WHERE",
+                ));
             }
             let predicate = self.expr(f)?;
-            *plan = LogicalPlan::Filter { input: Box::new(plan.clone()), predicate };
+            *plan = LogicalPlan::Filter {
+                input: Box::new(plan.clone()),
+                predicate,
+            };
         }
 
         // ----- projection expansion -----
@@ -192,7 +227,10 @@ impl<'a> Binder<'a> {
                 match item {
                     SelectItem::Wildcard => {
                         for (_, name, offset) in scope.all_columns() {
-                            proj_exprs.push(Expr::Column { qualifier: None, name: name.clone() });
+                            proj_exprs.push(Expr::Column {
+                                qualifier: None,
+                                name: name.clone(),
+                            });
                             // Remember the offset directly via a marker: we
                             // re-resolve below, which is fine because
                             // wildcard names may be ambiguous; use the
@@ -207,8 +245,10 @@ impl<'a> Binder<'a> {
                         let start = proj_exprs.len() - n;
                         for (k, (q, name, _)) in scope.all_columns().into_iter().enumerate() {
                             if let Some(q) = q {
-                                proj_exprs[start + k] =
-                                    Expr::Column { qualifier: Some(q), name };
+                                proj_exprs[start + k] = Expr::Column {
+                                    qualifier: Some(q),
+                                    name,
+                                };
                             }
                         }
                     }
@@ -251,19 +291,29 @@ impl<'a> Binder<'a> {
             if core.having.is_some() {
                 return Err(EngineError::new("HAVING requires GROUP BY or aggregates"));
             }
-            let bound: Vec<BoundExpr> =
-                proj_exprs.iter().map(|e| self.expr(e)).collect::<Result<_, _>>()?;
-            plan = LogicalPlan::Project { input: Box::new(plan), exprs: bound };
+            let bound: Vec<BoundExpr> = proj_exprs
+                .iter()
+                .map(|e| self.expr(e))
+                .collect::<Result<_, _>>()?;
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                exprs: bound,
+            };
         }
 
         if core.distinct {
-            plan = LogicalPlan::Distinct { input: Box::new(plan) };
+            plan = LogicalPlan::Distinct {
+                input: Box::new(plan),
+            };
         }
 
         // ----- ORDER BY (binds against the output columns) -----
         if !core.order_by.is_empty() {
             let keys = self.bind_order_by(&core.order_by, &proj_names, &proj_exprs, has_agg)?;
-            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
         }
 
         if core.limit.is_some() || core.offset.is_some() {
@@ -289,8 +339,10 @@ impl<'a> Binder<'a> {
     ) -> Result<LogicalPlan, EngineError> {
         // Group expressions, bound over the FROM scope.
         let group_asts: Vec<Expr> = core.group_by.clone();
-        let group_bound: Vec<BoundExpr> =
-            group_asts.iter().map(|e| self.expr(e)).collect::<Result<_, _>>()?;
+        let group_bound: Vec<BoundExpr> = group_asts
+            .iter()
+            .map(|e| self.expr(e))
+            .collect::<Result<_, _>>()?;
 
         // Collect aggregate calls from output positions.
         let mut agg_asts: Vec<Expr> = Vec::new();
@@ -328,7 +380,10 @@ impl<'a> Binder<'a> {
         let mut plan = agg_plan;
         if let Some(h) = &core.having {
             let pred = self.rebind_over_groups(h, &group_asts, &agg_asts)?;
-            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: pred };
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: pred,
+            };
         }
 
         // Projection over the aggregate output.
@@ -336,7 +391,10 @@ impl<'a> Binder<'a> {
             .iter()
             .map(|e| self.rebind_over_groups(e, &group_asts, &agg_asts))
             .collect::<Result<_, _>>()?;
-        Ok(LogicalPlan::Project { input: Box::new(plan), exprs })
+        Ok(LogicalPlan::Project {
+            input: Box::new(plan),
+            exprs,
+        })
     }
 
     /// Rewrite an output expression in terms of the aggregate node's output
@@ -371,7 +429,10 @@ impl<'a> Binder<'a> {
                 expr: Box::new(self.rebind_over_groups(expr, group_asts, agg_asts)?),
                 negated: *negated,
             }),
-            Expr::Case { branches, else_value } => Ok(BoundExpr::Case {
+            Expr::Case {
+                branches,
+                else_value,
+            } => Ok(BoundExpr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, v)| {
@@ -382,16 +443,13 @@ impl<'a> Binder<'a> {
                     })
                     .collect::<Result<_, EngineError>>()?,
                 else_value: match else_value {
-                    Some(ev) => {
-                        Some(Box::new(self.rebind_over_groups(ev, group_asts, agg_asts)?))
-                    }
+                    Some(ev) => Some(Box::new(self.rebind_over_groups(ev, group_asts, agg_asts)?)),
                     None => None,
                 },
             }),
             Expr::Function { name, args, .. } if !is_aggregate_name(name) => {
-                let func = ScalarFunc::from_name(name).ok_or_else(|| {
-                    EngineError::new(format!("unknown function {name:?}"))
-                })?;
+                let func = ScalarFunc::from_name(name)
+                    .ok_or_else(|| EngineError::new(format!("unknown function {name:?}")))?;
                 Ok(BoundExpr::Function {
                     func,
                     args: args
@@ -407,14 +465,24 @@ impl<'a> Binder<'a> {
     }
 
     fn bind_agg_call(&mut self, e: &Expr) -> Result<AggExpr, EngineError> {
-        let Expr::Function { name, args, star, distinct } = e else {
+        let Expr::Function {
+            name,
+            args,
+            star,
+            distinct,
+        } = e
+        else {
             return Err(EngineError::new("internal: not an aggregate call"));
         };
         if *star {
             if name != "count" {
                 return Err(EngineError::new(format!("{name}(*) is not supported")));
             }
-            return Ok(AggExpr { func: AggFunc::CountStar, arg: None, distinct: false });
+            return Ok(AggExpr {
+                func: AggFunc::CountStar,
+                arg: None,
+                distinct: false,
+            });
         }
         let func = AggFunc::from_name(name)
             .ok_or_else(|| EngineError::new(format!("unknown aggregate {name:?}")))?;
@@ -428,7 +496,11 @@ impl<'a> Binder<'a> {
             return Err(EngineError::new("nested aggregate calls are not allowed"));
         }
         let arg = self.expr(&args[0])?;
-        Ok(AggExpr { func, arg: Some(arg), distinct: *distinct })
+        Ok(AggExpr {
+            func,
+            arg: Some(arg),
+            distinct: *distinct,
+        })
     }
 
     fn bind_order_by(
@@ -452,17 +524,16 @@ impl<'a> Binder<'a> {
                     BoundExpr::Column(k as usize - 1)
                 }
                 // ORDER BY <output name>
-                Expr::Column { qualifier: None, name }
-                    if proj_names.iter().filter(|n| *n == name).count() == 1 =>
-                {
-                    BoundExpr::Column(
-                        proj_names.iter().position(|n| n == name).expect("checked"),
-                    )
+                Expr::Column {
+                    qualifier: None,
+                    name,
+                } if proj_names.iter().filter(|n| *n == name).count() == 1 => {
+                    BoundExpr::Column(proj_names.iter().position(|n| n == name).expect("checked"))
                 }
                 // ORDER BY <expression that syntactically matches an output>
-                e if proj_exprs.iter().any(|p| p == e) => BoundExpr::Column(
-                    proj_exprs.iter().position(|p| p == e).expect("checked"),
-                ),
+                e if proj_exprs.iter().any(|p| p == e) => {
+                    BoundExpr::Column(proj_exprs.iter().position(|p| p == e).expect("checked"))
+                }
                 e => {
                     if has_agg {
                         return Err(EngineError::new(
@@ -491,20 +562,32 @@ impl<'a> Binder<'a> {
                 let columns = t.schema.column_names();
                 let qualifier = alias.clone().unwrap_or_else(|| name.clone());
                 // Reject duplicate qualifiers in one FROM.
-                if scope.entries.iter().any(|e| e.qualifier.as_deref() == Some(qualifier.as_str()))
+                if scope
+                    .entries
+                    .iter()
+                    .any(|e| e.qualifier.as_deref() == Some(qualifier.as_str()))
                 {
                     return Err(EngineError::new(format!(
                         "duplicate table alias {qualifier:?} in FROM"
                     )));
                 }
                 scope.add(Some(qualifier), columns);
-                Ok((LogicalPlan::Scan { table: name.clone() }, 1))
+                Ok((
+                    LogicalPlan::Scan {
+                        table: name.clone(),
+                    },
+                    1,
+                ))
             }
             TableRef::Subquery { query, alias } => {
                 // FROM subqueries are uncorrelated: bind with the *outer*
                 // scope stack only (standard SQL, no LATERAL).
                 let bound = self.query(query)?;
-                if scope.entries.iter().any(|e| e.qualifier.as_deref() == Some(alias.as_str())) {
+                if scope
+                    .entries
+                    .iter()
+                    .any(|e| e.qualifier.as_deref() == Some(alias.as_str()))
+                {
                     return Err(EngineError::new(format!(
                         "duplicate table alias {alias:?} in FROM"
                     )));
@@ -512,17 +595,27 @@ impl<'a> Binder<'a> {
                 scope.add(Some(alias.clone()), bound.columns);
                 Ok((bound.plan, 1))
             }
-            TableRef::Join { left, right, kind, on } => {
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
                 let (lp, _) = self.table_ref(left, scope)?;
                 let (rp, _) = self.table_ref(right, scope)?;
                 match kind {
                     JoinKind::Cross => Ok((
-                        LogicalPlan::CrossJoin { left: Box::new(lp), right: Box::new(rp) },
+                        LogicalPlan::CrossJoin {
+                            left: Box::new(lp),
+                            right: Box::new(rp),
+                        },
                         2,
                     )),
                     JoinKind::Inner => {
-                        let plan =
-                            LogicalPlan::CrossJoin { left: Box::new(lp), right: Box::new(rp) };
+                        let plan = LogicalPlan::CrossJoin {
+                            left: Box::new(lp),
+                            right: Box::new(rp),
+                        };
                         let Some(on) = on else {
                             return Err(EngineError::new("INNER JOIN requires ON"));
                         };
@@ -531,7 +624,10 @@ impl<'a> Binder<'a> {
                         let pred = self.expr(on);
                         self.scopes.pop();
                         Ok((
-                            LogicalPlan::Filter { input: Box::new(plan), predicate: pred? },
+                            LogicalPlan::Filter {
+                                input: Box::new(plan),
+                                predicate: pred?,
+                            },
                             2,
                         ))
                     }
@@ -583,7 +679,10 @@ impl<'a> Binder<'a> {
                 }
                 Err(EngineError::new(format!(
                     "unknown column {}{name}",
-                    qualifier.as_deref().map(|q| format!("{q}.")).unwrap_or_default()
+                    qualifier
+                        .as_deref()
+                        .map(|q| format!("{q}."))
+                        .unwrap_or_default()
                 )))
             }
             Expr::Binary { op, left, right } => Ok(BoundExpr::Binary {
@@ -591,14 +690,20 @@ impl<'a> Binder<'a> {
                 left: Box::new(self.expr(left)?),
                 right: Box::new(self.expr(right)?),
             }),
-            Expr::Unary { op, expr } => {
-                Ok(BoundExpr::Unary { op: *op, expr: Box::new(self.expr(expr)?) })
-            }
+            Expr::Unary { op, expr } => Ok(BoundExpr::Unary {
+                op: *op,
+                expr: Box::new(self.expr(expr)?),
+            }),
             Expr::IsNull { expr, negated } => Ok(BoundExpr::IsNull {
                 expr: Box::new(self.expr(expr)?),
                 negated: *negated,
             }),
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 // Desugar: e BETWEEN l AND h  ==>  l <= e AND e <= h
                 let e_b = self.expr(expr)?;
                 let l_b = self.expr(low)?;
@@ -615,26 +720,46 @@ impl<'a> Binder<'a> {
                 };
                 let both = ge.and(le);
                 Ok(if *negated {
-                    BoundExpr::Unary { op: hippo_sql::UnaryOp::Not, expr: Box::new(both) }
+                    BoundExpr::Unary {
+                        op: hippo_sql::UnaryOp::Not,
+                        expr: Box::new(both),
+                    }
                 } else {
                     both
                 })
             }
-            Expr::Like { expr, pattern, negated } => Ok(BoundExpr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Ok(BoundExpr::Like {
                 expr: Box::new(self.expr(expr)?),
                 pattern: Box::new(self.expr(pattern)?),
                 negated: *negated,
             }),
-            Expr::InList { expr, list, negated } => Ok(BoundExpr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Ok(BoundExpr::InList {
                 expr: Box::new(self.expr(expr)?),
-                list: list.iter().map(|i| self.expr(i)).collect::<Result<_, _>>()?,
+                list: list
+                    .iter()
+                    .map(|i| self.expr(i))
+                    .collect::<Result<_, _>>()?,
                 negated: *negated,
             }),
-            Expr::InSubquery { expr, query, negated } => {
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
                 let e_b = self.expr(expr)?;
                 let sub = self.bind_subquery(query)?;
                 if sub.plan.arity(self.catalog)? != 1 {
-                    return Err(EngineError::new("IN subquery must produce exactly one column"));
+                    return Err(EngineError::new(
+                        "IN subquery must produce exactly one column",
+                    ));
                 }
                 Ok(BoundExpr::InSubquery {
                     expr: Box::new(e_b),
@@ -644,7 +769,10 @@ impl<'a> Binder<'a> {
             }
             Expr::Exists { query, negated } => {
                 let sub = self.bind_subquery(query)?;
-                Ok(BoundExpr::Exists { plan: Box::new(sub.plan), negated: *negated })
+                Ok(BoundExpr::Exists {
+                    plan: Box::new(sub.plan),
+                    negated: *negated,
+                })
             }
             Expr::ScalarSubquery(query) => {
                 let sub = self.bind_subquery(query)?;
@@ -655,7 +783,12 @@ impl<'a> Binder<'a> {
                 }
                 Ok(BoundExpr::ScalarSubquery(Box::new(sub.plan)))
             }
-            Expr::Function { name, args, star, distinct } => {
+            Expr::Function {
+                name,
+                args,
+                star,
+                distinct,
+            } => {
                 if is_aggregate_name(name) || *star || *distinct {
                     return Err(EngineError::new(format!(
                         "aggregate {name:?} is not allowed in this context"
@@ -665,10 +798,16 @@ impl<'a> Binder<'a> {
                     .ok_or_else(|| EngineError::new(format!("unknown function {name:?}")))?;
                 Ok(BoundExpr::Function {
                     func,
-                    args: args.iter().map(|a| self.expr(a)).collect::<Result<_, _>>()?,
+                    args: args
+                        .iter()
+                        .map(|a| self.expr(a))
+                        .collect::<Result<_, _>>()?,
                 })
             }
-            Expr::Case { branches, else_value } => Ok(BoundExpr::Case {
+            Expr::Case {
+                branches,
+                else_value,
+            } => Ok(BoundExpr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, v)| Ok((self.expr(c)?, self.expr(v)?)))
@@ -685,7 +824,10 @@ impl<'a> Binder<'a> {
     fn bind_subquery(&mut self, query: &Query) -> Result<BoundQuery, EngineError> {
         // self.scopes already holds [outer..., current]; the subquery binder
         // sees all of them as enclosing scopes.
-        let mut inner = Binder { catalog: self.catalog, scopes: self.scopes.clone() };
+        let mut inner = Binder {
+            catalog: self.catalog,
+            scopes: self.scopes.clone(),
+        };
         inner.query(query)
     }
 }
@@ -710,23 +852,28 @@ fn is_aggregate_name(name: &str) -> bool {
 /// into subqueries, which have their own aggregation contexts)?
 pub fn contains_aggregate(e: &Expr) -> bool {
     match e {
-        Expr::Function { name, star, args, .. } => {
-            *star || is_aggregate_name(name) || args.iter().any(contains_aggregate)
-        }
+        Expr::Function {
+            name, star, args, ..
+        } => *star || is_aggregate_name(name) || args.iter().any(contains_aggregate),
         Expr::Literal(_) | Expr::Column { .. } => false,
         Expr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
         Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => contains_aggregate(expr),
-        Expr::Between { expr, low, high, .. } => {
-            contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high)
-        }
+        Expr::Between {
+            expr, low, high, ..
+        } => contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high),
         Expr::Like { expr, pattern, .. } => contains_aggregate(expr) || contains_aggregate(pattern),
         Expr::InList { expr, list, .. } => {
             contains_aggregate(expr) || list.iter().any(contains_aggregate)
         }
         Expr::InSubquery { expr, .. } => contains_aggregate(expr),
         Expr::Exists { .. } | Expr::ScalarSubquery(_) => false,
-        Expr::Case { branches, else_value } => {
-            branches.iter().any(|(c, v)| contains_aggregate(c) || contains_aggregate(v))
+        Expr::Case {
+            branches,
+            else_value,
+        } => {
+            branches
+                .iter()
+                .any(|(c, v)| contains_aggregate(c) || contains_aggregate(v))
                 || else_value.as_ref().is_some_and(|e| contains_aggregate(e))
         }
     }
@@ -748,7 +895,9 @@ fn collect_aggregates(e: &Expr, out: &mut Vec<Expr>) {
             collect_aggregates(right, out);
         }
         Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => collect_aggregates(expr, out),
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             collect_aggregates(expr, out);
             collect_aggregates(low, out);
             collect_aggregates(high, out);
@@ -764,7 +913,10 @@ fn collect_aggregates(e: &Expr, out: &mut Vec<Expr>) {
             }
         }
         Expr::InSubquery { expr, .. } => collect_aggregates(expr, out),
-        Expr::Case { branches, else_value } => {
+        Expr::Case {
+            branches,
+            else_value,
+        } => {
             for (c, v) in branches {
                 collect_aggregates(c, out);
                 collect_aggregates(v, out);
@@ -808,7 +960,10 @@ mod tests {
         c.create_table(
             TableSchema::new(
                 "dept",
-                vec![Column::new("dname", DataType::Text), Column::new("budget", DataType::Int)],
+                vec![
+                    Column::new("dname", DataType::Text),
+                    Column::new("budget", DataType::Int),
+                ],
                 &[],
             )
             .unwrap(),
@@ -826,7 +981,9 @@ mod tests {
     fn binds_simple_select() {
         let b = bind("SELECT name, salary FROM emp WHERE salary > 100").unwrap();
         assert_eq!(b.columns, vec!["name", "salary"]);
-        let LogicalPlan::Project { exprs, input } = b.plan else { panic!() };
+        let LogicalPlan::Project { exprs, input } = b.plan else {
+            panic!()
+        };
         assert_eq!(exprs, vec![BoundExpr::Column(0), BoundExpr::Column(2)]);
         assert!(matches!(*input, LogicalPlan::Filter { .. }));
     }
@@ -890,9 +1047,19 @@ mod tests {
     #[test]
     fn between_desugars() {
         let b = bind("SELECT name FROM emp WHERE salary BETWEEN 1 AND 2").unwrap();
-        let LogicalPlan::Project { input, .. } = b.plan else { panic!() };
-        let LogicalPlan::Filter { predicate, .. } = *input else { panic!() };
-        assert!(matches!(predicate, BoundExpr::Binary { op: BinaryOp::And, .. }));
+        let LogicalPlan::Project { input, .. } = b.plan else {
+            panic!()
+        };
+        let LogicalPlan::Filter { predicate, .. } = *input else {
+            panic!()
+        };
+        assert!(matches!(
+            predicate,
+            BoundExpr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -902,11 +1069,21 @@ mod tests {
         )
         .unwrap();
         // find the Exists expression and check it contains an OuterRef
-        let LogicalPlan::Project { input, .. } = b.plan else { panic!() };
-        let LogicalPlan::Filter { predicate, .. } = *input else { panic!() };
-        let BoundExpr::Exists { plan, .. } = predicate else { panic!("{predicate:?}") };
-        let LogicalPlan::Project { input, .. } = *plan else { panic!() };
-        let LogicalPlan::Filter { predicate, .. } = *input else { panic!() };
+        let LogicalPlan::Project { input, .. } = b.plan else {
+            panic!()
+        };
+        let LogicalPlan::Filter { predicate, .. } = *input else {
+            panic!()
+        };
+        let BoundExpr::Exists { plan, .. } = predicate else {
+            panic!("{predicate:?}")
+        };
+        let LogicalPlan::Project { input, .. } = *plan else {
+            panic!()
+        };
+        let LogicalPlan::Filter { predicate, .. } = *input else {
+            panic!()
+        };
         let mut saw_outer = false;
         predicate.visit(&mut |e| {
             if matches!(e, BoundExpr::OuterRef { level: 0, .. }) {
@@ -918,14 +1095,24 @@ mod tests {
 
     #[test]
     fn aggregate_query_binds() {
-        let b = bind(
-            "SELECT dept, COUNT(*), SUM(salary) FROM emp GROUP BY dept HAVING COUNT(*) > 1",
-        )
-        .unwrap();
+        let b =
+            bind("SELECT dept, COUNT(*), SUM(salary) FROM emp GROUP BY dept HAVING COUNT(*) > 1")
+                .unwrap();
         assert_eq!(b.columns, vec!["dept", "count", "sum"]);
-        let LogicalPlan::Project { input, .. } = &b.plan else { panic!() };
-        let LogicalPlan::Filter { input: agg, .. } = &**input else { panic!() };
-        let LogicalPlan::Aggregate { group_exprs, aggregates, .. } = &**agg else { panic!() };
+        let LogicalPlan::Project { input, .. } = &b.plan else {
+            panic!()
+        };
+        let LogicalPlan::Filter { input: agg, .. } = &**input else {
+            panic!()
+        };
+        let LogicalPlan::Aggregate {
+            group_exprs,
+            aggregates,
+            ..
+        } = &**agg
+        else {
+            panic!()
+        };
         assert_eq!(group_exprs.len(), 1);
         assert_eq!(aggregates.len(), 2);
     }
@@ -945,7 +1132,9 @@ mod tests {
     #[test]
     fn order_by_position_and_alias() {
         let b = bind("SELECT name AS n, salary FROM emp ORDER BY 2 DESC, n").unwrap();
-        let LogicalPlan::Sort { keys, .. } = &b.plan else { panic!() };
+        let LogicalPlan::Sort { keys, .. } = &b.plan else {
+            panic!()
+        };
         assert_eq!(keys[0], (BoundExpr::Column(1), true));
         assert_eq!(keys[1], (BoundExpr::Column(0), false));
     }
@@ -959,7 +1148,9 @@ mod tests {
     #[test]
     fn select_without_from() {
         let b = bind("SELECT 1, 'x'").unwrap();
-        let LogicalPlan::Project { input, exprs } = b.plan else { panic!() };
+        let LogicalPlan::Project { input, exprs } = b.plan else {
+            panic!()
+        };
         assert_eq!(exprs.len(), 2);
         assert!(matches!(*input, LogicalPlan::Values { .. }));
     }
@@ -973,18 +1164,27 @@ mod tests {
     #[test]
     fn inner_join_lowered_to_filter_over_cross() {
         let b = bind("SELECT * FROM emp e INNER JOIN dept d ON e.dept = d.dname").unwrap();
-        let LogicalPlan::Project { input, .. } = b.plan else { panic!() };
-        let LogicalPlan::Filter { input: cj, .. } = *input else { panic!() };
+        let LogicalPlan::Project { input, .. } = b.plan else {
+            panic!()
+        };
+        let LogicalPlan::Filter { input: cj, .. } = *input else {
+            panic!()
+        };
         assert!(matches!(*cj, LogicalPlan::CrossJoin { .. }));
     }
 
     #[test]
     fn left_join_becomes_nested_loop_left() {
         let b = bind("SELECT * FROM emp e LEFT JOIN dept d ON e.dept = d.dname").unwrap();
-        let LogicalPlan::Project { input, .. } = b.plan else { panic!() };
+        let LogicalPlan::Project { input, .. } = b.plan else {
+            panic!()
+        };
         assert!(matches!(
             *input,
-            LogicalPlan::NestedLoopJoin { join_type: JoinType::Left, .. }
+            LogicalPlan::NestedLoopJoin {
+                join_type: JoinType::Left,
+                ..
+            }
         ));
     }
 

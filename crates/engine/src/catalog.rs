@@ -23,7 +23,10 @@ impl Catalog {
     /// Create a table; errors if the name is taken.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<(), EngineError> {
         if self.tables.contains_key(&schema.name) {
-            return Err(EngineError::new(format!("table {:?} already exists", schema.name)));
+            return Err(EngineError::new(format!(
+                "table {:?} already exists",
+                schema.name
+            )));
         }
         self.tables.insert(schema.name.clone(), Table::new(schema));
         Ok(())
@@ -86,7 +89,10 @@ mod tests {
         c.drop_table("t", false).unwrap();
         assert!(c.table("t").is_err());
         assert!(c.drop_table("t", false).is_err());
-        assert!(c.drop_table("t", true).is_ok(), "IF EXISTS swallows missing");
+        assert!(
+            c.drop_table("t", true).is_ok(),
+            "IF EXISTS swallows missing"
+        );
     }
 
     #[test]

@@ -134,7 +134,10 @@ impl Database {
         let plan = optimize(bound.plan, &self.catalog)?;
         let mut env = EvalEnv::new(&self.catalog);
         let rows = execute(&plan, &mut env)?;
-        Ok(QueryResult { columns: bound.columns, rows })
+        Ok(QueryResult {
+            columns: bound.columns,
+            rows,
+        })
     }
 
     /// Plan a query without executing it (diagnostics / tests).
@@ -145,7 +148,10 @@ impl Database {
         };
         let bound = bind_query(&self.catalog, &q)?;
         let plan = optimize(bound.plan, &self.catalog)?;
-        Ok(BoundQuery { plan, columns: bound.columns })
+        Ok(BoundQuery {
+            plan,
+            columns: bound.columns,
+        })
     }
 
     fn execute_statement(&mut self, stmt: &Statement) -> Result<ExecResult, EngineError> {
@@ -231,7 +237,11 @@ impl Database {
                 }
                 Ok(ExecResult::Count(n))
             }
-            Statement::Update { table, assignments, filter } => {
+            Statement::Update {
+                table,
+                assignments,
+                filter,
+            } => {
                 self.bump_statements();
                 let pred = match filter {
                     Some(f) => Some(bind_table_expr(&self.catalog, table, f)?),
@@ -300,9 +310,10 @@ impl Database {
             }
             let mut perm = vec![usize::MAX; t.schema.arity()];
             for (i, c) in columns.iter().enumerate() {
-                let idx = t.schema.column_index(c).ok_or_else(|| {
-                    EngineError::new(format!("unknown column {c:?} in INSERT"))
-                })?;
+                let idx = t
+                    .schema
+                    .column_index(c)
+                    .ok_or_else(|| EngineError::new(format!("unknown column {c:?} in INSERT")))?;
                 perm[idx] = i;
             }
             if perm.contains(&usize::MAX) {
@@ -346,7 +357,8 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE emp (name TEXT NOT NULL, dept TEXT, salary INT)").unwrap();
+        db.execute("CREATE TABLE emp (name TEXT NOT NULL, dept TEXT, salary INT)")
+            .unwrap();
         db.execute(
             "INSERT INTO emp VALUES ('ann', 'cs', 100), ('bob', 'cs', 200), ('cyd', 'ee', 300)",
         )
@@ -357,16 +369,23 @@ mod tests {
     #[test]
     fn end_to_end_select() {
         let db = db();
-        let r = db.query("SELECT name FROM emp WHERE salary >= 200 ORDER BY name").unwrap();
+        let r = db
+            .query("SELECT name FROM emp WHERE salary >= 200 ORDER BY name")
+            .unwrap();
         assert_eq!(r.columns, vec!["name"]);
-        assert_eq!(r.rows, vec![vec![Value::text("bob")], vec![Value::text("cyd")]]);
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::text("bob")], vec![Value::text("cyd")]]
+        );
     }
 
     #[test]
     fn join_query() {
         let mut db = db();
-        db.execute("CREATE TABLE dept (dname TEXT, budget INT)").unwrap();
-        db.execute("INSERT INTO dept VALUES ('cs', 1000), ('ee', 2000)").unwrap();
+        db.execute("CREATE TABLE dept (dname TEXT, budget INT)")
+            .unwrap();
+        db.execute("INSERT INTO dept VALUES ('cs', 1000), ('ee', 2000)")
+            .unwrap();
         let r = db
             .query(
                 "SELECT e.name, d.budget FROM emp e, dept d WHERE e.dept = d.dname AND d.budget > 1500",
@@ -403,7 +422,10 @@ mod tests {
                  ORDER BY e.name",
             )
             .unwrap();
-        assert_eq!(r.rows, vec![vec![Value::text("bob")], vec![Value::text("cyd")]]);
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::text("bob")], vec![Value::text("cyd")]]
+        );
     }
 
     #[test]
@@ -428,13 +450,18 @@ mod tests {
                  HAVING COUNT(*) > 1 ORDER BY dept",
             )
             .unwrap();
-        assert_eq!(r.rows, vec![vec![Value::text("cs"), Value::Int(2), Value::Int(300)]]);
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::text("cs"), Value::Int(2), Value::Int(300)]]
+        );
     }
 
     #[test]
     fn dml_roundtrip() {
         let mut db = db();
-        let ExecResult::Count(n) = db.execute("UPDATE emp SET salary = 999 WHERE dept = 'cs'").unwrap()
+        let ExecResult::Count(n) = db
+            .execute("UPDATE emp SET salary = 999 WHERE dept = 'cs'")
+            .unwrap()
         else {
             panic!()
         };
@@ -450,22 +477,29 @@ mod tests {
     #[test]
     fn insert_with_column_order() {
         let mut db = db();
-        db.execute("INSERT INTO emp (salary, name, dept) VALUES (50, 'eve', 'me')").unwrap();
-        let r = db.query("SELECT salary FROM emp WHERE name = 'eve'").unwrap();
+        db.execute("INSERT INTO emp (salary, name, dept) VALUES (50, 'eve', 'me')")
+            .unwrap();
+        let r = db
+            .query("SELECT salary FROM emp WHERE name = 'eve'")
+            .unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(50)]]);
     }
 
     #[test]
     fn insert_partial_columns_rejected() {
         let mut db = db();
-        let err = db.execute("INSERT INTO emp (name) VALUES ('x')").unwrap_err();
+        let err = db
+            .execute("INSERT INTO emp (name) VALUES ('x')")
+            .unwrap_err();
         assert!(err.message.contains("cover all"), "{err}");
     }
 
     #[test]
     fn not_null_enforced_via_sql() {
         let mut db = db();
-        assert!(db.execute("INSERT INTO emp VALUES (NULL, 'cs', 1)").is_err());
+        assert!(db
+            .execute("INSERT INTO emp VALUES (NULL, 'cs', 1)")
+            .is_err());
     }
 
     #[test]
@@ -476,10 +510,13 @@ mod tests {
                 "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2); SELECT COUNT(*) FROM t;",
             )
             .unwrap();
-        assert_eq!(r, ExecResult::Rows(QueryResult {
-            columns: vec!["count".into()],
-            rows: vec![vec![Value::Int(2)]],
-        }));
+        assert_eq!(
+            r,
+            ExecResult::Rows(QueryResult {
+                columns: vec!["count".into()],
+                rows: vec![vec![Value::Int(2)]],
+            })
+        );
     }
 
     #[test]
@@ -494,8 +531,10 @@ mod tests {
     #[test]
     fn insert_select_moves_rows() {
         let mut db = db();
-        db.execute("CREATE TABLE arch (name TEXT, dept TEXT, salary INT)").unwrap();
-        db.execute("INSERT INTO arch SELECT * FROM emp WHERE salary > 150").unwrap();
+        db.execute("CREATE TABLE arch (name TEXT, dept TEXT, salary INT)")
+            .unwrap();
+        db.execute("INSERT INTO arch SELECT * FROM emp WHERE salary > 150")
+            .unwrap();
         let r = db.query("SELECT COUNT(*) FROM arch").unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
     }
@@ -516,14 +555,17 @@ mod tests {
     #[test]
     fn distinct_and_limit() {
         let db = db();
-        let r = db.query("SELECT DISTINCT dept FROM emp ORDER BY dept LIMIT 1").unwrap();
+        let r = db
+            .query("SELECT DISTINCT dept FROM emp ORDER BY dept LIMIT 1")
+            .unwrap();
         assert_eq!(r.rows, vec![vec![Value::text("cs")]]);
     }
 
     #[test]
     fn left_join_via_sql() {
         let mut db = db();
-        db.execute("CREATE TABLE dept (dname TEXT, budget INT)").unwrap();
+        db.execute("CREATE TABLE dept (dname TEXT, budget INT)")
+            .unwrap();
         db.execute("INSERT INTO dept VALUES ('cs', 1000)").unwrap();
         let r = db
             .query(
@@ -531,6 +573,10 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.rows.len(), 3);
-        assert_eq!(r.rows[2], vec![Value::text("cyd"), Value::Null], "ee has no dept row");
+        assert_eq!(
+            r.rows[2],
+            vec![Value::text("cyd"), Value::Null],
+            "ee has no dept row"
+        );
     }
 }

@@ -9,7 +9,7 @@ use crate::expr::{eval, BoundExpr, EvalEnv};
 use crate::plan::{AggExpr, AggFunc, JoinType, LogicalPlan};
 use crate::schema::EngineError;
 use crate::value::{Row, Value};
-use std::collections::{HashMap, HashSet};
+use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Execute a plan within an environment (catalog + enclosing rows).
 pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, EngineError> {
@@ -18,8 +18,10 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
         LogicalPlan::Values { rows, .. } => {
             let mut out = Vec::with_capacity(rows.len());
             for exprs in rows {
-                let row: Row =
-                    exprs.iter().map(|e| eval(e, &[], env)).collect::<Result<_, _>>()?;
+                let row: Row = exprs
+                    .iter()
+                    .map(|e| eval(e, &[], env))
+                    .collect::<Result<_, _>>()?;
                 out.push(row);
             }
             Ok(out)
@@ -39,8 +41,10 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
             let rows = execute(input, env)?;
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
-                let projected: Row =
-                    exprs.iter().map(|e| eval(e, &row, env)).collect::<Result<_, _>>()?;
+                let projected: Row = exprs
+                    .iter()
+                    .map(|e| eval(e, &row, env))
+                    .collect::<Result<_, _>>()?;
                 out.push(projected);
             }
             Ok(out)
@@ -58,12 +62,28 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
             }
             Ok(out)
         }
-        LogicalPlan::HashJoin { left, right, left_keys, right_keys, residual, join_type } => {
-            hash_join(left, right, left_keys, right_keys, residual.as_ref(), *join_type, env)
-        }
-        LogicalPlan::NestedLoopJoin { left, right, predicate, join_type } => {
-            nested_loop_join(left, right, predicate.as_ref(), *join_type, env)
-        }
+        LogicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            join_type,
+        } => hash_join(
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual.as_ref(),
+            *join_type,
+            env,
+        ),
+        LogicalPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+            join_type,
+        } => nested_loop_join(left, right, predicate.as_ref(), *join_type, env),
         LogicalPlan::Union { left, right, all } => {
             let mut l = execute(left, env)?;
             let r = execute(right, env)?;
@@ -79,7 +99,8 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
             let r = execute(right, env)?;
             if *all {
                 // Bag difference: remove one occurrence per right row.
-                let mut counts: HashMap<Row, usize> = HashMap::new();
+                let mut counts: FxHashMap<Row, usize> =
+                    FxHashMap::with_capacity_and_hasher(r.len(), Default::default());
                 for row in r {
                     *counts.entry(row).or_insert(0) += 1;
                 }
@@ -92,15 +113,18 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
                 }
                 Ok(out)
             } else {
-                let rset: HashSet<Row> = r.into_iter().collect();
-                Ok(dedup(l.into_iter().filter(|row| !rset.contains(row)).collect()))
+                let rset: FxHashSet<Row> = r.into_iter().collect();
+                Ok(dedup(
+                    l.into_iter().filter(|row| !rset.contains(row)).collect(),
+                ))
             }
         }
         LogicalPlan::Intersect { left, right, all } => {
             let l = execute(left, env)?;
             let r = execute(right, env)?;
             if *all {
-                let mut counts: HashMap<Row, usize> = HashMap::new();
+                let mut counts: FxHashMap<Row, usize> =
+                    FxHashMap::with_capacity_and_hasher(r.len(), Default::default());
                 for row in r {
                     *counts.entry(row).or_insert(0) += 1;
                 }
@@ -115,21 +139,27 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
                 }
                 Ok(out)
             } else {
-                let rset: HashSet<Row> = r.into_iter().collect();
-                Ok(dedup(l.into_iter().filter(|row| rset.contains(row)).collect()))
+                let rset: FxHashSet<Row> = r.into_iter().collect();
+                Ok(dedup(
+                    l.into_iter().filter(|row| rset.contains(row)).collect(),
+                ))
             }
         }
         LogicalPlan::Distinct { input } => Ok(dedup(execute(input, env)?)),
-        LogicalPlan::Aggregate { input, group_exprs, aggregates } => {
-            aggregate(input, group_exprs, aggregates, env)
-        }
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+        } => aggregate(input, group_exprs, aggregates, env),
         LogicalPlan::Sort { input, keys } => {
             let rows = execute(input, env)?;
             // Evaluate keys once per row, then sort stably.
             let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
             for row in rows {
-                let k: Vec<Value> =
-                    keys.iter().map(|(e, _)| eval(e, &row, env)).collect::<Result<_, _>>()?;
+                let k: Vec<Value> = keys
+                    .iter()
+                    .map(|(e, _)| eval(e, &row, env))
+                    .collect::<Result<_, _>>()?;
                 keyed.push((k, row));
             }
             keyed.sort_by(|(ka, _), (kb, _)| {
@@ -144,7 +174,11 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
             });
             Ok(keyed.into_iter().map(|(_, r)| r).collect())
         }
-        LogicalPlan::Limit { input, limit, offset } => {
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
             let rows = execute(input, env)?;
             let start = (*offset as usize).min(rows.len());
             let end = match limit {
@@ -158,7 +192,8 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
 
 /// Order-preserving duplicate elimination.
 fn dedup(rows: Vec<Row>) -> Vec<Row> {
-    let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
+    let mut seen: FxHashSet<Row> =
+        FxHashSet::with_capacity_and_hasher(rows.len(), Default::default());
     let mut out = Vec::with_capacity(rows.len());
     for row in rows {
         if seen.insert(row.clone()) {
@@ -182,7 +217,8 @@ fn hash_join(
     let right_arity = r.first().map(Vec::len).unwrap_or(0);
 
     // Build hash table over the right side; NULL keys never match.
-    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(r.len());
+    let mut table: FxHashMap<Vec<Value>, Vec<usize>> =
+        FxHashMap::with_capacity_and_hasher(r.len(), Default::default());
     'rows: for (i, row) in r.iter().enumerate() {
         let mut key = Vec::with_capacity(right_keys.len());
         for k in right_keys {
@@ -226,7 +262,7 @@ fn hash_join(
         }
         if !matched && join_type == JoinType::Left {
             let mut row = lrow.clone();
-            row.extend(std::iter::repeat(Value::Null).take(right_arity));
+            row.extend(std::iter::repeat_n(Value::Null, right_arity));
             out.push(row);
         }
     }
@@ -263,7 +299,7 @@ fn nested_loop_join(
         }
         if !matched && join_type == JoinType::Left {
             let mut row = lrow.clone();
-            row.extend(std::iter::repeat(Value::Null).take(right_arity));
+            row.extend(std::iter::repeat_n(Value::Null, right_arity));
             out.push(row);
         }
     }
@@ -274,23 +310,51 @@ fn nested_loop_join(
 #[derive(Debug, Clone)]
 enum Acc {
     Count(i64),
-    Sum { sum_i: i64, sum_f: f64, is_float: bool, seen: bool },
-    Avg { sum: f64, n: i64 },
-    MinMax { best: Option<Value>, is_min: bool },
-    Distinct { values: HashSet<Value>, func: AggFunc },
+    Sum {
+        sum_i: i64,
+        sum_f: f64,
+        is_float: bool,
+        seen: bool,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
+    MinMax {
+        best: Option<Value>,
+        is_min: bool,
+    },
+    Distinct {
+        values: FxHashSet<Value>,
+        func: AggFunc,
+    },
 }
 
 impl Acc {
     fn new(agg: &AggExpr) -> Acc {
         if agg.distinct {
-            return Acc::Distinct { values: HashSet::new(), func: agg.func };
+            return Acc::Distinct {
+                values: FxHashSet::default(),
+                func: agg.func,
+            };
         }
         match agg.func {
             AggFunc::CountStar | AggFunc::Count => Acc::Count(0),
-            AggFunc::Sum => Acc::Sum { sum_i: 0, sum_f: 0.0, is_float: false, seen: false },
+            AggFunc::Sum => Acc::Sum {
+                sum_i: 0,
+                sum_f: 0.0,
+                is_float: false,
+                seen: false,
+            },
             AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
-            AggFunc::Min => Acc::MinMax { best: None, is_min: true },
-            AggFunc::Max => Acc::MinMax { best: None, is_min: false },
+            AggFunc::Min => Acc::MinMax {
+                best: None,
+                is_min: true,
+            },
+            AggFunc::Max => Acc::MinMax {
+                best: None,
+                is_min: false,
+            },
         }
     }
 
@@ -302,7 +366,12 @@ impl Acc {
                 Some(Value::Null) => {}
                 Some(_) => *n += 1,
             },
-            Acc::Sum { sum_i, sum_f, is_float, seen } => match v {
+            Acc::Sum {
+                sum_i,
+                sum_f,
+                is_float,
+                seen,
+            } => match v {
                 Some(Value::Int(x)) => {
                     *seen = true;
                     *sum_i = sum_i
@@ -365,7 +434,12 @@ impl Acc {
     fn finish(self) -> Result<Value, EngineError> {
         Ok(match self {
             Acc::Count(n) => Value::Int(n),
-            Acc::Sum { sum_i, sum_f, is_float, seen } => {
+            Acc::Sum {
+                sum_i,
+                sum_f,
+                is_float,
+                seen,
+            } => {
                 if !seen {
                     Value::Null
                 } else if is_float {
@@ -383,7 +457,11 @@ impl Acc {
             }
             Acc::MinMax { best, .. } => best.unwrap_or(Value::Null),
             Acc::Distinct { values, func } => {
-                let mut acc = Acc::new(&AggExpr { func, arg: None, distinct: false });
+                let mut acc = Acc::new(&AggExpr {
+                    func,
+                    arg: None,
+                    distinct: false,
+                });
                 for v in values {
                     acc.update(Some(v))?;
                 }
@@ -402,17 +480,20 @@ fn aggregate(
     let rows = execute(input, env)?;
     // Deterministic group order: remember first-seen order.
     let mut order: Vec<Vec<Value>> = Vec::new();
-    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    let mut groups: FxHashMap<Vec<Value>, Vec<Acc>> =
+        FxHashMap::with_capacity_and_hasher(rows.len().min(1 << 16), Default::default());
     for row in &rows {
-        let key: Vec<Value> =
-            group_exprs.iter().map(|e| eval(e, row, env)).collect::<Result<_, _>>()?;
+        let key: Vec<Value> = group_exprs
+            .iter()
+            .map(|e| eval(e, row, env))
+            .collect::<Result<_, _>>()?;
         let accs = match groups.get_mut(&key) {
             Some(a) => a,
             None => {
                 order.push(key.clone());
-                groups.entry(key.clone()).or_insert_with(|| {
-                    aggregates.iter().map(Acc::new).collect::<Vec<_>>()
-                })
+                groups
+                    .entry(key.clone())
+                    .or_insert_with(|| aggregates.iter().map(Acc::new).collect::<Vec<_>>())
             }
         };
         for (acc, agg) in accs.iter_mut().zip(aggregates) {
@@ -455,7 +536,10 @@ mod tests {
         c.create_table(
             TableSchema::new(
                 "t",
-                vec![Column::new("a", DataType::Int), Column::new("b", DataType::Text)],
+                vec![
+                    Column::new("a", DataType::Int),
+                    Column::new("b", DataType::Text),
+                ],
                 &[],
             )
             .unwrap(),
@@ -495,7 +579,10 @@ mod tests {
     #[test]
     fn cross_join_sizes() {
         let c = catalog_with_t();
-        let plan = LogicalPlan::CrossJoin { left: Box::new(scan()), right: Box::new(scan()) };
+        let plan = LogicalPlan::CrossJoin {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+        };
         assert_eq!(run(&c, &plan).len(), 9);
     }
 
@@ -532,7 +619,9 @@ mod tests {
         .unwrap();
         let plan = LogicalPlan::NestedLoopJoin {
             left: Box::new(scan()),
-            right: Box::new(LogicalPlan::Scan { table: "empty".into() }),
+            right: Box::new(LogicalPlan::Scan {
+                table: "empty".into(),
+            }),
             predicate: None,
             join_type: JoinType::Left,
         };
@@ -544,10 +633,8 @@ mod tests {
     #[test]
     fn null_keys_never_join() {
         let mut c = Catalog::new();
-        c.create_table(
-            TableSchema::new("n", vec![Column::new("k", DataType::Int)], &[]).unwrap(),
-        )
-        .unwrap();
+        c.create_table(TableSchema::new("n", vec![Column::new("k", DataType::Int)], &[]).unwrap())
+            .unwrap();
         c.table_mut("n").unwrap().insert(vec![Value::Null]).unwrap();
         let plan = LogicalPlan::HashJoin {
             left: Box::new(LogicalPlan::Scan { table: "n".into() }),
@@ -583,13 +670,20 @@ mod tests {
             right: Box::new(vals(&[2])),
             all: false,
         };
-        assert_eq!(run(&c, &except), vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+        assert_eq!(
+            run(&c, &except),
+            vec![vec![Value::Int(1)], vec![Value::Int(3)]]
+        );
         let except_all = LogicalPlan::Except {
             left: Box::new(vals(&[1, 2, 2, 3])),
             right: Box::new(vals(&[2])),
             all: true,
         };
-        assert_eq!(run(&c, &except_all).len(), 3, "EXCEPT ALL removes one occurrence");
+        assert_eq!(
+            run(&c, &except_all).len(),
+            3,
+            "EXCEPT ALL removes one occurrence"
+        );
         let intersect = LogicalPlan::Intersect {
             left: Box::new(vals(&[1, 2, 2])),
             right: Box::new(vals(&[2, 2, 3])),
@@ -617,7 +711,10 @@ mod tests {
                 1,
             )),
         };
-        assert_eq!(run(&c, &plan), vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
+        assert_eq!(
+            run(&c, &plan),
+            vec![vec![Value::Int(2)], vec![Value::Int(1)]]
+        );
     }
 
     #[test]
@@ -627,7 +724,11 @@ mod tests {
             input: Box::new(scan()),
             group_exprs: vec![BoundExpr::Column(1)],
             aggregates: vec![
-                AggExpr { func: AggFunc::CountStar, arg: None, distinct: false },
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    arg: None,
+                    distinct: false,
+                },
                 AggExpr {
                     func: AggFunc::Sum,
                     arg: Some(BoundExpr::Column(0)),
@@ -674,7 +775,11 @@ mod tests {
             input: Box::new(LogicalPlan::Empty { arity: 1 }),
             group_exprs: vec![],
             aggregates: vec![
-                AggExpr { func: AggFunc::CountStar, arg: None, distinct: false },
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    arg: None,
+                    distinct: false,
+                },
                 AggExpr {
                     func: AggFunc::Sum,
                     arg: Some(BoundExpr::Column(0)),
@@ -729,15 +834,16 @@ mod tests {
     #[test]
     fn count_skips_nulls_count_star_does_not() {
         let c = Catalog::new();
-        let input = LogicalPlan::values_literal(
-            vec![vec![Value::Int(1)], vec![Value::Null]],
-            1,
-        );
+        let input = LogicalPlan::values_literal(vec![vec![Value::Int(1)], vec![Value::Null]], 1);
         let plan = LogicalPlan::Aggregate {
             input: Box::new(input),
             group_exprs: vec![],
             aggregates: vec![
-                AggExpr { func: AggFunc::CountStar, arg: None, distinct: false },
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    arg: None,
+                    distinct: false,
+                },
                 AggExpr {
                     func: AggFunc::Count,
                     arg: Some(BoundExpr::Column(0)),

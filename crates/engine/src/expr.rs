@@ -138,12 +138,19 @@ impl BoundExpr {
 
     /// Build `left AND right`.
     pub fn and(self, other: BoundExpr) -> BoundExpr {
-        BoundExpr::Binary { op: BinaryOp::And, left: Box::new(self), right: Box::new(other) }
+        BoundExpr::Binary {
+            op: BinaryOp::And,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// Conjunction of many; `TRUE` when empty.
     pub fn conjoin(exprs: impl IntoIterator<Item = BoundExpr>) -> BoundExpr {
-        exprs.into_iter().reduce(BoundExpr::and).unwrap_or_else(BoundExpr::true_)
+        exprs
+            .into_iter()
+            .reduce(BoundExpr::and)
+            .unwrap_or_else(BoundExpr::true_)
     }
 
     /// Does this expression (transitively) reference the current row?
@@ -191,7 +198,10 @@ impl BoundExpr {
                     e.visit(f);
                 }
             }
-            BoundExpr::Case { branches, else_value } => {
+            BoundExpr::Case {
+                branches,
+                else_value,
+            } => {
                 for (c, v) in branches {
                     c.visit(f);
                     v.visit(f);
@@ -220,23 +230,36 @@ impl BoundExpr {
                 left: Box::new(left.map_columns(f)),
                 right: Box::new(right.map_columns(f)),
             },
-            BoundExpr::Unary { op, expr } => {
-                BoundExpr::Unary { op: *op, expr: Box::new(expr.map_columns(f)) }
-            }
-            BoundExpr::IsNull { expr, negated } => {
-                BoundExpr::IsNull { expr: Box::new(expr.map_columns(f)), negated: *negated }
-            }
-            BoundExpr::Like { expr, pattern, negated } => BoundExpr::Like {
+            BoundExpr::Unary { op, expr } => BoundExpr::Unary {
+                op: *op,
+                expr: Box::new(expr.map_columns(f)),
+            },
+            BoundExpr::IsNull { expr, negated } => BoundExpr::IsNull {
+                expr: Box::new(expr.map_columns(f)),
+                negated: *negated,
+            },
+            BoundExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => BoundExpr::Like {
                 expr: Box::new(expr.map_columns(f)),
                 pattern: Box::new(pattern.map_columns(f)),
                 negated: *negated,
             },
-            BoundExpr::InList { expr, list, negated } => BoundExpr::InList {
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => BoundExpr::InList {
                 expr: Box::new(expr.map_columns(f)),
                 list: list.iter().map(|e| e.map_columns(f)).collect(),
                 negated: *negated,
             },
-            BoundExpr::Case { branches, else_value } => BoundExpr::Case {
+            BoundExpr::Case {
+                branches,
+                else_value,
+            } => BoundExpr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, v)| (c.map_columns(f), v.map_columns(f)))
@@ -254,7 +277,11 @@ impl BoundExpr {
             // not move subquery expressions across projections. We keep them
             // intact (safe for the optimizer, which never does).
             BoundExpr::Exists { .. } | BoundExpr::ScalarSubquery(_) => self.clone(),
-            BoundExpr::InSubquery { expr, plan, negated } => BoundExpr::InSubquery {
+            BoundExpr::InSubquery {
+                expr,
+                plan,
+                negated,
+            } => BoundExpr::InSubquery {
                 expr: Box::new(expr.map_columns(f)),
                 plan: plan.clone(),
                 negated: *negated,
@@ -269,7 +296,9 @@ impl BoundExpr {
         self.visit(&mut |e| {
             if matches!(
                 e,
-                BoundExpr::Exists { .. } | BoundExpr::InSubquery { .. } | BoundExpr::ScalarSubquery(_)
+                BoundExpr::Exists { .. }
+                    | BoundExpr::InSubquery { .. }
+                    | BoundExpr::ScalarSubquery(_)
             ) {
                 found = true;
             }
@@ -290,9 +319,9 @@ pub struct EvalEnv<'a> {
     /// Built lazily on the first probe of each `EXISTS` plan; turns the
     /// per-row rescan (O(n) per outer row) into an O(1) probe — the same
     /// effect an index gives the original system's PostgreSQL backend.
-    exists_cache: std::collections::HashMap<usize, std::collections::HashMap<Vec<Value>, Vec<Value>>>,
+    exists_cache: rustc_hash::FxHashMap<usize, rustc_hash::FxHashMap<Vec<Value>, Vec<Value>>>,
     /// Row width per cached table partition (rows are stored flattened).
-    exists_cache_width: std::collections::HashMap<usize, usize>,
+    exists_cache_width: rustc_hash::FxHashMap<usize, usize>,
 }
 
 impl<'a> EvalEnv<'a> {
@@ -301,8 +330,8 @@ impl<'a> EvalEnv<'a> {
         EvalEnv {
             catalog,
             outer: Vec::new(),
-            exists_cache: std::collections::HashMap::new(),
-            exists_cache_width: std::collections::HashMap::new(),
+            exists_cache: rustc_hash::FxHashMap::default(),
+            exists_cache_width: rustc_hash::FxHashMap::default(),
         }
     }
 }
@@ -324,16 +353,22 @@ struct ExistsFastPath<'p> {
 /// do not affect emptiness and are unwrapped.
 fn exists_fast_path(plan: &LogicalPlan) -> Option<ExistsFastPath<'_>> {
     let mut p = plan;
-    loop {
-        match p {
-            LogicalPlan::Project { input, .. }
-            | LogicalPlan::Distinct { input }
-            | LogicalPlan::Limit { input, limit: Some(_), offset: 0 } => p = input,
-            _ => break,
-        }
+    while let LogicalPlan::Project { input, .. }
+    | LogicalPlan::Distinct { input }
+    | LogicalPlan::Limit {
+        input,
+        limit: Some(_),
+        offset: 0,
+    } = p
+    {
+        p = input;
     }
-    let LogicalPlan::Filter { input, predicate } = p else { return None };
-    let LogicalPlan::Scan { table } = &**input else { return None };
+    let LogicalPlan::Filter { input, predicate } = p else {
+        return None;
+    };
+    let LogicalPlan::Scan { table } = &**input else {
+        return None;
+    };
     let mut key_cols = Vec::new();
     let mut key_exprs = Vec::new();
     let mut residual = Vec::new();
@@ -342,31 +377,42 @@ fn exists_fast_path(plan: &LogicalPlan) -> Option<ExistsFastPath<'_>> {
             return None;
         }
         match conjunct {
-            BoundExpr::Binary { op: BinaryOp::Eq, left, right } => {
-                match (&**left, &**right) {
-                    (BoundExpr::Column(c), e) if !e.references_columns() => {
-                        key_cols.push(*c);
-                        key_exprs.push(e);
-                    }
-                    (e, BoundExpr::Column(c)) if !e.references_columns() => {
-                        key_cols.push(*c);
-                        key_exprs.push(e);
-                    }
-                    _ => residual.push(conjunct),
+            BoundExpr::Binary {
+                op: BinaryOp::Eq,
+                left,
+                right,
+            } => match (&**left, &**right) {
+                (BoundExpr::Column(c), e) if !e.references_columns() => {
+                    key_cols.push(*c);
+                    key_exprs.push(e);
                 }
-            }
+                (e, BoundExpr::Column(c)) if !e.references_columns() => {
+                    key_cols.push(*c);
+                    key_exprs.push(e);
+                }
+                _ => residual.push(conjunct),
+            },
             other => residual.push(other),
         }
     }
     if key_cols.is_empty() {
         return None;
     }
-    Some(ExistsFastPath { table, key_cols, key_exprs, residual })
+    Some(ExistsFastPath {
+        table,
+        key_cols,
+        key_exprs,
+        residual,
+    })
 }
 
 fn split_conjuncts_ref(e: &BoundExpr) -> Vec<&BoundExpr> {
     match e {
-        BoundExpr::Binary { op: BinaryOp::And, left, right } => {
+        BoundExpr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
             let mut out = split_conjuncts_ref(left);
             out.extend(split_conjuncts_ref(right));
             out
@@ -388,8 +434,8 @@ fn eval_exists(
             // Build the partition: key values → flattened matching rows.
             let table = env.catalog.table(fp.table)?;
             let width = table.schema.arity();
-            let mut map: std::collections::HashMap<Vec<Value>, Vec<Value>> =
-                std::collections::HashMap::new();
+            let mut map: rustc_hash::FxHashMap<Vec<Value>, Vec<Value>> =
+                rustc_hash::FxHashMap::default();
             'rows: for (_, trow) in table.iter() {
                 let mut key = Vec::with_capacity(fp.key_cols.len());
                 for &c in &fp.key_cols {
@@ -423,7 +469,9 @@ fn eval_exists(
                 .get(&(plan as *const LogicalPlan as usize))
                 .and_then(|m| m.get(&key))
                 .cloned();
-            let Some(flat) = matches else { return Ok(false) };
+            let Some(flat) = matches else {
+                return Ok(false);
+            };
             if fp.residual.is_empty() {
                 return Ok(!flat.is_empty());
             }
@@ -464,7 +512,9 @@ pub fn eval(expr: &BoundExpr, row: &[Value], env: &mut EvalEnv<'_>) -> Result<Va
                 .len()
                 .checked_sub(1 + *level)
                 .and_then(|i| env.outer.get(i))
-                .ok_or_else(|| EngineError::new(format!("outer reference level {level} invalid")))?;
+                .ok_or_else(|| {
+                    EngineError::new(format!("outer reference level {level} invalid"))
+                })?;
             outer_row
                 .get(*index)
                 .cloned()
@@ -486,9 +536,10 @@ pub fn eval(expr: &BoundExpr, row: &[Value], env: &mut EvalEnv<'_>) -> Result<Va
                 }),
                 UnaryOp::Neg => Ok(match v {
                     Value::Null => Value::Null,
-                    Value::Int(i) => Value::Int(i.checked_neg().ok_or_else(|| {
-                        EngineError::new("integer overflow in negation")
-                    })?),
+                    Value::Int(i) => Value::Int(
+                        i.checked_neg()
+                            .ok_or_else(|| EngineError::new("integer overflow in negation"))?,
+                    ),
                     Value::Float(f) => Value::Float(-f),
                     other => {
                         return Err(EngineError::new(format!(
@@ -503,7 +554,11 @@ pub fn eval(expr: &BoundExpr, row: &[Value], env: &mut EvalEnv<'_>) -> Result<Va
             let v = eval(expr, row, env)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
-        BoundExpr::Like { expr, pattern, negated } => {
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval(expr, row, env)?;
             let p = eval(pattern, row, env)?;
             match (v, p) {
@@ -516,7 +571,11 @@ pub fn eval(expr: &BoundExpr, row: &[Value], env: &mut EvalEnv<'_>) -> Result<Va
                 ))),
             }
         }
-        BoundExpr::InList { expr, list, negated } => {
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, row, env)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -536,7 +595,10 @@ pub fn eval(expr: &BoundExpr, row: &[Value], env: &mut EvalEnv<'_>) -> Result<Va
                 Ok(Value::Bool(*negated))
             }
         }
-        BoundExpr::Case { branches, else_value } => {
+        BoundExpr::Case {
+            branches,
+            else_value,
+        } => {
             for (cond, value) in branches {
                 if eval(cond, row, env)? == Value::Bool(true) {
                     return eval(value, row, env);
@@ -548,15 +610,21 @@ pub fn eval(expr: &BoundExpr, row: &[Value], env: &mut EvalEnv<'_>) -> Result<Va
             }
         }
         BoundExpr::Function { func, args } => {
-            let vals: Vec<Value> =
-                args.iter().map(|a| eval(a, row, env)).collect::<Result<_, _>>()?;
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(a, row, env))
+                .collect::<Result<_, _>>()?;
             eval_function(*func, vals)
         }
         BoundExpr::Exists { plan, negated } => {
             let exists = eval_exists(plan, row, env)?;
             Ok(Value::Bool(exists != *negated))
         }
-        BoundExpr::InSubquery { expr, plan, negated } => {
+        BoundExpr::InSubquery {
+            expr,
+            plan,
+            negated,
+        } => {
             let v = eval(expr, row, env)?;
             env.outer.push(row.to_vec());
             let result = crate::exec::execute(plan, env);
@@ -567,9 +635,9 @@ pub fn eval(expr: &BoundExpr, row: &[Value], env: &mut EvalEnv<'_>) -> Result<Va
             }
             let mut saw_null = false;
             for r in &rows {
-                let w = r.first().ok_or_else(|| {
-                    EngineError::new("IN subquery produced zero columns")
-                })?;
+                let w = r
+                    .first()
+                    .ok_or_else(|| EngineError::new("IN subquery produced zero columns"))?;
                 match v.sql_eq(w) {
                     Some(true) => return Ok(Value::Bool(!*negated)),
                     Some(false) => {}
@@ -743,7 +811,10 @@ fn arith(op: BinaryOp, l: Value, r: Value) -> Result<Value, EngineError> {
 fn eval_function(func: ScalarFunc, mut vals: Vec<Value>) -> Result<Value, EngineError> {
     let argc = |n: usize, vals: &[Value]| -> Result<(), EngineError> {
         if vals.len() != n {
-            Err(EngineError::new(format!("function expects {n} arguments, got {}", vals.len())))
+            Err(EngineError::new(format!(
+                "function expects {n} arguments, got {}",
+                vals.len()
+            )))
         } else {
             Ok(())
         }
@@ -753,9 +824,11 @@ fn eval_function(func: ScalarFunc, mut vals: Vec<Value>) -> Result<Value, Engine
             argc(1, &vals)?;
             match vals.pop().expect("checked") {
                 Value::Null => Ok(Value::Null),
-                Value::Int(v) => Ok(Value::Int(v.checked_abs().ok_or_else(|| {
-                    EngineError::new("integer overflow in ABS")
-                })?)),
+                Value::Int(v) => {
+                    Ok(Value::Int(v.checked_abs().ok_or_else(|| {
+                        EngineError::new("integer overflow in ABS")
+                    })?))
+                }
                 Value::Float(v) => Ok(Value::Float(v.abs())),
                 other => Err(EngineError::new(format!("ABS of {}", other.type_name()))),
             }
@@ -769,7 +842,10 @@ fn eval_function(func: ScalarFunc, mut vals: Vec<Value>) -> Result<Value, Engine
                 } else {
                     s.to_uppercase()
                 })),
-                other => Err(EngineError::new(format!("string function of {}", other.type_name()))),
+                other => Err(EngineError::new(format!(
+                    "string function of {}",
+                    other.type_name()
+                ))),
             }
         }
         ScalarFunc::Length => {
@@ -824,7 +900,11 @@ mod tests {
     }
 
     fn bin(op: BinaryOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
-        BoundExpr::Binary { op, left: Box::new(l), right: Box::new(r) }
+        BoundExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     fn lit(v: impl Into<Value>) -> BoundExpr {
@@ -834,9 +914,15 @@ mod tests {
     #[test]
     fn arithmetic() {
         assert_eq!(ev(&bin(BinaryOp::Add, lit(1), lit(2)), &[]), Value::Int(3));
-        assert_eq!(ev(&bin(BinaryOp::Mul, lit(2.5), lit(2)), &[]), Value::Float(5.0));
+        assert_eq!(
+            ev(&bin(BinaryOp::Mul, lit(2.5), lit(2)), &[]),
+            Value::Float(5.0)
+        );
         assert_eq!(ev(&bin(BinaryOp::Div, lit(7), lit(2)), &[]), Value::Int(3));
-        assert_eq!(ev(&bin(BinaryOp::Div, lit(7.0), lit(2)), &[]), Value::Float(3.5));
+        assert_eq!(
+            ev(&bin(BinaryOp::Div, lit(7.0), lit(2)), &[]),
+            Value::Float(3.5)
+        );
         assert_eq!(ev(&bin(BinaryOp::Mod, lit(7), lit(3)), &[]), Value::Int(1));
     }
 
@@ -858,8 +944,20 @@ mod tests {
 
     #[test]
     fn null_propagates_through_arithmetic_and_comparison() {
-        assert_eq!(ev(&bin(BinaryOp::Add, lit(1), BoundExpr::Literal(Value::Null)), &[]), Value::Null);
-        assert_eq!(ev(&bin(BinaryOp::Eq, lit(1), BoundExpr::Literal(Value::Null)), &[]), Value::Null);
+        assert_eq!(
+            ev(
+                &bin(BinaryOp::Add, lit(1), BoundExpr::Literal(Value::Null)),
+                &[]
+            ),
+            Value::Null
+        );
+        assert_eq!(
+            ev(
+                &bin(BinaryOp::Eq, lit(1), BoundExpr::Literal(Value::Null)),
+                &[]
+            ),
+            Value::Null
+        );
     }
 
     #[test]
@@ -867,8 +965,14 @@ mod tests {
         let null = || BoundExpr::Literal(Value::Null);
         let t = || lit(true);
         let f = || lit(false);
-        assert_eq!(ev(&bin(BinaryOp::And, f(), null()), &[]), Value::Bool(false));
-        assert_eq!(ev(&bin(BinaryOp::And, null(), f()), &[]), Value::Bool(false));
+        assert_eq!(
+            ev(&bin(BinaryOp::And, f(), null()), &[]),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            ev(&bin(BinaryOp::And, null(), f()), &[]),
+            Value::Bool(false)
+        );
         assert_eq!(ev(&bin(BinaryOp::And, t(), null()), &[]), Value::Null);
         assert_eq!(ev(&bin(BinaryOp::Or, t(), null()), &[]), Value::Bool(true));
         assert_eq!(ev(&bin(BinaryOp::Or, null(), t()), &[]), Value::Bool(true));
@@ -877,9 +981,18 @@ mod tests {
 
     #[test]
     fn comparisons() {
-        assert_eq!(ev(&bin(BinaryOp::Le, lit(1), lit(1)), &[]), Value::Bool(true));
-        assert_eq!(ev(&bin(BinaryOp::Gt, lit("b"), lit("a")), &[]), Value::Bool(true));
-        assert_eq!(ev(&bin(BinaryOp::Neq, lit(1), lit(2)), &[]), Value::Bool(true));
+        assert_eq!(
+            ev(&bin(BinaryOp::Le, lit(1), lit(1)), &[]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev(&bin(BinaryOp::Gt, lit("b"), lit("a")), &[]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev(&bin(BinaryOp::Neq, lit(1), lit(2)), &[]),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -911,7 +1024,11 @@ mod tests {
             negated: false,
         };
         assert_eq!(ev(&e, &[]), Value::Bool(true));
-        let e = BoundExpr::InList { expr: Box::new(lit(1)), list: vec![lit(2)], negated: true };
+        let e = BoundExpr::InList {
+            expr: Box::new(lit(1)),
+            list: vec![lit(2)],
+            negated: true,
+        };
         assert_eq!(ev(&e, &[]), Value::Bool(true));
     }
 
@@ -923,7 +1040,10 @@ mod tests {
         };
         assert_eq!(ev(&e, &[Value::Int(1)]), Value::text("one"));
         assert_eq!(ev(&e, &[Value::Int(5)]), Value::text("other"));
-        let abs = BoundExpr::Function { func: ScalarFunc::Abs, args: vec![lit(-3)] };
+        let abs = BoundExpr::Function {
+            func: ScalarFunc::Abs,
+            args: vec![lit(-3)],
+        };
         assert_eq!(ev(&abs, &[]), Value::Int(3));
         let co = BoundExpr::Function {
             func: ScalarFunc::Coalesce,
@@ -947,16 +1067,28 @@ mod tests {
 
     #[test]
     fn is_null() {
-        let e = BoundExpr::IsNull { expr: Box::new(BoundExpr::Literal(Value::Null)), negated: false };
+        let e = BoundExpr::IsNull {
+            expr: Box::new(BoundExpr::Literal(Value::Null)),
+            negated: false,
+        };
         assert_eq!(ev(&e, &[]), Value::Bool(true));
-        let e = BoundExpr::IsNull { expr: Box::new(lit(1)), negated: true };
+        let e = BoundExpr::IsNull {
+            expr: Box::new(lit(1)),
+            negated: true,
+        };
         assert_eq!(ev(&e, &[]), Value::Bool(true));
     }
 
     #[test]
     fn concat() {
-        assert_eq!(ev(&bin(BinaryOp::Concat, lit("a"), lit("b")), &[]), Value::text("ab"));
-        assert_eq!(ev(&bin(BinaryOp::Concat, lit("a"), lit(1)), &[]), Value::text("a1"));
+        assert_eq!(
+            ev(&bin(BinaryOp::Concat, lit("a"), lit("b")), &[]),
+            Value::text("ab")
+        );
+        assert_eq!(
+            ev(&bin(BinaryOp::Concat, lit("a"), lit(1)), &[]),
+            Value::text("a1")
+        );
     }
 
     #[test]
@@ -975,7 +1107,10 @@ mod tests {
             .create_table(
                 TableSchema::new(
                     "t",
-                    vec![Column::new("k", DataType::Int), Column::new("v", DataType::Int)],
+                    vec![
+                        Column::new("k", DataType::Int),
+                        Column::new("v", DataType::Int),
+                    ],
                     &[],
                 )
                 .unwrap(),
@@ -998,14 +1133,29 @@ mod tests {
                 right: Box::new(bin(BinaryOp::Gt, BoundExpr::Column(1), lit(15))),
             },
         };
-        let e = BoundExpr::Exists { plan: Box::new(plan), negated: false };
+        let e = BoundExpr::Exists {
+            plan: Box::new(plan),
+            negated: false,
+        };
         let mut env = EvalEnv::new(&catalog);
         // k=1 has v=20 > 15 → true; k=2 has v=30 → true; k=9 → false.
-        assert_eq!(eval(&e, &[Value::Int(1)], &mut env).unwrap(), Value::Bool(true));
-        assert_eq!(eval(&e, &[Value::Int(2)], &mut env).unwrap(), Value::Bool(true));
-        assert_eq!(eval(&e, &[Value::Int(9)], &mut env).unwrap(), Value::Bool(false));
-        assert_eq!(eval(&e, &[Value::Null], &mut env).unwrap(), Value::Bool(false),
-            "NULL outer key never matches");
+        assert_eq!(
+            eval(&e, &[Value::Int(1)], &mut env).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&e, &[Value::Int(2)], &mut env).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&e, &[Value::Int(9)], &mut env).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(&e, &[Value::Null], &mut env).unwrap(),
+            Value::Bool(false),
+            "NULL outer key never matches"
+        );
     }
 
     #[test]
@@ -1018,7 +1168,11 @@ mod tests {
                 TableSchema::new("t", vec![Column::new("v", DataType::Int)], &[]).unwrap(),
             )
             .unwrap();
-        catalog.table_mut("t").unwrap().insert(vec![Value::Int(5)]).unwrap();
+        catalog
+            .table_mut("t")
+            .unwrap()
+            .insert(vec![Value::Int(5)])
+            .unwrap();
         // EXISTS (SELECT * FROM t WHERE t.v < <outer col 0>) — no equality,
         // must use the general path.
         let plan = LogicalPlan::Filter {
@@ -1029,10 +1183,19 @@ mod tests {
                 BoundExpr::OuterRef { level: 0, index: 0 },
             ),
         };
-        let e = BoundExpr::Exists { plan: Box::new(plan), negated: false };
+        let e = BoundExpr::Exists {
+            plan: Box::new(plan),
+            negated: false,
+        };
         let mut env = EvalEnv::new(&catalog);
-        assert_eq!(eval(&e, &[Value::Int(10)], &mut env).unwrap(), Value::Bool(true));
-        assert_eq!(eval(&e, &[Value::Int(3)], &mut env).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval(&e, &[Value::Int(10)], &mut env).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&e, &[Value::Int(3)], &mut env).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]

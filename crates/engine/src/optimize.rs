@@ -51,17 +51,27 @@ fn rewrite(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan, EngineEr
             left: Box::new(rewrite(*left, catalog)?),
             right: Box::new(rewrite(*right, catalog)?),
         },
-        LogicalPlan::HashJoin { left, right, left_keys, right_keys, residual, join_type } => {
-            LogicalPlan::HashJoin {
-                left: Box::new(rewrite(*left, catalog)?),
-                right: Box::new(rewrite(*right, catalog)?),
-                left_keys,
-                right_keys,
-                residual,
-                join_type,
-            }
-        }
-        LogicalPlan::NestedLoopJoin { left, right, predicate, join_type } => {
+        LogicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            join_type,
+        } => LogicalPlan::HashJoin {
+            left: Box::new(rewrite(*left, catalog)?),
+            right: Box::new(rewrite(*right, catalog)?),
+            left_keys,
+            right_keys,
+            residual,
+            join_type,
+        },
+        LogicalPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+            join_type,
+        } => {
             let left = rewrite(*left, catalog)?;
             let right = rewrite(*right, catalog)?;
             // Try converting a LEFT nested-loop with pure equi predicate
@@ -106,23 +116,34 @@ fn rewrite(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan, EngineEr
             right: Box::new(rewrite(*right, catalog)?),
             all,
         },
-        LogicalPlan::Distinct { input } => {
-            LogicalPlan::Distinct { input: Box::new(rewrite(*input, catalog)?) }
-        }
-        LogicalPlan::Aggregate { input, group_exprs, aggregates } => LogicalPlan::Aggregate {
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(rewrite(*input, catalog)?),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+        } => LogicalPlan::Aggregate {
             input: Box::new(rewrite(*input, catalog)?),
             group_exprs,
             aggregates,
         },
-        LogicalPlan::Sort { input, keys } => {
-            LogicalPlan::Sort { input: Box::new(rewrite(*input, catalog)?), keys }
-        }
-        LogicalPlan::Limit { input, limit, offset } => {
-            LogicalPlan::Limit { input: Box::new(rewrite(*input, catalog)?), limit, offset }
-        }
-        leaf @ (LogicalPlan::Empty { .. } | LogicalPlan::Values { .. } | LogicalPlan::Scan { .. }) => {
-            leaf
-        }
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(rewrite(*input, catalog)?),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(rewrite(*input, catalog)?),
+            limit,
+            offset,
+        },
+        leaf @ (LogicalPlan::Empty { .. }
+        | LogicalPlan::Values { .. }
+        | LogicalPlan::Scan { .. }) => leaf,
     };
     Ok(plan)
 }
@@ -141,9 +162,10 @@ fn push_filter(
         // Push through a projection when every column the predicate reads
         // maps to a plain column of the input (no computed expressions),
         // so the join-conversion rule can see the cross join underneath.
-        LogicalPlan::Project { input: proj_input, exprs }
-            if !predicate.contains_subquery() && remappable(&predicate, &exprs) =>
-        {
+        LogicalPlan::Project {
+            input: proj_input,
+            exprs,
+        } if !predicate.contains_subquery() && remappable(&predicate, &exprs) => {
             let mapped = predicate.map_columns(&|i| match &exprs[i] {
                 BoundExpr::Column(c) => *c,
                 _ => unreachable!("remappable() checked"),
@@ -198,7 +220,10 @@ fn push_filter(
             }
 
             let joined = if equi.is_empty() {
-                LogicalPlan::CrossJoin { left: Box::new(l), right: Box::new(r) }
+                LogicalPlan::CrossJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
             } else {
                 LogicalPlan::HashJoin {
                     left: Box::new(l),
@@ -221,7 +246,10 @@ fn push_filter(
                 })
             }
         }
-        other => Ok(LogicalPlan::Filter { input: Box::new(other), predicate }),
+        other => Ok(LogicalPlan::Filter {
+            input: Box::new(other),
+            predicate,
+        }),
     }
 }
 
@@ -230,13 +258,18 @@ fn push_filter(
 fn remappable(predicate: &BoundExpr, exprs: &[BoundExpr]) -> bool {
     let mut cols = Vec::new();
     predicate.collect_columns(&mut cols);
-    cols.iter().all(|&i| matches!(exprs.get(i), Some(BoundExpr::Column(_))))
+    cols.iter()
+        .all(|&i| matches!(exprs.get(i), Some(BoundExpr::Column(_))))
 }
 
 /// Split an `AND` tree into conjuncts.
 pub fn split_conjuncts(e: &BoundExpr) -> Vec<BoundExpr> {
     match e {
-        BoundExpr::Binary { op: BinaryOp::And, left, right } => {
+        BoundExpr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
             let mut out = split_conjuncts(left);
             out.extend(split_conjuncts(right));
             out
@@ -249,7 +282,14 @@ pub fn split_conjuncts(e: &BoundExpr) -> Vec<BoundExpr> {
 /// (relative to a split at column `la`)? Returns (left key, right key in
 /// combined offsets).
 fn as_equi(e: &BoundExpr, la: usize) -> Option<(BoundExpr, BoundExpr)> {
-    let BoundExpr::Binary { op: BinaryOp::Eq, left, right } = e else { return None };
+    let BoundExpr::Binary {
+        op: BinaryOp::Eq,
+        left,
+        right,
+    } = e
+    else {
+        return None;
+    };
     if left.contains_subquery() || right.contains_subquery() {
         return None;
     }
@@ -286,7 +326,11 @@ fn split_equi(pred: &BoundExpr, la: usize) -> (Vec<(BoundExpr, BoundExpr)>, Opti
             None => rest.push(c),
         }
     }
-    let residual = if rest.is_empty() { None } else { Some(BoundExpr::conjoin(rest)) };
+    let residual = if rest.is_empty() {
+        None
+    } else {
+        Some(BoundExpr::conjoin(rest))
+    };
     (equi, residual)
 }
 
@@ -336,7 +380,8 @@ mod tests {
             let columns: Vec<Column> = (0..cols)
                 .map(|i| Column::new(format!("c{i}"), DataType::Int))
                 .collect();
-            c.create_table(TableSchema::new(name, columns, &[]).unwrap()).unwrap();
+            c.create_table(TableSchema::new(name, columns, &[]).unwrap())
+                .unwrap();
         }
         c
     }
@@ -346,7 +391,11 @@ mod tests {
     }
 
     fn eq(l: BoundExpr, r: BoundExpr) -> BoundExpr {
-        BoundExpr::Binary { op: BinaryOp::Eq, left: Box::new(l), right: Box::new(r) }
+        BoundExpr::Binary {
+            op: BinaryOp::Eq,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     fn lit(v: i64) -> BoundExpr {
@@ -364,7 +413,12 @@ mod tests {
             predicate: eq(col(0), col(2)),
         };
         let opt = optimize(plan, &c).unwrap();
-        let LogicalPlan::HashJoin { left_keys, right_keys, .. } = opt else {
+        let LogicalPlan::HashJoin {
+            left_keys,
+            right_keys,
+            ..
+        } = opt
+        else {
             panic!("expected hash join, got {opt:?}")
         };
         assert_eq!(left_keys, vec![col(0)]);
@@ -374,7 +428,9 @@ mod tests {
     #[test]
     fn single_side_conjuncts_push_down() {
         let c = catalog();
-        let pred = eq(col(0), col(2)).and(eq(col(1), lit(5))).and(eq(col(3), lit(7)));
+        let pred = eq(col(0), col(2))
+            .and(eq(col(1), lit(5)))
+            .and(eq(col(3), lit(7)));
         let plan = LogicalPlan::Filter {
             input: Box::new(LogicalPlan::CrossJoin {
                 left: Box::new(LogicalPlan::Scan { table: "r".into() }),
@@ -383,9 +439,16 @@ mod tests {
             predicate: pred,
         };
         let opt = optimize(plan, &c).unwrap();
-        let LogicalPlan::HashJoin { left, right, .. } = opt else { panic!("{opt:?}") };
-        assert!(matches!(*left, LogicalPlan::Filter { .. }), "left filter pushed");
-        let LogicalPlan::Filter { predicate, .. } = *right else { panic!() };
+        let LogicalPlan::HashJoin { left, right, .. } = opt else {
+            panic!("{opt:?}")
+        };
+        assert!(
+            matches!(*left, LogicalPlan::Filter { .. }),
+            "left filter pushed"
+        );
+        let LogicalPlan::Filter { predicate, .. } = *right else {
+            panic!()
+        };
         // right-side predicate rebased: col(3) -> col(1)
         assert_eq!(predicate, eq(col(1), lit(7)));
     }
@@ -406,7 +469,9 @@ mod tests {
             predicate: pred.clone(),
         };
         let opt = optimize(plan, &c).unwrap();
-        let LogicalPlan::Filter { input, predicate } = opt else { panic!("{opt:?}") };
+        let LogicalPlan::Filter { input, predicate } = opt else {
+            panic!("{opt:?}")
+        };
         assert_eq!(predicate, pred);
         assert!(matches!(*input, LogicalPlan::CrossJoin { .. }));
     }
@@ -419,13 +484,19 @@ mod tests {
             predicate: eq(lit(1), lit(1)),
         };
         let opt = optimize(plan, &c).unwrap();
-        assert!(matches!(opt, LogicalPlan::Scan { .. }), "true filter removed: {opt:?}");
+        assert!(
+            matches!(opt, LogicalPlan::Scan { .. }),
+            "true filter removed: {opt:?}"
+        );
         let plan = LogicalPlan::Filter {
             input: Box::new(LogicalPlan::Scan { table: "r".into() }),
             predicate: eq(lit(1), lit(2)),
         };
         let opt = optimize(plan, &c).unwrap();
-        assert!(matches!(opt, LogicalPlan::Empty { arity: 2 }), "false filter empties: {opt:?}");
+        assert!(
+            matches!(opt, LogicalPlan::Empty { arity: 2 }),
+            "false filter empties: {opt:?}"
+        );
     }
 
     #[test]
@@ -439,7 +510,13 @@ mod tests {
         };
         let opt = optimize(plan, &c).unwrap();
         assert!(
-            matches!(opt, LogicalPlan::HashJoin { join_type: JoinType::Left, .. }),
+            matches!(
+                opt,
+                LogicalPlan::HashJoin {
+                    join_type: JoinType::Left,
+                    ..
+                }
+            ),
             "{opt:?}"
         );
     }
@@ -460,8 +537,15 @@ mod tests {
             predicate: eq(col(1), col(2)), // output cols 1,2 = input cols 0,2
         };
         let opt = optimize(plan, &c).unwrap();
-        let LogicalPlan::Project { input, .. } = opt else { panic!("{opt:?}") };
-        let LogicalPlan::HashJoin { left_keys, right_keys, .. } = *input else {
+        let LogicalPlan::Project { input, .. } = opt else {
+            panic!("{opt:?}")
+        };
+        let LogicalPlan::HashJoin {
+            left_keys,
+            right_keys,
+            ..
+        } = *input
+        else {
             panic!("expected hash join under project: {input:?}")
         };
         assert_eq!(left_keys, vec![col(0)]);
@@ -477,7 +561,9 @@ mod tests {
             predicate: eq(col(0), col(2)),
         };
         let opt = optimize(plan, &c).unwrap();
-        let LogicalPlan::Distinct { input } = opt else { panic!("{opt:?}") };
+        let LogicalPlan::Distinct { input } = opt else {
+            panic!("{opt:?}")
+        };
         assert!(matches!(*input, LogicalPlan::HashJoin { .. }));
     }
 
@@ -518,7 +604,9 @@ mod tests {
             predicate: sub.clone(),
         };
         let opt = optimize(plan, &c).unwrap();
-        let LogicalPlan::Filter { predicate, .. } = opt else { panic!("{opt:?}") };
+        let LogicalPlan::Filter { predicate, .. } = opt else {
+            panic!("{opt:?}")
+        };
         assert_eq!(predicate, sub);
     }
 }

@@ -206,16 +206,21 @@ impl LogicalPlan {
             LogicalPlan::Union { left, .. }
             | LogicalPlan::Except { left, .. }
             | LogicalPlan::Intersect { left, .. } => left.arity(catalog)?,
-            LogicalPlan::Aggregate { group_exprs, aggregates, .. } => {
-                group_exprs.len() + aggregates.len()
-            }
+            LogicalPlan::Aggregate {
+                group_exprs,
+                aggregates,
+                ..
+            } => group_exprs.len() + aggregates.len(),
         })
     }
 
     /// A plan producing exactly one empty row (used for `SELECT` without
     /// `FROM`).
     pub fn one_row() -> LogicalPlan {
-        LogicalPlan::Values { rows: vec![Vec::new()], arity: 0 }
+        LogicalPlan::Values {
+            rows: vec![Vec::new()],
+            arity: 0,
+        }
     }
 
     /// Literal single-row values plan.
@@ -271,7 +276,10 @@ mod tests {
         c.create_table(
             TableSchema::new(
                 "t",
-                vec![Column::new("a", DataType::Int), Column::new("b", DataType::Text)],
+                vec![
+                    Column::new("a", DataType::Int),
+                    Column::new("b", DataType::Text),
+                ],
                 &[],
             )
             .unwrap(),
@@ -298,7 +306,11 @@ mod tests {
         let agg = LogicalPlan::Aggregate {
             input: Box::new(scan),
             group_exprs: vec![BoundExpr::Column(1)],
-            aggregates: vec![AggExpr { func: AggFunc::CountStar, arg: None, distinct: false }],
+            aggregates: vec![AggExpr {
+                func: AggFunc::CountStar,
+                arg: None,
+                distinct: false,
+            }],
         };
         assert_eq!(agg.arity(&c).unwrap(), 2);
     }
@@ -306,7 +318,9 @@ mod tests {
     #[test]
     fn arity_errors_on_missing_table() {
         let c = catalog();
-        let scan = LogicalPlan::Scan { table: "missing".into() };
+        let scan = LogicalPlan::Scan {
+            table: "missing".into(),
+        };
         assert!(scan.arity(&c).is_err());
     }
 
@@ -314,7 +328,9 @@ mod tests {
     fn node_count_counts() {
         let scan = LogicalPlan::Scan { table: "t".into() };
         let plan = LogicalPlan::Filter {
-            input: Box::new(LogicalPlan::Distinct { input: Box::new(scan) }),
+            input: Box::new(LogicalPlan::Distinct {
+                input: Box::new(scan),
+            }),
             predicate: BoundExpr::true_(),
         };
         assert_eq!(plan.node_count(), 3);
@@ -323,7 +339,9 @@ mod tests {
     #[test]
     fn one_row_has_single_empty_row() {
         let p = LogicalPlan::one_row();
-        let LogicalPlan::Values { rows, arity } = p else { panic!() };
+        let LogicalPlan::Values { rows, arity } = p else {
+            panic!()
+        };
         assert_eq!(rows.len(), 1);
         assert_eq!(arity, 0);
     }

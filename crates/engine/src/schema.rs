@@ -79,7 +79,11 @@ pub struct Column {
 impl Column {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: DataType) -> Column {
-        Column { name: name.into(), ty, not_null: false }
+        Column {
+            name: name.into(),
+            ty,
+            not_null: false,
+        }
     }
 
     /// Mark the column `NOT NULL`.
@@ -108,7 +112,11 @@ impl TableSchema {
         primary_key: &[&str],
     ) -> Result<TableSchema, EngineError> {
         let name = name.into();
-        let mut schema = TableSchema { name, columns, primary_key: Vec::new() };
+        let mut schema = TableSchema {
+            name,
+            columns,
+            primary_key: Vec::new(),
+        };
         let mut seen = std::collections::HashSet::new();
         for c in &schema.columns {
             if !seen.insert(c.name.clone()) {
@@ -188,7 +196,9 @@ pub struct EngineError {
 impl EngineError {
     /// Construct from a message.
     pub fn new(message: impl Into<String>) -> EngineError {
-        EngineError { message: message.into() }
+        EngineError {
+            message: message.into(),
+        }
     }
 }
 
@@ -236,7 +246,10 @@ mod tests {
     fn duplicate_columns_rejected() {
         let err = TableSchema::new(
             "t",
-            vec![Column::new("a", DataType::Int), Column::new("a", DataType::Text)],
+            vec![
+                Column::new("a", DataType::Int),
+                Column::new("a", DataType::Text),
+            ],
             &[],
         )
         .unwrap_err();
@@ -245,8 +258,7 @@ mod tests {
 
     #[test]
     fn unknown_pk_rejected() {
-        let err =
-            TableSchema::new("t", vec![Column::new("a", DataType::Int)], &["b"]).unwrap_err();
+        let err = TableSchema::new("t", vec![Column::new("a", DataType::Int)], &["b"]).unwrap_err();
         assert!(err.message.contains("primary key"));
     }
 
@@ -255,11 +267,13 @@ mod tests {
         let s = emp_schema();
         assert!(s.check_row(vec![Value::text("a")]).is_err(), "arity");
         assert!(
-            s.check_row(vec![Value::Null, Value::Int(1), Value::Null]).is_err(),
+            s.check_row(vec![Value::Null, Value::Int(1), Value::Null])
+                .is_err(),
             "not null"
         );
         assert!(
-            s.check_row(vec![Value::text("a"), Value::text("x"), Value::Null]).is_err(),
+            s.check_row(vec![Value::text("a"), Value::text("x"), Value::Null])
+                .is_err(),
             "type"
         );
         let row = s
@@ -270,7 +284,10 @@ mod tests {
 
     #[test]
     fn coercion_rules() {
-        assert_eq!(DataType::Float.coerce(Value::Int(3)), Some(Value::Float(3.0)));
+        assert_eq!(
+            DataType::Float.coerce(Value::Int(3)),
+            Some(Value::Float(3.0))
+        );
         assert_eq!(DataType::Int.coerce(Value::Float(3.0)), None);
         assert_eq!(DataType::Text.coerce(Value::Null), Some(Value::Null));
         assert!(DataType::Bool.admits(&Value::Bool(true)));

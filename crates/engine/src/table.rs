@@ -7,7 +7,7 @@
 
 use crate::schema::{EngineError, TableSchema};
 use crate::value::{Row, Value};
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// Stable identifier of a row within one table (slot index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -17,7 +17,7 @@ pub struct TupleId(pub u32);
 #[derive(Debug, Default)]
 struct HashIndex {
     /// Key values → slots holding live rows with that key.
-    map: HashMap<Vec<Value>, Vec<TupleId>>,
+    map: FxHashMap<Vec<Value>, Vec<TupleId>>,
 }
 
 impl HashIndex {
@@ -43,13 +43,18 @@ pub struct Table {
     slots: Vec<Option<Row>>,
     live: usize,
     /// column sets → index
-    indexes: HashMap<Vec<usize>, HashIndex>,
+    indexes: FxHashMap<Vec<usize>, HashIndex>,
 }
 
 impl Table {
     /// Create an empty table.
     pub fn new(schema: TableSchema) -> Table {
-        Table { schema, slots: Vec::new(), live: 0, indexes: HashMap::new() }
+        Table {
+            schema,
+            slots: Vec::new(),
+            live: 0,
+            indexes: FxHashMap::default(),
+        }
     }
 
     /// Number of live rows.
@@ -90,7 +95,9 @@ impl Table {
 
     /// Delete by id; returns `true` if the row existed.
     pub fn delete(&mut self, id: TupleId) -> bool {
-        let Some(slot) = self.slots.get_mut(id.0 as usize) else { return false };
+        let Some(slot) = self.slots.get_mut(id.0 as usize) else {
+            return false;
+        };
         let Some(row) = slot.take() else { return false };
         self.live -= 1;
         for (cols, index) in &mut self.indexes {
@@ -161,7 +168,9 @@ impl Table {
 
     /// Look up live rows by indexed key; `None` if no such index exists.
     pub fn index_lookup(&self, cols: &[usize], key: &[Value]) -> Option<Vec<TupleId>> {
-        self.indexes.get(cols).map(|ix| ix.map.get(key).cloned().unwrap_or_default())
+        self.indexes
+            .get(cols)
+            .map(|ix| ix.map.get(key).cloned().unwrap_or_default())
     }
 
     /// Does an index exist on exactly these columns?
@@ -171,7 +180,10 @@ impl Table {
 
     /// Find ids of live rows equal to `row` (full-row comparison).
     pub fn find_exact(&self, row: &[Value]) -> Vec<TupleId> {
-        self.iter().filter(|(_, r)| r.as_slice() == row).map(|(id, _)| id).collect()
+        self.iter()
+            .filter(|(_, r)| r.as_slice() == row)
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Remove all rows.
@@ -193,7 +205,10 @@ mod tests {
         Table::new(
             TableSchema::new(
                 "t",
-                vec![Column::new("a", DataType::Int), Column::new("b", DataType::Text)],
+                vec![
+                    Column::new("a", DataType::Int),
+                    Column::new("b", DataType::Text),
+                ],
                 &[],
             )
             .unwrap(),
@@ -247,10 +262,14 @@ mod tests {
         let id0 = t.insert(vec![Value::Int(1), Value::text("x")]).unwrap();
         let id1 = t.insert(vec![Value::Int(1), Value::text("y")]).unwrap();
         t.insert(vec![Value::Int(2), Value::text("z")]).unwrap();
-        assert_eq!(t.index_lookup(&[0], &[Value::Int(1)]).unwrap(), vec![id0, id1]);
+        assert_eq!(
+            t.index_lookup(&[0], &[Value::Int(1)]).unwrap(),
+            vec![id0, id1]
+        );
         t.delete(id0);
         assert_eq!(t.index_lookup(&[0], &[Value::Int(1)]).unwrap(), vec![id1]);
-        t.update(id1, vec![Value::Int(5), Value::text("y")]).unwrap();
+        t.update(id1, vec![Value::Int(5), Value::text("y")])
+            .unwrap();
         assert!(t.index_lookup(&[0], &[Value::Int(1)]).unwrap().is_empty());
         assert_eq!(t.index_lookup(&[0], &[Value::Int(5)]).unwrap(), vec![id1]);
     }
@@ -261,7 +280,10 @@ mod tests {
         let id = t.insert(vec![Value::Int(7), Value::Null]).unwrap();
         t.create_index(vec![0]).unwrap();
         assert_eq!(t.index_lookup(&[0], &[Value::Int(7)]).unwrap(), vec![id]);
-        assert!(t.index_lookup(&[1], &[Value::Null]).is_none(), "no such index");
+        assert!(
+            t.index_lookup(&[1], &[Value::Null]).is_none(),
+            "no such index"
+        );
     }
 
     #[test]

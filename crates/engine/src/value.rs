@@ -141,17 +141,15 @@ impl Ord for Value {
             (Value::Null, Value::Null) => Ordering::Equal,
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Text(a), Value::Text(b)) => a.cmp(b),
-            (a, b) if a.rank() == 2 && b.rank() == 2 => {
-                match (a.numeric_key(), b.numeric_key()) {
-                    (Some(NumKey::Nan), Some(NumKey::Nan)) => Ordering::Equal,
-                    (Some(NumKey::Nan), _) => Ordering::Greater,
-                    (_, Some(NumKey::Nan)) => Ordering::Less,
-                    _ => a
-                        .as_f64()
-                        .expect("numeric")
-                        .total_cmp(&b.as_f64().expect("numeric")),
-                }
-            }
+            (a, b) if a.rank() == 2 && b.rank() == 2 => match (a.numeric_key(), b.numeric_key()) {
+                (Some(NumKey::Nan), Some(NumKey::Nan)) => Ordering::Equal,
+                (Some(NumKey::Nan), _) => Ordering::Greater,
+                (_, Some(NumKey::Nan)) => Ordering::Less,
+                _ => a
+                    .as_f64()
+                    .expect("numeric")
+                    .total_cmp(&b.as_f64().expect("numeric")),
+            },
             (a, b) => a.rank().cmp(&b.rank()),
         }
     }
@@ -310,8 +308,18 @@ mod tests {
 
     #[test]
     fn sql_cmp_orders_numbers() {
-        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(1.5)), Some(Ordering::Less));
-        assert_eq!(Value::text("b").sql_cmp(&Value::text("a")), Some(Ordering::Greater));
-        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None, "bool vs int incomparable");
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::text("b").sql_cmp(&Value::text("a")),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Bool(true).sql_cmp(&Value::Int(1)),
+            None,
+            "bool vs int incomparable"
+        );
     }
 }

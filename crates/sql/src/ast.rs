@@ -360,12 +360,18 @@ pub enum Expr {
 impl Expr {
     /// Column reference without qualifier.
     pub fn col(name: impl Into<String>) -> Expr {
-        Expr::Column { qualifier: None, name: name.into() }
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
     }
 
     /// Qualified column reference.
     pub fn qcol(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
-        Expr::Column { qualifier: Some(qualifier.into()), name: name.into() }
+        Expr::Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
     }
 
     /// Integer literal.
@@ -380,23 +386,38 @@ impl Expr {
 
     /// `self AND other`.
     pub fn and(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinaryOp::And, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinaryOp::And,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self OR other`.
     pub fn or(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinaryOp::Or, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinaryOp::Or,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self = other`.
     pub fn eq(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinaryOp::Eq, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinaryOp::Eq,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `NOT self`.
     #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
-        Expr::Unary { op: UnaryOp::Not, expr: Box::new(self) }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(self),
+        }
     }
 
     /// Fold a list of conjuncts into one `AND` chain; `None` when empty.
@@ -478,7 +499,12 @@ impl BinaryOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+            BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
         )
     }
 
@@ -524,9 +550,13 @@ mod tests {
 
     #[test]
     fn expr_builders_compose() {
-        let e = Expr::col("a").eq(Expr::int(1)).and(Expr::qcol("t", "b").eq(Expr::str("x")));
+        let e = Expr::col("a")
+            .eq(Expr::int(1))
+            .and(Expr::qcol("t", "b").eq(Expr::str("x")));
         match e {
-            Expr::Binary { op: BinaryOp::And, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::And, ..
+            } => {}
             other => panic!("expected AND, got {other:?}"),
         }
     }

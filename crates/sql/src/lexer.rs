@@ -38,7 +38,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(input: &'a str) -> Self {
-        Lexer { src: input.as_bytes(), pos: 0, out: Vec::new() }
+        Lexer {
+            src: input.as_bytes(),
+            pos: 0,
+            out: Vec::new(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -56,7 +60,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>, pos: usize) -> LexError {
-        LexError { message: message.into(), pos }
+        LexError {
+            message: message.into(),
+            pos,
+        }
     }
 
     fn push(&mut self, kind: TokenKind, pos: usize) {
@@ -163,10 +170,7 @@ impl<'a> Lexer<'a> {
                 b'0'..=b'9' => self.lex_number(start)?,
                 c if c == b'_' || c.is_ascii_alphabetic() => self.lex_word(start),
                 other => {
-                    return Err(self.err(
-                        format!("unexpected character {:?}", other as char),
-                        start,
-                    ))
+                    return Err(self.err(format!("unexpected character {:?}", other as char), start))
                 }
             }
         }
@@ -284,7 +288,7 @@ impl<'a> Lexer<'a> {
                 .map_err(|_| self.err(format!("invalid float literal {text:?}"), start))?;
             self.push(TokenKind::Float(v), start);
         } else {
-            let v: i64 = text
+            let v: u64 = text
                 .parse()
                 .map_err(|_| self.err(format!("integer literal out of range: {text}"), start))?;
             self.push(TokenKind::Int(v), start);
@@ -310,7 +314,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -371,7 +379,10 @@ mod tests {
 
     #[test]
     fn lexes_quoted_identifier() {
-        assert_eq!(kinds("\"Mixed Case\"")[0], TokenKind::QuotedIdent("Mixed Case".into()));
+        assert_eq!(
+            kinds("\"Mixed Case\"")[0],
+            TokenKind::QuotedIdent("Mixed Case".into())
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, pos: e.pos }
+        ParseError {
+            message: e.message,
+            pos: e.pos,
+        }
     }
 }
 
@@ -82,7 +85,10 @@ struct Parser {
 
 impl Parser {
     fn new(sql: &str) -> Result<Self, ParseError> {
-        Ok(Parser { tokens: tokenize(sql)?, idx: 0 })
+        Ok(Parser {
+            tokens: tokenize(sql)?,
+            idx: 0,
+        })
     }
 
     fn peek(&self) -> &TokenKind {
@@ -132,7 +138,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), pos: self.pos() })
+        Err(ParseError {
+            message: message.into(),
+            pos: self.pos(),
+        })
     }
 
     fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
@@ -233,14 +242,23 @@ impl Parser {
                         break;
                     }
                 }
-                columns.push(ColumnDef { name: col_name, ty, not_null });
+                columns.push(ColumnDef {
+                    name: col_name,
+                    ty,
+                    not_null,
+                });
             }
             if !self.eat(TokenKind::Comma) {
                 break;
             }
         }
         self.expect(TokenKind::RParen)?;
-        Ok(Statement::CreateTable(CreateTable { name, columns, primary_key, if_not_exists }))
+        Ok(Statement::CreateTable(CreateTable {
+            name,
+            columns,
+            primary_key,
+            if_not_exists,
+        }))
     }
 
     fn type_name(&mut self) -> Result<TypeName, ParseError> {
@@ -300,7 +318,9 @@ impl Parser {
         self.expect_kw(Keyword::Into)?;
         let table = self.ident()?;
         let mut columns = Vec::new();
-        if self.at(TokenKind::LParen) && !matches!(self.peek_at(1), TokenKind::Keyword(Keyword::Select)) {
+        if self.at(TokenKind::LParen)
+            && !matches!(self.peek_at(1), TokenKind::Keyword(Keyword::Select))
+        {
             self.bump();
             loop {
                 columns.push(self.ident()?);
@@ -331,14 +351,22 @@ impl Parser {
         } else {
             InsertSource::Query(Box::new(self.query()?))
         };
-        Ok(Statement::Insert(Insert { table, columns, source }))
+        Ok(Statement::Insert(Insert {
+            table,
+            columns,
+            source,
+        }))
     }
 
     fn delete(&mut self) -> Result<Statement, ParseError> {
         self.expect_kw(Keyword::Delete)?;
         self.expect_kw(Keyword::From)?;
         let table = self.ident()?;
-        let filter = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        let filter = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Statement::Delete { table, filter })
     }
 
@@ -356,8 +384,16 @@ impl Parser {
                 break;
             }
         }
-        let filter = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
-        Ok(Statement::Update { table, assignments, filter })
+        let filter = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            filter,
+        })
     }
 
     // ----- queries -----
@@ -375,7 +411,12 @@ impl Parser {
             };
             let all = self.eat_kw(Keyword::All);
             let right = self.query_intersect()?;
-            left = Query::SetOp { op, all, left: Box::new(left), right: Box::new(right) };
+            left = Query::SetOp {
+                op,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
     }
 
@@ -384,7 +425,12 @@ impl Parser {
         while self.eat_kw(Keyword::Intersect) {
             let all = self.eat_kw(Keyword::All);
             let right = self.query_primary()?;
-            left = Query::SetOp { op: SetOp::Intersect, all, left: Box::new(left), right: Box::new(right) };
+            left = Query::SetOp {
+                op: SetOp::Intersect,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -463,9 +509,9 @@ impl Parser {
 
     fn unsigned(&mut self) -> Result<u64, ParseError> {
         match self.peek().clone() {
-            TokenKind::Int(v) if v >= 0 => {
+            TokenKind::Int(v) => {
                 self.bump();
-                Ok(v as u64)
+                Ok(v)
             }
             other => self.err(format!("expected non-negative integer, found {other}")),
         }
@@ -485,9 +531,9 @@ impl Parser {
             }
         }
         let expr = self.expr()?;
-        let alias = if self.eat_kw(Keyword::As) {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_)) {
+        let alias = if self.eat_kw(Keyword::As)
+            || matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_))
+        {
             Some(self.ident()?)
         } else {
             None
@@ -520,7 +566,12 @@ impl Parser {
                 self.expect_kw(Keyword::On)?;
                 Some(self.expr()?)
             };
-            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
         }
     }
 
@@ -530,12 +581,15 @@ impl Parser {
             self.expect(TokenKind::RParen)?;
             self.eat_kw(Keyword::As);
             let alias = self.ident()?;
-            return Ok(TableRef::Subquery { query: Box::new(query), alias });
+            return Ok(TableRef::Subquery {
+                query: Box::new(query),
+                alias,
+            });
         }
         let name = self.ident()?;
-        let alias = if self.eat_kw(Keyword::As) {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_)) {
+        let alias = if self.eat_kw(Keyword::As)
+            || matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_))
+        {
             Some(self.ident()?)
         } else {
             None
@@ -584,7 +638,10 @@ impl Parser {
         if self.eat_kw(Keyword::Is) {
             let negated = self.eat_kw(Keyword::Not);
             self.expect_kw(Keyword::Null)?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         let negated = if self.at_kw(Keyword::Not)
             && matches!(
@@ -609,7 +666,11 @@ impl Parser {
         }
         if self.eat_kw(Keyword::Like) {
             let pattern = self.expr_additive()?;
-            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
         if self.eat_kw(Keyword::In) {
             self.expect(TokenKind::LParen)?;
@@ -624,7 +685,11 @@ impl Parser {
             if is_subquery {
                 let query = self.query()?;
                 self.expect(TokenKind::RParen)?;
-                return Ok(Expr::InSubquery { expr: Box::new(left), query: Box::new(query), negated });
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(query),
+                    negated,
+                });
             }
             let mut list = Vec::new();
             loop {
@@ -634,7 +699,11 @@ impl Parser {
                 }
             }
             self.expect(TokenKind::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if negated {
             return self.err("expected BETWEEN, IN or LIKE after NOT");
@@ -650,7 +719,11 @@ impl Parser {
         };
         self.bump();
         let right = self.expr_additive()?;
-        Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
     }
 
     fn expr_additive(&mut self) -> Result<Expr, ParseError> {
@@ -664,7 +737,11 @@ impl Parser {
             };
             self.bump();
             let right = self.expr_multiplicative()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
     }
 
@@ -679,18 +756,37 @@ impl Parser {
             };
             self.bump();
             let right = self.expr_unary()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
     }
 
     fn expr_unary(&mut self) -> Result<Expr, ParseError> {
         if self.eat(TokenKind::Minus) {
+            // A minus directly on an integer literal negates the unsigned
+            // magnitude, which is the only way `-9223372036854775808`
+            // (`i64::MIN`) can be accepted.
+            if let TokenKind::Int(v) = *self.peek() {
+                if v <= i64::MIN.unsigned_abs() {
+                    self.bump();
+                    return Ok(Expr::Literal(Literal::Int(v.wrapping_neg() as i64)));
+                }
+            }
             let inner = self.expr_unary()?;
-            // Fold negative literals immediately so `-1` is a literal.
+            // Fold negative literals immediately so `- /*cmt*/ 1` is a
+            // literal; an unrepresentable negation stays a unary node.
             return Ok(match inner {
-                Expr::Literal(Literal::Int(v)) => Expr::Literal(Literal::Int(-v)),
+                Expr::Literal(Literal::Int(v)) if v.checked_neg().is_some() => {
+                    Expr::Literal(Literal::Int(-v))
+                }
                 Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
-                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
             });
         }
         if self.eat(TokenKind::Plus) {
@@ -703,7 +799,10 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Int(v) => {
                 self.bump();
-                Ok(Expr::Literal(Literal::Int(v)))
+                match i64::try_from(v) {
+                    Ok(v) => Ok(Expr::Literal(Literal::Int(v))),
+                    Err(_) => self.err(format!("integer literal out of range: {v}")),
+                }
             }
             TokenKind::Float(v) => {
                 self.bump();
@@ -730,7 +829,10 @@ impl Parser {
                 self.expect(TokenKind::LParen)?;
                 let query = self.query()?;
                 self.expect(TokenKind::RParen)?;
-                Ok(Expr::Exists { query: Box::new(query), negated: false })
+                Ok(Expr::Exists {
+                    query: Box::new(query),
+                    negated: false,
+                })
             }
             TokenKind::Keyword(Keyword::Not) => {
                 // handled by expr_not normally; reachable via `a = NOT b` forms
@@ -752,7 +854,9 @@ impl Parser {
                     Ok(e)
                 }
             }
-            TokenKind::Ident(_) | TokenKind::QuotedIdent(_) | TokenKind::Keyword(Keyword::Key | Keyword::Values | Keyword::Left) => {
+            TokenKind::Ident(_)
+            | TokenKind::QuotedIdent(_)
+            | TokenKind::Keyword(Keyword::Key | Keyword::Values | Keyword::Left) => {
                 let name = self.ident()?;
                 if self.eat(TokenKind::Dot) {
                     let col = self.ident()?;
@@ -771,7 +875,12 @@ impl Parser {
         self.expect(TokenKind::LParen)?;
         if self.eat(TokenKind::Star) {
             self.expect(TokenKind::RParen)?;
-            return Ok(Expr::Function { name, args: Vec::new(), star: true, distinct: false });
+            return Ok(Expr::Function {
+                name,
+                args: Vec::new(),
+                star: true,
+                distinct: false,
+            });
         }
         let distinct = self.eat_kw(Keyword::Distinct);
         let mut args = Vec::new();
@@ -784,7 +893,12 @@ impl Parser {
             }
         }
         self.expect(TokenKind::RParen)?;
-        Ok(Expr::Function { name, args, star: false, distinct })
+        Ok(Expr::Function {
+            name,
+            args,
+            star: false,
+            distinct,
+        })
     }
 
     fn case_expr(&mut self) -> Result<Expr, ParseError> {
@@ -799,10 +913,16 @@ impl Parser {
         if branches.is_empty() {
             return self.err("CASE requires at least one WHEN branch");
         }
-        let else_value =
-            if self.eat_kw(Keyword::Else) { Some(Box::new(self.expr()?)) } else { None };
+        let else_value = if self.eat_kw(Keyword::Else) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
         self.expect_kw(Keyword::End)?;
-        Ok(Expr::Case { branches, else_value })
+        Ok(Expr::Case {
+            branches,
+            else_value,
+        })
     }
 }
 
@@ -816,7 +936,9 @@ mod tests {
             "CREATE TABLE emp (name TEXT NOT NULL, dept VARCHAR(20), salary INT, PRIMARY KEY (name))",
         )
         .unwrap();
-        let Statement::CreateTable(ct) = stmt else { panic!("not a create table") };
+        let Statement::CreateTable(ct) = stmt else {
+            panic!("not a create table")
+        };
         assert_eq!(ct.name, "emp");
         assert_eq!(ct.columns.len(), 3);
         assert!(ct.columns[0].not_null);
@@ -827,7 +949,9 @@ mod tests {
     #[test]
     fn parses_inline_primary_key() {
         let stmt = parse_statement("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
-        let Statement::CreateTable(ct) = stmt else { panic!() };
+        let Statement::CreateTable(ct) = stmt else {
+            panic!()
+        };
         assert_eq!(ct.primary_key, vec!["id"]);
         assert!(ct.columns[0].not_null);
     }
@@ -836,17 +960,23 @@ mod tests {
     fn parses_insert_values() {
         let stmt =
             parse_statement("INSERT INTO emp (name, salary) VALUES ('a', 1), ('b', 2)").unwrap();
-        let Statement::Insert(ins) = stmt else { panic!() };
+        let Statement::Insert(ins) = stmt else {
+            panic!()
+        };
         assert_eq!(ins.table, "emp");
         assert_eq!(ins.columns, vec!["name", "salary"]);
-        let InsertSource::Values(rows) = ins.source else { panic!() };
+        let InsertSource::Values(rows) = ins.source else {
+            panic!()
+        };
         assert_eq!(rows.len(), 2);
     }
 
     #[test]
     fn parses_insert_select() {
         let stmt = parse_statement("INSERT INTO t SELECT * FROM s").unwrap();
-        let Statement::Insert(ins) = stmt else { panic!() };
+        let Statement::Insert(ins) = stmt else {
+            panic!()
+        };
         assert!(matches!(ins.source, InsertSource::Query(_)));
     }
 
@@ -873,25 +1003,55 @@ mod tests {
     fn identifiers_fold_to_lowercase_unless_quoted() {
         let q = parse_query("SELECT NaMe FROM EMP").unwrap();
         let Query::Select(core) = q else { panic!() };
-        assert_eq!(core.projection[0], SelectItem::Expr { expr: Expr::col("name"), alias: None });
-        let TableRef::Table { name, .. } = &core.from[0] else { panic!() };
+        assert_eq!(
+            core.projection[0],
+            SelectItem::Expr {
+                expr: Expr::col("name"),
+                alias: None
+            }
+        );
+        let TableRef::Table { name, .. } = &core.from[0] else {
+            panic!()
+        };
         assert_eq!(name, "emp");
         let q = parse_query("SELECT \"NaMe\" FROM t").unwrap();
         let Query::Select(core) = q else { panic!() };
-        assert_eq!(core.projection[0], SelectItem::Expr { expr: Expr::col("NaMe"), alias: None });
+        assert_eq!(
+            core.projection[0],
+            SelectItem::Expr {
+                expr: Expr::col("NaMe"),
+                alias: None
+            }
+        );
     }
 
     #[test]
     fn union_is_left_associative_and_weaker_than_intersect() {
-        let q = parse_query("SELECT a FROM t UNION SELECT a FROM u INTERSECT SELECT a FROM v").unwrap();
-        let Query::SetOp { op: SetOp::Union, right, .. } = q else { panic!("expected top union") };
-        assert!(matches!(*right, Query::SetOp { op: SetOp::Intersect, .. }));
+        let q =
+            parse_query("SELECT a FROM t UNION SELECT a FROM u INTERSECT SELECT a FROM v").unwrap();
+        let Query::SetOp {
+            op: SetOp::Union,
+            right,
+            ..
+        } = q
+        else {
+            panic!("expected top union")
+        };
+        assert!(matches!(
+            *right,
+            Query::SetOp {
+                op: SetOp::Intersect,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parses_set_op_all() {
         let q = parse_query("SELECT a FROM t UNION ALL SELECT a FROM u").unwrap();
-        let Query::SetOp { all, .. } = q else { panic!() };
+        let Query::SetOp { all, .. } = q else {
+            panic!()
+        };
         assert!(all);
     }
 
@@ -899,8 +1059,21 @@ mod tests {
     fn parses_parenthesised_query() {
         let q = parse_query("(SELECT a FROM t EXCEPT SELECT a FROM u) INTERSECT SELECT a FROM v")
             .unwrap();
-        let Query::SetOp { op: SetOp::Intersect, left, .. } = q else { panic!() };
-        assert!(matches!(*left, Query::SetOp { op: SetOp::Except, .. }));
+        let Query::SetOp {
+            op: SetOp::Intersect,
+            left,
+            ..
+        } = q
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            *left,
+            Query::SetOp {
+                op: SetOp::Except,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -910,13 +1083,29 @@ mod tests {
         )
         .unwrap();
         let Query::Select(core) = q else { panic!() };
-        let TableRef::Join { kind: JoinKind::Left, left, .. } = &core.from[0] else {
+        let TableRef::Join {
+            kind: JoinKind::Left,
+            left,
+            ..
+        } = &core.from[0]
+        else {
             panic!("expected left join at top")
         };
-        let TableRef::Join { kind: JoinKind::Cross, left: l2, .. } = &**left else {
+        let TableRef::Join {
+            kind: JoinKind::Cross,
+            left: l2,
+            ..
+        } = &**left
+        else {
             panic!("expected cross join")
         };
-        assert!(matches!(&**l2, TableRef::Join { kind: JoinKind::Inner, .. }));
+        assert!(matches!(
+            &**l2,
+            TableRef::Join {
+                kind: JoinKind::Inner,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -925,7 +1114,13 @@ mod tests {
         assert!(matches!(e, Expr::Exists { negated: false, .. }));
         let e = parse_expr("NOT EXISTS (SELECT * FROM t)").unwrap();
         // NOT EXISTS parses as NOT(EXISTS ...) via expr_not
-        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+        assert!(matches!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
         let e = parse_expr("x IN (SELECT a FROM t)").unwrap();
         assert!(matches!(e, Expr::InSubquery { negated: false, .. }));
         let e = parse_expr("x NOT IN (1, 2, 3)").unwrap();
@@ -941,7 +1136,9 @@ mod tests {
     #[test]
     fn parses_scalar_subquery() {
         let e = parse_expr("(SELECT COUNT(*) FROM t) > 5").unwrap();
-        let Expr::Binary { left, .. } = e else { panic!() };
+        let Expr::Binary { left, .. } = e else {
+            panic!()
+        };
         assert!(matches!(*left, Expr::ScalarSubquery(_)));
     }
 
@@ -955,36 +1152,98 @@ mod tests {
             parse_expr("a NOT BETWEEN 1 AND 2").unwrap(),
             Expr::Between { negated: true, .. }
         ));
-        assert!(matches!(parse_expr("a LIKE 'x%'").unwrap(), Expr::Like { negated: false, .. }));
-        assert!(matches!(parse_expr("a IS NULL").unwrap(), Expr::IsNull { negated: false, .. }));
-        assert!(matches!(parse_expr("a IS NOT NULL").unwrap(), Expr::IsNull { negated: true, .. }));
+        assert!(matches!(
+            parse_expr("a LIKE 'x%'").unwrap(),
+            Expr::Like { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr("a IS NULL").unwrap(),
+            Expr::IsNull { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr("a IS NOT NULL").unwrap(),
+            Expr::IsNull { negated: true, .. }
+        ));
     }
 
     #[test]
     fn precedence_or_and_not_cmp_arith() {
         // a = 1 OR b = 2 AND NOT c < 3 + 4 * 5
         let e = parse_expr("a = 1 OR b = 2 AND NOT c < 3 + 4 * 5").unwrap();
-        let Expr::Binary { op: BinaryOp::Or, right, .. } = e else { panic!("top is OR") };
-        let Expr::Binary { op: BinaryOp::And, right: and_r, .. } = *right else {
+        let Expr::Binary {
+            op: BinaryOp::Or,
+            right,
+            ..
+        } = e
+        else {
+            panic!("top is OR")
+        };
+        let Expr::Binary {
+            op: BinaryOp::And,
+            right: and_r,
+            ..
+        } = *right
+        else {
             panic!("right of OR is AND")
         };
-        let Expr::Unary { op: UnaryOp::Not, expr } = *and_r else { panic!("NOT under AND") };
-        let Expr::Binary { op: BinaryOp::Lt, right: lt_r, .. } = *expr else { panic!("cmp") };
-        let Expr::Binary { op: BinaryOp::Add, right: add_r, .. } = *lt_r else { panic!("add") };
-        assert!(matches!(*add_r, Expr::Binary { op: BinaryOp::Mul, .. }));
+        let Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } = *and_r
+        else {
+            panic!("NOT under AND")
+        };
+        let Expr::Binary {
+            op: BinaryOp::Lt,
+            right: lt_r,
+            ..
+        } = *expr
+        else {
+            panic!("cmp")
+        };
+        let Expr::Binary {
+            op: BinaryOp::Add,
+            right: add_r,
+            ..
+        } = *lt_r
+        else {
+            panic!("add")
+        };
+        assert!(matches!(
+            *add_r,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn unary_minus_folds_literals() {
         assert_eq!(parse_expr("-5").unwrap(), Expr::Literal(Literal::Int(-5)));
-        assert_eq!(parse_expr("-2.5").unwrap(), Expr::Literal(Literal::Float(-2.5)));
-        assert!(matches!(parse_expr("-a").unwrap(), Expr::Unary { op: UnaryOp::Neg, .. }));
+        assert_eq!(
+            parse_expr("-2.5").unwrap(),
+            Expr::Literal(Literal::Float(-2.5))
+        );
+        assert!(matches!(
+            parse_expr("-a").unwrap(),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parses_case() {
         let e = parse_expr("CASE WHEN a = 1 THEN 'x' WHEN a = 2 THEN 'y' ELSE 'z' END").unwrap();
-        let Expr::Case { branches, else_value } = e else { panic!() };
+        let Expr::Case {
+            branches,
+            else_value,
+        } = e
+        else {
+            panic!()
+        };
         assert_eq!(branches.len(), 2);
         assert!(else_value.is_some());
     }
@@ -999,10 +1258,9 @@ mod tests {
 
     #[test]
     fn parses_statements_script() {
-        let stmts = parse_statements(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 

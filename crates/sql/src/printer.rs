@@ -31,7 +31,11 @@ pub fn print_statement(stmt: &Statement) -> String {
                 let _ = write!(
                     s,
                     ", PRIMARY KEY ({})",
-                    ct.primary_key.iter().map(|c| ident(c)).collect::<Vec<_>>().join(", ")
+                    ct.primary_key
+                        .iter()
+                        .map(|c| ident(c))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
             }
             s.push(')');
@@ -50,7 +54,11 @@ pub fn print_statement(stmt: &Statement) -> String {
                 let _ = write!(
                     s,
                     " ({})",
-                    ins.columns.iter().map(|c| ident(c)).collect::<Vec<_>>().join(", ")
+                    ins.columns
+                        .iter()
+                        .map(|c| ident(c))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
             }
             match &ins.source {
@@ -78,7 +86,11 @@ pub fn print_statement(stmt: &Statement) -> String {
                 let _ = write!(s, " WHERE {}", print_expr(f));
             }
         }
-        Statement::Update { table, assignments, filter } => {
+        Statement::Update {
+            table,
+            assignments,
+            filter,
+        } => {
             let _ = write!(s, "UPDATE {} SET ", ident(table));
             for (i, (c, e)) in assignments.iter().enumerate() {
                 if i > 0 {
@@ -99,7 +111,12 @@ pub fn print_statement(stmt: &Statement) -> String {
 pub fn print_query(q: &Query) -> String {
     match q {
         Query::Select(core) => print_select_core(core),
-        Query::SetOp { op, all, left, right } => {
+        Query::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             format!(
                 "{} {}{} {}",
                 print_query_child(left),
@@ -158,7 +175,11 @@ fn print_select_core(core: &SelectCore) -> String {
         let _ = write!(
             s,
             " GROUP BY {}",
-            core.group_by.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+            core.group_by
+                .iter()
+                .map(print_expr)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
     if let Some(h) = &core.having {
@@ -194,13 +215,23 @@ fn print_table_ref(tr: &TableRef) -> String {
         TableRef::Subquery { query, alias } => {
             format!("({}) AS {}", print_query(query), ident(alias))
         }
-        TableRef::Join { left, right, kind, on } => {
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
             let kw = match kind {
                 JoinKind::Inner => "INNER JOIN",
                 JoinKind::Cross => "CROSS JOIN",
                 JoinKind::Left => "LEFT JOIN",
             };
-            let mut s = format!("{} {} {}", print_table_ref(left), kw, print_join_side(right));
+            let mut s = format!(
+                "{} {} {}",
+                print_table_ref(left),
+                kw,
+                print_join_side(right)
+            );
             if let Some(c) = on {
                 let _ = write!(s, " ON {}", print_expr(c));
             }
@@ -235,28 +266,49 @@ pub fn print_expr(e: &Expr) -> String {
             UnaryOp::Neg => format!("(- {})", print_expr(expr)),
         },
         Expr::IsNull { expr, negated } => {
-            format!("({} IS{} NULL)", print_expr(expr), if *negated { " NOT" } else { "" })
+            format!(
+                "({} IS{} NULL)",
+                print_expr(expr),
+                if *negated { " NOT" } else { "" }
+            )
         }
-        Expr::Between { expr, low, high, negated } => format!(
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => format!(
             "({} {}BETWEEN {} AND {})",
             print_expr(expr),
             if *negated { "NOT " } else { "" },
             print_expr(low),
             print_expr(high)
         ),
-        Expr::Like { expr, pattern, negated } => format!(
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => format!(
             "({} {}LIKE {})",
             print_expr(expr),
             if *negated { "NOT " } else { "" },
             print_expr(pattern)
         ),
-        Expr::InList { expr, list, negated } => format!(
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => format!(
             "({} {}IN ({}))",
             print_expr(expr),
             if *negated { "NOT " } else { "" },
             list.iter().map(print_expr).collect::<Vec<_>>().join(", ")
         ),
-        Expr::InSubquery { expr, query, negated } => format!(
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => format!(
             "({} {}IN ({}))",
             print_expr(expr),
             if *negated { "NOT " } else { "" },
@@ -268,7 +320,12 @@ pub fn print_expr(e: &Expr) -> String {
             print_query(query)
         ),
         Expr::ScalarSubquery(query) => format!("({})", print_query(query)),
-        Expr::Function { name, args, star, distinct } => {
+        Expr::Function {
+            name,
+            args,
+            star,
+            distinct,
+        } => {
             if *star {
                 format!("{}(*)", name.to_ascii_uppercase())
             } else {
@@ -280,7 +337,10 @@ pub fn print_expr(e: &Expr) -> String {
                 )
             }
         }
-        Expr::Case { branches, else_value } => {
+        Expr::Case {
+            branches,
+            else_value,
+        } => {
             let mut s = String::from("CASE");
             for (c, v) in branches {
                 let _ = write!(s, " WHEN {} THEN {}", print_expr(c), print_expr(v));
@@ -317,8 +377,13 @@ fn print_literal(l: &Literal) -> String {
 /// word must be double-quoted to survive a round trip.
 fn ident(name: &str) -> String {
     let plain = !name.is_empty()
-        && name.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c == '_')
-        && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
         && crate::token::Keyword::from_upper(&name.to_ascii_uppercase()).is_none();
     if plain {
         name.to_string()
@@ -374,8 +439,12 @@ mod tests {
     #[test]
     fn roundtrip_expressions() {
         roundtrip_query("SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t");
-        roundtrip_query("SELECT COUNT(*), SUM(a), COUNT(DISTINCT b) FROM t GROUP BY c HAVING COUNT(*) > 1");
-        roundtrip_query("SELECT a FROM t WHERE a BETWEEN 1 AND 2 OR b NOT LIKE 'x%' AND c IS NOT NULL");
+        roundtrip_query(
+            "SELECT COUNT(*), SUM(a), COUNT(DISTINCT b) FROM t GROUP BY c HAVING COUNT(*) > 1",
+        );
+        roundtrip_query(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 2 OR b NOT LIKE 'x%' AND c IS NOT NULL",
+        );
         roundtrip_query("SELECT -a, -1, 2.5, 'it''s', NULL, TRUE FROM t WHERE a % 2 = 0");
     }
 

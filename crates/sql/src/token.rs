@@ -24,8 +24,10 @@ pub enum TokenKind {
     QuotedIdent(String),
     /// A recognised SQL keyword (upper-cased).
     Keyword(Keyword),
-    /// Integer literal.
-    Int(i64),
+    /// Integer literal: the unsigned magnitude as written. The parser
+    /// applies any leading minus, so `-9223372036854775808` (`i64::MIN`,
+    /// whose magnitude does not fit in `i64`) round-trips.
+    Int(u64),
     /// Floating point literal.
     Float(f64),
     /// Single-quoted string literal with escapes resolved.
@@ -202,7 +204,12 @@ mod tests {
 
     #[test]
     fn keyword_lookup_roundtrip() {
-        for kw in [Keyword::Select, Keyword::From, Keyword::Where, Keyword::Union] {
+        for kw in [
+            Keyword::Select,
+            Keyword::From,
+            Keyword::Where,
+            Keyword::Union,
+        ] {
             assert_eq!(Keyword::from_upper(kw.text()), Some(kw));
         }
     }
@@ -210,7 +217,11 @@ mod tests {
     #[test]
     fn keyword_lookup_rejects_identifiers() {
         assert_eq!(Keyword::from_upper("EMP"), None);
-        assert_eq!(Keyword::from_upper("select"), None, "lookup expects upper case");
+        assert_eq!(
+            Keyword::from_upper("select"),
+            None,
+            "lookup expects upper case"
+        );
     }
 
     #[test]

@@ -36,17 +36,39 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinaryOp::And), Just(BinaryOp::Or), Just(BinaryOp::Eq),
-                Just(BinaryOp::Neq), Just(BinaryOp::Lt), Just(BinaryOp::Le),
-                Just(BinaryOp::Gt), Just(BinaryOp::Ge), Just(BinaryOp::Add),
-                Just(BinaryOp::Sub), Just(BinaryOp::Mul), Just(BinaryOp::Div),
-                Just(BinaryOp::Mod), Just(BinaryOp::Concat),
-            ])
-                .prop_map(|(l, r, op)| Expr::Binary { op, left: Box::new(l), right: Box::new(r) }),
-            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
-            (inner.clone(), any::<bool>())
-                .prop_map(|(e, n)| Expr::IsNull { expr: Box::new(e), negated: n }),
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinaryOp::And),
+                    Just(BinaryOp::Or),
+                    Just(BinaryOp::Eq),
+                    Just(BinaryOp::Neq),
+                    Just(BinaryOp::Lt),
+                    Just(BinaryOp::Le),
+                    Just(BinaryOp::Gt),
+                    Just(BinaryOp::Ge),
+                    Just(BinaryOp::Add),
+                    Just(BinaryOp::Sub),
+                    Just(BinaryOp::Mul),
+                    Just(BinaryOp::Div),
+                    Just(BinaryOp::Mod),
+                    Just(BinaryOp::Concat),
+                ]
+            )
+                .prop_map(|(l, r, op)| Expr::Binary {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r)
+                }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e)
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, n)| Expr::IsNull {
+                expr: Box::new(e),
+                negated: n
+            }),
             (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
                 |(e, lo, hi, n)| Expr::Between {
                     expr: Box::new(e),
@@ -55,8 +77,16 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     negated: n
                 }
             ),
-            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>())
-                .prop_map(|(e, list, n)| Expr::InList { expr: Box::new(e), list, negated: n }),
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, n)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated: n
+                }),
             (
                 prop::collection::vec((inner.clone(), inner.clone()), 1..3),
                 prop::option::of(inner.clone())
@@ -105,9 +135,16 @@ fn arb_select_core() -> impl Strategy<Value = SelectCore> {
 fn arb_query() -> impl Strategy<Value = Query> {
     let leaf = arb_select_core().prop_map(|c| Query::Select(Box::new(c)));
     leaf.prop_recursive(2, 6, 2, |inner| {
-        (inner.clone(), inner, prop_oneof![
-            Just(SetOp::Union), Just(SetOp::Except), Just(SetOp::Intersect)
-        ], any::<bool>())
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![
+                Just(SetOp::Union),
+                Just(SetOp::Except),
+                Just(SetOp::Intersect)
+            ],
+            any::<bool>(),
+        )
             .prop_map(|(l, r, op, all)| Query::SetOp {
                 op,
                 all,

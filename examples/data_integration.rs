@@ -9,9 +9,9 @@
 //!
 //! Run with: `cargo run --example data_integration`
 
-use hippo::cqa::prelude::*;
-use hippo::cqa::naive::conflict_free_answers;
 use hippo::cqa::detect::detect_conflicts;
+use hippo::cqa::naive::conflict_free_answers;
+use hippo::cqa::prelude::*;
 
 fn main() {
     let workload = IntegrationWorkload {
@@ -23,7 +23,8 @@ fn main() {
     let db = workload.build().unwrap();
     let constraint = workload.constraint();
 
-    let (graph, dstats) = detect_conflicts(db.catalog(), &[constraint.clone()]).unwrap();
+    let (graph, dstats) =
+        detect_conflicts(db.catalog(), std::slice::from_ref(&constraint)).unwrap();
     println!(
         "integrated ledger: {} rows, {} conflicting rows in {} conflicts (detected in {:?})",
         db.catalog().table("ledger").unwrap().len(),
@@ -47,7 +48,10 @@ fn main() {
 
     // Compare against the "delete conflicting rows" approach (demo part 1):
     let strawman = conflict_free_answers(&q, hippo.db().catalog(), hippo.graph());
-    println!("same query on the conflict-free instance: {} rows", strawman.len());
+    println!(
+        "same query on the conflict-free instance: {} rows",
+        strawman.len()
+    );
 
     // Disjunctive information: accounts whose balance is, in every repair,
     // either below 1000 or above 90000 (union query — the class where the
@@ -56,7 +60,10 @@ fn main() {
         .select(Pred::cmp_const(1, CmpOp::Lt, 1_000i64))
         .union(SjudQuery::rel("ledger").select(Pred::cmp_const(1, CmpOp::Gt, 90_000i64)));
     let answers = hippo.consistent_answers(&q).unwrap();
-    println!("\nextreme balances (union query): {} consistent rows", answers.len());
+    println!(
+        "\nextreme balances (union query): {} consistent rows",
+        answers.len()
+    );
     match hippo::cqa::rewrite::rewrite_query(&q, hippo.constraints(), hippo.db().catalog()) {
         Err(e) => println!("query rewriting on the same query: {e}"),
         Ok(_) => unreachable!("unions are outside the rewriting class"),

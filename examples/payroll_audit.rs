@@ -12,7 +12,8 @@ use std::time::Instant;
 
 fn build_db() -> Database {
     let mut db = Database::new();
-    db.execute("CREATE TABLE payroll (emp TEXT, salary INT, dept TEXT)").unwrap();
+    db.execute("CREATE TABLE payroll (emp TEXT, salary INT, dept TEXT)")
+        .unwrap();
     // Seeded, small instance with a handful of FD violations on emp.
     let rows: Vec<(&str, i64, &str)> = vec![
         ("ann", 1200, "cs"),
@@ -65,7 +66,11 @@ fn main() {
     // Query rewriting.
     let t = Instant::now();
     let rewritten = rewritten_answers(&q, &constraints, &db).unwrap();
-    println!("query rewriting (ABC'99) : {} answers in {:?}", rewritten.len(), t.elapsed());
+    println!(
+        "query rewriting (ABC'99) : {} answers in {:?}",
+        rewritten.len(),
+        t.elapsed()
+    );
     assert_eq!(rewritten, truth);
 
     // Hippo at each optimization level.
@@ -92,8 +97,12 @@ fn main() {
     // salary totals are uncertain, but provably bounded over all repairs.
     use hippo::cqa::aggregate::{range_aggregate_fd, AggOp};
     let db = build_db();
-    for (label, op) in [("COUNT(*)", AggOp::Count), ("SUM(salary)", AggOp::Sum),
-                        ("MIN(salary)", AggOp::Min), ("MAX(salary)", AggOp::Max)] {
+    for (label, op) in [
+        ("COUNT(*)", AggOp::Count),
+        ("SUM(salary)", AggOp::Sum),
+        ("MIN(salary)", AggOp::Min),
+        ("MAX(salary)", AggOp::Max),
+    ] {
         let r = range_aggregate_fd(db.catalog(), "payroll", &[0], 1, 1, op).unwrap();
         println!("range-consistent {label}: [{}, {}]", r.glb, r.lub);
     }

@@ -9,7 +9,8 @@ fn main() {
     // An employee table with an integrity problem: ann appears with two
     // different salaries, violating the functional dependency name → salary.
     let mut db = Database::new();
-    db.execute("CREATE TABLE emp (name TEXT, salary INT)").unwrap();
+    db.execute("CREATE TABLE emp (name TEXT, salary INT)")
+        .unwrap();
     db.execute(
         "INSERT INTO emp VALUES \
          ('ann', 100), ('ann', 200), ('bob', 300), ('cyd', 150)",
@@ -19,9 +20,11 @@ fn main() {
     let fd = DenialConstraint::functional_dependency("emp", &[0], 1);
     let hippo = Hippo::new(db, vec![fd]).unwrap();
 
-    println!("conflict hypergraph: {} edge(s), {} conflicting tuple(s)",
+    println!(
+        "conflict hypergraph: {} edge(s), {} conflicting tuple(s)",
         hippo.graph().edge_count(),
-        hippo.graph().conflicting_vertex_count());
+        hippo.graph().conflicting_vertex_count()
+    );
 
     // Query 1: the whole relation. Only tuples true in EVERY repair count.
     let q = SjudQuery::rel("emp");
@@ -56,7 +59,9 @@ fn main() {
     println!("\nvia SQL text: {} consistent rows", answers.len());
 
     // Statistics of a run.
-    let (_, stats) = hippo.consistent_answers_with_stats(&SjudQuery::rel("emp")).unwrap();
+    let (_, stats) = hippo
+        .consistent_answers_with_stats(&SjudQuery::rel("emp"))
+        .unwrap();
     println!(
         "\nrun stats: {} candidates, {} prover calls, {} answers ({:?} total)",
         stats.candidates, stats.prover_calls, stats.answers, stats.t_total

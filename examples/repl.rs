@@ -34,10 +34,12 @@ fn main() {
         } else if let Some(rest) = line.strip_prefix(".fd ") {
             let parts: Vec<&str> = rest.split_whitespace().collect();
             if parts.len() == 3 {
-                if let (Ok(lhs), Ok(rhs)) = (parts[1].parse::<usize>(), parts[2].parse::<usize>())
-                {
-                    constraints
-                        .push(DenialConstraint::functional_dependency(parts[0], &[lhs], rhs));
+                if let (Ok(lhs), Ok(rhs)) = (parts[1].parse::<usize>(), parts[2].parse::<usize>()) {
+                    constraints.push(DenialConstraint::functional_dependency(
+                        parts[0],
+                        &[lhs],
+                        rhs,
+                    ));
                     println!("added FD {}:{} -> {}", parts[0], lhs, rhs);
                 } else {
                     println!("usage: .fd <table> <lhs-col> <rhs-col>");
@@ -46,9 +48,9 @@ fn main() {
                 println!("usage: .fd <table> <lhs-col> <rhs-col>");
             }
         } else if line == ".detect" {
-            let d = db.take().unwrap_or_else(|| {
-                hippo.take().map(|_| Database::new()).unwrap_or_default()
-            });
+            let d = db
+                .take()
+                .unwrap_or_else(|| hippo.take().map(Hippo::into_database).unwrap_or_default());
             match Hippo::new(d, constraints.clone()) {
                 Ok(h) => {
                     println!(
@@ -84,8 +86,7 @@ fn main() {
                     Ok(ExecResult::Rows(r)) => {
                         println!("{}", r.columns.join(" | "));
                         for row in &r.rows {
-                            let cells: Vec<String> =
-                                row.iter().map(ToString::to_string).collect();
+                            let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
                             println!("{}", cells.join(" | "));
                         }
                         println!("({} rows)", r.rows.len());

@@ -16,18 +16,31 @@ use rand::{Rng, SeedableRng};
 
 fn main() {
     let mut db = Database::new();
-    db.execute("CREATE TABLE readings (sensor INT, epoch INT, reading INT)").unwrap();
+    db.execute("CREATE TABLE readings (sensor INT, epoch INT, reading INT)")
+        .unwrap();
 
     let mut rng = StdRng::seed_from_u64(7);
     let mut rows = Vec::new();
     for sensor in 0..20i64 {
         for epoch in 0..50i64 {
             let reading = rng.gen_range(0..100);
-            rows.push(vec![Value::Int(sensor), Value::Int(epoch), Value::Int(reading)]);
+            rows.push(vec![
+                Value::Int(sensor),
+                Value::Int(epoch),
+                Value::Int(reading),
+            ]);
             // 5% retransmissions, half of them corrupted.
             if rng.gen_bool(0.05) {
-                let corrupted = if rng.gen_bool(0.5) { reading + 1000 } else { reading };
-                rows.push(vec![Value::Int(sensor), Value::Int(epoch), Value::Int(corrupted)]);
+                let corrupted = if rng.gen_bool(0.5) {
+                    reading + 1000
+                } else {
+                    reading
+                };
+                rows.push(vec![
+                    Value::Int(sensor),
+                    Value::Int(epoch),
+                    Value::Int(corrupted),
+                ]);
             }
         }
     }
@@ -70,8 +83,11 @@ fn main() {
 
     // Difference query: epochs that consistently have NO alarm-level
     // reading — `readings − σ(reading ≥ 95) readings` restricted by hand.
-    let q = SjudQuery::rel("readings")
-        .diff(SjudQuery::rel("readings").select(Pred::cmp_const(2, CmpOp::Ge, 95i64)));
+    let q = SjudQuery::rel("readings").diff(SjudQuery::rel("readings").select(Pred::cmp_const(
+        2,
+        CmpOp::Ge,
+        95i64,
+    )));
     let answers = hippo.consistent_answers(&q).unwrap();
     println!("rows certainly below alarm level: {}", answers.len());
 }

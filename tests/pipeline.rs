@@ -9,9 +9,11 @@ use hippo::engine::{Database, Value};
 
 fn emp_db(rows: &[(&str, i64)]) -> Database {
     let mut db = Database::new();
-    db.execute("CREATE TABLE emp (name TEXT, salary INT)").unwrap();
+    db.execute("CREATE TABLE emp (name TEXT, salary INT)")
+        .unwrap();
     for (n, s) in rows {
-        db.execute(&format!("INSERT INTO emp VALUES ('{n}', {s})")).unwrap();
+        db.execute(&format!("INSERT INTO emp VALUES ('{n}', {s})"))
+            .unwrap();
     }
     db
 }
@@ -28,12 +30,17 @@ fn f1_pipeline_end_to_end() {
     assert!(hippo.detect_stats().combinations_checked > 0);
 
     // Stage 2+3: envelope is produced as SQL and evaluated by the engine.
-    let q = SjudQuery::rel("emp").diff(
-        SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Lt, 150i64)),
-    );
+    let q = SjudQuery::rel("emp").diff(SjudQuery::rel("emp").select(Pred::cmp_const(
+        1,
+        CmpOp::Lt,
+        150i64,
+    )));
     let env = envelope(&q);
     let env_sql = env.to_sql(hippo.db().catalog()).unwrap();
-    assert!(env_sql.contains("SELECT"), "envelope ships as SQL: {env_sql}");
+    assert!(
+        env_sql.contains("SELECT"),
+        "envelope ships as SQL: {env_sql}"
+    );
     let candidates = hippo.db().query(&env_sql).unwrap();
     assert_eq!(candidates.rows.len(), 3, "envelope drops the subtrahend");
 
@@ -55,8 +62,11 @@ fn all_strategies_agree_where_applicable() {
     let queries = vec![
         SjudQuery::rel("emp"),
         SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Ge, 250i64)),
-        SjudQuery::rel("emp")
-            .diff(SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Lt, 250i64))),
+        SjudQuery::rel("emp").diff(SjudQuery::rel("emp").select(Pred::cmp_const(
+            1,
+            CmpOp::Lt,
+            250i64,
+        ))),
     ];
     for q in queries {
         let db = emp_db(&rows);
@@ -64,7 +74,11 @@ fn all_strategies_agree_where_applicable() {
         let truth = naive_consistent_answers(&q, db.catalog(), &g);
         let rewritten = rewritten_answers(&q, &constraints, &db).unwrap();
         assert_eq!(rewritten, truth, "rewriting vs truth for {q}");
-        for opts in [HippoOptions::base(), HippoOptions::kg(), HippoOptions::full()] {
+        for opts in [
+            HippoOptions::base(),
+            HippoOptions::kg(),
+            HippoOptions::full(),
+        ] {
             let hippo = Hippo::with_options(emp_db(&rows), constraints.clone(), opts).unwrap();
             assert_eq!(hippo.consistent_answers(&q).unwrap(), truth, "{q} {opts:?}");
         }
@@ -74,8 +88,9 @@ fn all_strategies_agree_where_applicable() {
 #[test]
 fn d1_cqa_between_strawman_and_plain_for_monotone_queries() {
     // For monotone (SJU) queries: strawman ⊆ consistent ⊆ plain.
-    let rows: Vec<(String, i64)> =
-        (0..40).map(|i| (format!("e{}", i % 25), 100 + (i * 53) % 500)).collect();
+    let rows: Vec<(String, i64)> = (0..40)
+        .map(|i| (format!("e{}", i % 25), 100 + (i * 53) % 500))
+        .collect();
     let rows: Vec<(&str, i64)> = rows.iter().map(|(n, s)| (n.as_str(), *s)).collect();
     let db = emp_db(&rows);
     let constraints = vec![DenialConstraint::functional_dependency("emp", &[0], 1)];
@@ -89,22 +104,28 @@ fn d1_cqa_between_strawman_and_plain_for_monotone_queries() {
         assert!(cqa.contains(r), "strawman row {r:?} must be consistent");
     }
     for r in &cqa {
-        assert!(plain.contains(r), "consistent row {r:?} must be a plain answer");
+        assert!(
+            plain.contains(r),
+            "consistent row {r:?} must be a plain answer"
+        );
     }
 }
 
 #[test]
 fn exclusion_and_fd_mix_three_relations() {
     let mut db = Database::new();
-    db.execute("CREATE TABLE staff (name TEXT, grade INT)").unwrap();
-    db.execute("CREATE TABLE external (name TEXT, org TEXT)").unwrap();
-    db.execute("CREATE TABLE audit (name TEXT, grade INT)").unwrap();
-    db.execute(
-        "INSERT INTO staff VALUES ('ann', 1), ('ann', 2), ('bob', 3), ('cyd', 4)",
-    )
-    .unwrap();
-    db.execute("INSERT INTO external VALUES ('cyd', 'acme'), ('dee', 'evil')").unwrap();
-    db.execute("INSERT INTO audit VALUES ('ann', 1), ('bob', 3)").unwrap();
+    db.execute("CREATE TABLE staff (name TEXT, grade INT)")
+        .unwrap();
+    db.execute("CREATE TABLE external (name TEXT, org TEXT)")
+        .unwrap();
+    db.execute("CREATE TABLE audit (name TEXT, grade INT)")
+        .unwrap();
+    db.execute("INSERT INTO staff VALUES ('ann', 1), ('ann', 2), ('bob', 3), ('cyd', 4)")
+        .unwrap();
+    db.execute("INSERT INTO external VALUES ('cyd', 'acme'), ('dee', 'evil')")
+        .unwrap();
+    db.execute("INSERT INTO audit VALUES ('ann', 1), ('bob', 3)")
+        .unwrap();
 
     let constraints = vec![
         DenialConstraint::functional_dependency("staff", &[0], 1),
@@ -148,7 +169,10 @@ fn mutation_then_redetect_keeps_answers_correct() {
     let q = SjudQuery::rel("emp");
     assert_eq!(hippo.consistent_answers(&q).unwrap().len(), 2);
 
-    hippo.db_mut().execute("INSERT INTO emp VALUES ('bob', 999)").unwrap();
+    hippo
+        .db_mut()
+        .execute("INSERT INTO emp VALUES ('bob', 999)")
+        .unwrap();
     hippo.redetect().unwrap();
     let answers = hippo.consistent_answers(&q).unwrap();
     assert_eq!(answers, vec![vec![Value::text("ann"), Value::Int(100)]]);
@@ -161,13 +185,15 @@ fn large_consistent_instance_fast_path() {
     // 5k rows, no conflicts: everything flows through the core filter.
     let mut db = Database::new();
     db.execute("CREATE TABLE big (k INT, v INT)").unwrap();
-    let rows: Vec<Vec<Value>> =
-        (0..5000).map(|i| vec![Value::Int(i), Value::Int(i * 7)]).collect();
+    let rows: Vec<Vec<Value>> = (0..5000)
+        .map(|i| vec![Value::Int(i), Value::Int(i * 7)])
+        .collect();
     db.insert_rows("big", rows).unwrap();
     let fd = DenialConstraint::functional_dependency("big", &[0], 1);
     let hippo = Hippo::new(db, vec![fd]).unwrap();
-    let (answers, stats) =
-        hippo.consistent_answers_with_stats(&SjudQuery::rel("big")).unwrap();
+    let (answers, stats) = hippo
+        .consistent_answers_with_stats(&SjudQuery::rel("big"))
+        .unwrap();
     assert_eq!(answers.len(), 5000);
     assert_eq!(stats.prover_calls, 0);
     assert_eq!(stats.filtered_consistent, 5000);

@@ -23,12 +23,16 @@ fn arb_instance() -> impl Strategy<Value = Vec<(i64, i64)>> {
 
 fn build_db(rows: &[(i64, i64)]) -> Database {
     let mut db = Database::new();
-    db.execute("CREATE TABLE emp (name INT, salary INT)").unwrap();
+    db.execute("CREATE TABLE emp (name INT, salary INT)")
+        .unwrap();
     // Deduplicate: the theory assumes set instances.
     let unique: HashSet<(i64, i64)> = rows.iter().copied().collect();
     db.insert_rows(
         "emp",
-        unique.into_iter().map(|(n, s)| vec![Value::Int(n), Value::Int(s)]).collect(),
+        unique
+            .into_iter()
+            .map(|(n, s)| vec![Value::Int(n), Value::Int(s)])
+            .collect(),
     )
     .unwrap();
     db
@@ -39,17 +43,15 @@ fn arb_query() -> impl Strategy<Value = SjudQuery> {
     let leaf = Just(SjudQuery::rel("emp"));
     leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
-            (inner.clone(), 0i64..4).prop_map(|(q, c)| q
-                .select(Pred::cmp_const(1, CmpOp::Ge, c))),
-            (inner.clone(), 0i64..6).prop_map(|(q, c)| q
-                .select(Pred::cmp_const(0, CmpOp::Eq, c))),
+            (inner.clone(), 0i64..4).prop_map(|(q, c)| q.select(Pred::cmp_const(1, CmpOp::Ge, c))),
+            (inner.clone(), 0i64..6).prop_map(|(q, c)| q.select(Pred::cmp_const(0, CmpOp::Eq, c))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.diff(b)),
             inner.clone().prop_map(|q| q.permute(vec![1, 0])),
         ]
     })
     // Keep arity 2 everywhere: unions/diffs of same-shaped subqueries.
-    .prop_filter("arity-2 only", |q| query_arity_ok(q))
+    .prop_filter("arity-2 only", query_arity_ok)
 }
 
 fn query_arity_ok(q: &SjudQuery) -> bool {
@@ -204,7 +206,9 @@ proptest! {
 
 /// Two-relation instances with an FD on `emp` plus an exclusion constraint
 /// between `emp` and `ban` — cross-relation hyperedges.
-fn arb_two_rel() -> impl Strategy<Value = (Vec<(i64, i64)>, Vec<(i64, i64)>)> {
+type TwoRelRows = (Vec<(i64, i64)>, Vec<(i64, i64)>);
+
+fn arb_two_rel() -> impl Strategy<Value = TwoRelRows> {
     (
         prop::collection::vec((0i64..5, 0i64..3), 0..9),
         prop::collection::vec((0i64..5, 0i64..3), 0..5),
@@ -213,11 +217,14 @@ fn arb_two_rel() -> impl Strategy<Value = (Vec<(i64, i64)>, Vec<(i64, i64)>)> {
 
 fn build_two_rel_db(emp: &[(i64, i64)], ban: &[(i64, i64)]) -> Database {
     let mut db = Database::new();
-    db.execute("CREATE TABLE emp (name INT, salary INT)").unwrap();
+    db.execute("CREATE TABLE emp (name INT, salary INT)")
+        .unwrap();
     db.execute("CREATE TABLE ban (name INT, why INT)").unwrap();
     let dedup = |rows: &[(i64, i64)]| -> Vec<Vec<Value>> {
         let u: HashSet<(i64, i64)> = rows.iter().copied().collect();
-        u.into_iter().map(|(a, b)| vec![Value::Int(a), Value::Int(b)]).collect()
+        u.into_iter()
+            .map(|(a, b)| vec![Value::Int(a), Value::Int(b)])
+            .collect()
     };
     db.insert_rows("emp", dedup(emp)).unwrap();
     db.insert_rows("ban", dedup(ban)).unwrap();

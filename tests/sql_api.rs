@@ -8,10 +8,13 @@ use hippo::engine::{Database, Value};
 
 fn inventory_db() -> Database {
     let mut db = Database::new();
-    db.execute("CREATE TABLE parts (pid INT, weight INT)").unwrap();
+    db.execute("CREATE TABLE parts (pid INT, weight INT)")
+        .unwrap();
     db.execute("CREATE TABLE stock (pid INT, qty INT)").unwrap();
-    db.execute("INSERT INTO parts VALUES (1, 10), (1, 12), (2, 20), (3, 30)").unwrap();
-    db.execute("INSERT INTO stock VALUES (1, 5), (2, 7), (9, 1)").unwrap();
+    db.execute("INSERT INTO parts VALUES (1, 10), (1, 12), (2, 20), (3, 30)")
+        .unwrap();
+    db.execute("INSERT INTO stock VALUES (1, 5), (2, 7), (9, 1)")
+        .unwrap();
     db
 }
 
@@ -57,10 +60,17 @@ fn sql_text_to_consistent_answers() {
 #[test]
 fn sql_outside_class_is_rejected_with_explanation() {
     let hippo = Hippo::new(inventory_db(), vec![]).unwrap();
-    let err = hippo.consistent_answers_sql("SELECT pid FROM parts").unwrap_err();
+    let err = hippo
+        .consistent_answers_sql("SELECT pid FROM parts")
+        .unwrap_err();
     assert!(err.message.contains("existential"), "{err}");
-    let err = hippo.consistent_answers_sql("SELECT COUNT(*) FROM parts").unwrap_err();
-    assert!(err.message.contains("SJUD") || err.message.contains("plain columns"), "{err}");
+    let err = hippo
+        .consistent_answers_sql("SELECT COUNT(*) FROM parts")
+        .unwrap_err();
+    assert!(
+        err.message.contains("SJUD") || err.message.contains("plain columns"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -72,15 +82,19 @@ fn foreign_keys_combine_with_fds_end_to_end() {
     let mut db = inventory_db();
     db.execute("CREATE TABLE suppliers (sid INT)").unwrap();
     db.execute("INSERT INTO suppliers VALUES (1), (2)").unwrap();
-    db.execute("CREATE TABLE shipments (sid INT, pid INT)").unwrap();
-    db.execute("INSERT INTO shipments VALUES (1, 1), (2, 2), (7, 3)").unwrap();
+    db.execute("CREATE TABLE shipments (sid INT, pid INT)")
+        .unwrap();
+    db.execute("INSERT INTO shipments VALUES (1, 1), (2, 2), (7, 3)")
+        .unwrap();
 
     let fks = vec![ForeignKey::new("shipments", vec![0], "suppliers", vec![0])];
     let hippo = Hippo::with_foreign_keys(db, constraints, fks).unwrap();
 
     // Shipment (7,3) is orphaned (supplier 7 does not exist): a singleton
     // edge, so it is in no repair.
-    let answers = hippo.consistent_answers(&SjudQuery::rel("shipments")).unwrap();
+    let answers = hippo
+        .consistent_answers(&SjudQuery::rel("shipments"))
+        .unwrap();
     assert_eq!(answers.len(), 2);
     assert!(answers.iter().all(|r| r[0] != Value::Int(7)));
 

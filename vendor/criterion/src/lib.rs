@@ -1,0 +1,278 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion 0.5 API the Hippo benches use —
+//! groups, `sample_size`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, the `criterion_group!` / `criterion_main!` macros and
+//! `black_box` — with a plain warmup + sampled timing loop instead of
+//! criterion's statistical machinery. Each sample runs the closure enough
+//! times to exceed a minimum measurable duration; min / mean / median over
+//! samples are printed one line per benchmark:
+//!
+//! ```text
+//! e4_detect/fd_fast_path/1000  min 1.021ms  mean 1.043ms  median 1.038ms  (10 samples)
+//! ```
+//!
+//! Unknown CLI arguments (`--bench`, filters) are accepted and ignored so
+//! `cargo bench` invocations behave.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Create an id from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// The timing loop driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration durations (seconds).
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, storing per-iteration durations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that runs ≥ ~5ms
+        // so timer quantization stays below 1%.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 2;
+        };
+        // Aim each sample at ~10ms of work.
+        let iters_per_sample = ((0.010 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.results
+                .push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3}µs", secs * 1e6)
+    } else {
+        format!("{:.1}ns", secs * 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in has no global time cap.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        self.criterion.report(&full, &mut b.results);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Parse CLI args the way `cargo bench` invokes bench binaries: a bare
+    /// string argument is a substring filter; flags are ignored.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--bench" || a == "--test" || a.starts_with("--") {
+                // Flags (and possible values for known value-flags) ignored.
+                if a == "--sample-size" || a == "--measurement-time" || a == "--warm-up-time" {
+                    let _ = args.next();
+                }
+            } else {
+                self.filter = Some(a);
+            }
+        }
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+
+    fn report(&mut self, name: &str, results: &mut [f64]) {
+        if results.is_empty() {
+            return;
+        }
+        results.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = results[0];
+        let mean = results.iter().sum::<f64>() / results.len() as f64;
+        let median = results[results.len() / 2];
+        println!(
+            "{name}  min {}  mean {}  median {}  ({} samples)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(median),
+            results.len(),
+        );
+    }
+
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let name = name.to_string();
+        if self.matches(&name) {
+            let mut b = Bencher {
+                samples: 20,
+                results: Vec::new(),
+            };
+            f(&mut b);
+            self.report(&name, &mut b.results);
+        }
+        self
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function("busy", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(ran > 0, "closure executed");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).name, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+}

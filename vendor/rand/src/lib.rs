@@ -1,0 +1,210 @@
+//! Offline stand-in for the `rand` crate, 0.8 API subset (see
+//! `vendor/README.md`).
+//!
+//! Provides exactly what the Hippo workloads use: a seedable deterministic
+//! generator (`rngs::StdRng`, here xoshiro256++ seeded via SplitMix64) and
+//! the `Rng::gen_range` / `Rng::gen_bool` methods. Streams differ from the
+//! real `rand::rngs::StdRng` (which is ChaCha12), but every consumer in
+//! this repo only relies on *determinism given a seed*, not on specific
+//! stream values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core randomness source: 64 random bits at a time.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding; only the `seed_from_u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Sample uniformly from `[low, high)`; callers guarantee `low < high`.
+    fn sample(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample(rng: &mut dyn RngCore, low: $t, high: $t) -> $t {
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                debug_assert!(span > 0, "gen_range called with empty range");
+                // Lemire's widening-multiply reduction: maps 64 random bits
+                // onto [0, span) with negligible bias for the spans used here.
+                let offset = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (low as $wide).wrapping_add(offset as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample(rng: &mut dyn RngCore, low: f64, high: f64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+}
+
+/// Range argument forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_sample_range_inclusive {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "gen_range: empty inclusive range");
+                if high < <$t>::MAX {
+                    <$t>::sample(rng, low, high + 1)
+                } else if low > <$t>::MIN {
+                    <$t>::sample(rng, low - 1, high) + 1
+                } else {
+                    // Full domain: raw bits.
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_range_inclusive!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`0..n` or `0..=n` forms).
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        f64::sample(self, 0.0, 1.0) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seedable generator (xoshiro256++ core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000), b.gen_range(0..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let a_vals: Vec<i64> = (0..10).map(|_| a.gen_range(0i64..1000)).collect();
+        let c_vals: Vec<i64> = (0..10).map(|_| c.gen_range(0i64..1000)).collect();
+        assert_ne!(a_vals, c_vals, "different seeds diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-10i64..10);
+            assert!((-10..10).contains(&v));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+            let i = rng.gen_range(5u32..=6);
+            assert!((5..=6).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "≈25% of 10k, got {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

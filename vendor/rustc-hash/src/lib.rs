@@ -1,0 +1,111 @@
+//! Offline stand-in for the `rustc-hash` crate (see `vendor/README.md`).
+//!
+//! Implements the Fx hash scheme used throughout rustc: a non-cryptographic
+//! multiply-rotate hash that is extremely fast on short keys (integers,
+//! small tuples, short value vectors) because it does one rotate + xor +
+//! multiply per 8-byte word and has no finalization step. This is exactly
+//! the profile of the Hippo hot paths (vertex ids, fact rows, join keys),
+//! which is why the conflict-hypergraph code asks for `FxHashMap` rather
+//! than the DoS-resistant-but-slower SipHash default.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplier (high-entropy odd constant, `π`-derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<(u32, u32), &str> = FxHashMap::default();
+        m.insert((1, 2), "a");
+        m.insert((3, 4), "b");
+        assert_eq!(m.get(&(1, 2)), Some(&"a"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            s.insert(i * 31);
+        }
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_spreads() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let hash = |x: u64| b.hash_one(x);
+        assert_eq!(hash(42), hash(42));
+        let distinct: FxHashSet<u64> = (0..10_000u64).map(hash).collect();
+        assert_eq!(distinct.len(), 10_000, "no collisions on small ints");
+    }
+}
