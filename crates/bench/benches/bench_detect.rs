@@ -1,10 +1,12 @@
 //! Criterion bench for experiment **E4**: conflict detection / hypergraph
-//! construction time vs relation size.
+//! construction time vs relation size, plus the PR 2 additions —
+//! worker-thread scaling on the sharded pipeline and incremental
+//! redetection vs full rebuild.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hippo_cqa::detect::detect_conflicts;
+use hippo_cqa::detect::{detect_conflicts, detect_conflicts_with, DetectOptions};
 use hippo_cqa::prelude::*;
-use hippo_engine::Database;
+use hippo_engine::{Database, Value};
 
 fn bench_detect(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_detect");
@@ -30,5 +32,50 @@ fn bench_detect(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_detect);
+/// Worker-thread scaling on the 16k-row FD workload (the shard
+/// decomposition is fixed, so every thread count produces the same
+/// graph).
+fn bench_detect_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_detect_threads");
+    group.sample_size(10);
+    let spec = FdTableSpec::new("t", 16000, 0.02, 80);
+    let mut db = Database::new();
+    spec.populate(&mut db).unwrap();
+    let constraints = [spec.fd()];
+    for &threads in &[1usize, 2, 4, 8] {
+        let opts = DetectOptions::with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("fd_16k", threads), &threads, |b, _| {
+            b.iter(|| detect_conflicts_with(db.catalog(), &constraints, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Incremental redetect (insert one conflicting tuple, reconcile, undo,
+/// reconcile) vs a full rebuild on the same 16k-row instance.
+fn bench_redetect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_redetect");
+    group.sample_size(10);
+    let spec = FdTableSpec::new("t", 16000, 0.02, 80);
+    let mut db = Database::new();
+    spec.populate(&mut db).unwrap();
+    let mut hippo = Hippo::new(db, vec![spec.fd()]).unwrap();
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| hippo.redetect_full().unwrap())
+    });
+    group.bench_function("incremental_insert_delete_roundtrip", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            let row = vec![Value::Int(i % 16000), Value::Int(-1), Value::Int(0)];
+            i += 1;
+            let tids = hippo.insert_tuples("t", vec![row]).unwrap();
+            hippo.redetect().unwrap();
+            hippo.delete_tuples("t", &tids).unwrap();
+            hippo.redetect().unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detect, bench_detect_threads, bench_redetect);
 criterion_main!(benches);

@@ -657,6 +657,97 @@ pub fn e7_repair_blowup(quick: bool) -> Result<Table, Box<dyn std::error::Error>
     Ok(t)
 }
 
+/// E8 — sharded parallel detection: thread scaling on the 16k-row FD
+/// workload, plus incremental redetect vs full rebuild after a
+/// single-tuple insert.
+pub fn e8_parallel(quick: bool) -> Result<Table, Box<dyn std::error::Error>> {
+    use hippo_cqa::detect::{detect_conflicts_with, DetectOptions};
+    let n = 16_000;
+    let reps = if quick { 3 } else { 10 };
+    let mut t = Table::new(
+        "E8",
+        format!("sharded detection thread scaling + incremental redetect (|t|={n}, 2% conflicts)"),
+        &["variant", "threads", "time ms", "speedup", "edges"],
+    );
+    let spec = FdTableSpec::new("t", n, 0.02, 80);
+    let mut db = Database::new();
+    spec.populate(&mut db)?;
+    let constraints = vec![spec.fd()];
+
+    // Thread scaling (fixed shard count — identical output, min-of-reps).
+    let mut single_thread = Duration::ZERO;
+    for &threads in &[1usize, 2, 4, 8] {
+        let opts = DetectOptions::with_threads(threads);
+        let mut best = Duration::MAX;
+        let mut edges = 0;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let (g, _) = detect_conflicts_with(db.catalog(), &constraints, &opts)?;
+            best = best.min(t0.elapsed());
+            edges = g.edge_count();
+        }
+        if threads == 1 {
+            single_thread = best;
+        }
+        t.rows.push(vec![
+            "fd_detect".into(),
+            threads.to_string(),
+            ms(best),
+            format!("{:.2}x", single_thread.as_secs_f64() / best.as_secs_f64()),
+            edges.to_string(),
+        ]);
+    }
+
+    // Incremental redetect after one insert vs a full rebuild.
+    let mut hippo = Hippo::new(db, constraints)?;
+    let mut best_full = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        hippo.redetect_full()?;
+        best_full = best_full.min(t0.elapsed());
+    }
+    t.rows.push(vec![
+        "full_redetect".into(),
+        "-".into(),
+        ms(best_full),
+        "1.00x".into(),
+        hippo.graph().edge_count().to_string(),
+    ]);
+    let mut best_inc = Duration::MAX;
+    let mut edges_inc = 0;
+    for i in 0..reps {
+        // Insert a fresh conflict (v = -1 never occurs in the workload),
+        // time the incremental reconciliation, then undo it.
+        let row = vec![Value::Int(i as i64), Value::Int(-1), Value::Int(0)];
+        let tids = hippo.insert_tuples("t", vec![row])?;
+        let t0 = Instant::now();
+        let stats = hippo.redetect()?;
+        best_inc = best_inc.min(t0.elapsed());
+        assert!(stats.incremental, "delta path expected");
+        edges_inc = hippo.graph().edge_count();
+        hippo.delete_tuples("t", &tids)?;
+        hippo.redetect()?;
+    }
+    t.rows.push(vec![
+        "incremental_redetect_1_insert".into(),
+        "-".into(),
+        ms(best_inc),
+        format!("{:.2}x", best_full.as_secs_f64() / best_inc.as_secs_f64()),
+        edges_inc.to_string(),
+    ]);
+    t.notes.push(
+        "thread rows share one fixed shard decomposition (identical edge ids); speedup \
+         is vs 1 thread and needs real cores — single-CPU environments show ~1x"
+            .into(),
+    );
+    t.notes.push(
+        "incremental redetect copies surviving edges and delta-probes the FD group \
+         index: cost tracks the conflict graph + delta, not the instance"
+            .into(),
+    );
+    Ok(t)
+}
+
 /// Run every experiment; `quick` shrinks sizes for CI.
 pub fn run_all(quick: bool) -> Result<Vec<Table>, Box<dyn std::error::Error>> {
     Ok(vec![
@@ -669,6 +760,7 @@ pub fn run_all(quick: bool) -> Result<Vec<Table>, Box<dyn std::error::Error>> {
         e5_ablation(quick)?,
         e6_envelope(quick)?,
         e7_repair_blowup(quick)?,
+        e8_parallel(quick)?,
     ])
 }
 

@@ -13,22 +13,94 @@
 //! * **General denials** — atoms are joined left-to-right; whenever the
 //!   next atom is linked to an already-bound atom by equality comparisons,
 //!   a pre-sized Fx hash index on those columns replaces the nested-loop
-//!   scan.
+//!   scan. Partial assignments bind `(TupleId, &Row)` pairs, so the join
+//!   never clones a row.
 //!
-//! Edges are pushed straight into the [`ConflictHypergraph`]'s CSR arena
-//! (facts are interned on insert); detection ends with
-//! [`ConflictHypergraph::finalize`], which freezes the vertex→edge
+//! # Shard → merge pipeline
+//!
+//! Both strategies are decomposed into [`DetectOptions::shards`]
+//! deterministic shards executed by a [`crate::parallel`] worker pool:
+//!
+//! * the FD path partitions tuples by the **high bits of their LHS
+//!   hash** (a hash pass over contiguous slot ranges feeds per-shard
+//!   bins, so the expensive hashing itself is parallel), and each shard
+//!   groups and pair-checks its buckets independently — a whole hash
+//!   bucket always lands in exactly one shard;
+//! * the general path partitions the **outer atom's tuple-slot range**
+//!   into contiguous ranges; the per-atom join indexes are built once
+//!   and shared read-only across shards.
+//!
+//! Each shard emits edges into a private
+//! [`crate::hypergraph::EdgeFragment`]; the merge step absorbs fragments
+//! **in shard order** into the [`ConflictHypergraph`], whose chained-hash
+//! table dedups across shards. Shard decomposition depends only on the
+//! data and the shard count — never on the worker count — so edge ids
+//! are bit-identical for any `HIPPO_DETECT_THREADS` setting, and
+//! [`DetectStats`] counters are exact sums over shards. Detection ends
+//! with [`ConflictHypergraph::finalize`], which freezes the vertex→edge
 //! adjacency into its compact offset-array form for the prover's reads.
+//!
+//! The FD grouping pass doubles as the builder of the persistent
+//! [`FdIndex`] (LHS-hash → tuple ids) that [`crate::hippo::Hippo`] keeps
+//! for **incremental redetection**: the `*_delta_*` helpers in this
+//! module probe that index (FDs) or re-run a restricted join (general
+//! denials) against just the inserted tuples instead of the whole
+//! instance.
 
 use crate::constraint::{Comparison, DenialConstraint, Term};
-use crate::hypergraph::{ConflictHypergraph, Vertex};
+use crate::hypergraph::{ConflictHypergraph, EdgeFragment, Vertex};
+use crate::parallel;
 use crate::pred::CmpOp;
-use hippo_engine::{Catalog, EngineError, Row, TupleId, Value};
-use rustc_hash::{FxHashMap, FxHasher};
+use hippo_engine::{Catalog, EngineError, Row, Table, TupleId, Value};
+use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
 use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
-/// Detection statistics (reported by experiment E4).
+/// Default shard count. Fixed (rather than derived from the worker
+/// count) so the shard decomposition — and therefore edge ids — never
+/// change when `HIPPO_DETECT_THREADS` does.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Knobs for one detection run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectOptions {
+    /// Worker threads; `0` = auto (the `HIPPO_DETECT_THREADS`
+    /// environment variable if set, else available parallelism). The
+    /// thread count never affects the produced graph, only wall-clock.
+    pub threads: usize,
+    /// Shard count; `0` = auto ([`DEFAULT_SHARDS`]). The *edge id
+    /// order* (not the edge set) depends on the shard count for FD
+    /// constraints, because hash-range partitioning permutes bucket
+    /// visit order.
+    pub shards: usize,
+}
+
+impl DetectOptions {
+    /// Auto shards, explicit thread count (`0` = auto).
+    pub fn with_threads(threads: usize) -> DetectOptions {
+        DetectOptions { threads, shards: 0 }
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            parallel::detect_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    fn resolved_shards(&self) -> usize {
+        if self.shards == 0 {
+            DEFAULT_SHARDS
+        } else {
+            self.shards
+        }
+    }
+}
+
+/// Detection statistics (reported by experiment E4). Under sharding
+/// every counter is the exact sum of the per-shard counters, and the
+/// totals are independent of both the shard and the thread count.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DetectStats {
     /// Wall-clock time spent detecting.
@@ -37,15 +109,56 @@ pub struct DetectStats {
     pub combinations_checked: usize,
     /// Edges produced (before dedup; the hypergraph dedups internally).
     pub edges_emitted: usize,
+    /// Shards the run was decomposed into (`0` for an incremental delta
+    /// pass, which probes per-tuple instead of sharding the instance).
+    pub shards_used: usize,
+    /// Did this run take the incremental delta path (see
+    /// [`crate::hippo::Hippo::redetect`]) instead of a full detection?
+    pub incremental: bool,
 }
 
-/// Build the conflict hypergraph for `constraints` over the catalog.
+/// Persistent per-FD grouping state: the LHS-hash → tuple-id buckets the
+/// sharded FD pass computed anyway, retained so later inserts/deletes
+/// can be reconciled in O(bucket) instead of O(instance).
+#[derive(Debug, Clone)]
+pub(crate) struct FdIndex {
+    /// Relation the FD constrains.
+    pub rel: String,
+    /// LHS column set.
+    pub lhs: Vec<usize>,
+    /// RHS column.
+    pub rhs: usize,
+    /// LHS-projection hash → live tuple ids carrying that hash, in
+    /// insertion (slot, then arrival) order. Tuples with a NULL LHS
+    /// column are absent (they never participate in FD violations).
+    pub groups: FxHashMap<u64, Vec<TupleId>>,
+}
+
+/// Per-constraint incremental-detection state, parallel to the
+/// constraint list (`None` for non-FD constraints, which are delta-
+/// detected by restricted joins instead of an index).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DetectIndex {
+    pub fd: Vec<Option<FdIndex>>,
+}
+
+/// Build the conflict hypergraph for `constraints` over the catalog,
+/// with default [`DetectOptions`].
 pub fn detect_conflicts(
     catalog: &Catalog,
     constraints: &[DenialConstraint],
 ) -> Result<(ConflictHypergraph, DetectStats), EngineError> {
+    detect_conflicts_with(catalog, constraints, &DetectOptions::default())
+}
+
+/// Build the conflict hypergraph with explicit sharding/threading knobs.
+pub fn detect_conflicts_with(
+    catalog: &Catalog,
+    constraints: &[DenialConstraint],
+    opts: &DetectOptions,
+) -> Result<(ConflictHypergraph, DetectStats), EngineError> {
     let start = Instant::now();
-    let (mut g, mut stats) = detect_conflicts_unfinalized(catalog, constraints)?;
+    let (mut g, mut stats, _) = detect_core(catalog, constraints, opts, false)?;
     // Compact adjacency into CSR form: construction is over, the prover
     // only reads from here on.
     g.finalize();
@@ -60,21 +173,64 @@ pub(crate) fn detect_conflicts_unfinalized(
     catalog: &Catalog,
     constraints: &[DenialConstraint],
 ) -> Result<(ConflictHypergraph, DetectStats), EngineError> {
+    let (g, stats, _) = detect_core(catalog, constraints, &DetectOptions::default(), false)?;
+    Ok((g, stats))
+}
+
+/// Full detection that additionally returns the [`DetectIndex`] the
+/// incremental redetection path needs (finalized graph).
+pub(crate) fn detect_with_index(
+    catalog: &Catalog,
+    constraints: &[DenialConstraint],
+    opts: &DetectOptions,
+) -> Result<(ConflictHypergraph, DetectStats, DetectIndex), EngineError> {
     let start = Instant::now();
+    let (mut g, mut stats, index) = detect_core(catalog, constraints, opts, true)?;
+    g.finalize();
+    stats.elapsed = start.elapsed();
+    Ok((g, stats, index.expect("index requested")))
+}
+
+fn detect_core(
+    catalog: &Catalog,
+    constraints: &[DenialConstraint],
+    opts: &DetectOptions,
+    want_index: bool,
+) -> Result<(ConflictHypergraph, DetectStats, Option<DetectIndex>), EngineError> {
+    let start = Instant::now();
+    let threads = opts.resolved_threads();
+    let shards = opts.resolved_shards();
     let mut g = ConflictHypergraph::new();
-    let mut stats = DetectStats::default();
+    let mut stats = DetectStats {
+        shards_used: shards,
+        ..DetectStats::default()
+    };
     for c in constraints {
         c.validate(catalog)?;
     }
+    let mut index = want_index.then(DetectIndex::default);
     for (ci, c) in constraints.iter().enumerate() {
         if let Some((rel, lhs, rhs)) = as_fd(c) {
-            detect_fd(catalog, &mut g, ci, &rel, &lhs, rhs, &mut stats)?;
+            let groups = detect_fd(
+                catalog, &mut g, ci, &rel, &lhs, rhs, threads, shards, want_index, &mut stats,
+            )?;
+            if let Some(ix) = index.as_mut() {
+                ix.fd.push(Some(FdIndex {
+                    rel,
+                    lhs,
+                    rhs,
+                    groups: groups.unwrap_or_default(),
+                }));
+            }
         } else {
-            detect_general(catalog, &mut g, ci, c, &mut stats)?;
+            detect_general(catalog, &mut g, ci, c, threads, shards, &mut stats)?;
+            if let Some(ix) = index.as_mut() {
+                ix.fd.push(None);
+            }
         }
     }
     stats.elapsed = start.elapsed();
-    Ok((g, stats))
+    Ok((g, stats, index))
 }
 
 /// Recognise the FD pattern: two atoms over the same relation, condition =
@@ -108,6 +264,44 @@ fn as_fd(c: &DenialConstraint) -> Option<(String, Vec<usize>, usize)> {
     rhs.map(|r| (c.atoms[0].clone(), lhs, r))
 }
 
+/// Fx hash of a row's LHS projection; `None` when any LHS column is NULL
+/// (SQL comparison with NULL is unknown, so such rows never violate).
+#[inline]
+fn lhs_hash(row: &Row, lhs: &[usize]) -> Option<u64> {
+    let mut h = FxHasher::default();
+    for &c in lhs {
+        if row[c].is_null() {
+            return None;
+        }
+        row[c].hash(&mut h);
+    }
+    Some(h.finish())
+}
+
+/// Shard of a hash: multiply-shift on the high 32 bits, so the shard
+/// choice is independent of the low bits the grouping hash map consumes.
+#[inline]
+fn shard_of(hash: u64, shards: usize) -> usize {
+    (((hash >> 32) * shards as u64) >> 32) as usize
+}
+
+/// `(lhs_hash, tuple, row)` triple binned to a shard by the FD hash pass.
+type HashedTuple<'a> = (u64, TupleId, &'a Row);
+
+/// Hash-join index of one atom: linked-column key → matching tuples.
+type JoinIndex<'a> = FxHashMap<Vec<Value>, Vec<(TupleId, &'a Row)>>;
+
+/// One FD shard's output.
+struct FdShardOut<'a> {
+    frag: EdgeFragment<'a>,
+    combinations: usize,
+    emitted: usize,
+    groups: FxHashMap<u64, Vec<(TupleId, &'a Row)>>,
+}
+
+/// Sharded FD fast path. Returns the merged LHS-hash → tuple-id index
+/// when `want_index` is set.
+#[allow(clippy::too_many_arguments)]
 fn detect_fd(
     catalog: &Catalog,
     g: &mut ConflictHypergraph,
@@ -115,181 +309,416 @@ fn detect_fd(
     rel: &str,
     lhs: &[usize],
     rhs: usize,
+    threads: usize,
+    shards: usize,
+    want_index: bool,
     stats: &mut DetectStats,
-) -> Result<(), EngineError> {
+) -> Result<Option<FxHashMap<u64, Vec<TupleId>>>, EngineError> {
     let table = catalog.table(rel)?;
     let ri = g.intern(rel);
-    // Group by LHS values — zero-clone: buckets are keyed by the Fx hash
-    // of the LHS projection and pairs re-verify LHS equality, so no key
-    // `Vec<Value>` is ever materialised. (Hash collisions merely co-locate
-    // unrelated rows; the equality check keeps them from pairing.)
-    let mut groups: FxHashMap<u64, Vec<(TupleId, &Row)>> =
-        FxHashMap::with_capacity_and_hasher(table.len(), Default::default());
-    'rows: for (tid, row) in table.iter() {
-        let mut h = FxHasher::default();
-        for &c in lhs {
-            // NULLs in the LHS never participate in FD violations (SQL
-            // comparison with NULL is unknown).
-            if row[c].is_null() {
-                continue 'rows;
-            }
-            row[c].hash(&mut h);
+    // Phase A — parallel hash pass: contiguous slot-range chunks, each
+    // binning `(hash, tid, row)` by shard. Concatenating chunk bins in
+    // chunk order restores slot order, so the chunk count (= thread
+    // count) leaves the per-shard tuple sequence unchanged.
+    let chunks = parallel::split_ranges(table.slot_count(), threads);
+    let bins: Vec<Vec<Vec<HashedTuple>>> = parallel::run_indexed(chunks.len(), threads, |i| {
+        let (lo, hi) = chunks[i];
+        let mut by_shard: Vec<Vec<HashedTuple>> = (0..shards).map(|_| Vec::new()).collect();
+        for slot in lo..hi {
+            let tid = TupleId(slot as u32);
+            let Some(row) = table.get(tid) else { continue };
+            let Some(h) = lhs_hash(row, lhs) else {
+                continue;
+            };
+            by_shard[shard_of(h, shards)].push((h, tid, row));
         }
-        groups.entry(h.finish()).or_default().push((tid, row));
-    }
-    for group in groups.values() {
-        if group.len() < 2 {
-            continue;
-        }
-        // Partition by RHS value; any same-LHS cross-partition pair is an
-        // edge.
-        for (i, (tid_a, row_a)) in group.iter().enumerate() {
-            for (tid_b, row_b) in group.iter().skip(i + 1) {
-                stats.combinations_checked += 1;
-                if lhs.iter().any(|&c| row_a[c] != row_b[c]) {
-                    continue; // hash collision, not a real group-mate
-                }
-                let va = &row_a[rhs];
-                let vb = &row_b[rhs];
-                if va.sql_eq(vb) == Some(false) {
-                    stats.edges_emitted += 1;
-                    g.add_edge(
-                        &[
-                            Vertex {
-                                rel: ri,
-                                tid: *tid_a,
-                            },
-                            Vertex {
-                                rel: ri,
-                                tid: *tid_b,
-                            },
-                        ],
-                        &[row_a, row_b],
-                        ci,
-                    );
-                }
+        by_shard
+    });
+    // Phase B — per shard: group by full hash (zero-clone, keyed by the
+    // hash itself; pairs re-verify LHS equality, which also neutralises
+    // collisions) and emit an edge per RHS-disagreeing same-LHS pair.
+    let outs: Vec<FdShardOut> = parallel::run_indexed(shards, threads, |s| {
+        let n: usize = bins.iter().map(|chunk| chunk[s].len()).sum();
+        let mut groups: FxHashMap<u64, Vec<(TupleId, &Row)>> =
+            FxHashMap::with_capacity_and_hasher(n, Default::default());
+        for chunk in &bins {
+            for &(h, tid, row) in &chunk[s] {
+                groups.entry(h).or_default().push((tid, row));
             }
         }
+        let mut frag = EdgeFragment::new();
+        let mut combinations = 0;
+        let mut emitted = 0;
+        for group in groups.values() {
+            if group.len() < 2 {
+                continue;
+            }
+            for (i, &(tid_a, row_a)) in group.iter().enumerate() {
+                for &(tid_b, row_b) in group.iter().skip(i + 1) {
+                    combinations += 1;
+                    if lhs.iter().any(|&c| row_a[c] != row_b[c]) {
+                        continue; // hash collision, not a real group-mate
+                    }
+                    if row_a[rhs].sql_eq(&row_b[rhs]) == Some(false) {
+                        emitted += 1;
+                        frag.push_edge(
+                            &[
+                                Vertex {
+                                    rel: ri,
+                                    tid: tid_a,
+                                },
+                                Vertex {
+                                    rel: ri,
+                                    tid: tid_b,
+                                },
+                            ],
+                            &[row_a, row_b],
+                            ci,
+                        );
+                    }
+                }
+            }
+        }
+        FdShardOut {
+            frag,
+            combinations,
+            emitted,
+            groups,
+        }
+    });
+    // Deterministic merge: shard order, exact stat sums. Shards
+    // partition the hash space, so index buckets never collide.
+    let mut index =
+        want_index.then(|| FxHashMap::with_capacity_and_hasher(table.len(), Default::default()));
+    for out in outs {
+        stats.combinations_checked += out.combinations;
+        stats.edges_emitted += out.emitted;
+        g.absorb_fragment(&out.frag);
+        if let Some(ix) = index.as_mut() {
+            for (h, members) in out.groups {
+                ix.insert(h, members.into_iter().map(|(tid, _)| tid).collect());
+            }
+        }
     }
-    Ok(())
+    Ok(index)
 }
 
-fn detect_general(
-    catalog: &Catalog,
-    g: &mut ConflictHypergraph,
-    ci: usize,
-    c: &DenialConstraint,
-    stats: &mut DetectStats,
-) -> Result<(), EngineError> {
-    // Intern all atom relations first.
-    let rels: Vec<u32> = c.atoms.iter().map(|r| g.intern(r)).collect();
+/// One join step of a general denial: equality links back to bound atoms
+/// and, when links exist, a shared hash index on the linked columns.
+struct GenAtomStep<'a> {
+    links: Vec<(usize, usize, usize)>, // (bound_atom, bound_col, new_col)
+    index: Option<JoinIndex<'a>>,
+}
 
-    // Materialise each atom's rows (tables are already in memory; this
-    // borrows them).
-    let tables: Vec<&hippo_engine::Table> = c
+/// Resolve tables and build the per-atom join steps (indexes are built
+/// once, then shared read-only across all shards).
+fn build_general_plan<'a>(
+    catalog: &'a Catalog,
+    c: &DenialConstraint,
+) -> Result<(Vec<&'a Table>, Vec<GenAtomStep<'a>>), EngineError> {
+    let tables: Vec<&Table> = c
         .atoms
         .iter()
         .map(|r| catalog.table(r))
         .collect::<Result<_, _>>()?;
-
-    // Bind atoms left to right; each partial assignment is a prefix of
-    // (tuple id, row) bindings. Start from the single empty assignment.
-    let mut current: Vec<Vec<(TupleId, Row)>> = vec![Vec::new()];
-
-    for (atom_idx, table) in tables.iter().enumerate() {
-        // Equalities linking this atom to an already-bound atom.
-        let mut links: Vec<(usize, usize, usize)> = Vec::new(); // (bound_atom, bound_col, new_col)
+    let mut steps = Vec::with_capacity(c.atoms.len());
+    for (atom_idx, &table) in tables.iter().enumerate() {
+        let mut links: Vec<(usize, usize, usize)> = Vec::new();
         for prev in 0..atom_idx {
             for (pc, nc) in c.equalities_between(prev, atom_idx) {
                 links.push((prev, pc, nc));
             }
         }
-        let mut next: Vec<Vec<(TupleId, Row)>> = Vec::new();
-        if links.is_empty() {
-            // Nested loop extension.
-            for assign in &current {
-                for (tid, row) in table.iter() {
-                    stats.combinations_checked += 1;
-                    let mut a = assign.clone();
-                    a.push((tid, row.clone()));
-                    if partial_condition_ok(c, &a) {
-                        next.push(a);
-                    }
-                }
-            }
+        let index = if links.is_empty() {
+            None
         } else {
-            // Hash index on the new atom keyed by the linked columns.
             let key_cols: Vec<usize> = links.iter().map(|&(_, _, nc)| nc).collect();
-            let mut index: FxHashMap<Vec<Value>, Vec<(TupleId, Row)>> =
+            let mut ix: JoinIndex =
                 FxHashMap::with_capacity_and_hasher(table.len(), Default::default());
             for (tid, row) in table.iter() {
-                let key: Vec<Value> = key_cols.iter().map(|&c| row[c].clone()).collect();
+                let key: Vec<Value> = key_cols.iter().map(|&cc| row[cc].clone()).collect();
                 if key.iter().any(Value::is_null) {
                     continue;
                 }
-                index.entry(key).or_default().push((tid, row.clone()));
+                ix.entry(key).or_default().push((tid, row));
             }
+            Some(ix)
+        };
+        steps.push(GenAtomStep { links, index });
+    }
+    Ok((tables, steps))
+}
+
+/// Run the left-to-right join from a seed of outer-atom rows, emitting
+/// every full satisfying assignment as an edge into `frag`. `restrict`
+/// optionally limits one non-outer atom to a tuple-id set (the delta
+/// path). Returns `(combinations, emitted)`.
+#[allow(clippy::too_many_arguments)]
+fn run_general_join<'a>(
+    c: &DenialConstraint,
+    rels: &[u32],
+    tables: &[&'a Table],
+    steps: &[GenAtomStep<'a>],
+    ci: usize,
+    outer: &[(TupleId, &'a Row)],
+    restrict: Option<(usize, &FxHashSet<TupleId>)>,
+    frag: &mut EdgeFragment<'a>,
+) -> (usize, usize) {
+    let mut combinations = 0usize;
+    let mut emitted = 0usize;
+    // Bind atoms left to right; each partial assignment is a prefix of
+    // (tuple id, row) bindings. Atom 0 is seeded from `outer`.
+    let mut current: Vec<Vec<(TupleId, &Row)>> = Vec::new();
+    for &(tid, row) in outer {
+        combinations += 1;
+        let assign = vec![(tid, row)];
+        if partial_condition_ok(c, &assign) {
+            current.push(assign);
+        }
+    }
+    for (atom_idx, step) in steps.iter().enumerate().skip(1) {
+        let restricted = restrict.filter(|&(p, _)| p == atom_idx).map(|(_, set)| set);
+        let mut next: Vec<Vec<(TupleId, &Row)>> = Vec::new();
+        if let Some(ix) = &step.index {
+            // Hash-join extension on the linked columns.
             for assign in &current {
-                let key: Vec<Value> = links
+                let key: Vec<Value> = step
+                    .links
                     .iter()
                     .map(|&(prev, pc, _)| assign[prev].1[pc].clone())
                     .collect();
                 if key.iter().any(Value::is_null) {
                     continue;
                 }
-                if let Some(matches) = index.get(&key) {
-                    for (tid, row) in matches {
-                        stats.combinations_checked += 1;
+                if let Some(matches) = ix.get(&key) {
+                    for &(tid, row) in matches {
+                        if restricted.is_some_and(|set| !set.contains(&tid)) {
+                            continue;
+                        }
+                        combinations += 1;
                         let mut a = assign.clone();
-                        a.push((*tid, row.clone()));
+                        a.push((tid, row));
                         if partial_condition_ok(c, &a) {
                             next.push(a);
                         }
                     }
                 }
             }
+        } else {
+            // Nested-loop extension.
+            for assign in &current {
+                for (tid, row) in tables[atom_idx].iter() {
+                    if restricted.is_some_and(|set| !set.contains(&tid)) {
+                        continue;
+                    }
+                    combinations += 1;
+                    let mut a = assign.clone();
+                    a.push((tid, row));
+                    if partial_condition_ok(c, &a) {
+                        next.push(a);
+                    }
+                }
+            }
         }
         current = next;
     }
-
     for assign in current {
         // Full assignment satisfying the condition = violation.
-        let rows: Vec<&Row> = assign.iter().map(|(_, r)| r).collect();
+        let rows: Vec<&Row> = assign.iter().map(|&(_, r)| r).collect();
         debug_assert!(c.condition_holds(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>()));
-        stats.edges_emitted += 1;
+        emitted += 1;
         let vertices: Vec<Vertex> = assign
             .iter()
             .enumerate()
-            .map(|(i, (tid, _))| Vertex {
-                rel: rels[i],
-                tid: *tid,
-            })
+            .map(|(i, &(tid, _))| Vertex { rel: rels[i], tid })
             .collect();
-        g.add_edge(&vertices, &rows, ci);
+        frag.push_edge(&vertices, &rows, ci);
+    }
+    (combinations, emitted)
+}
+
+/// Sharded general-denial detection: contiguous outer-atom slot ranges,
+/// one fragment per range, merged in range order (which reproduces the
+/// sequential assignment enumeration order exactly, for any shard
+/// count).
+fn detect_general(
+    catalog: &Catalog,
+    g: &mut ConflictHypergraph,
+    ci: usize,
+    c: &DenialConstraint,
+    threads: usize,
+    shards: usize,
+    stats: &mut DetectStats,
+) -> Result<(), EngineError> {
+    let rels: Vec<u32> = c.atoms.iter().map(|r| g.intern(r)).collect();
+    let (tables, steps) = build_general_plan(catalog, c)?;
+    let outer_table = tables[0];
+    let ranges = parallel::split_ranges(outer_table.slot_count(), shards);
+    let outs: Vec<(EdgeFragment, usize, usize)> =
+        parallel::run_indexed(ranges.len(), threads, |i| {
+            let (lo, hi) = ranges[i];
+            let outer: Vec<(TupleId, &Row)> = (lo..hi)
+                .filter_map(|slot| {
+                    let tid = TupleId(slot as u32);
+                    outer_table.get(tid).map(|row| (tid, row))
+                })
+                .collect();
+            let mut frag = EdgeFragment::new();
+            let (combinations, emitted) =
+                run_general_join(c, &rels, &tables, &steps, ci, &outer, None, &mut frag);
+            (frag, combinations, emitted)
+        });
+    for (frag, combinations, emitted) in outs {
+        stats.combinations_checked += combinations;
+        stats.edges_emitted += emitted;
+        g.absorb_fragment(&frag);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Incremental (delta) detection — used by `Hippo::redetect`
+// ---------------------------------------------------------------------------
+
+/// Probe freshly inserted tuples against a persistent FD index: each new
+/// tuple is pair-checked against its LHS-hash bucket only, then appended
+/// to the bucket (so new-new pairs within one batch are found too).
+pub(crate) fn fd_delta_insert(
+    catalog: &Catalog,
+    g: &mut ConflictHypergraph,
+    ci: usize,
+    ix: &mut FdIndex,
+    tids: &[TupleId],
+    stats: &mut DetectStats,
+) -> Result<(), EngineError> {
+    let table = catalog.table(&ix.rel)?;
+    let ri = g.intern(&ix.rel);
+    for &tid in tids {
+        let Some(row) = table.get(tid) else { continue };
+        let Some(h) = lhs_hash(row, &ix.lhs) else {
+            continue;
+        };
+        let members = ix.groups.entry(h).or_default();
+        for &tid_b in members.iter() {
+            let Some(row_b) = table.get(tid_b) else {
+                continue;
+            };
+            stats.combinations_checked += 1;
+            if ix.lhs.iter().any(|&c| row[c] != row_b[c]) {
+                continue; // hash collision, not a real group-mate
+            }
+            if row[ix.rhs].sql_eq(&row_b[ix.rhs]) == Some(false) {
+                stats.edges_emitted += 1;
+                g.add_edge(
+                    &[
+                        Vertex { rel: ri, tid },
+                        Vertex {
+                            rel: ri,
+                            tid: tid_b,
+                        },
+                    ],
+                    &[row, row_b],
+                    ci,
+                );
+            }
+        }
+        members.push(tid);
+    }
+    Ok(())
+}
+
+/// Remove a deleted tuple from a persistent FD index (`row` is the
+/// tuple's content as of deletion; a NULL-LHS row was never indexed).
+pub(crate) fn fd_delta_delete(ix: &mut FdIndex, row: &Row, tid: TupleId) {
+    if let Some(h) = lhs_hash(row, &ix.lhs) {
+        if let Some(members) = ix.groups.get_mut(&h) {
+            members.retain(|&t| t != tid);
+            if members.is_empty() {
+                ix.groups.remove(&h);
+            }
+        }
+    }
+}
+
+/// Delta-detect a general denial after inserts: for every atom position
+/// whose relation received new tuples, re-run the join with that
+/// position restricted to them. Combinations where several new tuples
+/// occupy different positions are found more than once; the graph's
+/// dedup collapses them. The join plan (and its per-atom hash indexes)
+/// is built once per constraint, but each position-`p > 0` pass still
+/// seeds from the full outer atom — general-denial deltas are
+/// `O(outer-atom)` per pass, not `O(delta)` like the FD index path.
+pub(crate) fn general_delta_insert(
+    catalog: &Catalog,
+    g: &mut ConflictHypergraph,
+    ci: usize,
+    c: &DenialConstraint,
+    deltas: &FxHashMap<String, Vec<TupleId>>,
+    stats: &mut DetectStats,
+) -> Result<(), EngineError> {
+    if !c
+        .atoms
+        .iter()
+        .any(|a| deltas.get(a).is_some_and(|d| !d.is_empty()))
+    {
+        return Ok(());
+    }
+    let rels: Vec<u32> = c.atoms.iter().map(|r| g.intern(r)).collect();
+    let (tables, steps) = build_general_plan(catalog, c)?;
+    for p in 0..c.atoms.len() {
+        let Some(delta) = deltas.get(&c.atoms[p]) else {
+            continue;
+        };
+        if delta.is_empty() {
+            continue;
+        }
+        let mut frag = EdgeFragment::new();
+        let (combinations, emitted) = if p == 0 {
+            let outer: Vec<(TupleId, &Row)> = delta
+                .iter()
+                .filter_map(|&tid| tables[0].get(tid).map(|row| (tid, row)))
+                .collect();
+            run_general_join(c, &rels, &tables, &steps, ci, &outer, None, &mut frag)
+        } else {
+            let delta_set: FxHashSet<TupleId> = delta.iter().copied().collect();
+            let outer: Vec<(TupleId, &Row)> = tables[0].iter().collect();
+            run_general_join(
+                c,
+                &rels,
+                &tables,
+                &steps,
+                ci,
+                &outer,
+                Some((p, &delta_set)),
+                &mut frag,
+            )
+        };
+        stats.combinations_checked += combinations;
+        stats.edges_emitted += emitted;
+        g.absorb_fragment(&frag);
     }
     Ok(())
 }
 
 /// Check the comparisons whose atoms are all bound so far; used to prune
-/// partial assignments early.
-fn partial_condition_ok(c: &DenialConstraint, assign: &[(TupleId, Row)]) -> bool {
-    let bound = assign.len();
-    c.condition.iter().all(|cmp| {
-        let val = |t: &Term| -> Option<Option<Value>> {
-            // Outer None = atom not bound yet (skip); inner Option = value.
-            match t {
-                Term::Attr(a) => {
-                    if a.atom >= bound {
-                        None
-                    } else {
-                        Some(assign[a.atom].1.get(a.col).cloned())
-                    }
+/// partial assignments early. Borrow-only: no value is cloned.
+fn partial_condition_ok(c: &DenialConstraint, assign: &[(TupleId, &Row)]) -> bool {
+    // Outer None = atom not bound yet (skip); inner Option = value.
+    fn val<'t>(t: &'t Term, assign: &'t [(TupleId, &'t Row)]) -> Option<Option<&'t Value>> {
+        match t {
+            Term::Attr(a) => {
+                if a.atom >= assign.len() {
+                    None
+                } else {
+                    Some(assign[a.atom].1.get(a.col))
                 }
-                Term::Const(v) => Some(Some(v.clone())),
             }
-        };
-        match (val(&cmp.left), val(&cmp.right)) {
-            (Some(Some(l)), Some(Some(r))) => match l.sql_cmp(&r) {
+            Term::Const(v) => Some(Some(v)),
+        }
+    }
+    c.condition.iter().all(|cmp| {
+        match (val(&cmp.left, assign), val(&cmp.right, assign)) {
+            (Some(Some(l)), Some(Some(r))) => match l.sql_cmp(r) {
                 Some(ord) => cmp.op.test(ord),
                 None => false,
             },
@@ -338,6 +767,8 @@ mod tests {
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.conflicting_vertex_count(), 2);
         assert_eq!(stats.edges_emitted, 1);
+        assert_eq!(stats.shards_used, DEFAULT_SHARDS);
+        assert!(!stats.incremental);
     }
 
     #[test]
@@ -488,5 +919,122 @@ mod tests {
         let db = emp_db(&[]);
         let bad = DenialConstraint::functional_dependency("emp", &[9], 1);
         assert!(detect_conflicts(db.catalog(), &[bad]).is_err());
+    }
+
+    /// Same shard count, different worker counts → bit-identical graphs
+    /// (edge ids included) and identical stat totals.
+    #[test]
+    fn thread_count_never_changes_output() {
+        let mut db = emp_db(&[
+            ("ann", 100),
+            ("ann", 200),
+            ("ann", 300),
+            ("bob", 1),
+            ("bob", 2),
+            ("cyd", 7),
+            ("dee", -3),
+        ]);
+        db.catalog_mut()
+            .create_table(
+                TableSchema::new(
+                    "contractor",
+                    vec![
+                        Column::new("name", DataType::Text),
+                        Column::new("rate", DataType::Int),
+                    ],
+                    &[],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        db.insert_rows(
+            "contractor",
+            vec![
+                vec![Value::text("ann"), Value::Int(50)],
+                vec![Value::text("bob"), Value::Int(60)],
+            ],
+        )
+        .unwrap();
+        let constraints = [
+            DenialConstraint::functional_dependency("emp", &[0], 1),
+            DenialConstraint::exclusion("emp", "contractor", &[(0, 0)]),
+            DenialConstraint::check(
+                "emp",
+                vec![Comparison {
+                    op: CmpOp::Lt,
+                    left: Term::Attr(AttrRef { atom: 0, col: 1 }),
+                    right: Term::Const(Value::Int(0)),
+                }],
+            ),
+        ];
+        let (g1, s1) = detect_conflicts_with(
+            db.catalog(),
+            &constraints,
+            &DetectOptions {
+                threads: 1,
+                shards: 0,
+            },
+        )
+        .unwrap();
+        for threads in [2usize, 4, 8] {
+            let (g, s) = detect_conflicts_with(
+                db.catalog(),
+                &constraints,
+                &DetectOptions { threads, shards: 0 },
+            )
+            .unwrap();
+            assert_eq!(g.edge_count(), g1.edge_count());
+            for (id, e) in g.edges() {
+                assert_eq!(e, g1.edge(id), "edge {id} differs at threads={threads}");
+                assert_eq!(g.edge_constraint(id), g1.edge_constraint(id));
+            }
+            assert_eq!(s.combinations_checked, s1.combinations_checked);
+            assert_eq!(s.edges_emitted, s1.edges_emitted);
+            assert_eq!(s.shards_used, s1.shards_used);
+        }
+    }
+
+    /// Different shard counts may permute FD edge ids but must agree on
+    /// the edge *set* and on stat totals.
+    #[test]
+    fn shard_count_preserves_edge_set_and_stats() {
+        let db = emp_db(&[
+            ("ann", 100),
+            ("ann", 200),
+            ("bob", 1),
+            ("bob", 2),
+            ("bob", 3),
+            ("cyd", 7),
+        ]);
+        let constraints = [DenialConstraint::functional_dependency("emp", &[0], 1)];
+        let canonical = |g: &ConflictHypergraph| {
+            let mut edges: Vec<(usize, Vec<Vertex>)> = g
+                .edges()
+                .map(|(id, e)| (g.edge_constraint(id), e.to_vec()))
+                .collect();
+            edges.sort();
+            edges
+        };
+        let (g1, s1) = detect_conflicts_with(
+            db.catalog(),
+            &constraints,
+            &DetectOptions {
+                threads: 1,
+                shards: 1,
+            },
+        )
+        .unwrap();
+        for shards in [2usize, 3, 7, 16] {
+            let (g, s) = detect_conflicts_with(
+                db.catalog(),
+                &constraints,
+                &DetectOptions { threads: 2, shards },
+            )
+            .unwrap();
+            assert_eq!(canonical(&g), canonical(&g1), "shards={shards}");
+            assert_eq!(s.combinations_checked, s1.combinations_checked);
+            assert_eq!(s.edges_emitted, s1.edges_emitted);
+            assert_eq!(s.shards_used, shards);
+        }
     }
 }

@@ -16,18 +16,37 @@
 //!   membership flag; zero membership queries;
 //! * **core filter** — additionally, tuples provably consistent from the
 //!   conflict-free core skip the prover.
+//!
+//! # Incremental maintenance
+//!
+//! Database changes made through [`Hippo::insert_tuples`] /
+//! [`Hippo::delete_tuples`] are *recorded*, and the next
+//! [`Hippo::redetect`] reconciles the hypergraph **incrementally**:
+//! edges touching deleted tuples are dropped while surviving edges are
+//! carried over verbatim, and inserted tuples are delta-detected. For
+//! FD constraints the delta probes the persistent LHS-hash group index,
+//! so the work is proportional to the conflict graph plus the change —
+//! never the instance. General denials re-run a position-restricted
+//! join instead: far cheaper than a rebuild in practice (the join
+//! indexes prune to the delta), but still a scan of the constraint's
+//! outer atom. Mutating the database any other way ([`Hippo::db_mut`])
+//! marks the catalog dirty and the next `redetect` falls back to a full
+//! sharded rebuild.
 
 use crate::constraint::DenialConstraint;
 use crate::corefilter::core_filter_on_catalog;
-use crate::detect::{detect_conflicts, DetectStats};
+use crate::detect::{
+    detect_with_index, fd_delta_delete, fd_delta_insert, general_delta_insert, DetectIndex,
+    DetectOptions, DetectStats,
+};
 use crate::envelope::envelope;
 use crate::formula::MembershipTemplate;
-use crate::hypergraph::ConflictHypergraph;
+use crate::hypergraph::{ConflictHypergraph, FactId, Vertex};
 use crate::kg::{extended_envelope_sql, split_gathered, GatheredMembership, SqlMembership};
 use crate::prover::{Prover, ProverRunStats};
 use crate::query::SjudQuery;
-use hippo_engine::{Database, EngineError, Row};
-use rustc_hash::FxHashSet;
+use hippo_engine::{Database, EngineError, Row, TupleId};
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::time::{Duration, Instant};
 
 /// Optimization switches.
@@ -97,12 +116,39 @@ pub struct RunStats {
     pub t_total: Duration,
 }
 
+/// One recorded database change, awaiting reconciliation by
+/// [`Hippo::redetect`].
+#[derive(Debug, Clone)]
+enum PendingOp {
+    /// A tuple inserted through [`Hippo::insert_tuples`].
+    Insert { table: String, tid: TupleId },
+    /// A tuple deleted through [`Hippo::delete_tuples`]; `row` is its
+    /// content as of deletion (needed to unhook the FD index and the
+    /// fact table without the tuple still being readable).
+    Delete {
+        table: String,
+        tid: TupleId,
+        row: Row,
+    },
+}
+
 /// The Hippo system: database + constraints + conflict hypergraph.
 pub struct Hippo {
     db: Database,
     constraints: Vec<DenialConstraint>,
     graph: ConflictHypergraph,
     detect_stats: DetectStats,
+    /// Restricted foreign keys (orphan edges re-derived on full
+    /// redetection; non-empty disables the incremental path).
+    foreign_keys: Vec<crate::inclusion::ForeignKey>,
+    /// Persistent detection state for incremental redetection; `None`
+    /// when unavailable (foreign keys present).
+    detect_index: Option<DetectIndex>,
+    /// Changes recorded since the last (re)detection, in order.
+    pending: Vec<PendingOp>,
+    /// Set by [`Hippo::db_mut`]: the database may have changed in ways
+    /// the pending log does not capture, so only a full rebuild is safe.
+    catalog_dirty: bool,
     /// Options applied to subsequent runs.
     pub options: HippoOptions,
 }
@@ -111,12 +157,17 @@ impl Hippo {
     /// Build the system: validates constraints and performs conflict
     /// detection (Figure 1's lower path).
     pub fn new(db: Database, constraints: Vec<DenialConstraint>) -> Result<Hippo, EngineError> {
-        let (graph, detect_stats) = detect_conflicts(db.catalog(), &constraints)?;
+        let (graph, detect_stats, index) =
+            detect_with_index(db.catalog(), &constraints, &DetectOptions::default())?;
         Ok(Hippo {
             db,
             constraints,
             graph,
             detect_stats,
+            foreign_keys: Vec::new(),
+            detect_index: Some(index),
+            pending: Vec::new(),
+            catalog_dirty: false,
             options: HippoOptions::default(),
         })
     }
@@ -138,9 +189,71 @@ impl Hippo {
     }
 
     /// Mutable database access. Mutations invalidate the hypergraph — call
-    /// [`Hippo::redetect`] afterwards.
+    /// [`Hippo::redetect`] afterwards. Changes made through this handle
+    /// are *not* recorded, so the next redetection is a full rebuild;
+    /// prefer [`Hippo::insert_tuples`] / [`Hippo::delete_tuples`] for
+    /// updates that should be reconciled incrementally.
     pub fn db_mut(&mut self) -> &mut Database {
+        self.catalog_dirty = true;
         &mut self.db
+    }
+
+    /// Insert rows into `table`, recording them so the next
+    /// [`Hippo::redetect`] can reconcile the hypergraph incrementally.
+    /// Returns the new tuples' stable ids. The batch is validated
+    /// up-front: a bad row rejects the whole call before anything is
+    /// inserted, so `Err` means the database is unchanged.
+    pub fn insert_tuples(
+        &mut self,
+        table: &str,
+        rows: Vec<Row>,
+    ) -> Result<Vec<TupleId>, EngineError> {
+        let t = self.db.catalog_mut().table_mut(table)?;
+        // Validate/coerce every row before inserting any — no
+        // half-applied batches whose ids the caller never learns.
+        let rows = rows
+            .into_iter()
+            .map(|row| t.schema.check_row(row))
+            .collect::<Result<Vec<Row>, _>>()?;
+        let mut tids = Vec::with_capacity(rows.len());
+        for row in rows {
+            // Pre-validated, so this only fails on table exhaustion;
+            // recording each insert as it lands keeps the pending log
+            // consistent with the database even then.
+            let tid = t.insert(row)?;
+            tids.push(tid);
+            self.pending.push(PendingOp::Insert {
+                table: table.to_string(),
+                tid,
+            });
+        }
+        Ok(tids)
+    }
+
+    /// Delete tuples from `table` by id, recording them so the next
+    /// [`Hippo::redetect`] can reconcile the hypergraph incrementally.
+    /// Unknown or already-deleted ids are skipped; returns the number of
+    /// tuples actually deleted.
+    pub fn delete_tuples(&mut self, table: &str, tids: &[TupleId]) -> Result<usize, EngineError> {
+        let mut removed: Vec<(TupleId, Row)> = Vec::new();
+        {
+            let t = self.db.catalog_mut().table_mut(table)?;
+            for &tid in tids {
+                if let Some(row) = t.get(tid).cloned() {
+                    t.delete(tid);
+                    removed.push((tid, row));
+                }
+            }
+        }
+        let n = removed.len();
+        for (tid, row) in removed {
+            self.pending.push(PendingOp::Delete {
+                table: table.to_string(),
+                tid,
+                row,
+            });
+        }
+        Ok(n)
     }
 
     /// Tear down the system, returning the owned database (e.g. to rebuild
@@ -149,10 +262,164 @@ impl Hippo {
         self.db
     }
 
-    /// Re-run conflict detection after data changes.
+    /// Bring the hypergraph up to date after data changes.
+    ///
+    /// If every change since the last detection was recorded through
+    /// [`Hippo::insert_tuples`] / [`Hippo::delete_tuples`] (and no
+    /// foreign keys are configured), this takes the **incremental**
+    /// path: surviving edges are carried over, deleted tuples' edges
+    /// are dropped, and inserted tuples are delta-detected — the
+    /// returned stats have `incremental == true` and count only the
+    /// delta work. Otherwise (the catalog was touched via
+    /// [`Hippo::db_mut`]) it falls back to a full sharded rebuild. With
+    /// no changes at all it returns the current stats untouched.
     pub fn redetect(&mut self) -> Result<DetectStats, EngineError> {
-        let (graph, stats) = detect_conflicts(self.db.catalog(), &self.constraints)?;
-        self.graph = graph;
+        if self.catalog_dirty || self.detect_index.is_none() {
+            return self.redetect_full();
+        }
+        if self.pending.is_empty() {
+            return Ok(self.detect_stats);
+        }
+        self.redetect_incremental()
+    }
+
+    /// Unconditionally re-run full conflict detection (including
+    /// foreign-key orphan edges when configured), discarding any
+    /// recorded pending changes.
+    pub fn redetect_full(&mut self) -> Result<DetectStats, EngineError> {
+        if self.foreign_keys.is_empty() {
+            let (graph, stats, index) = detect_with_index(
+                self.db.catalog(),
+                &self.constraints,
+                &DetectOptions::default(),
+            )?;
+            self.graph = graph;
+            self.detect_stats = stats;
+            self.detect_index = Some(index);
+        } else {
+            let start = Instant::now();
+            let (mut graph, mut stats) =
+                crate::detect::detect_conflicts_unfinalized(self.db.catalog(), &self.constraints)?;
+            for (i, fk) in self.foreign_keys.iter().enumerate() {
+                let added = crate::inclusion::orphan_edges(
+                    &mut graph,
+                    self.db.catalog(),
+                    fk,
+                    self.constraints.len() + i,
+                )?;
+                stats.edges_emitted += added;
+            }
+            graph.finalize();
+            stats.elapsed = start.elapsed();
+            self.graph = graph;
+            self.detect_stats = stats;
+            self.detect_index = None;
+        }
+        self.pending.clear();
+        self.catalog_dirty = false;
+        Ok(self.detect_stats)
+    }
+
+    /// The incremental path: reconcile the recorded pending operations
+    /// against the existing graph. For FD-only constraint sets the cost
+    /// is proportional to the graph size plus the delta; general
+    /// denials additionally re-scan their outer atom (see
+    /// `general_delta_insert`).
+    fn redetect_incremental(&mut self) -> Result<DetectStats, EngineError> {
+        let start = Instant::now();
+        let mut stats = DetectStats {
+            incremental: true,
+            shards_used: 0,
+            ..DetectStats::default()
+        };
+        let pending = std::mem::take(&mut self.pending);
+        let index = self
+            .detect_index
+            .as_mut()
+            .expect("incremental path requires a detect index");
+        let old = &self.graph;
+
+        // New graph with the identical relation-interning order, so
+        // vertex `rel` indices stay comparable across the copy.
+        let mut g = ConflictHypergraph::new();
+        for r in 0..old.relation_count() as u32 {
+            g.intern(old.relation_name(r));
+        }
+
+        // Fold the pending log: net deleted vertices, net inserted
+        // tuples per table (an insert later deleted in the same batch
+        // cancels out), and FD index maintenance for deletes.
+        let mut deleted: FxHashSet<Vertex> = FxHashSet::default();
+        let mut inserted_by_table: FxHashMap<String, Vec<TupleId>> = FxHashMap::default();
+        for op in &pending {
+            match op {
+                PendingOp::Insert { table, tid } => {
+                    inserted_by_table
+                        .entry(table.clone())
+                        .or_default()
+                        .push(*tid);
+                }
+                PendingOp::Delete { table, tid, row } => {
+                    if let Some(ri) = old.relation_index(table) {
+                        deleted.insert(Vertex { rel: ri, tid: *tid });
+                    }
+                    for fdix in index.fd.iter_mut().flatten() {
+                        if fdix.rel == *table {
+                            fd_delta_delete(fdix, row, *tid);
+                        }
+                    }
+                    if let Some(list) = inserted_by_table.get_mut(table) {
+                        list.retain(|t| t != tid);
+                    }
+                }
+            }
+        }
+
+        // Carry surviving edges over. Every edge vertex is present in
+        // the old fact table (add_edge interns each vertex's fact), so
+        // a fact reverse-map recovers the rows without touching the
+        // catalog.
+        let mut vertex_fact: FxHashMap<Vertex, FactId> =
+            FxHashMap::with_capacity_and_hasher(old.fact_count(), Default::default());
+        for f in 0..old.fact_count() as u32 {
+            for &v in old.vertices_of_fact_id(FactId(f)) {
+                vertex_fact.insert(v, FactId(f));
+            }
+        }
+        let mut rows_buf: Vec<&Row> = Vec::new();
+        for (eid, edge) in old.edges() {
+            if edge.iter().any(|v| deleted.contains(v)) {
+                continue;
+            }
+            rows_buf.clear();
+            rows_buf.extend(edge.iter().map(|v| old.fact(vertex_fact[v]).1));
+            g.add_edge(edge, &rows_buf, old.edge_constraint(eid));
+        }
+
+        // Delta-detect the inserted tuples, constraint by constraint.
+        for (ci, c) in self.constraints.iter().enumerate() {
+            match index.fd[ci].as_mut() {
+                Some(fdix) => {
+                    if let Some(tids) = inserted_by_table.get(&fdix.rel) {
+                        fd_delta_insert(self.db.catalog(), &mut g, ci, fdix, tids, &mut stats)?;
+                    }
+                }
+                None => {
+                    general_delta_insert(
+                        self.db.catalog(),
+                        &mut g,
+                        ci,
+                        c,
+                        &inserted_by_table,
+                        &mut stats,
+                    )?;
+                }
+            }
+        }
+
+        g.finalize();
+        self.graph = g;
+        stats.elapsed = start.elapsed();
         self.detect_stats = stats;
         Ok(stats)
     }
@@ -181,6 +448,11 @@ impl Hippo {
         constraints: Vec<DenialConstraint>,
         foreign_keys: Vec<crate::inclusion::ForeignKey>,
     ) -> Result<Hippo, EngineError> {
+        if foreign_keys.is_empty() {
+            // No orphan edges to derive: identical to `new`, which keeps
+            // the incremental redetection path available.
+            return Hippo::new(db, constraints);
+        }
         crate::inclusion::validate_restricted(&foreign_keys, &constraints, db.catalog())?;
         // Un-finalized: orphan edges are still coming; freeze once, below.
         let (mut graph, mut detect_stats) =
@@ -200,6 +472,13 @@ impl Hippo {
             constraints,
             graph,
             detect_stats,
+            foreign_keys,
+            // Orphan edges are outside the incremental model: redetect
+            // always rebuilds in full (re-deriving them — see
+            // `redetect_full`).
+            detect_index: None,
+            pending: Vec::new(),
+            catalog_dirty: false,
             options: HippoOptions::default(),
         })
     }
@@ -507,10 +786,165 @@ mod tests {
             .db_mut()
             .execute("INSERT INTO emp VALUES ('ann', 999)")
             .unwrap();
-        hippo.redetect().unwrap();
+        let stats = hippo.redetect().unwrap();
+        assert!(
+            !stats.incremental,
+            "unrecorded db_mut changes force a full rebuild"
+        );
         assert_eq!(hippo.graph().edge_count(), 1);
         let answers = hippo.consistent_answers(&SjudQuery::rel("emp")).unwrap();
         assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn incremental_insert_detects_new_conflicts() {
+        let mut hippo = Hippo::new(emp_db(&[("ann", 100), ("bob", 200)]), fd()).unwrap();
+        assert_eq!(hippo.graph().edge_count(), 0);
+        let tids = hippo
+            .insert_tuples("emp", vec![vec![Value::text("ann"), Value::Int(999)]])
+            .unwrap();
+        assert_eq!(tids.len(), 1);
+        let stats = hippo.redetect().unwrap();
+        assert!(stats.incremental, "recorded inserts take the delta path");
+        assert_eq!(stats.shards_used, 0);
+        assert_eq!(hippo.graph().edge_count(), 1);
+        let answers = hippo.consistent_answers(&SjudQuery::rel("emp")).unwrap();
+        assert_eq!(answers, vec![vec![Value::text("bob"), Value::Int(200)]]);
+    }
+
+    #[test]
+    fn incremental_delete_clears_conflicts() {
+        let mut hippo =
+            Hippo::new(emp_db(&[("ann", 100), ("ann", 200), ("bob", 300)]), fd()).unwrap();
+        assert_eq!(hippo.graph().edge_count(), 1);
+        // Delete one side of the conflicting pair (tid 1 = second row).
+        let n = hippo
+            .delete_tuples("emp", &[hippo_engine::TupleId(1)])
+            .unwrap();
+        assert_eq!(n, 1);
+        let stats = hippo.redetect().unwrap();
+        assert!(stats.incremental);
+        assert_eq!(hippo.graph().edge_count(), 0);
+        let answers = hippo.consistent_answers(&SjudQuery::rel("emp")).unwrap();
+        assert_eq!(answers.len(), 2, "ann(100) is consistent again");
+    }
+
+    #[test]
+    fn incremental_matches_full_rebuild_over_mixed_batches() {
+        // Interleave inserts and deletes (including insert-then-delete of
+        // the same tuple within one batch), redetect incrementally, and
+        // compare against a freshly built system on the same final data.
+        let rows = [("ann", 100), ("ann", 200), ("bob", 300), ("cyd", 50)];
+        let mut hippo = Hippo::new(emp_db(&rows), fd()).unwrap();
+        let t = hippo
+            .insert_tuples(
+                "emp",
+                vec![
+                    vec![Value::text("bob"), Value::Int(301)],
+                    vec![Value::text("dee"), Value::Int(7)],
+                    vec![Value::text("cyd"), Value::Int(51)],
+                ],
+            )
+            .unwrap();
+        hippo
+            .delete_tuples("emp", &[hippo_engine::TupleId(0), t[2]])
+            .unwrap();
+        let stats = hippo.redetect().unwrap();
+        assert!(stats.incremental);
+
+        let reference = Hippo::new(
+            {
+                let mut db = emp_db(&rows);
+                let table = db.catalog_mut().table_mut("emp").unwrap();
+                table
+                    .insert(vec![Value::text("bob"), Value::Int(301)])
+                    .unwrap();
+                table
+                    .insert(vec![Value::text("dee"), Value::Int(7)])
+                    .unwrap();
+                let c = table
+                    .insert(vec![Value::text("cyd"), Value::Int(51)])
+                    .unwrap();
+                table.delete(hippo_engine::TupleId(0));
+                table.delete(c);
+                db
+            },
+            fd(),
+        )
+        .unwrap();
+        let canon = |h: &Hippo| {
+            let g = h.graph();
+            let mut edges: Vec<(usize, Vec<crate::hypergraph::Vertex>)> = g
+                .edges()
+                .map(|(id, e)| (g.edge_constraint(id), e.to_vec()))
+                .collect();
+            edges.sort();
+            edges
+        };
+        assert_eq!(canon(&hippo), canon(&reference));
+        assert_eq!(
+            hippo.consistent_answers(&SjudQuery::rel("emp")).unwrap(),
+            reference
+                .consistent_answers(&SjudQuery::rel("emp"))
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn redetect_without_changes_is_a_noop() {
+        let mut hippo = Hippo::new(emp_db(&[("ann", 100), ("ann", 200)]), fd()).unwrap();
+        let before = hippo.detect_stats();
+        let stats = hippo.redetect().unwrap();
+        assert_eq!(stats, before, "nothing recorded, nothing re-detected");
+        assert_eq!(hippo.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn incremental_chains_across_multiple_redetects() {
+        let mut hippo = Hippo::new(emp_db(&[("ann", 100)]), fd()).unwrap();
+        hippo
+            .insert_tuples("emp", vec![vec![Value::text("ann"), Value::Int(200)]])
+            .unwrap();
+        assert!(hippo.redetect().unwrap().incremental);
+        assert_eq!(hippo.graph().edge_count(), 1);
+        // Second round on top of the incrementally-maintained state.
+        hippo
+            .insert_tuples("emp", vec![vec![Value::text("ann"), Value::Int(300)]])
+            .unwrap();
+        assert!(hippo.redetect().unwrap().incremental);
+        assert_eq!(hippo.graph().edge_count(), 3, "all pairs of the trio");
+        // Full rebuild agrees.
+        hippo.redetect_full().unwrap();
+        assert_eq!(hippo.graph().edge_count(), 3);
+    }
+
+    #[test]
+    fn foreign_key_redetect_keeps_orphan_edges() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE parent (id INT)").unwrap();
+        db.execute("CREATE TABLE child (pid INT, x INT)").unwrap();
+        db.execute("INSERT INTO parent VALUES (1)").unwrap();
+        db.execute("INSERT INTO child VALUES (1, 10), (2, 20)")
+            .unwrap();
+        let fk = crate::inclusion::ForeignKey {
+            child: "child".into(),
+            child_cols: vec![0],
+            parent: "parent".into(),
+            parent_cols: vec![0],
+        };
+        let mut hippo = Hippo::with_foreign_keys(db, vec![], vec![fk]).unwrap();
+        assert_eq!(hippo.graph().edge_count(), 1, "child(2,·) is orphaned");
+        // Regression: redetect used to silently drop orphan edges.
+        let stats = hippo.redetect_full().unwrap();
+        assert!(!stats.incremental);
+        assert_eq!(hippo.graph().edge_count(), 1);
+        // Recorded updates also fall back to a full rebuild under fks.
+        hippo
+            .insert_tuples("child", vec![vec![Value::Int(3), Value::Int(30)]])
+            .unwrap();
+        let stats = hippo.redetect().unwrap();
+        assert!(!stats.incremental);
+        assert_eq!(hippo.graph().edge_count(), 2);
     }
 
     #[test]

@@ -37,6 +37,20 @@
 //! All hash tables use the Fx hasher: keys are small (integers, vertex
 //! pairs, short value rows) and the DoS resistance of SipHash buys nothing
 //! against data the system itself generated.
+//!
+//! # Sharded construction
+//!
+//! Parallel detection does not touch the graph from worker threads.
+//! Each shard emits its edges into a private [`EdgeFragment`] — a
+//! shard-local CSR arena (offset array + flat vertex list + parallel row
+//! references) with none of the dedup/fact machinery. The single-threaded
+//! merge step then replays fragments **in shard order** through
+//! [`ConflictHypergraph::absorb_fragment`], which routes every edge
+//! through the ordinary [`ConflictHypergraph::add_edge`] path: the
+//! chained-hash dedup table and the fact interner see edges in a
+//! deterministic order that depends only on the shard decomposition,
+//! never on thread scheduling, so edge ids are reproducible for any
+//! worker count.
 
 use hippo_engine::{Row, TupleId};
 use rustc_hash::{FxHashMap, FxHasher};
@@ -103,6 +117,73 @@ fn edge_hash(vertices: &[Vertex]) -> u64 {
         v.tid.0.hash(&mut h);
     }
     h.finish()
+}
+
+/// A shard-local edge buffer: CSR-shaped (offset array + flat vertex
+/// arena) but with no dedup table, fact interner or adjacency — those
+/// stay centralized in the [`ConflictHypergraph`] the fragment is merged
+/// into. Rows are borrowed from the catalog tables, so fragments are
+/// cheap to build inside scoped worker threads and `Send` back to the
+/// merging thread.
+#[derive(Debug)]
+pub struct EdgeFragment<'a> {
+    /// Edge `i` spans `vertices[offsets[i] .. offsets[i+1]]` (and the
+    /// same range of `rows`). Leading 0 sentinel as in every CSR.
+    offsets: Vec<u32>,
+    vertices: Vec<Vertex>,
+    /// Row of each vertex, parallel to `vertices`.
+    rows: Vec<&'a Row>,
+    /// Constraint index of each edge.
+    constraints: Vec<u32>,
+}
+
+impl<'a> EdgeFragment<'a> {
+    /// Empty fragment.
+    pub fn new() -> EdgeFragment<'a> {
+        EdgeFragment {
+            offsets: vec![0],
+            vertices: Vec::new(),
+            rows: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Append an edge. No sorting, dedup or fact work happens here; the
+    /// absorbing graph does all of that.
+    pub fn push_edge(&mut self, vertices: &[Vertex], rows: &[&'a Row], constraint: usize) {
+        debug_assert_eq!(vertices.len(), rows.len());
+        self.vertices.extend_from_slice(vertices);
+        self.rows.extend_from_slice(rows);
+        self.offsets.push(self.vertices.len() as u32);
+        self.constraints.push(constraint as u32);
+    }
+
+    /// Number of buffered edges.
+    pub fn edge_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Is the fragment empty?
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// The `i`-th buffered edge: (vertices, rows, constraint index).
+    pub fn edge(&self, i: usize) -> (&[Vertex], &[&'a Row], usize) {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        (
+            &self.vertices[lo..hi],
+            &self.rows[lo..hi],
+            self.constraints[i] as usize,
+        )
+    }
+}
+
+impl Default for EdgeFragment<'_> {
+    fn default() -> Self {
+        EdgeFragment::new()
+    }
 }
 
 /// The conflict hypergraph. `Default` is equivalent to
@@ -203,6 +284,11 @@ impl ConflictHypergraph {
         &self.rel_names[rel as usize]
     }
 
+    /// Number of interned relations (indices are `0..relation_count`).
+    pub fn relation_count(&self) -> usize {
+        self.rel_names.len()
+    }
+
     // ---- fact interner ----
 
     /// Number of distinct interned facts.
@@ -297,6 +383,22 @@ impl ConflictHypergraph {
         let id = self.append_edge(hash, &scratch, constraint);
         self.scratch = scratch;
         Some(id)
+    }
+
+    /// Merge a shard-local fragment into the graph, replaying its edges
+    /// in buffer order through [`ConflictHypergraph::add_edge`] (so
+    /// dedup and fact interning behave exactly as in sequential
+    /// construction). Returns the number of edges actually added
+    /// (duplicates across shards are silently dropped).
+    pub fn absorb_fragment(&mut self, frag: &EdgeFragment<'_>) -> usize {
+        let mut added = 0;
+        for i in 0..frag.edge_count() {
+            let (vertices, rows, constraint) = frag.edge(i);
+            if self.add_edge(vertices, rows, constraint).is_some() {
+                added += 1;
+            }
+        }
+        added
     }
 
     /// Walk the chained dedup table for an edge equal to `sorted`.
@@ -732,6 +834,34 @@ mod tests {
         g.add_edge(&[v(r, 0), v(r, 1)], &[&row(0), &row(1)], 0);
         assert_eq!(g.edge(0), &[v(r, 0), v(r, 1)]);
         assert_eq!(g.edges().count(), 1);
+    }
+
+    #[test]
+    fn fragments_absorb_in_order_with_dedup() {
+        let r0 = row(0);
+        let r1 = row(1);
+        let r2 = row(2);
+        let mut frag_a = EdgeFragment::new();
+        let mut frag_b = EdgeFragment::new();
+        // Shard A emits {0,1}; shard B emits the same edge (reversed) plus
+        // a fresh one — the duplicate must be dropped at absorb time.
+        frag_a.push_edge(&[v(0, 0), v(0, 1)], &[&r0, &r1], 0);
+        frag_b.push_edge(&[v(0, 1), v(0, 0)], &[&r1, &r0], 0);
+        frag_b.push_edge(&[v(0, 1), v(0, 2)], &[&r1, &r2], 1);
+        assert_eq!(frag_a.edge_count(), 1);
+        assert_eq!(frag_b.edge_count(), 2);
+        assert!(!frag_b.is_empty());
+
+        let mut g = ConflictHypergraph::new();
+        g.intern("r");
+        assert_eq!(g.absorb_fragment(&frag_a), 1);
+        assert_eq!(g.absorb_fragment(&frag_b), 1, "duplicate dropped");
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge(0), &[v(0, 0), v(0, 1)]);
+        assert_eq!(g.edge(1), &[v(0, 1), v(0, 2)]);
+        assert_eq!(g.edge_constraint(1), 1);
+        // Facts were interned through the ordinary path.
+        assert_eq!(g.vertices_of_fact("r", &r1), &[v(0, 1)]);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod hypergraph;
 pub mod inclusion;
 pub mod kg;
 pub mod naive;
+pub mod parallel;
 pub mod pred;
 pub mod prover;
 pub mod query;
@@ -69,7 +70,7 @@ pub mod workload;
 pub mod prelude {
     pub use crate::aggregate::{range_aggregate_fd, range_aggregate_naive, AggOp, AggRange};
     pub use crate::constraint::{AttrRef, Comparison, DenialConstraint, Term};
-    pub use crate::detect::detect_conflicts;
+    pub use crate::detect::{detect_conflicts, detect_conflicts_with, DetectOptions, DetectStats};
     pub use crate::envelope::envelope;
     pub use crate::hippo::{Hippo, HippoOptions, RunStats};
     pub use crate::hypergraph::{ConflictHypergraph, Fact, Vertex};

@@ -1,0 +1,148 @@
+//! Scoped worker pool for sharded conflict detection.
+//!
+//! Detection work is decomposed into **shards** — deterministic units
+//! (FD hash-bucket ranges, outer-atom tuple ranges) whose outputs are
+//! merged in shard order, so the result never depends on *which thread*
+//! ran a shard or in what order shards finished. This module only
+//! supplies the execution side of that contract:
+//!
+//! * [`run_indexed`] runs one closure per task index across a
+//!   [`std::thread::scope`] and returns the results **in task order**.
+//!   Workers pull indices from a shared atomic counter (dynamic load
+//!   balancing — shard sizes are data-dependent), and with one thread
+//!   (or one task) everything runs inline on the caller's stack, so the
+//!   sequential path pays no synchronization or spawn cost.
+//! * [`detect_threads`] resolves the worker count: the
+//!   `HIPPO_DETECT_THREADS` environment variable when set (≥ 1), else
+//!   the machine's available parallelism, capped at [`MAX_THREADS`].
+//!
+//! Nothing here is specific to detection; the pool is a generic
+//! fork-join over an indexed task list. Determinism is the *caller's*
+//! obligation: each task closure must depend only on its index.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the detection worker count.
+pub const THREADS_ENV: &str = "HIPPO_DETECT_THREADS";
+
+/// Upper bound on auto-detected workers (an override may exceed it).
+pub const MAX_THREADS: usize = 16;
+
+/// Number of detection worker threads: `HIPPO_DETECT_THREADS` if set to
+/// a positive integer, otherwise available parallelism capped at
+/// [`MAX_THREADS`]. Always ≥ 1.
+pub fn detect_threads() -> usize {
+    if let Ok(s) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Run `f(0), f(1), …, f(tasks - 1)` across at most `threads` scoped
+/// workers and return the results in task-index order. `threads ≤ 1`
+/// (or `tasks ≤ 1`) runs inline with no thread machinery at all.
+pub fn run_indexed<T, F>(tasks: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.max(1).min(tasks);
+    if workers <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(tasks));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                if !local.is_empty() {
+                    collected.lock().unwrap().extend(local);
+                }
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().unwrap();
+    debug_assert_eq!(pairs.len(), tasks);
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Split `0..len` into at most `parts` contiguous ranges of near-equal
+/// size (never returns empty ranges; fewer parts when `len < parts`).
+/// The decomposition depends only on `len` and `parts`, making it a
+/// deterministic sharding unit for slot-range partitioning.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push((lo, lo + size));
+        lo += size;
+    }
+    debug_assert_eq!(lo, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        for threads in [1, 2, 4, 7] {
+            let got = run_indexed(20, threads, |i| i * i);
+            let want: Vec<usize> = (0..20).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_and_one_tasks() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn split_ranges_cover_exactly() {
+        for len in [0usize, 1, 5, 16, 17, 1000] {
+            for parts in [1usize, 2, 3, 8, 40] {
+                let ranges = split_ranges(len, parts);
+                let mut expect_lo = 0;
+                for &(lo, hi) in &ranges {
+                    assert_eq!(lo, expect_lo);
+                    assert!(hi > lo, "no empty ranges");
+                    expect_lo = hi;
+                }
+                assert_eq!(expect_lo, len, "ranges cover 0..{len}");
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn detect_threads_is_positive() {
+        assert!(detect_threads() >= 1);
+    }
+}
