@@ -1,0 +1,73 @@
+//! Criterion bench for the **parallel batched prover** (PR 3): answer
+//! pipeline throughput vs candidate count, prover thread count, and the
+//! closure-signature cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hippo_cqa::prelude::*;
+use hippo_engine::Database;
+
+fn diff_query() -> SjudQuery {
+    SjudQuery::rel("t").diff(SjudQuery::rel("t").select(Pred::cmp_const(2, CmpOp::Ge, 900i64)))
+}
+
+fn hippo_for(n: usize, rate: f64, opts: HippoOptions) -> Hippo {
+    let spec = FdTableSpec::new("t", n, rate, 81);
+    let mut db = Database::new();
+    spec.populate(&mut db).unwrap();
+    Hippo::with_options(db, vec![spec.fd()], opts).unwrap()
+}
+
+/// Answer-pipeline time vs candidate count (KG mode, 5% conflicts).
+fn bench_candidates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prover_candidates");
+    group.sample_size(10);
+    let q = diff_query();
+    for n in [1000usize, 4000, 16000] {
+        let hippo = hippo_for(n, 0.05, HippoOptions::kg().with_prover_threads(1));
+        group.bench_with_input(BenchmarkId::new("kg_1thread", n), &n, |b, _| {
+            b.iter(|| hippo.consistent_answers(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Thread scaling at fixed size (shard decomposition is fixed, so every
+/// row produces identical answers and stats).
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prover_threads");
+    group.sample_size(10);
+    let q = diff_query();
+    for threads in [1usize, 2, 4, 8] {
+        let hippo = hippo_for(16000, 0.05, HippoOptions::kg().with_prover_threads(threads));
+        group.bench_with_input(BenchmarkId::new("kg_16k", threads), &threads, |b, _| {
+            b.iter(|| hippo.consistent_answers(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Closure-signature cache ablation (single thread isolates the cache
+/// effect from parallel speedup).
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prover_cache");
+    group.sample_size(10);
+    let q = diff_query();
+    for (label, opts) in [
+        ("memoized", HippoOptions::kg().with_prover_threads(1)),
+        (
+            "uncached",
+            HippoOptions::kg()
+                .with_prover_threads(1)
+                .without_prover_cache(),
+        ),
+    ] {
+        let hippo = hippo_for(16000, 0.05, opts);
+        group.bench_function(BenchmarkId::new(label, "16k"), |b| {
+            b.iter(|| hippo.consistent_answers(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidates, bench_threads, bench_cache);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Experiment harness: regenerates every table/figure of the reproduction.
 //!
 //! Usage:
-//!   harness [--quick] [--json PATH] [all|d1|d2|e1|e2|e3|e4|e5|e6|e7|e8]...
+//!   harness [--quick] [--json PATH] [all|d1|d2|e1|e2|e3|e4|e5|e6|e7|e8|e9]...
 //!
 //! With no experiment arguments, runs everything. `--quick` shrinks
 //! workload sizes (used in CI and on laptops; the full sizes match
@@ -66,6 +66,7 @@ fn main() {
     run("e6", &ex::e6_envelope);
     run("e7", &ex::e7_repair_blowup);
     run("e8", &ex::e8_parallel);
+    run("e9", &ex::e9_prover);
 
     if let Some(path) = json_path {
         let json = render_json(quick, &tables);

@@ -247,16 +247,13 @@ mod tests {
         let filtered = core_filter_on_catalog(&q, db.catalog(), &g);
         // Every filtered tuple must be verified consistent by the prover.
         let template = MembershipTemplate::build(&q, db.catalog()).unwrap();
-        let mut prover = Prover::new(
-            &g,
-            &template,
-            CatalogMembership {
-                catalog: db.catalog(),
-            },
-        );
+        let mut prover = Prover::new(&g, &template);
+        let mut membership = CatalogMembership {
+            catalog: db.catalog(),
+        };
         for row in &filtered {
             assert!(
-                prover.is_consistent_answer(row).unwrap(),
+                prover.is_consistent_answer(row, &mut membership).unwrap(),
                 "core filter produced non-consistent {row:?}"
             );
         }

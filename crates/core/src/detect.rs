@@ -40,19 +40,27 @@
 //! with [`ConflictHypergraph::finalize`], which freezes the vertex→edge
 //! adjacency into its compact offset-array form for the prover's reads.
 //!
+//! The two FD passes (hash, then group-and-check) share a **single**
+//! thread scope with a barrier between them ([`parallel::run_fused`]),
+//! so each constraint spawns its workers once instead of twice.
+//!
 //! The FD grouping pass doubles as the builder of the persistent
 //! [`FdIndex`] (LHS-hash → tuple ids) that [`crate::hippo::Hippo`] keeps
-//! for **incremental redetection**: the `*_delta_*` helpers in this
-//! module probe that index (FDs) or re-run a restricted join (general
-//! denials) against just the inserted tuples instead of the whole
-//! instance.
+//! for **incremental redetection**. General denials get the analogous
+//! treatment through [`GenIndex`]: the per-atom join indexes (linked
+//! columns → tuple ids) are persisted for every *seed orientation* of
+//! the constraint, so a delta pass binds the changed tuple first and
+//! hash-extends outward — `O(delta × matches)` work, never a rescan of
+//! the constraint's outer atom. The `*_delta_*` helpers in this module
+//! probe those indexes against just the inserted tuples instead of the
+//! whole instance.
 
 use crate::constraint::{Comparison, DenialConstraint, Term};
 use crate::hypergraph::{ConflictHypergraph, EdgeFragment, Vertex};
 use crate::parallel;
 use crate::pred::CmpOp;
 use hippo_engine::{Catalog, EngineError, Row, Table, TupleId, Value};
-use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
+use rustc_hash::{FxHashMap, FxHasher};
 use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
@@ -134,12 +142,92 @@ pub(crate) struct FdIndex {
     pub groups: FxHashMap<u64, Vec<TupleId>>,
 }
 
+/// One persisted join index of a general denial: `key_cols` of the
+/// indexed atom's relation → live tuple ids carrying that key (NULL keys
+/// are absent — they never join). Owned (ids, not row borrows), so it
+/// survives inside [`crate::hippo::Hippo`] across database changes and
+/// is maintained in O(1) per inserted/deleted tuple.
+#[derive(Debug, Clone)]
+pub(crate) struct OwnedJoinIndex {
+    /// Columns of the indexed atom forming the key.
+    pub key_cols: Vec<usize>,
+    /// Key values → live tuple ids, in arrival order.
+    pub map: FxHashMap<Vec<Value>, Vec<TupleId>>,
+}
+
+/// One step of a seed orientation: bind `atom` next, matching the
+/// equality links back to already-bound atoms through `index` (an id
+/// into [`GenIndex::indexes`]) when links exist, else a table scan.
+#[derive(Debug, Clone)]
+pub(crate) struct SeedStep {
+    /// Atom being bound by this step.
+    pub atom: usize,
+    /// `(bound atom, bound col, this atom's col)` equality links.
+    pub links: Vec<(usize, usize, usize)>,
+    /// Persisted join index serving this step (`None` = no links).
+    pub index: Option<usize>,
+}
+
+/// Persistent delta-join state for one general denial: for every **seed
+/// orientation** `p` (the atom position a changed tuple occupies), the
+/// step sequence binding the remaining atoms in ascending order, plus
+/// the owned join indexes those steps probe. Indexes are deduplicated
+/// by `(relation, key columns)`, so orientations share them.
+#[derive(Debug, Clone)]
+pub(crate) struct GenIndex {
+    /// `orientations[p]` binds the remaining atoms after seeding atom `p`.
+    pub orientations: Vec<Vec<SeedStep>>,
+    /// `(relation name, index)` pairs referenced by the steps.
+    pub indexes: Vec<(String, OwnedJoinIndex)>,
+}
+
+impl GenIndex {
+    /// Register a newly inserted tuple with every index over its relation.
+    pub fn insert_tuple(&mut self, table: &str, tid: TupleId, row: &Row) {
+        for (rel, ix) in &mut self.indexes {
+            if rel != table {
+                continue;
+            }
+            let key: Vec<Value> = ix.key_cols.iter().map(|&c| row[c].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            ix.map.entry(key).or_default().push(tid);
+        }
+    }
+
+    /// Remove a deleted tuple (`row` is its content as of deletion) from
+    /// every index over its relation.
+    pub fn remove_tuple(&mut self, table: &str, tid: TupleId, row: &Row) {
+        for (rel, ix) in &mut self.indexes {
+            if rel != table {
+                continue;
+            }
+            let key: Vec<Value> = ix.key_cols.iter().map(|&c| row[c].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if let Some(tids) = ix.map.get_mut(&key) {
+                tids.retain(|&t| t != tid);
+                if tids.is_empty() {
+                    ix.map.remove(&key);
+                }
+            }
+        }
+    }
+}
+
 /// Per-constraint incremental-detection state, parallel to the
-/// constraint list (`None` for non-FD constraints, which are delta-
-/// detected by restricted joins instead of an index).
+/// constraint list: `fd[ci]` for FD constraints (a free by-product of
+/// the sharded FD pass), `general[ci]` for everything else. General
+/// indexes are **lazily** materialised by the first incremental
+/// redetect that needs them — full detection never pays for the owned
+/// copies — so `general[ci]` is `None` for FD constraints *and* for
+/// general constraints whose index has not been demanded yet.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct DetectIndex {
     pub fd: Vec<Option<FdIndex>>,
+    pub general: Vec<Option<GenIndex>>,
 }
 
 /// Build the conflict hypergraph for `constraints` over the catalog,
@@ -221,11 +309,15 @@ fn detect_core(
                     rhs,
                     groups: groups.unwrap_or_default(),
                 }));
+                ix.general.push(None);
             }
         } else {
             detect_general(catalog, &mut g, ci, c, threads, shards, &mut stats)?;
             if let Some(ix) = index.as_mut() {
                 ix.fd.push(None);
+                // Built lazily by the first incremental redetect: a
+                // read-only Hippo never pays for the owned indexes.
+                ix.general.push(None);
             }
         }
     }
@@ -316,76 +408,85 @@ fn detect_fd(
 ) -> Result<Option<FxHashMap<u64, Vec<TupleId>>>, EngineError> {
     let table = catalog.table(rel)?;
     let ri = g.intern(rel);
+    // Both phases share ONE thread scope (a barrier separates them), so
+    // each FD constraint spawns its workers once instead of twice.
+    //
     // Phase A — parallel hash pass: contiguous slot-range chunks, each
     // binning `(hash, tid, row)` by shard. Concatenating chunk bins in
     // chunk order restores slot order, so the chunk count (= thread
     // count) leaves the per-shard tuple sequence unchanged.
-    let chunks = parallel::split_ranges(table.slot_count(), threads);
-    let bins: Vec<Vec<Vec<HashedTuple>>> = parallel::run_indexed(chunks.len(), threads, |i| {
-        let (lo, hi) = chunks[i];
-        let mut by_shard: Vec<Vec<HashedTuple>> = (0..shards).map(|_| Vec::new()).collect();
-        for slot in lo..hi {
-            let tid = TupleId(slot as u32);
-            let Some(row) = table.get(tid) else { continue };
-            let Some(h) = lhs_hash(row, lhs) else {
-                continue;
-            };
-            by_shard[shard_of(h, shards)].push((h, tid, row));
-        }
-        by_shard
-    });
+    //
     // Phase B — per shard: group by full hash (zero-clone, keyed by the
     // hash itself; pairs re-verify LHS equality, which also neutralises
     // collisions) and emit an edge per RHS-disagreeing same-LHS pair.
-    let outs: Vec<FdShardOut> = parallel::run_indexed(shards, threads, |s| {
-        let n: usize = bins.iter().map(|chunk| chunk[s].len()).sum();
-        let mut groups: FxHashMap<u64, Vec<(TupleId, &Row)>> =
-            FxHashMap::with_capacity_and_hasher(n, Default::default());
-        for chunk in &bins {
-            for &(h, tid, row) in &chunk[s] {
-                groups.entry(h).or_default().push((tid, row));
+    let chunks = parallel::split_ranges(table.slot_count(), threads);
+    let (_bins, outs): (Vec<Vec<Vec<HashedTuple>>>, Vec<FdShardOut>) = parallel::run_fused(
+        chunks.len(),
+        shards,
+        threads,
+        |i| {
+            let (lo, hi) = chunks[i];
+            let mut by_shard: Vec<Vec<HashedTuple>> = (0..shards).map(|_| Vec::new()).collect();
+            for slot in lo..hi {
+                let tid = TupleId(slot as u32);
+                let Some(row) = table.get(tid) else { continue };
+                let Some(h) = lhs_hash(row, lhs) else {
+                    continue;
+                };
+                by_shard[shard_of(h, shards)].push((h, tid, row));
             }
-        }
-        let mut frag = EdgeFragment::new();
-        let mut combinations = 0;
-        let mut emitted = 0;
-        for group in groups.values() {
-            if group.len() < 2 {
-                continue;
+            by_shard
+        },
+        |s, bins| {
+            let n: usize = bins.iter().map(|chunk| chunk[s].len()).sum();
+            let mut groups: FxHashMap<u64, Vec<(TupleId, &Row)>> =
+                FxHashMap::with_capacity_and_hasher(n, Default::default());
+            for chunk in bins {
+                for &(h, tid, row) in &chunk[s] {
+                    groups.entry(h).or_default().push((tid, row));
+                }
             }
-            for (i, &(tid_a, row_a)) in group.iter().enumerate() {
-                for &(tid_b, row_b) in group.iter().skip(i + 1) {
-                    combinations += 1;
-                    if lhs.iter().any(|&c| row_a[c] != row_b[c]) {
-                        continue; // hash collision, not a real group-mate
-                    }
-                    if row_a[rhs].sql_eq(&row_b[rhs]) == Some(false) {
-                        emitted += 1;
-                        frag.push_edge(
-                            &[
-                                Vertex {
-                                    rel: ri,
-                                    tid: tid_a,
-                                },
-                                Vertex {
-                                    rel: ri,
-                                    tid: tid_b,
-                                },
-                            ],
-                            &[row_a, row_b],
-                            ci,
-                        );
+            let mut frag = EdgeFragment::new();
+            let mut combinations = 0;
+            let mut emitted = 0;
+            for group in groups.values() {
+                if group.len() < 2 {
+                    continue;
+                }
+                for (i, &(tid_a, row_a)) in group.iter().enumerate() {
+                    for &(tid_b, row_b) in group.iter().skip(i + 1) {
+                        combinations += 1;
+                        if lhs.iter().any(|&c| row_a[c] != row_b[c]) {
+                            continue; // hash collision, not a real group-mate
+                        }
+                        if row_a[rhs].sql_eq(&row_b[rhs]) == Some(false) {
+                            emitted += 1;
+                            frag.push_edge(
+                                &[
+                                    Vertex {
+                                        rel: ri,
+                                        tid: tid_a,
+                                    },
+                                    Vertex {
+                                        rel: ri,
+                                        tid: tid_b,
+                                    },
+                                ],
+                                &[row_a, row_b],
+                                ci,
+                            );
+                        }
                     }
                 }
             }
-        }
-        FdShardOut {
-            frag,
-            combinations,
-            emitted,
-            groups,
-        }
-    });
+            FdShardOut {
+                frag,
+                combinations,
+                emitted,
+                groups,
+            }
+        },
+    );
     // Deterministic merge: shard order, exact stat sums. Shards
     // partition the hash space, so index buckets never collide.
     let mut index =
@@ -450,10 +551,9 @@ fn build_general_plan<'a>(
 }
 
 /// Run the left-to-right join from a seed of outer-atom rows, emitting
-/// every full satisfying assignment as an edge into `frag`. `restrict`
-/// optionally limits one non-outer atom to a tuple-id set (the delta
-/// path). Returns `(combinations, emitted)`.
-#[allow(clippy::too_many_arguments)]
+/// every full satisfying assignment as an edge into `frag`. Returns
+/// `(combinations, emitted)`. (Delta passes no longer go through here —
+/// they seed from the changed tuples via [`general_delta_insert`].)
 fn run_general_join<'a>(
     c: &DenialConstraint,
     rels: &[u32],
@@ -461,7 +561,6 @@ fn run_general_join<'a>(
     steps: &[GenAtomStep<'a>],
     ci: usize,
     outer: &[(TupleId, &'a Row)],
-    restrict: Option<(usize, &FxHashSet<TupleId>)>,
     frag: &mut EdgeFragment<'a>,
 ) -> (usize, usize) {
     let mut combinations = 0usize;
@@ -477,7 +576,6 @@ fn run_general_join<'a>(
         }
     }
     for (atom_idx, step) in steps.iter().enumerate().skip(1) {
-        let restricted = restrict.filter(|&(p, _)| p == atom_idx).map(|(_, set)| set);
         let mut next: Vec<Vec<(TupleId, &Row)>> = Vec::new();
         if let Some(ix) = &step.index {
             // Hash-join extension on the linked columns.
@@ -492,9 +590,6 @@ fn run_general_join<'a>(
                 }
                 if let Some(matches) = ix.get(&key) {
                     for &(tid, row) in matches {
-                        if restricted.is_some_and(|set| !set.contains(&tid)) {
-                            continue;
-                        }
                         combinations += 1;
                         let mut a = assign.clone();
                         a.push((tid, row));
@@ -508,9 +603,6 @@ fn run_general_join<'a>(
             // Nested-loop extension.
             for assign in &current {
                 for (tid, row) in tables[atom_idx].iter() {
-                    if restricted.is_some_and(|set| !set.contains(&tid)) {
-                        continue;
-                    }
                     combinations += 1;
                     let mut a = assign.clone();
                     a.push((tid, row));
@@ -565,7 +657,7 @@ fn detect_general(
                 .collect();
             let mut frag = EdgeFragment::new();
             let (combinations, emitted) =
-                run_general_join(c, &rels, &tables, &steps, ci, &outer, None, &mut frag);
+                run_general_join(c, &rels, &tables, &steps, ci, &outer, &mut frag);
             (frag, combinations, emitted)
         });
     for (frag, combinations, emitted) in outs {
@@ -640,19 +732,85 @@ pub(crate) fn fd_delta_delete(ix: &mut FdIndex, row: &Row, tid: TupleId) {
     }
 }
 
-/// Delta-detect a general denial after inserts: for every atom position
-/// whose relation received new tuples, re-run the join with that
-/// position restricted to them. Combinations where several new tuples
-/// occupy different positions are found more than once; the graph's
-/// dedup collapses them. The join plan (and its per-atom hash indexes)
-/// is built once per constraint, but each position-`p > 0` pass still
-/// seeds from the full outer atom — general-denial deltas are
-/// `O(outer-atom)` per pass, not `O(delta)` like the FD index path.
+/// Build the persistent [`GenIndex`] for a general denial: the seed
+/// orientations plus their owned join indexes. Indexes keyed by the same
+/// `(relation, key columns)` pair are built once and shared.
+pub(crate) fn build_gen_index(
+    catalog: &Catalog,
+    c: &DenialConstraint,
+) -> Result<GenIndex, EngineError> {
+    let n = c.atoms.len();
+    let mut gix = GenIndex {
+        orientations: Vec::with_capacity(n),
+        indexes: Vec::new(),
+    };
+    let mut by_key: FxHashMap<(String, Vec<usize>), usize> = FxHashMap::default();
+    for p in 0..n {
+        let mut bound: Vec<usize> = vec![p];
+        let mut steps = Vec::new();
+        for q in 0..n {
+            if q == p {
+                continue;
+            }
+            let mut links: Vec<(usize, usize, usize)> = Vec::new();
+            for &b in &bound {
+                for (bc, qc) in c.equalities_between(b, q) {
+                    links.push((b, bc, qc));
+                }
+            }
+            let index = if links.is_empty() {
+                None
+            } else {
+                let key_cols: Vec<usize> = links.iter().map(|&(_, _, qc)| qc).collect();
+                let slot = match by_key.entry((c.atoms[q].clone(), key_cols.clone())) {
+                    std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let table = catalog.table(&c.atoms[q])?;
+                        let mut map: FxHashMap<Vec<Value>, Vec<TupleId>> =
+                            FxHashMap::with_capacity_and_hasher(table.len(), Default::default());
+                        for (tid, row) in table.iter() {
+                            let key: Vec<Value> =
+                                key_cols.iter().map(|&cc| row[cc].clone()).collect();
+                            if key.iter().any(Value::is_null) {
+                                continue;
+                            }
+                            map.entry(key).or_default().push(tid);
+                        }
+                        let id = gix.indexes.len();
+                        gix.indexes
+                            .push((c.atoms[q].clone(), OwnedJoinIndex { key_cols, map }));
+                        e.insert(id);
+                        id
+                    }
+                };
+                Some(slot)
+            };
+            steps.push(SeedStep {
+                atom: q,
+                links,
+                index,
+            });
+            bound.push(q);
+        }
+        gix.orientations.push(steps);
+    }
+    Ok(gix)
+}
+
+/// Delta-detect a general denial after inserts, **seeded from the
+/// changed tuples**: for every atom position `p` whose relation received
+/// new tuples, bind each new tuple at `p` first, then extend to the
+/// remaining atoms through the persisted [`GenIndex`] join indexes (or
+/// a scan for link-free atoms). Work is `O(delta × join matches)` — the
+/// constraint's outer atom is never rescanned. Combinations where
+/// several new tuples occupy different positions are found more than
+/// once; the graph's dedup collapses them.
 pub(crate) fn general_delta_insert(
     catalog: &Catalog,
     g: &mut ConflictHypergraph,
     ci: usize,
     c: &DenialConstraint,
+    ix: &GenIndex,
     deltas: &FxHashMap<String, Vec<TupleId>>,
     stats: &mut DetectStats,
 ) -> Result<(), EngineError> {
@@ -664,40 +822,133 @@ pub(crate) fn general_delta_insert(
         return Ok(());
     }
     let rels: Vec<u32> = c.atoms.iter().map(|r| g.intern(r)).collect();
-    let (tables, steps) = build_general_plan(catalog, c)?;
+    let tables: Vec<&Table> = c
+        .atoms
+        .iter()
+        .map(|r| catalog.table(r))
+        .collect::<Result<_, _>>()?;
+    let mut bindings: Vec<Option<(TupleId, &Row)>> = vec![None; c.atoms.len()];
     for p in 0..c.atoms.len() {
         let Some(delta) = deltas.get(&c.atoms[p]) else {
             continue;
         };
-        if delta.is_empty() {
-            continue;
+        for &tid in delta {
+            let Some(row) = tables[p].get(tid) else {
+                continue;
+            };
+            stats.combinations_checked += 1;
+            bindings[p] = Some((tid, row));
+            if sparse_condition_ok(c, &bindings) {
+                seed_extend(c, &rels, &tables, ix, p, 0, &mut bindings, ci, g, stats);
+            }
+            bindings[p] = None;
         }
-        let mut frag = EdgeFragment::new();
-        let (combinations, emitted) = if p == 0 {
-            let outer: Vec<(TupleId, &Row)> = delta
-                .iter()
-                .filter_map(|&tid| tables[0].get(tid).map(|row| (tid, row)))
-                .collect();
-            run_general_join(c, &rels, &tables, &steps, ci, &outer, None, &mut frag)
-        } else {
-            let delta_set: FxHashSet<TupleId> = delta.iter().copied().collect();
-            let outer: Vec<(TupleId, &Row)> = tables[0].iter().collect();
-            run_general_join(
-                c,
-                &rels,
-                &tables,
-                &steps,
-                ci,
-                &outer,
-                Some((p, &delta_set)),
-                &mut frag,
-            )
-        };
-        stats.combinations_checked += combinations;
-        stats.edges_emitted += emitted;
-        g.absorb_fragment(&frag);
     }
     Ok(())
+}
+
+/// Recursive extension of a seeded partial assignment along orientation
+/// `p`'s steps; emits an edge for every full satisfying assignment.
+#[allow(clippy::too_many_arguments)]
+fn seed_extend<'a>(
+    c: &DenialConstraint,
+    rels: &[u32],
+    tables: &[&'a Table],
+    ix: &GenIndex,
+    p: usize,
+    step_i: usize,
+    bindings: &mut Vec<Option<(TupleId, &'a Row)>>,
+    ci: usize,
+    g: &mut ConflictHypergraph,
+    stats: &mut DetectStats,
+) {
+    let steps = &ix.orientations[p];
+    if step_i == steps.len() {
+        // Full assignment satisfying the condition = violation.
+        let rows: Vec<&Row> = bindings.iter().map(|b| b.expect("all bound").1).collect();
+        debug_assert!(c.condition_holds(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>()));
+        let vertices: Vec<Vertex> = bindings
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Vertex {
+                rel: rels[i],
+                tid: b.expect("all bound").0,
+            })
+            .collect();
+        stats.edges_emitted += 1;
+        g.add_edge(&vertices, &rows, ci);
+        return;
+    }
+    let step = &steps[step_i];
+    let try_tuple = |tid: TupleId,
+                     row: &'a Row,
+                     bindings: &mut Vec<Option<(TupleId, &'a Row)>>,
+                     g: &mut ConflictHypergraph,
+                     stats: &mut DetectStats| {
+        stats.combinations_checked += 1;
+        bindings[step.atom] = Some((tid, row));
+        if sparse_condition_ok(c, bindings) {
+            seed_extend(c, rels, tables, ix, p, step_i + 1, bindings, ci, g, stats);
+        }
+        bindings[step.atom] = None;
+    };
+    match step.index {
+        Some(id) => {
+            // Hash-extension on the persisted index for the linked columns.
+            let (_, jix) = &ix.indexes[id];
+            let key: Vec<Value> = step
+                .links
+                .iter()
+                .map(|&(b, bc, _)| bindings[b].expect("link to bound atom").1[bc].clone())
+                .collect();
+            if key.iter().any(Value::is_null) {
+                return;
+            }
+            if let Some(tids) = jix.map.get(&key) {
+                // The index is maintained eagerly, but guard against a
+                // tombstoned slot anyway.
+                for &tid in tids {
+                    let Some(row) = tables[step.atom].get(tid) else {
+                        continue;
+                    };
+                    try_tuple(tid, row, bindings, g, stats);
+                }
+            }
+        }
+        None => {
+            // No equality links to any bound atom: scan (matches the full
+            // detection path for cartesian constraints).
+            for (tid, row) in tables[step.atom].iter() {
+                try_tuple(tid, row, bindings, g, stats);
+            }
+        }
+    }
+}
+
+/// Check the comparisons whose atoms are all bound in a **sparse**
+/// assignment (any subset of atoms may be bound, in any order); used to
+/// prune seeded partial assignments early. Borrow-only.
+fn sparse_condition_ok(c: &DenialConstraint, bindings: &[Option<(TupleId, &Row)>]) -> bool {
+    // Outer None = atom not bound yet (skip); inner Option = value.
+    fn val<'t>(
+        t: &'t Term,
+        bindings: &'t [Option<(TupleId, &'t Row)>],
+    ) -> Option<Option<&'t Value>> {
+        match t {
+            Term::Attr(a) => bindings[a.atom].map(|(_, row)| row.get(a.col)),
+            Term::Const(v) => Some(Some(v)),
+        }
+    }
+    c.condition.iter().all(|cmp| {
+        match (val(&cmp.left, bindings), val(&cmp.right, bindings)) {
+            (Some(Some(l)), Some(Some(r))) => match l.sql_cmp(r) {
+                Some(ord) => cmp.op.test(ord),
+                None => false,
+            },
+            (Some(None), _) | (_, Some(None)) => false, // missing column
+            _ => true,                                  // not fully bound yet
+        }
+    })
 }
 
 /// Check the comparisons whose atoms are all bound so far; used to prune

@@ -90,6 +90,28 @@ impl MembershipTemplate {
     pub fn instantiate(&self, tuple: &Row) -> Formula {
         instantiate_rec(&self.formula, tuple, &self.literals)
     }
+
+    /// All guard predicates of the template, in deterministic pre-order.
+    /// The instantiated formula — and therefore the prover's verdict —
+    /// is fully determined by the truth of these guards on the candidate
+    /// plus the per-literal membership/conflict state, which is what
+    /// makes the closure-signature cache (see [`crate::hippo`]) sound.
+    pub fn guards(&self) -> Vec<&Pred> {
+        fn walk<'a>(t: &'a FormulaTemplate, out: &mut Vec<&'a Pred>) {
+            match t {
+                FormulaTemplate::True | FormulaTemplate::False | FormulaTemplate::Lit(_) => {}
+                FormulaTemplate::Guard(p) => out.push(p),
+                FormulaTemplate::And(a, b) | FormulaTemplate::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                FormulaTemplate::Not(inner) => walk(inner, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.formula, &mut out);
+        out
+    }
 }
 
 fn build_rec(

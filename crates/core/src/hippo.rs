@@ -17,37 +17,68 @@
 //! * **core filter** — additionally, tuples provably consistent from the
 //!   conflict-free core skip the prover.
 //!
+//! # The shard → merge answer pipeline
+//!
+//! Candidate decisions are independent of each other — each depends
+//! only on the candidate's conflict neighbourhood — so the prover stage
+//! mirrors detection's shard → merge design. A sequential prepass
+//! dedups candidates and applies the core filter; the surviving
+//! worklist is split into [`PROVER_SHARDS`] contiguous slices run
+//! across the [`crate::parallel`] pool (`HIPPO_PROVER_THREADS` or
+//! [`HippoOptions::prover_threads`]). Each shard owns a read-only view
+//! of the graph, one reusable [`Prover`] workspace, a borrowed
+//! [`GatheredMembership`] per candidate, and a private
+//! **closure-signature cache**: candidates whose guard outcomes,
+//! membership flags and per-literal conflict facts coincide (see
+//! [`Prover::closure_signature`]) share one verdict, so on low-conflict
+//! workloads prover work collapses to one call per equivalence class
+//! ([`AnswerStats::prover_cache_hits`] counts the collapses). Shard
+//! outputs merge in shard order — answers and every [`AnswerStats`]
+//! counter are bit-identical for any worker count. Base mode (per-check
+//! SQL membership) stays sequential: the engine handle is not `Sync`,
+//! and its cost model is the paper's motivating *worst case* anyway.
+//!
 //! # Incremental maintenance
 //!
 //! Database changes made through [`Hippo::insert_tuples`] /
-//! [`Hippo::delete_tuples`] are *recorded*, and the next
-//! [`Hippo::redetect`] reconciles the hypergraph **incrementally**:
-//! edges touching deleted tuples are dropped while surviving edges are
-//! carried over verbatim, and inserted tuples are delta-detected. For
-//! FD constraints the delta probes the persistent LHS-hash group index,
-//! so the work is proportional to the conflict graph plus the change —
-//! never the instance. General denials re-run a position-restricted
-//! join instead: far cheaper than a rebuild in practice (the join
-//! indexes prune to the delta), but still a scan of the constraint's
-//! outer atom. Mutating the database any other way ([`Hippo::db_mut`])
-//! marks the catalog dirty and the next `redetect` falls back to a full
-//! sharded rebuild.
+//! [`Hippo::delete_tuples`] / [`Hippo::update_tuples`] are *recorded*,
+//! and the next [`Hippo::redetect`] reconciles the hypergraph
+//! **incrementally**: edges touching deleted tuples are dropped while
+//! surviving edges are carried over verbatim, and inserted tuples are
+//! delta-detected (an in-place update is recorded as delete + insert
+//! of the same tuple id). For FD constraints the delta probes the
+//! persistent LHS-hash group index; general denials **seed** their
+//! joins from the changed tuples and extend through persistent
+//! per-atom join indexes (`GenIndex`) — in both cases the work is
+//! proportional to the conflict graph plus the change and its join
+//! matches, never the instance or the constraint's outer atom.
+//! Mutating the database any other way ([`Hippo::db_mut`]) marks the
+//! catalog dirty and the next `redetect` falls back to a full sharded
+//! rebuild.
 
 use crate::constraint::DenialConstraint;
 use crate::corefilter::core_filter_on_catalog;
 use crate::detect::{
-    detect_with_index, fd_delta_delete, fd_delta_insert, general_delta_insert, DetectIndex,
-    DetectOptions, DetectStats,
+    build_gen_index, detect_with_index, fd_delta_delete, fd_delta_insert, general_delta_insert,
+    DetectIndex, DetectOptions, DetectStats,
 };
 use crate::envelope::envelope;
 use crate::formula::MembershipTemplate;
 use crate::hypergraph::{ConflictHypergraph, FactId, Vertex};
 use crate::kg::{extended_envelope_sql, split_gathered, GatheredMembership, SqlMembership};
+use crate::parallel;
 use crate::prover::{Prover, ProverRunStats};
 use crate::query::SjudQuery;
 use hippo_engine::{Database, EngineError, Row, TupleId};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::time::{Duration, Instant};
+
+/// Fixed shard count of the answer pipeline. Like detection's
+/// `DEFAULT_SHARDS`, the decomposition depends only on the worklist
+/// length — never on the worker count — so answer order, every
+/// [`AnswerStats`] counter and the cache-hit totals are bit-identical
+/// for any `HIPPO_PROVER_THREADS` setting.
+pub const PROVER_SHARDS: usize = 16;
 
 /// Optimization switches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +88,18 @@ pub struct HippoOptions {
     pub knowledge_gathering: bool,
     /// Skip the prover for tuples caught by the core filter.
     pub core_filter: bool,
+    /// Worker threads for the answer pipeline's prover stage; `0` =
+    /// auto (the `HIPPO_PROVER_THREADS` environment variable if set,
+    /// else available parallelism). Only the knowledge-gathering path
+    /// shards — base mode issues per-check SQL through the (non-`Sync`)
+    /// engine handle and stays sequential. The thread count never
+    /// affects answers or stats, only wall-clock.
+    pub prover_threads: usize,
+    /// Memoize prover verdicts by conflict-closure signature (see
+    /// [`crate::prover::Prover::closure_signature`]); candidates whose
+    /// signatures match an already-proved candidate in the same shard
+    /// are decided without running the prover.
+    pub prover_cache: bool,
 }
 
 impl HippoOptions {
@@ -65,6 +108,8 @@ impl HippoOptions {
         HippoOptions {
             knowledge_gathering: false,
             core_filter: false,
+            prover_threads: 0,
+            prover_cache: true,
         }
     }
 
@@ -72,15 +117,37 @@ impl HippoOptions {
     pub fn kg() -> Self {
         HippoOptions {
             knowledge_gathering: true,
-            core_filter: false,
+            ..HippoOptions::base()
         }
     }
 
     /// Knowledge gathering + core filter (the fully optimized system).
     pub fn full() -> Self {
         HippoOptions {
-            knowledge_gathering: true,
             core_filter: true,
+            ..HippoOptions::kg()
+        }
+    }
+
+    /// Explicit prover worker count (`0` = auto).
+    pub fn with_prover_threads(mut self, threads: usize) -> Self {
+        self.prover_threads = threads;
+        self
+    }
+
+    /// Disable the closure-signature verdict cache (every candidate
+    /// reaching the prover stage is proved from scratch; used by the
+    /// differential tests and the cache-ablation experiments).
+    pub fn without_prover_cache(mut self) -> Self {
+        self.prover_cache = false;
+        self
+    }
+
+    fn resolved_prover_threads(&self) -> usize {
+        if self.prover_threads == 0 {
+            parallel::prover_threads()
+        } else {
+            self.prover_threads
         }
     }
 }
@@ -91,15 +158,21 @@ impl Default for HippoOptions {
     }
 }
 
-/// Statistics of one consistent-query-answering run.
+/// Statistics of one consistent-query-answering run. Every counter is
+/// an exact sum over the answer pipeline's shards, independent of the
+/// prover worker count.
 #[derive(Debug, Clone, Default)]
-pub struct RunStats {
+pub struct AnswerStats {
     /// Candidate tuples returned by the envelope.
     pub candidates: usize,
     /// Tuples accepted without the prover by the core filter.
     pub filtered_consistent: usize,
-    /// Prover invocations.
+    /// Candidates reaching the prover stage (each is decided either by
+    /// a prover run or by a closure-signature cache hit).
     pub prover_calls: usize,
+    /// Prover-stage candidates decided from the per-shard
+    /// closure-signature cache without running the prover.
+    pub prover_cache_hits: usize,
     /// Prover-internal counters.
     pub prover: ProverRunStats,
     /// SQL membership queries issued against the backend (base mode).
@@ -115,6 +188,9 @@ pub struct RunStats {
     /// Total wall-clock for the run.
     pub t_total: Duration,
 }
+
+/// Former name of [`AnswerStats`].
+pub type RunStats = AnswerStats;
 
 /// One recorded database change, awaiting reconciliation by
 /// [`Hippo::redetect`].
@@ -256,6 +332,60 @@ impl Hippo {
         Ok(n)
     }
 
+    /// Update tuples **in place** (the tuple ids survive), recording each
+    /// change as a delete of the old content plus a re-insert — so the
+    /// next [`Hippo::redetect`] stays on the incremental path instead of
+    /// falling back to a full rebuild (which mutating through
+    /// [`Hippo::db_mut`] would force). The batch is validated up-front:
+    /// an unknown tuple id or a bad row rejects the whole call before
+    /// anything changes, so `Err` means the database is untouched.
+    /// Returns the number of tuples updated.
+    pub fn update_tuples(
+        &mut self,
+        table: &str,
+        updates: Vec<(TupleId, Row)>,
+    ) -> Result<usize, EngineError> {
+        let mut replaced: Vec<(TupleId, Row)> = Vec::with_capacity(updates.len());
+        {
+            let t = self.db.catalog_mut().table_mut(table)?;
+            let updates = updates
+                .into_iter()
+                .map(|(tid, row)| {
+                    if t.get(tid).is_none() {
+                        return Err(EngineError::new(format!(
+                            "update of missing tuple {} in {table}",
+                            tid.0
+                        )));
+                    }
+                    Ok((tid, t.schema.check_row(row)?))
+                })
+                .collect::<Result<Vec<_>, EngineError>>()?;
+            for (tid, row) in updates {
+                // Pre-validated: `update` can only fail on a missing
+                // tuple, which we just ruled out.
+                let old = t.update(tid, row)?;
+                replaced.push((tid, old));
+            }
+        }
+        let n = replaced.len();
+        for (tid, old) in replaced {
+            // Delete-then-insert of the *same* tuple id: the fold in
+            // `redetect_incremental` drops the old content's edges and
+            // index entries via the recorded row, then delta-detects the
+            // id again with its new content.
+            self.pending.push(PendingOp::Delete {
+                table: table.to_string(),
+                tid,
+                row: old,
+            });
+            self.pending.push(PendingOp::Insert {
+                table: table.to_string(),
+                tid,
+            });
+        }
+        Ok(n)
+    }
+
     /// Tear down the system, returning the owned database (e.g. to rebuild
     /// with different constraints).
     pub fn into_database(self) -> Database {
@@ -321,10 +451,11 @@ impl Hippo {
     }
 
     /// The incremental path: reconcile the recorded pending operations
-    /// against the existing graph. For FD-only constraint sets the cost
-    /// is proportional to the graph size plus the delta; general
-    /// denials additionally re-scan their outer atom (see
-    /// `general_delta_insert`).
+    /// against the existing graph. The cost is proportional to the
+    /// graph size plus the delta for **all** denial classes: FDs probe
+    /// the persistent LHS-hash group index, general denials seed their
+    /// joins from the changed tuples through the persistent per-atom
+    /// join indexes (see `general_delta_insert`).
     fn redetect_incremental(&mut self) -> Result<DetectStats, EngineError> {
         let start = Instant::now();
         let mut stats = DetectStats {
@@ -333,10 +464,22 @@ impl Hippo {
             ..DetectStats::default()
         };
         let pending = std::mem::take(&mut self.pending);
-        let index = self
+        let DetectIndex { fd, general } = self
             .detect_index
             .as_mut()
             .expect("incremental path requires a detect index");
+        // Materialise any missing general-denial join indexes **lazily**
+        // from the current catalog. The catalog already reflects this
+        // pending batch, so a freshly built index is up to date and must
+        // skip the batch's fold maintenance below (`fresh` marks them);
+        // read-only systems never pay for these owned indexes at all.
+        let mut fresh = vec![false; self.constraints.len()];
+        for (ci, c) in self.constraints.iter().enumerate() {
+            if fd[ci].is_none() && general[ci].is_none() {
+                general[ci] = Some(build_gen_index(self.db.catalog(), c)?);
+                fresh[ci] = true;
+            }
+        }
         let old = &self.graph;
 
         // New graph with the identical relation-interning order, so
@@ -348,7 +491,10 @@ impl Hippo {
 
         // Fold the pending log: net deleted vertices, net inserted
         // tuples per table (an insert later deleted in the same batch
-        // cancels out), and FD index maintenance for deletes.
+        // cancels out), and FD/join index maintenance for deletes. An
+        // in-place update arrives as delete-then-insert of one tuple
+        // id: the delete unhooks the old content (recorded row), the
+        // insert re-detects the id with its new content.
         let mut deleted: FxHashSet<Vertex> = FxHashSet::default();
         let mut inserted_by_table: FxHashMap<String, Vec<TupleId>> = FxHashMap::default();
         for op in &pending {
@@ -363,13 +509,48 @@ impl Hippo {
                     if let Some(ri) = old.relation_index(table) {
                         deleted.insert(Vertex { rel: ri, tid: *tid });
                     }
-                    for fdix in index.fd.iter_mut().flatten() {
+                    for fdix in fd.iter_mut().flatten() {
                         if fdix.rel == *table {
                             fd_delta_delete(fdix, row, *tid);
                         }
                     }
+                    for (ci, gix) in general.iter_mut().enumerate() {
+                        if fresh[ci] {
+                            continue; // built post-batch: already current
+                        }
+                        if let Some(gix) = gix {
+                            gix.remove_tuple(table, *tid, row);
+                        }
+                    }
                     if let Some(list) = inserted_by_table.get_mut(table) {
                         list.retain(|t| t != tid);
+                    }
+                }
+            }
+        }
+
+        // Register the net inserts with the carried-over (non-fresh)
+        // join indexes *before* the delta joins run, so new-new
+        // combinations across different atom positions are visible to
+        // every seed pass. Fresh indexes scanned the post-batch catalog
+        // and contain the inserts already.
+        let stale_general: Vec<usize> = general
+            .iter()
+            .enumerate()
+            .filter(|(ci, g)| g.is_some() && !fresh[*ci])
+            .map(|(ci, _)| ci)
+            .collect();
+        if !stale_general.is_empty() {
+            for (table, tids) in &inserted_by_table {
+                let t = self.db.catalog().table(table)?;
+                for &tid in tids {
+                    if let Some(row) = t.get(tid) {
+                        for &ci in &stale_general {
+                            general[ci]
+                                .as_mut()
+                                .expect("filtered to Some above")
+                                .insert_tuple(table, tid, row);
+                        }
                     }
                 }
             }
@@ -396,20 +577,27 @@ impl Hippo {
             g.add_edge(edge, &rows_buf, old.edge_constraint(eid));
         }
 
-        // Delta-detect the inserted tuples, constraint by constraint.
+        // Delta-detect the inserted tuples, constraint by constraint:
+        // FDs probe their LHS-hash group index, general denials seed
+        // their joins from the delta through the persistent per-atom
+        // join indexes. Both are O(delta × matches), never O(instance).
         for (ci, c) in self.constraints.iter().enumerate() {
-            match index.fd[ci].as_mut() {
+            match fd[ci].as_mut() {
                 Some(fdix) => {
                     if let Some(tids) = inserted_by_table.get(&fdix.rel) {
                         fd_delta_insert(self.db.catalog(), &mut g, ci, fdix, tids, &mut stats)?;
                     }
                 }
                 None => {
+                    let gix = general[ci]
+                        .as_ref()
+                        .expect("general index exists for every non-FD constraint");
                     general_delta_insert(
                         self.db.catalog(),
                         &mut g,
                         ci,
                         c,
+                        gix,
                         &inserted_by_table,
                         &mut stats,
                     )?;
@@ -497,12 +685,22 @@ impl Hippo {
     }
 
     /// Compute consistent answers plus run statistics.
+    ///
+    /// The answer-filtering stage is a **shard → merge pipeline**
+    /// mirroring detection's: a sequential prepass dedups candidates
+    /// and applies the core filter, then the surviving worklist is cut
+    /// into [`PROVER_SHARDS`] contiguous slices proved in parallel
+    /// (knowledge-gathering mode), each shard owning one reusable
+    /// [`Prover`] workspace, a borrowed [`GatheredMembership`] view per
+    /// candidate, and a private closure-signature verdict cache. Shard
+    /// outputs are merged in shard order, so answers and stats are
+    /// identical for any worker count.
     pub fn consistent_answers_with_stats(
         &self,
         query: &SjudQuery,
-    ) -> Result<(Vec<Row>, RunStats), EngineError> {
+    ) -> Result<(Vec<Row>, AnswerStats), EngineError> {
         let t0 = Instant::now();
-        let mut stats = RunStats::default();
+        let mut stats = AnswerStats::default();
         let arity = query.validate(self.db.catalog())?;
         let template = MembershipTemplate::build(query, self.db.catalog())?;
         let env = envelope(query);
@@ -533,15 +731,14 @@ impl Hippo {
         };
         stats.t_filter = tf.elapsed();
 
-        // ---- Prover ----
+        // ---- Prover prepass (sequential): dedup + core filter ----
         let tp = Instant::now();
         let mut answers: Vec<Row> = Vec::new();
-        let mut seen: FxHashSet<Row> =
+        let mut seen: FxHashSet<&Row> =
             FxHashSet::with_capacity_and_hasher(candidates.len(), Default::default());
-        let mut prover_stats = ProverRunStats::default();
-        let mut membership_queries = 0usize;
+        let mut work: Vec<u32> = Vec::new();
         for (i, cand) in candidates.iter().enumerate() {
-            if !seen.insert(cand.clone()) {
+            if !seen.insert(cand) {
                 continue; // duplicate candidate (envelope is set-semantics, but be safe)
             }
             if self.options.core_filter && filtered.contains(cand) {
@@ -549,24 +746,56 @@ impl Hippo {
                 answers.push(cand.clone());
                 continue;
             }
-            stats.prover_calls += 1;
-            let ok = if let Some(flags) = &flags {
-                let membership = GatheredMembership::for_candidate(&template, cand, &flags[i]);
-                let mut prover = Prover::new(&self.graph, &template, membership);
-                let ok = prover.is_consistent_answer(cand)?;
-                prover_stats = merge(prover_stats, prover.stats);
-                ok
-            } else {
-                let membership = SqlMembership::new(&self.db);
-                let mut prover = Prover::new(&self.graph, &template, membership);
-                let ok = prover.is_consistent_answer(cand)?;
-                prover_stats = merge(prover_stats, prover.stats);
-                membership_queries += prover.into_membership().queries_issued;
-                ok
-            };
-            if ok {
-                answers.push(cand.clone());
+            work.push(i as u32);
+        }
+        stats.prover_calls = work.len();
+
+        // ---- Prover stage ----
+        let mut prover_stats = ProverRunStats::default();
+        let mut membership_queries = 0usize;
+        if let Some(flags) = &flags {
+            // Knowledge gathering: membership is prefetched, so shards
+            // only read the graph, the template and the flag rows —
+            // embarrassingly parallel.
+            let shards = parallel::split_ranges(work.len(), PROVER_SHARDS);
+            let threads = self.options.resolved_prover_threads();
+            let use_cache = self.options.prover_cache;
+            // Workers see only `Sync` state: the frozen graph, the
+            // template and the prefetched flags (not the engine handle).
+            let graph = &self.graph;
+            let outs = parallel::run_indexed(shards.len(), threads, |si| {
+                prove_shard(
+                    graph,
+                    &candidates,
+                    flags,
+                    &template,
+                    &work[shards[si].0..shards[si].1],
+                    use_cache,
+                )
+            });
+            // Deterministic merge: shard order, exact stat sums.
+            for out in outs {
+                let out = out?;
+                prover_stats = merge(prover_stats, out.stats);
+                stats.prover_cache_hits += out.cache_hits;
+                for i in out.accepted {
+                    answers.push(candidates[i as usize].clone());
+                }
             }
+        } else {
+            // Base mode: one SQL round trip per membership check through
+            // the engine handle, inherently sequential. One prover
+            // workspace is still reused across the whole batch.
+            let mut prover = Prover::new(&self.graph, &template);
+            let mut membership = SqlMembership::new(&self.db);
+            for &i in &work {
+                let cand = &candidates[i as usize];
+                if prover.is_consistent_answer(cand, &mut membership)? {
+                    answers.push(cand.clone());
+                }
+            }
+            prover_stats = prover.stats;
+            membership_queries = membership.queries_issued;
         }
         stats.prover = prover_stats;
         stats.membership_queries = membership_queries;
@@ -578,6 +807,64 @@ impl Hippo {
         stats.t_total = t0.elapsed();
         Ok((answers, stats))
     }
+}
+
+/// Decide one shard of the prover worklist: `work` holds candidate
+/// indices; returns the accepted indices (in worklist order) plus the
+/// shard's exact counters. Runs on a worker thread — reads the graph,
+/// template and flags read-only (never the engine handle, which is not
+/// `Sync`).
+fn prove_shard(
+    graph: &ConflictHypergraph,
+    candidates: &[Row],
+    flags: &[Vec<bool>],
+    template: &MembershipTemplate,
+    work: &[u32],
+    use_cache: bool,
+) -> Result<ShardVerdicts, EngineError> {
+    let mut prover = Prover::new(graph, template);
+    let mut cache: FxHashMap<Vec<u64>, bool> = FxHashMap::default();
+    let mut sig: Vec<u64> = Vec::new();
+    let mut out = ShardVerdicts::default();
+    for &i in work {
+        let cand = &candidates[i as usize];
+        let cand_flags = &flags[i as usize];
+        let ok = if use_cache {
+            prover.closure_signature(cand, cand_flags, &mut sig);
+            match cache.get(&sig) {
+                Some(&v) => {
+                    out.cache_hits += 1;
+                    v
+                }
+                None => {
+                    let mut membership =
+                        GatheredMembership::for_candidate(template, cand, cand_flags);
+                    let v = prover.is_consistent_answer(cand, &mut membership)?;
+                    cache.insert(std::mem::take(&mut sig), v);
+                    v
+                }
+            }
+        } else {
+            let mut membership = GatheredMembership::for_candidate(template, cand, cand_flags);
+            prover.is_consistent_answer(cand, &mut membership)?
+        };
+        if ok {
+            out.accepted.push(i);
+        }
+    }
+    out.stats = prover.stats;
+    Ok(out)
+}
+
+/// One prover shard's output (merged in shard order).
+#[derive(Debug, Default)]
+struct ShardVerdicts {
+    /// Accepted candidate indices, in worklist order.
+    accepted: Vec<u32>,
+    /// The shard prover's counters.
+    stats: ProverRunStats,
+    /// Worklist entries answered from the signature cache.
+    cache_hits: usize,
 }
 
 fn merge(a: ProverRunStats, b: ProverRunStats) -> ProverRunStats {
@@ -945,6 +1232,215 @@ mod tests {
         let stats = hippo.redetect().unwrap();
         assert!(!stats.incremental);
         assert_eq!(hippo.graph().edge_count(), 2);
+    }
+
+    #[test]
+    fn update_tuples_stays_incremental() {
+        // Create a conflict by updating, then resolve it by updating back.
+        let mut hippo = Hippo::new(emp_db(&[("ann", 100), ("bob", 200)]), fd()).unwrap();
+        assert_eq!(hippo.graph().edge_count(), 0);
+        let n = hippo
+            .update_tuples(
+                "emp",
+                vec![(
+                    hippo_engine::TupleId(1),
+                    vec![Value::text("ann"), Value::Int(999)],
+                )],
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        let stats = hippo.redetect().unwrap();
+        assert!(stats.incremental, "recorded updates take the delta path");
+        assert_eq!(hippo.graph().edge_count(), 1, "ann now disagrees with ann");
+        assert!(hippo
+            .consistent_answers(&SjudQuery::rel("emp"))
+            .unwrap()
+            .is_empty());
+        // Update the same tuple id again to clear the conflict.
+        hippo
+            .update_tuples(
+                "emp",
+                vec![(
+                    hippo_engine::TupleId(1),
+                    vec![Value::text("bob"), Value::Int(200)],
+                )],
+            )
+            .unwrap();
+        let stats = hippo.redetect().unwrap();
+        assert!(stats.incremental);
+        assert_eq!(hippo.graph().edge_count(), 0);
+        assert_eq!(
+            hippo
+                .consistent_answers(&SjudQuery::rel("emp"))
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn update_tuples_validates_batch_upfront() {
+        let mut hippo = Hippo::new(emp_db(&[("ann", 100)]), fd()).unwrap();
+        // Second entry targets a missing tuple: whole batch rejected.
+        let err = hippo.update_tuples(
+            "emp",
+            vec![
+                (
+                    hippo_engine::TupleId(0),
+                    vec![Value::text("ann"), Value::Int(7)],
+                ),
+                (
+                    hippo_engine::TupleId(9),
+                    vec![Value::text("x"), Value::Int(8)],
+                ),
+            ],
+        );
+        assert!(err.is_err());
+        assert_eq!(
+            hippo
+                .db()
+                .catalog()
+                .table("emp")
+                .unwrap()
+                .get(hippo_engine::TupleId(0)),
+            Some(&vec![Value::text("ann"), Value::Int(100)]),
+            "failed batch leaves the database untouched"
+        );
+        // Nothing was recorded, so redetect is a no-op on the old stats.
+        assert!(!hippo.redetect().unwrap().incremental);
+        assert_eq!(hippo.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn general_denial_delta_is_seeded_not_outer_scanned() {
+        // Exclusion between emp and contractor; the delta lands in the
+        // *second* atom, which used to force an O(outer) rescan of emp.
+        let mut db = emp_db(&[("ann", 100), ("bob", 200), ("cyd", 300), ("dee", 400)]);
+        db.catalog_mut()
+            .create_table(
+                TableSchema::new(
+                    "contractor",
+                    vec![
+                        Column::new("name", DataType::Text),
+                        Column::new("rate", DataType::Int),
+                    ],
+                    &[],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let constraints = vec![DenialConstraint::exclusion("emp", "contractor", &[(0, 0)])];
+        let mut hippo = Hippo::new(db, constraints.clone()).unwrap();
+        assert_eq!(hippo.graph().edge_count(), 0);
+        hippo
+            .insert_tuples("contractor", vec![vec![Value::text("bob"), Value::Int(50)]])
+            .unwrap();
+        let stats = hippo.redetect().unwrap();
+        assert!(stats.incremental);
+        assert_eq!(hippo.graph().edge_count(), 1, "bob is in both relations");
+        // Seeded delta: the new tuple plus its single join match — not
+        // the 4-row emp outer atom.
+        assert!(
+            stats.combinations_checked <= 2,
+            "delta join must not rescan the outer atom (checked {})",
+            stats.combinations_checked
+        );
+        // Deleting the tuple clears the conflict incrementally too.
+        let last = hippo
+            .db()
+            .catalog()
+            .table("contractor")
+            .unwrap()
+            .slot_count()
+            - 1;
+        hippo
+            .delete_tuples("contractor", &[hippo_engine::TupleId(last as u32)])
+            .unwrap();
+        let stats = hippo.redetect().unwrap();
+        assert!(stats.incremental);
+        assert_eq!(hippo.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn prover_thread_count_never_changes_answers_or_stats() {
+        let mut rows: Vec<(String, i64)> = (0..60).map(|i| (format!("p{i}"), 100 + i)).collect();
+        for c in 0..12 {
+            rows.push((format!("p{c}"), 5000 + c)); // conflicting duplicates
+        }
+        let q = SjudQuery::rel("emp").diff(SjudQuery::rel("emp").select(Pred::cmp_const(
+            1,
+            CmpOp::Ge,
+            5000i64,
+        )));
+        let build = |threads: usize| {
+            let mut db = Database::new();
+            db.catalog_mut()
+                .create_table(
+                    TableSchema::new(
+                        "emp",
+                        vec![
+                            Column::new("name", DataType::Text),
+                            Column::new("salary", DataType::Int),
+                        ],
+                        &[],
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+            db.insert_rows(
+                "emp",
+                rows.iter()
+                    .map(|(n, s)| vec![Value::text(n.clone()), Value::Int(*s)])
+                    .collect(),
+            )
+            .unwrap();
+            Hippo::with_options(db, fd(), HippoOptions::kg().with_prover_threads(threads)).unwrap()
+        };
+        let (ans1, s1) = build(1).consistent_answers_with_stats(&q).unwrap();
+        assert!(s1.prover_calls > 0);
+        for threads in [2usize, 4, 8] {
+            let (ans, s) = build(threads).consistent_answers_with_stats(&q).unwrap();
+            assert_eq!(ans, ans1, "threads={threads}");
+            assert_eq!(s.prover_calls, s1.prover_calls);
+            assert_eq!(s.prover_cache_hits, s1.prover_cache_hits);
+            assert_eq!(s.filtered_consistent, s1.filtered_consistent);
+            assert_eq!(s.prover, s1.prover, "prover counters at threads={threads}");
+            assert_eq!(s.answers, s1.answers);
+        }
+    }
+
+    #[test]
+    fn closure_cache_collapses_equivalence_classes() {
+        // Many conflict-free tuples share one signature class; only the
+        // conflicting pair needs real prover runs.
+        let mut rows: Vec<(&str, i64)> = vec![("ann", 1), ("ann", 2)];
+        let names: Vec<String> = (0..40).map(|i| format!("p{i}")).collect();
+        for n in &names {
+            rows.push((n.as_str(), 500));
+        }
+        let db = emp_db(&rows);
+        let q = SjudQuery::rel("emp");
+        let hippo = Hippo::with_options(db, fd(), HippoOptions::kg()).unwrap();
+        let (answers, stats) = hippo.consistent_answers_with_stats(&q).unwrap();
+        assert_eq!(answers.len(), 40);
+        assert_eq!(stats.prover_calls, 42, "no core filter: everything proved");
+        // The cache is per shard (16 shards here), so each shard pays at
+        // most one miss per signature class it sees: ≥ 42 − 16 − 2 hits.
+        assert!(
+            stats.prover_cache_hits >= 24,
+            "conflict-free candidates collapse (hits = {})",
+            stats.prover_cache_hits
+        );
+        assert!(stats.prover.tuples_checked < stats.prover_calls);
+
+        // Differential: disabling the cache changes no answer.
+        let db2 = emp_db(&rows);
+        let hippo2 =
+            Hippo::with_options(db2, fd(), HippoOptions::kg().without_prover_cache()).unwrap();
+        let (answers2, stats2) = hippo2.consistent_answers_with_stats(&q).unwrap();
+        assert_eq!(answers, answers2);
+        assert_eq!(stats2.prover_cache_hits, 0);
+        assert_eq!(stats2.prover.tuples_checked, stats2.prover_calls);
     }
 
     #[test]

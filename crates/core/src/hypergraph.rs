@@ -317,6 +317,34 @@ impl ConflictHypergraph {
         self.fact_id_interned(ri, values)
     }
 
+    /// Probe for an interned fact whose values are a **projection of a
+    /// candidate tuple**: column `j` of the fact is `tuple[cols[j]]`.
+    /// Hashes and compares the projected columns in place — the fact row
+    /// is never materialised, so the probe is allocation-free whether it
+    /// hits or misses. This is the prover's per-literal fast path.
+    pub fn fact_id_projected(&self, rel: u32, tuple: &Row, cols: &[usize]) -> Option<FactId> {
+        let mut h = FxHasher::default();
+        rel.hash(&mut h);
+        for &c in cols {
+            tuple[c].hash(&mut h);
+        }
+        let mut cur = *self.fact_head.get(&h.finish())?;
+        while cur != NIL {
+            let i = cur as usize;
+            if self.fact_rel[i] == rel
+                && self.fact_values[i].len() == cols.len()
+                && self.fact_values[i]
+                    .iter()
+                    .zip(cols)
+                    .all(|(v, &c)| *v == tuple[c])
+            {
+                return Some(FactId(cur));
+            }
+            cur = self.fact_next[i];
+        }
+        None
+    }
+
     /// The relation index and values of an interned fact.
     pub fn fact(&self, id: FactId) -> (u32, &Row) {
         (
@@ -789,6 +817,22 @@ mod tests {
         assert!(g.fact_id("r", &near).is_none());
         // Interner state unchanged by misses.
         assert_eq!(g.fact_count(), 2);
+    }
+
+    #[test]
+    fn projected_probe_matches_materialised_probe() {
+        let mut g = ConflictHypergraph::new();
+        let r = g.intern("r");
+        let a = vec![Value::Int(7), Value::Int(8)];
+        let b = vec![Value::Int(8), Value::Int(7)];
+        g.add_edge(&[v(r, 0), v(r, 1)], &[&a, &b], 0);
+        // Candidate tuple carrying both facts as column slices.
+        let tuple = vec![Value::Int(7), Value::Int(8), Value::Int(9)];
+        assert_eq!(g.fact_id_projected(r, &tuple, &[0, 1]), g.fact_id("r", &a));
+        assert_eq!(g.fact_id_projected(r, &tuple, &[1, 0]), g.fact_id("r", &b));
+        // Miss: projection not interned; arity mismatch never matches.
+        assert_eq!(g.fact_id_projected(r, &tuple, &[2, 2]), None);
+        assert_eq!(g.fact_id_projected(r, &tuple, &[0]), None);
     }
 
     #[test]

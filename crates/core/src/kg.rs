@@ -99,7 +99,12 @@ pub fn split_gathered(rows: Vec<Row>, arity: usize, n_literals: usize) -> Gather
 
 /// A [`MembershipSource`] answering from gathered flags for the current
 /// candidate. Construction is allocation-free: it borrows the template,
-/// the candidate tuple and the flag slice.
+/// the candidate tuple and the flag slice — which is what makes it the
+/// per-candidate view of the **parallel answer pipeline** (see
+/// [`crate::hippo`]): every prover shard builds one of these per
+/// candidate over the shared read-only flag matrix and passes it `&mut`
+/// into [`crate::prover::Prover::is_consistent_answer`]; no shard ever
+/// touches the engine handle.
 ///
 /// The prover only ever asks about the facts the literal templates produce
 /// for the current tuple, and it knows *which* literal it is asking about,

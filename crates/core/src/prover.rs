@@ -22,9 +22,37 @@
 //! the base system issues a SQL query per check (costly — the paper's
 //! motivation for optimization), while knowledge gathering pre-computes the
 //! answers during envelope evaluation.
+//!
+//! # Batched proving
+//!
+//! A [`Prover`] owns no per-candidate state beyond a reusable
+//! **workspace** (literal-row buffers, membership memo, witness sets):
+//! the immutable part — hypergraph, compiled template, per-literal
+//! interned relation indexes — is split from the per-call scratch, so
+//! one prover instance decides a whole batch of candidates with zero
+//! steady-state allocation. The membership source is passed `&mut` per
+//! call rather than owned, which is what lets
+//! [`crate::hippo::Hippo::consistent_answers`] run one prover per
+//! shard over a shared read-only graph (see the shard → merge answer
+//! pipeline in [`crate::hippo`]).
+//!
+//! # Conflict-closure signatures
+//!
+//! [`Prover::closure_signature`] fingerprints a candidate by everything
+//! the proof can depend on: the truth of each template guard on the
+//! candidate, and per literal the prefetched membership flag plus the
+//! interned [`crate::hypergraph::FactId`] of the instantiated fact
+//! (`None` for facts outside every conflict). Two candidates with equal
+//! signatures present the prover with bit-identical inputs — same
+//! instantiated formula, same membership answers, same conflict
+//! neighbourhoods — so their verdicts are interchangeable. The answer
+//! pipeline memoizes verdicts per signature: on low-conflict workloads
+//! every conflict-free candidate with the same guard/flag pattern
+//! collapses to a single prover call per equivalence class.
 
 use crate::formula::{to_dnf, Disjunct, MembershipTemplate};
-use crate::hypergraph::{ConflictHypergraph, Fact, Vertex};
+use crate::hypergraph::{ConflictHypergraph, Vertex};
+use crate::pred::Pred;
 use hippo_engine::{EngineError, Row};
 use rustc_hash::FxHashSet;
 
@@ -57,37 +85,101 @@ pub struct ProverRunStats {
     pub edge_visits: usize,
 }
 
-/// The prover, borrowing the hypergraph and a membership source.
-pub struct Prover<'a, M: MembershipSource> {
+/// The prover, borrowing the hypergraph and the compiled query template.
+///
+/// The immutable inputs (graph, template, per-literal interned relation
+/// indexes, guard list) are fixed at construction; everything a single
+/// [`Prover::is_consistent_answer`] call needs — literal-row buffers,
+/// the per-tuple membership memo, witness sets — lives in a reusable
+/// workspace, so deciding a batch of candidates allocates only on the
+/// first call. The membership source is passed `&mut` per call.
+pub struct Prover<'a> {
     graph: &'a ConflictHypergraph,
     template: &'a MembershipTemplate,
-    membership: M,
+    /// Per-literal interned relation index in the graph (`None` when the
+    /// relation is in no conflict at all, so no fact of it is interned).
+    lit_rels: Vec<Option<u32>>,
+    /// Template guards in deterministic pre-order (signature input).
+    guards: Vec<&'a Pred>,
     /// Statistics for this run.
     pub stats: ProverRunStats,
+    // ---- reusable per-call workspace ----
+    lit_rows: Vec<Row>,
+    in_db: Vec<Option<bool>>,
+    a_set: FxHashSet<Vertex>,
+    s_set: FxHashSet<Vertex>,
 }
 
-impl<'a, M: MembershipSource> Prover<'a, M> {
+impl<'a> Prover<'a> {
     /// Create a prover for one query template.
-    pub fn new(
-        graph: &'a ConflictHypergraph,
-        template: &'a MembershipTemplate,
-        membership: M,
-    ) -> Self {
+    pub fn new(graph: &'a ConflictHypergraph, template: &'a MembershipTemplate) -> Prover<'a> {
+        let lit_rels = template
+            .literals
+            .iter()
+            .map(|l| graph.relation_index(&l.rel))
+            .collect();
+        let guards = template.guards();
         Prover {
             graph,
             template,
-            membership,
+            lit_rels,
+            guards,
             stats: ProverRunStats::default(),
+            lit_rows: Vec::new(),
+            in_db: Vec::new(),
+            a_set: FxHashSet::default(),
+            s_set: FxHashSet::default(),
         }
     }
 
-    /// Recover the membership source (e.g. to read query counters).
-    pub fn into_membership(self) -> M {
-        self.membership
+    /// Conflicting vertices carrying literal `li`'s fact for the current
+    /// tuple (resolved through the interned-fact index; empty for facts
+    /// outside every conflict).
+    fn lit_vertices(&self, li: usize, lit_rows: &[Row]) -> &'a [Vertex] {
+        match self.lit_rels[li].and_then(|r| self.graph.fact_id_interned(r, &lit_rows[li])) {
+            Some(fid) => self.graph.vertices_of_fact_id(fid),
+            None => &[],
+        }
+    }
+
+    /// Compute the candidate's **conflict-closure signature** into `sig`
+    /// (cleared first): packed guard truth bits, then one word per
+    /// literal combining the prefetched membership flag with the
+    /// interned [`crate::hypergraph::FactId`] of the instantiated fact.
+    /// Equal signatures (under one prover) guarantee equal verdicts, so
+    /// callers may cache `is_consistent_answer` results keyed by the
+    /// signature. Allocation-free: facts are probed as projections of
+    /// `tuple`, never materialised. `flags` must be the per-literal
+    /// membership answers (knowledge gathering prefetches them).
+    pub fn closure_signature(&self, tuple: &Row, flags: &[bool], sig: &mut Vec<u64>) {
+        debug_assert_eq!(flags.len(), self.template.literals.len());
+        sig.clear();
+        let mut word = 0u64;
+        for (i, g) in self.guards.iter().enumerate() {
+            if g.eval(tuple) {
+                word |= 1 << (i % 64);
+            }
+            if i % 64 == 63 {
+                sig.push(word);
+                word = 0;
+            }
+        }
+        if !self.guards.len().is_multiple_of(64) {
+            sig.push(word);
+        }
+        for (li, lit) in self.template.literals.iter().enumerate() {
+            let fid =
+                self.lit_rels[li].and_then(|r| self.graph.fact_id_projected(r, tuple, &lit.cols));
+            sig.push(u64::from(flags[li]) | fid.map_or(0, |f| (u64::from(f.0) + 1) << 1));
+        }
     }
 
     /// Is `tuple` a consistent answer to the template's query?
-    pub fn is_consistent_answer(&mut self, tuple: &Row) -> Result<bool, EngineError> {
+    pub fn is_consistent_answer<M: MembershipSource>(
+        &mut self,
+        tuple: &Row,
+        membership: &mut M,
+    ) -> Result<bool, EngineError> {
         self.stats.tuples_checked += 1;
         let formula = self.template.instantiate(tuple);
         let negated = crate::formula::negate(formula);
@@ -95,54 +187,71 @@ impl<'a, M: MembershipSource> Prover<'a, M> {
         if dnf.is_empty() {
             return Ok(true);
         }
-        // Resolve every literal once per tuple: instantiating a literal
-        // template is the only place a row is built; all later membership
-        // and hypergraph probes borrow from here. Membership answers are
-        // memoized so each literal consults the source at most once per
-        // tuple, no matter how many disjuncts mention it.
-        let facts: Vec<Fact> = self
-            .template
-            .literals
-            .iter()
-            .map(|l| l.instantiate(tuple))
-            .collect();
-        let mut in_db: Vec<Option<bool>> = vec![None; facts.len()];
+        // Resolve every literal once per tuple into the reusable
+        // workspace: instantiating a literal template is the only place
+        // row values are copied; all later membership and hypergraph
+        // probes borrow from here. Membership answers are memoized so
+        // each literal consults the source at most once per tuple, no
+        // matter how many disjuncts mention it.
+        let mut lit_rows = std::mem::take(&mut self.lit_rows);
+        lit_rows.resize_with(self.template.literals.len(), Row::new);
+        for (li, lit) in self.template.literals.iter().enumerate() {
+            let row = &mut lit_rows[li];
+            row.clear();
+            row.extend(lit.cols.iter().map(|&c| tuple[c].clone()));
+        }
+        let mut in_db = std::mem::take(&mut self.in_db);
+        in_db.clear();
+        in_db.resize(self.template.literals.len(), None);
+        let mut verdict = Ok(true);
         for disjunct in &dnf {
             self.stats.disjuncts_checked += 1;
-            if self.disjunct_satisfiable(disjunct, &facts, &mut in_db)? {
+            match self.disjunct_satisfiable(disjunct, &lit_rows, &mut in_db, membership) {
                 // Some repair falsifies membership → not consistent.
-                return Ok(false);
+                Ok(true) => {
+                    verdict = Ok(false);
+                    break;
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    verdict = Err(e);
+                    break;
+                }
             }
         }
-        Ok(true)
+        self.lit_rows = lit_rows;
+        self.in_db = in_db;
+        verdict
     }
 
-    /// Memoized membership check for literal `li`.
-    fn lit_in_db(
-        &mut self,
+    /// Memoized membership check for literal `li` (free of `self` borrows
+    /// beyond `stats`/`template` so callers can hold the workspace).
+    fn lit_in_db<M: MembershipSource>(
+        stats: &mut ProverRunStats,
+        template: &MembershipTemplate,
         li: usize,
-        facts: &[Fact],
+        lit_rows: &[Row],
         memo: &mut [Option<bool>],
+        membership: &mut M,
     ) -> Result<bool, EngineError> {
         if let Some(b) = memo[li] {
             return Ok(b);
         }
-        self.stats.membership_checks += 1;
-        let fact = &facts[li];
-        let b = self.membership.literal_in_db(li, &fact.rel, &fact.values)?;
+        stats.membership_checks += 1;
+        let b = membership.literal_in_db(li, &template.literals[li].rel, &lit_rows[li])?;
         memo[li] = Some(b);
         Ok(b)
     }
 
     /// Can some repair contain all `positive` facts and none of the
     /// `negative` facts?
-    fn disjunct_satisfiable(
+    fn disjunct_satisfiable<M: MembershipSource>(
         &mut self,
         d: &Disjunct,
-        facts: &[Fact],
+        lit_rows: &[Row],
         in_db: &mut [Option<bool>],
+        membership: &mut M,
     ) -> Result<bool, EngineError> {
-        let graph = self.graph;
         // Resolve literals to facts and database status.
         // A-side: every positive fact must exist in D; collect the vertex
         // choices carrying it (non-conflicting facts are in every repair
@@ -150,11 +259,17 @@ impl<'a, M: MembershipSource> Prover<'a, M> {
         // directly — no copy.
         let mut a_choices: Vec<&[Vertex]> = Vec::new();
         for &li in &d.positive {
-            if !self.lit_in_db(li, facts, in_db)? {
+            if !Self::lit_in_db(
+                &mut self.stats,
+                self.template,
+                li,
+                lit_rows,
+                in_db,
+                membership,
+            )? {
                 return Ok(false); // required fact missing from D entirely
             }
-            let fact = &facts[li];
-            let vs = graph.vertices_of_fact(&fact.rel, &fact.values);
+            let vs = self.lit_vertices(li, lit_rows);
             if !vs.is_empty() {
                 // Conflicting fact: must pick one of its physical tuples to
                 // keep. (Non-conflicting facts are kept automatically.)
@@ -167,11 +282,17 @@ impl<'a, M: MembershipSource> Prover<'a, M> {
         // vertices excluded.
         let mut b_vertices: Vec<Vertex> = Vec::new();
         for &li in &d.negative {
-            if !self.lit_in_db(li, facts, in_db)? {
+            if !Self::lit_in_db(
+                &mut self.stats,
+                self.template,
+                li,
+                lit_rows,
+                in_db,
+                membership,
+            )? {
                 continue;
             }
-            let fact = &facts[li];
-            let vs = graph.vertices_of_fact(&fact.rel, &fact.values);
+            let vs = self.lit_vertices(li, lit_rows);
             if vs.is_empty() {
                 return Ok(false); // in D, never in a conflict → in every repair
             }
@@ -180,9 +301,15 @@ impl<'a, M: MembershipSource> Prover<'a, M> {
         b_vertices.sort_unstable();
         b_vertices.dedup();
 
-        // Enumerate A-side vertex choices (usually singletons).
-        let mut a = FxHashSet::default();
-        self.enumerate_a(&a_choices, 0, &mut a, &b_vertices)
+        // Enumerate A-side vertex choices (usually singletons) with the
+        // reusable witness sets.
+        let mut a = std::mem::take(&mut self.a_set);
+        let mut s = std::mem::take(&mut self.s_set);
+        a.clear();
+        let out = self.enumerate_a(&a_choices, 0, &mut a, &b_vertices, &mut s);
+        self.a_set = a;
+        self.s_set = s;
+        out
     }
 
     fn enumerate_a(
@@ -191,6 +318,7 @@ impl<'a, M: MembershipSource> Prover<'a, M> {
         idx: usize,
         a: &mut FxHashSet<Vertex>,
         b: &[Vertex],
+        s: &mut FxHashSet<Vertex>,
     ) -> Result<bool, EngineError> {
         if idx == choices.len() {
             // A complete; reject if it intersects B (B is sorted).
@@ -200,12 +328,13 @@ impl<'a, M: MembershipSource> Prover<'a, M> {
             if !self.graph.is_independent(a) {
                 return Ok(false);
             }
-            let mut s = a.clone();
-            return Ok(self.block_all(b, 0, &mut s));
+            s.clear();
+            s.extend(a.iter().copied());
+            return Ok(self.block_all(b, 0, s));
         }
         for &v in choices[idx] {
             let inserted = a.insert(v);
-            let ok = self.enumerate_a(choices, idx + 1, a, b)?;
+            let ok = self.enumerate_a(choices, idx + 1, a, b, s)?;
             if inserted {
                 a.remove(&v);
             }
@@ -312,14 +441,13 @@ mod tests {
     ) -> bool {
         let (g, _) = detect_conflicts(db.catalog(), constraints).unwrap();
         let template = MembershipTemplate::build(q, db.catalog()).unwrap();
-        let mut prover = Prover::new(
-            &g,
-            &template,
-            CatalogMembership {
-                catalog: db.catalog(),
-            },
-        );
-        prover.is_consistent_answer(&tuple).unwrap()
+        let mut prover = Prover::new(&g, &template);
+        let mut membership = CatalogMembership {
+            catalog: db.catalog(),
+        };
+        prover
+            .is_consistent_answer(&tuple, &mut membership)
+            .unwrap()
     }
 
     #[test]
@@ -527,18 +655,16 @@ mod tests {
             });
         }
         let naive = naive.unwrap();
-        // Prover: check every tuple in the envelope (here: all emp rows).
+        // Prover: check every tuple in the envelope (here: all emp rows),
+        // reusing one prover + workspace across the whole batch.
         let template = MembershipTemplate::build(&q, db.catalog()).unwrap();
-        let mut prover = Prover::new(
-            &g,
-            &template,
-            CatalogMembership {
-                catalog: db.catalog(),
-            },
-        );
+        let mut prover = Prover::new(&g, &template);
+        let mut membership = CatalogMembership {
+            catalog: db.catalog(),
+        };
         for (_, row) in db.catalog().table("emp").unwrap().iter() {
             let expected = naive.contains(row);
-            let got = prover.is_consistent_answer(row).unwrap();
+            let got = prover.is_consistent_answer(row, &mut membership).unwrap();
             assert_eq!(got, expected, "tuple {row:?}");
         }
     }
@@ -550,18 +676,53 @@ mod tests {
         let (g, _) = detect_conflicts(db.catalog(), &fd).unwrap();
         let q = SjudQuery::rel("emp");
         let template = MembershipTemplate::build(&q, db.catalog()).unwrap();
-        let mut prover = Prover::new(
-            &g,
-            &template,
-            CatalogMembership {
-                catalog: db.catalog(),
-            },
-        );
+        let mut prover = Prover::new(&g, &template);
+        let mut membership = CatalogMembership {
+            catalog: db.catalog(),
+        };
         prover
-            .is_consistent_answer(&vec![Value::text("ann"), Value::Int(100)])
+            .is_consistent_answer(&vec![Value::text("ann"), Value::Int(100)], &mut membership)
             .unwrap();
         assert_eq!(prover.stats.tuples_checked, 1);
         assert!(prover.stats.membership_checks >= 1);
         assert!(prover.stats.disjuncts_checked >= 1);
+    }
+
+    #[test]
+    fn equal_signatures_imply_equal_verdicts() {
+        // Four candidates: two conflict-free with identical flags (must
+        // share a signature), one conflicting (distinct), one failing a
+        // guard (distinct from the passing ones).
+        let db = emp_db(&[("ann", 100), ("ann", 200), ("bob", 300), ("cyd", 400)]);
+        let fd = [DenialConstraint::functional_dependency("emp", &[0], 1)];
+        let (g, _) = detect_conflicts(db.catalog(), &fd).unwrap();
+        let q = SjudQuery::rel("emp").select(Pred::cmp_const(1, CmpOp::Ge, 150i64));
+        let template = MembershipTemplate::build(&q, db.catalog()).unwrap();
+        let prover = Prover::new(&g, &template);
+        let sig = |row: &Row| {
+            let mut s = Vec::new();
+            prover.closure_signature(row, &[true], &mut s);
+            s
+        };
+        let bob = vec![Value::text("bob"), Value::Int(300)];
+        let cyd = vec![Value::text("cyd"), Value::Int(400)];
+        let ann = vec![Value::text("ann"), Value::Int(200)];
+        let low = vec![Value::text("bob"), Value::Int(100)];
+        assert_eq!(sig(&bob), sig(&cyd), "conflict-free candidates collapse");
+        assert_ne!(
+            sig(&bob),
+            sig(&ann),
+            "conflicting fact changes the signature"
+        );
+        assert_ne!(sig(&bob), sig(&low), "guard outcome changes the signature");
+        // And the collapse is sound: identical verdicts.
+        let mut prover = prover;
+        let mut m = CatalogMembership {
+            catalog: db.catalog(),
+        };
+        assert_eq!(
+            prover.is_consistent_answer(&bob, &mut m).unwrap(),
+            prover.is_consistent_answer(&cyd, &mut m).unwrap()
+        );
     }
 }

@@ -142,15 +142,16 @@ proptest! {
     }
 
     /// Ops: `0` insert into `t`, `1` insert into `s`, `2` delete from
-    /// `t` (slot = `pick % slots`), `3` delete from `s`. The same
-    /// sequence is replayed against a plain `Database` (tuple ids are
+    /// `t` (slot = `pick % slots`), `3` delete from `s`, `4` in-place
+    /// update in `t`, `5` in-place update in `s`. The same sequence is
+    /// replayed against a plain `Database` (tuple ids are
     /// deterministic), and the incrementally-maintained Hippo must match
     /// a from-scratch build on that final instance.
     #[test]
     fn incremental_redetect_matches_rebuild(
         t_rows in arb_rows(40),
         s_rows in arb_rows(16),
-        ops in prop::collection::vec((0u32..4, 0u32..8, 0u32..4, 0u32..64), 0..16),
+        ops in prop::collection::vec((0u32..6, 0u32..8, 0u32..4, 0u32..64), 0..16),
     ) {
         let mut hippo = Hippo::new(db_with(&t_rows, &s_rows), constraints()).unwrap();
         let mut mirror = db_with(&t_rows, &s_rows);
@@ -159,13 +160,13 @@ proptest! {
         let mut applied = 0usize;
         for &(kind, k, v, pick) in &ops {
             let table = if kind % 2 == 0 { "t" } else { "s" };
+            let row = vec![Value::Int(k as i64), Value::Int(v as i64)];
             if kind < 2 {
-                let row = vec![Value::Int(k as i64), Value::Int(v as i64)];
                 let got = hippo.insert_tuples(table, vec![row.clone()]).unwrap();
                 let want = mirror.catalog_mut().table_mut(table).unwrap().insert(row).unwrap();
                 prop_assert_eq!(got, vec![want], "tuple ids must replay identically");
                 applied += 1;
-            } else {
+            } else if kind < 4 {
                 let slots = hippo.db().catalog().table(table).unwrap().slot_count();
                 if slots == 0 {
                     continue;
@@ -175,6 +176,21 @@ proptest! {
                 let want = mirror.catalog_mut().table_mut(table).unwrap().delete(tid);
                 prop_assert_eq!(got, usize::from(want));
                 applied += got;
+            } else {
+                // In-place update of a live tuple (recorded as
+                // delete + insert of the same id).
+                let slots = hippo.db().catalog().table(table).unwrap().slot_count();
+                if slots == 0 {
+                    continue;
+                }
+                let tid = TupleId((pick as usize % slots) as u32);
+                if hippo.db().catalog().table(table).unwrap().get(tid).is_none() {
+                    continue; // tombstoned slot: update would reject the batch
+                }
+                let got = hippo.update_tuples(table, vec![(tid, row.clone())]).unwrap();
+                prop_assert_eq!(got, 1);
+                mirror.catalog_mut().table_mut(table).unwrap().update(tid, row).unwrap();
+                applied += 1;
             }
         }
         let stats = hippo.redetect().unwrap();
