@@ -1,0 +1,87 @@
+//! Criterion bench for **sharded base mode over engine snapshots**
+//! (PR 4): base-mode answer-pipeline throughput vs candidate count and
+//! prover thread count, against the KG-mode reference on the same
+//! workload.
+//!
+//! Every iteration clears the persistent cross-call verdict cache
+//! first — otherwise iteration 1 seeds it and the rest measure cache
+//! reads instead of the pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hippo_cqa::prelude::*;
+use hippo_engine::Database;
+
+fn diff_query() -> SjudQuery {
+    SjudQuery::rel("t").diff(SjudQuery::rel("t").select(Pred::cmp_const(2, CmpOp::Ge, 900i64)))
+}
+
+fn hippo_for(n: usize, rate: f64, opts: HippoOptions) -> Hippo {
+    let spec = FdTableSpec::new("t", n, rate, 84);
+    let mut db = Database::new();
+    spec.populate(&mut db).unwrap();
+    Hippo::with_options(db, vec![spec.fd()], opts).unwrap()
+}
+
+/// Base-mode pipeline time vs candidate count (5% conflicts, 1 thread).
+fn bench_candidates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("base_candidates");
+    group.sample_size(10);
+    let q = diff_query();
+    for n in [1000usize, 4000, 16000] {
+        let hippo = hippo_for(n, 0.05, HippoOptions::base().with_prover_threads(1));
+        group.bench_with_input(BenchmarkId::new("base_1thread", n), &n, |b, _| {
+            b.iter(|| {
+                hippo.clear_verdict_cache();
+                hippo.consistent_answers(&q).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Thread scaling at fixed size: one frozen snapshot shared by all
+/// workers, shard decomposition fixed — every row produces identical
+/// answers, stats and SQL membership counts.
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("base_threads");
+    group.sample_size(10);
+    let q = diff_query();
+    for threads in [1usize, 2, 4, 8] {
+        let hippo = hippo_for(
+            16000,
+            0.05,
+            HippoOptions::base().with_prover_threads(threads),
+        );
+        group.bench_with_input(BenchmarkId::new("base_16k", threads), &threads, |b, _| {
+            b.iter(|| {
+                hippo.clear_verdict_cache();
+                hippo.consistent_answers(&q).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Base vs KG on the same workload (1 thread): what the per-shard SQL
+/// membership memo leaves on the table vs envelope-prefetched flags.
+fn bench_base_vs_kg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("base_vs_kg");
+    group.sample_size(10);
+    let q = diff_query();
+    for (label, opts) in [
+        ("base", HippoOptions::base().with_prover_threads(1)),
+        ("kg", HippoOptions::kg().with_prover_threads(1)),
+    ] {
+        let hippo = hippo_for(16000, 0.05, opts);
+        group.bench_function(BenchmarkId::new(label, "16k"), |b| {
+            b.iter(|| {
+                hippo.clear_verdict_cache();
+                hippo.consistent_answers(&q).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidates, bench_threads, bench_base_vs_kg);
+criterion_main!(benches);

@@ -1,6 +1,10 @@
 //! Criterion bench for the **parallel batched prover** (PR 3): answer
 //! pipeline throughput vs candidate count, prover thread count, and the
-//! closure-signature cache.
+//! closure-signature cache (the *within-call* per-shard one).
+//!
+//! Every iteration clears the persistent cross-call verdict cache
+//! (added in PR 4) first — otherwise iteration 1 seeds it and the rest
+//! measure cache reads instead of the prover stage.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hippo_cqa::prelude::*;
@@ -25,7 +29,10 @@ fn bench_candidates(c: &mut Criterion) {
     for n in [1000usize, 4000, 16000] {
         let hippo = hippo_for(n, 0.05, HippoOptions::kg().with_prover_threads(1));
         group.bench_with_input(BenchmarkId::new("kg_1thread", n), &n, |b, _| {
-            b.iter(|| hippo.consistent_answers(&q).unwrap())
+            b.iter(|| {
+                hippo.clear_verdict_cache();
+                hippo.consistent_answers(&q).unwrap()
+            })
         });
     }
     group.finish();
@@ -40,7 +47,10 @@ fn bench_threads(c: &mut Criterion) {
     for threads in [1usize, 2, 4, 8] {
         let hippo = hippo_for(16000, 0.05, HippoOptions::kg().with_prover_threads(threads));
         group.bench_with_input(BenchmarkId::new("kg_16k", threads), &threads, |b, _| {
-            b.iter(|| hippo.consistent_answers(&q).unwrap())
+            b.iter(|| {
+                hippo.clear_verdict_cache();
+                hippo.consistent_answers(&q).unwrap()
+            })
         });
     }
     group.finish();
@@ -63,7 +73,10 @@ fn bench_cache(c: &mut Criterion) {
     ] {
         let hippo = hippo_for(16000, 0.05, opts);
         group.bench_function(BenchmarkId::new(label, "16k"), |b| {
-            b.iter(|| hippo.consistent_answers(&q).unwrap())
+            b.iter(|| {
+                hippo.clear_verdict_cache();
+                hippo.consistent_answers(&q).unwrap()
+            })
         });
     }
     group.finish();

@@ -963,6 +963,196 @@ pub fn e9_prover(quick: bool) -> Result<Table, Box<dyn std::error::Error>> {
     Ok(t)
 }
 
+/// E10 — base mode over engine snapshots (PR 4): the paper's canonical
+/// configuration (per-check SQL membership) now runs through the same
+/// shard → merge pipeline as KG mode, against a frozen `DbSnapshot`
+/// shared by all workers. Rows: prover-stage thread scaling, the
+/// per-shard SQL membership memo, the cross-call verdict cache, and
+/// fk-incremental redetect through the orphan-count index.
+pub fn e10_base_mode(quick: bool) -> Result<Table, Box<dyn std::error::Error>> {
+    let n = if quick { 2000 } else { 16000 };
+    let reps = if quick { 3 } else { 10 };
+    let mut t = Table::new(
+        "E10",
+        format!("sharded base mode over snapshots + fk-incremental redetect (|t|={n})"),
+        &[
+            "variant",
+            "param",
+            "time ms",
+            "speedup",
+            "membership sql",
+            "detail",
+        ],
+    );
+    let q =
+        SjudQuery::rel("t").diff(SjudQuery::rel("t").select(Pred::cmp_const(2, CmpOp::Ge, 900i64)));
+    let build = |opts: HippoOptions| -> Result<Hippo, Box<dyn std::error::Error>> {
+        let spec = FdTableSpec::new("t", n, 0.05, 84);
+        let mut db = Database::new();
+        spec.populate(&mut db)?;
+        Ok(Hippo::with_options(db, vec![spec.fd()], opts)?)
+    };
+    // Prover-stage time (the envelope's SQL evaluation dominates
+    // end-to-end on this workload and would bury the scaling). Each
+    // rep rebuilds the system so the cross-call verdict cache never
+    // contaminates a timed call; base runs take seconds each at full
+    // size — min-of-3 is plenty stable.
+    let base_reps = 3usize;
+    let time_prover_stage =
+        |opts: HippoOptions| -> Result<(Duration, RunStats), Box<dyn std::error::Error>> {
+            let mut best = Duration::MAX;
+            let mut stats = RunStats::default();
+            for _ in 0..base_reps {
+                let hippo = build(opts)?;
+                let (_, s) = hippo.consistent_answers_with_stats(&q)?;
+                if s.t_prover < best {
+                    best = s.t_prover;
+                }
+                stats = s;
+            }
+            Ok((best, stats))
+        };
+
+    // (1) Base-mode thread scaling (fixed shard decomposition: every
+    // row produces identical answers and stats — including the SQL
+    // membership counts, since each shard's memo is shard-local).
+    let mut single = Duration::ZERO;
+    for threads in [1usize, 2, 4, 8] {
+        let (best, stats) = time_prover_stage(HippoOptions::base().with_prover_threads(threads))?;
+        if threads == 1 {
+            single = best;
+        }
+        let memo_rate = {
+            let probes = stats.membership_queries + stats.membership_memo_hits;
+            if probes > 0 {
+                100.0 * stats.membership_memo_hits as f64 / probes as f64
+            } else {
+                0.0
+            }
+        };
+        t.rows.push(vec![
+            "base_threads".into(),
+            threads.to_string(),
+            ms(best),
+            format!("{:.2}x", single.as_secs_f64() / best.as_secs_f64()),
+            stats.membership_queries.to_string(),
+            format!(
+                "answers={} shards={} memo {memo_rate:.1}%",
+                stats.answers, stats.shards_used
+            ),
+        ]);
+    }
+
+    // (2) KG reference at one thread: what prefetching the flags in the
+    // envelope buys over per-shard membership SQL.
+    let (best_kg, stats_kg) = time_prover_stage(HippoOptions::kg().with_prover_threads(1))?;
+    t.rows.push(vec![
+        "kg_reference".into(),
+        "1".into(),
+        ms(best_kg),
+        format!("{:.2}x", single.as_secs_f64() / best_kg.as_secs_f64()),
+        stats_kg.membership_queries.to_string(),
+        format!("answers={}", stats_kg.answers),
+    ]);
+
+    // (3) Cross-call verdict cache: a second identical run answers
+    // entirely from the persistent signature map.
+    let hippo = build(HippoOptions::base().with_prover_threads(1))?;
+    let (_, s1) = hippo.consistent_answers_with_stats(&q)?;
+    let first = s1.t_prover;
+    let (_, s2) = hippo.consistent_answers_with_stats(&q)?;
+    let mut best_second = s2.t_prover;
+    for _ in 0..base_reps {
+        let (_, s) = hippo.consistent_answers_with_stats(&q)?;
+        best_second = best_second.min(s.t_prover);
+    }
+    t.rows.push(vec![
+        "cross_call_cache".into(),
+        "2nd call".into(),
+        ms(best_second),
+        format!("{:.2}x", first.as_secs_f64() / best_second.as_secs_f64()),
+        s2.membership_queries.to_string(),
+        format!(
+            "cross hits {}/{} proved {}",
+            s2.prover_cache_cross_hits, s2.prover_calls, s2.prover.tuples_checked
+        ),
+    ]);
+
+    // (4) FK-incremental redetect: deleting one parent orphans its
+    // children through the orphan-count index instead of a rebuild.
+    let spec = FdTableSpec::new("t", n, 0.02, 85);
+    let mut db = Database::new();
+    spec.populate(&mut db)?;
+    db.execute("CREATE TABLE parent (id INT)")?;
+    // Every t.k has a parent: the instance starts fk-consistent, so a
+    // single parent delete orphans exactly its own children — the case
+    // the orphan-count index makes O(affected children).
+    db.insert_rows(
+        "parent",
+        (0..n as i64).map(|i| vec![Value::Int(i)]).collect(),
+    )?;
+    let fk = ForeignKey::new("t", vec![0], "parent", vec![0]);
+    // The FD rides along (parents stay constraint-free as required), so
+    // the incremental path carries denial edges *and* flips orphans.
+    let mut hippo = Hippo::with_foreign_keys(db, vec![spec.fd()], vec![fk])?;
+    let mut best_full = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        hippo.redetect_full()?;
+        best_full = best_full.min(t0.elapsed());
+    }
+    t.rows.push(vec![
+        "fk_redetect".into(),
+        "full_rebuild".into(),
+        ms(best_full),
+        "1.00x".into(),
+        "-".into(),
+        format!("edges={}", hippo.graph().edge_count()),
+    ]);
+    let mut best_inc = Duration::MAX;
+    let mut edges_inc = 0;
+    for _ in 0..reps {
+        let (deleted, row) = hippo
+            .db()
+            .catalog()
+            .table("parent")?
+            .iter()
+            .next()
+            .map(|(tid, row)| (tid, row.clone()))
+            .expect("parent rows remain");
+        hippo.delete_tuples("parent", &[deleted])?;
+        let t0 = Instant::now();
+        let stats = hippo.redetect()?;
+        best_inc = best_inc.min(t0.elapsed());
+        assert!(stats.incremental, "fk delta path expected");
+        edges_inc = hippo.graph().edge_count();
+        // Restore the deleted parent so every rep measures the same
+        // one-parent orphaning against the same instance.
+        hippo.insert_tuples("parent", vec![row])?;
+        hippo.redetect()?;
+    }
+    t.rows.push(vec![
+        "fk_redetect".into(),
+        "incremental_1_parent_delete".into(),
+        ms(best_inc),
+        format!("{:.2}x", best_full.as_secs_f64() / best_inc.as_secs_f64()),
+        "-".into(),
+        format!("edges={edges_inc}"),
+    ]);
+    t.notes.push(
+        "base_threads rows share one fixed shard decomposition over one frozen snapshot \
+         (identical answers, stats and SQL counts); speedup is vs 1 thread and needs real \
+         cores — single-CPU environments show ~1x"
+            .into(),
+    );
+    t.notes.push(
+        "fk incremental redetect flips orphan edges through the per-FK orphan-count index: \
+         cost tracks the batch and its affected children, not the instance"
+            .into(),
+    );
+    Ok(t)
+}
+
 /// Run every experiment; `quick` shrinks sizes for CI.
 pub fn run_all(quick: bool) -> Result<Vec<Table>, Box<dyn std::error::Error>> {
     Ok(vec![
@@ -977,6 +1167,7 @@ pub fn run_all(quick: bool) -> Result<Vec<Table>, Box<dyn std::error::Error>> {
         e7_repair_blowup(quick)?,
         e8_parallel(quick)?,
         e9_prover(quick)?,
+        e10_base_mode(quick)?,
     ])
 }
 
@@ -1075,6 +1266,32 @@ mod tests {
             combos(delta),
             combos(full)
         );
+    }
+
+    #[test]
+    fn e10_rows_are_internally_consistent() {
+        let t = e10_base_mode(true).unwrap();
+        // Base thread rows: identical answers, shard counts and SQL
+        // membership counts on every row.
+        let threads: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == "base_threads").collect();
+        assert_eq!(threads.len(), 4);
+        for r in &threads {
+            assert_eq!(r[4], threads[0][4], "membership sql differs: {r:?}");
+            assert_eq!(r[5], threads[0][5], "answers/shards differ: {r:?}");
+        }
+        assert!(
+            threads[0][4].parse::<usize>().unwrap() > 0,
+            "base mode pays membership SQL"
+        );
+        // KG reference issues zero membership SQL.
+        let kg = t.rows.iter().find(|r| r[0] == "kg_reference").unwrap();
+        assert_eq!(kg[4], "0");
+        // Cross-call cache: the second run proves nothing.
+        let cc = t.rows.iter().find(|r| r[0] == "cross_call_cache").unwrap();
+        assert!(cc[5].contains("proved 0"), "{cc:?}");
+        // FK redetect rows exist and the incremental one flips edges.
+        assert!(t.rows.iter().any(|r| r[1] == "full_rebuild"));
+        assert!(t.rows.iter().any(|r| r[1] == "incremental_1_parent_delete"));
     }
 
     #[test]

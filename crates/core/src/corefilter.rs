@@ -82,18 +82,33 @@ fn eval_filter(
     }
 }
 
-/// Convenience wrapper over a catalog + hypergraph (direct evaluation;
-/// fine for small inputs and used as the test oracle for the SQL path).
+/// Convenience wrapper over a catalog + hypergraph: sorted row list
+/// (direct evaluation; fine for small inputs and used as the test
+/// oracle for the SQL path). Thin ordering shim over
+/// [`core_filter_set`] so the SQL-error fallback lives in one place.
 pub fn core_filter_on_catalog(
     q: &SjudQuery,
     catalog: &Catalog,
     g: &ConflictHypergraph,
 ) -> Vec<Row> {
-    core_filter_via_sql(q, catalog, g).unwrap_or_else(|_| {
-        let core = crate::repair::core_instance(catalog, g);
-        let full = |rel: &str| catalog.table(rel).map(|t| t.rows()).unwrap_or_default();
-        core_filter_rows(q, &core, &full)
-    })
+    let mut rows: Vec<Row> = core_filter_set(q, catalog, g).into_iter().collect();
+    rows.sort();
+    rows
+}
+
+/// The core filter as the probe set the **answer pipeline** shares
+/// read-only across its prover shards (each shard tests its candidates
+/// against this set and skips the prover on a hit). Skips the
+/// row-list API's final sort — set membership is all the shards need.
+pub fn core_filter_set(q: &SjudQuery, catalog: &Catalog, g: &ConflictHypergraph) -> FxHashSet<Row> {
+    match core_filter_via_sql(q, catalog, g) {
+        Ok(rows) => rows.into_iter().collect(),
+        Err(_) => {
+            let core = crate::repair::core_instance(catalog, g);
+            let full = |rel: &str| catalog.table(rel).map(|t| t.rows()).unwrap_or_default();
+            eval_filter(q, &core, &full).into_iter().collect()
+        }
+    }
 }
 
 /// Direct (nested-loop) evaluation over instance views — the reference

@@ -125,6 +125,26 @@ pub struct DetectStats {
     pub incremental: bool,
 }
 
+impl std::fmt::Display for DetectStats {
+    /// One-line report, shaped like [`crate::hippo::AnswerStats`]'s:
+    /// mode, shard count, exact work counters, wall-clock.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mode={} shards={} combinations={} edges_emitted={} elapsed={:.3}ms",
+            if self.incremental {
+                "incremental"
+            } else {
+                "full"
+            },
+            self.shards_used,
+            self.combinations_checked,
+            self.edges_emitted,
+            self.elapsed.as_secs_f64() * 1e3,
+        )
+    }
+}
+
 /// Persistent per-FD grouping state: the LHS-hash → tuple-id buckets the
 /// sharded FD pass computed anyway, retained so later inserts/deletes
 /// can be reconciled in O(bucket) instead of O(instance).
@@ -254,15 +274,17 @@ pub fn detect_conflicts_with(
     Ok((g, stats))
 }
 
-/// Like [`detect_conflicts`] but leaves the graph un-finalized, for callers
-/// that will add more edges (e.g. foreign-key orphan edges) before
-/// freezing the adjacency themselves.
-pub(crate) fn detect_conflicts_unfinalized(
+/// Like [`detect_with_index`] but leaves the graph un-finalized, for
+/// callers that will add more edges (foreign-key orphan edges) before
+/// freezing the adjacency themselves — keeping the [`DetectIndex`] (and
+/// with it the incremental redetection path) available under foreign
+/// keys.
+pub(crate) fn detect_unfinalized_with_index(
     catalog: &Catalog,
     constraints: &[DenialConstraint],
-) -> Result<(ConflictHypergraph, DetectStats), EngineError> {
-    let (g, stats, _) = detect_core(catalog, constraints, &DetectOptions::default(), false)?;
-    Ok((g, stats))
+) -> Result<(ConflictHypergraph, DetectStats, DetectIndex), EngineError> {
+    let (g, stats, index) = detect_core(catalog, constraints, &DetectOptions::default(), true)?;
+    Ok((g, stats, index.expect("index requested")))
 }
 
 /// Full detection that additionally returns the [`DetectIndex`] the

@@ -20,23 +20,45 @@
 //! # The shard → merge answer pipeline
 //!
 //! Candidate decisions are independent of each other — each depends
-//! only on the candidate's conflict neighbourhood — so the prover stage
-//! mirrors detection's shard → merge design. A sequential prepass
-//! dedups candidates and applies the core filter; the surviving
-//! worklist is split into [`PROVER_SHARDS`] contiguous slices run
-//! across the [`crate::parallel`] pool (`HIPPO_PROVER_THREADS` or
-//! [`HippoOptions::prover_threads`]). Each shard owns a read-only view
-//! of the graph, one reusable [`Prover`] workspace, a borrowed
-//! [`GatheredMembership`] per candidate, and a private
-//! **closure-signature cache**: candidates whose guard outcomes,
-//! membership flags and per-literal conflict facts coincide (see
-//! [`Prover::closure_signature`]) share one verdict, so on low-conflict
-//! workloads prover work collapses to one call per equivalence class
-//! ([`AnswerStats::prover_cache_hits`] counts the collapses). Shard
-//! outputs merge in shard order — answers and every [`AnswerStats`]
-//! counter are bit-identical for any worker count. Base mode (per-check
-//! SQL membership) stays sequential: the engine handle is not `Sync`,
-//! and its cost model is the paper's motivating *worst case* anyway.
+//! only on the candidate's conflict neighbourhood — so the answer stage
+//! mirrors detection's shard → merge design, in **every** mode:
+//!
+//! ```text
+//!                 candidates (one envelope evaluation)
+//!                         │ split_ranges → PROVER_SHARDS fixed slices
+//!        ┌────────────┬───┴────────┬────────────┐
+//!        ▼            ▼            ▼            ▼        workers:
+//!   ┌─ shard 0 ─┐┌─ shard 1 ─┐        …   ┌─ shard 15 ─┐ HIPPO_PROVER_THREADS
+//!   │ dedup     ││           │             │            │
+//!   │ core probe││   (same)  │             │   (same)   │
+//!   │ flags:    ││           │             │            │
+//!   │  KG: rows ││           │             │            │
+//!   │  base: SQL│→ one frozen DbSnapshot Arc, memoized ←│
+//!   │ sig cache ││           │             │            │
+//!   │ prover    ││           │             │            │
+//!   └────┬──────┘└────┬──────┘             └────┬───────┘
+//!        └────────────┴─── merge in shard order┴──▶ answers + stats
+//!                          └▶ fresh verdicts → persistent cache
+//! ```
+//!
+//! There is **no serial prefix beyond candidate collection**: dedup,
+//! the core-filter probe, membership resolution and the prover all run
+//! inside the shards. Knowledge-gathering mode reads prefetched flag
+//! rows; **base mode** — the paper's canonical per-check-SQL
+//! configuration — issues its membership probes against one read-only
+//! [`DbSnapshot`] shared by all workers (zero locking; per-shard
+//! memoization collapses repeated probes). Each shard owns one
+//! reusable [`Prover`] workspace and a private **closure-signature
+//! cache** ([`Prover::closure_signature`]): candidates whose guard
+//! outcomes, membership flags and per-literal conflict facts coincide
+//! share one verdict ([`AnswerStats::prover_cache_hits`]). Newly
+//! proved signatures are folded, at merge time and in shard order,
+//! into a **persistent per-query verdict cache** reused by later
+//! `consistent_answers` calls on the same graph
+//! ([`AnswerStats::prover_cache_cross_hits`]); the cache is dropped
+//! whenever the graph is replaced. Shard decomposition is fixed by the
+//! candidate count — answers and every [`AnswerStats`] counter are
+//! bit-identical for any worker count.
 //!
 //! # Incremental maintenance
 //!
@@ -52,12 +74,15 @@
 //! per-atom join indexes (`GenIndex`) — in both cases the work is
 //! proportional to the conflict graph plus the change and its join
 //! matches, never the instance or the constraint's outer atom.
-//! Mutating the database any other way ([`Hippo::db_mut`]) marks the
-//! catalog dirty and the next `redetect` falls back to a full sharded
-//! rebuild.
+//! Restricted foreign keys are incremental too: a per-FK
+//! **orphan-count index** ([`crate::inclusion::FkIndex`]) tracks live
+//! parents per key and live children per key, so a batch flips exactly
+//! the orphan edges whose parent count crossed zero. Mutating the
+//! database any other way ([`Hippo::db_mut`]) marks the catalog dirty
+//! and the next `redetect` falls back to a full sharded rebuild.
 
 use crate::constraint::DenialConstraint;
-use crate::corefilter::core_filter_on_catalog;
+use crate::corefilter::core_filter_set;
 use crate::detect::{
     build_gen_index, detect_with_index, fd_delta_delete, fd_delta_insert, general_delta_insert,
     DetectIndex, DetectOptions, DetectStats,
@@ -65,12 +90,14 @@ use crate::detect::{
 use crate::envelope::envelope;
 use crate::formula::MembershipTemplate;
 use crate::hypergraph::{ConflictHypergraph, FactId, Vertex};
-use crate::kg::{extended_envelope_sql, split_gathered, GatheredMembership, SqlMembership};
+use crate::kg::{extended_envelope_sql, split_gathered, GatheredMembership, MemoSqlMembership};
 use crate::parallel;
 use crate::prover::{Prover, ProverRunStats};
 use crate::query::SjudQuery;
-use hippo_engine::{Database, EngineError, Row, TupleId};
+use hippo_engine::{Database, DbSnapshot, EngineError, Row, TupleId};
 use rustc_hash::{FxHashMap, FxHashSet};
+use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Fixed shard count of the answer pipeline. Like detection's
@@ -90,10 +117,11 @@ pub struct HippoOptions {
     pub core_filter: bool,
     /// Worker threads for the answer pipeline's prover stage; `0` =
     /// auto (the `HIPPO_PROVER_THREADS` environment variable if set,
-    /// else available parallelism). Only the knowledge-gathering path
-    /// shards — base mode issues per-check SQL through the (non-`Sync`)
-    /// engine handle and stays sequential. The thread count never
-    /// affects answers or stats, only wall-clock.
+    /// else available parallelism). Every mode shards: knowledge
+    /// gathering reads prefetched flags, base mode issues its
+    /// membership SQL against a frozen [`DbSnapshot`] shared by all
+    /// workers. The thread count never affects answers or stats, only
+    /// wall-clock.
     pub prover_threads: usize,
     /// Memoize prover verdicts by conflict-closure signature (see
     /// [`crate::prover::Prover::closure_signature`]); candidates whose
@@ -170,13 +198,25 @@ pub struct AnswerStats {
     /// Candidates reaching the prover stage (each is decided either by
     /// a prover run or by a closure-signature cache hit).
     pub prover_calls: usize,
-    /// Prover-stage candidates decided from the per-shard
-    /// closure-signature cache without running the prover.
+    /// Prover-stage candidates decided from a closure-signature cache
+    /// (shard-local or persistent) without running the prover.
     pub prover_cache_hits: usize,
+    /// Subset of [`AnswerStats::prover_cache_hits`] served by the
+    /// persistent cross-call verdict cache (signatures proved by an
+    /// earlier `consistent_answers` run on the same graph).
+    pub prover_cache_cross_hits: usize,
+    /// Prover shards the candidate list was decomposed into (`0` when
+    /// there were no candidates). Base and KG mode report this
+    /// identically now that both run the sharded pipeline.
+    pub shards_used: usize,
     /// Prover-internal counters.
     pub prover: ProverRunStats,
-    /// SQL membership queries issued against the backend (base mode).
+    /// SQL membership queries issued against the backend (base mode;
+    /// memo misses only — each shard memoizes per-literal probes).
     pub membership_queries: usize,
+    /// Base-mode membership checks answered from a shard's SQL memo
+    /// instead of a query.
+    pub membership_memo_hits: usize,
     /// Consistent answers produced.
     pub answers: usize,
     /// Time enveloping + evaluating candidates.
@@ -191,6 +231,43 @@ pub struct AnswerStats {
 
 /// Former name of [`AnswerStats`].
 pub type RunStats = AnswerStats;
+
+impl fmt::Display for AnswerStats {
+    /// One-line report, symmetric across modes: shard count, cache hit
+    /// rate (with the cross-call share) and the membership-SQL memo
+    /// rate are always printed — base mode reports its shards exactly
+    /// like KG mode does.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hit_rate = if self.prover_calls > 0 {
+            100.0 * self.prover_cache_hits as f64 / self.prover_calls as f64
+        } else {
+            0.0
+        };
+        let memo_rate = {
+            let probes = self.membership_queries + self.membership_memo_hits;
+            if probes > 0 {
+                100.0 * self.membership_memo_hits as f64 / probes as f64
+            } else {
+                0.0
+            }
+        };
+        write!(
+            f,
+            "answers={} candidates={} filtered={} prover_calls={} shards={} \
+             cache_hits={} ({hit_rate:.1}% hit rate, {} cross-call) \
+             membership_queries={} (memo {memo_rate:.1}%) t_total={:.3}ms",
+            self.answers,
+            self.candidates,
+            self.filtered_consistent,
+            self.prover_calls,
+            self.shards_used,
+            self.prover_cache_hits,
+            self.prover_cache_cross_hits,
+            self.membership_queries,
+            self.t_total.as_secs_f64() * 1e3,
+        )
+    }
+}
 
 /// One recorded database change, awaiting reconciliation by
 /// [`Hippo::redetect`].
@@ -214,20 +291,50 @@ pub struct Hippo {
     constraints: Vec<DenialConstraint>,
     graph: ConflictHypergraph,
     detect_stats: DetectStats,
-    /// Restricted foreign keys (orphan edges re-derived on full
-    /// redetection; non-empty disables the incremental path).
+    /// Restricted foreign keys (orphan edges maintained incrementally
+    /// through [`Hippo::fk_indexes`], re-derived in full on
+    /// [`Hippo::redetect_full`]).
     foreign_keys: Vec<crate::inclusion::ForeignKey>,
+    /// Per-FK orphan-count indexes (parallel to `foreign_keys`): parent
+    /// key → live parent count plus key → live child tuples, so a
+    /// recorded change flips orphan edges in O(affected children)
+    /// instead of forcing a full rebuild.
+    fk_indexes: Vec<crate::inclusion::FkIndex>,
     /// Persistent detection state for incremental redetection; `None`
-    /// when unavailable (foreign keys present).
+    /// only after a legacy build path that did not request it.
     detect_index: Option<DetectIndex>,
     /// Changes recorded since the last (re)detection, in order.
     pending: Vec<PendingOp>,
     /// Set by [`Hippo::db_mut`]: the database may have changed in ways
     /// the pending log does not capture, so only a full rebuild is safe.
     catalog_dirty: bool,
+    /// Persistent closure-signature verdicts, shared **across**
+    /// `consistent_answers` calls: each run's shards read the previous
+    /// runs' verdicts lock-free (behind an `Arc` taken once at run
+    /// start) and newly proved signatures are folded back in shard
+    /// order during the merge phase — the lock is held only at the two
+    /// ends, never while a shard works. Keyed by the query's rendering;
+    /// cleared whenever the graph is replaced (a signature captures the
+    /// database's influence through flags and interned fact ids, so
+    /// data-only changes stay sound, but fact ids are meaningless
+    /// across graphs).
+    verdict_cache: Mutex<VerdictCache>,
     /// Options applied to subsequent runs.
     pub options: HippoOptions,
 }
+
+/// Verdicts by query rendering, then by conflict-closure signature.
+/// Per-query maps sit behind `Arc`s so a running call can read one
+/// without holding the registry lock.
+#[derive(Debug, Default)]
+struct VerdictCache {
+    by_query: FxHashMap<String, Arc<FxHashMap<Vec<u64>, bool>>>,
+}
+
+/// Distinct queries cached before the registry resets (a safety valve
+/// against unbounded growth under ad-hoc query streams; per-query maps
+/// are bounded by the query's signature classes and need no cap).
+const VERDICT_CACHE_MAX_QUERIES: usize = 64;
 
 impl Hippo {
     /// Build the system: validates constraints and performs conflict
@@ -241,9 +348,11 @@ impl Hippo {
             graph,
             detect_stats,
             foreign_keys: Vec::new(),
+            fk_indexes: Vec::new(),
             detect_index: Some(index),
             pending: Vec::new(),
             catalog_dirty: false,
+            verdict_cache: Mutex::new(VerdictCache::default()),
             options: HippoOptions::default(),
         })
     }
@@ -395,14 +504,15 @@ impl Hippo {
     /// Bring the hypergraph up to date after data changes.
     ///
     /// If every change since the last detection was recorded through
-    /// [`Hippo::insert_tuples`] / [`Hippo::delete_tuples`] (and no
-    /// foreign keys are configured), this takes the **incremental**
-    /// path: surviving edges are carried over, deleted tuples' edges
-    /// are dropped, and inserted tuples are delta-detected — the
-    /// returned stats have `incremental == true` and count only the
-    /// delta work. Otherwise (the catalog was touched via
-    /// [`Hippo::db_mut`]) it falls back to a full sharded rebuild. With
-    /// no changes at all it returns the current stats untouched.
+    /// [`Hippo::insert_tuples`] / [`Hippo::delete_tuples`], this takes
+    /// the **incremental** path: surviving edges are carried over,
+    /// deleted tuples' edges are dropped, inserted tuples are
+    /// delta-detected, and foreign-key orphan edges are flipped through
+    /// the per-FK orphan-count indexes — the returned stats have
+    /// `incremental == true` and count only the delta work. Otherwise
+    /// (the catalog was touched via [`Hippo::db_mut`]) it falls back to
+    /// a full sharded rebuild. With no changes at all it returns the
+    /// current stats untouched.
     pub fn redetect(&mut self) -> Result<DetectStats, EngineError> {
         if self.catalog_dirty || self.detect_index.is_none() {
             return self.redetect_full();
@@ -428,8 +538,9 @@ impl Hippo {
             self.detect_index = Some(index);
         } else {
             let start = Instant::now();
-            let (mut graph, mut stats) =
-                crate::detect::detect_conflicts_unfinalized(self.db.catalog(), &self.constraints)?;
+            let (mut graph, mut stats, index) =
+                crate::detect::detect_unfinalized_with_index(self.db.catalog(), &self.constraints)?;
+            self.fk_indexes.clear();
             for (i, fk) in self.foreign_keys.iter().enumerate() {
                 let added = crate::inclusion::orphan_edges(
                     &mut graph,
@@ -438,16 +549,37 @@ impl Hippo {
                     self.constraints.len() + i,
                 )?;
                 stats.edges_emitted += added;
+                self.fk_indexes
+                    .push(crate::inclusion::FkIndex::build(self.db.catalog(), fk)?);
             }
             graph.finalize();
             stats.elapsed = start.elapsed();
             self.graph = graph;
             self.detect_stats = stats;
-            self.detect_index = None;
+            self.detect_index = Some(index);
         }
         self.pending.clear();
         self.catalog_dirty = false;
+        self.invalidate_verdicts();
         Ok(self.detect_stats)
+    }
+
+    /// Drop all cross-call verdicts: signatures embed interned fact ids,
+    /// which are meaningless once the graph is replaced. (Data-only
+    /// changes keep the cache sound — a candidate's signature captures
+    /// the database's influence through its membership flags.)
+    fn invalidate_verdicts(&mut self) {
+        self.verdict_cache.get_mut().unwrap().by_query.clear();
+    }
+
+    /// Drop the persistent cross-call verdict cache through a shared
+    /// handle. Verdicts re-accumulate on the next run; answers never
+    /// change. For callers that want every `consistent_answers` call
+    /// measured (or bounded) cold — benchmarks clear between
+    /// iterations so repeated runs on one system don't collapse into
+    /// cache reads.
+    pub fn clear_verdict_cache(&self) {
+        self.verdict_cache.lock().unwrap().by_query.clear();
     }
 
     /// The incremental path: reconcile the recorded pending operations
@@ -529,6 +661,114 @@ impl Hippo {
             }
         }
 
+        // ---- Foreign-key orphan reconciliation ----
+        //
+        // Net change per touched (table, tid): the *first* Delete op for
+        // a tid records its pre-batch row, presence in the (post-batch)
+        // catalog gives its final row; insert-then-delete transients net
+        // to nothing. Feeding the per-FK orphan-count indexes with these
+        // nets yields, per FK, the parent keys that crossed zero — keys
+        // whose count rose from 0 un-orphan their children (their
+        // singleton edges are *not* carried over below), keys whose
+        // count fell to 0 orphan all their live children (fresh
+        // singleton edges are added after the denial deltas). Work is
+        // O(batch + affected children), never the instance.
+        let mut fk_newly_matched: Vec<FxHashSet<Row>> = Vec::new();
+        let mut fk_orphan_adds: Vec<Vec<TupleId>> = Vec::new();
+        if !self.foreign_keys.is_empty() {
+            let mut net_map: FxHashMap<(String, TupleId), Option<Row>> = FxHashMap::default();
+            for op in &pending {
+                match op {
+                    PendingOp::Insert { table, tid } => {
+                        net_map.entry((table.clone(), *tid)).or_insert(None);
+                    }
+                    PendingOp::Delete { table, tid, row } => {
+                        net_map
+                            .entry((table.clone(), *tid))
+                            .or_insert_with(|| Some(row.clone()));
+                    }
+                }
+            }
+            // Resolve each tuple's post-batch row once (FK-independent),
+            // sorted so the per-FK passes — and therefore orphan-edge
+            // insertion order — are canonical.
+            type NetChange<'a> = ((String, TupleId), Option<Row>, Option<&'a Row>);
+            let mut net: Vec<NetChange<'_>> = net_map
+                .into_iter()
+                .map(|((table, tid), pre)| {
+                    let post = self
+                        .db
+                        .catalog()
+                        .table(&table)
+                        .ok()
+                        .and_then(|t| t.get(tid));
+                    ((table, tid), pre, post)
+                })
+                .collect();
+            net.sort_by(|a, b| a.0.cmp(&b.0));
+            for (fk, fkix) in self.foreign_keys.iter().zip(&mut self.fk_indexes) {
+                let mut parent_delta: FxHashMap<Row, i64> = FxHashMap::default();
+                let mut inserted_children: Vec<(TupleId, Row)> = Vec::new();
+                for ((table, tid), pre, post) in &net {
+                    let post = *post;
+                    if *table == fk.parent {
+                        if let Some(r) = pre {
+                            *parent_delta.entry(fk.parent_key(r)).or_insert(0) -= 1;
+                        }
+                        if let Some(r) = post {
+                            *parent_delta.entry(fk.parent_key(r)).or_insert(0) += 1;
+                        }
+                    }
+                    if *table == fk.child {
+                        if let Some(key) = pre.as_ref().and_then(|r| fk.child_key(r)) {
+                            fkix.remove_child(&key, *tid);
+                        }
+                        if let Some(key) = post.and_then(|r| fk.child_key(r)) {
+                            fkix.add_child(key.clone(), *tid);
+                            inserted_children.push((*tid, key));
+                        }
+                    }
+                }
+                let mut newly_matched: FxHashSet<Row> = FxHashSet::default();
+                let mut newly_orphaned: Vec<Row> = Vec::new();
+                for (key, delta) in parent_delta {
+                    if delta == 0 {
+                        continue;
+                    }
+                    let old_count = fkix.parent_count(&key);
+                    for _ in 0..delta.max(0) {
+                        fkix.add_parent(key.clone());
+                    }
+                    for _ in 0..(-delta).max(0) {
+                        fkix.remove_parent(&key);
+                    }
+                    let new_count = fkix.parent_count(&key);
+                    if old_count == 0 && new_count > 0 {
+                        newly_matched.insert(key);
+                    } else if old_count > 0 && new_count == 0 {
+                        newly_orphaned.push(key);
+                    }
+                }
+                // Orphan-edge additions: net-inserted children with no
+                // parent, plus every live child of a key that lost its
+                // last parent. Sorted for deterministic edge ids;
+                // overlaps collapse in the graph's edge dedup.
+                let mut adds: Vec<TupleId> = inserted_children
+                    .into_iter()
+                    .filter(|(_, key)| fkix.parent_count(key) == 0)
+                    .map(|(tid, _)| tid)
+                    .collect();
+                newly_orphaned.sort();
+                for key in &newly_orphaned {
+                    adds.extend_from_slice(fkix.children_of(key));
+                }
+                adds.sort_unstable();
+                adds.dedup();
+                fk_newly_matched.push(newly_matched);
+                fk_orphan_adds.push(adds);
+            }
+        }
+
         // Register the net inserts with the carried-over (non-fresh)
         // join indexes *before* the delta joins run, so new-new
         // combinations across different atom positions are visible to
@@ -568,13 +808,29 @@ impl Hippo {
             }
         }
         let mut rows_buf: Vec<&Row> = Vec::new();
+        let n_denials = self.constraints.len();
         for (eid, edge) in old.edges() {
             if edge.iter().any(|v| deleted.contains(v)) {
                 continue;
             }
+            let constraint = old.edge_constraint(eid);
+            // Orphan edges whose parent key just gained a parent are
+            // resolved: drop them instead of carrying them over.
+            if constraint >= n_denials {
+                let fk_i = constraint - n_denials;
+                if let (Some(fk), Some(matched)) =
+                    (self.foreign_keys.get(fk_i), fk_newly_matched.get(fk_i))
+                {
+                    debug_assert_eq!(edge.len(), 1, "orphan edges are singletons");
+                    let row = old.fact(vertex_fact[&edge[0]]).1;
+                    if fk.child_key(row).is_some_and(|key| matched.contains(&key)) {
+                        continue;
+                    }
+                }
+            }
             rows_buf.clear();
             rows_buf.extend(edge.iter().map(|v| old.fact(vertex_fact[v]).1));
-            g.add_edge(edge, &rows_buf, old.edge_constraint(eid));
+            g.add_edge(edge, &rows_buf, constraint);
         }
 
         // Delta-detect the inserted tuples, constraint by constraint:
@@ -605,8 +861,27 @@ impl Hippo {
             }
         }
 
+        // New orphan edges: children inserted without a parent plus
+        // children whose key lost its last parent (computed above).
+        for (fk_i, adds) in fk_orphan_adds.into_iter().enumerate() {
+            if adds.is_empty() {
+                continue;
+            }
+            let fk = &self.foreign_keys[fk_i];
+            let child = self.db.catalog().table(&fk.child)?;
+            let rel = g.intern(&fk.child);
+            for tid in adds {
+                let row = child
+                    .get(tid)
+                    .expect("orphan candidate is live in the catalog");
+                g.add_edge(&[Vertex { rel, tid }], &[row], n_denials + fk_i);
+                stats.edges_emitted += 1;
+            }
+        }
+
         g.finalize();
         self.graph = g;
+        self.invalidate_verdicts();
         stats.elapsed = start.elapsed();
         self.detect_stats = stats;
         Ok(stats)
@@ -643,8 +918,9 @@ impl Hippo {
         }
         crate::inclusion::validate_restricted(&foreign_keys, &constraints, db.catalog())?;
         // Un-finalized: orphan edges are still coming; freeze once, below.
-        let (mut graph, mut detect_stats) =
-            crate::detect::detect_conflicts_unfinalized(db.catalog(), &constraints)?;
+        let (mut graph, mut detect_stats, index) =
+            crate::detect::detect_unfinalized_with_index(db.catalog(), &constraints)?;
+        let mut fk_indexes = Vec::with_capacity(foreign_keys.len());
         for (i, fk) in foreign_keys.iter().enumerate() {
             let added = crate::inclusion::orphan_edges(
                 &mut graph,
@@ -653,6 +929,7 @@ impl Hippo {
                 constraints.len() + i,
             )?;
             detect_stats.edges_emitted += added;
+            fk_indexes.push(crate::inclusion::FkIndex::build(db.catalog(), fk)?);
         }
         graph.finalize();
         Ok(Hippo {
@@ -661,12 +938,11 @@ impl Hippo {
             graph,
             detect_stats,
             foreign_keys,
-            // Orphan edges are outside the incremental model: redetect
-            // always rebuilds in full (re-deriving them — see
-            // `redetect_full`).
-            detect_index: None,
+            fk_indexes,
+            detect_index: Some(index),
             pending: Vec::new(),
             catalog_dirty: false,
+            verdict_cache: Mutex::new(VerdictCache::default()),
             options: HippoOptions::default(),
         })
     }
@@ -687,14 +963,15 @@ impl Hippo {
     /// Compute consistent answers plus run statistics.
     ///
     /// The answer-filtering stage is a **shard → merge pipeline**
-    /// mirroring detection's: a sequential prepass dedups candidates
-    /// and applies the core filter, then the surviving worklist is cut
-    /// into [`PROVER_SHARDS`] contiguous slices proved in parallel
-    /// (knowledge-gathering mode), each shard owning one reusable
-    /// [`Prover`] workspace, a borrowed [`GatheredMembership`] view per
-    /// candidate, and a private closure-signature verdict cache. Shard
-    /// outputs are merged in shard order, so answers and stats are
-    /// identical for any worker count.
+    /// mirroring detection's, with no serial prefix beyond candidate
+    /// collection: the candidate list is cut into [`PROVER_SHARDS`]
+    /// contiguous slices, and each shard dedups, probes the core
+    /// filter, resolves membership (prefetched flags in KG mode, one
+    /// shared read-only [`DbSnapshot`] with per-shard memoized SQL in
+    /// base mode) and proves, with a private closure-signature verdict
+    /// cache seeded by previous calls' verdicts. Shard outputs are
+    /// merged in shard order, so answers and stats are identical for
+    /// any worker count.
     pub fn consistent_answers_with_stats(
         &self,
         query: &SjudQuery,
@@ -720,85 +997,90 @@ impl Hippo {
         stats.candidates = candidates.len();
         stats.t_envelope = te.elapsed();
 
-        // ---- Core filter (optional) ----
+        // ---- Core filter (optional): compute the accepting set ----
         let tf = Instant::now();
-        let filtered: FxHashSet<Row> = if self.options.core_filter {
-            core_filter_on_catalog(query, self.db.catalog(), &self.graph)
-                .into_iter()
-                .collect()
-        } else {
-            FxHashSet::default()
-        };
+        let filtered: Option<FxHashSet<Row>> = self
+            .options
+            .core_filter
+            .then(|| core_filter_set(query, self.db.catalog(), &self.graph));
         stats.t_filter = tf.elapsed();
 
-        // ---- Prover prepass (sequential): dedup + core filter ----
+        // ---- Sharded answer stage ----
+        //
+        // No serial prefix beyond candidate collection: dedup, the
+        // core-filter probe and the prover all run inside the shards.
+        // Dedup is shard-local (a duplicate crossing a shard boundary is
+        // decided twice and collapsed by the final sort+dedup — the
+        // envelope is set-semantics, so this is a belt-and-braces case),
+        // which keeps every counter an exact sum over fixed shards.
         let tp = Instant::now();
-        let mut answers: Vec<Row> = Vec::new();
-        let mut seen: FxHashSet<&Row> =
-            FxHashSet::with_capacity_and_hasher(candidates.len(), Default::default());
-        let mut work: Vec<u32> = Vec::new();
-        for (i, cand) in candidates.iter().enumerate() {
-            if !seen.insert(cand) {
-                continue; // duplicate candidate (envelope is set-semantics, but be safe)
-            }
-            if self.options.core_filter && filtered.contains(cand) {
-                stats.filtered_consistent += 1;
-                answers.push(cand.clone());
-                continue;
-            }
-            work.push(i as u32);
-        }
-        stats.prover_calls = work.len();
-
-        // ---- Prover stage ----
-        let mut prover_stats = ProverRunStats::default();
-        let mut membership_queries = 0usize;
-        if let Some(flags) = &flags {
-            // Knowledge gathering: membership is prefetched, so shards
-            // only read the graph, the template and the flag rows —
-            // embarrassingly parallel.
-            let shards = parallel::split_ranges(work.len(), PROVER_SHARDS);
-            let threads = self.options.resolved_prover_threads();
-            let use_cache = self.options.prover_cache;
-            // Workers see only `Sync` state: the frozen graph, the
-            // template and the prefetched flags (not the engine handle).
-            let graph = &self.graph;
-            let outs = parallel::run_indexed(shards.len(), threads, |si| {
-                prove_shard(
-                    graph,
-                    &candidates,
-                    flags,
-                    &template,
-                    &work[shards[si].0..shards[si].1],
-                    use_cache,
-                )
-            });
-            // Deterministic merge: shard order, exact stat sums.
-            for out in outs {
-                let out = out?;
-                prover_stats = merge(prover_stats, out.stats);
-                stats.prover_cache_hits += out.cache_hits;
-                for i in out.accepted {
-                    answers.push(candidates[i as usize].clone());
-                }
-            }
+        let shards = parallel::split_ranges(candidates.len(), PROVER_SHARDS);
+        let threads = self.options.resolved_prover_threads();
+        let use_cache = self.options.prover_cache;
+        // Base mode: freeze the instance once; all workers share the one
+        // snapshot `Arc` and issue their membership SQL against it.
+        let snapshot: Option<DbSnapshot> = if flags.is_none() {
+            Some(self.db.snapshot())
         } else {
-            // Base mode: one SQL round trip per membership check through
-            // the engine handle, inherently sequential. One prover
-            // workspace is still reused across the whole batch.
-            let mut prover = Prover::new(&self.graph, &template);
-            let mut membership = SqlMembership::new(&self.db);
-            for &i in &work {
-                let cand = &candidates[i as usize];
-                if prover.is_consistent_answer(cand, &mut membership)? {
-                    answers.push(cand.clone());
+            None
+        };
+        // Cross-call verdicts: take the persistent map for this query
+        // under the lock, then read it lock-free from every shard.
+        let query_key = use_cache.then(|| query.to_string());
+        let persistent: Option<Arc<FxHashMap<Vec<u64>, bool>>> = query_key.as_ref().map(|k| {
+            let cache = self.verdict_cache.lock().unwrap();
+            cache.by_query.get(k).cloned().unwrap_or_default()
+        });
+        let input = ShardInput {
+            graph: &self.graph,
+            template: &template,
+            candidates: &candidates,
+            flags: flags.as_deref(),
+            snapshot: snapshot.as_ref(),
+            filtered: filtered.as_ref(),
+            use_cache,
+            persistent: persistent.as_deref(),
+        };
+        let outs = parallel::run_indexed(shards.len(), threads, |si| {
+            prove_shard(&input, shards[si].0, shards[si].1)
+        });
+        // Deterministic merge: shard order, exact stat sums.
+        stats.shards_used = shards.len();
+        let mut answers: Vec<Row> = Vec::new();
+        let mut fresh: Vec<(Vec<u64>, bool)> = Vec::new();
+        for out in outs {
+            let out = out?;
+            stats.prover = merge(stats.prover, out.stats);
+            stats.prover_calls += out.prover_calls;
+            stats.prover_cache_hits += out.cache_hits;
+            stats.prover_cache_cross_hits += out.cross_hits;
+            stats.filtered_consistent += out.filtered_consistent;
+            stats.membership_queries += out.membership_queries;
+            stats.membership_memo_hits += out.membership_memo_hits;
+            for i in out.accepted {
+                answers.push(candidates[i as usize].clone());
+            }
+            fresh.extend(out.fresh);
+        }
+        // Merge-phase write-back of newly proved signatures (shard
+        // order, first writer wins — verdicts for equal signatures are
+        // equal anyway). The lock is only held here, never by a shard.
+        if let Some(k) = query_key {
+            if !fresh.is_empty() {
+                let mut cache = self.verdict_cache.lock().unwrap();
+                if cache.by_query.len() >= VERDICT_CACHE_MAX_QUERIES
+                    && !cache.by_query.contains_key(&k)
+                {
+                    cache.by_query.clear();
+                }
+                let entry = cache.by_query.entry(k).or_default();
+                let map = Arc::make_mut(entry);
+                map.reserve(fresh.len());
+                for (sig, verdict) in fresh {
+                    map.entry(sig).or_insert(verdict);
                 }
             }
-            prover_stats = prover.stats;
-            membership_queries = membership.queries_issued;
         }
-        stats.prover = prover_stats;
-        stats.membership_queries = membership_queries;
         stats.t_prover = tp.elapsed();
 
         answers.sort();
@@ -809,62 +1091,123 @@ impl Hippo {
     }
 }
 
-/// Decide one shard of the prover worklist: `work` holds candidate
-/// indices; returns the accepted indices (in worklist order) plus the
-/// shard's exact counters. Runs on a worker thread — reads the graph,
-/// template and flags read-only (never the engine handle, which is not
-/// `Sync`).
-fn prove_shard(
-    graph: &ConflictHypergraph,
-    candidates: &[Row],
-    flags: &[Vec<bool>],
-    template: &MembershipTemplate,
-    work: &[u32],
+/// Read-only state shared by every shard of one answer run. Everything
+/// here is `Sync`: the frozen graph, the compiled template, the
+/// candidate rows, the prefetched flag matrix (KG mode) *or* the frozen
+/// database snapshot (base mode), the core-filter accepting set, and
+/// the previous calls' verdict map.
+struct ShardInput<'a> {
+    graph: &'a ConflictHypergraph,
+    template: &'a MembershipTemplate,
+    candidates: &'a [Row],
+    /// KG mode: per-candidate prefetched membership flags.
+    flags: Option<&'a [Vec<bool>]>,
+    /// Base mode: the snapshot all shards issue membership SQL against.
+    snapshot: Option<&'a DbSnapshot>,
+    /// Core-filter accepting set (candidates in it skip the prover).
+    filtered: Option<&'a FxHashSet<Row>>,
     use_cache: bool,
-) -> Result<ShardVerdicts, EngineError> {
-    let mut prover = Prover::new(graph, template);
-    let mut cache: FxHashMap<Vec<u64>, bool> = FxHashMap::default();
+    /// Cross-call verdicts proved by earlier runs on this graph.
+    persistent: Option<&'a FxHashMap<Vec<u64>, bool>>,
+}
+
+/// Decide the candidate slice `lo..hi`: dedup (shard-local), probe the
+/// core filter, resolve membership flags (prefetched in KG mode,
+/// memoized snapshot SQL in base mode), then decide by signature cache
+/// or prover run. Runs on a worker thread; mutates nothing shared.
+fn prove_shard(input: &ShardInput<'_>, lo: usize, hi: usize) -> Result<ShardVerdicts, EngineError> {
+    let mut prover = Prover::new(input.graph, input.template);
+    let mut local: FxHashMap<Vec<u64>, bool> = FxHashMap::default();
     let mut sig: Vec<u64> = Vec::new();
+    let mut seen: FxHashSet<&Row> =
+        FxHashSet::with_capacity_and_hasher(hi - lo, Default::default());
+    let mut sql = input
+        .snapshot
+        .map(|s| MemoSqlMembership::new(s, input.template));
+    let mut flag_buf: Vec<bool> = Vec::new();
     let mut out = ShardVerdicts::default();
-    for &i in work {
-        let cand = &candidates[i as usize];
-        let cand_flags = &flags[i as usize];
-        let ok = if use_cache {
+    for i in lo..hi {
+        let cand = &input.candidates[i];
+        if !seen.insert(cand) {
+            continue; // duplicate candidate within the shard
+        }
+        if let Some(f) = input.filtered {
+            if f.contains(cand) {
+                out.filtered_consistent += 1;
+                out.accepted.push(i as u32);
+                continue;
+            }
+        }
+        out.prover_calls += 1;
+        // Membership flags: prefetched (KG) or gathered through the
+        // shard's memoized snapshot-SQL probe (base).
+        let cand_flags: &[bool] = match input.flags {
+            Some(fl) => &fl[i],
+            None => {
+                sql.as_mut()
+                    .expect("base mode carries a snapshot")
+                    .gather_flags(cand, &mut flag_buf)?;
+                &flag_buf
+            }
+        };
+        let ok = if input.use_cache {
             prover.closure_signature(cand, cand_flags, &mut sig);
-            match cache.get(&sig) {
-                Some(&v) => {
-                    out.cache_hits += 1;
-                    v
-                }
-                None => {
-                    let mut membership =
-                        GatheredMembership::for_candidate(template, cand, cand_flags);
-                    let v = prover.is_consistent_answer(cand, &mut membership)?;
-                    cache.insert(std::mem::take(&mut sig), v);
-                    v
-                }
+            if let Some(&v) = local.get(&sig) {
+                out.cache_hits += 1;
+                v
+            } else if let Some(&v) = input.persistent.and_then(|p| p.get(&sig)) {
+                out.cache_hits += 1;
+                out.cross_hits += 1;
+                v
+            } else {
+                let mut membership =
+                    GatheredMembership::for_candidate(input.template, cand, cand_flags);
+                let v = prover.is_consistent_answer(cand, &mut membership)?;
+                let key = std::mem::take(&mut sig);
+                out.fresh.push((key.clone(), v));
+                local.insert(key, v);
+                v
             }
         } else {
-            let mut membership = GatheredMembership::for_candidate(template, cand, cand_flags);
+            let mut membership =
+                GatheredMembership::for_candidate(input.template, cand, cand_flags);
             prover.is_consistent_answer(cand, &mut membership)?
         };
         if ok {
-            out.accepted.push(i);
+            out.accepted.push(i as u32);
         }
     }
     out.stats = prover.stats;
+    if let Some(sql) = sql {
+        out.membership_queries = sql.queries_issued;
+        out.membership_memo_hits = sql.memo_hits;
+    }
     Ok(out)
 }
 
 /// One prover shard's output (merged in shard order).
 #[derive(Debug, Default)]
 struct ShardVerdicts {
-    /// Accepted candidate indices, in worklist order.
+    /// Accepted candidate indices (core-filtered or proved), in
+    /// candidate order.
     accepted: Vec<u32>,
+    /// Signatures first proved by this shard, in discovery order
+    /// (folded into the persistent cache at merge).
+    fresh: Vec<(Vec<u64>, bool)>,
     /// The shard prover's counters.
     stats: ProverRunStats,
-    /// Worklist entries answered from the signature cache.
+    /// Candidates reaching the prover stage in this shard.
+    prover_calls: usize,
+    /// Candidates accepted by the core filter in this shard.
+    filtered_consistent: usize,
+    /// Entries answered from a signature cache (local or persistent).
     cache_hits: usize,
+    /// Subset of `cache_hits` answered from the persistent map.
+    cross_hits: usize,
+    /// Base mode: SQL probes issued (memo misses).
+    membership_queries: usize,
+    /// Base mode: probes answered from the shard memo.
+    membership_memo_hits: usize,
 }
 
 fn merge(a: ProverRunStats, b: ProverRunStats) -> ProverRunStats {
@@ -1225,13 +1568,89 @@ mod tests {
         let stats = hippo.redetect_full().unwrap();
         assert!(!stats.incremental);
         assert_eq!(hippo.graph().edge_count(), 1);
-        // Recorded updates also fall back to a full rebuild under fks.
+        // Recorded changes stay incremental under fks (PR 4): an
+        // orphaned insert adds its singleton edge via the orphan-count
+        // index, no rebuild.
         hippo
             .insert_tuples("child", vec![vec![Value::Int(3), Value::Int(30)]])
             .unwrap();
         let stats = hippo.redetect().unwrap();
-        assert!(!stats.incremental);
+        assert!(stats.incremental, "fk changes take the delta path now");
         assert_eq!(hippo.graph().edge_count(), 2);
+    }
+
+    #[test]
+    fn fk_incremental_flips_orphans_in_both_directions() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE parent (id INT)").unwrap();
+        db.execute("CREATE TABLE child (pid INT, x INT)").unwrap();
+        db.execute("INSERT INTO parent VALUES (1)").unwrap();
+        db.execute("INSERT INTO child VALUES (1, 10), (2, 20), (2, 21)")
+            .unwrap();
+        let fk = crate::inclusion::ForeignKey {
+            child: "child".into(),
+            child_cols: vec![0],
+            parent: "parent".into(),
+            parent_cols: vec![0],
+        };
+        let mut hippo = Hippo::with_foreign_keys(db, vec![], vec![fk]).unwrap();
+        assert_eq!(
+            hippo.graph().edge_count(),
+            2,
+            "both pid=2 children orphaned"
+        );
+        // Inserting parent 2 un-orphans both children incrementally.
+        let p2 = hippo
+            .insert_tuples("parent", vec![vec![Value::Int(2)]])
+            .unwrap();
+        let stats = hippo.redetect().unwrap();
+        assert!(stats.incremental);
+        assert_eq!(hippo.graph().edge_count(), 0);
+        // Deleting parent 1 orphans child (1, 10); deleting parent 2
+        // re-orphans the pid=2 pair — all via the orphan-count index.
+        hippo
+            .delete_tuples("parent", &[hippo_engine::TupleId(0), p2[0]])
+            .unwrap();
+        let stats = hippo.redetect().unwrap();
+        assert!(stats.incremental);
+        assert_eq!(hippo.graph().edge_count(), 3, "every child is orphaned");
+        // Differential: a forced full rebuild agrees edge-for-edge.
+        let canon = |h: &Hippo| {
+            let g = h.graph();
+            let mut edges: Vec<(usize, Vec<crate::hypergraph::Vertex>)> = g
+                .edges()
+                .map(|(id, e)| (g.edge_constraint(id), e.to_vec()))
+                .collect();
+            edges.sort();
+            edges
+        };
+        let inc = canon(&hippo);
+        hippo.redetect_full().unwrap();
+        assert_eq!(inc, canon(&hippo));
+        // An in-place child update that dodges the orphan: update pid
+        // 2 → re-insert parent 2 first, then move a child onto a
+        // missing parent.
+        hippo
+            .insert_tuples("parent", vec![vec![Value::Int(2)]])
+            .unwrap();
+        assert!(hippo.redetect().unwrap().incremental);
+        hippo
+            .update_tuples(
+                "child",
+                vec![(
+                    hippo_engine::TupleId(1),
+                    vec![Value::Int(9), Value::Int(20)],
+                )],
+            )
+            .unwrap();
+        let stats = hippo.redetect().unwrap();
+        assert!(stats.incremental);
+        // child(1,10) orphan (parent 1 gone), child(9,20) orphan
+        // (parent 9 never existed), child(2,21) matched by parent 2.
+        assert_eq!(hippo.graph().edge_count(), 2);
+        let inc = canon(&hippo);
+        hippo.redetect_full().unwrap();
+        assert_eq!(inc, canon(&hippo));
     }
 
     #[test]
@@ -1441,6 +1860,59 @@ mod tests {
         assert_eq!(answers, answers2);
         assert_eq!(stats2.prover_cache_hits, 0);
         assert_eq!(stats2.prover.tuples_checked, stats2.prover_calls);
+    }
+
+    #[test]
+    fn verdict_cache_persists_across_calls_and_invalidates_on_redetect() {
+        let mut rows: Vec<(&str, i64)> = vec![("ann", 1), ("ann", 2)];
+        let names: Vec<String> = (0..30).map(|i| format!("p{i}")).collect();
+        for n in &names {
+            rows.push((n.as_str(), 500));
+        }
+        let q = SjudQuery::rel("emp");
+        let mut hippo = Hippo::with_options(emp_db(&rows), fd(), HippoOptions::kg()).unwrap();
+        let (ans1, s1) = hippo.consistent_answers_with_stats(&q).unwrap();
+        assert_eq!(s1.prover_cache_cross_hits, 0, "first call has no history");
+        assert!(s1.prover.tuples_checked > 0);
+        // Second identical call: every signature class was proved by the
+        // first call, so no prover runs at all — all hits are cross-call.
+        let (ans2, s2) = hippo.consistent_answers_with_stats(&q).unwrap();
+        assert_eq!(ans2, ans1);
+        assert_eq!(s2.prover.tuples_checked, 0, "everything served from cache");
+        assert_eq!(s2.prover_cache_cross_hits, s2.prover_cache_hits);
+        assert_eq!(s2.prover_cache_hits, s2.prover_calls);
+        // Replacing the graph drops the cross-call verdicts.
+        hippo
+            .insert_tuples("emp", vec![vec![Value::text("zzz"), Value::Int(7)]])
+            .unwrap();
+        hippo.redetect().unwrap();
+        let (_, s3) = hippo.consistent_answers_with_stats(&q).unwrap();
+        assert_eq!(s3.prover_cache_cross_hits, 0, "cache cleared on redetect");
+        assert!(s3.prover.tuples_checked > 0);
+    }
+
+    #[test]
+    fn base_mode_shards_report_and_memoize_membership() {
+        // Product query: candidates are pairs, so many candidates in one
+        // shard share each side's literal projection — the shard's SQL
+        // memo must absorb the repeats.
+        let mut rows: Vec<(String, i64)> = (0..10).map(|i| (format!("p{i}"), 100)).collect();
+        rows.push(("p0".into(), 999)); // one conflict
+        let rows: Vec<(&str, i64)> = rows.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+        let q = SjudQuery::rel("emp").product(SjudQuery::rel("emp"));
+        let hippo = Hippo::with_options(emp_db(&rows), fd(), HippoOptions::base()).unwrap();
+        let (answers, stats) = hippo.consistent_answers_with_stats(&q).unwrap();
+        assert_eq!(answers.len(), 9 * 9, "pairs of the 9 conflict-free rows");
+        assert!(stats.shards_used > 1, "base mode shards now");
+        assert!(stats.membership_queries > 0, "base mode still pays SQL");
+        assert!(
+            stats.membership_memo_hits > 0,
+            "repeated projections answered from the shard memo"
+        );
+        // The Display impl reports shards for base mode.
+        let line = stats.to_string();
+        assert!(line.contains("shards="), "{line}");
+        assert!(line.contains("membership_queries="), "{line}");
     }
 
     #[test]

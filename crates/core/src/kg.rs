@@ -8,6 +8,14 @@
 //! column (`EXISTS (SELECT … FROM rel WHERE …)`) per literal template.
 //! The prover then answers membership checks from the fetched flags and
 //! issues **zero** queries against the database.
+//!
+//! This module also houses the base-mode membership sources. They target
+//! a [`SqlBackend`] — the live [`hippo_engine::Database`] or a frozen,
+//! `Sync` [`hippo_engine::DbSnapshot`] — and since PR 4 the answer
+//! pipeline runs base mode through snapshots: every prover shard owns a
+//! [`MemoSqlMembership`], which resolves a candidate's flags by
+//! **memoized** SQL probes so the shard pays one round trip per distinct
+//! fact instead of one per check.
 
 use crate::formula::{LitTemplate, MembershipTemplate};
 use crate::pred::value_to_sql;
@@ -177,18 +185,73 @@ impl MembershipSource for GatheredMembership<'_> {
     }
 }
 
+/// A read-only SQL backend the base-mode membership path can target:
+/// either the live engine handle ([`hippo_engine::Database`]) or a
+/// frozen, `Sync` [`hippo_engine::DbSnapshot`] — the latter is what lets
+/// base-mode prover shards issue membership SQL from worker threads.
+pub trait SqlBackend {
+    /// The catalog the membership SQL is built against.
+    fn catalog(&self) -> &Catalog;
+    /// Evaluate one `SELECT` and return its rows.
+    fn query_rows(&self, sql: &str) -> Result<Vec<Row>, EngineError>;
+}
+
+impl SqlBackend for hippo_engine::Database {
+    fn catalog(&self) -> &Catalog {
+        hippo_engine::Database::catalog(self)
+    }
+    fn query_rows(&self, sql: &str) -> Result<Vec<Row>, EngineError> {
+        Ok(self.query(sql)?.rows)
+    }
+}
+
+impl SqlBackend for hippo_engine::DbSnapshot {
+    fn catalog(&self) -> &Catalog {
+        hippo_engine::DbSnapshot::catalog(self)
+    }
+    fn query_rows(&self, sql: &str) -> Result<Vec<Row>, EngineError> {
+        Ok(self.query(sql)?.rows)
+    }
+}
+
+/// Render the membership probe `SELECT 1 FROM rel WHERE col = v … LIMIT 1`.
+fn membership_probe_sql(catalog: &Catalog, rel: &str, values: &Row) -> Result<String, EngineError> {
+    let schema = &catalog.table(rel)?.schema;
+    let mut core = SelectCore::empty();
+    core.projection = vec![SelectItem::Expr {
+        expr: Expr::int(1),
+        alias: None,
+    }];
+    core.from = vec![TableRef::Table {
+        name: rel.to_string(),
+        alias: None,
+    }];
+    core.filter = Expr::conjoin(
+        schema
+            .columns
+            .iter()
+            .zip(values)
+            .map(|(c, v)| Expr::col(c.name.clone()).eq(value_to_sql(v))),
+    );
+    core.limit = Some(1);
+    Ok(hippo_sql::print_query(&Query::Select(Box::new(core))))
+}
+
 /// A [`MembershipSource`] that issues one SQL membership query per check —
 /// the base system's behaviour, whose cost the KG optimization removes.
-pub struct SqlMembership<'a> {
-    /// The database to query.
-    pub db: &'a hippo_engine::Database,
+/// Generic over the [`SqlBackend`]: the sequential path targets the live
+/// [`hippo_engine::Database`], the sharded base-mode pipeline targets a
+/// [`hippo_engine::DbSnapshot`].
+pub struct SqlMembership<'a, B: SqlBackend = hippo_engine::Database> {
+    /// The backend to query.
+    pub db: &'a B,
     /// Number of SQL queries issued.
     pub queries_issued: usize,
 }
 
-impl<'a> SqlMembership<'a> {
+impl<'a, B: SqlBackend> SqlMembership<'a, B> {
     /// Constructor.
-    pub fn new(db: &'a hippo_engine::Database) -> Self {
+    pub fn new(db: &'a B) -> Self {
         SqlMembership {
             db,
             queries_issued: 0,
@@ -196,29 +259,82 @@ impl<'a> SqlMembership<'a> {
     }
 }
 
-impl<'a> MembershipSource for SqlMembership<'a> {
+impl<B: SqlBackend> MembershipSource for SqlMembership<'_, B> {
     fn fact_in_db(&mut self, rel: &str, values: &Row) -> Result<bool, EngineError> {
-        let schema = &self.db.catalog().table(rel)?.schema;
-        let mut core = SelectCore::empty();
-        core.projection = vec![SelectItem::Expr {
-            expr: Expr::int(1),
-            alias: None,
-        }];
-        core.from = vec![TableRef::Table {
-            name: rel.to_string(),
-            alias: None,
-        }];
-        core.filter = Expr::conjoin(
-            schema
-                .columns
-                .iter()
-                .zip(values)
-                .map(|(c, v)| Expr::col(c.name.clone()).eq(value_to_sql(v))),
-        );
-        core.limit = Some(1);
-        let sql = hippo_sql::print_query(&Query::Select(Box::new(core)));
+        let sql = membership_probe_sql(self.db.catalog(), rel, values)?;
         self.queries_issued += 1;
-        Ok(!self.db.query(&sql)?.rows.is_empty())
+        Ok(!self.db.query_rows(&sql)?.is_empty())
+    }
+}
+
+/// The base-mode shard's flag gatherer: resolves the per-literal
+/// membership flags of one candidate by **memoized** SQL against a
+/// frozen snapshot. The memo is keyed by `(literal, projected row)` and
+/// lives for the whole shard, so across a shard's candidates each
+/// distinct fact pays exactly one SQL round trip — the per-shard analog
+/// of what knowledge gathering prefetches in one envelope query. Shards
+/// are fixed slices of the candidate list, so `queries_issued` /
+/// `memo_hits` are bit-identical for any worker count.
+pub struct MemoSqlMembership<'a> {
+    snapshot: &'a hippo_engine::DbSnapshot,
+    template: &'a MembershipTemplate,
+    /// Per-literal memo: projected literal row → membership flag. (The
+    /// template already dedups identical literals, so per-literal slots
+    /// never probe the same fact twice for one candidate; the memo's
+    /// win is *across* candidates — shared projections of product /
+    /// permuted candidates, and any repeated envelope row.)
+    memo: Vec<rustc_hash::FxHashMap<Row, bool>>,
+    /// Reusable projection buffer.
+    row_buf: Row,
+    /// SQL probes actually issued (memo misses).
+    pub queries_issued: usize,
+    /// Checks answered from the memo.
+    pub memo_hits: usize,
+}
+
+impl<'a> MemoSqlMembership<'a> {
+    /// Constructor.
+    pub fn new(snapshot: &'a hippo_engine::DbSnapshot, template: &'a MembershipTemplate) -> Self {
+        MemoSqlMembership {
+            snapshot,
+            template,
+            memo: vec![rustc_hash::FxHashMap::default(); template.literals.len()],
+            row_buf: Row::new(),
+            queries_issued: 0,
+            memo_hits: 0,
+        }
+    }
+
+    /// Resolve every literal's membership flag for `candidate` into
+    /// `flags` (cleared first), consulting the memo before the snapshot.
+    pub fn gather_flags(
+        &mut self,
+        candidate: &Row,
+        flags: &mut Vec<bool>,
+    ) -> Result<(), EngineError> {
+        flags.clear();
+        for (li, lit) in self.template.literals.iter().enumerate() {
+            self.row_buf.clear();
+            self.row_buf
+                .extend(lit.cols.iter().map(|&c| candidate[c].clone()));
+            let memo = &mut self.memo[li];
+            let flag = match memo.get(self.row_buf.as_slice()) {
+                Some(&b) => {
+                    self.memo_hits += 1;
+                    b
+                }
+                None => {
+                    let sql =
+                        membership_probe_sql(self.snapshot.catalog(), &lit.rel, &self.row_buf)?;
+                    self.queries_issued += 1;
+                    let b = !self.snapshot.query_rows(&sql)?.is_empty();
+                    memo.insert(self.row_buf.clone(), b);
+                    b
+                }
+            };
+            flags.push(flag);
+        }
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! Scoped worker pools for sharded conflict detection and the parallel
-//! prover.
+//! answer pipeline (every mode since PR 4 — base mode's workers issue
+//! membership SQL against a shared read-only `DbSnapshot`).
 //!
 //! Work is decomposed into **shards** — deterministic units (FD
 //! hash-bucket ranges, outer-atom tuple ranges, candidate-slice ranges)

@@ -85,12 +85,32 @@ fn arb_rows(max: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
 }
 
 /// The deterministic (thread-independent) slice of the stats.
-fn counters(s: &AnswerStats) -> (usize, usize, usize, usize, usize, usize, usize, usize) {
+#[allow(clippy::type_complexity)]
+fn counters(
+    s: &AnswerStats,
+) -> (
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+) {
     (
         s.candidates,
         s.filtered_consistent,
         s.prover_calls,
         s.prover_cache_hits,
+        s.prover_cache_cross_hits,
+        s.shards_used,
+        s.membership_queries,
+        s.membership_memo_hits,
         s.prover.tuples_checked,
         s.prover.membership_checks,
         s.prover.disjuncts_checked,
@@ -128,6 +148,46 @@ proptest! {
         prop_assert_eq!(ans_par, ans_seq, "answers diverged at threads={}", threads);
         prop_assert_eq!(counters(&st_par), counters(&st_seq),
             "stats diverged at threads={}", threads);
+    }
+
+    #[test]
+    fn base_mode_parallel_matches_sequential(
+        t_rows in arb_rows(50),
+        s_rows in arb_rows(20),
+        threads in 2usize..5,
+        pick in 0u32..4,
+    ) {
+        // Base mode now runs the same sharded pipeline over a frozen
+        // engine snapshot: answers *and* every counter — including the
+        // SQL membership query/memo counts — must be bit-identical for
+        // any worker count, and the answers must agree with KG mode.
+        let q = query(pick);
+        let seq = Hippo::with_options(
+            db_with(&t_rows, &s_rows),
+            constraints(),
+            HippoOptions::base().with_prover_threads(1),
+        ).unwrap();
+        let (ans_seq, st_seq) = seq.consistent_answers_with_stats(&q).unwrap();
+
+        let par = Hippo::with_options(
+            db_with(&t_rows, &s_rows),
+            constraints(),
+            HippoOptions::base().with_prover_threads(threads),
+        ).unwrap();
+        let (ans_par, st_par) = par.consistent_answers_with_stats(&q).unwrap();
+
+        prop_assert_eq!(&ans_par, &ans_seq, "base answers diverged at threads={}", threads);
+        prop_assert_eq!(counters(&st_par), counters(&st_seq),
+            "base stats diverged at threads={}", threads);
+
+        let kg = Hippo::with_options(
+            db_with(&t_rows, &s_rows),
+            constraints(),
+            HippoOptions::kg().with_prover_threads(threads),
+        ).unwrap();
+        let (ans_kg, st_kg) = kg.consistent_answers_with_stats(&q).unwrap();
+        prop_assert_eq!(ans_kg, ans_par, "base and KG disagree");
+        prop_assert_eq!(st_kg.membership_queries, 0, "KG never issues membership SQL");
     }
 
     #[test]

@@ -8,8 +8,12 @@ use std::collections::BTreeMap;
 ///
 /// Deliberately simple: single-threaded mutation, deterministic iteration
 /// order (sorted by name) so conflict detection and benchmarks are
-/// reproducible.
-#[derive(Debug, Default)]
+/// reproducible. A catalog holds no interior mutability, so a shared
+/// `&Catalog` is freely readable from many threads — this is what makes
+/// [`crate::db::DbSnapshot`] `Sync`. `Clone` backs the snapshot layer's
+/// copy-on-write: mutating a database whose catalog is still shared with
+/// a live snapshot clones the storage once.
+#[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
 }

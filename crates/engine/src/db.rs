@@ -4,6 +4,20 @@
 //! the CQA layer only ever submits SQL text (envelope queries, membership
 //! queries) and reads back row sets. A direct typed API is also provided
 //! for bulk loading and for the conflict detector's fast paths.
+//!
+//! # Snapshots
+//!
+//! [`Database::snapshot`] freezes the current instance into a
+//! [`DbSnapshot`]: a read-only, `Sync`, cheaply-cloneable handle that
+//! evaluates `SELECT`s against an immutable catalog with **zero
+//! locking**. The database keeps its catalog behind an [`Arc`], so
+//! taking a snapshot is one reference-count bump; the first mutation
+//! *after* a snapshot copies the storage once (copy-on-write via
+//! [`Arc::make_mut`]) and later mutations are free again. Snapshot
+//! statistics are per-snapshot atomics (shared by clones of the same
+//! snapshot), never the live database's counters — which is exactly
+//! what lets many prover shards hammer one snapshot concurrently while
+//! the query-count bookkeeping stays exact.
 
 use crate::bind::{bind_const_expr, bind_query, bind_table_expr, BoundQuery};
 use crate::catalog::Catalog;
@@ -15,6 +29,8 @@ use crate::schema::{Column, EngineError, TableSchema};
 use crate::table::TupleId;
 use crate::value::{Row, Value};
 use hippo_sql::{parse_statement, parse_statements, InsertSource, Statement};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,9 +74,14 @@ pub struct DbStats {
 }
 
 /// An in-memory SQL database.
+///
+/// The catalog lives behind an [`Arc`] so [`Database::snapshot`] is a
+/// reference-count bump; mutation goes through [`Arc::make_mut`], which
+/// copies the storage only when a snapshot taken earlier is still alive
+/// (copy-on-write — an unshared database mutates in place as before).
 #[derive(Debug, Default)]
 pub struct Database {
-    catalog: Catalog,
+    catalog: Arc<Catalog>,
     stats: std::cell::Cell<DbStats>,
 }
 
@@ -75,9 +96,22 @@ impl Database {
         &self.catalog
     }
 
-    /// Mutable access to the catalog.
+    /// Mutable access to the catalog. Copy-on-write: if a
+    /// [`DbSnapshot`] still shares the storage, the catalog is cloned
+    /// once here; otherwise this is a plain borrow.
     pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+        Arc::make_mut(&mut self.catalog)
+    }
+
+    /// Freeze the current instance into a read-only, `Sync`,
+    /// cheaply-cloneable snapshot. Cost: one `Arc` clone — no row is
+    /// copied now; the *next* mutation of this database pays a one-time
+    /// catalog copy instead (copy-on-write).
+    pub fn snapshot(&self) -> DbSnapshot {
+        DbSnapshot {
+            catalog: Arc::clone(&self.catalog),
+            stats: Arc::new(SnapshotStats::default()),
+        }
     }
 
     /// Execution statistics so far.
@@ -173,12 +207,12 @@ impl Database {
                     .collect();
                 let pk: Vec<&str> = ct.primary_key.iter().map(String::as_str).collect();
                 let schema = TableSchema::new(ct.name.clone(), columns, &pk)?;
-                self.catalog.create_table(schema)?;
+                self.catalog_mut().create_table(schema)?;
                 Ok(ExecResult::Count(0))
             }
             Statement::DropTable { name, if_exists } => {
                 self.bump_statements();
-                self.catalog.drop_table(name, *if_exists)?;
+                self.catalog_mut().drop_table(name, *if_exists)?;
                 Ok(ExecResult::Count(0))
             }
             Statement::Insert(ins) => {
@@ -228,7 +262,7 @@ impl Database {
                     }
                     ids
                 };
-                let t = self.catalog.table_mut(table)?;
+                let t = self.catalog_mut().table_mut(table)?;
                 let mut n = 0;
                 for id in ids {
                     if t.delete(id) {
@@ -280,7 +314,7 @@ impl Database {
                     updates
                 };
                 let n = updates.len();
-                let t = self.catalog.table_mut(table)?;
+                let t = self.catalog_mut().table_mut(table)?;
                 for (id, new_row) in updates {
                     t.update(id, new_row)?;
                 }
@@ -297,7 +331,7 @@ impl Database {
         columns: &[String],
         rows: Vec<Row>,
     ) -> Result<usize, EngineError> {
-        let t = self.catalog.table_mut(table)?;
+        let t = self.catalog_mut().table_mut(table)?;
         let perm: Option<Vec<usize>> = if columns.is_empty() {
             None
         } else {
@@ -350,6 +384,88 @@ impl Database {
         execute(plan, &mut env)
     }
 }
+
+/// Atomic statistics of one snapshot lineage (shared by clones).
+#[derive(Debug, Default)]
+struct SnapshotStats {
+    queries: AtomicUsize,
+}
+
+/// A read-only, `Sync`, cheaply-cloneable frozen view of a database.
+///
+/// Produced by [`Database::snapshot`]. The catalog is immutable and
+/// `Arc`-shared — later mutations of the originating database
+/// copy-on-write their own storage and never show through here — so any
+/// number of threads can evaluate `SELECT`s against one snapshot
+/// concurrently with **zero locking** on the read path (the only shared
+/// mutable state is the relaxed query counter). Cloning a snapshot is
+/// two reference-count bumps; clones share the same counter.
+#[derive(Debug, Clone)]
+pub struct DbSnapshot {
+    catalog: Arc<Catalog>,
+    stats: Arc<SnapshotStats>,
+}
+
+impl DbSnapshot {
+    /// Read access to the frozen catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// `SELECT` queries evaluated against this snapshot lineage so far
+    /// (summed over all clones).
+    pub fn queries_executed(&self) -> usize {
+        self.stats.queries.load(Ordering::Relaxed)
+    }
+
+    /// Run a query (read-only) and return its result set.
+    pub fn query(&self, sql: &str) -> Result<QueryResult, EngineError> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(q) = stmt else {
+            return Err(EngineError::new("expected a SELECT statement"));
+        };
+        self.run_query_ast(&q)
+    }
+
+    /// Run an already-parsed query.
+    pub fn run_query_ast(&self, q: &hippo_sql::Query) -> Result<QueryResult, EngineError> {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let bound = bind_query(&self.catalog, q)?;
+        let plan = optimize(bound.plan, &self.catalog)?;
+        let rows = crate::exec::execute_read_only(&plan, &self.catalog)?;
+        Ok(QueryResult {
+            columns: bound.columns,
+            rows,
+        })
+    }
+
+    /// Plan a query against the frozen catalog without executing it.
+    pub fn plan(&self, sql: &str) -> Result<BoundQuery, EngineError> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(q) = stmt else {
+            return Err(EngineError::new("expected a SELECT statement"));
+        };
+        let bound = bind_query(&self.catalog, &q)?;
+        let plan = optimize(bound.plan, &self.catalog)?;
+        Ok(BoundQuery {
+            plan,
+            columns: bound.columns,
+        })
+    }
+
+    /// Evaluate a plan that was bound against this snapshot's catalog.
+    pub fn run_plan(&self, plan: &LogicalPlan) -> Result<Vec<Row>, EngineError> {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        crate::exec::execute_read_only(plan, &self.catalog)
+    }
+}
+
+// The whole point of the snapshot: workers may share one `&DbSnapshot`
+// (or clone it) across threads. Compile-time proof, not a convention.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<DbSnapshot>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -559,6 +675,86 @@ mod tests {
             .query("SELECT DISTINCT dept FROM emp ORDER BY dept LIMIT 1")
             .unwrap();
         assert_eq!(r.rows, vec![vec![Value::text("cs")]]);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_mutations() {
+        let mut db = db();
+        let snap = db.snapshot();
+        db.execute("INSERT INTO emp VALUES ('eve', 'cs', 999)")
+            .unwrap();
+        db.execute("UPDATE emp SET salary = 0 WHERE name = 'ann'")
+            .unwrap();
+        db.execute("DROP TABLE emp").unwrap();
+        // The snapshot still sees the original three rows untouched.
+        let r = snap
+            .query("SELECT name, salary FROM emp ORDER BY name")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0], vec![Value::text("ann"), Value::Int(100)]);
+        // And the live database sees its own changes.
+        assert!(db.query("SELECT * FROM emp").is_err(), "table dropped");
+    }
+
+    #[test]
+    fn snapshot_matches_live_database() {
+        let db = db();
+        let snap = db.snapshot();
+        for q in [
+            "SELECT * FROM emp ORDER BY name",
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept",
+            "SELECT name FROM emp WHERE NOT EXISTS \
+             (SELECT * FROM emp f WHERE f.dept = emp.dept AND f.salary > emp.salary)",
+        ] {
+            assert_eq!(snap.query(q).unwrap(), db.query(q).unwrap(), "{q}");
+        }
+    }
+
+    #[test]
+    fn snapshot_counts_queries_without_touching_db_stats() {
+        let db = db();
+        db.reset_stats();
+        let snap = db.snapshot();
+        let clone = snap.clone();
+        snap.query("SELECT * FROM emp").unwrap();
+        clone.query("SELECT * FROM emp").unwrap();
+        assert_eq!(snap.queries_executed(), 2, "clones share the counter");
+        assert_eq!(db.stats().queries, 0, "live stats untouched");
+    }
+
+    #[test]
+    fn snapshot_is_usable_from_many_threads() {
+        let mut db = db();
+        let snap = db.snapshot();
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let snap = &snap;
+                    s.spawn(move || snap.query("SELECT COUNT(*) FROM emp").unwrap().rows)
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        for r in results {
+            assert_eq!(r, vec![vec![Value::Int(3)]]);
+        }
+        // Mutating afterwards copies-on-write; the snapshot is unaffected.
+        db.execute("DELETE FROM emp").unwrap();
+        assert_eq!(
+            snap.query("SELECT COUNT(*) FROM emp").unwrap().rows,
+            vec![vec![Value::Int(3)]]
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_dml() {
+        let db = db();
+        let snap = db.snapshot();
+        assert!(snap.query("DELETE FROM emp").is_err());
+        assert!(snap.query("INSERT INTO emp VALUES ('x', 'y', 1)").is_err());
     }
 
     #[test]

@@ -4,6 +4,13 @@
 //! materialised child results and produces a `Vec<Row>`. This keeps
 //! correlated-subquery evaluation simple (the environment carries enclosing
 //! rows) and is plenty fast at the scales the Hippo experiments run at.
+//!
+//! Execution never mutates the catalog: all run state (the enclosing-row
+//! stack, the correlated-`EXISTS` memo) lives in the per-call
+//! [`EvalEnv`], which each invocation owns privately. That is what makes
+//! [`execute_read_only`] — the [`crate::db::DbSnapshot`] entry point —
+//! safe to call from many threads over one shared `&Catalog` with no
+//! locking: each caller gets a fresh environment on its own stack.
 
 use crate::expr::{eval, BoundExpr, EvalEnv};
 use crate::plan::{AggExpr, AggFunc, JoinType, LogicalPlan};
@@ -28,6 +35,22 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
         }
         LogicalPlan::Scan { table } => Ok(env.catalog.table(table)?.rows()),
         LogicalPlan::Filter { input, predicate } => {
+            // Filter directly over a scan streams the stored rows and
+            // clones only the survivors — materialising the scan first
+            // would copy every row of the table per evaluation, which
+            // the snapshot membership probes (thousands of small
+            // `SELECT … WHERE …` per answer run) cannot afford.
+            if let LogicalPlan::Scan { table } = &**input {
+                let catalog = env.catalog;
+                let t = catalog.table(table)?;
+                let mut out = Vec::new();
+                for (_, row) in t.iter() {
+                    if eval(predicate, row, env)? == Value::Bool(true) {
+                        out.push(row.clone());
+                    }
+                }
+                return Ok(out);
+            }
             let rows = execute(input, env)?;
             let mut out = Vec::new();
             for row in rows {
@@ -179,6 +202,9 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
             limit,
             offset,
         } => {
+            if let Some(rows) = streaming_limit(input, *limit, *offset, env)? {
+                return Ok(rows);
+            }
             let rows = execute(input, env)?;
             let start = (*offset as usize).min(rows.len());
             let end = match limit {
@@ -188,6 +214,75 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
             Ok(rows[start..end].to_vec())
         }
     }
+}
+
+/// `LIMIT` over a row-wise `Project?(Filter?(Scan))` pipeline stops
+/// scanning as soon as `offset + limit` rows are produced, instead of
+/// materialising the whole input first. This turns an existence probe
+/// (`SELECT 1 FROM t WHERE … LIMIT 1` — the base-mode membership
+/// query) from a full-table copy into a scan that ends at the first
+/// match. Row order matches the materialising path exactly (slot
+/// order), so results are identical. Returns `None` when the plan is
+/// not of that shape.
+fn streaming_limit(
+    input: &LogicalPlan,
+    limit: Option<u64>,
+    offset: u64,
+    env: &mut EvalEnv<'_>,
+) -> Result<Option<Vec<Row>>, EngineError> {
+    let Some(limit) = limit else { return Ok(None) };
+    let (projection, filter, table) = match input {
+        LogicalPlan::Project { input, exprs } => match &**input {
+            LogicalPlan::Filter { input, predicate } => match &**input {
+                LogicalPlan::Scan { table } => (Some(exprs), Some(predicate), table),
+                _ => return Ok(None),
+            },
+            LogicalPlan::Scan { table } => (Some(exprs), None, table),
+            _ => return Ok(None),
+        },
+        LogicalPlan::Filter { input, predicate } => match &**input {
+            LogicalPlan::Scan { table } => (None, Some(predicate), table),
+            _ => return Ok(None),
+        },
+        LogicalPlan::Scan { table } => (None, None, table),
+        _ => return Ok(None),
+    };
+    let need = offset as usize + limit as usize;
+    let catalog = env.catalog;
+    let t = catalog.table(table)?;
+    let mut out = Vec::with_capacity(need.min(64));
+    for (_, row) in t.iter() {
+        if out.len() >= need {
+            break;
+        }
+        if let Some(pred) = filter {
+            if eval(pred, row, env)? != Value::Bool(true) {
+                continue;
+            }
+        }
+        let produced: Row = match projection {
+            Some(exprs) => exprs
+                .iter()
+                .map(|e| eval(e, row, env))
+                .collect::<Result<_, _>>()?,
+            None => row.clone(),
+        };
+        out.push(produced);
+    }
+    let start = (offset as usize).min(out.len());
+    Ok(Some(out[start..].to_vec()))
+}
+
+/// Evaluate a plan against a shared read-only catalog: the snapshot
+/// entry point. Builds a private [`EvalEnv`] (enclosing-row stack +
+/// `EXISTS` memo) on this call's stack, so concurrent callers over the
+/// same catalog never contend on anything.
+pub fn execute_read_only(
+    plan: &LogicalPlan,
+    catalog: &crate::catalog::Catalog,
+) -> Result<Vec<Row>, EngineError> {
+    let mut env = EvalEnv::new(catalog);
+    execute(plan, &mut env)
 }
 
 /// Order-preserving duplicate elimination.

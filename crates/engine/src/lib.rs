@@ -40,7 +40,7 @@ pub mod table;
 pub mod value;
 
 pub use catalog::Catalog;
-pub use db::{Database, DbStats, ExecResult, QueryResult};
+pub use db::{Database, DbSnapshot, DbStats, ExecResult, QueryResult};
 pub use schema::{Column, DataType, EngineError, TableSchema};
 pub use table::{Table, TupleId};
 pub use value::{Row, Value};

@@ -14,7 +14,7 @@ use rustc_hash::FxHashMap;
 pub struct TupleId(pub u32);
 
 /// A hash index over a fixed set of columns.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct HashIndex {
     /// Key values → slots holding live rows with that key.
     map: FxHashMap<Vec<Value>, Vec<TupleId>>,
@@ -36,7 +36,12 @@ impl HashIndex {
 }
 
 /// An in-memory table: schema + slotted rows + optional hash indexes.
-#[derive(Debug)]
+///
+/// `Clone` is deliberately derived: [`crate::db::Database`] keeps its
+/// catalog behind an `Arc` and clones a table lazily (copy-on-write)
+/// only when it is mutated while a [`crate::db::DbSnapshot`] still
+/// shares the storage.
+#[derive(Debug, Clone)]
 pub struct Table {
     /// The table schema.
     pub schema: TableSchema,
