@@ -33,7 +33,9 @@
 //!   │ core probe││   (same)  │             │   (same)   │
 //!   │ flags:    ││           │             │            │
 //!   │  KG: rows ││           │             │            │
-//!   │  base: SQL│→ one frozen DbSnapshot Arc, memoized ←│
+//!   │  base:    │→ one frozen DbSnapshot Arc, prepared ←│
+//!   │  prepared │   physical probes (IndexLookup: O(1)
+//!   │  probes   │   hash-bucket per fact), memoized
 //!   │ sig cache ││           │             │            │
 //!   │ prover    ││           │             │            │
 //!   └────┬──────┘└────┬──────┘             └────┬───────┘
@@ -45,15 +47,22 @@
 //! the core-filter probe, membership resolution and the prover all run
 //! inside the shards. Knowledge-gathering mode reads prefetched flag
 //! rows; **base mode** — the paper's canonical per-check-SQL
-//! configuration — issues its membership probes against one read-only
-//! [`DbSnapshot`] shared by all workers (zero locking; per-shard
-//! memoization collapses repeated probes). Each shard owns one
-//! reusable [`Prover`] workspace and a private **closure-signature
-//! cache** ([`Prover::closure_signature`]): candidates whose guard
-//! outcomes, membership flags and per-literal conflict facts coincide
-//! share one verdict ([`AnswerStats::prover_cache_hits`]). Newly
-//! proved signatures are folded, at merge time and in shard order,
-//! into a **persistent per-query verdict cache** reused by later
+//! configuration — resolves its membership probes against one
+//! read-only [`DbSnapshot`] shared by all workers (zero locking).
+//! Each shard compiles every literal's probe **once** into a prepared
+//! physical plan ([`MemoSqlMembership`]): the engine's optimizer picks
+//! the access path, so on a relation with a covering hash index
+//! (auto-built on key columns, or `CREATE INDEX`) a membership check
+//! is an O(1) bucket probe — no SQL text, parsing or planning per
+//! candidate — and per-shard memoization collapses repeated facts
+//! ([`AnswerStats::index_probes`] / [`AnswerStats::scan_probes`] count
+//! how the executed probes ran). Each shard owns one reusable
+//! [`Prover`] workspace and a private **closure-signature cache**
+//! ([`Prover::closure_signature`]): candidates whose guard outcomes,
+//! membership flags and per-literal conflict facts coincide share one
+//! verdict ([`AnswerStats::prover_cache_hits`]). Newly proved
+//! signatures are folded, at merge time and in shard order, into a
+//! **persistent per-query verdict cache** reused by later
 //! `consistent_answers` calls on the same graph
 //! ([`AnswerStats::prover_cache_cross_hits`]); the cache is dropped
 //! whenever the graph is replaced. Shard decomposition is fixed by the
@@ -128,6 +137,13 @@ pub struct HippoOptions {
     /// signatures match an already-proved candidate in the same shard
     /// are decided without running the prover.
     pub prover_cache: bool,
+    /// Let base mode's prepared membership probes use the engine's
+    /// index access paths (`IndexLookup`); `false` forces the
+    /// sequential-scan plans — answers and every other counter are
+    /// identical either way (differentially tested), only
+    /// [`AnswerStats::index_probes`] / [`AnswerStats::scan_probes`] and
+    /// wall-clock move.
+    pub index_probes: bool,
 }
 
 impl HippoOptions {
@@ -138,6 +154,7 @@ impl HippoOptions {
             core_filter: false,
             prover_threads: 0,
             prover_cache: true,
+            index_probes: true,
         }
     }
 
@@ -168,6 +185,14 @@ impl HippoOptions {
     /// differential tests and the cache-ablation experiments).
     pub fn without_prover_cache(mut self) -> Self {
         self.prover_cache = false;
+        self
+    }
+
+    /// Force base mode's membership probes onto sequential-scan plans
+    /// (the pre-optimizer access path; used by the differential tests
+    /// and the E11 index ablation).
+    pub fn without_index_probes(mut self) -> Self {
+        self.index_probes = false;
         self
     }
 
@@ -211,12 +236,18 @@ pub struct AnswerStats {
     pub shards_used: usize,
     /// Prover-internal counters.
     pub prover: ProverRunStats,
-    /// SQL membership queries issued against the backend (base mode;
-    /// memo misses only — each shard memoizes per-literal probes).
+    /// Membership probes executed against the backend (base mode; memo
+    /// misses only — each shard memoizes per-literal probes).
     pub membership_queries: usize,
-    /// Base-mode membership checks answered from a shard's SQL memo
-    /// instead of a query.
+    /// Base-mode membership checks answered from a shard's probe memo
+    /// instead of an execution.
     pub membership_memo_hits: usize,
+    /// Subset of [`AnswerStats::membership_queries`] that executed as
+    /// O(1) `IndexLookup` access paths (the optimizer chose an index).
+    pub index_probes: usize,
+    /// Subset of [`AnswerStats::membership_queries`] that executed as
+    /// sequential scans (no covering index, or index probes disabled).
+    pub scan_probes: usize,
     /// Consistent answers produced.
     pub answers: usize,
     /// Time enveloping + evaluating candidates.
@@ -234,9 +265,9 @@ pub type RunStats = AnswerStats;
 
 impl fmt::Display for AnswerStats {
     /// One-line report, symmetric across modes: shard count, cache hit
-    /// rate (with the cross-call share) and the membership-SQL memo
-    /// rate are always printed — base mode reports its shards exactly
-    /// like KG mode does.
+    /// rate (with the cross-call share) and the membership-probe memo
+    /// rate (with its index/scan access-path split) are always printed
+    /// — base mode reports its shards exactly like KG mode does.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let hit_rate = if self.prover_calls > 0 {
             100.0 * self.prover_cache_hits as f64 / self.prover_calls as f64
@@ -255,7 +286,8 @@ impl fmt::Display for AnswerStats {
             f,
             "answers={} candidates={} filtered={} prover_calls={} shards={} \
              cache_hits={} ({hit_rate:.1}% hit rate, {} cross-call) \
-             membership_queries={} (memo {memo_rate:.1}%) t_total={:.3}ms",
+             membership_queries={} (memo {memo_rate:.1}%, {} index / {} scan) \
+             t_total={:.3}ms",
             self.answers,
             self.candidates,
             self.filtered_consistent,
@@ -264,6 +296,8 @@ impl fmt::Display for AnswerStats {
             self.prover_cache_hits,
             self.prover_cache_cross_hits,
             self.membership_queries,
+            self.index_probes,
+            self.scan_probes,
             self.t_total.as_secs_f64() * 1e3,
         )
     }
@@ -1039,6 +1073,7 @@ impl Hippo {
             snapshot: snapshot.as_ref(),
             filtered: filtered.as_ref(),
             use_cache,
+            index_probes: self.options.index_probes,
             persistent: persistent.as_deref(),
         };
         let outs = parallel::run_indexed(shards.len(), threads, |si| {
@@ -1057,6 +1092,8 @@ impl Hippo {
             stats.filtered_consistent += out.filtered_consistent;
             stats.membership_queries += out.membership_queries;
             stats.membership_memo_hits += out.membership_memo_hits;
+            stats.index_probes += out.index_probes;
+            stats.scan_probes += out.scan_probes;
             for i in out.accepted {
                 answers.push(candidates[i as usize].clone());
             }
@@ -1107,6 +1144,8 @@ struct ShardInput<'a> {
     /// Core-filter accepting set (candidates in it skip the prover).
     filtered: Option<&'a FxHashSet<Row>>,
     use_cache: bool,
+    /// Base mode: let the prepared probes use index access paths.
+    index_probes: bool,
     /// Cross-call verdicts proved by earlier runs on this graph.
     persistent: Option<&'a FxHashMap<Vec<u64>, bool>>,
 }
@@ -1121,9 +1160,14 @@ fn prove_shard(input: &ShardInput<'_>, lo: usize, hi: usize) -> Result<ShardVerd
     let mut sig: Vec<u64> = Vec::new();
     let mut seen: FxHashSet<&Row> =
         FxHashSet::with_capacity_and_hasher(hi - lo, Default::default());
-    let mut sql = input
-        .snapshot
-        .map(|s| MemoSqlMembership::new(s, input.template));
+    let mut sql = match input.snapshot {
+        Some(s) => Some(MemoSqlMembership::new(
+            s,
+            input.template,
+            input.index_probes,
+        )?),
+        None => None,
+    };
     let mut flag_buf: Vec<bool> = Vec::new();
     let mut out = ShardVerdicts::default();
     for i in lo..hi {
@@ -1179,8 +1223,11 @@ fn prove_shard(input: &ShardInput<'_>, lo: usize, hi: usize) -> Result<ShardVerd
     }
     out.stats = prover.stats;
     if let Some(sql) = sql {
+        sql.flush_backend_stats();
         out.membership_queries = sql.queries_issued;
         out.membership_memo_hits = sql.memo_hits;
+        out.index_probes = sql.index_probes;
+        out.scan_probes = sql.scan_probes;
     }
     Ok(out)
 }
@@ -1204,10 +1251,14 @@ struct ShardVerdicts {
     cache_hits: usize,
     /// Subset of `cache_hits` answered from the persistent map.
     cross_hits: usize,
-    /// Base mode: SQL probes issued (memo misses).
+    /// Base mode: probes executed (memo misses).
     membership_queries: usize,
     /// Base mode: probes answered from the shard memo.
     membership_memo_hits: usize,
+    /// Base mode: executed probes that ran as `IndexLookup`s.
+    index_probes: usize,
+    /// Base mode: executed probes that ran as sequential scans.
+    scan_probes: usize,
 }
 
 fn merge(a: ProverRunStats, b: ProverRunStats) -> ProverRunStats {
@@ -1323,6 +1374,42 @@ mod tests {
             kg_stats.prover.membership_checks > 0,
             "checks still happen, just locally"
         );
+    }
+
+    #[test]
+    fn base_mode_probes_plan_as_index_lookups() {
+        use crate::workload::FdTableSpec;
+        let q = SjudQuery::rel("t").diff(SjudQuery::rel("t").select(Pred::cmp_const(
+            1,
+            CmpOp::Ge,
+            500_000i64,
+        )));
+        let build = |opts: HippoOptions| {
+            let spec = FdTableSpec::new("t", 200, 0.1, 11);
+            let mut db = Database::new();
+            spec.populate(&mut db).unwrap();
+            Hippo::with_options(db, vec![spec.fd()], opts).unwrap()
+        };
+        // The workload's key column is indexed (auto-built on the
+        // primary key), so every executed probe is an IndexLookup…
+        let hippo = build(HippoOptions::base());
+        let (answers, s) = hippo.consistent_answers_with_stats(&q).unwrap();
+        assert!(s.membership_queries > 0);
+        assert_eq!(s.index_probes, s.membership_queries, "{s}");
+        assert_eq!(s.scan_probes, 0, "{s}");
+        // …and disabling index probes flips every probe to a scan with
+        // answers and all other counters unchanged.
+        let hippo = build(HippoOptions::base().without_index_probes());
+        let (answers2, s2) = hippo.consistent_answers_with_stats(&q).unwrap();
+        assert_eq!(answers, answers2);
+        assert_eq!(s2.scan_probes, s2.membership_queries);
+        assert_eq!(s2.index_probes, 0);
+        assert_eq!(s.membership_queries, s2.membership_queries);
+        assert_eq!(s.membership_memo_hits, s2.membership_memo_hits);
+        assert_eq!(s.prover_calls, s2.prover_calls);
+        assert_eq!(s.answers, s2.answers);
+        // The one-line report carries the access-path split.
+        assert!(format!("{s}").contains("index"), "{s}");
     }
 
     #[test]

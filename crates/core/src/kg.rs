@@ -11,11 +11,14 @@
 //!
 //! This module also houses the base-mode membership sources. They target
 //! a [`SqlBackend`] — the live [`hippo_engine::Database`] or a frozen,
-//! `Sync` [`hippo_engine::DbSnapshot`] — and since PR 4 the answer
-//! pipeline runs base mode through snapshots: every prover shard owns a
-//! [`MemoSqlMembership`], which resolves a candidate's flags by
-//! **memoized** SQL probes so the shard pays one round trip per distinct
-//! fact instead of one per check.
+//! `Sync` [`hippo_engine::DbSnapshot`] — and the answer pipeline runs
+//! base mode through snapshots: every prover shard owns a
+//! [`MemoSqlMembership`], which compiles each literal's probe **once**
+//! into a prepared physical plan (an `IndexLookup` when the relation
+//! has a covering hash index) and re-executes it per candidate binding,
+//! memoized so the shard pays one probe per distinct fact instead of
+//! one per check. No SQL text is rendered, parsed or optimized on the
+//! hot path.
 
 use crate::formula::{LitTemplate, MembershipTemplate};
 use crate::pred::value_to_sql;
@@ -267,17 +270,85 @@ impl<B: SqlBackend> MembershipSource for SqlMembership<'_, B> {
     }
 }
 
+/// One literal's membership probe, compiled **once** to a prepared
+/// physical plan and re-executed per candidate binding.
+struct PreparedProbe {
+    /// The physical plan: `LimitExec 1` over `ProjectExec [1]` over the
+    /// chosen access path — an `IndexLookup` keyed by `Param`s when the
+    /// relation has a covering index, a filtered `SeqScan` otherwise.
+    plan: hippo_engine::PhysicalPlan,
+    /// Whether the chosen access path is an index lookup.
+    uses_index: bool,
+}
+
+impl PreparedProbe {
+    /// Compile the probe `SELECT 1 FROM rel WHERE c0 = $0 AND … LIMIT 1`
+    /// for `lit`'s relation: build the logical pipeline with `Param`
+    /// placeholders, then let the optimizer pick the access path.
+    /// Parameter bindings come from candidate projections over the same
+    /// columns, so their types always match (or are `NULL`, which
+    /// matches nothing) — the contract index-safe `Param` keys require.
+    fn compile(
+        catalog: &Catalog,
+        lit: &LitTemplate,
+        use_indexes: bool,
+    ) -> Result<PreparedProbe, EngineError> {
+        use hippo_engine::BoundExpr;
+        let schema = &catalog.table(&lit.rel)?.schema;
+        if schema.arity() != lit.cols.len() {
+            return Err(EngineError::new(format!(
+                "literal template arity mismatch for {:?}",
+                lit.rel
+            )));
+        }
+        let predicate = BoundExpr::conjoin((0..schema.arity()).map(|j| BoundExpr::Binary {
+            op: hippo_sql::BinaryOp::Eq,
+            left: Box::new(BoundExpr::Column(j)),
+            right: Box::new(BoundExpr::Param(j)),
+        }));
+        let plan = hippo_engine::LogicalPlan::Limit {
+            input: Box::new(hippo_engine::LogicalPlan::Project {
+                input: Box::new(hippo_engine::LogicalPlan::Filter {
+                    input: Box::new(hippo_engine::LogicalPlan::Scan {
+                        table: lit.rel.clone(),
+                    }),
+                    predicate,
+                }),
+                exprs: vec![BoundExpr::Literal(hippo_engine::Value::Int(1))],
+            }),
+            limit: Some(1),
+            offset: 0,
+        };
+        let plan = hippo_engine::physicalize_with(
+            plan,
+            catalog,
+            &hippo_engine::PhysicalOptions { use_indexes },
+        );
+        let uses_index = plan.uses_index();
+        Ok(PreparedProbe { plan, uses_index })
+    }
+}
+
 /// The base-mode shard's flag gatherer: resolves the per-literal
-/// membership flags of one candidate by **memoized** SQL against a
-/// frozen snapshot. The memo is keyed by `(literal, projected row)` and
-/// lives for the whole shard, so across a shard's candidates each
-/// distinct fact pays exactly one SQL round trip — the per-shard analog
-/// of what knowledge gathering prefetches in one envelope query. Shards
-/// are fixed slices of the candidate list, so `queries_issued` /
-/// `memo_hits` are bit-identical for any worker count.
+/// membership flags of one candidate through **prepared physical
+/// probes** against a frozen snapshot, memoized per literal. At
+/// construction each literal's probe is compiled once — access path
+/// and all — so the steady state has no SQL text, no parsing, no
+/// binding and no optimization: a memo miss is one
+/// [`hippo_engine::DbSnapshot::run_prepared`] call, which on an
+/// indexed relation is a hash-bucket probe (O(1) per candidate) and on
+/// an unindexed one an early-exiting scan. The memo is keyed by
+/// `(literal, projected key values)` and lives for the whole shard, so
+/// across a shard's candidates each distinct fact pays exactly one
+/// probe — the per-shard analog of what knowledge gathering prefetches
+/// in one envelope query. Shards are fixed slices of the candidate
+/// list, so `queries_issued` / `memo_hits` / the probe-kind counters
+/// are bit-identical for any worker count.
 pub struct MemoSqlMembership<'a> {
     snapshot: &'a hippo_engine::DbSnapshot,
     template: &'a MembershipTemplate,
+    /// Per-literal prepared probe plans, parallel to `template.literals`.
+    probes: Vec<PreparedProbe>,
     /// Per-literal memo: projected literal row → membership flag. (The
     /// template already dedups identical literals, so per-literal slots
     /// never probe the same fact twice for one candidate; the memo's
@@ -286,23 +357,42 @@ pub struct MemoSqlMembership<'a> {
     memo: Vec<rustc_hash::FxHashMap<Row, bool>>,
     /// Reusable projection buffer.
     row_buf: Row,
-    /// SQL probes actually issued (memo misses).
+    /// Probes actually executed (memo misses).
     pub queries_issued: usize,
     /// Checks answered from the memo.
     pub memo_hits: usize,
+    /// Executed probes whose access path was an `IndexLookup`.
+    pub index_probes: usize,
+    /// Executed probes whose access path was a sequential scan.
+    pub scan_probes: usize,
 }
 
 impl<'a> MemoSqlMembership<'a> {
-    /// Constructor.
-    pub fn new(snapshot: &'a hippo_engine::DbSnapshot, template: &'a MembershipTemplate) -> Self {
-        MemoSqlMembership {
+    /// Compile one prepared probe per literal template against the
+    /// snapshot's catalog. `use_indexes` selects the access path
+    /// (`false` forces the sequential-scan plans — the pre-optimizer
+    /// behaviour, kept for differential tests and ablations).
+    pub fn new(
+        snapshot: &'a hippo_engine::DbSnapshot,
+        template: &'a MembershipTemplate,
+        use_indexes: bool,
+    ) -> Result<Self, EngineError> {
+        let probes = template
+            .literals
+            .iter()
+            .map(|lit| PreparedProbe::compile(snapshot.catalog(), lit, use_indexes))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MemoSqlMembership {
             snapshot,
             template,
+            probes,
             memo: vec![rustc_hash::FxHashMap::default(); template.literals.len()],
             row_buf: Row::new(),
             queries_issued: 0,
             memo_hits: 0,
-        }
+            index_probes: 0,
+            scan_probes: 0,
+        })
     }
 
     /// Resolve every literal's membership flag for `candidate` into
@@ -324,10 +414,25 @@ impl<'a> MemoSqlMembership<'a> {
                     b
                 }
                 None => {
-                    let sql =
-                        membership_probe_sql(self.snapshot.catalog(), &lit.rel, &self.row_buf)?;
+                    let probe = &self.probes[li];
                     self.queries_issued += 1;
-                    let b = !self.snapshot.query_rows(&sql)?.is_empty();
+                    if probe.uses_index {
+                        self.index_probes += 1;
+                    } else {
+                        self.scan_probes += 1;
+                    }
+                    // Execute against the frozen catalog directly and
+                    // count locally — per-probe atomics on the shared
+                    // snapshot stats would contend across shards at
+                    // sub-microsecond probe cost. The totals fold into
+                    // the snapshot in one `record_prepared` call when
+                    // the shard finishes (see `flush_backend_stats`).
+                    let b = !hippo_engine::exec::execute_physical_params(
+                        &probe.plan,
+                        self.snapshot.catalog(),
+                        &self.row_buf,
+                    )?
+                    .is_empty();
                     memo.insert(self.row_buf.clone(), b);
                     b
                 }
@@ -335,6 +440,14 @@ impl<'a> MemoSqlMembership<'a> {
             flags.push(flag);
         }
         Ok(())
+    }
+
+    /// Fold this gatherer's probe totals into the snapshot's statistics
+    /// in one batch (exact accounting, one atomic round instead of one
+    /// per probe). Call once when the shard is done.
+    pub fn flush_backend_stats(&self) {
+        self.snapshot
+            .record_prepared(self.queries_issued, self.index_probes, self.scan_probes);
     }
 }
 

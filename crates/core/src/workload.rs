@@ -48,6 +48,11 @@ impl FdTableSpec {
     /// Create the table and populate it; returns the number of rows
     /// inserted (base + conflicting extras).
     pub fn populate(&self, db: &mut Database) -> Result<usize, EngineError> {
+        // `k` is declared as the (violated) primary key: the engine
+        // auto-builds a hash index on key columns, which is what lets
+        // base-mode membership probes plan as `IndexLookup`s. Key
+        // uniqueness is *not* enforced — conflicting pairs share a key,
+        // exactly the paper's inconsistent-database setting.
         db.catalog_mut().create_table(TableSchema::new(
             self.name.clone(),
             vec![
@@ -55,7 +60,7 @@ impl FdTableSpec {
                 Column::new("v", DataType::Int),
                 Column::new("payload", DataType::Int),
             ],
-            &[],
+            &["k"],
         )?)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut rows = Vec::with_capacity(self.rows + self.rows / 10);

@@ -21,14 +21,15 @@
 
 use crate::bind::{bind_const_expr, bind_query, bind_table_expr, BoundQuery};
 use crate::catalog::Catalog;
-use crate::exec::execute;
+use crate::exec::{execute, execute_physical, execute_physical_params, execute_physical_read_only};
 use crate::expr::{eval, EvalEnv};
 use crate::optimize::optimize;
-use crate::plan::LogicalPlan;
+use crate::plan::{LogicalPlan, PhysicalPlan};
 use crate::schema::{Column, EngineError, TableSchema};
 use crate::table::TupleId;
 use crate::value::{Row, Value};
 use hippo_sql::{parse_statement, parse_statements, InsertSource, Statement};
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -71,6 +72,20 @@ pub struct DbStats {
     pub queries: usize,
     /// DML/DDL statements executed.
     pub statements: usize,
+    /// Base-table access paths executed through an `IndexLookup`.
+    pub index_probes: usize,
+    /// Base-table access paths executed as sequential scans.
+    pub scan_probes: usize,
+}
+
+impl fmt::Display for DbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queries={} statements={} index_probes={} scan_probes={}",
+            self.queries, self.statements, self.index_probes, self.scan_probes
+        )
+    }
 }
 
 /// An in-memory SQL database.
@@ -136,6 +151,13 @@ impl Database {
         self.stats.set(s);
     }
 
+    fn bump_probes(&self, index_probes: usize, scan_probes: usize) {
+        let mut s = self.stats.get();
+        s.index_probes += index_probes;
+        s.scan_probes += scan_probes;
+        self.stats.set(s);
+    }
+
     /// Execute one SQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<ExecResult, EngineError> {
         let stmt = parse_statement(sql)?;
@@ -161,20 +183,27 @@ impl Database {
         self.run_query_ast(&q)
     }
 
-    /// Run an already-parsed query.
+    /// Run an already-parsed query: bind, optimize, lower to a physical
+    /// plan (access-path selection picks hash indexes where they cover
+    /// the predicate) and execute.
     pub fn run_query_ast(&self, q: &hippo_sql::Query) -> Result<QueryResult, EngineError> {
         self.bump_queries();
         let bound = bind_query(&self.catalog, q)?;
         let plan = optimize(bound.plan, &self.catalog)?;
+        let plan = crate::optimize::physicalize(plan, &self.catalog);
+        let (idx, scan) = plan.access_paths();
+        self.bump_probes(idx, scan);
         let mut env = EvalEnv::new(&self.catalog);
-        let rows = execute(&plan, &mut env)?;
+        let rows = execute_physical(&plan, &mut env)?;
         Ok(QueryResult {
             columns: bound.columns,
             rows,
         })
     }
 
-    /// Plan a query without executing it (diagnostics / tests).
+    /// Plan a query without executing it (diagnostics / tests). Returns
+    /// the **optimized logical** plan — the input of physical lowering
+    /// and the reference the differential tests execute.
     pub fn plan(&self, sql: &str) -> Result<BoundQuery, EngineError> {
         let stmt = parse_statement(sql)?;
         let Statement::Select(q) = stmt else {
@@ -186,6 +215,20 @@ impl Database {
             plan,
             columns: bound.columns,
         })
+    }
+
+    /// The physical plan a query would execute as (diagnostics / tests).
+    pub fn physical_plan(&self, sql: &str) -> Result<PhysicalPlan, EngineError> {
+        let bound = self.plan(sql)?;
+        Ok(crate::optimize::physicalize(bound.plan, &self.catalog))
+    }
+
+    /// `EXPLAIN`-style rendering of the physical plan a query would
+    /// execute as: one operator per line, children indented — the
+    /// chosen access path (`IndexLookup` vs `SeqScan`) is visible at
+    /// the leaves.
+    pub fn explain(&self, sql: &str) -> Result<String, EngineError> {
+        Ok(self.physical_plan(sql)?.to_string())
     }
 
     fn execute_statement(&mut self, stmt: &Statement) -> Result<ExecResult, EngineError> {
@@ -208,6 +251,44 @@ impl Database {
                 let pk: Vec<&str> = ct.primary_key.iter().map(String::as_str).collect();
                 let schema = TableSchema::new(ct.name.clone(), columns, &pk)?;
                 self.catalog_mut().create_table(schema)?;
+                Ok(ExecResult::Count(0))
+            }
+            Statement::CreateIndex(ci) => {
+                self.bump_statements();
+                // Resolve and decide through the shared reference first:
+                // the no-op paths (IF NOT EXISTS, identical re-create)
+                // must not trigger a copy-on-write catalog clone when a
+                // snapshot is alive.
+                let cols: Vec<usize> = {
+                    let t = self.catalog.table(&ci.table)?;
+                    let cols: Vec<usize> = ci
+                        .columns
+                        .iter()
+                        .map(|c| {
+                            t.schema.column_index(c).ok_or_else(|| {
+                                EngineError::new(format!(
+                                    "unknown column {c:?} in CREATE INDEX on {:?}",
+                                    ci.table
+                                ))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    match t.named_index(&ci.name) {
+                        Some(existing) if ci.if_not_exists || *existing == cols => {
+                            return Ok(ExecResult::Count(0));
+                        }
+                        Some(_) => {
+                            return Err(EngineError::new(format!(
+                                "index {:?} already exists on table {:?} with different columns",
+                                ci.name, ci.table
+                            )));
+                        }
+                        None => {}
+                    }
+                    cols
+                };
+                let t = self.catalog_mut().table_mut(&ci.table)?;
+                t.create_named_index(ci.name.clone(), cols)?;
                 Ok(ExecResult::Count(0))
             }
             Statement::DropTable { name, if_exists } => {
@@ -377,7 +458,10 @@ impl Database {
         self.insert_rows_ordered(table, &[], rows)
     }
 
-    /// Evaluate a query plan that was produced by [`Database::plan`].
+    /// Evaluate a logical plan that was produced by [`Database::plan`]
+    /// through the **reference executor** (no physical lowering, no
+    /// index access paths). The differential tests run this against
+    /// [`Database::query`] to check the optimized path row-for-row.
     pub fn run_plan(&self, plan: &LogicalPlan) -> Result<Vec<Row>, EngineError> {
         self.bump_queries();
         let mut env = EvalEnv::new(&self.catalog);
@@ -389,6 +473,32 @@ impl Database {
 #[derive(Debug, Default)]
 struct SnapshotStats {
     queries: AtomicUsize,
+    index_probes: AtomicUsize,
+    scan_probes: AtomicUsize,
+}
+
+/// A point-in-time copy of a snapshot lineage's statistics (see
+/// [`DbSnapshot::stats`]): queries evaluated and how their base-table
+/// access paths executed — `index_probes` counts `IndexLookup` sources,
+/// `scan_probes` sequential scans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStatsView {
+    /// `SELECT`s evaluated against this snapshot lineage (all clones).
+    pub queries: usize,
+    /// Base-table access paths executed through an `IndexLookup`.
+    pub index_probes: usize,
+    /// Base-table access paths executed as sequential scans.
+    pub scan_probes: usize,
+}
+
+impl fmt::Display for SnapshotStatsView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queries={} index_probes={} scan_probes={}",
+            self.queries, self.index_probes, self.scan_probes
+        )
+    }
 }
 
 /// A read-only, `Sync`, cheaply-cloneable frozen view of a database.
@@ -418,6 +528,30 @@ impl DbSnapshot {
         self.stats.queries.load(Ordering::Relaxed)
     }
 
+    /// This snapshot lineage's statistics so far (summed over all
+    /// clones): queries plus the `index_probes` / `scan_probes` split
+    /// of their access paths.
+    pub fn stats(&self) -> SnapshotStatsView {
+        SnapshotStatsView {
+            queries: self.stats.queries.load(Ordering::Relaxed),
+            index_probes: self.stats.index_probes.load(Ordering::Relaxed),
+            scan_probes: self.stats.scan_probes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn bump_probes(&self, index_probes: usize, scan_probes: usize) {
+        if index_probes > 0 {
+            self.stats
+                .index_probes
+                .fetch_add(index_probes, Ordering::Relaxed);
+        }
+        if scan_probes > 0 {
+            self.stats
+                .scan_probes
+                .fetch_add(scan_probes, Ordering::Relaxed);
+        }
+    }
+
     /// Run a query (read-only) and return its result set.
     pub fn query(&self, sql: &str) -> Result<QueryResult, EngineError> {
         let stmt = parse_statement(sql)?;
@@ -427,19 +561,23 @@ impl DbSnapshot {
         self.run_query_ast(&q)
     }
 
-    /// Run an already-parsed query.
+    /// Run an already-parsed query through the physical executor.
     pub fn run_query_ast(&self, q: &hippo_sql::Query) -> Result<QueryResult, EngineError> {
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         let bound = bind_query(&self.catalog, q)?;
         let plan = optimize(bound.plan, &self.catalog)?;
-        let rows = crate::exec::execute_read_only(&plan, &self.catalog)?;
+        let plan = crate::optimize::physicalize(plan, &self.catalog);
+        let (idx, scan) = plan.access_paths();
+        self.bump_probes(idx, scan);
+        let rows = execute_physical_read_only(&plan, &self.catalog)?;
         Ok(QueryResult {
             columns: bound.columns,
             rows,
         })
     }
 
-    /// Plan a query against the frozen catalog without executing it.
+    /// Plan a query against the frozen catalog without executing it
+    /// (the optimized **logical** plan; see [`Database::plan`]).
     pub fn plan(&self, sql: &str) -> Result<BoundQuery, EngineError> {
         let stmt = parse_statement(sql)?;
         let Statement::Select(q) = stmt else {
@@ -453,10 +591,59 @@ impl DbSnapshot {
         })
     }
 
-    /// Evaluate a plan that was bound against this snapshot's catalog.
+    /// The physical plan a query would execute as against this
+    /// snapshot's catalog.
+    pub fn physical_plan(&self, sql: &str) -> Result<PhysicalPlan, EngineError> {
+        let bound = self.plan(sql)?;
+        Ok(crate::optimize::physicalize(bound.plan, &self.catalog))
+    }
+
+    /// `EXPLAIN`-style rendering (see [`Database::explain`]).
+    pub fn explain(&self, sql: &str) -> Result<String, EngineError> {
+        Ok(self.physical_plan(sql)?.to_string())
+    }
+
+    /// Evaluate a logical plan that was bound against this snapshot's
+    /// catalog through the reference executor.
     pub fn run_plan(&self, plan: &LogicalPlan) -> Result<Vec<Row>, EngineError> {
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         crate::exec::execute_read_only(plan, &self.catalog)
+    }
+
+    /// Re-execute a **prepared physical plan** with the given parameter
+    /// bindings (values for the plan's `Param` placeholders, which must
+    /// match the probed columns' types or be `NULL`). This is the
+    /// base-mode membership hot path: the probe is compiled to a
+    /// physical plan once — access path and all — and this call is a
+    /// bucket probe plus a bounded pipeline, with no SQL text, parsing,
+    /// binding or optimization anywhere.
+    ///
+    /// Statistics note: this bumps the shared snapshot counters per
+    /// call. A worker issuing thousands of sub-microsecond probes from
+    /// many threads should instead execute through
+    /// [`crate::exec::execute_physical_params`] against
+    /// [`DbSnapshot::catalog`] directly, count locally, and fold its
+    /// totals in with one [`DbSnapshot::record_prepared`] at the end —
+    /// the prover shards do exactly that, so the accounting stays exact
+    /// without per-probe contention on the stats cache line.
+    pub fn run_prepared(
+        &self,
+        plan: &PhysicalPlan,
+        params: &[Value],
+    ) -> Result<Vec<Row>, EngineError> {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let (idx, scan) = plan.access_paths();
+        self.bump_probes(idx, scan);
+        execute_physical_params(plan, &self.catalog, params)
+    }
+
+    /// Fold a batch of locally-counted prepared executions into this
+    /// snapshot lineage's statistics (see [`DbSnapshot::run_prepared`]).
+    pub fn record_prepared(&self, queries: usize, index_probes: usize, scan_probes: usize) {
+        if queries > 0 {
+            self.stats.queries.fetch_add(queries, Ordering::Relaxed);
+        }
+        self.bump_probes(index_probes, scan_probes);
     }
 }
 
@@ -755,6 +942,114 @@ mod tests {
         let snap = db.snapshot();
         assert!(snap.query("DELETE FROM emp").is_err());
         assert!(snap.query("INSERT INTO emp VALUES ('x', 'y', 1)").is_err());
+    }
+
+    #[test]
+    fn create_index_is_used_by_the_optimizer() {
+        let mut db = db();
+        // No index yet: the probe scans.
+        let plan = db
+            .explain("SELECT 1 FROM emp WHERE name = 'ann' LIMIT 1")
+            .unwrap();
+        assert!(plan.contains("SeqScan"), "{plan}");
+        db.execute("CREATE INDEX emp_name ON emp (name)").unwrap();
+        let plan = db
+            .explain("SELECT 1 FROM emp WHERE name = 'ann' LIMIT 1")
+            .unwrap();
+        assert!(plan.contains("IndexLookup emp index=(#0)"), "{plan}");
+        let r = db
+            .query("SELECT salary FROM emp WHERE name = 'ann'")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(100)]]);
+        // IF NOT EXISTS tolerates re-creation; plain re-create errors.
+        db.execute("CREATE INDEX IF NOT EXISTS emp_name ON emp (name)")
+            .unwrap();
+        assert!(db.execute("CREATE INDEX emp_name ON emp (dept)").is_err());
+        assert!(db.execute("CREATE INDEX x ON emp (nope)").is_err());
+    }
+
+    #[test]
+    fn primary_key_auto_index_serves_point_queries() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (k INT, v INT, PRIMARY KEY (k))")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (1, 30)")
+            .unwrap();
+        let plan = db.explain("SELECT v FROM t WHERE k = 1").unwrap();
+        assert!(plan.contains("IndexLookup"), "{plan}");
+        // Duplicate keys are allowed (the CQA setting violates keys);
+        // rows come back in slot order, exactly like a scan.
+        let r = db.query("SELECT v FROM t WHERE k = 1").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(10)], vec![Value::Int(30)]]);
+        db.reset_stats();
+        db.query("SELECT v FROM t WHERE k = 2").unwrap();
+        db.query("SELECT v FROM t WHERE v = 20").unwrap();
+        let s = db.stats();
+        assert_eq!((s.index_probes, s.scan_probes), (1, 1));
+        assert_eq!(
+            format!("{s}"),
+            "queries=2 statements=0 index_probes=1 scan_probes=1"
+        );
+    }
+
+    #[test]
+    fn index_results_match_scan_results_after_dml() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (k INT, v INT, PRIMARY KEY (k))")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (1, 30), (3, 40)")
+            .unwrap();
+        db.execute("DELETE FROM t WHERE v = 10").unwrap();
+        db.execute("UPDATE t SET k = 1 WHERE v = 40").unwrap();
+        for probe in ["SELECT * FROM t WHERE k = 1", "SELECT * FROM t WHERE k = 9"] {
+            let got = db.query(probe).unwrap().rows;
+            let reference = db.run_plan(&db.plan(probe).unwrap().plan).unwrap();
+            assert_eq!(got, reference, "{probe}");
+        }
+    }
+
+    #[test]
+    fn snapshot_prepared_probe_hits_the_index() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (k INT, v INT, PRIMARY KEY (k))")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+        let snap = db.snapshot();
+        // Compile the probe once with a parameter placeholder…
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(LogicalPlan::Scan { table: "t".into() }),
+                predicate: crate::expr::BoundExpr::Binary {
+                    op: hippo_sql::BinaryOp::Eq,
+                    left: Box::new(crate::expr::BoundExpr::Column(0)),
+                    right: Box::new(crate::expr::BoundExpr::Param(0)),
+                },
+            }),
+            limit: Some(1),
+            offset: 0,
+        };
+        let phys = crate::optimize::physicalize(plan, snap.catalog());
+        assert!(phys.uses_index(), "{phys}");
+        // …and re-execute it per binding.
+        assert!(!snap
+            .run_prepared(&phys, &[Value::Int(1)])
+            .unwrap()
+            .is_empty());
+        assert!(snap
+            .run_prepared(&phys, &[Value::Int(9)])
+            .unwrap()
+            .is_empty());
+        assert!(
+            snap.run_prepared(&phys, &[Value::Null]).unwrap().is_empty(),
+            "NULL key matches nothing"
+        );
+        // A mis-typed binding violates the Param contract and errors
+        // loudly instead of silently missing the bucket.
+        let err = snap.run_prepared(&phys, &[Value::text("1")]).unwrap_err();
+        assert!(err.message.contains("bound a text value"), "{err}");
+        let s = snap.stats();
+        // Four executions counted (the erroring one included).
+        assert_eq!((s.queries, s.index_probes, s.scan_probes), (4, 4, 0));
     }
 
     #[test]

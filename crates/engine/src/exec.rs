@@ -1,19 +1,34 @@
-//! Plan execution.
+//! Plan execution: the physical executor and the logical reference.
 //!
-//! Execution is bottom-up and materialising: every operator consumes fully
-//! materialised child results and produces a `Vec<Row>`. This keeps
-//! correlated-subquery evaluation simple (the environment carries enclosing
-//! rows) and is plenty fast at the scales the Hippo experiments run at.
+//! Two executors share one set of operator implementations:
+//!
+//! * [`execute_physical`] — the **production** path, running the
+//!   [`PhysicalPlan`] the optimizer lowered. Its row-wise pipeline
+//!   shapes stream: a `FilterExec` directly over a source clones only
+//!   surviving rows, a `LimitExec` over a
+//!   `ProjectExec?`/`FilterExec?`/source pipeline stops the scan as
+//!   soon as `offset + limit` rows are produced, and an `IndexLookup`
+//!   touches only the probed bucket. (These subsume the ad-hoc
+//!   `Filter`-over-`Scan` and `LIMIT` special cases the logical
+//!   executor used to carry.)
+//! * [`execute`] — the **unoptimized logical reference**: bottom-up,
+//!   fully materialising, no access-path tricks. It decides the
+//!   semantics; the differential suite (`tests/prop_physical.rs`)
+//!   checks the physical executor against it row-for-row. Expression
+//!   subqueries (`EXISTS`/`IN`/scalar) also run here — with the
+//!   correlated-`EXISTS` hash memo in [`EvalEnv`] covering the hot
+//!   shape.
 //!
 //! Execution never mutates the catalog: all run state (the enclosing-row
-//! stack, the correlated-`EXISTS` memo) lives in the per-call
-//! [`EvalEnv`], which each invocation owns privately. That is what makes
-//! [`execute_read_only`] — the [`crate::db::DbSnapshot`] entry point —
-//! safe to call from many threads over one shared `&Catalog` with no
-//! locking: each caller gets a fresh environment on its own stack.
+//! stack, the correlated-`EXISTS` memo, prepared-parameter bindings)
+//! lives in the per-call [`EvalEnv`], which each invocation owns
+//! privately. That is what makes [`execute_physical_read_only`] — the
+//! [`crate::db::DbSnapshot`] entry point — safe to call from many
+//! threads over one shared `&Catalog` with no locking: each caller gets
+//! a fresh environment on its own stack.
 
 use crate::expr::{eval, BoundExpr, EvalEnv};
-use crate::plan::{AggExpr, AggFunc, JoinType, LogicalPlan};
+use crate::plan::{AggExpr, AggFunc, JoinType, LogicalPlan, PhysicalPlan};
 use crate::schema::EngineError;
 use crate::value::{Row, Value};
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -35,11 +50,15 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
         }
         LogicalPlan::Scan { table } => Ok(env.catalog.table(table)?.rows()),
         LogicalPlan::Filter { input, predicate } => {
-            // Filter directly over a scan streams the stored rows and
-            // clones only the survivors — materialising the scan first
-            // would copy every row of the table per evaluation, which
-            // the snapshot membership probes (thousands of small
-            // `SELECT … WHERE …` per answer run) cannot afford.
+            // A filter directly over a scan evaluates the predicate on
+            // the *stored* rows and clones only the survivors. This is
+            // purely an allocation detail, not an access path: the
+            // same predicate runs on the same rows in the same (slot)
+            // order as materialise-then-filter, so the reference
+            // semantics are untouched — but the expression-subquery
+            // paths (`IN`/scalar/non-memo `EXISTS`), which re-execute
+            // their subplan here per outer row, don't pay a full-table
+            // clone per evaluation.
             if let LogicalPlan::Scan { table } = &**input {
                 let catalog = env.catalog;
                 let t = catalog.table(table)?;
@@ -92,112 +111,230 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
             right_keys,
             residual,
             join_type,
-        } => hash_join(
-            left,
-            right,
-            left_keys,
-            right_keys,
-            residual.as_ref(),
-            *join_type,
-            env,
-        ),
+        } => {
+            let l = execute(left, env)?;
+            let r = execute(right, env)?;
+            let right_arity = match r.first() {
+                Some(row) => row.len(),
+                None => right.arity(env.catalog)?,
+            };
+            hash_join_rows(
+                l,
+                r,
+                right_arity,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                *join_type,
+                env,
+            )
+        }
         LogicalPlan::NestedLoopJoin {
             left,
             right,
             predicate,
             join_type,
-        } => nested_loop_join(left, right, predicate.as_ref(), *join_type, env),
-        LogicalPlan::Union { left, right, all } => {
-            let mut l = execute(left, env)?;
+        } => {
+            let l = execute(left, env)?;
             let r = execute(right, env)?;
-            l.extend(r);
-            if *all {
-                Ok(l)
-            } else {
-                Ok(dedup(l))
-            }
+            let right_arity = match r.first() {
+                Some(row) => row.len(),
+                None => right.arity(env.catalog)?,
+            };
+            nested_loop_rows(l, r, right_arity, predicate.as_ref(), *join_type, env)
+        }
+        LogicalPlan::Union { left, right, all } => {
+            let l = execute(left, env)?;
+            let r = execute(right, env)?;
+            Ok(union_rows(l, r, *all))
         }
         LogicalPlan::Except { left, right, all } => {
             let l = execute(left, env)?;
             let r = execute(right, env)?;
-            if *all {
-                // Bag difference: remove one occurrence per right row.
-                let mut counts: FxHashMap<Row, usize> =
-                    FxHashMap::with_capacity_and_hasher(r.len(), Default::default());
-                for row in r {
-                    *counts.entry(row).or_insert(0) += 1;
-                }
-                let mut out = Vec::new();
-                for row in l {
-                    match counts.get_mut(&row) {
-                        Some(c) if *c > 0 => *c -= 1,
-                        _ => out.push(row),
-                    }
-                }
-                Ok(out)
-            } else {
-                let rset: FxHashSet<Row> = r.into_iter().collect();
-                Ok(dedup(
-                    l.into_iter().filter(|row| !rset.contains(row)).collect(),
-                ))
-            }
+            Ok(except_rows(l, r, *all))
         }
         LogicalPlan::Intersect { left, right, all } => {
             let l = execute(left, env)?;
             let r = execute(right, env)?;
-            if *all {
-                let mut counts: FxHashMap<Row, usize> =
-                    FxHashMap::with_capacity_and_hasher(r.len(), Default::default());
-                for row in r {
-                    *counts.entry(row).or_insert(0) += 1;
-                }
-                let mut out = Vec::new();
-                for row in l {
-                    if let Some(c) = counts.get_mut(&row) {
-                        if *c > 0 {
-                            *c -= 1;
-                            out.push(row);
-                        }
-                    }
-                }
-                Ok(out)
-            } else {
-                let rset: FxHashSet<Row> = r.into_iter().collect();
-                Ok(dedup(
-                    l.into_iter().filter(|row| rset.contains(row)).collect(),
-                ))
-            }
+            Ok(intersect_rows(l, r, *all))
         }
         LogicalPlan::Distinct { input } => Ok(dedup(execute(input, env)?)),
         LogicalPlan::Aggregate {
             input,
             group_exprs,
             aggregates,
-        } => aggregate(input, group_exprs, aggregates, env),
+        } => {
+            let rows = execute(input, env)?;
+            aggregate_rows(rows, group_exprs, aggregates, env)
+        }
         LogicalPlan::Sort { input, keys } => {
             let rows = execute(input, env)?;
-            // Evaluate keys once per row, then sort stably.
-            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
-            for row in rows {
-                let k: Vec<Value> = keys
-                    .iter()
-                    .map(|(e, _)| eval(e, &row, env))
-                    .collect::<Result<_, _>>()?;
-                keyed.push((k, row));
-            }
-            keyed.sort_by(|(ka, _), (kb, _)| {
-                for (i, (_, desc)) in keys.iter().enumerate() {
-                    let ord = ka[i].cmp(&kb[i]);
-                    let ord = if *desc { ord.reverse() } else { ord };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-            Ok(keyed.into_iter().map(|(_, r)| r).collect())
+            sort_rows(rows, keys, env)
         }
         LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let rows = execute(input, env)?;
+            Ok(limit_slice(rows, *limit, *offset))
+        }
+    }
+}
+
+/// Evaluate a logical plan against a shared read-only catalog (the
+/// reference path). Builds a private [`EvalEnv`] on this call's stack,
+/// so concurrent callers over the same catalog never contend.
+pub fn execute_read_only(
+    plan: &LogicalPlan,
+    catalog: &crate::catalog::Catalog,
+) -> Result<Vec<Row>, EngineError> {
+    let mut env = EvalEnv::new(catalog);
+    execute(plan, &mut env)
+}
+
+/// Execute a physical plan within an environment.
+pub fn execute_physical(
+    plan: &PhysicalPlan,
+    env: &mut EvalEnv<'_>,
+) -> Result<Vec<Row>, EngineError> {
+    match plan {
+        PhysicalPlan::Empty { .. } => Ok(Vec::new()),
+        PhysicalPlan::Values { rows, .. } => {
+            let mut out = Vec::with_capacity(rows.len());
+            for exprs in rows {
+                let row: Row = exprs
+                    .iter()
+                    .map(|e| eval(e, &[], env))
+                    .collect::<Result<_, _>>()?;
+                out.push(row);
+            }
+            Ok(out)
+        }
+        PhysicalPlan::SeqScan { table } => Ok(env.catalog.table(table)?.rows()),
+        PhysicalPlan::IndexLookup {
+            table,
+            index_cols,
+            key,
+        } => index_lookup_rows(table, index_cols, key, env),
+        PhysicalPlan::FilterExec { input, predicate } => match &**input {
+            // Filter directly over a scan streams the stored rows and
+            // clones only the survivors — materialising the scan first
+            // would copy every row of the table per evaluation.
+            PhysicalPlan::SeqScan { table } => {
+                let t = env.catalog.table(table)?;
+                let mut out = Vec::new();
+                for (_, row) in t.iter() {
+                    if eval(predicate, row, env)? == Value::Bool(true) {
+                        out.push(row.clone());
+                    }
+                }
+                Ok(out)
+            }
+            other => {
+                let rows = execute_physical(other, env)?;
+                let mut out = Vec::new();
+                for row in rows {
+                    if eval(predicate, &row, env)? == Value::Bool(true) {
+                        out.push(row);
+                    }
+                }
+                Ok(out)
+            }
+        },
+        PhysicalPlan::ProjectExec { input, exprs } => {
+            let rows = execute_physical(input, env)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let projected: Row = exprs
+                    .iter()
+                    .map(|e| eval(e, &row, env))
+                    .collect::<Result<_, _>>()?;
+                out.push(projected);
+            }
+            Ok(out)
+        }
+        PhysicalPlan::CrossJoinExec { left, right } => {
+            let l = execute_physical(left, env)?;
+            let r = execute_physical(right, env)?;
+            let mut out = Vec::with_capacity(l.len().saturating_mul(r.len()));
+            for lr in &l {
+                for rr in &r {
+                    let mut row = lr.clone();
+                    row.extend(rr.iter().cloned());
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::HashJoinExec {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            join_type,
+        } => {
+            let l = execute_physical(left, env)?;
+            let r = execute_physical(right, env)?;
+            let right_arity = match r.first() {
+                Some(row) => row.len(),
+                None => right.arity(env.catalog)?,
+            };
+            hash_join_rows(
+                l,
+                r,
+                right_arity,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                *join_type,
+                env,
+            )
+        }
+        PhysicalPlan::NestedLoopJoinExec {
+            left,
+            right,
+            predicate,
+            join_type,
+        } => {
+            let l = execute_physical(left, env)?;
+            let r = execute_physical(right, env)?;
+            let right_arity = match r.first() {
+                Some(row) => row.len(),
+                None => right.arity(env.catalog)?,
+            };
+            nested_loop_rows(l, r, right_arity, predicate.as_ref(), *join_type, env)
+        }
+        PhysicalPlan::UnionExec { left, right, all } => {
+            let l = execute_physical(left, env)?;
+            let r = execute_physical(right, env)?;
+            Ok(union_rows(l, r, *all))
+        }
+        PhysicalPlan::ExceptExec { left, right, all } => {
+            let l = execute_physical(left, env)?;
+            let r = execute_physical(right, env)?;
+            Ok(except_rows(l, r, *all))
+        }
+        PhysicalPlan::IntersectExec { left, right, all } => {
+            let l = execute_physical(left, env)?;
+            let r = execute_physical(right, env)?;
+            Ok(intersect_rows(l, r, *all))
+        }
+        PhysicalPlan::DistinctExec { input } => Ok(dedup(execute_physical(input, env)?)),
+        PhysicalPlan::AggregateExec {
+            input,
+            group_exprs,
+            aggregates,
+        } => {
+            let rows = execute_physical(input, env)?;
+            aggregate_rows(rows, group_exprs, aggregates, env)
+        }
+        PhysicalPlan::SortExec { input, keys } => {
+            let rows = execute_physical(input, env)?;
+            sort_rows(rows, keys, env)
+        }
+        PhysicalPlan::LimitExec {
             input,
             limit,
             offset,
@@ -205,84 +342,277 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
             if let Some(rows) = streaming_limit(input, *limit, *offset, env)? {
                 return Ok(rows);
             }
-            let rows = execute(input, env)?;
-            let start = (*offset as usize).min(rows.len());
-            let end = match limit {
-                Some(l) => (start + *l as usize).min(rows.len()),
-                None => rows.len(),
-            };
-            Ok(rows[start..end].to_vec())
+            let rows = execute_physical(input, env)?;
+            Ok(limit_slice(rows, *limit, *offset))
         }
     }
 }
 
-/// `LIMIT` over a row-wise `Project?(Filter?(Scan))` pipeline stops
-/// scanning as soon as `offset + limit` rows are produced, instead of
+/// Evaluate a physical plan against a shared read-only catalog: the
+/// snapshot entry point. Builds a private [`EvalEnv`] (enclosing-row
+/// stack + `EXISTS` memo) on this call's stack, so concurrent callers
+/// over the same catalog never contend on anything.
+pub fn execute_physical_read_only(
+    plan: &PhysicalPlan,
+    catalog: &crate::catalog::Catalog,
+) -> Result<Vec<Row>, EngineError> {
+    let mut env = EvalEnv::new(catalog);
+    execute_physical(plan, &mut env)
+}
+
+/// Evaluate a prepared (parameterised) physical plan against a shared
+/// read-only catalog: `params` binds the plan's [`BoundExpr::Param`]
+/// placeholders. One compiled probe plan is re-executed here per
+/// candidate binding by the base-mode membership path.
+pub fn execute_physical_params(
+    plan: &PhysicalPlan,
+    catalog: &crate::catalog::Catalog,
+    params: &[Value],
+) -> Result<Vec<Row>, EngineError> {
+    let mut env = EvalEnv::with_params(catalog, params);
+    execute_physical(plan, &mut env)
+}
+
+/// The one index-probe protocol, shared by every consumer: evaluate
+/// the key expressions against the empty row, short-circuit a `NULL`
+/// component to the empty bucket (SQL equality matches nothing), and
+/// borrow the bucket's live tuple ids (ascending slot order). Errors
+/// if the plan references an index the table does not have, or if a
+/// key value does not inhabit the indexed column's type exactly — hash
+/// identity only coincides with SQL equality for exact-type keys, so a
+/// mis-typed [`BoundExpr::Param`] binding (a contract violation by the
+/// prepared-plan caller) fails loudly instead of silently diverging
+/// from the scan plan.
+fn resolve_index_bucket<'a>(
+    table: &str,
+    index_cols: &[usize],
+    key_exprs: &[BoundExpr],
+    env: &mut EvalEnv<'a>,
+) -> Result<(&'a crate::table::Table, &'a [crate::table::TupleId]), EngineError> {
+    use crate::schema::DataType;
+    let catalog = env.catalog;
+    let t = catalog.table(table)?;
+    let mut key = Vec::with_capacity(key_exprs.len());
+    for (e, &col) in key_exprs.iter().zip(index_cols) {
+        let v = eval(e, &[], env)?;
+        if v.is_null() {
+            return Ok((t, &[]));
+        }
+        let column = t.schema.columns.get(col).ok_or_else(|| {
+            EngineError::new(format!("index column {col} out of range for {table:?}"))
+        })?;
+        let exact = matches!(
+            (column.ty, &v),
+            (DataType::Int, Value::Int(_))
+                | (DataType::Text, Value::Text(_))
+                | (DataType::Bool, Value::Bool(_))
+        );
+        if !exact {
+            return Err(EngineError::new(format!(
+                "prepared index probe on {table:?} bound a {} value to {} column {:?}",
+                v.type_name(),
+                column.ty,
+                column.name
+            )));
+        }
+        key.push(v);
+    }
+    let ids = t
+        .index_bucket(index_cols, &key)
+        .ok_or_else(|| EngineError::new(format!("plan references a missing index on {table:?}")))?;
+    Ok((t, ids))
+}
+
+/// Materialise an index lookup: clone the matching live rows (ascending
+/// slot order — exactly what a scan + equality filter would produce).
+fn index_lookup_rows(
+    table: &str,
+    index_cols: &[usize],
+    key_exprs: &[BoundExpr],
+    env: &mut EvalEnv<'_>,
+) -> Result<Vec<Row>, EngineError> {
+    let (t, ids) = resolve_index_bucket(table, index_cols, key_exprs, env)?;
+    Ok(ids
+        .iter()
+        .map(|&id| t.get(id).expect("index buckets hold live ids").clone())
+        .collect())
+}
+
+/// `LIMIT` over a row-wise `ProjectExec?(FilterExec?(source))` pipeline
+/// stops producing as soon as `offset + limit` rows exist, instead of
 /// materialising the whole input first. This turns an existence probe
 /// (`SELECT 1 FROM t WHERE … LIMIT 1` — the base-mode membership
-/// query) from a full-table copy into a scan that ends at the first
-/// match. Row order matches the materialising path exactly (slot
-/// order), so results are identical. Returns `None` when the plan is
-/// not of that shape.
+/// query) into work bounded by the first match; over an `IndexLookup`
+/// source the bound is the probed bucket. Row order matches the
+/// materialising path exactly (slot order), so results are identical.
+/// Returns `None` when the plan is not of that shape.
 fn streaming_limit(
-    input: &LogicalPlan,
+    input: &PhysicalPlan,
     limit: Option<u64>,
     offset: u64,
     env: &mut EvalEnv<'_>,
 ) -> Result<Option<Vec<Row>>, EngineError> {
     let Some(limit) = limit else { return Ok(None) };
-    let (projection, filter, table) = match input {
-        LogicalPlan::Project { input, exprs } => match &**input {
-            LogicalPlan::Filter { input, predicate } => match &**input {
-                LogicalPlan::Scan { table } => (Some(exprs), Some(predicate), table),
-                _ => return Ok(None),
-            },
-            LogicalPlan::Scan { table } => (Some(exprs), None, table),
-            _ => return Ok(None),
+    let (projection, filter, source) = match input {
+        PhysicalPlan::ProjectExec { input, exprs } => match &**input {
+            PhysicalPlan::FilterExec { input, predicate } => {
+                (Some(exprs), Some(predicate), &**input)
+            }
+            source => (Some(exprs), None, source),
         },
-        LogicalPlan::Filter { input, predicate } => match &**input {
-            LogicalPlan::Scan { table } => (None, Some(predicate), table),
-            _ => return Ok(None),
-        },
-        LogicalPlan::Scan { table } => (None, None, table),
-        _ => return Ok(None),
+        PhysicalPlan::FilterExec { input, predicate } => (None, Some(predicate), &**input),
+        source => (None, None, source),
     };
+    // The source must be a base-table access path; anything else (a
+    // join, a set operation, …) falls back to materialising. Rows are
+    // *borrowed* from the table (scan iterator or index bucket ids)
+    // and cloned only when they survive the filter and the window
+    // still wants them — a `LIMIT 1` membership probe over a
+    // duplicate-key bucket clones at most one row.
     let need = offset as usize + limit as usize;
     let catalog = env.catalog;
-    let t = catalog.table(table)?;
     let mut out = Vec::with_capacity(need.min(64));
-    for (_, row) in t.iter() {
-        if out.len() >= need {
-            break;
-        }
+    let produce = |row: &Row, env: &mut EvalEnv<'_>| -> Result<Option<Row>, EngineError> {
         if let Some(pred) = filter {
             if eval(pred, row, env)? != Value::Bool(true) {
-                continue;
+                return Ok(None);
             }
         }
-        let produced: Row = match projection {
+        Ok(Some(match projection {
             Some(exprs) => exprs
                 .iter()
                 .map(|e| eval(e, row, env))
                 .collect::<Result<_, _>>()?,
             None => row.clone(),
-        };
-        out.push(produced);
+        }))
+    };
+    match source {
+        PhysicalPlan::SeqScan { table } => {
+            let t = catalog.table(table)?;
+            for (_, row) in t.iter() {
+                if out.len() >= need {
+                    break;
+                }
+                if let Some(p) = produce(row, env)? {
+                    out.push(p);
+                }
+            }
+        }
+        PhysicalPlan::IndexLookup {
+            table,
+            index_cols,
+            key,
+        } => {
+            let (t, ids) = resolve_index_bucket(table, index_cols, key, env)?;
+            for &id in ids {
+                if out.len() >= need {
+                    break;
+                }
+                let row = t.get(id).expect("index buckets hold live ids");
+                if let Some(p) = produce(row, env)? {
+                    out.push(p);
+                }
+            }
+        }
+        _ => return Ok(None),
     }
     let start = (offset as usize).min(out.len());
     Ok(Some(out[start..].to_vec()))
 }
 
-/// Evaluate a plan against a shared read-only catalog: the snapshot
-/// entry point. Builds a private [`EvalEnv`] (enclosing-row stack +
-/// `EXISTS` memo) on this call's stack, so concurrent callers over the
-/// same catalog never contend on anything.
-pub fn execute_read_only(
-    plan: &LogicalPlan,
-    catalog: &crate::catalog::Catalog,
+/// Slice materialised rows to a `LIMIT`/`OFFSET` window.
+fn limit_slice(rows: Vec<Row>, limit: Option<u64>, offset: u64) -> Vec<Row> {
+    let start = (offset as usize).min(rows.len());
+    let end = match limit {
+        Some(l) => (start + l as usize).min(rows.len()),
+        None => rows.len(),
+    };
+    rows[start..end].to_vec()
+}
+
+/// Bag/set union of materialised inputs.
+fn union_rows(mut l: Vec<Row>, r: Vec<Row>, all: bool) -> Vec<Row> {
+    l.extend(r);
+    if all {
+        l
+    } else {
+        dedup(l)
+    }
+}
+
+/// Bag/set difference of materialised inputs.
+fn except_rows(l: Vec<Row>, r: Vec<Row>, all: bool) -> Vec<Row> {
+    if all {
+        // Bag difference: remove one occurrence per right row.
+        let mut counts: FxHashMap<Row, usize> =
+            FxHashMap::with_capacity_and_hasher(r.len(), Default::default());
+        for row in r {
+            *counts.entry(row).or_insert(0) += 1;
+        }
+        let mut out = Vec::new();
+        for row in l {
+            match counts.get_mut(&row) {
+                Some(c) if *c > 0 => *c -= 1,
+                _ => out.push(row),
+            }
+        }
+        out
+    } else {
+        let rset: FxHashSet<Row> = r.into_iter().collect();
+        dedup(l.into_iter().filter(|row| !rset.contains(row)).collect())
+    }
+}
+
+/// Bag/set intersection of materialised inputs.
+fn intersect_rows(l: Vec<Row>, r: Vec<Row>, all: bool) -> Vec<Row> {
+    if all {
+        let mut counts: FxHashMap<Row, usize> =
+            FxHashMap::with_capacity_and_hasher(r.len(), Default::default());
+        for row in r {
+            *counts.entry(row).or_insert(0) += 1;
+        }
+        let mut out = Vec::new();
+        for row in l {
+            if let Some(c) = counts.get_mut(&row) {
+                if *c > 0 {
+                    *c -= 1;
+                    out.push(row);
+                }
+            }
+        }
+        out
+    } else {
+        let rset: FxHashSet<Row> = r.into_iter().collect();
+        dedup(l.into_iter().filter(|row| rset.contains(row)).collect())
+    }
+}
+
+/// Sort materialised rows stably by the given keys.
+fn sort_rows(
+    rows: Vec<Row>,
+    keys: &[(BoundExpr, bool)],
+    env: &mut EvalEnv<'_>,
 ) -> Result<Vec<Row>, EngineError> {
-    let mut env = EvalEnv::new(catalog);
-    execute(plan, &mut env)
+    // Evaluate keys once per row, then sort stably.
+    let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let k: Vec<Value> = keys
+            .iter()
+            .map(|(e, _)| eval(e, &row, env))
+            .collect::<Result<_, _>>()?;
+        keyed.push((k, row));
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, (_, desc)) in keys.iter().enumerate() {
+            let ord = ka[i].cmp(&kb[i]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(keyed.into_iter().map(|(_, r)| r).collect())
 }
 
 /// Order-preserving duplicate elimination.
@@ -298,19 +628,20 @@ fn dedup(rows: Vec<Row>) -> Vec<Row> {
     out
 }
 
-fn hash_join(
-    left: &LogicalPlan,
-    right: &LogicalPlan,
+/// Hash join over materialised inputs (shared by both executors).
+/// `right_arity` is needed for LEFT-join NULL padding when the right
+/// side produced no rows.
+#[allow(clippy::too_many_arguments)]
+fn hash_join_rows(
+    l: Vec<Row>,
+    r: Vec<Row>,
+    right_arity: usize,
     left_keys: &[BoundExpr],
     right_keys: &[BoundExpr],
     residual: Option<&BoundExpr>,
     join_type: JoinType,
     env: &mut EvalEnv<'_>,
 ) -> Result<Vec<Row>, EngineError> {
-    let l = execute(left, env)?;
-    let r = execute(right, env)?;
-    let right_arity = r.first().map(Vec::len).unwrap_or(0);
-
     // Build hash table over the right side; NULL keys never match.
     let mut table: FxHashMap<Vec<Value>, Vec<usize>> =
         FxHashMap::with_capacity_and_hasher(r.len(), Default::default());
@@ -364,19 +695,15 @@ fn hash_join(
     Ok(out)
 }
 
-fn nested_loop_join(
-    left: &LogicalPlan,
-    right: &LogicalPlan,
+/// Nested-loop join over materialised inputs (shared by both executors).
+fn nested_loop_rows(
+    l: Vec<Row>,
+    r: Vec<Row>,
+    right_arity: usize,
     predicate: Option<&BoundExpr>,
     join_type: JoinType,
     env: &mut EvalEnv<'_>,
 ) -> Result<Vec<Row>, EngineError> {
-    let l = execute(left, env)?;
-    let r = execute(right, env)?;
-    let right_arity = match r.first() {
-        Some(row) => row.len(),
-        None => right.arity(env.catalog)?,
-    };
     let mut out = Vec::new();
     for lrow in &l {
         let mut matched = false;
@@ -566,13 +893,14 @@ impl Acc {
     }
 }
 
-fn aggregate(
-    input: &LogicalPlan,
+/// Grouped aggregation over materialised input (shared by both
+/// executors).
+fn aggregate_rows(
+    rows: Vec<Row>,
     group_exprs: &[BoundExpr],
     aggregates: &[AggExpr],
     env: &mut EvalEnv<'_>,
 ) -> Result<Vec<Row>, EngineError> {
-    let rows = execute(input, env)?;
     // Deterministic group order: remember first-seen order.
     let mut order: Vec<Vec<Value>> = Vec::new();
     let mut groups: FxHashMap<Vec<Value>, Vec<Acc>> =

@@ -18,6 +18,12 @@ pub enum BoundExpr {
     Literal(Value),
     /// Column of the current row, by flat offset.
     Column(usize),
+    /// Prepared-statement parameter, by position. Evaluates to
+    /// [`EvalEnv::params`]`[i]` — the binding a prepared physical plan
+    /// (e.g. the membership probes of [`crate::db::DbSnapshot::run_prepared`])
+    /// is re-executed with. Never produced by the binder from SQL text;
+    /// callers construct parameterised plans programmatically.
+    Param(usize),
     /// Column of an enclosing query's row: `level` 0 is the nearest
     /// enclosing query, `index` is the flat offset in that row.
     OuterRef {
@@ -180,6 +186,7 @@ impl BoundExpr {
         match self {
             BoundExpr::Literal(_)
             | BoundExpr::Column(_)
+            | BoundExpr::Param(_)
             | BoundExpr::OuterRef { .. }
             | BoundExpr::Exists { .. }
             | BoundExpr::ScalarSubquery(_) => {}
@@ -224,7 +231,9 @@ impl BoundExpr {
     pub fn map_columns(&self, f: &impl Fn(usize) -> usize) -> BoundExpr {
         match self {
             BoundExpr::Column(i) => BoundExpr::Column(f(*i)),
-            BoundExpr::Literal(_) | BoundExpr::OuterRef { .. } => self.clone(),
+            BoundExpr::Literal(_) | BoundExpr::Param(_) | BoundExpr::OuterRef { .. } => {
+                self.clone()
+            }
             BoundExpr::Binary { op, left, right } => BoundExpr::Binary {
                 op: *op,
                 left: Box::new(left.map_columns(f)),
@@ -312,6 +321,9 @@ impl BoundExpr {
 pub struct EvalEnv<'a> {
     /// Catalog used to execute subquery plans.
     pub catalog: &'a Catalog,
+    /// Bindings for [`BoundExpr::Param`] placeholders (prepared plans);
+    /// empty for plain query evaluation.
+    pub params: &'a [Value],
     /// Enclosing query rows; `OuterRef{level: 0}` reads `outer.last()`.
     pub outer: Vec<Vec<Value>>,
     /// Per-query memo for correlated `EXISTS` fast paths: plan address →
@@ -329,9 +341,18 @@ impl<'a> EvalEnv<'a> {
     pub fn new(catalog: &'a Catalog) -> Self {
         EvalEnv {
             catalog,
+            params: &[],
             outer: Vec::new(),
             exists_cache: rustc_hash::FxHashMap::default(),
             exists_cache_width: rustc_hash::FxHashMap::default(),
+        }
+    }
+
+    /// Environment with prepared-statement parameter bindings.
+    pub fn with_params(catalog: &'a Catalog, params: &'a [Value]) -> Self {
+        EvalEnv {
+            params,
+            ..EvalEnv::new(catalog)
         }
     }
 }
@@ -506,6 +527,11 @@ pub fn eval(expr: &BoundExpr, row: &[Value], env: &mut EvalEnv<'_>) -> Result<Va
             .get(*i)
             .cloned()
             .ok_or_else(|| EngineError::new(format!("column offset {i} out of range"))),
+        BoundExpr::Param(i) => env
+            .params
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| EngineError::new(format!("parameter ${i} not bound"))),
         BoundExpr::OuterRef { level, index } => {
             let outer_row = env
                 .outer

@@ -10,14 +10,22 @@
 //!   [`Database::query`]), plus bulk-load and direct catalog access;
 //! * a name-resolving binder ([`bind`]) lowering the `hippo-sql` AST to
 //!   [`plan::LogicalPlan`]s;
-//! * a rule-based optimizer ([`optimize`]): constant folding, predicate
-//!   pushdown, cross-product → hash-join conversion;
-//! * a materialising executor ([`exec`]) with hash joins, set operations
-//!   (set and bag), grouping/aggregation, sorting, and correlated
-//!   `EXISTS` / `IN` / scalar subqueries;
+//! * a two-stage optimizer ([`optimize`]): logical rewrites (constant
+//!   folding, predicate pushdown, cross-product → hash-join conversion)
+//!   followed by lowering to a [`plan::PhysicalPlan`] with
+//!   **access-path selection** — equality predicates over indexed
+//!   columns become O(1) [`plan::PhysicalPlan::IndexLookup`] probes;
+//! * a physical executor ([`exec::execute_physical`]) with streamed
+//!   filter/limit pipelines, hash joins, set operations (set and bag),
+//!   grouping/aggregation, sorting, and correlated `EXISTS` / `IN` /
+//!   scalar subqueries — plus the fully materialising logical
+//!   reference executor ([`exec::execute`]) it is differentially
+//!   tested against;
 //! * row storage with **stable tuple identifiers** ([`table::Table`],
 //!   [`table::TupleId`]) — the conflict hypergraph's vertices are physical
-//!   tuples, so ids must survive unrelated deletions.
+//!   tuples, so ids must survive unrelated deletions — and secondary
+//!   hash indexes (auto-built on primary keys, or via `CREATE INDEX`)
+//!   maintained incrementally through every mutation.
 //!
 //! ```
 //! use hippo_engine::Database;
@@ -40,7 +48,10 @@ pub mod table;
 pub mod value;
 
 pub use catalog::Catalog;
-pub use db::{Database, DbSnapshot, DbStats, ExecResult, QueryResult};
+pub use db::{Database, DbSnapshot, DbStats, ExecResult, QueryResult, SnapshotStatsView};
+pub use expr::BoundExpr;
+pub use optimize::{physicalize, physicalize_with, PhysicalOptions};
+pub use plan::{LogicalPlan, PhysicalPlan};
 pub use schema::{Column, DataType, EngineError, TableSchema};
 pub use table::{Table, TupleId};
 pub use value::{Row, Value};

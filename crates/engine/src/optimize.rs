@@ -1,7 +1,8 @@
-//! Rule-based plan rewrites.
+//! The optimizer: logical rewrites, then logical → physical lowering
+//! with access-path selection.
 //!
-//! Three passes, applied bottom-up until fixpoint-ish (one traversal is
-//! enough for the shapes the binder emits):
+//! **Logical passes** ([`optimize`]), applied bottom-up (one traversal
+//! is enough for the shapes the binder emits):
 //!
 //! 1. **Constant folding** — literal-only expressions collapse to literals.
 //! 2. **Predicate pushdown** — conjuncts of a `Filter` over a `CrossJoin`
@@ -11,17 +12,272 @@
 //!
 //! Expressions containing subqueries are never moved (their `OuterRef`
 //! levels are position-dependent).
+//!
+//! **Physical lowering** ([`physicalize`]) maps the optimized logical
+//! tree onto [`PhysicalPlan`] operators 1:1, except for **access-path
+//! selection**: a `Filter` directly over a `Scan` whose equality
+//! conjuncts pin every column of one of the table's hash indexes
+//! becomes an [`PhysicalPlan::IndexLookup`] (largest covered index
+//! wins; leftover conjuncts stay as a residual `FilterExec`). Key
+//! expressions must be row-independent (literals of exactly the
+//! column's type, or [`BoundExpr::Param`] placeholders whose bindings
+//! the prepared-plan caller guarantees to be type-matching or `NULL`);
+//! `Float` columns are never index-probed, because hash-key identity
+//! and SQL numeric equality disagree on them (`0.0` vs `-0.0`,
+//! int-widening). Those rules make the chosen access path produce the
+//! **same rows in the same order** (slot order) as the sequential
+//! scan it replaces — which the `prop_physical` differential suite
+//! checks. The one observable difference is deliberate and standard:
+//! residual conjuncts are only evaluated on the rows the index
+//! returns, so a residual that would raise a *runtime* error (e.g. an
+//! incomparable-type comparison) on a row the key excludes is simply
+//! never evaluated — SQL leaves `WHERE` evaluation order unspecified,
+//! and an index can skip errors but never introduce one (key
+//! expressions are type-checked at plan time).
+//!
+//! Expression subqueries (`EXISTS`/`IN`/scalar) keep their logical
+//! subplans: they are evaluated by the reference executor through
+//! [`crate::expr::EvalEnv`]'s correlated-`EXISTS` hash memo, which
+//! already gives the hot membership-flag shape its O(1) probe.
 
 use crate::catalog::Catalog;
 use crate::expr::{eval, BoundExpr, EvalEnv};
-use crate::plan::{JoinType, LogicalPlan};
-use crate::schema::EngineError;
+use crate::plan::{JoinType, LogicalPlan, PhysicalPlan};
+use crate::schema::{DataType, EngineError, TableSchema};
+use crate::value::Value;
 use hippo_sql::BinaryOp;
 
 /// Optimize a plan.
 pub fn optimize(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan, EngineError> {
     let plan = rewrite(plan, catalog)?;
     Ok(plan)
+}
+
+/// Options controlling logical → physical lowering.
+#[derive(Debug, Clone, Copy)]
+pub struct PhysicalOptions {
+    /// Rewrite equality predicates over indexed columns into
+    /// [`PhysicalPlan::IndexLookup`] access paths. On by default; the
+    /// differential tests and the index-ablation experiments turn it
+    /// off to get the sequential-scan plan with everything else
+    /// unchanged.
+    pub use_indexes: bool,
+}
+
+impl Default for PhysicalOptions {
+    fn default() -> Self {
+        PhysicalOptions { use_indexes: true }
+    }
+}
+
+/// Lower an optimized logical plan to a physical plan with default
+/// options (index access paths enabled).
+pub fn physicalize(plan: LogicalPlan, catalog: &Catalog) -> PhysicalPlan {
+    physicalize_with(plan, catalog, &PhysicalOptions::default())
+}
+
+/// Lower an optimized logical plan to a physical plan.
+pub fn physicalize_with(
+    plan: LogicalPlan,
+    catalog: &Catalog,
+    opts: &PhysicalOptions,
+) -> PhysicalPlan {
+    match plan {
+        LogicalPlan::Empty { arity } => PhysicalPlan::Empty { arity },
+        LogicalPlan::Values { rows, arity } => PhysicalPlan::Values { rows, arity },
+        LogicalPlan::Scan { table } => PhysicalPlan::SeqScan { table },
+        LogicalPlan::Filter { input, predicate } => {
+            if let LogicalPlan::Scan { table } = &*input {
+                if opts.use_indexes {
+                    if let Some(p) = index_access_path(table, &predicate, catalog) {
+                        return p;
+                    }
+                }
+            }
+            PhysicalPlan::FilterExec {
+                input: Box::new(physicalize_with(*input, catalog, opts)),
+                predicate,
+            }
+        }
+        LogicalPlan::Project { input, exprs } => PhysicalPlan::ProjectExec {
+            input: Box::new(physicalize_with(*input, catalog, opts)),
+            exprs,
+        },
+        LogicalPlan::CrossJoin { left, right } => PhysicalPlan::CrossJoinExec {
+            left: Box::new(physicalize_with(*left, catalog, opts)),
+            right: Box::new(physicalize_with(*right, catalog, opts)),
+        },
+        LogicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            join_type,
+        } => PhysicalPlan::HashJoinExec {
+            left: Box::new(physicalize_with(*left, catalog, opts)),
+            right: Box::new(physicalize_with(*right, catalog, opts)),
+            left_keys,
+            right_keys,
+            residual,
+            join_type,
+        },
+        LogicalPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+            join_type,
+        } => PhysicalPlan::NestedLoopJoinExec {
+            left: Box::new(physicalize_with(*left, catalog, opts)),
+            right: Box::new(physicalize_with(*right, catalog, opts)),
+            predicate,
+            join_type,
+        },
+        LogicalPlan::Union { left, right, all } => PhysicalPlan::UnionExec {
+            left: Box::new(physicalize_with(*left, catalog, opts)),
+            right: Box::new(physicalize_with(*right, catalog, opts)),
+            all,
+        },
+        LogicalPlan::Except { left, right, all } => PhysicalPlan::ExceptExec {
+            left: Box::new(physicalize_with(*left, catalog, opts)),
+            right: Box::new(physicalize_with(*right, catalog, opts)),
+            all,
+        },
+        LogicalPlan::Intersect { left, right, all } => PhysicalPlan::IntersectExec {
+            left: Box::new(physicalize_with(*left, catalog, opts)),
+            right: Box::new(physicalize_with(*right, catalog, opts)),
+            all,
+        },
+        LogicalPlan::Distinct { input } => PhysicalPlan::DistinctExec {
+            input: Box::new(physicalize_with(*input, catalog, opts)),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+        } => PhysicalPlan::AggregateExec {
+            input: Box::new(physicalize_with(*input, catalog, opts)),
+            group_exprs,
+            aggregates,
+        },
+        LogicalPlan::Sort { input, keys } => PhysicalPlan::SortExec {
+            input: Box::new(physicalize_with(*input, catalog, opts)),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => PhysicalPlan::LimitExec {
+            input: Box::new(physicalize_with(*input, catalog, opts)),
+            limit,
+            offset,
+        },
+    }
+}
+
+/// Access-path selection for `Filter(Scan)`: pick the largest index of
+/// `table` whose every column is pinned by an index-safe equality
+/// conjunct, emit an `IndexLookup` keyed by those expressions and keep
+/// the remaining conjuncts as a residual filter. Ties between
+/// equal-length indexes break to the lexicographically smallest column
+/// set, so plan choice is deterministic.
+fn index_access_path(
+    table: &str,
+    predicate: &BoundExpr,
+    catalog: &Catalog,
+) -> Option<PhysicalPlan> {
+    let t = catalog.table(table).ok()?;
+    let conjuncts = split_conjuncts(predicate);
+    // column → (conjunct index, key expression); first conjunct wins.
+    let mut eq: std::collections::BTreeMap<usize, (usize, &BoundExpr)> =
+        std::collections::BTreeMap::new();
+    for (i, c) in conjuncts.iter().enumerate() {
+        if let Some((col, key)) = as_index_key(c, &t.schema) {
+            eq.entry(col).or_insert((i, key));
+        }
+    }
+    if eq.is_empty() {
+        return None;
+    }
+    let mut best: Option<&Vec<usize>> = None;
+    for cols in t.index_column_sets() {
+        if !cols.iter().all(|c| eq.contains_key(c)) {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(b) => cols.len() > b.len() || (cols.len() == b.len() && cols < b),
+        };
+        if better {
+            best = Some(cols);
+        }
+    }
+    let index_cols = best?.clone();
+    let mut used = vec![false; conjuncts.len()];
+    let key: Vec<BoundExpr> = index_cols
+        .iter()
+        .map(|c| {
+            let (ci, e) = eq[c];
+            used[ci] = true;
+            e.clone()
+        })
+        .collect();
+    let residual: Vec<BoundExpr> = conjuncts
+        .into_iter()
+        .zip(&used)
+        .filter(|(_, consumed)| !**consumed)
+        .map(|(c, _)| c)
+        .collect();
+    let lookup = PhysicalPlan::IndexLookup {
+        table: table.to_string(),
+        index_cols,
+        key,
+    };
+    Some(if residual.is_empty() {
+        lookup
+    } else {
+        PhysicalPlan::FilterExec {
+            input: Box::new(lookup),
+            predicate: BoundExpr::conjoin(residual),
+        }
+    })
+}
+
+/// Is `c` an equality pinning one column of `schema` to a
+/// row-independent, index-safe key expression? Literals must inhabit
+/// the column's type exactly (so hash-key identity coincides with SQL
+/// equality); `Param`s are accepted on the caller's type contract;
+/// `Float` columns are never index-safe.
+fn as_index_key<'a>(c: &'a BoundExpr, schema: &TableSchema) -> Option<(usize, &'a BoundExpr)> {
+    let BoundExpr::Binary {
+        op: BinaryOp::Eq,
+        left,
+        right,
+    } = c
+    else {
+        return None;
+    };
+    let (col, key) = match (&**left, &**right) {
+        (BoundExpr::Column(c), e) => (*c, e),
+        (e, BoundExpr::Column(c)) => (*c, e),
+        _ => return None,
+    };
+    let ty = schema.columns.get(col)?.ty;
+    if ty == DataType::Float {
+        return None;
+    }
+    match key {
+        BoundExpr::Param(_) => Some((col, key)),
+        BoundExpr::Literal(v) => matches!(
+            (ty, v),
+            (DataType::Int, Value::Int(_))
+                | (DataType::Text, Value::Text(_))
+                | (DataType::Bool, Value::Bool(_))
+        )
+        .then_some((col, key)),
+        _ => None,
+    }
 }
 
 fn rewrite(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan, EngineError> {
@@ -587,6 +843,135 @@ mod tests {
             matches!(opt, LogicalPlan::Filter { .. }),
             "computed projections block pushdown: {opt:?}"
         );
+    }
+
+    fn indexed_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    Column::new("k", DataType::Int),
+                    Column::new("v", DataType::Int),
+                    Column::new("f", DataType::Float),
+                ],
+                &["k"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    fn filter_scan(pred: BoundExpr) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan { table: "t".into() }),
+            predicate: pred,
+        }
+    }
+
+    #[test]
+    fn equality_on_indexed_key_becomes_index_lookup() {
+        let c = indexed_catalog();
+        let phys = physicalize(filter_scan(eq(col(0), lit(5))), &c);
+        let PhysicalPlan::IndexLookup {
+            table,
+            index_cols,
+            key,
+        } = phys
+        else {
+            panic!("expected IndexLookup, got:\n{phys}")
+        };
+        assert_eq!(table, "t");
+        assert_eq!(index_cols, vec![0]);
+        assert_eq!(key, vec![lit(5)]);
+    }
+
+    #[test]
+    fn extra_conjuncts_stay_as_residual_over_the_lookup() {
+        let c = indexed_catalog();
+        let pred = eq(col(0), lit(5)).and(BoundExpr::Binary {
+            op: BinaryOp::Gt,
+            left: Box::new(col(1)),
+            right: Box::new(lit(7)),
+        });
+        let phys = physicalize(filter_scan(pred), &c);
+        let PhysicalPlan::FilterExec { input, .. } = phys else {
+            panic!("expected residual filter, got:\n{phys}")
+        };
+        assert!(matches!(*input, PhysicalPlan::IndexLookup { .. }));
+    }
+
+    #[test]
+    fn param_keys_are_index_safe() {
+        let c = indexed_catalog();
+        let phys = physicalize(filter_scan(eq(col(0), BoundExpr::Param(0))), &c);
+        assert!(matches!(phys, PhysicalPlan::IndexLookup { .. }), "{phys}");
+    }
+
+    #[test]
+    fn unsafe_keys_fall_back_to_scan() {
+        let c = indexed_catalog();
+        // Type-mismatched literal: hash identity would not coincide
+        // with SQL equality semantics.
+        let phys = physicalize(
+            filter_scan(eq(col(0), BoundExpr::Literal(Value::text("x")))),
+            &c,
+        );
+        assert!(matches!(
+            phys,
+            PhysicalPlan::FilterExec {
+                ref input,
+                ..
+            } if matches!(**input, PhysicalPlan::SeqScan { .. })
+        ));
+        // Column = column is row-dependent.
+        let phys = physicalize(filter_scan(eq(col(0), col(1))), &c);
+        assert!(matches!(phys, PhysicalPlan::FilterExec { .. }));
+        // Non-equality never probes.
+        let phys = physicalize(
+            filter_scan(BoundExpr::Binary {
+                op: BinaryOp::Lt,
+                left: Box::new(col(0)),
+                right: Box::new(lit(5)),
+            }),
+            &c,
+        );
+        assert!(matches!(phys, PhysicalPlan::FilterExec { .. }));
+    }
+
+    #[test]
+    fn float_columns_are_never_index_probed() {
+        let mut c = indexed_catalog();
+        c.table_mut("t").unwrap().create_index(vec![2]).unwrap();
+        let phys = physicalize(
+            filter_scan(eq(col(2), BoundExpr::Literal(Value::Float(1.0)))),
+            &c,
+        );
+        assert!(matches!(phys, PhysicalPlan::FilterExec { .. }), "{phys}");
+    }
+
+    #[test]
+    fn largest_covered_index_wins() {
+        let mut c = indexed_catalog();
+        c.table_mut("t").unwrap().create_index(vec![0, 1]).unwrap();
+        let pred = eq(col(0), lit(5)).and(eq(col(1), lit(7)));
+        let phys = physicalize(filter_scan(pred), &c);
+        let PhysicalPlan::IndexLookup { index_cols, .. } = phys else {
+            panic!("expected IndexLookup, got:\n{phys}")
+        };
+        assert_eq!(index_cols, vec![0, 1], "two-column index preferred");
+    }
+
+    #[test]
+    fn physical_options_can_disable_index_selection() {
+        let c = indexed_catalog();
+        let phys = physicalize_with(
+            filter_scan(eq(col(0), lit(5))),
+            &c,
+            &PhysicalOptions { use_indexes: false },
+        );
+        assert!(matches!(phys, PhysicalPlan::FilterExec { .. }), "{phys}");
     }
 
     #[test]

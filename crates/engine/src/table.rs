@@ -1,9 +1,33 @@
-//! Row storage with stable tuple identifiers and hash indexes.
+//! Row storage with stable tuple identifiers and secondary hash indexes.
 //!
 //! The conflict hypergraph identifies vertices by *physical tuple*, so the
 //! store must hand out identifiers that stay valid across deletions of
 //! other tuples. Rows live in an append-only slot vector; deletion leaves a
 //! tombstone. A [`TupleId`] is the slot index.
+//!
+//! # Indexes
+//!
+//! A table carries any number of **hash indexes**, each over a fixed
+//! column set: one is built automatically on the primary-key columns at
+//! table creation, more come from `CREATE INDEX` (see
+//! [`Table::create_named_index`]) or [`Table::create_index`]. Every
+//! index is maintained **incrementally** on [`Table::insert`] /
+//! [`Table::delete`] / [`Table::update`] — never rebuilt — and its
+//! buckets keep tuple ids in ascending (slot) order, so an
+//! [`crate::plan::PhysicalPlan::IndexLookup`] yields rows in exactly
+//! the order a sequential scan would.
+//!
+//! # Snapshot sharing
+//!
+//! `Clone` is what backs the snapshot layer's copy-on-write:
+//! [`crate::db::Database`] keeps its catalog (and therefore every
+//! table, *including its indexes*) behind an `Arc` that
+//! [`crate::db::DbSnapshot`] shares. Taking a snapshot copies nothing;
+//! the first mutation after one clones the storage once via
+//! `Arc::make_mut`. A frozen table is immutable, so any number of
+//! threads may probe its indexes with zero locking — that is what makes
+//! the prepared membership probes of the base-mode answer pipeline
+//! O(1) *and* lock-free.
 
 use crate::schema::{EngineError, TableSchema};
 use crate::value::{Row, Value};
@@ -22,7 +46,13 @@ struct HashIndex {
 
 impl HashIndex {
     fn insert(&mut self, key: Vec<Value>, id: TupleId) {
-        self.map.entry(key).or_default().push(id);
+        let ids = self.map.entry(key).or_default();
+        // Buckets stay in ascending (slot) order so index lookups see
+        // rows in scan order. Fresh inserts carry the largest id so far
+        // (append-only slots) and append in O(1); only the re-keying of
+        // an UPDATE ever inserts mid-bucket.
+        let pos = ids.partition_point(|x| *x < id);
+        ids.insert(pos, id);
     }
 
     fn remove(&mut self, key: &[Value], id: TupleId) {
@@ -49,17 +79,30 @@ pub struct Table {
     live: usize,
     /// column sets → index
     indexes: FxHashMap<Vec<usize>, HashIndex>,
+    /// `CREATE INDEX` names → the column set they cover (the primary-key
+    /// auto-index is anonymous).
+    index_names: FxHashMap<String, Vec<usize>>,
 }
 
 impl Table {
-    /// Create an empty table.
+    /// Create an empty table. If the schema declares a primary key, a
+    /// hash index over the key columns is built automatically — the
+    /// access path the optimizer needs for key-equality probes exists
+    /// without any `CREATE INDEX`.
     pub fn new(schema: TableSchema) -> Table {
-        Table {
+        let mut t = Table {
             schema,
             slots: Vec::new(),
             live: 0,
             indexes: FxHashMap::default(),
+            index_names: FxHashMap::default(),
+        };
+        if !t.schema.primary_key.is_empty() {
+            let cols = t.schema.primary_key.clone();
+            t.create_index(cols)
+                .expect("primary-key columns are in range by construction");
         }
+        t
     }
 
     /// Number of live rows.
@@ -171,16 +214,62 @@ impl Table {
         Ok(())
     }
 
+    /// Build a hash index and register it under a `CREATE INDEX` name.
+    /// Errors if the name is already taken by a different column set;
+    /// re-creating the same index under the same name is a no-op.
+    pub fn create_named_index(
+        &mut self,
+        name: String,
+        cols: Vec<usize>,
+    ) -> Result<(), EngineError> {
+        if let Some(existing) = self.index_names.get(&name) {
+            if *existing == cols {
+                return Ok(());
+            }
+            return Err(EngineError::new(format!(
+                "index {name:?} already exists on table {:?} with different columns",
+                self.schema.name
+            )));
+        }
+        // A structurally identical index may already exist (the
+        // primary-key auto-index, or another name over the same column
+        // set); registering the name is enough — rebuilding would scan
+        // every slot to recreate a bit-identical map.
+        if !self.indexes.contains_key(&cols) {
+            self.create_index(cols.clone())?;
+        }
+        self.index_names.insert(name, cols);
+        Ok(())
+    }
+
+    /// The column set a named index covers, if the name exists.
+    pub fn named_index(&self, name: &str) -> Option<&Vec<usize>> {
+        self.index_names.get(name)
+    }
+
     /// Look up live rows by indexed key; `None` if no such index exists.
     pub fn index_lookup(&self, cols: &[usize], key: &[Value]) -> Option<Vec<TupleId>> {
+        self.index_bucket(cols, key).map(<[TupleId]>::to_vec)
+    }
+
+    /// Borrow the bucket of live tuple ids for `key` (ascending slot
+    /// order, allocation-free); `None` if no index exists on `cols`,
+    /// `Some(&[])` if the index exists but holds no such key.
+    pub fn index_bucket(&self, cols: &[usize], key: &[Value]) -> Option<&[TupleId]> {
         self.indexes
             .get(cols)
-            .map(|ix| ix.map.get(key).cloned().unwrap_or_default())
+            .map(|ix| ix.map.get(key).map(Vec::as_slice).unwrap_or(&[]))
     }
 
     /// Does an index exist on exactly these columns?
     pub fn has_index(&self, cols: &[usize]) -> bool {
         self.indexes.contains_key(cols)
+    }
+
+    /// The column sets of every index on this table (arbitrary order;
+    /// the optimizer sorts candidates before choosing).
+    pub fn index_column_sets(&self) -> impl Iterator<Item = &Vec<usize>> {
+        self.indexes.keys()
     }
 
     /// Find ids of live rows equal to `row` (full-row comparison).
@@ -289,6 +378,58 @@ mod tests {
             t.index_lookup(&[1], &[Value::Null]).is_none(),
             "no such index"
         );
+    }
+
+    #[test]
+    fn buckets_stay_in_slot_order_through_updates() {
+        let mut t = table();
+        t.create_index(vec![0]).unwrap();
+        let a = t.insert(vec![Value::Int(1), Value::text("a")]).unwrap();
+        let b = t.insert(vec![Value::Int(1), Value::text("b")]).unwrap();
+        // Re-keying `a` out and back would append it after `b` in a
+        // naive bucket; the ordered insert restores slot order.
+        t.update(a, vec![Value::Int(2), Value::text("a")]).unwrap();
+        t.update(a, vec![Value::Int(1), Value::text("a")]).unwrap();
+        assert_eq!(t.index_lookup(&[0], &[Value::Int(1)]).unwrap(), vec![a, b]);
+        assert_eq!(t.index_bucket(&[0], &[Value::Int(1)]).unwrap(), &[a, b]);
+        assert_eq!(
+            t.index_bucket(&[0], &[Value::Int(9)]).unwrap(),
+            &[] as &[TupleId]
+        );
+        assert!(t.index_bucket(&[1], &[Value::Null]).is_none(), "no index");
+    }
+
+    #[test]
+    fn primary_key_index_is_automatic() {
+        let t = Table::new(
+            TableSchema::new(
+                "t",
+                vec![
+                    Column::new("k", DataType::Int),
+                    Column::new("v", DataType::Int),
+                ],
+                &["k"],
+            )
+            .unwrap(),
+        );
+        assert!(t.has_index(&[0]));
+        assert_eq!(t.index_column_sets().collect::<Vec<_>>(), vec![&vec![0]]);
+        // Naming the auto-indexed column set registers the name without
+        // building a second (identical) index.
+        let mut t = t;
+        t.create_named_index("k_ix".into(), vec![0]).unwrap();
+        assert_eq!(t.index_column_sets().count(), 1);
+        assert_eq!(t.named_index("k_ix"), Some(&vec![0]));
+    }
+
+    #[test]
+    fn named_indexes_register_and_collide() {
+        let mut t = table();
+        t.create_named_index("i".into(), vec![0]).unwrap();
+        assert_eq!(t.named_index("i"), Some(&vec![0]));
+        t.create_named_index("i".into(), vec![0]).unwrap(); // same set: no-op
+        assert!(t.create_named_index("i".into(), vec![1]).is_err());
+        assert!(t.create_named_index("oob".into(), vec![9]).is_err());
     }
 
     #[test]

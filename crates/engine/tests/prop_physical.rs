@@ -1,0 +1,154 @@
+//! Differential property tests for the physical executor.
+//!
+//! Over random schemas (indexed and unindexed tables), random DML and
+//! random point/range/join/set-op queries, the optimized physical
+//! execution — access-path selection, streamed filter/limit pipelines,
+//! `IndexLookup` probes — must produce **exactly** the rows of the
+//! unoptimized logical reference executor, in the same order. Index
+//! maintenance is exercised through every mutation kind
+//! (insert/delete/update, NULL keys, re-keying updates) before the
+//! queries compare. Error behaviour: a mismatch on the probed key
+//! itself falls back to a scan and fails identically; the one
+//! documented divergence is that residual conjuncts are never
+//! evaluated on rows the index excludes, so their *runtime* errors can
+//! be skipped (see `optimize`'s module docs) — pinned by a
+//! deterministic test below.
+
+use hippo_engine::Database;
+use proptest::prelude::*;
+
+/// One mutation, encoded strategy-friendly: `(selector, a, b)`.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    selector: u32,
+    a: u32,
+    b: u32,
+}
+
+fn apply(db: &mut Database, op: Op) {
+    let k = op.a % 10;
+    let v = op.b % 5;
+    let s = ["x", "y", "z"][(op.b % 3) as usize];
+    let sql = match op.selector % 8 {
+        0 | 1 => format!("INSERT INTO t VALUES ({k}, {v}, '{s}')"),
+        2 => format!("INSERT INTO t VALUES ({k}, NULL, '{s}')"),
+        3 => format!("DELETE FROM t WHERE k = {k}"),
+        // Re-keying update: moves rows across index buckets.
+        4 => format!("UPDATE t SET k = {v} WHERE v = {v}"),
+        5 => format!("UPDATE t SET v = {v}, s = '{s}' WHERE k = {k}"),
+        _ => format!("INSERT INTO u VALUES ({k}, {v})"),
+    };
+    db.execute(&sql).unwrap();
+}
+
+/// `t` carries a primary-key auto-index on `k` plus a `CREATE INDEX` on
+/// `(v, s)`; `u` is unindexed.
+fn fresh_db() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (k INT, v INT, s TEXT, PRIMARY KEY (k))")
+        .unwrap();
+    db.execute("CREATE INDEX t_vs ON t (v, s)").unwrap();
+    db.execute("CREATE TABLE u (k INT, v INT)").unwrap();
+    db
+}
+
+/// Query templates; `{k}`/`{v}` are substituted with random values so
+/// probes hit present and absent keys alike.
+fn queries(k: u32, v: u32) -> Vec<String> {
+    vec![
+        // Point probes through the pk index, with and without residuals.
+        format!("SELECT * FROM t WHERE k = {k}"),
+        format!("SELECT 1 FROM t WHERE k = {k} AND v = {v} AND s = 'x' LIMIT 1"),
+        format!("SELECT v FROM t WHERE k = {k} AND v > 1"),
+        // Multi-column index on (v, s); NULL v rows must never match.
+        format!("SELECT k FROM t WHERE v = {v} AND s = 'y'"),
+        // Streamed limit pipelines over both access paths.
+        format!("SELECT s FROM t WHERE k = {k} LIMIT 2 OFFSET 1"),
+        format!("SELECT k FROM t WHERE v = {v} LIMIT 3"),
+        // Type-safe fallbacks: unindexed column / unindexed table.
+        format!("SELECT * FROM t WHERE v = {v} ORDER BY k, s"),
+        format!("SELECT * FROM u WHERE k = {k}"),
+        // Joins, set ops, aggregation, subqueries over the same data.
+        format!("SELECT t.k, u.v FROM t, u WHERE t.k = u.k AND u.v = {v} ORDER BY t.k, u.v"),
+        format!("SELECT k FROM t WHERE v = {v} UNION SELECT k FROM u WHERE v = {v}"),
+        "SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k".to_string(),
+        format!("SELECT k FROM u WHERE EXISTS (SELECT * FROM t WHERE t.k = u.k AND t.v = {v}) ORDER BY k"),
+    ]
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(u32, u32, u32)>> {
+    prop::collection::vec((0u32..8, 0u32..10, 0u32..5), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn physical_execution_matches_logical_reference(
+        ops in arb_ops(),
+        k in 0u32..12,
+        v in 0u32..6,
+    ) {
+        let mut db = fresh_db();
+        for (selector, a, b) in ops {
+            apply(&mut db, Op { selector, a, b });
+        }
+        let snap = db.snapshot();
+        for q in queries(k, v) {
+            // Reference: the optimized logical plan run by the
+            // materialising executor, no physical lowering.
+            let reference = db.run_plan(&db.plan(&q).unwrap().plan).unwrap();
+            let got = db.query(&q).unwrap();
+            prop_assert_eq!(
+                &got.rows, &reference,
+                "physical != logical reference on {}\nplan:\n{}",
+                q, db.physical_plan(&q).unwrap()
+            );
+            // The zero-lock snapshot path runs the same physical plan.
+            prop_assert_eq!(&snap.query(&q).unwrap().rows, &reference, "snapshot diverged on {}", q);
+        }
+        // Sanity: the pk point probe really plans as an index lookup.
+        let plan = db.physical_plan(&format!("SELECT * FROM t WHERE k = {k}")).unwrap();
+        prop_assert!(plan.uses_index(), "expected IndexLookup:\n{}", plan);
+    }
+
+    #[test]
+    fn type_mismatched_probes_fail_identically(ops in arb_ops()) {
+        // Mismatch ON the indexed column itself: plan-time selection
+        // rejects the key, both paths scan, both fail identically.
+        // `k = 'x'` on an INT column: the reference errors row-wise
+        // (incomparable types); the physical plan must not silently
+        // return empty through an index probe.
+        let mut db = fresh_db();
+        for (selector, a, b) in ops {
+            apply(&mut db, Op { selector, a, b });
+        }
+        let q = "SELECT * FROM t WHERE k = 'x'";
+        let reference = db.run_plan(&db.plan(q).unwrap().plan);
+        let got = db.query(q).map(|r| r.rows);
+        prop_assert_eq!(got, reference);
+    }
+}
+
+/// The documented divergence (see `optimize`'s module docs): a residual
+/// conjunct whose evaluation would error is never run on rows the
+/// index key excludes — the probe returns its (possibly empty) bucket
+/// result where the scan reference errors row-wise. Pinned here so a
+/// future change to residual handling is a conscious one.
+#[test]
+fn residual_errors_on_excluded_rows_are_skipped_by_the_index() {
+    let mut db = fresh_db();
+    db.execute("INSERT INTO t VALUES (1, 0, 'x')").unwrap();
+    // v = 'x' is an incomparable-type comparison on every row; k = 2
+    // matches no row, so the index path never evaluates it.
+    let q = "SELECT * FROM t WHERE v = 'x' AND k = 2";
+    assert!(db.physical_plan(q).unwrap().uses_index());
+    assert_eq!(
+        db.query(q).unwrap().rows,
+        Vec::<Vec<hippo_engine::Value>>::new()
+    );
+    assert!(
+        db.run_plan(&db.plan(q).unwrap().plan).is_err(),
+        "the scan reference evaluates the residual on the stored row and errors"
+    );
+}

@@ -12,6 +12,8 @@ use std::fmt;
 pub enum Statement {
     /// `CREATE TABLE name (col type, ..., PRIMARY KEY (...))`
     CreateTable(CreateTable),
+    /// `CREATE INDEX [IF NOT EXISTS] name ON table (col, ...)`
+    CreateIndex(CreateIndex),
     /// `DROP TABLE [IF EXISTS] name`
     DropTable {
         /// Table to drop.
@@ -39,6 +41,21 @@ pub enum Statement {
     },
     /// Any query (`SELECT ...` possibly under set operations).
     Select(Query),
+}
+
+/// `CREATE INDEX` definition: a named secondary hash index over a fixed
+/// column set. The engine's optimizer rewrites equality predicates on
+/// the indexed columns into `IndexLookup` access paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    /// Index name (normalised; unique within the target table).
+    pub name: String,
+    /// Table the index is built over.
+    pub table: String,
+    /// Indexed column names, in index-key order.
+    pub columns: Vec<String>,
+    /// `IF NOT EXISTS` was given.
+    pub if_not_exists: bool,
 }
 
 /// `CREATE TABLE` definition.

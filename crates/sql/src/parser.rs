@@ -176,7 +176,11 @@ impl Parser {
                 Ok(s)
             }
             // A few keywords double as common column names in practice.
-            TokenKind::Keyword(kw @ (Keyword::Key | Keyword::Values | Keyword::Left)) => {
+            // `INDEX` is only meaningful directly after `CREATE`, so it
+            // stays usable as a plain identifier everywhere else.
+            TokenKind::Keyword(
+                kw @ (Keyword::Key | Keyword::Values | Keyword::Left | Keyword::Index),
+            ) => {
                 self.bump();
                 Ok(kw.text().to_ascii_lowercase())
             }
@@ -188,7 +192,7 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement, ParseError> {
         match self.peek() {
-            TokenKind::Keyword(Keyword::Create) => self.create_table(),
+            TokenKind::Keyword(Keyword::Create) => self.create(),
             TokenKind::Keyword(Keyword::Drop) => self.drop_table(),
             TokenKind::Keyword(Keyword::Insert) => self.insert(),
             TokenKind::Keyword(Keyword::Delete) => self.delete(),
@@ -200,8 +204,44 @@ impl Parser {
         }
     }
 
-    fn create_table(&mut self) -> Result<Statement, ParseError> {
+    fn create(&mut self) -> Result<Statement, ParseError> {
         self.expect_kw(Keyword::Create)?;
+        if self.at_kw(Keyword::Index) {
+            return self.create_index();
+        }
+        self.create_table()
+    }
+
+    fn create_index(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw(Keyword::Index)?;
+        let if_not_exists = if self.eat_kw(Keyword::If) {
+            self.expect_kw(Keyword::Not)?;
+            self.expect_kw(Keyword::Exists)?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        self.expect_kw(Keyword::On)?;
+        let table = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.ident()?);
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(Statement::CreateIndex(CreateIndex {
+            name,
+            table,
+            columns,
+            if_not_exists,
+        }))
+    }
+
+    fn create_table(&mut self) -> Result<Statement, ParseError> {
         self.expect_kw(Keyword::Table)?;
         let if_not_exists = if self.eat_kw(Keyword::If) {
             self.expect_kw(Keyword::Not)?;
@@ -522,7 +562,10 @@ impl Parser {
             return Ok(SelectItem::Wildcard);
         }
         // `alias.*`
-        if let TokenKind::Ident(_) | TokenKind::QuotedIdent(_) = self.peek() {
+        if let TokenKind::Ident(_)
+        | TokenKind::QuotedIdent(_)
+        | TokenKind::Keyword(Keyword::Index) = self.peek()
+        {
             if *self.peek_at(1) == TokenKind::Dot && *self.peek_at(2) == TokenKind::Star {
                 let q = self.ident()?;
                 self.bump(); // .
@@ -531,9 +574,16 @@ impl Parser {
             }
         }
         let expr = self.expr()?;
+        // Bare (AS-less) aliases accept `index` too — unlike the other
+        // identifier-fallback keywords it can never start a clause here
+        // (`LEFT` would swallow a following `LEFT JOIN`).
         let alias = if self.eat_kw(Keyword::As)
-            || matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_))
-        {
+            || matches!(
+                self.peek(),
+                TokenKind::Ident(_)
+                    | TokenKind::QuotedIdent(_)
+                    | TokenKind::Keyword(Keyword::Index)
+            ) {
             Some(self.ident()?)
         } else {
             None
@@ -587,9 +637,14 @@ impl Parser {
             });
         }
         let name = self.ident()?;
+        // Bare aliases accept `index` (see select_item's note).
         let alias = if self.eat_kw(Keyword::As)
-            || matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_))
-        {
+            || matches!(
+                self.peek(),
+                TokenKind::Ident(_)
+                    | TokenKind::QuotedIdent(_)
+                    | TokenKind::Keyword(Keyword::Index)
+            ) {
             Some(self.ident()?)
         } else {
             None
@@ -856,7 +911,8 @@ impl Parser {
             }
             TokenKind::Ident(_)
             | TokenKind::QuotedIdent(_)
-            | TokenKind::Keyword(Keyword::Key | Keyword::Values | Keyword::Left) => {
+            | TokenKind::Keyword(Keyword::Key | Keyword::Values | Keyword::Left | Keyword::Index) =>
+            {
                 let name = self.ident()?;
                 if self.eat(TokenKind::Dot) {
                     let col = self.ident()?;
@@ -954,6 +1010,43 @@ mod tests {
         };
         assert_eq!(ct.primary_key, vec!["id"]);
         assert!(ct.columns[0].not_null);
+    }
+
+    #[test]
+    fn parses_create_index() {
+        let stmt = parse_statement("CREATE INDEX emp_name ON emp (name, dept)").unwrap();
+        let Statement::CreateIndex(ci) = stmt else {
+            panic!("not a create index")
+        };
+        assert_eq!(ci.name, "emp_name");
+        assert_eq!(ci.table, "emp");
+        assert_eq!(ci.columns, vec!["name", "dept"]);
+        assert!(!ci.if_not_exists);
+        let stmt = parse_statement("CREATE INDEX IF NOT EXISTS i ON t (a)").unwrap();
+        let Statement::CreateIndex(ci) = stmt else {
+            panic!()
+        };
+        assert!(ci.if_not_exists);
+        assert!(parse_statement("CREATE INDEX i ON t ()").is_err());
+        // `index` stays usable as a plain identifier outside CREATE:
+        // column refs, table names, bare aliases, qualified stars.
+        for sql in [
+            "SELECT index FROM t WHERE index = 1",
+            "SELECT * FROM index",
+            "SELECT * FROM t index",
+            "SELECT k index FROM t",
+            "SELECT index.* FROM t AS index",
+        ] {
+            assert!(
+                matches!(parse_statement(sql), Ok(Statement::Select(_))),
+                "{sql}"
+            );
+        }
+        let stmt = parse_statement("CREATE TABLE t (index INT)").unwrap();
+        let Statement::CreateTable(ct) = stmt else {
+            panic!()
+        };
+        assert_eq!(ct.columns[0].name, "index");
     }
 
     #[test]

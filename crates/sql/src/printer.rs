@@ -40,6 +40,23 @@ pub fn print_statement(stmt: &Statement) -> String {
             }
             s.push(')');
         }
+        Statement::CreateIndex(ci) => {
+            let _ = write!(s, "CREATE INDEX ");
+            if ci.if_not_exists {
+                let _ = write!(s, "IF NOT EXISTS ");
+            }
+            let _ = write!(
+                s,
+                "{} ON {} ({})",
+                ident(&ci.name),
+                ident(&ci.table),
+                ci.columns
+                    .iter()
+                    .map(|c| ident(c))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
         Statement::DropTable { name, if_exists } => {
             let _ = write!(
                 s,
@@ -451,6 +468,8 @@ mod tests {
     #[test]
     fn roundtrip_ddl_dml() {
         roundtrip_stmt("CREATE TABLE t (a INT NOT NULL, b TEXT, PRIMARY KEY (a))");
+        roundtrip_stmt("CREATE INDEX t_a ON t (a)");
+        roundtrip_stmt("CREATE INDEX IF NOT EXISTS t_ab ON t (a, b)");
         roundtrip_stmt("DROP TABLE IF EXISTS t");
         roundtrip_stmt("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)");
         roundtrip_stmt("INSERT INTO t SELECT * FROM u");

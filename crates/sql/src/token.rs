@@ -156,6 +156,7 @@ keywords! {
     Having => "HAVING",
     If => "IF",
     In => "IN",
+    Index => "INDEX",
     Inner => "INNER",
     Insert => "INSERT",
     Int => "INT",
