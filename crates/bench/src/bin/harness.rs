@@ -1,7 +1,7 @@
 //! Experiment harness: regenerates every table/figure of the reproduction.
 //!
 //! Usage:
-//!   harness [--quick] [--json PATH] [all|d1|d2|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11]...
+//!   harness [--quick] [--json PATH] [all|d1|d2|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12]...
 //!
 //! With no experiment arguments, runs everything. `--quick` shrinks
 //! workload sizes (used in CI and on laptops; the full sizes match
@@ -69,6 +69,7 @@ fn main() {
     run("e9", &ex::e9_prover);
     run("e10", &ex::e10_base_mode);
     run("e11", &ex::e11_index_probes);
+    run("e12", &ex::e12_governance);
 
     if let Some(path) = json_path {
         let json = render_json(quick, &tables);

@@ -1,0 +1,338 @@
+//! Resource governance and deterministic fault injection for the
+//! answer pipeline.
+//!
+//! The engine crate owns the raw mechanism ([`Budget`], [`CancelHandle`]
+//! — re-exported here); this module owns the **policy**: how one
+//! `consistent_answers` call bundles its budget with an optional
+//! [`FaultPlan`] into a [`Governance`] handle, how the pipeline's stages
+//! consult it, and what a budget trip produces — a structured
+//! `EngineError` in strict mode, or a sound-but-partial
+//! [`ConsistentAnswer`] carrying a [`Completeness`] marker in degraded
+//! mode.
+//!
+//! # Stages
+//!
+//! Checkpoints are identified by stage name, in pipeline order:
+//!
+//! | stage        | where it is checked                                     |
+//! |--------------|---------------------------------------------------------|
+//! | `detect`     | conflict-detection shard loops (`detect.rs`)            |
+//! | `envelope`   | the candidate query's executor loops (engine `exec.rs`) |
+//! | `corefilter` | the core-filter probe (`corefilter.rs`)                 |
+//! | `membership` | base-mode membership probing (`kg.rs`)                  |
+//! | `prover`     | the per-candidate prover shard loops (`hippo.rs`)       |
+//!
+//! Detection trips are **always strict errors**: an incomplete conflict
+//! hypergraph would make the prover unsound, so there is no partial
+//! result to degrade to. Every later stage can degrade — whatever was
+//! fully proved before the trip is consistent in its own right
+//! (answer-set monotonicity over candidate prefixes), so the degraded
+//! answer set is always a subset of the complete one.
+//!
+//! # Fault injection
+//!
+//! A [`FaultPlan`] deterministically forces a panic, an injected delay
+//! or a budget trip at one `(stage, shard)` checkpoint. Plans fire **at
+//! most once** (an atomic latch), so a test can inject a panic, observe
+//! the structured failure, and immediately re-run the same call to
+//! verify the system stayed usable. Plans come from the
+//! `HIPPO_FAULT=stage:shard:kind` environment variable (shard `*` = any
+//! shard; kind `panic`, `trip`, or `delay<ms>`) via
+//! [`FaultPlan::from_env`], or programmatically via [`FaultPlan::new`]
+//! — tests prefer the API because environment mutation is racy under a
+//! multi-threaded test harness. The plan is only ever consulted through
+//! a [`Governance`] the caller opted into; an exported `HIPPO_FAULT`
+//! does not affect `Hippo` instances that did not ask for it.
+
+use hippo_engine::EngineError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use hippo_engine::{Budget, CancelHandle, ErrorKind, CHECK_STRIDE};
+
+/// How complete a [`ConsistentAnswer`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every candidate was decided: the full consistent answer set.
+    Complete,
+    /// The budget ran out (or the call was cancelled) at the named
+    /// stage: the rows are a **sound subset** of the complete answer
+    /// set — everything present was fully proved — but candidates left
+    /// undecided at the cut may be missing.
+    TruncatedAt(&'static str),
+}
+
+impl Completeness {
+    /// Is this the complete answer set?
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completeness::Complete)
+    }
+}
+
+/// A consistent-answer result that knows how complete it is: the rows,
+/// a [`Completeness`] marker, and the run's exact statistics (including
+/// the governance counters `budget_checks` / `cancelled_shards`).
+#[derive(Debug, Clone)]
+pub struct ConsistentAnswer {
+    /// Sorted, deduplicated answer rows. With
+    /// [`Completeness::TruncatedAt`], a sound subset of the complete
+    /// answer set.
+    pub rows: Vec<hippo_engine::Row>,
+    /// Whether every candidate was decided.
+    pub completeness: Completeness,
+    /// Run statistics.
+    pub stats: crate::hippo::AnswerStats,
+}
+
+/// What an injected fault does when its checkpoint is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic on the worker that hits the checkpoint (exercises panic
+    /// containment: other shards drain, the call fails structurally,
+    /// the system stays usable).
+    Panic,
+    /// Sleep for the given duration (exercises deadline trips at a
+    /// chosen point instead of wherever the clock happens to land).
+    Delay(Duration),
+    /// Force the call's budget to report exhaustion (exercises the
+    /// strict/degraded trip paths without any timing dependence).
+    BudgetTrip,
+}
+
+/// A deterministic, fire-at-most-once fault: a [`FaultKind`] armed at
+/// one `(stage, shard)` checkpoint.
+#[derive(Debug)]
+pub struct FaultPlan {
+    stage: String,
+    /// `None` = any shard (the first checkpoint reached fires).
+    shard: Option<usize>,
+    kind: FaultKind,
+    fired: AtomicBool,
+}
+
+impl FaultPlan {
+    /// Arm a fault at `(stage, shard)`; `shard = None` matches any shard.
+    pub fn new(stage: impl Into<String>, shard: Option<usize>, kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            stage: stage.into(),
+            shard,
+            kind,
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// Parse a `stage:shard:kind` spec (shard `*` = any; kind `panic`,
+    /// `trip`, or `delay<ms>`). Returns `None` on malformed input.
+    pub fn parse(spec: &str) -> Option<FaultPlan> {
+        let mut parts = spec.splitn(3, ':');
+        let stage = parts.next()?.trim();
+        let shard = parts.next()?.trim();
+        let kind = parts.next()?.trim();
+        if stage.is_empty() {
+            return None;
+        }
+        let shard = if shard == "*" {
+            None
+        } else {
+            Some(shard.parse::<usize>().ok()?)
+        };
+        let kind = match kind {
+            "panic" => FaultKind::Panic,
+            "trip" => FaultKind::BudgetTrip,
+            k => {
+                let ms = k.strip_prefix("delay")?.parse::<u64>().ok()?;
+                FaultKind::Delay(Duration::from_millis(ms))
+            }
+        };
+        Some(FaultPlan::new(stage, shard, kind))
+    }
+
+    /// Read a plan from the `HIPPO_FAULT` environment variable, if set
+    /// and well-formed. Only callers that thread the result into their
+    /// options are affected — the variable is never consulted
+    /// implicitly.
+    pub fn from_env() -> Option<FaultPlan> {
+        std::env::var("HIPPO_FAULT").ok().and_then(|s| {
+            let plan = FaultPlan::parse(&s);
+            if plan.is_none() {
+                eprintln!("HIPPO_FAULT: ignoring malformed spec {s:?}");
+            }
+            plan
+        })
+    }
+
+    /// Has the fault fired already? (Plans fire at most once.)
+    pub fn has_fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Consume the fault if `(stage, shard)` matches and it has not
+    /// fired yet.
+    fn try_fire(&self, stage: &str, shard: usize) -> Option<FaultKind> {
+        if self.stage != stage || self.shard.is_some_and(|s| s != shard) {
+            return None;
+        }
+        if self.fired.swap(true, Ordering::Relaxed) {
+            return None;
+        }
+        Some(self.kind)
+    }
+}
+
+/// The per-call governance bundle every pipeline stage consults: an
+/// optional shared [`Budget`], an optional [`FaultPlan`], and the
+/// strict/degraded policy switch. `Governance::default()` is the
+/// zero-cost ungoverned call — every checkpoint is a single
+/// `Option::None` branch.
+#[derive(Debug, Clone, Default)]
+pub struct Governance {
+    /// The call's budget (deadline / row limit / cancellation), if any.
+    pub budget: Option<Arc<Budget>>,
+    /// Armed fault, if any (tests, CI smoke legs).
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Degraded mode: absorb budget/cancellation trips after detection
+    /// into a truncated [`ConsistentAnswer`] instead of erroring.
+    pub degraded: bool,
+}
+
+impl Governance {
+    /// Is any governance (budget or fault plan) attached at all?
+    pub fn active(&self) -> bool {
+        self.budget.is_some() || self.faults.is_some()
+    }
+
+    /// Borrow the budget for engine entry points that take
+    /// `Option<&Budget>`.
+    pub fn budget_ref(&self) -> Option<&Budget> {
+        self.budget.as_deref()
+    }
+
+    /// Fire the armed fault if this `(stage, shard)` checkpoint matches:
+    /// panic, sleep, or budget-trip error.
+    pub fn fault_point(&self, stage: &'static str, shard: usize) -> Result<(), EngineError> {
+        if let Some(plan) = &self.faults {
+            if let Some(kind) = plan.try_fire(stage, shard) {
+                match kind {
+                    FaultKind::Panic => panic!("injected fault: panic at {stage}:{shard}"),
+                    FaultKind::Delay(d) => std::thread::sleep(d),
+                    FaultKind::BudgetTrip => {
+                        if let Some(b) = &self.budget {
+                            b.force_trip();
+                        }
+                        return Err(EngineError::budget(stage, 0, 0));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One full budget check (no-op without a budget).
+    pub fn check(&self, stage: &'static str) -> Result<(), EngineError> {
+        match &self.budget {
+            Some(b) => b.check(stage),
+            None => Ok(()),
+        }
+    }
+
+    /// Strided budget check for hot loops (no-op without a budget).
+    #[inline]
+    pub fn tick(&self, counter: &mut u32, stage: &'static str) -> Result<(), EngineError> {
+        match &self.budget {
+            Some(b) => b.tick(counter, stage),
+            None => Ok(()),
+        }
+    }
+
+    /// Fault point plus full budget check — the standard shard-entry
+    /// checkpoint.
+    pub fn checkpoint(&self, stage: &'static str, shard: usize) -> Result<(), EngineError> {
+        self.fault_point(stage, shard)?;
+        self.check(stage)
+    }
+}
+
+/// The stage a governance error tripped at (from its [`ErrorKind`]);
+/// `"unknown"` for non-governance errors.
+pub fn trip_stage(e: &EngineError) -> &'static str {
+    match e.kind {
+        ErrorKind::Budget { stage, .. } | ErrorKind::Cancelled { stage } => stage,
+        _ => "unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_specs() {
+        let p = FaultPlan::parse("prover:7:panic").unwrap();
+        assert_eq!(
+            (p.stage.as_str(), p.shard, p.kind),
+            ("prover", Some(7), FaultKind::Panic)
+        );
+        let p = FaultPlan::parse("detect:*:trip").unwrap();
+        assert_eq!((p.shard, p.kind), (None, FaultKind::BudgetTrip));
+        let p = FaultPlan::parse("membership:0:delay25").unwrap();
+        assert_eq!(p.kind, FaultKind::Delay(Duration::from_millis(25)));
+        for bad in [
+            "",
+            "prover",
+            "prover:7",
+            "prover:x:panic",
+            "prover:7:boom",
+            ":0:panic",
+        ] {
+            assert!(FaultPlan::parse(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn faults_fire_at_most_once_and_only_where_armed() {
+        let p = FaultPlan::new("prover", Some(7), FaultKind::BudgetTrip);
+        assert!(p.try_fire("prover", 3).is_none(), "wrong shard");
+        assert!(p.try_fire("detect", 7).is_none(), "wrong stage");
+        assert!(!p.has_fired());
+        assert_eq!(p.try_fire("prover", 7), Some(FaultKind::BudgetTrip));
+        assert!(p.has_fired());
+        assert!(p.try_fire("prover", 7).is_none(), "one-shot");
+    }
+
+    #[test]
+    fn wildcard_shard_fires_on_first_checkpoint() {
+        let p = FaultPlan::new("corefilter", None, FaultKind::BudgetTrip);
+        assert_eq!(p.try_fire("corefilter", 11), Some(FaultKind::BudgetTrip));
+        assert!(p.try_fire("corefilter", 0).is_none());
+    }
+
+    #[test]
+    fn governance_trip_forces_budget_exhaustion() {
+        let gov = Governance {
+            budget: Some(Arc::new(Budget::new())),
+            faults: Some(Arc::new(FaultPlan::new(
+                "prover",
+                None,
+                FaultKind::BudgetTrip,
+            ))),
+            degraded: false,
+        };
+        let err = gov.checkpoint("prover", 2).unwrap_err();
+        assert!(err.is_budget());
+        assert_eq!(trip_stage(&err), "prover");
+        // The budget itself is now tripped: later checks fail too.
+        assert!(gov.check("prover").unwrap_err().is_budget());
+    }
+
+    #[test]
+    fn ungoverned_checkpoints_are_noops() {
+        let gov = Governance::default();
+        assert!(!gov.active());
+        gov.checkpoint("prover", 0).unwrap();
+        let mut c = 0;
+        for _ in 0..1000 {
+            gov.tick(&mut c, "prover").unwrap();
+        }
+    }
+}

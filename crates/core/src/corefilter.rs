@@ -111,6 +111,39 @@ pub fn core_filter_set(q: &SjudQuery, catalog: &Catalog, g: &ConflictHypergraph)
     }
 }
 
+/// [`core_filter_set`] under per-call governance: the scratch-database
+/// SQL evaluation runs with the call's budget (stage `"corefilter"`),
+/// the fault checkpoint fires first, and the direct-eval fallback
+/// charges its materialised rows. A *governance* trip propagates — it
+/// must not silently fall back to an ungoverned evaluation — while any
+/// other SQL-path error still falls back exactly like the ungoverned
+/// entry point.
+pub fn core_filter_set_governed(
+    q: &SjudQuery,
+    catalog: &Catalog,
+    g: &ConflictHypergraph,
+    gov: &crate::budget::Governance,
+) -> Result<FxHashSet<Row>, hippo_engine::EngineError> {
+    if !gov.active() {
+        return Ok(core_filter_set(q, catalog, g));
+    }
+    gov.checkpoint("corefilter", 0)?;
+    match core_filter_via_sql_governed(q, catalog, g, gov.budget_ref()) {
+        Ok(rows) => Ok(rows.into_iter().collect()),
+        Err(e) if e.is_governance() => Err(e),
+        Err(_) => {
+            let core = crate::repair::core_instance(catalog, g);
+            let full = |rel: &str| catalog.table(rel).map(|t| t.rows()).unwrap_or_default();
+            let rows = eval_filter(q, &core, &full);
+            if let Some(b) = gov.budget_ref() {
+                b.charge_rows(rows.len() as u64);
+                b.check("corefilter")?;
+            }
+            Ok(rows.into_iter().collect())
+        }
+    }
+}
+
 /// Direct (nested-loop) evaluation over instance views — the reference
 /// implementation the SQL path is checked against in tests.
 pub fn core_filter_direct(q: &SjudQuery, catalog: &Catalog, g: &ConflictHypergraph) -> Vec<Row> {
@@ -130,6 +163,19 @@ pub fn core_filter_via_sql(
     catalog: &Catalog,
     g: &ConflictHypergraph,
 ) -> Result<Vec<Row>, hippo_engine::EngineError> {
+    core_filter_via_sql_governed(q, catalog, g, None)
+}
+
+/// [`core_filter_via_sql`] with an optional budget: the scratch query
+/// executes under it (stage `"corefilter"`), so a long-running filter
+/// join observes deadlines and row budgets cooperatively. `None` takes
+/// the exact ungoverned path.
+pub fn core_filter_via_sql_governed(
+    q: &SjudQuery,
+    catalog: &Catalog,
+    g: &ConflictHypergraph,
+    budget: Option<&hippo_engine::Budget>,
+) -> Result<Vec<Row>, hippo_engine::EngineError> {
     use hippo_engine::Database;
     let core = crate::repair::core_instance(catalog, g);
     let mut scratch = Database::new();
@@ -146,7 +192,7 @@ pub fn core_filter_via_sql(
     }
     let filter_query = filter_expression(q);
     let sql = filter_query.to_sql(scratch.catalog())?;
-    let mut rows = scratch.query(&sql)?.rows;
+    let mut rows = scratch.query_governed(&sql, budget, "corefilter")?.rows;
     rows.sort();
     rows.dedup();
     Ok(rows)

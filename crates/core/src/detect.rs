@@ -266,7 +266,8 @@ pub fn detect_conflicts_with(
     opts: &DetectOptions,
 ) -> Result<(ConflictHypergraph, DetectStats), EngineError> {
     let start = Instant::now();
-    let (mut g, mut stats, _) = detect_core(catalog, constraints, opts, false)?;
+    let gov = crate::budget::Governance::default();
+    let (mut g, mut stats, _) = detect_core(catalog, constraints, opts, false, &gov)?;
     // Compact adjacency into CSR form: construction is over, the prover
     // only reads from here on.
     g.finalize();
@@ -282,20 +283,28 @@ pub fn detect_conflicts_with(
 pub(crate) fn detect_unfinalized_with_index(
     catalog: &Catalog,
     constraints: &[DenialConstraint],
+    gov: &crate::budget::Governance,
 ) -> Result<(ConflictHypergraph, DetectStats, DetectIndex), EngineError> {
-    let (g, stats, index) = detect_core(catalog, constraints, &DetectOptions::default(), true)?;
+    let (g, stats, index) =
+        detect_core(catalog, constraints, &DetectOptions::default(), true, gov)?;
     Ok((g, stats, index.expect("index requested")))
 }
 
 /// Full detection that additionally returns the [`DetectIndex`] the
 /// incremental redetection path needs (finalized graph).
+///
+/// Detection under governance is always **strict**: a budget trip here
+/// surfaces as an error even when the caller is in degraded mode,
+/// because an incomplete conflict hypergraph would make the prover
+/// *unsound* rather than merely incomplete.
 pub(crate) fn detect_with_index(
     catalog: &Catalog,
     constraints: &[DenialConstraint],
     opts: &DetectOptions,
+    gov: &crate::budget::Governance,
 ) -> Result<(ConflictHypergraph, DetectStats, DetectIndex), EngineError> {
     let start = Instant::now();
-    let (mut g, mut stats, index) = detect_core(catalog, constraints, opts, true)?;
+    let (mut g, mut stats, index) = detect_core(catalog, constraints, opts, true, gov)?;
     g.finalize();
     stats.elapsed = start.elapsed();
     Ok((g, stats, index.expect("index requested")))
@@ -306,6 +315,7 @@ fn detect_core(
     constraints: &[DenialConstraint],
     opts: &DetectOptions,
     want_index: bool,
+    gov: &crate::budget::Governance,
 ) -> Result<(ConflictHypergraph, DetectStats, Option<DetectIndex>), EngineError> {
     let start = Instant::now();
     let threads = opts.resolved_threads();
@@ -322,7 +332,7 @@ fn detect_core(
     for (ci, c) in constraints.iter().enumerate() {
         if let Some((rel, lhs, rhs)) = as_fd(c) {
             let groups = detect_fd(
-                catalog, &mut g, ci, &rel, &lhs, rhs, threads, shards, want_index, &mut stats,
+                catalog, &mut g, ci, &rel, &lhs, rhs, threads, shards, want_index, &mut stats, gov,
             )?;
             if let Some(ix) = index.as_mut() {
                 ix.fd.push(Some(FdIndex {
@@ -334,7 +344,7 @@ fn detect_core(
                 ix.general.push(None);
             }
         } else {
-            detect_general(catalog, &mut g, ci, c, threads, shards, &mut stats)?;
+            detect_general(catalog, &mut g, ci, c, threads, shards, &mut stats, gov)?;
             if let Some(ix) = index.as_mut() {
                 ix.fd.push(None);
                 // Built lazily by the first incremental redetect: a
@@ -427,6 +437,7 @@ fn detect_fd(
     shards: usize,
     want_index: bool,
     stats: &mut DetectStats,
+    gov: &crate::budget::Governance,
 ) -> Result<Option<FxHashMap<u64, Vec<TupleId>>>, EngineError> {
     let table = catalog.table(rel)?;
     let ri = g.intern(rel);
@@ -442,7 +453,8 @@ fn detect_fd(
     // hash itself; pairs re-verify LHS equality, which also neutralises
     // collisions) and emit an edge per RHS-disagreeing same-LHS pair.
     let chunks = parallel::split_ranges(table.slot_count(), threads);
-    let (_bins, outs): (Vec<Vec<Vec<HashedTuple>>>, Vec<FdShardOut>) = parallel::run_fused(
+    type FdShardRes<'a> = Result<FdShardOut<'a>, EngineError>;
+    let (_bins, outs): (Vec<Vec<Vec<HashedTuple>>>, Vec<FdShardRes>) = parallel::run_fused(
         chunks.len(),
         shards,
         threads,
@@ -460,6 +472,11 @@ fn detect_fd(
             by_shard
         },
         |s, bins| {
+            // Governance: checkpoint at shard start (fault-injection
+            // point `("detect", s)`), strided budget ticks in the pair
+            // loop. Trips surface as errors — detection is always
+            // strict (see `detect_with_index`).
+            gov.checkpoint("detect", s)?;
             let n: usize = bins.iter().map(|chunk| chunk[s].len()).sum();
             let mut groups: FxHashMap<u64, Vec<(TupleId, &Row)>> =
                 FxHashMap::with_capacity_and_hasher(n, Default::default());
@@ -471,6 +488,7 @@ fn detect_fd(
             let mut frag = EdgeFragment::new();
             let mut combinations = 0;
             let mut emitted = 0;
+            let mut work = 0u32;
             for group in groups.values() {
                 if group.len() < 2 {
                     continue;
@@ -478,6 +496,7 @@ fn detect_fd(
                 for (i, &(tid_a, row_a)) in group.iter().enumerate() {
                     for &(tid_b, row_b) in group.iter().skip(i + 1) {
                         combinations += 1;
+                        gov.tick(&mut work, "detect")?;
                         if lhs.iter().any(|&c| row_a[c] != row_b[c]) {
                             continue; // hash collision, not a real group-mate
                         }
@@ -501,12 +520,12 @@ fn detect_fd(
                     }
                 }
             }
-            FdShardOut {
+            Ok(FdShardOut {
                 frag,
                 combinations,
                 emitted,
                 groups,
-            }
+            })
         },
     );
     // Deterministic merge: shard order, exact stat sums. Shards
@@ -514,6 +533,7 @@ fn detect_fd(
     let mut index =
         want_index.then(|| FxHashMap::with_capacity_and_hasher(table.len(), Default::default()));
     for out in outs {
+        let out = out?;
         stats.combinations_checked += out.combinations;
         stats.edges_emitted += out.emitted;
         g.absorb_fragment(&out.frag);
@@ -576,6 +596,7 @@ fn build_general_plan<'a>(
 /// every full satisfying assignment as an edge into `frag`. Returns
 /// `(combinations, emitted)`. (Delta passes no longer go through here —
 /// they seed from the changed tuples via [`general_delta_insert`].)
+#[allow(clippy::too_many_arguments)]
 fn run_general_join<'a>(
     c: &DenialConstraint,
     rels: &[u32],
@@ -584,14 +605,17 @@ fn run_general_join<'a>(
     ci: usize,
     outer: &[(TupleId, &'a Row)],
     frag: &mut EdgeFragment<'a>,
-) -> (usize, usize) {
+    gov: &crate::budget::Governance,
+) -> Result<(usize, usize), EngineError> {
     let mut combinations = 0usize;
     let mut emitted = 0usize;
+    let mut work = 0u32;
     // Bind atoms left to right; each partial assignment is a prefix of
     // (tuple id, row) bindings. Atom 0 is seeded from `outer`.
     let mut current: Vec<Vec<(TupleId, &Row)>> = Vec::new();
     for &(tid, row) in outer {
         combinations += 1;
+        gov.tick(&mut work, "detect")?;
         let assign = vec![(tid, row)];
         if partial_condition_ok(c, &assign) {
             current.push(assign);
@@ -613,6 +637,7 @@ fn run_general_join<'a>(
                 if let Some(matches) = ix.get(&key) {
                     for &(tid, row) in matches {
                         combinations += 1;
+                        gov.tick(&mut work, "detect")?;
                         let mut a = assign.clone();
                         a.push((tid, row));
                         if partial_condition_ok(c, &a) {
@@ -626,6 +651,7 @@ fn run_general_join<'a>(
             for assign in &current {
                 for (tid, row) in tables[atom_idx].iter() {
                     combinations += 1;
+                    gov.tick(&mut work, "detect")?;
                     let mut a = assign.clone();
                     a.push((tid, row));
                     if partial_condition_ok(c, &a) {
@@ -648,13 +674,14 @@ fn run_general_join<'a>(
             .collect();
         frag.push_edge(&vertices, &rows, ci);
     }
-    (combinations, emitted)
+    Ok((combinations, emitted))
 }
 
 /// Sharded general-denial detection: contiguous outer-atom slot ranges,
 /// one fragment per range, merged in range order (which reproduces the
 /// sequential assignment enumeration order exactly, for any shard
 /// count).
+#[allow(clippy::too_many_arguments)]
 fn detect_general(
     catalog: &Catalog,
     g: &mut ConflictHypergraph,
@@ -663,26 +690,29 @@ fn detect_general(
     threads: usize,
     shards: usize,
     stats: &mut DetectStats,
+    gov: &crate::budget::Governance,
 ) -> Result<(), EngineError> {
     let rels: Vec<u32> = c.atoms.iter().map(|r| g.intern(r)).collect();
     let (tables, steps) = build_general_plan(catalog, c)?;
     let outer_table = tables[0];
     let ranges = parallel::split_ranges(outer_table.slot_count(), shards);
-    let outs: Vec<(EdgeFragment, usize, usize)> =
-        parallel::run_indexed(ranges.len(), threads, |i| {
-            let (lo, hi) = ranges[i];
-            let outer: Vec<(TupleId, &Row)> = (lo..hi)
-                .filter_map(|slot| {
-                    let tid = TupleId(slot as u32);
-                    outer_table.get(tid).map(|row| (tid, row))
-                })
-                .collect();
-            let mut frag = EdgeFragment::new();
-            let (combinations, emitted) =
-                run_general_join(c, &rels, &tables, &steps, ci, &outer, &mut frag);
-            (frag, combinations, emitted)
-        });
-    for (frag, combinations, emitted) in outs {
+    type GenShardRes<'a> = Result<(EdgeFragment<'a>, usize, usize), EngineError>;
+    let outs: Vec<GenShardRes> = parallel::run_indexed(ranges.len(), threads, |i| {
+        gov.checkpoint("detect", i)?;
+        let (lo, hi) = ranges[i];
+        let outer: Vec<(TupleId, &Row)> = (lo..hi)
+            .filter_map(|slot| {
+                let tid = TupleId(slot as u32);
+                outer_table.get(tid).map(|row| (tid, row))
+            })
+            .collect();
+        let mut frag = EdgeFragment::new();
+        let (combinations, emitted) =
+            run_general_join(c, &rels, &tables, &steps, ci, &outer, &mut frag, gov)?;
+        Ok((frag, combinations, emitted))
+    });
+    for out in outs {
+        let (frag, combinations, emitted) = out?;
         stats.combinations_checked += combinations;
         stats.edges_emitted += emitted;
         g.absorb_fragment(&frag);

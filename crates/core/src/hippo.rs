@@ -1,9 +1,23 @@
-//! The Hippo system facade: the data flow of the paper's Figure 1.
+//! The Hippo system facade: the data flow of the paper's Figure 1,
+//! with the resource-governance checkpoints (`◆`) each governed call
+//! passes through (see [`crate::budget`]):
 //!
 //! ```text
 //! Query ──▶ Enveloping ──▶ Candidates(SQL) ──▶ Evaluation (RDBMS) ──▶ Prover ──▶ Answer Set
+//!                              ◆ "envelope"       ◆ "corefilter"   ◆ "prover" / "membership"
 //! IC, DB ──▶ Conflict Detection ──▶ Conflict Hypergraph (main memory) ──▶ Prover
+//!               ◆ "detect" (always strict)
 //! ```
+//!
+//! A checkpoint is a no-op unless the call's [`HippoOptions`] configure
+//! a deadline, row budget, cancellation handle or fault plan. When one
+//! trips, strict mode (the default) returns a structured
+//! [`EngineError`] naming the stage; degraded mode
+//! ([`HippoOptions::degraded`]) returns the sound subset proved so far,
+//! marked [`Completeness::TruncatedAt`] — except during detection,
+//! which is always strict (an incomplete conflict hypergraph would make
+//! every later prover verdict unsound, so there is no sound partial
+//! answer to fall back on).
 //!
 //! [`Hippo::new`] performs conflict detection once; each
 //! [`Hippo::consistent_answers`] run envelopes the query, evaluates the
@@ -24,23 +38,25 @@
 //! mirrors detection's shard → merge design, in **every** mode:
 //!
 //! ```text
-//!                 candidates (one envelope evaluation)
+//!                 candidates (one envelope evaluation)  ◆ "envelope"
 //!                         │ split_ranges → PROVER_SHARDS fixed slices
 //!        ┌────────────┬───┴────────┬────────────┐
 //!        ▼            ▼            ▼            ▼        workers:
 //!   ┌─ shard 0 ─┐┌─ shard 1 ─┐        …   ┌─ shard 15 ─┐ HIPPO_PROVER_THREADS
-//!   │ dedup     ││           │             │            │
-//!   │ core probe││   (same)  │             │   (same)   │
-//!   │ flags:    ││           │             │            │
+//!   │ ◆ entry   ││           │             │            │ (panic-isolated:
+//!   │ dedup     ││   (same)  │             │   (same)   │  a crash poisons
+//!   │ core probe││           │             │            │  one slot, the
+//!   │ flags:    ││           │             │            │  siblings drain)
 //!   │  KG: rows ││           │             │            │
 //!   │  base:    │→ one frozen DbSnapshot Arc, prepared ←│
 //!   │  prepared │   physical probes (IndexLookup: O(1)
-//!   │  probes   │   hash-bucket per fact), memoized
+//!   │  probes ◆ │   hash-bucket per fact), memoized     ◆ "membership"
 //!   │ sig cache ││           │             │            │
-//!   │ prover    ││           │             │            │
-//!   └────┬──────┘└────┬──────┘             └────┬───────┘
+//!   │ prover  ◆ ││           │             │            │ ◆ strided tick
+//!   └────┬──────┘└────┬──────┘             └────┬───────┘   per candidate
 //!        └────────────┴─── merge in shard order┴──▶ answers + stats
 //!                          └▶ fresh verdicts → persistent cache
+//!                             (skipped if any shard failed/cancelled)
 //! ```
 //!
 //! There is **no serial prefix beyond candidate collection**: dedup,
@@ -90,8 +106,9 @@
 //! database any other way ([`Hippo::db_mut`]) marks the catalog dirty
 //! and the next `redetect` falls back to a full sharded rebuild.
 
+use crate::budget::{trip_stage, Budget, CancelHandle, Completeness, ConsistentAnswer, Governance};
 use crate::constraint::DenialConstraint;
-use crate::corefilter::core_filter_set;
+use crate::corefilter::core_filter_set_governed;
 use crate::detect::{
     build_gen_index, detect_with_index, fd_delta_delete, fd_delta_insert, general_delta_insert,
     DetectIndex, DetectOptions, DetectStats,
@@ -116,9 +133,37 @@ use std::time::{Duration, Instant};
 /// for any `HIPPO_PROVER_THREADS` setting.
 pub const PROVER_SHARDS: usize = 16;
 
+/// Optimization switches plus per-call resource governance.
+#[derive(Debug, Clone, Default)]
+pub struct GovernanceOptions {
+    /// Wall-clock deadline per governed call.
+    pub deadline: Option<Duration>,
+    /// Row budget per governed call (rows materialised/visited across
+    /// all stages).
+    pub row_budget: Option<u64>,
+    /// Degraded mode: on budget exhaustion return the sound subset
+    /// proved so far (with [`crate::budget::Completeness::TruncatedAt`])
+    /// instead of an error. Detection stays strict regardless — an
+    /// incomplete conflict hypergraph would make the prover unsound.
+    pub degraded: bool,
+    /// Cancellation flag shared with callers via
+    /// [`HippoOptions::cancel_handle`]; only armed (and only then does
+    /// it create a budget) once that handle has been taken.
+    cancel: CancelHandle,
+    cancel_armed: bool,
+    /// Deterministic fault injection (tests / CI only).
+    faults: Option<Arc<crate::budget::FaultPlan>>,
+}
+
 /// Optimization switches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct HippoOptions {
+    /// Per-call resource governance (deadline, row budget, cancellation,
+    /// degraded mode, fault injection). Default: ungoverned — no budget
+    /// object is created and every stage runs exactly the ungoverned
+    /// code path, so answers *and stats* are bit-identical to a build
+    /// without governance.
+    pub governance: GovernanceOptions,
     /// Prefetch membership flags in the envelope query (knowledge
     /// gathering) instead of issuing per-check SQL queries.
     pub knowledge_gathering: bool,
@@ -150,6 +195,7 @@ impl HippoOptions {
     /// Base system: no optimizations.
     pub fn base() -> Self {
         HippoOptions {
+            governance: GovernanceOptions::default(),
             knowledge_gathering: false,
             core_filter: false,
             prover_threads: 0,
@@ -196,11 +242,92 @@ impl HippoOptions {
         self
     }
 
+    /// Bound every governed call's wall-clock time. On exhaustion the
+    /// call returns a structured `Budget` error (strict, the default)
+    /// or the sound subset proved so far ([`HippoOptions::degraded`]).
+    pub fn with_deadline(mut self, limit: Duration) -> Self {
+        self.governance.deadline = Some(limit);
+        self
+    }
+
+    /// Bound the rows a governed call may materialise/visit across all
+    /// stages (envelope evaluation, membership probes, prover loops).
+    pub fn with_row_budget(mut self, rows: u64) -> Self {
+        self.governance.row_budget = Some(rows);
+        self
+    }
+
+    /// Degraded mode: a budget trip in the answer pipeline yields
+    /// `Ok` with the sound subset proved so far and
+    /// [`crate::budget::Completeness::TruncatedAt`] naming the stage,
+    /// instead of an error. Conflict detection stays strict even here.
+    pub fn degraded(mut self) -> Self {
+        self.governance.degraded = true;
+        self
+    }
+
+    /// Install a deterministic fault plan (tests / CI): the plan's
+    /// fault fires **once** at its stage/shard checkpoint, then the
+    /// plan is spent — later calls run clean.
+    pub fn with_faults(mut self, plan: crate::budget::FaultPlan) -> Self {
+        self.governance.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// A handle that cancels any in-flight (or future) governed call on
+    /// these options from another thread. Taking the handle arms
+    /// cancellation: subsequent calls create a budget and check the
+    /// flag cooperatively. The flag is sticky until
+    /// [`CancelHandle::reset`].
+    pub fn cancel_handle(&mut self) -> CancelHandle {
+        self.governance.cancel_armed = true;
+        self.governance.cancel.clone()
+    }
+
+    /// Whether the installed fault plan (if any) has fired. A plan
+    /// pinned to a stage/shard checkpoint that a call never reaches
+    /// stays unfired — tests use this to tell "the fault degraded the
+    /// answer" apart from "the fault was never hit".
+    pub fn governance_faults_fired(&self) -> bool {
+        self.governance
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.has_fired())
+    }
+
     fn resolved_prover_threads(&self) -> usize {
         if self.prover_threads == 0 {
             parallel::prover_threads()
         } else {
             self.prover_threads
+        }
+    }
+
+    /// Materialise the per-call [`Governance`]. Ungoverned options
+    /// (no deadline, row budget, armed cancellation or fault plan)
+    /// return an inactive governance whose checks compile to no-ops —
+    /// that call takes exactly the pre-governance code path.
+    pub(crate) fn governance(&self) -> Governance {
+        let g = &self.governance;
+        let governed =
+            g.deadline.is_some() || g.row_budget.is_some() || g.cancel_armed || g.faults.is_some();
+        if !governed {
+            return Governance::default();
+        }
+        let mut budget = Budget::new();
+        if let Some(limit) = g.deadline {
+            budget = budget.with_deadline(limit);
+        }
+        if let Some(rows) = g.row_budget {
+            budget = budget.with_row_limit(rows);
+        }
+        if g.cancel_armed {
+            budget = budget.with_cancel_flag(g.cancel.clone());
+        }
+        Governance {
+            budget: Some(Arc::new(budget)),
+            faults: g.faults.clone(),
+            degraded: g.degraded,
         }
     }
 }
@@ -250,6 +377,14 @@ pub struct AnswerStats {
     pub scan_probes: usize,
     /// Consistent answers produced.
     pub answers: usize,
+    /// Full budget checks performed across every governed stage and
+    /// shard (`0` on ungoverned calls — no budget object exists).
+    pub budget_checks: u64,
+    /// Prover shards that stopped early on a budget trip (degraded
+    /// mode); their accepted-so-far prefix is still sound.
+    pub cancelled_shards: usize,
+    /// The call ran in degraded mode (whether or not it truncated).
+    pub degraded: bool,
     /// Time enveloping + evaluating candidates.
     pub t_envelope: Duration,
     /// Time in the core filter.
@@ -299,7 +434,17 @@ impl fmt::Display for AnswerStats {
             self.index_probes,
             self.scan_probes,
             self.t_total.as_secs_f64() * 1e3,
-        )
+        )?;
+        if self.budget_checks > 0 || self.degraded {
+            write!(
+                f,
+                " budget_checks={} cancelled_shards={}{}",
+                self.budget_checks,
+                self.cancelled_shards,
+                if self.degraded { " degraded" } else { "" },
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -374,8 +519,22 @@ impl Hippo {
     /// Build the system: validates constraints and performs conflict
     /// detection (Figure 1's lower path).
     pub fn new(db: Database, constraints: Vec<DenialConstraint>) -> Result<Hippo, EngineError> {
+        Hippo::with_options(db, constraints, HippoOptions::default())
+    }
+
+    /// Build with explicit options. Construction-time conflict detection
+    /// runs under the options' governance (strictly — a budget trip or
+    /// injected detect fault surfaces as an error even in degraded mode,
+    /// since an incomplete hypergraph would make every later answer
+    /// unsound).
+    pub fn with_options(
+        db: Database,
+        constraints: Vec<DenialConstraint>,
+        options: HippoOptions,
+    ) -> Result<Hippo, EngineError> {
+        let gov = options.governance();
         let (graph, detect_stats, index) =
-            detect_with_index(db.catalog(), &constraints, &DetectOptions::default())?;
+            detect_with_index(db.catalog(), &constraints, &DetectOptions::default(), &gov)?;
         Ok(Hippo {
             db,
             constraints,
@@ -387,19 +546,8 @@ impl Hippo {
             pending: Vec::new(),
             catalog_dirty: false,
             verdict_cache: Mutex::new(VerdictCache::default()),
-            options: HippoOptions::default(),
+            options,
         })
-    }
-
-    /// Build with explicit options.
-    pub fn with_options(
-        db: Database,
-        constraints: Vec<DenialConstraint>,
-        options: HippoOptions,
-    ) -> Result<Hippo, EngineError> {
-        let mut h = Hippo::new(db, constraints)?;
-        h.options = options;
-        Ok(h)
     }
 
     /// The underlying database (read access).
@@ -561,37 +709,56 @@ impl Hippo {
     /// foreign-key orphan edges when configured), discarding any
     /// recorded pending changes.
     pub fn redetect_full(&mut self) -> Result<DetectStats, EngineError> {
-        if self.foreign_keys.is_empty() {
-            let (graph, stats, index) = detect_with_index(
-                self.db.catalog(),
-                &self.constraints,
-                &DetectOptions::default(),
-            )?;
-            self.graph = graph;
-            self.detect_stats = stats;
-            self.detect_index = Some(index);
-        } else {
-            let start = Instant::now();
-            let (mut graph, mut stats, index) =
-                crate::detect::detect_unfinalized_with_index(self.db.catalog(), &self.constraints)?;
-            self.fk_indexes.clear();
-            for (i, fk) in self.foreign_keys.iter().enumerate() {
-                let added = crate::inclusion::orphan_edges(
-                    &mut graph,
-                    self.db.catalog(),
-                    fk,
-                    self.constraints.len() + i,
-                )?;
-                stats.edges_emitted += added;
-                self.fk_indexes
-                    .push(crate::inclusion::FkIndex::build(self.db.catalog(), fk)?);
+        // Compute everything into locals first and assign only on full
+        // success: a failure (or a worker panic, contained below) leaves
+        // the previous graph, stats, detect index and FK indexes exactly
+        // as they were — the system stays usable and `catalog_dirty`
+        // still forces a fresh rebuild on the next attempt.
+        let gov = self.options.governance();
+        let db = &self.db;
+        let constraints = &self.constraints;
+        let foreign_keys = &self.foreign_keys;
+        type Computed = (
+            ConflictHypergraph,
+            DetectStats,
+            DetectIndex,
+            Vec<crate::inclusion::FkIndex>,
+        );
+        let compute = || -> Result<Computed, EngineError> {
+            if foreign_keys.is_empty() {
+                let (graph, stats, index) =
+                    detect_with_index(db.catalog(), constraints, &DetectOptions::default(), &gov)?;
+                Ok((graph, stats, index, Vec::new()))
+            } else {
+                let start = Instant::now();
+                let (mut graph, mut stats, index) =
+                    crate::detect::detect_unfinalized_with_index(db.catalog(), constraints, &gov)?;
+                let mut fk_indexes = Vec::with_capacity(foreign_keys.len());
+                for (i, fk) in foreign_keys.iter().enumerate() {
+                    let added = crate::inclusion::orphan_edges(
+                        &mut graph,
+                        db.catalog(),
+                        fk,
+                        constraints.len() + i,
+                    )?;
+                    stats.edges_emitted += added;
+                    fk_indexes.push(crate::inclusion::FkIndex::build(db.catalog(), fk)?);
+                }
+                graph.finalize();
+                stats.elapsed = start.elapsed();
+                Ok((graph, stats, index, fk_indexes))
             }
-            graph.finalize();
-            stats.elapsed = start.elapsed();
-            self.graph = graph;
-            self.detect_stats = stats;
-            self.detect_index = Some(index);
-        }
+        };
+        let (graph, stats, index, fk_indexes) = std::panic::catch_unwind(
+            std::panic::AssertUnwindSafe(compute),
+        )
+        .map_err(|payload| {
+            EngineError::worker_panic("detect", 0, &parallel::panic_message(payload.as_ref()))
+        })??;
+        self.graph = graph;
+        self.detect_stats = stats;
+        self.detect_index = Some(index);
+        self.fk_indexes = fk_indexes;
         self.pending.clear();
         self.catalog_dirty = false;
         self.invalidate_verdicts();
@@ -629,6 +796,14 @@ impl Hippo {
             shards_used: 0,
             ..DetectStats::default()
         };
+        // Poison-on-entry: this path consumes the pending log and
+        // mutates the persistent detect/FK indexes in place, so an
+        // early `?` return (or a panic) would leave them inconsistent
+        // with the graph. Marking the catalog dirty *now* and clearing
+        // it only on success means any failed reconciliation forces the
+        // next `redetect` onto the full-rebuild path instead of
+        // silently reusing half-updated indexes.
+        self.catalog_dirty = true;
         let pending = std::mem::take(&mut self.pending);
         let DetectIndex { fd, general } = self
             .detect_index
@@ -918,6 +1093,7 @@ impl Hippo {
         self.invalidate_verdicts();
         stats.elapsed = start.elapsed();
         self.detect_stats = stats;
+        self.catalog_dirty = false; // reconciliation fully succeeded
         Ok(stats)
     }
 
@@ -952,8 +1128,9 @@ impl Hippo {
         }
         crate::inclusion::validate_restricted(&foreign_keys, &constraints, db.catalog())?;
         // Un-finalized: orphan edges are still coming; freeze once, below.
+        let gov = crate::budget::Governance::default();
         let (mut graph, mut detect_stats, index) =
-            crate::detect::detect_unfinalized_with_index(db.catalog(), &constraints)?;
+            crate::detect::detect_unfinalized_with_index(db.catalog(), &constraints, &gov)?;
         let mut fk_indexes = Vec::with_capacity(foreign_keys.len());
         for (i, fk) in foreign_keys.iter().enumerate() {
             let added = crate::inclusion::orphan_edges(
@@ -982,8 +1159,13 @@ impl Hippo {
     }
 
     /// Compute the consistent answers to `query`. Returns sorted rows.
+    ///
+    /// When the options carry a budget ([`HippoOptions::with_deadline`]
+    /// etc.) this is the strict governed call: a trip surfaces as a
+    /// structured error. Degraded callers who want the partial result
+    /// use [`Hippo::consistent_answers_governed`].
     pub fn consistent_answers(&self, query: &SjudQuery) -> Result<Vec<Row>, EngineError> {
-        Ok(self.consistent_answers_with_stats(query)?.0)
+        Ok(self.consistent_answers_governed(query)?.rows)
     }
 
     /// Compute the consistent answers to a SQL `SELECT` (see
@@ -1010,33 +1192,100 @@ impl Hippo {
         &self,
         query: &SjudQuery,
     ) -> Result<(Vec<Row>, AnswerStats), EngineError> {
+        let a = self.consistent_answers_governed(query)?;
+        Ok((a.rows, a.stats))
+    }
+
+    /// The governed entry point: compute consistent answers under the
+    /// options' resource budget and report how complete the result is.
+    ///
+    /// * Ungoverned options (the default): identical to
+    ///   [`Hippo::consistent_answers_with_stats`] — no budget object is
+    ///   even created, every stage runs the exact pre-governance path,
+    ///   and the result is [`Completeness::Complete`].
+    /// * Governed, **strict** (default mode): a deadline / row-budget /
+    ///   cancellation trip anywhere in the pipeline returns
+    ///   `Err` with kind `Budget { stage, spent, limit }` or
+    ///   `Cancelled { stage }`.
+    /// * Governed, **degraded** ([`HippoOptions::degraded`]): a trip
+    ///   yields `Ok` with the *sound subset* proved before the trip and
+    ///   [`Completeness::TruncatedAt`] naming the stage — an
+    ///   envelope/core-filter trip truncates to the empty set, a
+    ///   prover-stage trip keeps every candidate fully proved before
+    ///   the budget ran out (each stopped shard counts in
+    ///   [`AnswerStats::cancelled_shards`]).
+    ///
+    /// A worker panic in the prover stage is contained either way: the
+    /// sibling shards drain, the error is `WorkerPanic { stage, shard }`,
+    /// no partial merge happens, and this `Hippo` (including its
+    /// persistent verdict cache) stays fully usable.
+    pub fn consistent_answers_governed(
+        &self,
+        query: &SjudQuery,
+    ) -> Result<ConsistentAnswer, EngineError> {
+        let gov = self.options.governance();
+        self.answers_pipeline(query, &gov)
+    }
+
+    fn answers_pipeline(
+        &self,
+        query: &SjudQuery,
+        gov: &Governance,
+    ) -> Result<ConsistentAnswer, EngineError> {
         let t0 = Instant::now();
-        let mut stats = AnswerStats::default();
+        let mut stats = AnswerStats {
+            degraded: gov.degraded,
+            ..AnswerStats::default()
+        };
         let arity = query.validate(self.db.catalog())?;
         let template = MembershipTemplate::build(query, self.db.catalog())?;
         let env = envelope(query);
 
         // ---- Enveloping + Evaluation ----
         let te = Instant::now();
-        let (candidates, flags) = if self.options.knowledge_gathering {
-            let sql_q = extended_envelope_sql(&env, &template, self.db.catalog())?;
-            let sql = hippo_sql::print_query(&sql_q);
-            let rows = self.db.query(&sql)?.rows;
-            let gathered = split_gathered(rows, arity, template.literals.len());
-            (gathered.candidates, Some(gathered.flags))
-        } else {
-            let sql = env.to_sql(self.db.catalog())?;
-            (self.db.query(&sql)?.rows, None)
+        let env_res: Result<_, EngineError> = (|| {
+            gov.checkpoint("envelope", 0)?;
+            if self.options.knowledge_gathering {
+                let sql_q = extended_envelope_sql(&env, &template, self.db.catalog())?;
+                let sql = hippo_sql::print_query(&sql_q);
+                let rows = self
+                    .db
+                    .query_governed(&sql, gov.budget_ref(), "envelope")?
+                    .rows;
+                let gathered = split_gathered(rows, arity, template.literals.len());
+                Ok((gathered.candidates, Some(gathered.flags)))
+            } else {
+                let sql = env.to_sql(self.db.catalog())?;
+                let rows = self
+                    .db
+                    .query_governed(&sql, gov.budget_ref(), "envelope")?
+                    .rows;
+                Ok((rows, None))
+            }
+        })();
+        let (candidates, flags) = match env_res {
+            Ok(v) => v,
+            Err(e) if gov.degraded && e.is_governance() => {
+                return Ok(truncated(stats, &e, gov, t0));
+            }
+            Err(e) => return Err(e),
         };
         stats.candidates = candidates.len();
         stats.t_envelope = te.elapsed();
 
         // ---- Core filter (optional): compute the accepting set ----
         let tf = Instant::now();
-        let filtered: Option<FxHashSet<Row>> = self
-            .options
-            .core_filter
-            .then(|| core_filter_set(query, self.db.catalog(), &self.graph));
+        let filtered: Option<FxHashSet<Row>> = if self.options.core_filter {
+            match core_filter_set_governed(query, self.db.catalog(), &self.graph, gov) {
+                Ok(set) => Some(set),
+                Err(e) if gov.degraded && e.is_governance() => {
+                    return Ok(truncated(stats, &e, gov, t0));
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            None
+        };
         stats.t_filter = tf.elapsed();
 
         // ---- Sharded answer stage ----
@@ -1075,16 +1324,47 @@ impl Hippo {
             use_cache,
             index_probes: self.options.index_probes,
             persistent: persistent.as_deref(),
+            gov,
         };
-        let outs = parallel::run_indexed(shards.len(), threads, |si| {
-            prove_shard(&input, shards[si].0, shards[si].1)
+        // Panic-isolating runner: a panicking shard poisons only its
+        // slot; every sibling drains. The first failure — in shard
+        // order, panic or error alike — is surfaced *after* the drain,
+        // and the merge (including the verdict-cache write-back) is
+        // skipped entirely, so the `Hippo` and its caches stay valid.
+        let outs = parallel::run_indexed_isolated(shards.len(), threads, |si| {
+            prove_shard(&input, si, shards[si].0, shards[si].1)
         });
         // Deterministic merge: shard order, exact stat sums.
         stats.shards_used = shards.len();
         let mut answers: Vec<Row> = Vec::new();
         let mut fresh: Vec<(Vec<u64>, bool)> = Vec::new();
+        let mut verdicts: Vec<ShardVerdicts> = Vec::with_capacity(outs.len());
+        let mut first_err: Option<EngineError> = None;
         for out in outs {
-            let out = out?;
+            match out {
+                Err(p) => {
+                    if first_err.is_none() {
+                        first_err = Some(EngineError::worker_panic("prover", p.task, &p.message));
+                    }
+                }
+                Ok(Err(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                Ok(Ok(v)) => verdicts.push(v),
+            }
+        }
+        if let Some(e) = first_err {
+            if gov.degraded && e.is_governance() {
+                return Ok(truncated(stats, &e, gov, t0));
+            }
+            return Err(e);
+        }
+        for out in verdicts {
+            if out.cancelled {
+                stats.cancelled_shards += 1;
+            }
             stats.prover = merge(stats.prover, out.stats);
             stats.prover_calls += out.prover_calls;
             stats.prover_cache_hits += out.cache_hits;
@@ -1123,8 +1403,43 @@ impl Hippo {
         answers.sort();
         answers.dedup();
         stats.answers = answers.len();
+        if let Some(b) = gov.budget_ref() {
+            stats.budget_checks = b.checks();
+        }
         stats.t_total = t0.elapsed();
-        Ok((answers, stats))
+        let completeness = if stats.cancelled_shards > 0 {
+            Completeness::TruncatedAt("prover")
+        } else {
+            Completeness::Complete
+        };
+        Ok(ConsistentAnswer {
+            rows: answers,
+            completeness,
+            stats,
+        })
+    }
+}
+
+/// Degraded-mode truncation: finalize the stats collected so far and
+/// wrap the (empty — nothing proved yet) answer set with the tripped
+/// stage. Prover-stage truncation takes the partial path in
+/// `answers_pipeline` instead; this is for trips before any candidate
+/// was proved.
+fn truncated(
+    mut stats: AnswerStats,
+    e: &EngineError,
+    gov: &Governance,
+    t0: Instant,
+) -> ConsistentAnswer {
+    stats.degraded = true;
+    if let Some(b) = gov.budget_ref() {
+        stats.budget_checks = b.checks();
+    }
+    stats.t_total = t0.elapsed();
+    ConsistentAnswer {
+        rows: Vec::new(),
+        completeness: Completeness::TruncatedAt(trip_stage(e)),
+        stats,
     }
 }
 
@@ -1148,29 +1463,73 @@ struct ShardInput<'a> {
     index_probes: bool,
     /// Cross-call verdicts proved by earlier runs on this graph.
     persistent: Option<&'a FxHashMap<Vec<u64>, bool>>,
+    /// The call's governance (inactive on ungoverned calls: every
+    /// check is a no-op and the shard runs the pre-governance path).
+    gov: &'a Governance,
 }
 
 /// Decide the candidate slice `lo..hi`: dedup (shard-local), probe the
 /// core filter, resolve membership flags (prefetched in KG mode,
 /// memoized snapshot SQL in base mode), then decide by signature cache
 /// or prover run. Runs on a worker thread; mutates nothing shared.
-fn prove_shard(input: &ShardInput<'_>, lo: usize, hi: usize) -> Result<ShardVerdicts, EngineError> {
+///
+/// Governance: the shard checkpoints at entry (fault-injection point
+/// `("prover", si)`) and ticks the budget per candidate. In degraded
+/// mode a trip sets [`ShardVerdicts::cancelled`] and returns the
+/// accepted-so-far prefix — every accepted candidate was fully proved,
+/// so the prefix is sound; in strict mode the trip is returned as an
+/// error.
+fn prove_shard(
+    input: &ShardInput<'_>,
+    si: usize,
+    lo: usize,
+    hi: usize,
+) -> Result<ShardVerdicts, EngineError> {
+    let mut out = ShardVerdicts::default();
+    if let Err(e) = input.gov.checkpoint("prover", si) {
+        if input.gov.degraded && e.is_governance() {
+            out.cancelled = true;
+            return Ok(out);
+        }
+        return Err(e);
+    }
     let mut prover = Prover::new(input.graph, input.template);
     let mut local: FxHashMap<Vec<u64>, bool> = FxHashMap::default();
     let mut sig: Vec<u64> = Vec::new();
     let mut seen: FxHashSet<&Row> =
         FxHashSet::with_capacity_and_hasher(hi - lo, Default::default());
     let mut sql = match input.snapshot {
-        Some(s) => Some(MemoSqlMembership::new(
-            s,
-            input.template,
-            input.index_probes,
-        )?),
+        Some(s) => Some(
+            MemoSqlMembership::new(s, input.template, input.index_probes)?
+                .with_budget(input.gov.budget_ref()),
+        ),
         None => None,
     };
     let mut flag_buf: Vec<bool> = Vec::new();
-    let mut out = ShardVerdicts::default();
+    // Cooperative per-candidate checkpoint, flattened by hand: one
+    // local increment and a predicted branch per candidate; every
+    // CHECK_STRIDE candidates the locally-accumulated row charges are
+    // flushed to the shared budget and one full check runs. Charging
+    // the shared atomic per candidate would ping-pong the budget's
+    // cache line across worker threads (and costs ~10% of this loop
+    // even single-threaded).
+    let budget = input.gov.budget_ref();
+    let mut work = 0u32;
+    let mut pending_rows = 0u64;
     for i in lo..hi {
+        work = work.wrapping_add(1);
+        if work & (crate::budget::CHECK_STRIDE - 1) == 0 {
+            if let Some(b) = budget {
+                b.charge_rows(std::mem::take(&mut pending_rows));
+                if let Err(e) = b.check("prover") {
+                    if input.gov.degraded && e.is_governance() {
+                        out.cancelled = true;
+                        break;
+                    }
+                    return Err(e);
+                }
+            }
+        }
         let cand = &input.candidates[i];
         if !seen.insert(cand) {
             continue; // duplicate candidate within the shard
@@ -1183,15 +1542,29 @@ fn prove_shard(input: &ShardInput<'_>, lo: usize, hi: usize) -> Result<ShardVerd
             }
         }
         out.prover_calls += 1;
+        pending_rows += 1;
         // Membership flags: prefetched (KG) or gathered through the
-        // shard's memoized snapshot-SQL probe (base).
+        // shard's memoized snapshot-SQL probe (base). A governance trip
+        // inside the probe (stage "membership") cancels the shard in
+        // degraded mode — the candidate was not decided, so it is not
+        // counted or accepted.
         let cand_flags: &[bool] = match input.flags {
             Some(fl) => &fl[i],
             None => {
-                sql.as_mut()
-                    .expect("base mode carries a snapshot")
-                    .gather_flags(cand, &mut flag_buf)?;
-                &flag_buf
+                let gather = input.gov.fault_point("membership", si).and_then(|()| {
+                    sql.as_mut()
+                        .expect("base mode carries a snapshot")
+                        .gather_flags(cand, &mut flag_buf)
+                });
+                match gather {
+                    Ok(()) => &flag_buf,
+                    Err(e) if input.gov.degraded && e.is_governance() => {
+                        out.prover_calls -= 1;
+                        out.cancelled = true;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         };
         let ok = if input.use_cache {
@@ -1220,6 +1593,9 @@ fn prove_shard(input: &ShardInput<'_>, lo: usize, hi: usize) -> Result<ShardVerd
         if ok {
             out.accepted.push(i as u32);
         }
+    }
+    if let Some(b) = budget {
+        b.charge_rows(pending_rows);
     }
     out.stats = prover.stats;
     if let Some(sql) = sql {
@@ -1259,6 +1635,9 @@ struct ShardVerdicts {
     index_probes: usize,
     /// Base mode: executed probes that ran as sequential scans.
     scan_probes: usize,
+    /// Degraded mode: this shard stopped early on a budget trip; its
+    /// accepted list is the sound prefix proved before the trip.
+    cancelled: bool,
 }
 
 fn merge(a: ProverRunStats, b: ProverRunStats) -> ProverRunStats {
@@ -1338,7 +1717,7 @@ mod tests {
             HippoOptions::full(),
         ] {
             let db = emp_db(&rows);
-            let hippo = Hippo::with_options(db, fd(), opts).unwrap();
+            let hippo = Hippo::with_options(db, fd(), opts.clone()).unwrap();
             let truth_graph = hippo.graph();
             for q in queries() {
                 let got = hippo.consistent_answers(&q).unwrap();

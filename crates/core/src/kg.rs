@@ -365,6 +365,10 @@ pub struct MemoSqlMembership<'a> {
     pub index_probes: usize,
     /// Executed probes whose access path was a sequential scan.
     pub scan_probes: usize,
+    /// Per-call budget governing the probe executions (stage
+    /// `"membership"`); `None` on ungoverned calls — the probes then
+    /// run the exact pre-governance path.
+    budget: Option<&'a hippo_engine::Budget>,
 }
 
 impl<'a> MemoSqlMembership<'a> {
@@ -392,7 +396,16 @@ impl<'a> MemoSqlMembership<'a> {
             memo_hits: 0,
             index_probes: 0,
             scan_probes: 0,
+            budget: None,
         })
+    }
+
+    /// Govern this gatherer's probe executions: each executed probe
+    /// charges its result rows against `budget` and checks it under the
+    /// `"membership"` stage label.
+    pub fn with_budget(mut self, budget: Option<&'a hippo_engine::Budget>) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Resolve every literal's membership flag for `candidate` into
@@ -427,10 +440,12 @@ impl<'a> MemoSqlMembership<'a> {
                     // sub-microsecond probe cost. The totals fold into
                     // the snapshot in one `record_prepared` call when
                     // the shard finishes (see `flush_backend_stats`).
-                    let b = !hippo_engine::exec::execute_physical_params(
+                    let b = !hippo_engine::exec::execute_physical_params_governed(
                         &probe.plan,
                         self.snapshot.catalog(),
                         &self.row_buf,
+                        self.budget,
+                        "membership",
                     )?
                     .is_empty();
                     memo.insert(self.row_buf.clone(), b);

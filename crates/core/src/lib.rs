@@ -25,6 +25,51 @@
 //!    facts in the envelope query) and [`corefilter`] (accept
 //!    provably-consistent tuples without the prover).
 //!
+//! # Resource governance: strict vs. degraded mode
+//!
+//! Every consistent-answer call can be governed by a per-call
+//! [`budget::Budget`] — a wall-clock deadline
+//! ([`hippo::HippoOptions::with_deadline`]), a row budget
+//! ([`hippo::HippoOptions::with_row_budget`]), and/or a cooperative
+//! cancellation flag ([`hippo::HippoOptions::cancel_handle`]) trippable
+//! from another thread. Each pipeline stage (detection, envelope
+//! evaluation, core filter, membership probing, the prover shards)
+//! checks the budget cooperatively at shard-loop granularity, so a
+//! governed call never hangs and never panics on exhaustion.
+//!
+//! What happens when the budget trips depends on the mode:
+//!
+//! * **Strict** (default): the call returns
+//!   `Err(`[`hippo_engine::EngineError`]`)` with a structured kind —
+//!   [`hippo_engine::ErrorKind::Budget`]`{stage, spent, limit}` or
+//!   [`hippo_engine::ErrorKind::Cancelled`]`{stage}` — naming the stage
+//!   that hit the wall. Nothing partial is returned.
+//! * **Degraded** ([`hippo::HippoOptions::degraded`]): the call returns
+//!   `Ok(`[`budget::ConsistentAnswer`]`)` carrying the **sound subset**
+//!   proved before the trip plus
+//!   [`budget::Completeness::TruncatedAt`]`(stage)`. Degradation is
+//!   always *sound*: every returned row is a true consistent answer
+//!   (the prover only accepts candidates it fully proved; a trip during
+//!   envelope/filter stages yields the empty — trivially sound — set).
+//!   Conflict detection is the one stage that stays strict even in
+//!   degraded mode: an incomplete conflict hypergraph would make the
+//!   prover *unsound*, not merely incomplete.
+//!
+//! The error taxonomy ([`hippo_engine::ErrorKind`]):
+//!
+//! * `General` — ordinary engine/validation errors (unknown relation,
+//!   arity mismatch, …);
+//! * `Budget { stage, spent, limit }` — deadline or row budget
+//!   exhausted, or exhaustion forced by fault injection;
+//! * `Cancelled { stage }` — the call's [`budget::CancelHandle`] was
+//!   tripped;
+//! * `WorkerPanic { stage, shard }` — a worker panicked; the panic is
+//!   contained to that call (sibling shards drain, caches stay valid,
+//!   the [`hippo::Hippo`] instance remains usable).
+//!
+//! Deterministic fault injection for tests and CI lives in
+//! [`budget::FaultPlan`] (`HIPPO_FAULT=stage:shard:kind`).
+//!
 //! Baselines for the paper's comparisons: [`rewrite`] (the
 //! Arenas–Bertossi–Chomicki query-rewriting method), [`naive`] (repair
 //! enumeration — the definitional semantics, exponential) and the
@@ -47,6 +92,7 @@
 //! ```
 
 pub mod aggregate;
+pub mod budget;
 pub mod constraint;
 pub mod corefilter;
 pub mod detect;
@@ -69,6 +115,9 @@ pub mod workload;
 /// Convenient re-exports of the main API surface.
 pub mod prelude {
     pub use crate::aggregate::{range_aggregate_fd, range_aggregate_naive, AggOp, AggRange};
+    pub use crate::budget::{
+        Budget, CancelHandle, Completeness, ConsistentAnswer, FaultKind, FaultPlan,
+    };
     pub use crate::constraint::{AttrRef, Comparison, DenialConstraint, Term};
     pub use crate::detect::{detect_conflicts, detect_conflicts_with, DetectOptions, DetectStats};
     pub use crate::envelope::envelope;

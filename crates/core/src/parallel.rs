@@ -106,6 +106,80 @@ where
     pairs.into_iter().map(|(_, t)| t).collect()
 }
 
+/// A panic caught from one task of [`run_indexed_isolated`]: the task
+/// index plus the panic payload's message (when it was a string).
+#[derive(Debug, Clone)]
+pub struct TaskPanic {
+    /// Index of the task whose closure panicked.
+    pub task: usize,
+    /// The panic message, or `"non-string panic payload"`.
+    pub message: String,
+}
+
+/// Extract a human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`run_indexed`], but a panicking task poisons **only its own
+/// slot**: every other task still runs to completion, and the caller
+/// receives `Err(TaskPanic)` in the panicked task's position instead of
+/// an unwinding thread. The inline (`threads ≤ 1`) path catches
+/// identically, so behaviour does not depend on the worker count.
+///
+/// This is the prover-shard contract: one bad candidate must not
+/// destroy the other 15 shards' work or leave the caller's state
+/// half-merged — the caller inspects the results, drains everything,
+/// and surfaces the first panic as a structured error.
+pub fn run_indexed_isolated<T, F>(tasks: usize, threads: usize, f: F) -> Vec<Result<T, TaskPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let run_one = |i: usize| -> Result<T, TaskPanic> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).map_err(|payload| {
+            TaskPanic {
+                task: i,
+                message: panic_message(payload.as_ref()),
+            }
+        })
+    };
+    let workers = threads.max(1).min(tasks);
+    if workers <= 1 {
+        return (0..tasks).map(run_one).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, Result<T, TaskPanic>)>> =
+        Mutex::new(Vec::with_capacity(tasks));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, Result<T, TaskPanic>)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks {
+                        break;
+                    }
+                    local.push((i, run_one(i)));
+                }
+                if !local.is_empty() {
+                    collected.lock().unwrap().extend(local);
+                }
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().unwrap();
+    debug_assert_eq!(pairs.len(), tasks);
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, t)| t).collect()
+}
+
 /// Run two dependent task lists in **one** thread scope: first
 /// `fa(0..a_tasks)`, then — after a barrier — `fb(0..b_tasks, &a)`,
 /// where `a` is the complete phase-A result vector in task order.
@@ -262,6 +336,57 @@ mod tests {
     fn zero_and_one_tasks() {
         assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
         assert_eq!(run_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn isolated_matches_run_indexed_when_nothing_panics() {
+        for threads in [1, 2, 4, 7] {
+            let got: Vec<usize> = run_indexed_isolated(20, threads, |i| i * i)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect();
+            let want: Vec<usize> = (0..20).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn isolated_panic_poisons_only_its_slot() {
+        for threads in [1, 2, 4] {
+            let got = run_indexed_isolated(16, threads, |i| {
+                if i == 7 {
+                    panic!("shard 7 failure");
+                }
+                i * 10
+            });
+            assert_eq!(got.len(), 16, "threads={threads}: every slot drained");
+            for (i, r) in got.iter().enumerate() {
+                if i == 7 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.task, 7);
+                    assert!(p.message.contains("shard 7 failure"), "{}", p.message);
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 10, "sibling {i} completed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_reports_every_panicking_task() {
+        let got = run_indexed_isolated(8, 4, |i| {
+            if i % 2 == 0 {
+                panic!("task {i}");
+            }
+            i
+        });
+        let failed: Vec<usize> = got
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_err())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(failed, vec![0, 2, 4, 6]);
     }
 
     #[test]

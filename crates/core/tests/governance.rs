@@ -1,0 +1,369 @@
+//! Integration tests for the resource-governance layer: deadlines, row
+//! budgets, cooperative cancellation, strict vs. degraded mode, panic
+//! isolation in the prover shard pool, and recovery after injected
+//! faults in every pipeline stage.
+//!
+//! The deterministic fault-injection hooks (`FaultPlan`) are one-shot:
+//! a plan fires at most once, so the same `Hippo` instance can be
+//! re-driven after the fault to prove the engine stays usable — no
+//! poisoned caches, no half-absorbed hypergraph state.
+
+use hippo_cqa::prelude::*;
+use hippo_engine::schema::ErrorKind;
+use hippo_engine::Database;
+use std::time::Duration;
+
+/// Seeded FD workload: `t(k, v, payload)` with `k -> v` violated on
+/// `conflict_rate` of the keys.
+fn workload(rows: usize, seed: u64) -> (Database, Vec<DenialConstraint>) {
+    let spec = FdTableSpec::new("t", rows, 0.05, seed);
+    let mut db = Database::new();
+    spec.populate(&mut db).unwrap();
+    (db, vec![spec.fd()])
+}
+
+/// The E9-style projection-free difference query: tuples of `t` minus
+/// the high-`v` slice. Keeps every base tuple a prover candidate.
+fn query() -> SjudQuery {
+    SjudQuery::rel("t").diff(SjudQuery::rel("t").select(Pred::cmp_const(2, CmpOp::Ge, 900i64)))
+}
+
+/// Reference (ungoverned) answer rows for a workload/query pair.
+fn reference_rows(rows: usize, seed: u64) -> Vec<hippo_engine::Row> {
+    let (db, cons) = workload(rows, seed);
+    let hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+    hippo.consistent_answers(&query()).unwrap()
+}
+
+/// `sub` must be a subset of the (sorted, deduped) `sup`.
+fn assert_subset(sub: &[hippo_engine::Row], sup: &[hippo_engine::Row]) {
+    for row in sub {
+        assert!(
+            sup.binary_search(row).is_ok(),
+            "degraded answer {row:?} is not in the complete answer set"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ungoverned calls: the governance layer must be invisible.
+// ---------------------------------------------------------------------
+
+#[test]
+fn ungoverned_calls_report_no_budget_accounting() {
+    let (db, cons) = workload(400, 11);
+    let hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+    let ans = hippo.consistent_answers_governed(&query()).unwrap();
+    assert!(ans.completeness.is_complete());
+    assert_eq!(ans.stats.budget_checks, 0, "no budget => no checks");
+    assert_eq!(ans.stats.cancelled_shards, 0);
+    assert!(!ans.stats.degraded);
+    assert_eq!(ans.rows, reference_rows(400, 11));
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: a 1ms deadline on the 16k E9 workload trips (never hangs
+// or panics), in strict and degraded mode, at 1 and 4 prover threads.
+// ---------------------------------------------------------------------
+
+#[test]
+fn millisecond_deadline_on_16k_workload_trips_strict() {
+    // Construct ungoverned (detection at build time is not the call
+    // under test), then arm the deadline for the answer call only.
+    let (db, cons) = workload(16_000, 84);
+    let mut hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+    for threads in [1usize, 4] {
+        hippo.options = HippoOptions::full()
+            .with_prover_threads(threads)
+            .with_deadline(Duration::from_millis(1));
+        let err = hippo
+            .consistent_answers_governed(&query())
+            .expect_err("1ms deadline over 16k rows must trip");
+        assert!(
+            err.is_budget(),
+            "expected a Budget error at threads={threads}, got {err:?}"
+        );
+        match err.kind {
+            ErrorKind::Budget { stage, .. } => assert!(
+                ["envelope", "corefilter", "membership", "prover"].contains(&stage),
+                "unexpected trip stage {stage}"
+            ),
+            ref k => panic!("expected Budget kind, got {k:?}"),
+        }
+    }
+}
+
+#[test]
+fn millisecond_deadline_on_16k_workload_degrades_soundly() {
+    let complete = reference_rows(16_000, 84);
+    let (db, cons) = workload(16_000, 84);
+    let mut hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+    for threads in [1usize, 4] {
+        hippo.options = HippoOptions::full()
+            .with_prover_threads(threads)
+            .with_deadline(Duration::from_millis(1))
+            .degraded();
+        let ans = hippo
+            .consistent_answers_governed(&query())
+            .expect("degraded mode absorbs the trip");
+        assert!(
+            !ans.completeness.is_complete(),
+            "1ms over 16k rows cannot complete (threads={threads})"
+        );
+        assert!(ans.stats.degraded);
+        assert!(ans.stats.budget_checks > 0);
+        assert_subset(&ans.rows, &complete);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Row budgets and cancellation.
+// ---------------------------------------------------------------------
+
+#[test]
+fn strict_row_budget_reports_stage_and_spend() {
+    let (db, cons) = workload(4_000, 29);
+    let mut hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+    hippo.options = HippoOptions::full().with_row_budget(64);
+    let err = hippo
+        .consistent_answers_governed(&query())
+        .expect_err("64-row budget over 4k rows must trip");
+    match err.kind {
+        ErrorKind::Budget { spent, limit, .. } => {
+            assert_eq!(limit, 64);
+            assert!(spent >= limit, "spent {spent} < limit {limit}");
+        }
+        ref k => panic!("expected Budget kind, got {k:?}"),
+    }
+}
+
+#[test]
+fn cancellation_trips_and_is_resettable() {
+    let (db, cons) = workload(300, 5);
+    let mut hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+    let mut opts = HippoOptions::full();
+    let handle = opts.cancel_handle();
+    hippo.options = opts;
+
+    handle.cancel();
+    let err = hippo
+        .consistent_answers_governed(&query())
+        .expect_err("cancelled before the call even starts");
+    assert!(err.is_cancelled(), "expected Cancelled, got {err:?}");
+
+    // Un-trip the flag: the very same instance answers normally.
+    handle.reset();
+    let ans = hippo.consistent_answers_governed(&query()).unwrap();
+    assert!(ans.completeness.is_complete());
+    assert_eq!(ans.rows, reference_rows(300, 5));
+}
+
+#[test]
+fn cancellation_in_degraded_mode_yields_truncated_answer() {
+    let (db, cons) = workload(300, 5);
+    let mut hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+    let mut opts = HippoOptions::full().degraded();
+    let handle = opts.cancel_handle();
+    hippo.options = opts;
+
+    handle.cancel();
+    let ans = hippo.consistent_answers_governed(&query()).unwrap();
+    assert!(!ans.completeness.is_complete());
+    assert!(
+        ans.rows.is_empty(),
+        "cancelled at envelope => nothing proved"
+    );
+    assert!(ans.stats.degraded);
+}
+
+// ---------------------------------------------------------------------
+// Satellite 3: prover-shard panic isolation. A panic in shard 7 of 16
+// surfaces as a structured WorkerPanic, the sibling shards drain, and
+// the same Hippo instance answers correctly on the next call.
+// ---------------------------------------------------------------------
+
+#[test]
+fn prover_shard_panic_is_isolated_and_recoverable() {
+    let complete = reference_rows(600, 42);
+    for threads in [1usize, 4] {
+        let (db, cons) = workload(600, 42);
+        let mut hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+        // 600 candidates >> 16, so split_ranges yields all 16 prover
+        // shards and shard 7 is guaranteed to exist.
+        hippo.options = HippoOptions::full()
+            .with_prover_threads(threads)
+            .with_faults(FaultPlan::new("prover", Some(7), FaultKind::Panic));
+
+        let err = hippo
+            .consistent_answers_governed(&query())
+            .expect_err("injected panic in shard 7 must surface");
+        match err.kind {
+            ErrorKind::WorkerPanic { stage, shard } => {
+                assert_eq!(stage, "prover", "threads={threads}");
+                assert_eq!(shard, 7, "threads={threads}");
+            }
+            ref k => panic!("expected WorkerPanic, got {k:?} (threads={threads})"),
+        }
+
+        // The one-shot plan is spent: the same instance — same verdict
+        // cache, same snapshot — must now answer correctly.
+        let ans = hippo.consistent_answers_governed(&query()).unwrap();
+        assert!(ans.completeness.is_complete(), "threads={threads}");
+        assert_eq!(ans.rows, complete, "recovery diverged at threads={threads}");
+    }
+}
+
+#[test]
+fn prover_shard_panic_in_degraded_mode_is_still_an_error() {
+    // Degraded mode absorbs *governance* trips (budget, cancel), not
+    // worker panics: a crash is not a resource decision.
+    let (db, cons) = workload(600, 42);
+    let mut hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+    hippo.options = HippoOptions::full().degraded().with_faults(FaultPlan::new(
+        "prover",
+        Some(3),
+        FaultKind::Panic,
+    ));
+    let err = hippo
+        .consistent_answers_governed(&query())
+        .expect_err("panics are never absorbed");
+    assert!(err.is_worker_panic(), "got {err:?}");
+}
+
+// ---------------------------------------------------------------------
+// Satellite 2: a panic inside detection must not leave a partially
+// absorbed hypergraph or stale stats behind — the instance recovers.
+// ---------------------------------------------------------------------
+
+#[test]
+fn detect_panic_during_redetect_leaves_hippo_usable() {
+    let (db, cons) = workload(500, 77);
+    let mut hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+    let edges_before = hippo.graph().edge_count();
+
+    // Dirty the catalog through the raw handle (forces a full rebuild),
+    // then arm a wildcard detect-stage panic.
+    hippo.db_mut();
+    hippo.options =
+        HippoOptions::full().with_faults(FaultPlan::new("detect", None, FaultKind::Panic));
+    let err = hippo.redetect().expect_err("injected detect panic");
+    match err.kind {
+        ErrorKind::WorkerPanic { stage, .. } => assert_eq!(stage, "detect"),
+        ref k => panic!("expected WorkerPanic, got {k:?}"),
+    }
+    // The failed rebuild must not have clobbered the old graph.
+    assert_eq!(hippo.graph().edge_count(), edges_before);
+
+    // The plan is spent; the catalog is still marked dirty, so this
+    // redetect performs the full rebuild that just failed — and the
+    // instance then answers exactly like a fresh one.
+    hippo.redetect().expect("recovery redetect");
+    let ans = hippo.consistent_answers_governed(&query()).unwrap();
+    assert!(ans.completeness.is_complete());
+    assert_eq!(ans.rows, reference_rows(500, 77));
+}
+
+#[test]
+fn detect_stage_trips_are_strict_even_in_degraded_mode() {
+    // An incomplete conflict hypergraph makes the prover unsound, so a
+    // budget trip during detection can never be absorbed into a
+    // degraded answer: construction itself fails, structurally.
+    let (db, cons) = workload(500, 13);
+    let res = Hippo::with_options(
+        db,
+        cons,
+        HippoOptions::full().degraded().with_faults(FaultPlan::new(
+            "detect",
+            None,
+            FaultKind::BudgetTrip,
+        )),
+    );
+    match res {
+        Ok(_) => panic!("detect-stage trip must refuse, even degraded"),
+        Err(err) => assert!(err.is_budget(), "got {err:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Injected budget trips in every answer-pipeline stage: strict mode
+// errors, degraded mode returns a sound truncated subset.
+// ---------------------------------------------------------------------
+
+#[test]
+fn budget_trip_in_each_stage_errors_in_strict_mode() {
+    for (stage, opts) in [
+        ("envelope", HippoOptions::full()),
+        ("corefilter", HippoOptions::full()),
+        ("prover", HippoOptions::full()),
+        // Membership probes only run in base mode (no prefetched flags).
+        ("membership", HippoOptions::base()),
+    ] {
+        let (db, cons) = workload(400, 99);
+        let mut hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+        hippo.options = opts.with_faults(FaultPlan::new(stage, None, FaultKind::BudgetTrip));
+        let err = hippo
+            .consistent_answers_governed(&query())
+            .expect_err("strict mode propagates the trip");
+        assert!(err.is_budget(), "stage {stage}: got {err:?}");
+    }
+}
+
+#[test]
+fn budget_trip_in_each_stage_degrades_to_sound_subset() {
+    let complete = reference_rows(400, 99);
+    for (stage, opts) in [
+        ("envelope", HippoOptions::full()),
+        ("corefilter", HippoOptions::full()),
+        ("prover", HippoOptions::full()),
+        ("membership", HippoOptions::base()),
+    ] {
+        let (db, cons) = workload(400, 99);
+        let mut hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+        hippo.options =
+            opts.degraded()
+                .with_faults(FaultPlan::new(stage, None, FaultKind::BudgetTrip));
+        let ans = hippo
+            .consistent_answers_governed(&query())
+            .unwrap_or_else(|e| panic!("stage {stage}: degraded mode must absorb, got {e:?}"));
+        assert!(
+            !ans.completeness.is_complete(),
+            "stage {stage}: a forced trip cannot complete"
+        );
+        assert!(ans.stats.degraded, "stage {stage}");
+        assert_subset(&ans.rows, &complete);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The HIPPO_FAULT environment hook parses to the same plans the API
+// builds — the CI fault-matrix leg drives injection through it.
+// ---------------------------------------------------------------------
+
+#[test]
+fn hippo_fault_env_var_round_trips() {
+    // Not set (or set to empty) => no plan.
+    std::env::remove_var("HIPPO_FAULT");
+    assert!(FaultPlan::from_env().is_none());
+
+    std::env::set_var("HIPPO_FAULT", "prover:2:panic");
+    let plan = FaultPlan::from_env().expect("well-formed spec parses");
+    std::env::remove_var("HIPPO_FAULT");
+
+    let (db, cons) = workload(600, 3);
+    let mut hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+    hippo.options = HippoOptions::full().with_faults(plan);
+    let err = hippo
+        .consistent_answers_governed(&query())
+        .expect_err("env-sourced plan injects like the API one");
+    match err.kind {
+        ErrorKind::WorkerPanic { stage, shard } => {
+            assert_eq!((stage, shard), ("prover", 2));
+        }
+        ref k => panic!("expected WorkerPanic, got {k:?}"),
+    }
+    // Spent plan: the instance recovers.
+    assert_eq!(
+        hippo.consistent_answers_governed(&query()).unwrap().rows,
+        reference_rows(600, 3)
+    );
+}

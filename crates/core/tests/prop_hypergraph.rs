@@ -212,7 +212,7 @@ fn option_levels_agree_on_seeded_workloads() {
         ] {
             let mut db = Database::new();
             spec.populate(&mut db).unwrap();
-            let hippo = Hippo::with_options(db, vec![spec.fd()], opts).unwrap();
+            let hippo = Hippo::with_options(db, vec![spec.fd()], opts.clone()).unwrap();
             let per_query: Vec<_> = queries
                 .iter()
                 .map(|q| hippo.consistent_answers(q).unwrap())

@@ -134,7 +134,7 @@ proptest! {
         let seq = Hippo::with_options(
             db_with(&t_rows, &s_rows),
             constraints(),
-            base.with_prover_threads(1),
+            base.clone().with_prover_threads(1),
         ).unwrap();
         let (ans_seq, st_seq) = seq.consistent_answers_with_stats(&q).unwrap();
 

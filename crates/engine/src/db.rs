@@ -187,6 +187,33 @@ impl Database {
     /// plan (access-path selection picks hash indexes where they cover
     /// the predicate) and execute.
     pub fn run_query_ast(&self, q: &hippo_sql::Query) -> Result<QueryResult, EngineError> {
+        self.run_query_ast_governed(q, None, "engine")
+    }
+
+    /// [`Database::query`] under an optional resource [`crate::budget::Budget`]:
+    /// the executor charges rows against it and unwinds with a
+    /// structured `Budget`/`Cancelled` error (reported as `stage`) when
+    /// it is exhausted. `budget = None` is exactly the ungoverned call.
+    pub fn query_governed(
+        &self,
+        sql: &str,
+        budget: Option<&crate::budget::Budget>,
+        stage: &'static str,
+    ) -> Result<QueryResult, EngineError> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(q) = stmt else {
+            return Err(EngineError::new("expected a SELECT statement"));
+        };
+        self.run_query_ast_governed(&q, budget, stage)
+    }
+
+    /// Governed core of [`Database::run_query_ast`].
+    pub fn run_query_ast_governed(
+        &self,
+        q: &hippo_sql::Query,
+        budget: Option<&crate::budget::Budget>,
+        stage: &'static str,
+    ) -> Result<QueryResult, EngineError> {
         self.bump_queries();
         let bound = bind_query(&self.catalog, q)?;
         let plan = optimize(bound.plan, &self.catalog)?;
@@ -194,10 +221,14 @@ impl Database {
         let (idx, scan) = plan.access_paths();
         self.bump_probes(idx, scan);
         let mut env = EvalEnv::new(&self.catalog);
-        let rows = execute_physical(&plan, &mut env)?;
+        if let Some(b) = budget {
+            env.set_budget(b, stage);
+        }
+        let rows = execute_physical(&plan, &mut env);
+        env.flush_budget();
         Ok(QueryResult {
             columns: bound.columns,
-            rows,
+            rows: rows?,
         })
     }
 
@@ -563,13 +594,41 @@ impl DbSnapshot {
 
     /// Run an already-parsed query through the physical executor.
     pub fn run_query_ast(&self, q: &hippo_sql::Query) -> Result<QueryResult, EngineError> {
+        self.run_query_ast_governed(q, None, "engine")
+    }
+
+    /// [`DbSnapshot::query`] under an optional resource
+    /// [`crate::budget::Budget`] (see [`Database::query_governed`]).
+    pub fn query_governed(
+        &self,
+        sql: &str,
+        budget: Option<&crate::budget::Budget>,
+        stage: &'static str,
+    ) -> Result<QueryResult, EngineError> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(q) = stmt else {
+            return Err(EngineError::new("expected a SELECT statement"));
+        };
+        self.run_query_ast_governed(&q, budget, stage)
+    }
+
+    /// Governed core of [`DbSnapshot::run_query_ast`].
+    pub fn run_query_ast_governed(
+        &self,
+        q: &hippo_sql::Query,
+        budget: Option<&crate::budget::Budget>,
+        stage: &'static str,
+    ) -> Result<QueryResult, EngineError> {
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         let bound = bind_query(&self.catalog, q)?;
         let plan = optimize(bound.plan, &self.catalog)?;
         let plan = crate::optimize::physicalize(plan, &self.catalog);
         let (idx, scan) = plan.access_paths();
         self.bump_probes(idx, scan);
-        let rows = execute_physical_read_only(&plan, &self.catalog)?;
+        let rows = match budget {
+            None => execute_physical_read_only(&plan, &self.catalog)?,
+            Some(b) => crate::exec::execute_physical_governed(&plan, &self.catalog, b, stage)?,
+        };
         Ok(QueryResult {
             columns: bound.columns,
             rows,

@@ -211,7 +211,11 @@ pub fn execute_physical(
             }
             Ok(out)
         }
-        PhysicalPlan::SeqScan { table } => Ok(env.catalog.table(table)?.rows()),
+        PhysicalPlan::SeqScan { table } => {
+            let rows = env.catalog.table(table)?.rows();
+            env.charge_batch(rows.len())?;
+            Ok(rows)
+        }
         PhysicalPlan::IndexLookup {
             table,
             index_cols,
@@ -225,6 +229,7 @@ pub fn execute_physical(
                 let t = env.catalog.table(table)?;
                 let mut out = Vec::new();
                 for (_, row) in t.iter() {
+                    env.charge_row()?;
                     if eval(predicate, row, env)? == Value::Bool(true) {
                         out.push(row.clone());
                     }
@@ -235,6 +240,7 @@ pub fn execute_physical(
                 let rows = execute_physical(other, env)?;
                 let mut out = Vec::new();
                 for row in rows {
+                    env.charge_row()?;
                     if eval(predicate, &row, env)? == Value::Bool(true) {
                         out.push(row);
                     }
@@ -373,6 +379,42 @@ pub fn execute_physical_params(
     execute_physical(plan, &mut env)
 }
 
+/// [`execute_physical_read_only`] under a resource [`Budget`]: the
+/// executor's streaming loops charge rows against `budget` and unwind
+/// with a structured `Budget`/`Cancelled` error (reported as `stage`)
+/// when it is exhausted.
+pub fn execute_physical_governed(
+    plan: &PhysicalPlan,
+    catalog: &crate::catalog::Catalog,
+    budget: &crate::budget::Budget,
+    stage: &'static str,
+) -> Result<Vec<Row>, EngineError> {
+    let mut env = EvalEnv::new(catalog);
+    env.set_budget(budget, stage);
+    let res = execute_physical(plan, &mut env);
+    env.flush_budget();
+    res
+}
+
+/// [`execute_physical_params`] under an optional resource [`Budget`]
+/// (the governed membership-probe path; `budget = None` is exactly the
+/// ungoverned call).
+pub fn execute_physical_params_governed(
+    plan: &PhysicalPlan,
+    catalog: &crate::catalog::Catalog,
+    params: &[Value],
+    budget: Option<&crate::budget::Budget>,
+    stage: &'static str,
+) -> Result<Vec<Row>, EngineError> {
+    let mut env = EvalEnv::with_params(catalog, params);
+    if let Some(b) = budget {
+        env.set_budget(b, stage);
+    }
+    let res = execute_physical(plan, &mut env);
+    env.flush_budget();
+    res
+}
+
 /// The one index-probe protocol, shared by every consumer: evaluate
 /// the key expressions against the empty row, short-circuit a `NULL`
 /// component to the empty bucket (SQL equality matches nothing), and
@@ -493,6 +535,7 @@ fn streaming_limit(
                 if out.len() >= need {
                     break;
                 }
+                env.charge_row()?;
                 if let Some(p) = produce(row, env)? {
                     out.push(p);
                 }
@@ -508,6 +551,7 @@ fn streaming_limit(
                 if out.len() >= need {
                     break;
                 }
+                env.charge_row()?;
                 let row = t.get(id).expect("index buckets hold live ids");
                 if let Some(p) = produce(row, env)? {
                     out.push(p);

@@ -334,6 +334,18 @@ pub struct EvalEnv<'a> {
     exists_cache: rustc_hash::FxHashMap<usize, rustc_hash::FxHashMap<Vec<Value>, Vec<Value>>>,
     /// Row width per cached table partition (rows are stored flattened).
     exists_cache_width: rustc_hash::FxHashMap<usize, usize>,
+    /// Optional per-call resource budget; when set, the executor's
+    /// streaming loops charge rows here and trip cooperatively.
+    budget: Option<&'a crate::budget::Budget>,
+    /// Stage label reported by budget errors raised from this env.
+    budget_stage: &'static str,
+    /// Local stride counter for [`EvalEnv::charge_row`].
+    work: u32,
+    /// Rows charged locally but not yet flushed to the shared budget.
+    /// Flushed every stride and by [`EvalEnv::flush_budget`] — a shared
+    /// atomic add per row would ping-pong the budget's cache line
+    /// across all worker threads.
+    pending_rows: u64,
 }
 
 impl<'a> EvalEnv<'a> {
@@ -345,6 +357,10 @@ impl<'a> EvalEnv<'a> {
             outer: Vec::new(),
             exists_cache: rustc_hash::FxHashMap::default(),
             exists_cache_width: rustc_hash::FxHashMap::default(),
+            budget: None,
+            budget_stage: "engine",
+            work: 0,
+            pending_rows: 0,
         }
     }
 
@@ -354,6 +370,56 @@ impl<'a> EvalEnv<'a> {
             params,
             ..EvalEnv::new(catalog)
         }
+    }
+
+    /// Govern this environment: executor loops will charge rows against
+    /// `budget` and report trips as `stage`.
+    pub fn set_budget(&mut self, budget: &'a crate::budget::Budget, stage: &'static str) {
+        self.budget = Some(budget);
+        self.budget_stage = stage;
+    }
+
+    /// Cooperative per-row checkpoint for executor loops. Free (one
+    /// predicted branch) when no budget is attached; with one, the row
+    /// is counted locally and both the flush to the shared budget and
+    /// the full check run once per [`crate::budget::CHECK_STRIDE`] rows
+    /// — per-row atomics on the shared counter would contend across
+    /// worker threads.
+    #[inline]
+    pub fn charge_row(&mut self) -> Result<(), EngineError> {
+        if let Some(b) = self.budget {
+            self.pending_rows += 1;
+            self.work = self.work.wrapping_add(1);
+            if self.work & (crate::budget::CHECK_STRIDE - 1) == 0 {
+                b.charge_rows(std::mem::take(&mut self.pending_rows));
+                b.check(self.budget_stage)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush rows charged locally since the last stride boundary to the
+    /// shared budget. Governed entry points call this once their plan
+    /// finishes so the call's row accounting is complete.
+    pub fn flush_budget(&mut self) {
+        let pending = std::mem::take(&mut self.pending_rows);
+        if pending > 0 {
+            if let Some(b) = self.budget {
+                b.charge_rows(pending);
+            }
+        }
+    }
+
+    /// Bulk checkpoint for operators that materialise `n` rows at once
+    /// (full scans feeding joins/aggregates): charges the whole batch
+    /// and runs one full check.
+    #[inline]
+    pub fn charge_batch(&mut self, n: usize) -> Result<(), EngineError> {
+        if let Some(b) = self.budget {
+            b.charge_rows(n as u64);
+            b.check(self.budget_stage)?;
+        }
+        Ok(())
     }
 }
 

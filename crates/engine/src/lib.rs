@@ -37,6 +37,7 @@
 //! ```
 
 pub mod bind;
+pub mod budget;
 pub mod catalog;
 pub mod db;
 pub mod exec;
@@ -47,11 +48,12 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use budget::{Budget, CancelHandle, CHECK_STRIDE};
 pub use catalog::Catalog;
 pub use db::{Database, DbSnapshot, DbStats, ExecResult, QueryResult, SnapshotStatsView};
 pub use expr::BoundExpr;
 pub use optimize::{physicalize, physicalize_with, PhysicalOptions};
 pub use plan::{LogicalPlan, PhysicalPlan};
-pub use schema::{Column, DataType, EngineError, TableSchema};
+pub use schema::{Column, DataType, EngineError, ErrorKind, TableSchema};
 pub use table::{Table, TupleId};
 pub use value::{Row, Value};

@@ -186,11 +186,48 @@ impl TableSchema {
     }
 }
 
+/// Structured classification of an [`EngineError`].
+///
+/// `General` covers ordinary planning/execution failures; the remaining
+/// kinds form the resource-governance and fault-tolerance taxonomy:
+/// callers match on them to distinguish "the query was wrong" from "the
+/// call ran out of budget / was cancelled / a worker died".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Ordinary failure (parse, bind, type, execution).
+    General,
+    /// A resource budget was exhausted at `stage`. For deadlines,
+    /// `spent`/`limit` are microseconds; for row budgets, rows.
+    Budget {
+        /// Pipeline stage that observed exhaustion.
+        stage: &'static str,
+        /// Amount spent when the trip was observed.
+        spent: u64,
+        /// The configured limit (0 for a forced/injected trip).
+        limit: u64,
+    },
+    /// The call was cancelled via a cancel handle at `stage`.
+    Cancelled {
+        /// Pipeline stage that observed the cancellation.
+        stage: &'static str,
+    },
+    /// A worker thread panicked while running `stage`; the panic was
+    /// contained to the call that spawned it.
+    WorkerPanic {
+        /// Pipeline stage whose pool the worker belonged to.
+        stage: &'static str,
+        /// Index of the shard/task the worker was executing.
+        shard: usize,
+    },
+}
+
 /// The engine error type (also used by the planner and executor).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineError {
     /// Human-readable message.
     pub message: String,
+    /// Structured classification (defaults to [`ErrorKind::General`]).
+    pub kind: ErrorKind,
 }
 
 impl EngineError {
@@ -198,7 +235,57 @@ impl EngineError {
     pub fn new(message: impl Into<String>) -> EngineError {
         EngineError {
             message: message.into(),
+            kind: ErrorKind::General,
         }
+    }
+
+    /// A budget-exhaustion error (see [`ErrorKind::Budget`]).
+    pub fn budget(stage: &'static str, spent: u64, limit: u64) -> EngineError {
+        EngineError {
+            message: format!("budget exhausted at stage {stage:?} (spent {spent}, limit {limit})"),
+            kind: ErrorKind::Budget {
+                stage,
+                spent,
+                limit,
+            },
+        }
+    }
+
+    /// A cooperative-cancellation error (see [`ErrorKind::Cancelled`]).
+    pub fn cancelled(stage: &'static str) -> EngineError {
+        EngineError {
+            message: format!("call cancelled at stage {stage:?}"),
+            kind: ErrorKind::Cancelled { stage },
+        }
+    }
+
+    /// A contained worker-panic error (see [`ErrorKind::WorkerPanic`]).
+    pub fn worker_panic(stage: &'static str, shard: usize, detail: &str) -> EngineError {
+        EngineError {
+            message: format!("worker panicked in stage {stage:?}, shard {shard}: {detail}"),
+            kind: ErrorKind::WorkerPanic { stage, shard },
+        }
+    }
+
+    /// Is this a budget-exhaustion error?
+    pub fn is_budget(&self) -> bool {
+        matches!(self.kind, ErrorKind::Budget { .. })
+    }
+
+    /// Is this a cancellation error?
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self.kind, ErrorKind::Cancelled { .. })
+    }
+
+    /// Is this a contained worker panic?
+    pub fn is_worker_panic(&self) -> bool {
+        matches!(self.kind, ErrorKind::WorkerPanic { .. })
+    }
+
+    /// Budget or cancellation — the errors degraded mode may absorb
+    /// into a truncated-but-sound partial answer.
+    pub fn is_governance(&self) -> bool {
+        self.is_budget() || self.is_cancelled()
     }
 }
 

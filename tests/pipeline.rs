@@ -79,7 +79,8 @@ fn all_strategies_agree_where_applicable() {
             HippoOptions::kg(),
             HippoOptions::full(),
         ] {
-            let hippo = Hippo::with_options(emp_db(&rows), constraints.clone(), opts).unwrap();
+            let hippo =
+                Hippo::with_options(emp_db(&rows), constraints.clone(), opts.clone()).unwrap();
             assert_eq!(hippo.consistent_answers(&q).unwrap(), truth, "{q} {opts:?}");
         }
     }

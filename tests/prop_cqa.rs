@@ -104,7 +104,7 @@ proptest! {
         let (g, _) = detect_conflicts(db.catalog(), &constraints).unwrap();
         let truth = naive_consistent_answers(&q, db.catalog(), &g);
         for opts in [HippoOptions::base(), HippoOptions::kg(), HippoOptions::full()] {
-            let hippo = Hippo::with_options(build_db(&rows), constraints.clone(), opts).unwrap();
+            let hippo = Hippo::with_options(build_db(&rows), constraints.clone(), opts.clone()).unwrap();
             let got = hippo.consistent_answers(&q).unwrap();
             prop_assert_eq!(&got, &truth, "query {} opts {:?}", q, opts);
         }
@@ -197,7 +197,7 @@ proptest! {
         let (g, _) = detect_conflicts(db.catalog(), &constraints).unwrap();
         let truth = naive_consistent_answers(&q, db.catalog(), &g);
         for opts in [HippoOptions::kg(), HippoOptions::full()] {
-            let hippo = Hippo::with_options(build_db(&rows), constraints.clone(), opts).unwrap();
+            let hippo = Hippo::with_options(build_db(&rows), constraints.clone(), opts.clone()).unwrap();
             prop_assert_eq!(hippo.consistent_answers(&q).unwrap(), truth.clone(),
                 "query {} opts {:?}", q, opts);
         }
@@ -263,7 +263,7 @@ proptest! {
             let truth = naive_consistent_answers(&q, db.catalog(), &g);
             for opts in [HippoOptions::kg(), HippoOptions::full()] {
                 let hippo = Hippo::with_options(
-                    build_two_rel_db(&emp, &ban), constraints.clone(), opts).unwrap();
+                    build_two_rel_db(&emp, &ban), constraints.clone(), opts.clone()).unwrap();
                 prop_assert_eq!(hippo.consistent_answers(&q).unwrap(), truth.clone(),
                     "query {} opts {:?}", q, opts);
             }
