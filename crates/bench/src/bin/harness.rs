@@ -1,7 +1,7 @@
 //! Experiment harness: regenerates every table/figure of the reproduction.
 //!
 //! Usage:
-//!   harness [--quick] [--json PATH] [all|d1|d2|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12]...
+//!   harness [--quick] [--json PATH] [all|d1|d2|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13]...
 //!
 //! With no experiment arguments, runs everything. `--quick` shrinks
 //! workload sizes (used in CI and on laptops; the full sizes match
@@ -70,6 +70,7 @@ fn main() {
     run("e10", &ex::e10_base_mode);
     run("e11", &ex::e11_index_probes);
     run("e12", &ex::e12_governance);
+    run("e13", &ex::e13_chaos_service);
 
     if let Some(path) = json_path {
         let json = render_json(quick, &tables);

@@ -1377,6 +1377,405 @@ pub fn e12_governance(quick: bool) -> Result<Table, Box<dyn std::error::Error>> 
     Ok(t)
 }
 
+/// E13 — chaos/traffic harness for the concurrent CQA service layer.
+/// N client threads drive one [`hippo_server::Engine`] at a mixed
+/// read:write:CQA ratio under three scenarios:
+///
+/// * `steady`: no faults, default admission — a correctness baseline;
+/// * `overload`: admission squeezed to (2 active, 1 queued) so load
+///   shedding fires, with clients retrying `Overloaded` through the
+///   jittered-backoff [`hippo_server::RetryPolicy`];
+/// * `chaos`: one saboteur client injects a writer panic mid-redetect,
+///   a prover-shard panic, a millisecond deadline and a delayed shard
+///   into the live traffic.
+///
+/// Invariants asserted on every scenario — the experiment *fails*
+/// (returns `Err`) if any is violated:
+///
+/// * no deadlock (the traffic joins; drain completes afterwards);
+/// * no poisoned epoch: every successful CQA answer is bit-identical
+///   to a **serial oracle replay** — a fresh single-threaded `Hippo`
+///   built from that epoch's own catalog — and every plain read sees
+///   exactly its epoch's row count;
+/// * every failure is structured: `Overloaded`/`Cancelled`/`Budget`/
+///   injected `WorkerPanic` — nothing else;
+/// * a failed write never publishes (`writer_recoveries` counts it and
+///   the epoch id does not advance past successful writes).
+///
+/// Reported per scenario: request counts by outcome, epochs published,
+/// writer recoveries, shed rate, and p50/p99 client latency.
+pub fn e13_chaos_service(quick: bool) -> Result<Table, Box<dyn std::error::Error>> {
+    let rows = if quick { 1_200 } else { 6_000 };
+    let clients = if quick { 4 } else { 8 };
+    let iters = if quick { 24 } else { 48 };
+    let mut t = Table::new(
+        "E13",
+        format!(
+            "chaos/traffic harness on the service layer (|t|={rows}, {clients} clients × {iters} ops, 45:10:45 read:write:CQA)"
+        ),
+        &[
+            "scenario", "reqs", "ok", "shed", "cancel", "budget", "panic", "recov", "epochs",
+            "shed rate", "p50 ms", "p99 ms", "oracle",
+        ],
+    );
+    for scenario in ["steady", "overload", "chaos"] {
+        let out = chaos_scenario(scenario, rows, clients, iters)?;
+        t.rows.push(vec![
+            scenario.into(),
+            out.requests.to_string(),
+            out.ok.to_string(),
+            out.shed.to_string(),
+            out.cancelled.to_string(),
+            out.budget.to_string(),
+            out.panics.to_string(),
+            out.recoveries.to_string(),
+            out.epochs.to_string(),
+            format!("{:.1}%", out.shed_rate * 100.0),
+            ms(out.p50),
+            ms(out.p99),
+            format!("ok ({} epochs replayed)", out.epochs_checked),
+        ]);
+    }
+    t.notes.push(
+        "oracle = per pinned epoch, a fresh single-threaded Hippo rebuilt from that epoch's \
+         catalog must reproduce every successful CQA answer bit-identically"
+            .into(),
+    );
+    t.notes.push(
+        "every client failure is structured (Overloaded/Cancelled/Budget/injected WorkerPanic); \
+         drain() completes after traffic and subsequent requests get Shutdown"
+            .into(),
+    );
+    Ok(t)
+}
+
+struct ChaosOutcome {
+    requests: u64,
+    ok: u64,
+    shed: u64,
+    cancelled: u64,
+    budget: u64,
+    panics: u64,
+    recoveries: u64,
+    epochs: u64,
+    epochs_checked: usize,
+    shed_rate: f64,
+    p50: Duration,
+    p99: Duration,
+}
+
+/// One seeded traffic run; see [`e13_chaos_service`] for the scenario
+/// definitions and the invariants enforced here.
+fn chaos_scenario(
+    scenario: &str,
+    rows: usize,
+    clients: usize,
+    iters: usize,
+) -> Result<ChaosOutcome, Box<dyn std::error::Error>> {
+    use hippo_server::{Engine, EngineConfig, RetryPolicy, WriteOp};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    let spec = FdTableSpec::new("t", rows, 0.05, 71);
+    let mut db = Database::new();
+    spec.populate(&mut db)?;
+    let cons = vec![spec.fd()];
+    let hippo = Hippo::with_options(db, cons.clone(), HippoOptions::full())?;
+    let config = match scenario {
+        "overload" => EngineConfig {
+            max_active: 2,
+            max_queue: 1,
+            retry_after: Duration::from_millis(1),
+            default_deadline: None,
+        },
+        _ => EngineConfig::default(),
+    };
+    let eng = Engine::new(hippo, config)?;
+    let q =
+        SjudQuery::rel("t").diff(SjudQuery::rel("t").select(Pred::cmp_const(2, CmpOp::Ge, 900i64)));
+
+    // Fresh insert keys, far outside the workload's 0..rows key range.
+    let next_key = AtomicI64::new(10_000_000);
+    // Per-epoch evidence for the serial oracle replay: the first clean
+    // CQA answer seen on each epoch (later samples of the same epoch
+    // must agree bit-for-bit), and the row count plain reads observed.
+    type Samples = Mutex<HashMap<u64, (Arc<hippo_server::Epoch>, Vec<Row>)>>;
+    let cqa_samples: Samples = Mutex::new(HashMap::new());
+    let read_counts: Mutex<HashMap<u64, usize>> = Mutex::new(HashMap::new());
+    let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+    let (ok_n, shed_n, cancel_n, budget_n, panic_n, other_n) = (
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    );
+
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let eng = eng.clone();
+            let q = &q;
+            let next_key = &next_key;
+            let cqa_samples = &cqa_samples;
+            let read_counts = &read_counts;
+            let latencies = &latencies;
+            let (ok_n, shed_n, cancel_n, budget_n, panic_n, other_n) =
+                (&ok_n, &shed_n, &cancel_n, &budget_n, &panic_n, &other_n);
+            let saboteur = scenario == "chaos" && c == 0;
+            let retry = (scenario == "overload").then(|| RetryPolicy {
+                max_attempts: 5,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(8),
+                seed: 0xC11E47 + c as u64,
+            });
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xE13 + c as u64);
+                let mut session = eng.session();
+                let mut local_lat: Vec<Duration> = Vec::with_capacity(iters);
+                for k in 0..iters {
+                    // Pinning forever would starve the oracle of new
+                    // epochs: re-pin every few ops.
+                    if k % 4 == 0 {
+                        session.refresh();
+                    }
+                    // Saboteur schedule: each arm is a fresh one-shot
+                    // plan, injected into live traffic.
+                    let mut clean = true;
+                    if saboteur {
+                        match k % 8 {
+                            2 => {
+                                // Writer panic mid-redetect: the write
+                                // fails structurally, nothing publishes.
+                                eng.set_writer_options(HippoOptions::full().with_faults(
+                                    FaultPlan::new("detect", Some(0), FaultKind::Panic),
+                                ));
+                                let key = next_key.fetch_add(1, Ordering::Relaxed);
+                                let r = eng.write(vec![WriteOp::Insert {
+                                    table: "t".into(),
+                                    rows: vec![vec![Value::Int(key), Value::Int(1), Value::Int(0)]],
+                                }]);
+                                if let Err(e) = &r {
+                                    assert!(
+                                        e.is_worker_panic() || e.is_budget(),
+                                        "sabotaged write must fail structurally: {e}"
+                                    );
+                                }
+                                eng.set_writer_options(HippoOptions::full());
+                                continue;
+                            }
+                            5 => {
+                                // Prover-shard panic inside a CQA read.
+                                *session.options_mut() = HippoOptions::full().with_faults(
+                                    FaultPlan::new("prover", Some(0), FaultKind::Panic),
+                                );
+                                clean = false;
+                            }
+                            7 => {
+                                // A delayed shard racing a short deadline.
+                                *session.options_mut() =
+                                    HippoOptions::full().with_faults(FaultPlan::new(
+                                        "prover",
+                                        None,
+                                        FaultKind::Delay(Duration::from_millis(30)),
+                                    ));
+                                session.set_deadline(Some(Duration::from_millis(10)));
+                                clean = false;
+                            }
+                            3 => {
+                                // Deadline trip with no fault plan.
+                                session.set_deadline(Some(Duration::from_millis(1)));
+                                clean = false;
+                            }
+                            _ => {}
+                        }
+                    }
+                    let die = rng.gen_range(0u32..100);
+                    let t0 = Instant::now();
+                    let outcome: Result<(), hippo_engine::EngineError> = if die < 45 {
+                        // Plain read on the pinned epoch.
+                        session.query("SELECT * FROM t").map(|r| {
+                            if clean {
+                                let epoch = session.epoch().id();
+                                let mut counts = read_counts.lock().unwrap();
+                                let n = counts.entry(epoch).or_insert(r.rows.len());
+                                assert_eq!(
+                                    *n,
+                                    r.rows.len(),
+                                    "epoch {epoch}: plain reads disagree on row count"
+                                );
+                            }
+                        })
+                    } else if die < 55 {
+                        // Write: a fresh conflict pair (two rows, same
+                        // key) or one clean row.
+                        let key = next_key.fetch_add(1, Ordering::Relaxed);
+                        let rows = if die % 2 == 0 {
+                            vec![
+                                vec![Value::Int(key), Value::Int(1), Value::Int(0)],
+                                vec![Value::Int(key), Value::Int(2), Value::Int(0)],
+                            ]
+                        } else {
+                            vec![vec![Value::Int(key), Value::Int(5), Value::Int(0)]]
+                        };
+                        let op = vec![WriteOp::Insert {
+                            table: "t".into(),
+                            rows,
+                        }];
+                        match &retry {
+                            Some(p) => p.run(|_| eng.write(op.clone())).map(|_| ()),
+                            None => eng.write(op).map(|_| ()),
+                        }
+                    } else {
+                        // CQA on the pinned epoch.
+                        let r = match &retry {
+                            Some(p) => p.run(|_| session.consistent_answers(q)),
+                            None => session.consistent_answers(q),
+                        };
+                        r.map(|rows| {
+                            if clean {
+                                let epoch = Arc::clone(session.epoch());
+                                let mut samples = cqa_samples.lock().unwrap();
+                                let (_, first) = samples
+                                    .entry(epoch.id())
+                                    .or_insert_with(|| (epoch, rows.clone()));
+                                assert_eq!(
+                                    *first, rows,
+                                    "two readers pinned to the same epoch diverged"
+                                );
+                            }
+                        })
+                    };
+                    local_lat.push(t0.elapsed());
+                    match outcome {
+                        Ok(()) => {
+                            ok_n.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) if e.is_overloaded() => {
+                            shed_n.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) if e.is_cancelled() => {
+                            cancel_n.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) if e.is_budget() => {
+                            budget_n.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) if e.is_worker_panic() => {
+                            assert!(
+                                saboteur || scenario == "chaos",
+                                "worker panic without an injected fault: {e}"
+                            );
+                            panic_n.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("unstructured failure in {scenario}: {e}");
+                            other_n.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if !clean {
+                        // Disarm: back to the session's vanilla options.
+                        *session.options_mut() = HippoOptions::full();
+                        session.set_deadline(None);
+                    }
+                }
+                latencies.lock().unwrap().extend(local_lat);
+            });
+        }
+    });
+
+    // Traffic joined: no deadlock. Graceful drain must complete and
+    // close the gate behind itself.
+    eng.drain();
+    let mut closed = eng.session();
+    assert!(
+        closed.consistent_answers(&q).unwrap_err().is_shutdown(),
+        "drained service must reject with Shutdown"
+    );
+
+    // Serial oracle replay: every sampled epoch, rebuilt from its own
+    // catalog into a fresh single-threaded Hippo, must reproduce the
+    // answers the concurrent readers saw.
+    let samples = cqa_samples.into_inner().unwrap();
+    let read_counts = read_counts.into_inner().unwrap();
+    let epochs_checked = samples.len();
+    for (id, (epoch, rows_seen)) in &samples {
+        let oracle_db = Database::from_catalog(epoch.frozen().catalog().clone());
+        let oracle = Hippo::with_options(
+            oracle_db,
+            cons.clone(),
+            HippoOptions::full().with_prover_threads(1),
+        )?;
+        let want = oracle.consistent_answers(&q)?;
+        if want != *rows_seen {
+            return Err(format!(
+                "{scenario}: epoch {id} diverged from its serial oracle \
+                 ({} vs {} answer rows)",
+                rows_seen.len(),
+                want.len()
+            )
+            .into());
+        }
+        if let Some(n) = read_counts.get(id) {
+            let got = epoch.frozen().query("SELECT * FROM t")?.rows.len();
+            if got != *n {
+                return Err(format!(
+                    "{scenario}: epoch {id} plain-read count {n} != catalog count {got}"
+                )
+                .into());
+            }
+        }
+    }
+
+    let stats = eng.stats();
+    let (ok, shed, cancelled, budget, panics, other) = (
+        ok_n.into_inner(),
+        shed_n.into_inner(),
+        cancel_n.into_inner(),
+        budget_n.into_inner(),
+        panic_n.into_inner(),
+        other_n.into_inner(),
+    );
+    if other != 0 {
+        return Err(format!("{scenario}: {other} unstructured failures").into());
+    }
+    if scenario == "overload" && stats.requests_shed == 0 {
+        return Err("overload scenario shed nothing — admission never saturated".into());
+    }
+    if scenario == "chaos" && stats.writer_recoveries == 0 {
+        return Err("chaos scenario: the injected writer panic never fired".into());
+    }
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_unstable();
+    let pctl = |p: f64| -> Duration {
+        if lat.is_empty() {
+            Duration::ZERO
+        } else {
+            lat[((lat.len() - 1) as f64 * p).round() as usize]
+        }
+    };
+    let requests = ok + shed + cancelled + budget + panics;
+    Ok(ChaosOutcome {
+        requests,
+        ok,
+        shed,
+        cancelled,
+        budget,
+        panics,
+        recoveries: stats.writer_recoveries,
+        epochs: stats.epochs_published,
+        epochs_checked,
+        shed_rate: if requests == 0 {
+            0.0
+        } else {
+            shed as f64 / requests as f64
+        },
+        p50: pctl(0.50),
+        p99: pctl(0.99),
+    })
+}
+
 /// Run every experiment; `quick` shrinks sizes for CI.
 pub fn run_all(quick: bool) -> Result<Vec<Table>, Box<dyn std::error::Error>> {
     Ok(vec![
@@ -1394,6 +1793,7 @@ pub fn run_all(quick: bool) -> Result<Vec<Table>, Box<dyn std::error::Error>> {
         e10_base_mode(quick)?,
         e11_index_probes(quick)?,
         e12_governance(quick)?,
+        e13_chaos_service(quick)?,
     ])
 }
 
@@ -1551,5 +1951,21 @@ mod tests {
         let s = t.render();
         assert!(s.contains("D1"));
         assert!(s.lines().count() > 5);
+    }
+
+    #[test]
+    fn e13_chaos_invariants_hold_quick() {
+        // The invariants (oracle replay, structured-failures-only, no
+        // deadlock, drain) are enforced inside the experiment: Ok means
+        // they all held for every scenario.
+        let t = e13_chaos_service(true).unwrap();
+        assert_eq!(t.rows.len(), 3);
+        let overload = t.rows.iter().find(|r| r[0] == "overload").unwrap();
+        assert_ne!(
+            overload[3], "0",
+            "overload scenario must shed: {overload:?}"
+        );
+        let chaos = t.rows.iter().find(|r| r[0] == "chaos").unwrap();
+        assert_ne!(chaos[7], "0", "chaos writer panic must recover: {chaos:?}");
     }
 }

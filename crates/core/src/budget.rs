@@ -123,43 +123,74 @@ impl FaultPlan {
     }
 
     /// Parse a `stage:shard:kind` spec (shard `*` = any; kind `panic`,
-    /// `trip`, or `delay<ms>`). Returns `None` on malformed input.
-    pub fn parse(spec: &str) -> Option<FaultPlan> {
+    /// `trip`, or `delay<ms>`). The error names what is wrong with the
+    /// spec — a chaos run configured with a typo must fail loudly, not
+    /// silently run without its injection.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut parts = spec.splitn(3, ':');
-        let stage = parts.next()?.trim();
-        let shard = parts.next()?.trim();
-        let kind = parts.next()?.trim();
-        if stage.is_empty() {
-            return None;
-        }
-        let shard = if shard == "*" {
-            None
-        } else {
-            Some(shard.parse::<usize>().ok()?)
+        let (Some(stage), Some(shard), Some(kind)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "expected stage:shard:kind (e.g. prover:7:panic), got {spec:?}"
+            ));
         };
+        let (stage, shard, kind) = (stage.trim(), shard.trim(), kind.trim());
+        if stage.is_empty() {
+            return Err(format!("empty stage in {spec:?}"));
+        }
+        let shard =
+            if shard == "*" {
+                None
+            } else {
+                Some(shard.parse::<usize>().map_err(|_| {
+                    format!("shard must be a number or '*', got {shard:?} in {spec:?}")
+                })?)
+            };
         let kind = match kind {
             "panic" => FaultKind::Panic,
             "trip" => FaultKind::BudgetTrip,
-            k => {
-                let ms = k.strip_prefix("delay")?.parse::<u64>().ok()?;
-                FaultKind::Delay(Duration::from_millis(ms))
-            }
+            k => match k.strip_prefix("delay") {
+                Some(ms) => {
+                    let ms = ms.parse::<u64>().map_err(|_| {
+                        format!("delay takes milliseconds (e.g. delay25), got {k:?} in {spec:?}")
+                    })?;
+                    FaultKind::Delay(Duration::from_millis(ms))
+                }
+                None => {
+                    return Err(format!(
+                        "unknown fault kind {k:?} in {spec:?} \
+                         (expected panic, trip, or delay<ms>)"
+                    ));
+                }
+            },
         };
-        Some(FaultPlan::new(stage, shard, kind))
+        Ok(FaultPlan::new(stage, shard, kind))
     }
 
-    /// Read a plan from the `HIPPO_FAULT` environment variable, if set
-    /// and well-formed. Only callers that thread the result into their
-    /// options are affected — the variable is never consulted
-    /// implicitly.
+    /// Read a plan from the `HIPPO_FAULT` environment variable. Unset
+    /// (or set to whitespace) means no plan; a malformed value is an
+    /// error naming the problem. Only callers that thread the result
+    /// into their options are affected — the variable is never
+    /// consulted implicitly.
+    pub fn try_from_env() -> Result<Option<FaultPlan>, String> {
+        match std::env::var("HIPPO_FAULT") {
+            Err(_) => Ok(None),
+            Ok(s) if s.trim().is_empty() => Ok(None),
+            Ok(s) => FaultPlan::parse(&s)
+                .map(Some)
+                .map_err(|e| format!("HIPPO_FAULT: {e}")),
+        }
+    }
+
+    /// [`FaultPlan::try_from_env`], panicking on a malformed value.
+    /// This is the startup hook for chaos legs: a typo like
+    /// `prover:7:panik` must abort the run loudly instead of silently
+    /// disabling the injection the run exists to exercise.
     pub fn from_env() -> Option<FaultPlan> {
-        std::env::var("HIPPO_FAULT").ok().and_then(|s| {
-            let plan = FaultPlan::parse(&s);
-            if plan.is_none() {
-                eprintln!("HIPPO_FAULT: ignoring malformed spec {s:?}");
-            }
-            plan
-        })
+        match FaultPlan::try_from_env() {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e} — fix or unset HIPPO_FAULT"),
+        }
     }
 
     /// Has the fault fired already? (Plans fire at most once.)
@@ -277,15 +308,23 @@ mod tests {
         assert_eq!((p.shard, p.kind), (None, FaultKind::BudgetTrip));
         let p = FaultPlan::parse("membership:0:delay25").unwrap();
         assert_eq!(p.kind, FaultKind::Delay(Duration::from_millis(25)));
-        for bad in [
-            "",
-            "prover",
-            "prover:7",
-            "prover:x:panic",
-            "prover:7:boom",
-            ":0:panic",
+    }
+
+    #[test]
+    fn malformed_specs_error_and_name_the_problem() {
+        for (bad, names) in [
+            ("", "stage:shard:kind"),
+            ("prover", "stage:shard:kind"),
+            ("prover:7", "stage:shard:kind"),
+            ("prover:x:panic", "shard must be a number"),
+            ("prover:7:boom", "unknown fault kind"),
+            ("prover:7:panik", "unknown fault kind"),
+            ("prover:7:delayxx", "delay takes milliseconds"),
+            (":0:panic", "empty stage"),
         ] {
-            assert!(FaultPlan::parse(bad).is_none(), "{bad:?}");
+            let err = FaultPlan::parse(bad).expect_err(bad);
+            assert!(err.contains(names), "{bad:?}: {err}");
+            assert!(err.contains(bad), "error quotes the spec: {err}");
         }
     }
 

@@ -105,6 +105,32 @@
 //! the orphan edges whose parent count crossed zero. Mutating the
 //! database any other way ([`Hippo::db_mut`]) marks the catalog dirty
 //! and the next `redetect` falls back to a full sharded rebuild.
+//!
+//! # Epoch publication (the service layer's view)
+//!
+//! Everything the answer pipeline reads is immutable for the duration
+//! of a run — the catalog snapshot, the conflict hypergraph, the
+//! verdict cache `Arc` — which is exactly what a concurrent service
+//! needs. [`Hippo::freeze`] packages those three into a [`FrozenHippo`]
+//! (`Send + Sync`, cheap `Arc` clones) that answers queries without
+//! `&Hippo`, so a single writer can keep mutating the live system while
+//! readers fan out over the last published freeze:
+//!
+//! ```text
+//! writer:  insert/delete ──▶ redetect ──▶ freeze() ──▶ publish Arc<Epoch>
+//!          (recorded ops)      │ Err / panic: nothing published —
+//!                              │ readers keep the previous epoch
+//! readers: pin epoch ──▶ FrozenHippo::consistent_answers  (lock-free,
+//!          shared verdict cache, same shard → merge pipeline as above)
+//! ```
+//!
+//! `crates/server` builds the epoch protocol (admission control, drain,
+//! retry) on top of this; the invariant enforced *here* is that a
+//! freeze of a reconciled system is self-consistent — [`Hippo::freeze`]
+//! refuses while recorded changes are pending — and that replacing the
+//! live graph never mutates state a frozen view still references
+//! (`redetect` swaps the graph and verdict-cache `Arc`s instead of
+//! clearing them in place).
 
 use crate::budget::{trip_stage, Budget, CancelHandle, Completeness, ConsistentAnswer, Governance};
 use crate::constraint::DenialConstraint;
@@ -120,7 +146,7 @@ use crate::kg::{extended_envelope_sql, split_gathered, GatheredMembership, MemoS
 use crate::parallel;
 use crate::prover::{Prover, ProverRunStats};
 use crate::query::SjudQuery;
-use hippo_engine::{Database, DbSnapshot, EngineError, Row, TupleId};
+use hippo_engine::{Catalog, Database, DbSnapshot, EngineError, QueryResult, Row, TupleId};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -306,8 +332,10 @@ impl HippoOptions {
     /// Materialise the per-call [`Governance`]. Ungoverned options
     /// (no deadline, row budget, armed cancellation or fault plan)
     /// return an inactive governance whose checks compile to no-ops —
-    /// that call takes exactly the pre-governance code path.
-    pub(crate) fn governance(&self) -> Governance {
+    /// that call takes exactly the pre-governance code path. Public so
+    /// service layers can hand the same budget to [`FrozenHippo`]
+    /// entry points that take a raw [`Budget`].
+    pub fn governance(&self) -> Governance {
         let g = &self.governance;
         let governed =
             g.deadline.is_some() || g.row_budget.is_some() || g.cancel_armed || g.faults.is_some();
@@ -468,7 +496,10 @@ enum PendingOp {
 pub struct Hippo {
     db: Database,
     constraints: Vec<DenialConstraint>,
-    graph: ConflictHypergraph,
+    /// Behind an `Arc` so [`Hippo::freeze`] can hand a frozen view to
+    /// concurrent readers; redetection *replaces* the `Arc` (never
+    /// mutates through it), so frozen views keep their graph.
+    graph: Arc<ConflictHypergraph>,
     detect_stats: DetectStats,
     /// Restricted foreign keys (orphan edges maintained incrementally
     /// through [`Hippo::fk_indexes`], re-derived in full on
@@ -492,12 +523,14 @@ pub struct Hippo {
     /// runs' verdicts lock-free (behind an `Arc` taken once at run
     /// start) and newly proved signatures are folded back in shard
     /// order during the merge phase — the lock is held only at the two
-    /// ends, never while a shard works. Keyed by the query's rendering;
-    /// cleared whenever the graph is replaced (a signature captures the
-    /// database's influence through flags and interned fact ids, so
-    /// data-only changes stay sound, but fact ids are meaningless
-    /// across graphs).
-    verdict_cache: Mutex<VerdictCache>,
+    /// ends, never while a shard works. Keyed by the query's rendering.
+    /// Whenever the graph is replaced the whole `Arc` is swapped for a
+    /// fresh one (a signature captures the database's influence through
+    /// flags and interned fact ids, so data-only changes stay sound,
+    /// but fact ids are meaningless across graphs) — frozen views
+    /// ([`Hippo::freeze`]) keep the old `Arc`, which stays sound for
+    /// *their* graph.
+    verdict_cache: Arc<Mutex<VerdictCache>>,
     /// Options applied to subsequent runs.
     pub options: HippoOptions,
 }
@@ -538,14 +571,14 @@ impl Hippo {
         Ok(Hippo {
             db,
             constraints,
-            graph,
+            graph: Arc::new(graph),
             detect_stats,
             foreign_keys: Vec::new(),
             fk_indexes: Vec::new(),
             detect_index: Some(index),
             pending: Vec::new(),
             catalog_dirty: false,
-            verdict_cache: Mutex::new(VerdictCache::default()),
+            verdict_cache: Arc::new(Mutex::new(VerdictCache::default())),
             options,
         })
     }
@@ -755,7 +788,7 @@ impl Hippo {
         .map_err(|payload| {
             EngineError::worker_panic("detect", 0, &parallel::panic_message(payload.as_ref()))
         })??;
-        self.graph = graph;
+        self.graph = Arc::new(graph);
         self.detect_stats = stats;
         self.detect_index = Some(index);
         self.fk_indexes = fk_indexes;
@@ -768,9 +801,12 @@ impl Hippo {
     /// Drop all cross-call verdicts: signatures embed interned fact ids,
     /// which are meaningless once the graph is replaced. (Data-only
     /// changes keep the cache sound — a candidate's signature captures
-    /// the database's influence through its membership flags.)
+    /// the database's influence through its membership flags.) The
+    /// whole `Arc` is swapped rather than the map cleared in place:
+    /// frozen views ([`Hippo::freeze`]) still hold the old `Arc`, and
+    /// their verdicts stay valid for the graph they were proved on.
     fn invalidate_verdicts(&mut self) {
-        self.verdict_cache.get_mut().unwrap().by_query.clear();
+        self.verdict_cache = Arc::new(Mutex::new(VerdictCache::default()));
     }
 
     /// Drop the persistent cross-call verdict cache through a shared
@@ -790,20 +826,38 @@ impl Hippo {
     /// joins from the changed tuples through the persistent per-atom
     /// join indexes (see `general_delta_insert`).
     fn redetect_incremental(&mut self) -> Result<DetectStats, EngineError> {
+        // Poison-on-entry: the inner path consumes the pending log and
+        // mutates the persistent detect/FK indexes in place, so bailing
+        // out anywhere — an early `?` return, an injected fault, a
+        // panic — would leave them inconsistent with the graph. Marking
+        // the catalog dirty *now* and clearing it only on success means
+        // any failed reconciliation forces the next `redetect` onto the
+        // full-rebuild path instead of silently reusing half-updated
+        // indexes.
+        self.catalog_dirty = true;
+        let gov = self.options.governance();
+        // Panic containment, symmetric with `redetect_full`: an
+        // injected `detect` fault (the chaos harness's "writer panic
+        // mid-redetect") or a genuine bug in the delta code surfaces as
+        // a structured `WorkerPanic` error instead of unwinding through
+        // the caller — and the dirty flag above keeps the system
+        // usable afterwards.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gov.fault_point("detect", 0)?;
+            self.redetect_incremental_inner()
+        }))
+        .map_err(|payload| {
+            EngineError::worker_panic("detect", 0, &parallel::panic_message(payload.as_ref()))
+        })?
+    }
+
+    fn redetect_incremental_inner(&mut self) -> Result<DetectStats, EngineError> {
         let start = Instant::now();
         let mut stats = DetectStats {
             incremental: true,
             shards_used: 0,
             ..DetectStats::default()
         };
-        // Poison-on-entry: this path consumes the pending log and
-        // mutates the persistent detect/FK indexes in place, so an
-        // early `?` return (or a panic) would leave them inconsistent
-        // with the graph. Marking the catalog dirty *now* and clearing
-        // it only on success means any failed reconciliation forces the
-        // next `redetect` onto the full-rebuild path instead of
-        // silently reusing half-updated indexes.
-        self.catalog_dirty = true;
         let pending = std::mem::take(&mut self.pending);
         let DetectIndex { fd, general } = self
             .detect_index
@@ -1089,7 +1143,7 @@ impl Hippo {
         }
 
         g.finalize();
-        self.graph = g;
+        self.graph = Arc::new(g);
         self.invalidate_verdicts();
         stats.elapsed = start.elapsed();
         self.detect_stats = stats;
@@ -1146,14 +1200,14 @@ impl Hippo {
         Ok(Hippo {
             db,
             constraints,
-            graph,
+            graph: Arc::new(graph),
             detect_stats,
             foreign_keys,
             fk_indexes,
             detect_index: Some(index),
             pending: Vec::new(),
             catalog_dirty: false,
-            verdict_cache: Mutex::new(VerdictCache::default()),
+            verdict_cache: Arc::new(Mutex::new(VerdictCache::default())),
             options: HippoOptions::default(),
         })
     }
@@ -1224,200 +1278,373 @@ impl Hippo {
         query: &SjudQuery,
     ) -> Result<ConsistentAnswer, EngineError> {
         let gov = self.options.governance();
-        self.answers_pipeline(query, &gov)
+        answers_pipeline(
+            &Backend::Live(&self.db),
+            &self.graph,
+            &self.options,
+            &self.verdict_cache,
+            query,
+            &gov,
+        )
     }
 
-    fn answers_pipeline(
+    /// Freeze the current state into an immutable, `Send + Sync`
+    /// [`FrozenHippo`]: the catalog snapshot, the conflict hypergraph
+    /// and the persistent verdict cache, all shared by cheap `Arc`
+    /// clones (no data is copied).
+    ///
+    /// The frozen view answers queries concurrently with further
+    /// mutation of this `Hippo`: redetection *replaces* the graph and
+    /// verdict-cache `Arc`s, so the view keeps exactly the state it
+    /// captured. Refuses while changes are recorded but not yet
+    /// reconciled (`redetect` first) — freezing then would pair a
+    /// pre-change hypergraph with post-change data, making every
+    /// prover verdict unsound.
+    pub fn freeze(&self) -> Result<FrozenHippo, EngineError> {
+        if self.catalog_dirty || !self.pending.is_empty() {
+            return Err(EngineError::new(
+                "cannot freeze: data changes recorded since the last detection \
+                 (call redetect() before freeze())",
+            ));
+        }
+        Ok(FrozenHippo {
+            snapshot: self.db.snapshot(),
+            graph: Arc::clone(&self.graph),
+            verdict_cache: Arc::clone(&self.verdict_cache),
+            options: self.options.clone(),
+        })
+    }
+}
+
+/// An immutable, `Send + Sync` view of a [`Hippo`] at one point in
+/// time: the frozen catalog snapshot, the conflict hypergraph and the
+/// persistent verdict cache, produced by [`Hippo::freeze`].
+///
+/// Any number of threads may run [`FrozenHippo::consistent_answers`]
+/// (or plain [`FrozenHippo::query`]) on one view — or on clones, which
+/// share everything — with no locks beyond the verdict cache's
+/// merge-phase write-back, entirely independent of the live `Hippo`
+/// the view came from. This is the unit the service layer
+/// (`crates/server`) publishes as an epoch.
+#[derive(Clone, Debug)]
+pub struct FrozenHippo {
+    snapshot: DbSnapshot,
+    graph: Arc<ConflictHypergraph>,
+    verdict_cache: Arc<Mutex<VerdictCache>>,
+    /// Default options for answer runs on this view (captured from the
+    /// `Hippo` at freeze time; per-request governance goes through
+    /// [`FrozenHippo::consistent_answers_with`]).
+    pub options: HippoOptions,
+}
+
+// The whole point of freezing: readers share one view across threads.
+// Compile-time proof, not a convention.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<FrozenHippo>();
+};
+
+impl FrozenHippo {
+    /// The frozen catalog.
+    pub fn catalog(&self) -> &Catalog {
+        self.snapshot.catalog()
+    }
+
+    /// The frozen database snapshot.
+    pub fn snapshot(&self) -> &DbSnapshot {
+        &self.snapshot
+    }
+
+    /// The frozen conflict hypergraph.
+    pub fn graph(&self) -> &ConflictHypergraph {
+        &self.graph
+    }
+
+    /// Run a plain (non-CQA) SQL query against the frozen snapshot.
+    pub fn query(&self, sql: &str) -> Result<QueryResult, EngineError> {
+        self.snapshot.query(sql)
+    }
+
+    /// Run a plain SQL query under an explicit budget.
+    pub fn query_governed(
+        &self,
+        sql: &str,
+        budget: Option<&Budget>,
+    ) -> Result<QueryResult, EngineError> {
+        self.snapshot.query_governed(sql, budget, "engine")
+    }
+
+    /// Consistent answers on the frozen view (sorted rows; governance
+    /// per [`FrozenHippo::options`]).
+    pub fn consistent_answers(&self, query: &SjudQuery) -> Result<Vec<Row>, EngineError> {
+        Ok(self.consistent_answers_governed(query)?.rows)
+    }
+
+    /// The governed entry point, mirroring
+    /// [`Hippo::consistent_answers_governed`] — identical answers,
+    /// stats and degradation semantics, just sourced from the frozen
+    /// snapshot instead of the live database.
+    pub fn consistent_answers_governed(
         &self,
         query: &SjudQuery,
-        gov: &Governance,
     ) -> Result<ConsistentAnswer, EngineError> {
-        let t0 = Instant::now();
-        let mut stats = AnswerStats {
-            degraded: gov.degraded,
-            ..AnswerStats::default()
-        };
-        let arity = query.validate(self.db.catalog())?;
-        let template = MembershipTemplate::build(query, self.db.catalog())?;
-        let env = envelope(query);
+        self.consistent_answers_with(query, &self.options)
+    }
 
-        // ---- Enveloping + Evaluation ----
-        let te = Instant::now();
-        let env_res: Result<_, EngineError> = (|| {
-            gov.checkpoint("envelope", 0)?;
-            if self.options.knowledge_gathering {
-                let sql_q = extended_envelope_sql(&env, &template, self.db.catalog())?;
-                let sql = hippo_sql::print_query(&sql_q);
-                let rows = self
-                    .db
-                    .query_governed(&sql, gov.budget_ref(), "envelope")?
-                    .rows;
-                let gathered = split_gathered(rows, arity, template.literals.len());
-                Ok((gathered.candidates, Some(gathered.flags)))
-            } else {
-                let sql = env.to_sql(self.db.catalog())?;
-                let rows = self
-                    .db
-                    .query_governed(&sql, gov.budget_ref(), "envelope")?
-                    .rows;
-                Ok((rows, None))
-            }
-        })();
-        let (candidates, flags) = match env_res {
-            Ok(v) => v,
+    /// Run with per-request options (the service layer's deadline
+    /// propagation: each request derives its own governance without
+    /// touching the shared view).
+    pub fn consistent_answers_with(
+        &self,
+        query: &SjudQuery,
+        options: &HippoOptions,
+    ) -> Result<ConsistentAnswer, EngineError> {
+        let gov = options.governance();
+        answers_pipeline(
+            &Backend::Frozen(&self.snapshot),
+            &self.graph,
+            options,
+            &self.verdict_cache,
+            query,
+            &gov,
+        )
+    }
+}
+
+/// Where the answer pipeline reads data from: the live database (a
+/// [`Hippo`] answering in place) or a frozen snapshot (a
+/// [`FrozenHippo`] / published epoch). Both expose the same catalog
+/// and governed-query surface; the only behavioural difference is how
+/// base mode obtains its shared membership snapshot.
+enum Backend<'a> {
+    Live(&'a Database),
+    Frozen(&'a DbSnapshot),
+}
+
+impl Backend<'_> {
+    fn catalog(&self) -> &Catalog {
+        match self {
+            Backend::Live(db) => db.catalog(),
+            Backend::Frozen(s) => s.catalog(),
+        }
+    }
+
+    fn query_governed(
+        &self,
+        sql: &str,
+        budget: Option<&Budget>,
+        stage: &'static str,
+    ) -> Result<QueryResult, EngineError> {
+        match self {
+            Backend::Live(db) => db.query_governed(sql, budget, stage),
+            Backend::Frozen(s) => s.query_governed(sql, budget, stage),
+        }
+    }
+
+    /// Base mode's shared membership snapshot: freeze the live
+    /// database once per run, or hand out the already-frozen snapshot
+    /// (an `Arc` clone).
+    fn membership_snapshot(&self) -> DbSnapshot {
+        match self {
+            Backend::Live(db) => db.snapshot(),
+            Backend::Frozen(s) => (*s).clone(),
+        }
+    }
+}
+
+/// The shared answer pipeline behind both [`Hippo`] (live) and
+/// [`FrozenHippo`] (epoch) entry points: envelope → core filter →
+/// sharded prove/merge, all reads through `backend`.
+fn answers_pipeline(
+    backend: &Backend<'_>,
+    graph: &ConflictHypergraph,
+    options: &HippoOptions,
+    verdict_cache: &Mutex<VerdictCache>,
+    query: &SjudQuery,
+    gov: &Governance,
+) -> Result<ConsistentAnswer, EngineError> {
+    let t0 = Instant::now();
+    let mut stats = AnswerStats {
+        degraded: gov.degraded,
+        ..AnswerStats::default()
+    };
+    let arity = query.validate(backend.catalog())?;
+    let template = MembershipTemplate::build(query, backend.catalog())?;
+    let env = envelope(query);
+
+    // ---- Enveloping + Evaluation ----
+    let te = Instant::now();
+    let env_res: Result<_, EngineError> = (|| {
+        gov.checkpoint("envelope", 0)?;
+        if options.knowledge_gathering {
+            let sql_q = extended_envelope_sql(&env, &template, backend.catalog())?;
+            let sql = hippo_sql::print_query(&sql_q);
+            let rows = backend
+                .query_governed(&sql, gov.budget_ref(), "envelope")?
+                .rows;
+            let gathered = split_gathered(rows, arity, template.literals.len());
+            Ok((gathered.candidates, Some(gathered.flags)))
+        } else {
+            let sql = env.to_sql(backend.catalog())?;
+            let rows = backend
+                .query_governed(&sql, gov.budget_ref(), "envelope")?
+                .rows;
+            Ok((rows, None))
+        }
+    })();
+    let (candidates, flags) = match env_res {
+        Ok(v) => v,
+        Err(e) if gov.degraded && e.is_governance() => {
+            return Ok(truncated(stats, &e, gov, t0));
+        }
+        Err(e) => return Err(e),
+    };
+    stats.candidates = candidates.len();
+    stats.t_envelope = te.elapsed();
+
+    // ---- Core filter (optional): compute the accepting set ----
+    let tf = Instant::now();
+    let filtered: Option<FxHashSet<Row>> = if options.core_filter {
+        match core_filter_set_governed(query, backend.catalog(), graph, gov) {
+            Ok(set) => Some(set),
             Err(e) if gov.degraded && e.is_governance() => {
                 return Ok(truncated(stats, &e, gov, t0));
             }
             Err(e) => return Err(e),
-        };
-        stats.candidates = candidates.len();
-        stats.t_envelope = te.elapsed();
+        }
+    } else {
+        None
+    };
+    stats.t_filter = tf.elapsed();
 
-        // ---- Core filter (optional): compute the accepting set ----
-        let tf = Instant::now();
-        let filtered: Option<FxHashSet<Row>> = if self.options.core_filter {
-            match core_filter_set_governed(query, self.db.catalog(), &self.graph, gov) {
-                Ok(set) => Some(set),
-                Err(e) if gov.degraded && e.is_governance() => {
-                    return Ok(truncated(stats, &e, gov, t0));
-                }
-                Err(e) => return Err(e),
-            }
-        } else {
-            None
-        };
-        stats.t_filter = tf.elapsed();
-
-        // ---- Sharded answer stage ----
-        //
-        // No serial prefix beyond candidate collection: dedup, the
-        // core-filter probe and the prover all run inside the shards.
-        // Dedup is shard-local (a duplicate crossing a shard boundary is
-        // decided twice and collapsed by the final sort+dedup — the
-        // envelope is set-semantics, so this is a belt-and-braces case),
-        // which keeps every counter an exact sum over fixed shards.
-        let tp = Instant::now();
-        let shards = parallel::split_ranges(candidates.len(), PROVER_SHARDS);
-        let threads = self.options.resolved_prover_threads();
-        let use_cache = self.options.prover_cache;
-        // Base mode: freeze the instance once; all workers share the one
-        // snapshot `Arc` and issue their membership SQL against it.
-        let snapshot: Option<DbSnapshot> = if flags.is_none() {
-            Some(self.db.snapshot())
-        } else {
-            None
-        };
-        // Cross-call verdicts: take the persistent map for this query
-        // under the lock, then read it lock-free from every shard.
-        let query_key = use_cache.then(|| query.to_string());
-        let persistent: Option<Arc<FxHashMap<Vec<u64>, bool>>> = query_key.as_ref().map(|k| {
-            let cache = self.verdict_cache.lock().unwrap();
-            cache.by_query.get(k).cloned().unwrap_or_default()
-        });
-        let input = ShardInput {
-            graph: &self.graph,
-            template: &template,
-            candidates: &candidates,
-            flags: flags.as_deref(),
-            snapshot: snapshot.as_ref(),
-            filtered: filtered.as_ref(),
-            use_cache,
-            index_probes: self.options.index_probes,
-            persistent: persistent.as_deref(),
-            gov,
-        };
-        // Panic-isolating runner: a panicking shard poisons only its
-        // slot; every sibling drains. The first failure — in shard
-        // order, panic or error alike — is surfaced *after* the drain,
-        // and the merge (including the verdict-cache write-back) is
-        // skipped entirely, so the `Hippo` and its caches stay valid.
-        let outs = parallel::run_indexed_isolated(shards.len(), threads, |si| {
-            prove_shard(&input, si, shards[si].0, shards[si].1)
-        });
-        // Deterministic merge: shard order, exact stat sums.
-        stats.shards_used = shards.len();
-        let mut answers: Vec<Row> = Vec::new();
-        let mut fresh: Vec<(Vec<u64>, bool)> = Vec::new();
-        let mut verdicts: Vec<ShardVerdicts> = Vec::with_capacity(outs.len());
-        let mut first_err: Option<EngineError> = None;
-        for out in outs {
-            match out {
-                Err(p) => {
-                    if first_err.is_none() {
-                        first_err = Some(EngineError::worker_panic("prover", p.task, &p.message));
-                    }
-                }
-                Ok(Err(e)) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                }
-                Ok(Ok(v)) => verdicts.push(v),
-            }
-        }
-        if let Some(e) = first_err {
-            if gov.degraded && e.is_governance() {
-                return Ok(truncated(stats, &e, gov, t0));
-            }
-            return Err(e);
-        }
-        for out in verdicts {
-            if out.cancelled {
-                stats.cancelled_shards += 1;
-            }
-            stats.prover = merge(stats.prover, out.stats);
-            stats.prover_calls += out.prover_calls;
-            stats.prover_cache_hits += out.cache_hits;
-            stats.prover_cache_cross_hits += out.cross_hits;
-            stats.filtered_consistent += out.filtered_consistent;
-            stats.membership_queries += out.membership_queries;
-            stats.membership_memo_hits += out.membership_memo_hits;
-            stats.index_probes += out.index_probes;
-            stats.scan_probes += out.scan_probes;
-            for i in out.accepted {
-                answers.push(candidates[i as usize].clone());
-            }
-            fresh.extend(out.fresh);
-        }
-        // Merge-phase write-back of newly proved signatures (shard
-        // order, first writer wins — verdicts for equal signatures are
-        // equal anyway). The lock is only held here, never by a shard.
-        if let Some(k) = query_key {
-            if !fresh.is_empty() {
-                let mut cache = self.verdict_cache.lock().unwrap();
-                if cache.by_query.len() >= VERDICT_CACHE_MAX_QUERIES
-                    && !cache.by_query.contains_key(&k)
-                {
-                    cache.by_query.clear();
-                }
-                let entry = cache.by_query.entry(k).or_default();
-                let map = Arc::make_mut(entry);
-                map.reserve(fresh.len());
-                for (sig, verdict) in fresh {
-                    map.entry(sig).or_insert(verdict);
+    // ---- Sharded answer stage ----
+    //
+    // No serial prefix beyond candidate collection: dedup, the
+    // core-filter probe and the prover all run inside the shards.
+    // Dedup is shard-local (a duplicate crossing a shard boundary is
+    // decided twice and collapsed by the final sort+dedup — the
+    // envelope is set-semantics, so this is a belt-and-braces case),
+    // which keeps every counter an exact sum over fixed shards.
+    let tp = Instant::now();
+    let shards = parallel::split_ranges(candidates.len(), PROVER_SHARDS);
+    let threads = options.resolved_prover_threads();
+    let use_cache = options.prover_cache;
+    // Base mode: freeze the instance once; all workers share the one
+    // snapshot `Arc` and issue their membership SQL against it.
+    let snapshot: Option<DbSnapshot> = if flags.is_none() {
+        Some(backend.membership_snapshot())
+    } else {
+        None
+    };
+    // Cross-call verdicts: take the persistent map for this query
+    // under the lock, then read it lock-free from every shard.
+    let query_key = use_cache.then(|| query.to_string());
+    let persistent: Option<Arc<FxHashMap<Vec<u64>, bool>>> = query_key.as_ref().map(|k| {
+        let cache = verdict_cache.lock().unwrap();
+        cache.by_query.get(k).cloned().unwrap_or_default()
+    });
+    let input = ShardInput {
+        graph,
+        template: &template,
+        candidates: &candidates,
+        flags: flags.as_deref(),
+        snapshot: snapshot.as_ref(),
+        filtered: filtered.as_ref(),
+        use_cache,
+        index_probes: options.index_probes,
+        persistent: persistent.as_deref(),
+        gov,
+    };
+    // Panic-isolating runner: a panicking shard poisons only its
+    // slot; every sibling drains. The first failure — in shard
+    // order, panic or error alike — is surfaced *after* the drain,
+    // and the merge (including the verdict-cache write-back) is
+    // skipped entirely, so the `Hippo` and its caches stay valid.
+    let outs = parallel::run_indexed_isolated(shards.len(), threads, |si| {
+        prove_shard(&input, si, shards[si].0, shards[si].1)
+    });
+    // Deterministic merge: shard order, exact stat sums.
+    stats.shards_used = shards.len();
+    let mut answers: Vec<Row> = Vec::new();
+    let mut fresh: Vec<(Vec<u64>, bool)> = Vec::new();
+    let mut verdicts: Vec<ShardVerdicts> = Vec::with_capacity(outs.len());
+    let mut first_err: Option<EngineError> = None;
+    for out in outs {
+        match out {
+            Err(p) => {
+                if first_err.is_none() {
+                    first_err = Some(EngineError::worker_panic("prover", p.task, &p.message));
                 }
             }
+            Ok(Err(e)) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+            Ok(Ok(v)) => verdicts.push(v),
         }
-        stats.t_prover = tp.elapsed();
-
-        answers.sort();
-        answers.dedup();
-        stats.answers = answers.len();
-        if let Some(b) = gov.budget_ref() {
-            stats.budget_checks = b.checks();
-        }
-        stats.t_total = t0.elapsed();
-        let completeness = if stats.cancelled_shards > 0 {
-            Completeness::TruncatedAt("prover")
-        } else {
-            Completeness::Complete
-        };
-        Ok(ConsistentAnswer {
-            rows: answers,
-            completeness,
-            stats,
-        })
     }
+    if let Some(e) = first_err {
+        if gov.degraded && e.is_governance() {
+            return Ok(truncated(stats, &e, gov, t0));
+        }
+        return Err(e);
+    }
+    for out in verdicts {
+        if out.cancelled {
+            stats.cancelled_shards += 1;
+        }
+        stats.prover = merge(stats.prover, out.stats);
+        stats.prover_calls += out.prover_calls;
+        stats.prover_cache_hits += out.cache_hits;
+        stats.prover_cache_cross_hits += out.cross_hits;
+        stats.filtered_consistent += out.filtered_consistent;
+        stats.membership_queries += out.membership_queries;
+        stats.membership_memo_hits += out.membership_memo_hits;
+        stats.index_probes += out.index_probes;
+        stats.scan_probes += out.scan_probes;
+        for i in out.accepted {
+            answers.push(candidates[i as usize].clone());
+        }
+        fresh.extend(out.fresh);
+    }
+    // Merge-phase write-back of newly proved signatures (shard
+    // order, first writer wins — verdicts for equal signatures are
+    // equal anyway). The lock is only held here, never by a shard.
+    if let Some(k) = query_key {
+        if !fresh.is_empty() {
+            let mut cache = verdict_cache.lock().unwrap();
+            if cache.by_query.len() >= VERDICT_CACHE_MAX_QUERIES && !cache.by_query.contains_key(&k)
+            {
+                cache.by_query.clear();
+            }
+            let entry = cache.by_query.entry(k).or_default();
+            let map = Arc::make_mut(entry);
+            map.reserve(fresh.len());
+            for (sig, verdict) in fresh {
+                map.entry(sig).or_insert(verdict);
+            }
+        }
+    }
+    stats.t_prover = tp.elapsed();
+
+    answers.sort();
+    answers.dedup();
+    stats.answers = answers.len();
+    if let Some(b) = gov.budget_ref() {
+        stats.budget_checks = b.checks();
+    }
+    stats.t_total = t0.elapsed();
+    let completeness = if stats.cancelled_shards > 0 {
+        Completeness::TruncatedAt("prover")
+    } else {
+        Completeness::Complete
+    };
+    Ok(ConsistentAnswer {
+        rows: answers,
+        completeness,
+        stats,
+    })
 }
 
 /// Degraded-mode truncation: finalize the stats collected so far and
@@ -2390,5 +2617,136 @@ mod tests {
         assert_eq!(answers.len(), 2);
         assert_eq!(stats.answers, 2);
         assert_eq!(stats.prover_calls, 0, "core filter accepts everything");
+    }
+
+    #[test]
+    fn frozen_view_matches_live_in_every_mode() {
+        let rows = [
+            ("ann", 100),
+            ("ann", 200),
+            ("bob", 300),
+            ("cyd", 50),
+            ("cyd", 60),
+        ];
+        for opts in [
+            HippoOptions::base(),
+            HippoOptions::kg(),
+            HippoOptions::full(),
+        ] {
+            let hippo = Hippo::with_options(emp_db(&rows), fd(), opts.clone()).unwrap();
+            let frozen = hippo.freeze().unwrap();
+            for q in queries() {
+                let live = hippo.consistent_answers_governed(&q).unwrap();
+                let cold = frozen.consistent_answers_governed(&q).unwrap();
+                assert_eq!(live.rows, cold.rows, "query {q} options {opts:?}");
+                assert_eq!(live.stats.candidates, cold.stats.candidates);
+                assert_eq!(live.stats.answers, cold.stats.answers);
+                // Plain SQL flows through the snapshot too.
+                let via_sql = frozen.query("SELECT * FROM emp").unwrap();
+                assert_eq!(via_sql.rows.len(), rows.len());
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_view_survives_live_mutation_and_redetect() {
+        let mut hippo =
+            Hippo::new(emp_db(&[("ann", 100), ("ann", 200), ("bob", 1)]), fd()).unwrap();
+        let q = SjudQuery::rel("emp");
+        let frozen = hippo.freeze().unwrap();
+        let before = frozen.consistent_answers(&q).unwrap();
+        assert_eq!(before, vec![vec![Value::text("bob"), Value::Int(1)]]);
+        // Mutate and reconcile the live system: bob becomes conflicted.
+        hippo
+            .insert_tuples("emp", vec![vec![Value::text("bob"), Value::Int(999)]])
+            .unwrap();
+        hippo.redetect().unwrap();
+        assert!(hippo.consistent_answers(&q).unwrap().is_empty());
+        // The frozen view still answers from its captured state: old
+        // data, old graph, old verdict cache.
+        assert_eq!(frozen.consistent_answers(&q).unwrap(), before);
+        assert_eq!(frozen.graph().edge_count(), 1, "pre-mutation graph");
+        assert_eq!(hippo.graph().edge_count(), 2);
+    }
+
+    #[test]
+    fn freeze_refuses_unreconciled_changes() {
+        let mut hippo = Hippo::new(emp_db(&[("ann", 100)]), fd()).unwrap();
+        hippo
+            .insert_tuples("emp", vec![vec![Value::text("ann"), Value::Int(2)]])
+            .unwrap();
+        let err = hippo.freeze().unwrap_err();
+        assert!(err.to_string().contains("cannot freeze"), "{err}");
+        hippo.redetect().unwrap();
+        hippo.freeze().unwrap();
+        // Unrecorded mutation (catalog dirty) refuses as well.
+        hippo.db_mut();
+        assert!(hippo.freeze().is_err());
+        hippo.redetect().unwrap();
+        hippo.freeze().unwrap();
+    }
+
+    #[test]
+    fn frozen_view_answers_concurrently_across_threads() {
+        let mut rows: Vec<(String, i64)> = (0..64).map(|i| (format!("p{i}"), 100 + i)).collect();
+        rows.push(("p0".into(), 999));
+        let rows: Vec<(&str, i64)> = rows.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+        let hippo = Hippo::new(emp_db(&rows), fd()).unwrap();
+        let frozen = hippo.freeze().unwrap();
+        let expected = frozen.consistent_answers(&SjudQuery::rel("emp")).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let view = frozen.clone();
+                let expected = &expected;
+                s.spawn(move || {
+                    for q in queries() {
+                        let _ = view.consistent_answers(&q).unwrap();
+                    }
+                    let got = view.consistent_answers(&SjudQuery::rel("emp")).unwrap();
+                    assert_eq!(&got, expected);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn incremental_redetect_contains_injected_panic() {
+        use crate::budget::{FaultKind, FaultPlan};
+        let mut hippo = Hippo::new(emp_db(&[("ann", 100), ("bob", 200)]), fd()).unwrap();
+        hippo.options =
+            HippoOptions::full().with_faults(FaultPlan::new("detect", Some(0), FaultKind::Panic));
+        hippo
+            .insert_tuples("emp", vec![vec![Value::text("ann"), Value::Int(999)]])
+            .unwrap();
+        // The injected panic fires on the incremental path and is
+        // contained as a structured error; nothing was published.
+        let err = hippo.redetect().unwrap_err();
+        assert!(err.is_worker_panic(), "{err}");
+        assert_eq!(hippo.graph().edge_count(), 0, "old graph still in place");
+        // The plan is spent and the dirty flag forces a full rebuild:
+        // the same instance recovers on the next call.
+        let stats = hippo.redetect().unwrap();
+        assert!(!stats.incremental, "poisoned state takes the full path");
+        assert_eq!(hippo.graph().edge_count(), 1);
+        let answers = hippo.consistent_answers(&SjudQuery::rel("emp")).unwrap();
+        assert_eq!(answers, vec![vec![Value::text("bob"), Value::Int(200)]]);
+    }
+
+    #[test]
+    fn incremental_redetect_budget_trip_is_structured_and_recoverable() {
+        use crate::budget::{FaultKind, FaultPlan};
+        let mut hippo = Hippo::new(emp_db(&[("ann", 100)]), fd()).unwrap();
+        hippo.options =
+            HippoOptions::full().with_faults(FaultPlan::new("detect", None, FaultKind::BudgetTrip));
+        hippo
+            .insert_tuples("emp", vec![vec![Value::text("ann"), Value::Int(2)]])
+            .unwrap();
+        let err = hippo.redetect().unwrap_err();
+        assert!(err.is_budget(), "{err}");
+        assert!(hippo.freeze().is_err(), "failed reconciliation is dirty");
+        let stats = hippo.redetect().unwrap();
+        assert!(!stats.incremental);
+        assert_eq!(hippo.graph().edge_count(), 1);
+        hippo.freeze().unwrap();
     }
 }

@@ -117,7 +117,11 @@ pub struct TaskPanic {
 }
 
 /// Extract a human-readable message from a caught panic payload.
-pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+///
+/// Public so service layers that `catch_unwind` around a whole write
+/// transaction (not just one worker task) can produce the same
+/// structured panic messages as the in-crate isolation wrappers.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

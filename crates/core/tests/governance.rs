@@ -341,9 +341,25 @@ fn budget_trip_in_each_stage_degrades_to_sound_subset() {
 
 #[test]
 fn hippo_fault_env_var_round_trips() {
-    // Not set (or set to empty) => no plan.
+    // All env mutation lives in this one test — the harness runs tests
+    // in parallel and HIPPO_FAULT is process-global.
+    // Not set (or set to whitespace) => no plan.
     std::env::remove_var("HIPPO_FAULT");
     assert!(FaultPlan::from_env().is_none());
+    std::env::set_var("HIPPO_FAULT", "  ");
+    assert!(FaultPlan::from_env().is_none());
+
+    // A typo'd spec is a loud startup error, not a silently disabled
+    // injection: try_from_env names the problem, from_env panics.
+    std::env::set_var("HIPPO_FAULT", "prover:2:panik");
+    let err = FaultPlan::try_from_env().expect_err("malformed spec must error");
+    assert!(err.contains("unknown fault kind"), "{err}");
+    assert!(err.contains("panik"), "{err}");
+    let panicked = std::panic::catch_unwind(FaultPlan::from_env).expect_err("from_env panics");
+    let msg = panicked
+        .downcast_ref::<String>()
+        .expect("panic carries the parse error");
+    assert!(msg.contains("HIPPO_FAULT"), "{msg}");
 
     std::env::set_var("HIPPO_FAULT", "prover:2:panic");
     let plan = FaultPlan::from_env().expect("well-formed spec parses");
@@ -365,5 +381,94 @@ fn hippo_fault_env_var_round_trips() {
     assert_eq!(
         hippo.consistent_answers_governed(&query()).unwrap().rows,
         reference_rows(600, 3)
+    );
+}
+
+// ---------------------------------------------------------------------
+// Cancel race: a second thread cancels mid-call. The call must return
+// `Cancelled` promptly (no deadlock, no waiting out the full run) at 1
+// and 4 prover threads, and `reset` makes the same instance reusable.
+// ---------------------------------------------------------------------
+
+#[test]
+fn cancel_race_from_second_thread_is_prompt_and_resettable() {
+    let (db, cons) = workload(16_000, 84);
+    let mut hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+    let reference = hippo.consistent_answers(&query()).unwrap();
+    for threads in [1usize, 4] {
+        hippo.options = HippoOptions::full().with_prover_threads(threads);
+        let handle = hippo.options.cancel_handle();
+        std::thread::scope(|s| {
+            let canceller = s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(3));
+                handle.cancel();
+            });
+            let t0 = std::time::Instant::now();
+            let err = hippo
+                .consistent_answers_governed(&query())
+                .expect_err("cancelled mid-call");
+            assert!(err.is_cancelled(), "threads={threads}: {err}");
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "threads={threads}: cancellation was not prompt: {:?}",
+                t0.elapsed()
+            );
+            canceller.join().unwrap();
+        });
+        // The flag is sticky until reset — then the *same* instance
+        // answers in full again.
+        let handle = hippo.options.cancel_handle();
+        handle.reset();
+        assert_eq!(
+            hippo.consistent_answers_governed(&query()).unwrap().rows,
+            reference,
+            "threads={threads}: instance unusable after cancel+reset"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Delay fault under concurrency: a delay injected into one prover
+// shard must not stall sibling shards' budget checks — they trip on
+// their own deadline instead of queueing behind the sleeping shard, so
+// the call returns in O(delay), not O(delay × shards).
+// ---------------------------------------------------------------------
+
+#[test]
+fn delayed_shard_does_not_stall_sibling_budget_checks() {
+    let (db, cons) = workload(4_000, 29);
+    let mut hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+    // Wide margins so the test is timing-robust under parallel test
+    // load: the deadline must be generous enough that the prover stage
+    // is reached (arming the fault), yet well under the delay so the
+    // sleeping shard is guaranteed to overshoot it.
+    let delay = Duration::from_millis(600);
+    for threads in [1usize, 4] {
+        hippo.options = HippoOptions::full()
+            .with_prover_threads(threads)
+            .with_deadline(Duration::from_millis(250))
+            .with_faults(FaultPlan::new("prover", Some(0), FaultKind::Delay(delay)));
+        let t0 = std::time::Instant::now();
+        let err = hippo
+            .consistent_answers_governed(&query())
+            .expect_err("deadline < injected delay must trip");
+        let elapsed = t0.elapsed();
+        assert!(err.is_budget(), "threads={threads}: {err}");
+        assert!(
+            hippo.options.governance_faults_fired(),
+            "threads={threads}: the delay never fired — deadline too tight to reach the prover"
+        );
+        // The sleeping shard is drained (elapsed covers the delay once)
+        // but siblings trip on their own checks instead of sleeping too.
+        assert!(
+            elapsed < delay * 4,
+            "threads={threads}: siblings stalled behind the delayed shard: {elapsed:?}"
+        );
+    }
+    // Spent plans, tripped budgets: the instance stays fully usable.
+    hippo.options = HippoOptions::full();
+    assert_eq!(
+        hippo.consistent_answers(&query()).unwrap(),
+        reference_rows(4_000, 29)
     );
 }

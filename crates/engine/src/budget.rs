@@ -181,6 +181,16 @@ impl Budget {
         self.start.elapsed()
     }
 
+    /// Time left before the deadline trips: `None` when no deadline is
+    /// configured, `Some(ZERO)` once it has passed. Services use this to
+    /// propagate a request deadline across stages — e.g. capping how
+    /// long the request may sit in an admission queue before execution
+    /// would be pointless.
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
     /// One full cooperative check: counted, then cancellation, forced
     /// trip, deadline and row budget — in that order. `stage` names the
     /// pipeline stage for the structured error.
@@ -269,6 +279,16 @@ mod tests {
                 limit: 10
             }
         );
+    }
+
+    #[test]
+    fn remaining_time_tracks_the_deadline() {
+        assert_eq!(Budget::new().remaining_time(), None);
+        let b = Budget::new().with_deadline(Duration::from_secs(3600));
+        let left = b.remaining_time().expect("deadline configured");
+        assert!(left > Duration::from_secs(3000), "{left:?}");
+        let b = Budget::new().with_deadline(Duration::ZERO);
+        assert_eq!(b.remaining_time(), Some(Duration::ZERO), "never negative");
     }
 
     #[test]

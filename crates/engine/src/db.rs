@@ -106,6 +106,17 @@ impl Database {
         Database::default()
     }
 
+    /// Rebuild a live database from a frozen catalog (e.g. one cloned
+    /// out of a [`DbSnapshot`]). The chaos/oracle harnesses use this to
+    /// replay a published epoch's exact instance through a fresh,
+    /// serial system and compare answers bit-for-bit.
+    pub fn from_catalog(catalog: Catalog) -> Database {
+        Database {
+            catalog: Arc::new(catalog),
+            stats: Default::default(),
+        }
+    }
+
     /// Read access to the catalog (used by conflict detection fast paths).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog

@@ -219,6 +219,15 @@ pub enum ErrorKind {
         /// Index of the shard/task the worker was executing.
         shard: usize,
     },
+    /// A service shed this request at admission: capacity and queue are
+    /// full. The request never ran; retry after the hinted delay.
+    Overloaded {
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The service is draining for shutdown; new requests are rejected
+    /// (in-flight ones finish or trip their budgets).
+    Shutdown,
 }
 
 /// The engine error type (also used by the planner and executor).
@@ -267,6 +276,26 @@ impl EngineError {
         }
     }
 
+    /// A load-shed error (see [`ErrorKind::Overloaded`]): the request
+    /// was rejected at admission, `retry_after` hints the back-off.
+    pub fn overloaded(retry_after: std::time::Duration) -> EngineError {
+        let retry_after_ms = retry_after.as_millis() as u64;
+        EngineError {
+            message: format!(
+                "service overloaded: request shed at admission (retry after {retry_after_ms}ms)"
+            ),
+            kind: ErrorKind::Overloaded { retry_after_ms },
+        }
+    }
+
+    /// A drain-rejection error (see [`ErrorKind::Shutdown`]).
+    pub fn shutdown() -> EngineError {
+        EngineError {
+            message: "service is shutting down: new requests are rejected".to_string(),
+            kind: ErrorKind::Shutdown,
+        }
+    }
+
     /// Is this a budget-exhaustion error?
     pub fn is_budget(&self) -> bool {
         matches!(self.kind, ErrorKind::Budget { .. })
@@ -282,10 +311,38 @@ impl EngineError {
         matches!(self.kind, ErrorKind::WorkerPanic { .. })
     }
 
+    /// Was the request shed at admission?
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self.kind, ErrorKind::Overloaded { .. })
+    }
+
+    /// Was the request rejected by a draining service?
+    pub fn is_shutdown(&self) -> bool {
+        matches!(self.kind, ErrorKind::Shutdown)
+    }
+
+    /// The back-off hint of an [`ErrorKind::Overloaded`] error.
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        match self.kind {
+            ErrorKind::Overloaded { retry_after_ms } => {
+                Some(std::time::Duration::from_millis(retry_after_ms))
+            }
+            _ => None,
+        }
+    }
+
     /// Budget or cancellation — the errors degraded mode may absorb
     /// into a truncated-but-sound partial answer.
     pub fn is_governance(&self) -> bool {
         self.is_budget() || self.is_cancelled()
+    }
+
+    /// Transient service conditions a client may retry after backing
+    /// off: shed at admission or cancelled mid-flight. Budget trips and
+    /// worker panics are *not* retryable by default — the same request
+    /// would trip the same budget, and a panic needs investigation.
+    pub fn is_retryable(&self) -> bool {
+        self.is_overloaded() || self.is_cancelled()
     }
 }
 
@@ -367,6 +424,19 @@ mod tests {
             .check_row(vec![Value::text("a"), Value::Int(1), Value::Int(2)])
             .unwrap();
         assert_eq!(row[2], Value::Float(2.0), "int widens to float column");
+    }
+
+    #[test]
+    fn service_error_kinds_classify() {
+        let e = EngineError::overloaded(std::time::Duration::from_millis(25));
+        assert!(e.is_overloaded() && e.is_retryable() && !e.is_governance());
+        assert_eq!(e.retry_after(), Some(std::time::Duration::from_millis(25)));
+        assert_eq!(e.kind, ErrorKind::Overloaded { retry_after_ms: 25 });
+        let e = EngineError::shutdown();
+        assert!(e.is_shutdown() && !e.is_retryable());
+        assert_eq!(e.retry_after(), None);
+        assert!(EngineError::cancelled("prover").is_retryable());
+        assert!(!EngineError::budget("prover", 1, 1).is_retryable());
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Bounded admission control: at most `max_active` requests execute at
+//! once, at most `max_queue` wait behind them, and everything beyond
+//! that is **shed immediately** with a structured
+//! [`ErrorKind::Overloaded`](hippo_engine::ErrorKind) error carrying a
+//! retry hint — the queue never grows without bound, so a load spike
+//! degrades into fast rejections instead of unbounded latency.
+//!
+//! Waiting is deadline-aware: a queued request gives up (with a
+//! `Budget` error at stage `"admission"`) once its own deadline would
+//! expire before it could run, so queue time is charged against the
+//! same per-request budget the execution stages consume. Draining
+//! ([`Admission::drain`]) rejects new arrivals with `Shutdown`, wakes
+//! every waiter, and blocks until the last active request finishes.
+
+use hippo_engine::EngineError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Mutable admission state behind the lock. Counters only — the lock
+/// is held for bookkeeping, never while a request executes.
+#[derive(Debug, Default)]
+struct AdmState {
+    /// Requests currently holding a [`Permit`].
+    active: usize,
+    /// Requests blocked in [`Admission::admit`] waiting for a slot.
+    queued: usize,
+    /// Set once by [`Admission::drain`]; never cleared.
+    draining: bool,
+}
+
+/// The bounded admission gate. One per [`crate::Engine`]; every
+/// request — reads, CQA runs and writes alike — passes through
+/// [`Admission::admit`] and holds the returned [`Permit`] for the
+/// duration of its execution.
+#[derive(Debug)]
+pub(crate) struct Admission {
+    state: Mutex<AdmState>,
+    cv: Condvar,
+    max_active: usize,
+    max_queue: usize,
+    retry_after: Duration,
+    /// Requests rejected at admission because the queue was full.
+    shed: AtomicU64,
+    /// Requests admitted (immediately or after queueing).
+    admitted: AtomicU64,
+}
+
+impl Admission {
+    pub(crate) fn new(max_active: usize, max_queue: usize, retry_after: Duration) -> Admission {
+        Admission {
+            state: Mutex::new(AdmState::default()),
+            cv: Condvar::new(),
+            max_active: max_active.max(1),
+            max_queue,
+            retry_after,
+            shed: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Admit one request, blocking in the bounded queue if the service
+    /// is at capacity. `deadline` is the request's own absolute
+    /// deadline: the wait is capped so a request never queues past the
+    /// point where running it would be pointless.
+    ///
+    /// Errors: `Overloaded { retry_after }` when the queue is full
+    /// (immediate, never blocks), `Shutdown` when draining, `Budget`
+    /// at stage `"admission"` when the deadline expired while queued.
+    pub(crate) fn admit(&self, deadline: Option<Instant>) -> Result<Permit<'_>, EngineError> {
+        let mut st = self.state.lock().unwrap();
+        if st.draining {
+            return Err(EngineError::shutdown());
+        }
+        if st.active < self.max_active {
+            st.active += 1;
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+            return Ok(Permit { adm: self });
+        }
+        if st.queued >= self.max_queue {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::overloaded(self.retry_after));
+        }
+        st.queued += 1;
+        let enqueued = Instant::now();
+        loop {
+            // Cap the wait by the request's remaining deadline (plus a
+            // coarse heartbeat when undeadlined, so a lost wakeup can
+            // never wedge a waiter forever).
+            let now = Instant::now();
+            let wait = match deadline {
+                Some(d) if d <= now => {
+                    st.queued -= 1;
+                    // Another slot may have opened for a sibling waiter.
+                    self.cv.notify_all();
+                    let spent = now.saturating_duration_since(enqueued);
+                    return Err(EngineError::budget(
+                        "admission",
+                        spent.as_micros() as u64,
+                        0,
+                    ));
+                }
+                Some(d) => d.saturating_duration_since(now),
+                None => Duration::from_millis(100),
+            };
+            st = self.cv.wait_timeout(st, wait).unwrap().0;
+            if st.draining {
+                st.queued -= 1;
+                self.cv.notify_all();
+                return Err(EngineError::shutdown());
+            }
+            if st.active < self.max_active {
+                st.queued -= 1;
+                st.active += 1;
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                return Ok(Permit { adm: self });
+            }
+        }
+    }
+
+    /// Begin draining: new arrivals get `Shutdown`, queued waiters are
+    /// woken into `Shutdown`, and this call blocks until every active
+    /// request has released its permit.
+    pub(crate) fn drain(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.draining = true;
+        self.cv.notify_all();
+        while st.active > 0 || st.queued > 0 {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        self.state.lock().unwrap().draining
+    }
+
+    pub(crate) fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn admitted_count(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// (active, queued) right now — approximate by nature.
+    pub(crate) fn occupancy(&self) -> (usize, usize) {
+        let st = self.state.lock().unwrap();
+        (st.active, st.queued)
+    }
+}
+
+/// RAII admission slot: dropping it frees the slot and wakes one
+/// waiter (or the drain loop).
+#[derive(Debug)]
+pub(crate) struct Permit<'a> {
+    adm: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.adm.state.lock().unwrap();
+        st.active -= 1;
+        // notify_all, not notify_one: waiters and the drain loop share
+        // the condvar, and a single wakeup could land on the "wrong"
+        // class and stall the other.
+        self.adm.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sheds_beyond_queue_with_retry_hint() {
+        let adm = Admission::new(1, 0, Duration::from_millis(7));
+        let p = adm.admit(None).unwrap();
+        let err = adm.admit(None).unwrap_err();
+        assert!(err.is_overloaded(), "{err}");
+        assert_eq!(err.retry_after(), Some(Duration::from_millis(7)));
+        assert_eq!(adm.shed_count(), 1);
+        drop(p);
+        let _p = adm.admit(None).unwrap();
+        assert_eq!(adm.admitted_count(), 2);
+    }
+
+    #[test]
+    fn queued_request_runs_when_slot_frees() {
+        let adm = Admission::new(1, 4, Duration::from_millis(1));
+        let p = adm.admit(None).unwrap();
+        let ran = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                let _p = adm.admit(None).unwrap();
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(ran.load(Ordering::Relaxed), 0, "still queued");
+            drop(p);
+            h.join().unwrap();
+            assert_eq!(ran.load(Ordering::Relaxed), 1);
+        });
+    }
+
+    #[test]
+    fn queue_wait_respects_the_deadline() {
+        let adm = Admission::new(1, 4, Duration::from_millis(1));
+        let _p = adm.admit(None).unwrap();
+        let t0 = Instant::now();
+        let err = adm
+            .admit(Some(Instant::now() + Duration::from_millis(30)))
+            .unwrap_err();
+        assert!(err.is_budget(), "{err}");
+        let waited = t0.elapsed();
+        assert!(waited >= Duration::from_millis(25), "{waited:?}");
+        assert!(waited < Duration::from_secs(2), "{waited:?}");
+        let (_, queued) = adm.occupancy();
+        assert_eq!(queued, 0, "gave its queue slot back");
+    }
+
+    #[test]
+    fn drain_rejects_new_wakes_queued_and_waits_for_active() {
+        let adm = Admission::new(1, 4, Duration::from_millis(1));
+        let p = adm.admit(None).unwrap();
+        std::thread::scope(|s| {
+            // One queued waiter that drain must wake into Shutdown.
+            let waiter = s.spawn(|| adm.admit(None).map(|_| ()));
+            std::thread::sleep(Duration::from_millis(10));
+            let drainer = s.spawn(|| adm.drain());
+            std::thread::sleep(Duration::from_millis(10));
+            assert!(adm.admit(None).unwrap_err().is_shutdown());
+            assert!(waiter.join().unwrap().unwrap_err().is_shutdown());
+            assert!(!drainer.is_finished(), "drain waits for the permit");
+            drop(p);
+            drainer.join().unwrap();
+        });
+        assert!(adm.is_draining());
+    }
+}

@@ -1,0 +1,483 @@
+//! Concurrent CQA service layer for the Hippo system: **epoch-published
+//! snapshots** behind a single-writer/many-reader protocol, with
+//! bounded admission, per-request deadline propagation, client-side
+//! retry and graceful drain. Library-first: [`Engine`] and [`Session`]
+//! are plain types — no network, no executor — so the same protocol
+//! can sit under any transport.
+//!
+//! # The epoch protocol
+//!
+//! Every published epoch is an `Arc<`[`Epoch`]`>` bundling a
+//! [`FrozenHippo`] — the database snapshot, the conflict hypergraph
+//! and the verdict cache, frozen together by [`Hippo::freeze`] — so a
+//! reader's entire request runs against one self-consistent state
+//! with **zero locks** on the data path. Writes serialize through one
+//! writer slot and only ever publish *after* full success:
+//!
+//! ```text
+//!                 ┌───────────── single writer (Mutex) ─────────────┐
+//! write(ops) ──▶  │ apply ops ──▶ redetect (◆ governed, panics      │
+//!                 │ (recorded)     contained) ──▶ freeze()          │
+//!                 │    │ Err / panic: writer_recoveries += 1,       │
+//!                 │    │ state poisoned → next redetect rebuilds;   │
+//!                 │    ▼ NOTHING PUBLISHED                          │
+//!                 │ publish: swap RwLock<Arc<Epoch>> ── epoch n+1   │
+//!                 └──────────────────────────┬──────────────────────┘
+//!                                            ▼
+//!            readers: Session::pin ──▶ Arc<Epoch n> ── lock-free
+//!            query / consistent_answers on the pinned epoch
+//! ```
+//!
+//! A panicking or budget-tripped write therefore **never** replaces
+//! the published epoch — readers keep answering from the last good
+//! one, and the writer stays usable (the next successful write
+//! reconciles from scratch and publishes everything).
+//!
+//! # Admission and overload
+//!
+//! Every request — read, CQA run or write — passes the bounded
+//! admission gate before touching data:
+//!
+//! ```text
+//!            ┌─ admission ────────────────────────────────┐
+//! request ──▶│ active < max_active ────────────▶ RUN      │──▶ permit
+//!            │ else queued < max_queue ──▶ WAIT (deadline-│    (RAII)
+//!            │      capped; drain wakes ▶ Shutdown)       │
+//!            │ else ──▶ SHED: Overloaded { retry_after }  │
+//!            │ draining ──▶ Shutdown                      │
+//!            └────────────────────────────────────────────┘
+//! ```
+//!
+//! Shedding is immediate (the queue is bounded, so overload degrades
+//! into fast structured rejections, not unbounded latency), and the
+//! request's deadline keeps ticking while it queues: whatever deadline
+//! remains after admission is what the execution stages get, via the
+//! engine's cooperative [`Budget`](hippo_engine::Budget). Clients
+//! wrap calls in a [`RetryPolicy`] that retries only transient
+//! `Overloaded`/`Cancelled` outcomes, with jittered exponential
+//! backoff floored at the server's `retry_after` hint.
+//!
+//! [`Engine::drain`] flips the gate to `Shutdown` for new arrivals,
+//! wakes every queued waiter, and blocks until in-flight requests
+//! finish (or trip their own budgets) — then the process can exit
+//! with nothing half-done.
+
+mod admission;
+mod retry;
+mod stats;
+
+pub use retry::RetryPolicy;
+pub use stats::{ServiceStats, SessionStats};
+
+use admission::Admission;
+use hippo_cqa::budget::ConsistentAnswer;
+use hippo_cqa::detect::DetectStats;
+use hippo_cqa::hippo::{FrozenHippo, Hippo, HippoOptions};
+use hippo_cqa::parallel::panic_message;
+use hippo_cqa::query::SjudQuery;
+use hippo_engine::{CancelHandle, EngineError, QueryResult, Row, TupleId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Service configuration. The defaults suit tests; production-ish
+/// callers size `max_active` to core count and set a deadline.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Requests executing concurrently (readers and the writer alike);
+    /// minimum 1.
+    pub max_active: usize,
+    /// Requests allowed to wait behind the active set; beyond this,
+    /// arrivals are shed with `Overloaded`.
+    pub max_queue: usize,
+    /// The back-off hint attached to `Overloaded` rejections.
+    pub retry_after: Duration,
+    /// Default per-request deadline for sessions (covers queue wait
+    /// *and* execution); `None` = ungoverned. Sessions can override
+    /// per request via [`Session::set_deadline`].
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            max_active: 4,
+            max_queue: 8,
+            retry_after: Duration::from_millis(2),
+            default_deadline: None,
+        }
+    }
+}
+
+/// One published state of the service: an id, the frozen system, and
+/// provenance. Readers hold epochs alive through `Arc`s; publishing a
+/// new epoch never invalidates a pinned one.
+#[derive(Debug)]
+pub struct Epoch {
+    id: u64,
+    frozen: FrozenHippo,
+    /// Write transactions folded into this epoch since startup.
+    writes_applied: u64,
+    published_at: Instant,
+}
+
+impl Epoch {
+    /// Monotonic epoch id (0 = the startup epoch).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The frozen system: catalog snapshot + hypergraph + verdict
+    /// cache.
+    pub fn frozen(&self) -> &FrozenHippo {
+        &self.frozen
+    }
+
+    /// Write transactions folded into this epoch since startup.
+    pub fn writes_applied(&self) -> u64 {
+        self.writes_applied
+    }
+
+    /// Time since this epoch was published.
+    pub fn age(&self) -> Duration {
+        self.published_at.elapsed()
+    }
+}
+
+/// One recorded mutation inside a [`Engine::write`] transaction.
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// Insert rows into a table.
+    Insert { table: String, rows: Vec<Row> },
+    /// Delete tuples by id (unknown ids are skipped, matching
+    /// [`Hippo::delete_tuples`]).
+    Delete { table: String, tids: Vec<TupleId> },
+    /// Update tuples in place (ids survive).
+    Update {
+        table: String,
+        updates: Vec<(TupleId, Row)>,
+    },
+}
+
+/// What a successful [`Engine::write`] published.
+#[derive(Debug, Clone)]
+pub struct WriteReceipt {
+    /// The epoch this write became visible in.
+    pub epoch: u64,
+    /// The reconciliation's detection stats (incremental whenever
+    /// every change since the last epoch was recorded).
+    pub detect: DetectStats,
+    /// Tuple ids assigned to inserted rows, in op order.
+    pub inserted: Vec<TupleId>,
+}
+
+struct WriterState {
+    hippo: Hippo,
+    writes_applied: u64,
+}
+
+struct Shared {
+    epoch: RwLock<Arc<Epoch>>,
+    writer: Mutex<WriterState>,
+    admission: Admission,
+    config: EngineConfig,
+    epochs_published: AtomicU64,
+    writer_recoveries: AtomicU64,
+}
+
+/// The service engine: owns the single writer slot and the published
+/// epoch pointer. Cheap to clone (all clones share one service);
+/// `Send + Sync`, so clients are plain threads.
+#[derive(Clone)]
+pub struct Engine {
+    shared: Arc<Shared>,
+}
+
+// The service exists to be shared across client threads.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<Engine>();
+    assert_sync_send::<Epoch>();
+};
+
+impl Engine {
+    /// Start a service around a reconciled [`Hippo`], publishing epoch
+    /// 0 immediately. Fails if the system has unreconciled changes
+    /// (same rule as [`Hippo::freeze`]).
+    pub fn new(hippo: Hippo, config: EngineConfig) -> Result<Engine, EngineError> {
+        let frozen = hippo.freeze()?;
+        let epoch = Arc::new(Epoch {
+            id: 0,
+            frozen,
+            writes_applied: 0,
+            published_at: Instant::now(),
+        });
+        let admission = Admission::new(config.max_active, config.max_queue, config.retry_after);
+        Ok(Engine {
+            shared: Arc::new(Shared {
+                epoch: RwLock::new(epoch),
+                writer: Mutex::new(WriterState {
+                    hippo,
+                    writes_applied: 0,
+                }),
+                admission,
+                config,
+                epochs_published: AtomicU64::new(1),
+                writer_recoveries: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The currently published epoch (an `Arc` clone; the caller's
+    /// copy stays valid across later publishes).
+    pub fn current_epoch(&self) -> Arc<Epoch> {
+        self.shared.epoch.read().unwrap().clone()
+    }
+
+    /// Open a reader session pinned to the current epoch.
+    pub fn session(&self) -> Session {
+        let epoch = self.current_epoch();
+        let options = epoch.frozen.options.clone();
+        Session {
+            shared: Arc::clone(&self.shared),
+            deadline: self.shared.config.default_deadline,
+            options,
+            epoch,
+            requests: 0,
+        }
+    }
+
+    /// Apply a write transaction through the serialized writer path
+    /// and publish the resulting epoch. Concurrency-safe: writes
+    /// serialize on the writer lock (after passing admission like any
+    /// request), readers never block.
+    ///
+    /// On **any** failure — op validation, a governed redetect
+    /// tripping its budget, an injected fault, or a panic inside
+    /// reconciliation — nothing is published: readers keep the last
+    /// good epoch, the writer state is poisoned so the next
+    /// reconciliation rebuilds from scratch, and
+    /// [`ServiceStats::writer_recoveries`] increments. Ops applied
+    /// before the failure remain in the (unpublished) live state and
+    /// become visible with the next successful write's epoch.
+    pub fn write(&self, ops: Vec<WriteOp>) -> Result<WriteReceipt, EngineError> {
+        let _permit = self.shared.admission.admit(None)?;
+        let mut w = self.shared.writer.lock().unwrap();
+        type Applied = (DetectStats, Vec<TupleId>);
+        let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<Applied, EngineError> {
+                let mut inserted = Vec::new();
+                for op in &ops {
+                    match op {
+                        WriteOp::Insert { table, rows } => {
+                            inserted.extend(w.hippo.insert_tuples(table, rows.clone())?);
+                        }
+                        WriteOp::Delete { table, tids } => {
+                            w.hippo.delete_tuples(table, tids)?;
+                        }
+                        WriteOp::Update { table, updates } => {
+                            w.hippo.update_tuples(table, updates.clone())?;
+                        }
+                    }
+                }
+                let stats = w.hippo.redetect()?;
+                Ok((stats, inserted))
+            },
+        ));
+        match applied {
+            Ok(Ok((detect, inserted))) => {
+                let frozen = w.hippo.freeze()?;
+                w.writes_applied += 1;
+                let epoch = {
+                    let mut cur = self.shared.epoch.write().unwrap();
+                    let id = cur.id + 1;
+                    *cur = Arc::new(Epoch {
+                        id,
+                        frozen,
+                        writes_applied: w.writes_applied,
+                        published_at: Instant::now(),
+                    });
+                    id
+                };
+                self.shared.epochs_published.fetch_add(1, Ordering::Relaxed);
+                Ok(WriteReceipt {
+                    epoch,
+                    detect,
+                    inserted,
+                })
+            }
+            Ok(Err(e)) => {
+                // Structured failure (validation, budget trip, injected
+                // fault): `redetect`'s poison-on-entry already forces
+                // the next reconciliation onto the full path.
+                self.shared
+                    .writer_recoveries
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+            Err(payload) => {
+                // A panic may have interrupted op application itself,
+                // leaving recorded state out of sync with the catalog —
+                // poison explicitly so the next redetect rebuilds.
+                let _ = w.hippo.db_mut();
+                self.shared
+                    .writer_recoveries
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(EngineError::worker_panic(
+                    "write",
+                    0,
+                    &panic_message(payload.as_ref()),
+                ))
+            }
+        }
+    }
+
+    /// Replace the writer's governance/options (deadline, fault plan,
+    /// thread count) for subsequent writes. This is how the chaos
+    /// harness arms "writer panics mid-redetect".
+    pub fn set_writer_options(&self, options: HippoOptions) {
+        self.shared.writer.lock().unwrap().hippo.options = options;
+    }
+
+    /// Graceful shutdown: reject new requests with `Shutdown`, wake
+    /// queued waiters into `Shutdown`, and block until every in-flight
+    /// request has finished (or tripped its budget). Idempotent.
+    pub fn drain(&self) {
+        self.shared.admission.drain();
+    }
+
+    /// Has [`Engine::drain`] begun?
+    pub fn is_draining(&self) -> bool {
+        self.shared.admission.is_draining()
+    }
+
+    /// A point-in-time snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let (active, queued) = self.shared.admission.occupancy();
+        let epoch = self.current_epoch();
+        ServiceStats {
+            epochs_published: self.shared.epochs_published.load(Ordering::Relaxed),
+            writes_applied: epoch.writes_applied,
+            requests_admitted: self.shared.admission.admitted_count(),
+            requests_shed: self.shared.admission.shed_count(),
+            writer_recoveries: self.shared.writer_recoveries.load(Ordering::Relaxed),
+            active,
+            queued,
+            epoch_age: epoch.age(),
+            draining: self.is_draining(),
+        }
+    }
+}
+
+/// A reader session: pinned to one epoch until [`Session::refresh`],
+/// with its own deadline and (armable) cancellation handle. Cheap —
+/// one per client thread, or one per request, as the caller prefers.
+///
+/// Every data call runs admission → deadline-budgeted execution
+/// against the pinned epoch's [`FrozenHippo`]; the live writer is
+/// never touched.
+pub struct Session {
+    shared: Arc<Shared>,
+    epoch: Arc<Epoch>,
+    options: HippoOptions,
+    deadline: Option<Duration>,
+    requests: u64,
+}
+
+impl Session {
+    /// The epoch this session reads from.
+    pub fn epoch(&self) -> &Arc<Epoch> {
+        &self.epoch
+    }
+
+    /// Re-pin to the latest published epoch (keeping this session's
+    /// deadline, mode flags and armed cancellation).
+    pub fn refresh(&mut self) {
+        self.epoch = self.shared.epoch.read().unwrap().clone();
+    }
+
+    /// Override the per-request deadline (`None` = ungoverned). The
+    /// deadline covers queue wait and execution together.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// Mutable access to the session's answer-mode options (KG/core
+    /// filter/threads/degraded). Governance deadlines still come from
+    /// [`Session::set_deadline`].
+    pub fn options_mut(&mut self) -> &mut HippoOptions {
+        &mut self.options
+    }
+
+    /// A handle that cancels this session's in-flight (or next)
+    /// request from another thread. Sticky until
+    /// [`CancelHandle::reset`].
+    pub fn cancel_handle(&mut self) -> CancelHandle {
+        self.options.cancel_handle()
+    }
+
+    /// This session's view of its pinned epoch.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            pinned_epoch: self.epoch.id,
+            pinned_writes: self.epoch.writes_applied,
+            pinned_age: self.epoch.age(),
+            requests: self.requests,
+        }
+    }
+
+    /// Admission + remaining-deadline accounting shared by the data
+    /// calls. Returns the request's effective options (deadline
+    /// adjusted for time spent queueing).
+    fn admit(
+        &self,
+        arrival: Instant,
+    ) -> Result<(admission::Permit<'_>, HippoOptions), EngineError> {
+        let absolute = self.deadline.map(|d| arrival + d);
+        let permit = self.shared.admission.admit(absolute)?;
+        let mut options = self.options.clone();
+        options.governance.deadline = match self.deadline {
+            None => None,
+            Some(d) => {
+                let remaining = d.saturating_sub(arrival.elapsed());
+                if remaining.is_zero() {
+                    return Err(EngineError::budget(
+                        "admission",
+                        arrival.elapsed().as_micros() as u64,
+                        d.as_micros() as u64,
+                    ));
+                }
+                Some(remaining)
+            }
+        };
+        Ok((permit, options))
+    }
+
+    /// Run a plain (non-CQA) SQL `SELECT` against the pinned epoch.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult, EngineError> {
+        let arrival = Instant::now();
+        self.requests += 1;
+        let (_permit, options) = self.admit(arrival)?;
+        let gov = options.governance();
+        self.epoch.frozen.query_governed(sql, gov.budget_ref())
+    }
+
+    /// Compute consistent answers on the pinned epoch (sorted rows).
+    pub fn consistent_answers(&mut self, query: &SjudQuery) -> Result<Vec<Row>, EngineError> {
+        Ok(self.consistent_answers_governed(query)?.rows)
+    }
+
+    /// The governed CQA entry point: admission, deadline propagation,
+    /// then the epoch's full answer pipeline with this session's mode
+    /// flags. Completeness semantics are exactly
+    /// [`Hippo::consistent_answers_governed`]'s.
+    pub fn consistent_answers_governed(
+        &mut self,
+        query: &SjudQuery,
+    ) -> Result<ConsistentAnswer, EngineError> {
+        let arrival = Instant::now();
+        self.requests += 1;
+        let (_permit, options) = self.admit(arrival)?;
+        self.epoch.frozen.consistent_answers_with(query, &options)
+    }
+}

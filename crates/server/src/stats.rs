@@ -1,0 +1,128 @@
+//! Service-level counters, mirroring the one-line `Display` style of
+//! the core crate's `DetectStats` / `AnswerStats`.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A point-in-time snapshot of one [`crate::Engine`]'s service
+/// counters (all monotonic except the occupancy gauges).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Epochs published so far, including the initial one.
+    pub epochs_published: u64,
+    /// Write transactions applied and published.
+    pub writes_applied: u64,
+    /// Requests admitted (immediately or after queueing).
+    pub requests_admitted: u64,
+    /// Requests shed at admission with `Overloaded`.
+    pub requests_shed: u64,
+    /// Writes that failed (panic, injected fault or budget trip)
+    /// without publishing — the writer recovered and the previous
+    /// epoch stayed live.
+    pub writer_recoveries: u64,
+    /// Requests executing right now.
+    pub active: usize,
+    /// Requests waiting in the admission queue right now.
+    pub queued: usize,
+    /// Age of the currently published epoch.
+    pub epoch_age: Duration,
+    /// The service is draining: new requests get `Shutdown`.
+    pub draining: bool,
+}
+
+impl fmt::Display for ServiceStats {
+    /// One-line report in the `DetectStats`/`AnswerStats` family
+    /// style: counters first, gauges after, flags last.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epochs_published={} writes_applied={} requests_admitted={} \
+             requests_shed={} writer_recoveries={} active={} queued={} \
+             epoch_age={:.3}ms",
+            self.epochs_published,
+            self.writes_applied,
+            self.requests_admitted,
+            self.requests_shed,
+            self.writer_recoveries,
+            self.active,
+            self.queued,
+            self.epoch_age.as_secs_f64() * 1e3,
+        )?;
+        if self.draining {
+            write!(f, " draining")?;
+        }
+        Ok(())
+    }
+}
+
+/// A [`crate::Session`]'s view of its pinned epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Id of the epoch this session reads from.
+    pub pinned_epoch: u64,
+    /// Write transactions folded into the pinned epoch.
+    pub pinned_writes: u64,
+    /// How long ago the pinned epoch was published (grows until the
+    /// session refreshes, even as newer epochs land).
+    pub pinned_age: Duration,
+    /// Requests this session has completed (any outcome).
+    pub requests: u64,
+}
+
+impl fmt::Display for SessionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pinned_epoch={} pinned_writes={} pinned_age={:.3}ms requests={}",
+            self.pinned_epoch,
+            self.pinned_writes,
+            self.pinned_age.as_secs_f64() * 1e3,
+            self.requests,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_stats_one_line_report() {
+        let s = ServiceStats {
+            epochs_published: 3,
+            writes_applied: 2,
+            requests_admitted: 40,
+            requests_shed: 5,
+            writer_recoveries: 1,
+            active: 2,
+            queued: 1,
+            epoch_age: Duration::from_micros(1500),
+            draining: false,
+        };
+        let line = s.to_string();
+        assert!(line.contains("epochs_published=3"), "{line}");
+        assert!(line.contains("requests_shed=5"), "{line}");
+        assert!(line.contains("writer_recoveries=1"), "{line}");
+        assert!(line.contains("epoch_age=1.500ms"), "{line}");
+        assert!(!line.contains("draining"), "{line}");
+        let d = ServiceStats {
+            draining: true,
+            ..s
+        };
+        assert!(d.to_string().ends_with("draining"));
+    }
+
+    #[test]
+    fn session_stats_one_line_report() {
+        let s = SessionStats {
+            pinned_epoch: 7,
+            pinned_writes: 6,
+            pinned_age: Duration::from_millis(2),
+            requests: 11,
+        };
+        let line = s.to_string();
+        assert!(line.contains("pinned_epoch=7"), "{line}");
+        assert!(line.contains("pinned_age=2.000ms"), "{line}");
+        assert!(line.contains("requests=11"), "{line}");
+    }
+}
