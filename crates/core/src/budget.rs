@@ -31,18 +31,28 @@
 //!
 //! # Fault injection
 //!
-//! A [`FaultPlan`] deterministically forces a panic, an injected delay
-//! or a budget trip at one `(stage, shard)` checkpoint. Plans fire **at
-//! most once** (an atomic latch), so a test can inject a panic, observe
-//! the structured failure, and immediately re-run the same call to
-//! verify the system stayed usable. Plans come from the
-//! `HIPPO_FAULT=stage:shard:kind` environment variable (shard `*` = any
-//! shard; kind `panic`, `trip`, or `delay<ms>`) via
-//! [`FaultPlan::from_env`], or programmatically via [`FaultPlan::new`]
-//! — tests prefer the API because environment mutation is racy under a
+//! A [`FaultPlan`] deterministically forces a panic, an injected delay,
+//! a budget trip, or a short write at `(stage, shard)` checkpoints.
+//! Each armed fault fires **at most once** (an atomic latch), so a test
+//! can inject a panic, observe the structured failure, and immediately
+//! re-run the same call to verify the system stayed usable. Plans come
+//! from the `HIPPO_FAULT` environment variable — a comma-separated list
+//! of `stage:shard:kind` arms (shard `*` = any shard; kind `panic`,
+//! `trip`, `delay<ms>`, or `shortwrite`), e.g.
+//! `HIPPO_FAULT=wal:0:panic,detect:0:trip` — via [`FaultPlan::from_env`],
+//! or programmatically via [`FaultPlan::new`] / [`FaultPlan::parse`] —
+//! tests prefer the API because environment mutation is racy under a
 //! multi-threaded test harness. The plan is only ever consulted through
 //! a [`Governance`] the caller opted into; an exported `HIPPO_FAULT`
 //! does not affect `Hippo` instances that did not ask for it.
+//!
+//! A fault armed at stage `wal` also fires at the sub-stage checkpoints
+//! `wal:append` and `wal:fsync` (segment-prefix matching), so one spec
+//! can cover a whole subsystem while `wal:fsync:0:panic` pins a single
+//! checkpoint. [`FaultKind::ShortWrite`] is implemented by the
+//! file-writing stages themselves (they truncate the write and fail);
+//! at stages that do not write files it degrades to a loud injected
+//! error.
 
 use hippo_engine::EngineError;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -98,12 +108,17 @@ pub enum FaultKind {
     /// Force the call's budget to report exhaustion (exercises the
     /// strict/degraded trip paths without any timing dependence).
     BudgetTrip,
+    /// At a file-writing checkpoint (`wal:append`, `checkpoint:write`):
+    /// write only a prefix of the intended bytes, then fail — the torn
+    /// frame a power loss mid-`write(2)` leaves behind. Stages that do
+    /// not write files turn this into a loud injected error.
+    ShortWrite,
 }
 
-/// A deterministic, fire-at-most-once fault: a [`FaultKind`] armed at
-/// one `(stage, shard)` checkpoint.
+/// One armed fault: a [`FaultKind`] at one `(stage, shard)` checkpoint,
+/// with its own fire-at-most-once latch.
 #[derive(Debug)]
-pub struct FaultPlan {
+struct FaultArm {
     stage: String,
     /// `None` = any shard (the first checkpoint reached fires).
     shard: Option<usize>,
@@ -111,27 +126,74 @@ pub struct FaultPlan {
     fired: AtomicBool,
 }
 
+impl FaultArm {
+    /// Does this arm cover checkpoint `point`? Exact match, or a
+    /// segment prefix: an arm at `wal` covers `wal:append` and
+    /// `wal:fsync` (but `wa` covers neither).
+    fn covers(&self, point: &str) -> bool {
+        point == self.stage
+            || (point.len() > self.stage.len()
+                && point.starts_with(self.stage.as_str())
+                && point.as_bytes()[self.stage.len()] == b':')
+    }
+
+    fn try_fire(&self, stage: &str, shard: usize) -> Option<FaultKind> {
+        if !self.covers(stage) || self.shard.is_some_and(|s| s != shard) {
+            return None;
+        }
+        if self.fired.swap(true, Ordering::Relaxed) {
+            return None;
+        }
+        Some(self.kind)
+    }
+}
+
+/// A deterministic fault plan: one or more [`FaultArm`]s, each firing at
+/// most once. Built from a comma-separated `stage:shard:kind` list so
+/// crash-matrix tests can compose faults
+/// (`HIPPO_FAULT=wal:0:panic,detect:0:trip`).
+#[derive(Debug)]
+pub struct FaultPlan {
+    arms: Vec<FaultArm>,
+}
+
 impl FaultPlan {
-    /// Arm a fault at `(stage, shard)`; `shard = None` matches any shard.
+    /// Arm a single fault at `(stage, shard)`; `shard = None` matches
+    /// any shard.
     pub fn new(stage: impl Into<String>, shard: Option<usize>, kind: FaultKind) -> FaultPlan {
         FaultPlan {
-            stage: stage.into(),
-            shard,
-            kind,
-            fired: AtomicBool::new(false),
+            arms: vec![FaultArm {
+                stage: stage.into(),
+                shard,
+                kind,
+                fired: AtomicBool::new(false),
+            }],
         }
     }
 
-    /// Parse a `stage:shard:kind` spec (shard `*` = any; kind `panic`,
-    /// `trip`, or `delay<ms>`). The error names what is wrong with the
-    /// spec — a chaos run configured with a typo must fail loudly, not
-    /// silently run without its injection.
+    /// Parse a comma-separated list of `stage:shard:kind` arms (shard
+    /// `*` = any; kind `panic`, `trip`, `delay<ms>`, or `shortwrite`).
+    /// Stage names may themselves contain colons (`wal:fsync:0:panic`
+    /// pins the fsync checkpoint) — the *last two* segments are always
+    /// shard and kind. The error names what is wrong with the spec — a
+    /// chaos run configured with a typo must fail loudly, not silently
+    /// run without its injection.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
-        let mut parts = spec.splitn(3, ':');
-        let (Some(stage), Some(shard), Some(kind)) = (parts.next(), parts.next(), parts.next())
+        let mut arms = Vec::new();
+        for arm_spec in spec.split(',') {
+            arms.push(Self::parse_arm(arm_spec.trim(), spec)?);
+        }
+        Ok(FaultPlan { arms })
+    }
+
+    fn parse_arm(arm: &str, spec: &str) -> Result<FaultArm, String> {
+        // Right-to-left: kind and shard are the last two segments; the
+        // rest (which may contain ':') is the stage.
+        let mut parts = arm.rsplitn(3, ':');
+        let (Some(kind), Some(shard), Some(stage)) = (parts.next(), parts.next(), parts.next())
         else {
             return Err(format!(
-                "expected stage:shard:kind (e.g. prover:7:panic), got {spec:?}"
+                "expected stage:shard:kind (e.g. prover:7:panic), got {arm:?} in {spec:?}"
             ));
         };
         let (stage, shard, kind) = (stage.trim(), shard.trim(), kind.trim());
@@ -149,6 +211,7 @@ impl FaultPlan {
         let kind = match kind {
             "panic" => FaultKind::Panic,
             "trip" => FaultKind::BudgetTrip,
+            "shortwrite" => FaultKind::ShortWrite,
             k => match k.strip_prefix("delay") {
                 Some(ms) => {
                     let ms = ms.parse::<u64>().map_err(|_| {
@@ -159,12 +222,17 @@ impl FaultPlan {
                 None => {
                     return Err(format!(
                         "unknown fault kind {k:?} in {spec:?} \
-                         (expected panic, trip, or delay<ms>)"
+                         (expected panic, trip, delay<ms>, or shortwrite)"
                     ));
                 }
             },
         };
-        Ok(FaultPlan::new(stage, shard, kind))
+        Ok(FaultArm {
+            stage: stage.into(),
+            shard,
+            kind,
+            fired: AtomicBool::new(false),
+        })
     }
 
     /// Read a plan from the `HIPPO_FAULT` environment variable. Unset
@@ -193,21 +261,20 @@ impl FaultPlan {
         }
     }
 
-    /// Has the fault fired already? (Plans fire at most once.)
+    /// Has any arm fired already? (Each arm fires at most once.)
     pub fn has_fired(&self) -> bool {
-        self.fired.load(Ordering::Relaxed)
+        self.arms.iter().any(|a| a.fired.load(Ordering::Relaxed))
     }
 
-    /// Consume the fault if `(stage, shard)` matches and it has not
-    /// fired yet.
+    /// Have all arms fired? (A crash-matrix run is done once every
+    /// composed fault has been exercised.)
+    pub fn all_fired(&self) -> bool {
+        self.arms.iter().all(|a| a.fired.load(Ordering::Relaxed))
+    }
+
+    /// Consume the first matching unfired arm for `(stage, shard)`.
     fn try_fire(&self, stage: &str, shard: usize) -> Option<FaultKind> {
-        if self.stage != stage || self.shard.is_some_and(|s| s != shard) {
-            return None;
-        }
-        if self.fired.swap(true, Ordering::Relaxed) {
-            return None;
-        }
-        Some(self.kind)
+        self.arms.iter().find_map(|a| a.try_fire(stage, shard))
     }
 }
 
@@ -240,7 +307,10 @@ impl Governance {
     }
 
     /// Fire the armed fault if this `(stage, shard)` checkpoint matches:
-    /// panic, sleep, or budget-trip error.
+    /// panic, sleep, or budget-trip error. A [`FaultKind::ShortWrite`]
+    /// reaching this generic checkpoint (instead of a file-writing stage
+    /// that consumes it via [`Governance::take_fault`]) is a loud error
+    /// — the stage has no bytes to tear.
     pub fn fault_point(&self, stage: &'static str, shard: usize) -> Result<(), EngineError> {
         if let Some(plan) = &self.faults {
             if let Some(kind) = plan.try_fire(stage, shard) {
@@ -253,10 +323,25 @@ impl Governance {
                         }
                         return Err(EngineError::budget(stage, 0, 0));
                     }
+                    FaultKind::ShortWrite => {
+                        return Err(EngineError::new(format!(
+                            "injected fault: short write at {stage}:{shard} \
+                             (stage writes no file; arm shortwrite at a wal/checkpoint stage)"
+                        )));
+                    }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Consume the armed fault for `(stage, shard)` and hand back its
+    /// raw [`FaultKind`] without acting on it. File-writing stages use
+    /// this so they can implement [`FaultKind::ShortWrite`] themselves
+    /// (truncate the write, then fail) and panic *inside* their own
+    /// unwind boundary.
+    pub fn take_fault(&self, stage: &str, shard: usize) -> Option<FaultKind> {
+        self.faults.as_ref().and_then(|p| p.try_fire(stage, shard))
     }
 
     /// One full budget check (no-op without a budget).
@@ -300,14 +385,48 @@ mod tests {
     #[test]
     fn parse_specs() {
         let p = FaultPlan::parse("prover:7:panic").unwrap();
+        let a = &p.arms[0];
         assert_eq!(
-            (p.stage.as_str(), p.shard, p.kind),
+            (a.stage.as_str(), a.shard, a.kind),
             ("prover", Some(7), FaultKind::Panic)
         );
         let p = FaultPlan::parse("detect:*:trip").unwrap();
-        assert_eq!((p.shard, p.kind), (None, FaultKind::BudgetTrip));
+        assert_eq!(
+            (p.arms[0].shard, p.arms[0].kind),
+            (None, FaultKind::BudgetTrip)
+        );
         let p = FaultPlan::parse("membership:0:delay25").unwrap();
-        assert_eq!(p.kind, FaultKind::Delay(Duration::from_millis(25)));
+        assert_eq!(p.arms[0].kind, FaultKind::Delay(Duration::from_millis(25)));
+        let p = FaultPlan::parse("wal:append:0:shortwrite").unwrap();
+        let a = &p.arms[0];
+        assert_eq!(
+            (a.stage.as_str(), a.shard, a.kind),
+            ("wal:append", Some(0), FaultKind::ShortWrite),
+            "colon-ed stage names parse right-to-left"
+        );
+    }
+
+    #[test]
+    fn parse_composes_comma_separated_arms() {
+        let p = FaultPlan::parse("wal:0:panic,detect:0:trip").unwrap();
+        assert_eq!(p.arms.len(), 2);
+        assert_eq!(p.try_fire("detect", 0), Some(FaultKind::BudgetTrip));
+        assert!(p.has_fired() && !p.all_fired());
+        // `wal` covers the `wal:append` sub-stage via segment prefix.
+        assert_eq!(p.try_fire("wal:append", 0), Some(FaultKind::Panic));
+        assert!(p.all_fired());
+        assert!(p.try_fire("wal:fsync", 0).is_none(), "arms are one-shot");
+    }
+
+    #[test]
+    fn stage_prefix_matches_whole_segments_only() {
+        let p = FaultPlan::parse("wal:0:panic").unwrap();
+        assert!(p.arms[0].covers("wal"));
+        assert!(p.arms[0].covers("wal:fsync"));
+        assert!(!p.arms[0].covers("walrus"), "not a segment boundary");
+        let pinned = FaultPlan::parse("wal:fsync:0:panic").unwrap();
+        assert!(!pinned.arms[0].covers("wal:append"));
+        assert!(pinned.arms[0].covers("wal:fsync"));
     }
 
     #[test]
@@ -321,11 +440,41 @@ mod tests {
             ("prover:7:panik", "unknown fault kind"),
             ("prover:7:delayxx", "delay takes milliseconds"),
             (":0:panic", "empty stage"),
+            ("prover:7:panic,", "stage:shard:kind"),
+            ("prover:7:panic,detect:0:zap", "unknown fault kind"),
+            ("wal:0:panic,,detect:0:trip", "stage:shard:kind"),
         ] {
             let err = FaultPlan::parse(bad).expect_err(bad);
             assert!(err.contains(names), "{bad:?}: {err}");
             assert!(err.contains(bad), "error quotes the spec: {err}");
         }
+    }
+
+    #[test]
+    fn shortwrite_at_fileless_stage_is_loud_error() {
+        let gov = Governance {
+            budget: None,
+            faults: Some(Arc::new(FaultPlan::new(
+                "prover",
+                None,
+                FaultKind::ShortWrite,
+            ))),
+            degraded: false,
+        };
+        let err = gov.fault_point("prover", 0).unwrap_err();
+        assert!(err.message.contains("short write"), "{err}");
+        // take_fault hands the raw kind to stages that implement it.
+        let gov = Governance {
+            budget: None,
+            faults: Some(Arc::new(FaultPlan::new(
+                "wal:append",
+                Some(0),
+                FaultKind::ShortWrite,
+            ))),
+            degraded: false,
+        };
+        assert_eq!(gov.take_fault("wal:append", 0), Some(FaultKind::ShortWrite));
+        assert_eq!(gov.take_fault("wal:append", 0), None, "one-shot");
     }
 
     #[test]

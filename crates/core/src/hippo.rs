@@ -1161,6 +1161,24 @@ impl Hippo {
         &self.constraints
     }
 
+    /// The restricted foreign keys (empty unless built via
+    /// [`Hippo::with_foreign_keys`]). The durability layer needs these
+    /// to rebuild an equivalent `Hippo` around a recovered database —
+    /// constraints are code, not data, so they are re-supplied at
+    /// recovery rather than serialized.
+    pub fn foreign_keys(&self) -> &[crate::inclusion::ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Number of recorded-but-unreconciled changes (inserts + deletes
+    /// recorded since the last [`Hippo::redetect`]). The write-ahead log
+    /// frames a transaction only once this is back to zero — a non-zero
+    /// count at frame time would mean logging a state the hypergraph
+    /// does not yet reflect.
+    pub fn pending_changes(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Conflict-detection statistics.
     pub fn detect_stats(&self) -> DetectStats {
         self.detect_stats

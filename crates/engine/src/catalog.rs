@@ -36,6 +36,18 @@ impl Catalog {
         Ok(())
     }
 
+    /// Install a fully-built table (deserialization path); errors if the
+    /// name is taken. Unlike [`Catalog::create_table`] this preserves the
+    /// table's slot structure and indexes instead of starting empty.
+    pub(crate) fn adopt_table(&mut self, table: Table) -> Result<(), EngineError> {
+        let name = table.schema.name.clone();
+        if self.tables.contains_key(&name) {
+            return Err(EngineError::new(format!("table {name:?} already exists")));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
     /// Drop a table; errors if missing (unless `if_exists`).
     pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<(), EngineError> {
         if self.tables.remove(name).is_none() && !if_exists {

@@ -39,6 +39,7 @@
 pub mod bind;
 pub mod budget;
 pub mod catalog;
+pub mod codec;
 pub mod db;
 pub mod exec;
 pub mod expr;

@@ -228,6 +228,10 @@ pub enum ErrorKind {
     /// The service is draining for shutdown; new requests are rejected
     /// (in-flight ones finish or trip their budgets).
     Shutdown,
+    /// A durability directory is already exclusively held by another
+    /// engine (this process or another); double-opening is refused
+    /// rather than risking interleaved log writes.
+    Locked,
 }
 
 /// The engine error type (also used by the planner and executor).
@@ -296,6 +300,15 @@ impl EngineError {
         }
     }
 
+    /// A lock-contention error (see [`ErrorKind::Locked`]): the
+    /// durability directory at `path` is held by another engine.
+    pub fn locked(path: impl std::fmt::Display) -> EngineError {
+        EngineError {
+            message: format!("durability directory {path} is locked by another engine"),
+            kind: ErrorKind::Locked,
+        }
+    }
+
     /// Is this a budget-exhaustion error?
     pub fn is_budget(&self) -> bool {
         matches!(self.kind, ErrorKind::Budget { .. })
@@ -319,6 +332,11 @@ impl EngineError {
     /// Was the request rejected by a draining service?
     pub fn is_shutdown(&self) -> bool {
         matches!(self.kind, ErrorKind::Shutdown)
+    }
+
+    /// Is the durability directory held by another engine?
+    pub fn is_locked(&self) -> bool {
+        matches!(self.kind, ErrorKind::Locked)
     }
 
     /// The back-off hint of an [`ErrorKind::Overloaded`] error.

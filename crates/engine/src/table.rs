@@ -280,6 +280,53 @@ impl Table {
             .collect()
     }
 
+    /// The raw slot vector (live rows and tombstones), for serialization.
+    pub(crate) fn slot_entries(&self) -> &[Option<Row>] {
+        &self.slots
+    }
+
+    /// Every `CREATE INDEX` name with the column set it covers
+    /// (arbitrary order), for serialization.
+    pub(crate) fn named_index_entries(&self) -> impl Iterator<Item = (&String, &Vec<usize>)> {
+        self.index_names.iter()
+    }
+
+    /// Rebuild a table from serialized parts: the schema, the exact slot
+    /// vector (tombstones included — slot indices are [`TupleId`]s, so
+    /// preserving them is what keeps recovered ids identical to
+    /// pre-crash ids), the column sets to index, and the `CREATE INDEX`
+    /// name registry. Indexes are rebuilt by scanning the slots; rows
+    /// are trusted to have been validated when first inserted, but
+    /// index column sets are still range-checked.
+    pub(crate) fn from_parts(
+        schema: TableSchema,
+        slots: Vec<Option<Row>>,
+        index_sets: Vec<Vec<usize>>,
+        index_names: Vec<(String, Vec<usize>)>,
+    ) -> Result<Table, EngineError> {
+        let live = slots.iter().filter(|s| s.is_some()).count();
+        let mut t = Table {
+            schema,
+            slots,
+            live,
+            indexes: FxHashMap::default(),
+            index_names: FxHashMap::default(),
+        };
+        for cols in index_sets {
+            t.create_index(cols)?;
+        }
+        for (name, cols) in index_names {
+            t.create_named_index(name, cols)?;
+        }
+        if !t.schema.primary_key.is_empty() && !t.has_index(&t.schema.primary_key) {
+            return Err(EngineError::new(format!(
+                "table {:?} reconstructed without its primary-key index",
+                t.schema.name
+            )));
+        }
+        Ok(t)
+    }
+
     /// Remove all rows.
     pub fn clear(&mut self) {
         self.slots.clear();

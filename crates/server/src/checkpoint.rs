@@ -1,0 +1,239 @@
+//! Snapshot checkpoints: the full catalog (schemas, rows, tombstoned
+//! slots, indexes) serialized to one file, so recovery replays only the
+//! log suffix written after it.
+//!
+//! ```text
+//! checkpoint.bin = magic "HIPPOCKP" · version u32 · last_lsn u64
+//!                  · catalog bytes · crc32(everything before) u32
+//! ```
+//!
+//! `last_lsn` is the newest WAL frame the snapshot already contains;
+//! replay skips frames at or below it, which also makes the
+//! crash-between-rename-and-truncate window safe (the stale frames are
+//! filtered, not double-applied).
+//!
+//! Writes are crash-atomic: serialize to `checkpoint.tmp`, fsync it,
+//! rename over `checkpoint.bin`, fsync the directory. A reader
+//! therefore sees either the old complete checkpoint or the new
+//! complete one, never a partial — which is why a checkpoint that
+//! *exists* but fails its CRC is a hard error, not something to skip.
+//!
+//! Fault points: `checkpoint:write` fires before the tmp file's bytes
+//! land (`shortwrite` leaves a torn tmp, which is harmless — it is
+//! simply overwritten next time); `checkpoint:swap` fires between tmp
+//! fsync and rename.
+
+use crate::wal::io_err;
+use hippo_cqa::budget::{FaultKind, Governance};
+use hippo_engine::codec::{self, Reader};
+use hippo_engine::{Catalog, EngineError};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Checkpoint file name inside a durability directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
+const TMP_FILE: &str = "checkpoint.tmp";
+
+const CKP_MAGIC: &[u8; 8] = b"HIPPOCKP";
+const CKP_VERSION: u32 = 1;
+
+/// A decoded checkpoint: the catalog image plus the WAL position it
+/// covers.
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// Newest WAL LSN already folded into `catalog` (0 = none).
+    pub last_lsn: u64,
+    /// The full database image at that point.
+    pub catalog: Catalog,
+}
+
+fn encode_checkpoint(catalog: &Catalog, last_lsn: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(CKP_MAGIC);
+    codec::put_u32(&mut out, CKP_VERSION);
+    codec::put_u64(&mut out, last_lsn);
+    out.extend_from_slice(&codec::encode_catalog(catalog));
+    let crc = codec::crc32(&out);
+    codec::put_u32(&mut out, crc);
+    out
+}
+
+fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, EngineError> {
+    let corrupt = |what: &str| {
+        EngineError::new(format!(
+            "checkpoint: corrupt file ({what}) — the atomic write protocol should \
+             prevent this; the durability directory has been damaged externally"
+        ))
+    };
+    if bytes.len() < 8 + 4 + 8 + 4 {
+        return Err(corrupt("too short"));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if codec::crc32(body) != stored {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let mut r = Reader::new(body);
+    let magic = r.take(8)?;
+    if magic != CKP_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    if r.u32()? != CKP_VERSION {
+        return Err(corrupt("unknown version"));
+    }
+    let last_lsn = r.u64()?;
+    let catalog = codec::decode_catalog(r.take(r.remaining())?)?;
+    Ok(Checkpoint { last_lsn, catalog })
+}
+
+/// Read the directory's checkpoint. `Ok(None)` if none has ever been
+/// written; a present-but-corrupt file is a hard error (see module doc).
+pub fn read_checkpoint(dir: &Path) -> Result<Option<Checkpoint>, EngineError> {
+    let path = dir.join(CHECKPOINT_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err("read checkpoint", e)),
+    };
+    decode_checkpoint(&bytes).map(Some)
+}
+
+/// Atomically replace the directory's checkpoint with a snapshot of
+/// `catalog` covering WAL frames up to and including `last_lsn`.
+/// `gov` drives the `checkpoint:write` / `checkpoint:swap` fault
+/// points. On any failure the previous checkpoint is untouched.
+pub fn write_checkpoint(
+    dir: &Path,
+    catalog: &Catalog,
+    last_lsn: u64,
+    gov: &Governance,
+) -> Result<(), EngineError> {
+    let bytes = encode_checkpoint(catalog, last_lsn);
+    let tmp = dir.join(TMP_FILE);
+    let dst = dir.join(CHECKPOINT_FILE);
+
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| io_err("open checkpoint.tmp", e))?;
+
+    match gov.take_fault("checkpoint:write", 0) {
+        Some(FaultKind::Panic) => panic!("injected fault: panic at checkpoint:write"),
+        Some(FaultKind::Delay(d)) => std::thread::sleep(d),
+        Some(FaultKind::BudgetTrip) => {
+            return Err(EngineError::budget("checkpoint:write", 0, 0));
+        }
+        Some(FaultKind::ShortWrite) => {
+            // A torn tmp file: harmless, never renamed into place.
+            let _ = file.write_all(&bytes[..bytes.len() / 2]);
+            return Err(EngineError::new(
+                "checkpoint: injected short write at checkpoint:write (tmp torn)",
+            ));
+        }
+        None => {}
+    }
+
+    file.write_all(&bytes)
+        .map_err(|e| io_err("write checkpoint.tmp", e))?;
+    file.sync_data()
+        .map_err(|e| io_err("fsync checkpoint.tmp", e))?;
+    drop(file);
+
+    match gov.take_fault("checkpoint:swap", 0) {
+        Some(FaultKind::Panic) => panic!("injected fault: panic at checkpoint:swap"),
+        Some(FaultKind::Delay(d)) => std::thread::sleep(d),
+        Some(FaultKind::BudgetTrip | FaultKind::ShortWrite) => {
+            // The rename is a single syscall — it cannot be torn, only
+            // skipped.
+            return Err(EngineError::budget("checkpoint:swap", 0, 0));
+        }
+        None => {}
+    }
+
+    std::fs::rename(&tmp, &dst).map_err(|e| io_err("rename checkpoint", e))?;
+    // Make the rename itself durable.
+    File::open(dir)
+        .and_then(|d| d.sync_data())
+        .map_err(|e| io_err("fsync dir", e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hippo_cqa::budget::FaultPlan;
+    use hippo_engine::Database;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "hippo-ckp-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_catalog() -> Catalog {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+            .unwrap();
+        db.catalog().clone()
+    }
+
+    #[test]
+    fn roundtrip_and_replace() {
+        let dir = tmp_dir("roundtrip");
+        let gov = Governance::default();
+        assert!(read_checkpoint(&dir).unwrap().is_none());
+        write_checkpoint(&dir, &sample_catalog(), 7, &gov).unwrap();
+        let ck = read_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(ck.last_lsn, 7);
+        assert!(ck.catalog.table("t").is_ok());
+        // Replacement wins.
+        write_checkpoint(&dir, &sample_catalog(), 9, &gov).unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap().unwrap().last_lsn, 9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_leaves_previous_checkpoint_intact() {
+        let dir = tmp_dir("faults");
+        let gov = Governance::default();
+        write_checkpoint(&dir, &sample_catalog(), 3, &gov).unwrap();
+        for kind in [FaultKind::ShortWrite, FaultKind::BudgetTrip] {
+            for stage in ["checkpoint:write", "checkpoint:swap"] {
+                let faulted = Governance {
+                    faults: Some(Arc::new(FaultPlan::new(stage, Some(0), kind))),
+                    ..Governance::default()
+                };
+                write_checkpoint(&dir, &sample_catalog(), 8, &faulted).unwrap_err();
+                let ck = read_checkpoint(&dir).unwrap().unwrap();
+                assert_eq!(ck.last_lsn, 3, "old checkpoint survives {stage}/{kind:?}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_existing_checkpoint_is_hard_error() {
+        let dir = tmp_dir("corrupt");
+        write_checkpoint(&dir, &sample_catalog(), 1, &Governance::default()).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_checkpoint(&dir).unwrap_err();
+        assert!(err.message.contains("corrupt"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -60,25 +60,71 @@
 //! [`Engine::drain`] flips the gate to `Shutdown` for new arrivals,
 //! wakes every queued waiter, and blocks until in-flight requests
 //! finish (or trip their own budgets) — then the process can exit
-//! with nothing half-done.
+//! with nothing half-done. It returns the number of writes refused at
+//! the gate; on a durable engine those are logged as abandoned-audit
+//! frames before drain returns, so a lossy shutdown leaves evidence.
+//!
+//! # Durability (optional)
+//!
+//! [`Engine::new_durable`] adds a checksummed write-ahead op log and
+//! snapshot checkpoints under a caller-owned directory (held exclusive
+//! by an advisory [`DirLock`] for the engine's lifetime);
+//! [`Engine::recover`] rebuilds the exact pre-crash published state
+//! from them. The state machine:
+//!
+//! ```text
+//! write:      apply ops ─▶ redetect ─▶ freeze ─▶ WAL append ─▶ fsync ─▶ publish
+//!             (group commit: whole queue drains into N frames, ONE fsync,
+//!              one redetect/freeze, one epoch swap — the fsync is the
+//!              commit point: unsynced frames are truncated, never replayed)
+//!
+//! checkpoint: catalog ─▶ tmp file ─▶ fsync ─▶ rename ─▶ dir fsync ─▶ truncate log
+//!             (crash-atomic; replay filters lsn ≤ checkpoint, so a crash
+//!              between rename and truncate double-applies nothing)
+//!
+//! recover:    lock dir ─▶ load checkpoint ─▶ replay committed log suffix
+//!             (torn tail truncated) ─▶ full conflict re-detection ─▶
+//!             publish epoch 1
+//! ```
+//!
+//! Failed durable writes never ride along: the writer is rebuilt from
+//! the published epoch's catalog, so the live state always equals
+//! "checkpoint + committed log" exactly. (Non-durable engines keep the
+//! cheaper poison-and-ride-along recovery, where a failed write's
+//! partially applied ops become visible with the next success.)
+//! Conflict state is derived data and never logged — recovery recomputes
+//! it, so a stale verdict cannot survive a crash.
 
 mod admission;
+pub mod checkpoint;
+pub mod recover;
 mod retry;
 mod stats;
+pub mod wal;
 
+pub use recover::RecoveryReport;
 pub use retry::RetryPolicy;
 pub use stats::{ServiceStats, SessionStats};
+pub use wal::DirLock;
 
 use admission::Admission;
+use checkpoint::{read_checkpoint, write_checkpoint};
 use hippo_cqa::budget::ConsistentAnswer;
+use hippo_cqa::constraint::DenialConstraint;
 use hippo_cqa::detect::DetectStats;
 use hippo_cqa::hippo::{FrozenHippo, Hippo, HippoOptions};
+use hippo_cqa::inclusion::ForeignKey;
 use hippo_cqa::parallel::panic_message;
 use hippo_cqa::query::SjudQuery;
-use hippo_engine::{CancelHandle, EngineError, QueryResult, Row, TupleId};
+use hippo_engine::{CancelHandle, Database, EngineError, QueryResult, Row, TupleId};
+use recover::recover_dir;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
+use wal::{FrameKind, Wal, WalOp};
 
 /// Service configuration. The defaults suit tests; production-ish
 /// callers size `max_active` to core count and set a deadline.
@@ -105,6 +151,29 @@ impl Default for EngineConfig {
             max_queue: 8,
             retry_after: Duration::from_millis(2),
             default_deadline: None,
+        }
+    }
+}
+
+/// Durability settings for [`Engine::new_durable`] / [`Engine::recover`].
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory owning the WAL, checkpoint and lock files. Created if
+    /// missing; held exclusive while any clone of the engine lives.
+    pub dir: PathBuf,
+    /// Write a snapshot checkpoint (and truncate the log) once this
+    /// many frames have accumulated since the last one; `0` = only
+    /// explicit [`Engine::checkpoint`] calls.
+    pub checkpoint_every_frames: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with the default checkpoint cadence (64
+    /// frames).
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            checkpoint_every_frames: 64,
         }
     }
 }
@@ -171,26 +240,99 @@ pub struct WriteReceipt {
     pub inserted: Vec<TupleId>,
 }
 
+/// The writer's durable attachments (WAL handle + checkpoint cadence).
+struct Durability {
+    wal: Wal,
+    dir: PathBuf,
+    checkpoint_every: u64,
+    frames_since_checkpoint: u64,
+    /// LSN of the newest appended frame (0 = none yet).
+    last_lsn: u64,
+}
+
 struct WriterState {
     hippo: Hippo,
     writes_applied: u64,
+    durability: Option<Durability>,
+    /// A durable writer rebuild failed; retry before the next commit.
+    needs_rebuild: bool,
+}
+
+/// A write transaction's result slot: filled exactly once, by
+/// whichever thread drains the commit queue.
+type CommitSlot = Arc<Mutex<Option<Result<WriteReceipt, EngineError>>>>;
+
+/// One queued write transaction awaiting a commit leader.
+struct CommitReq {
+    ops: Vec<WriteOp>,
+    slot: CommitSlot,
 }
 
 struct Shared {
     epoch: RwLock<Arc<Epoch>>,
     writer: Mutex<WriterState>,
+    /// Write transactions waiting for a commit leader (group commit).
+    commit_queue: Mutex<VecDeque<CommitReq>>,
+    /// Ops refused at admission during drain, pending their audit frame.
+    abandoned: Mutex<Vec<Vec<WriteOp>>>,
     admission: Admission,
     config: EngineConfig,
+    durable: bool,
+    recovery: Option<recover::RecoveryReport>,
     epochs_published: AtomicU64,
     writer_recoveries: AtomicU64,
+    wal_frames: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    checkpoints: AtomicU64,
+    checkpoint_failures: AtomicU64,
+    group_commits: AtomicU64,
+    grouped_writes: AtomicU64,
+    writes_abandoned: AtomicU64,
+}
+
+impl Shared {
+    fn new(
+        epoch: Arc<Epoch>,
+        writer: WriterState,
+        config: EngineConfig,
+        recovery: Option<recover::RecoveryReport>,
+    ) -> Shared {
+        let admission = Admission::new(config.max_active, config.max_queue, config.retry_after);
+        Shared {
+            epoch: RwLock::new(epoch),
+            durable: writer.durability.is_some(),
+            writer: Mutex::new(writer),
+            commit_queue: Mutex::new(VecDeque::new()),
+            abandoned: Mutex::new(Vec::new()),
+            admission,
+            config,
+            recovery,
+            epochs_published: AtomicU64::new(1),
+            writer_recoveries: AtomicU64::new(0),
+            wal_frames: AtomicU64::new(0),
+            wal_fsyncs: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            checkpoint_failures: AtomicU64::new(0),
+            group_commits: AtomicU64::new(0),
+            grouped_writes: AtomicU64::new(0),
+            writes_abandoned: AtomicU64::new(0),
+        }
+    }
 }
 
 /// The service engine: owns the single writer slot and the published
 /// epoch pointer. Cheap to clone (all clones share one service);
 /// `Send + Sync`, so clients are plain threads.
+///
+/// The durability [`DirLock`] rides on the `Engine` clones, not on the
+/// shared state: when the last clone drops, the directory unlocks even
+/// while [`Session`]s pinned to old epochs keep answering — so a
+/// successor engine can recover from the directory without waiting for
+/// readers to finish.
 #[derive(Clone)]
 pub struct Engine {
     shared: Arc<Shared>,
+    _dir_lock: Option<Arc<DirLock>>,
 }
 
 // The service exists to be shared across client threads.
@@ -212,20 +354,124 @@ impl Engine {
             writes_applied: 0,
             published_at: Instant::now(),
         });
-        let admission = Admission::new(config.max_active, config.max_queue, config.retry_after);
+        let writer = WriterState {
+            hippo,
+            writes_applied: 0,
+            durability: None,
+            needs_rebuild: false,
+        };
         Ok(Engine {
-            shared: Arc::new(Shared {
-                epoch: RwLock::new(epoch),
-                writer: Mutex::new(WriterState {
-                    hippo,
-                    writes_applied: 0,
-                }),
-                admission,
-                config,
-                epochs_published: AtomicU64::new(1),
-                writer_recoveries: AtomicU64::new(0),
-            }),
+            shared: Arc::new(Shared::new(epoch, writer, config, None)),
+            _dir_lock: None,
         })
+    }
+
+    /// Start a **durable** service: lock `durability.dir`, write the
+    /// birth checkpoint (a snapshot of `hippo`'s catalog), open an
+    /// empty WAL, and publish epoch 0. Fails with
+    /// [`ErrorKind::Locked`](hippo_engine::ErrorKind) if another engine
+    /// holds the directory, and refuses a directory that already has a
+    /// checkpoint — that is existing data, use [`Engine::recover`].
+    pub fn new_durable(
+        hippo: Hippo,
+        config: EngineConfig,
+        durability: DurabilityConfig,
+    ) -> Result<Engine, EngineError> {
+        let dir_lock = Arc::new(DirLock::acquire(&durability.dir)?);
+        if read_checkpoint(&durability.dir)?.is_some() {
+            return Err(EngineError::new(format!(
+                "durability directory {} already holds a checkpoint — \
+                 use Engine::recover to reopen existing data",
+                durability.dir.display()
+            )));
+        }
+        let frozen = hippo.freeze()?;
+        write_checkpoint(
+            &durability.dir,
+            frozen.catalog(),
+            0,
+            &hippo.options.governance(),
+        )?;
+        let (wal, _scan) = Wal::open(&durability.dir)?;
+        let epoch = Arc::new(Epoch {
+            id: 0,
+            frozen,
+            writes_applied: 0,
+            published_at: Instant::now(),
+        });
+        let writer = WriterState {
+            hippo,
+            writes_applied: 0,
+            durability: Some(Durability {
+                last_lsn: wal.next_lsn().saturating_sub(1),
+                wal,
+                dir: durability.dir.clone(),
+                checkpoint_every: durability.checkpoint_every_frames,
+                frames_since_checkpoint: 0,
+            }),
+            needs_rebuild: false,
+        };
+        Ok(Engine {
+            shared: Arc::new(Shared::new(epoch, writer, config, None)),
+            _dir_lock: Some(dir_lock),
+        })
+    }
+
+    /// Reopen a durability directory after a crash or shutdown: load
+    /// the latest checkpoint, replay the committed log suffix
+    /// (truncating any torn tail), rebuild the Hippo system — which
+    /// re-runs **full** conflict detection from the recovered data —
+    /// and publish the result as epoch 1. The constraints and foreign
+    /// keys are schema-level configuration the log does not carry, so
+    /// the caller supplies them (they must match the crashed engine's).
+    pub fn recover(
+        config: EngineConfig,
+        durability: DurabilityConfig,
+        constraints: Vec<DenialConstraint>,
+        foreign_keys: Vec<ForeignKey>,
+        options: HippoOptions,
+    ) -> Result<Engine, EngineError> {
+        let dir_lock = Arc::new(DirLock::acquire(&durability.dir)?);
+        let (catalog, wal, report) = recover_dir(&durability.dir)?;
+        let db = Database::from_catalog(catalog);
+        // Construction runs the full ungoverned detect; the caller's
+        // options (fault plans included) only apply to later calls.
+        let mut hippo = Hippo::with_foreign_keys(db, constraints, foreign_keys)?;
+        hippo.options = options;
+        let frozen = hippo.freeze()?;
+        let epoch = Arc::new(Epoch {
+            id: 1,
+            frozen,
+            writes_applied: 0,
+            published_at: Instant::now(),
+        });
+        let writer = WriterState {
+            hippo,
+            writes_applied: 0,
+            durability: Some(Durability {
+                last_lsn: wal.next_lsn().saturating_sub(1),
+                wal,
+                dir: durability.dir.clone(),
+                checkpoint_every: durability.checkpoint_every_frames,
+                frames_since_checkpoint: report.frames_replayed,
+            }),
+            needs_rebuild: false,
+        };
+        Ok(Engine {
+            shared: Arc::new(Shared::new(epoch, writer, config, Some(report))),
+            _dir_lock: Some(dir_lock),
+        })
+    }
+
+    /// What [`Engine::recover`] found and replayed (`None` on engines
+    /// not born from recovery).
+    pub fn recovery_report(&self) -> Option<recover::RecoveryReport> {
+        self.shared.recovery.clone()
+    }
+
+    /// Is this engine writing a WAL?
+    pub fn is_durable(&self) -> bool {
+        self.shared.durable
     }
 
     /// The currently published epoch (an `Arc` clone; the caller's
@@ -260,71 +506,463 @@ impl Engine {
     /// [`ServiceStats::writer_recoveries`] increments. Ops applied
     /// before the failure remain in the (unpublished) live state and
     /// become visible with the next successful write's epoch.
+    /// On a durable engine the receipt additionally means the
+    /// transaction's frame is **fsync'd in the WAL** — a crash after
+    /// `write` returns cannot lose it — and a group of writers blocked
+    /// on the writer slot commits together: one log write, one fsync,
+    /// one reconciliation, one epoch swap (each still gets its own
+    /// receipt). Failed durable writes never ride along; the writer is
+    /// rebuilt from the published epoch instead of poisoned.
     pub fn write(&self, ops: Vec<WriteOp>) -> Result<WriteReceipt, EngineError> {
-        let _permit = self.shared.admission.admit(None)?;
+        let permit = match self.shared.admission.admit(None) {
+            Ok(p) => p,
+            Err(e) => {
+                if e.is_shutdown() {
+                    // Draining: remember what this writer wanted so
+                    // `drain` can log it as an abandoned-audit frame.
+                    self.shared.abandoned.lock().unwrap().push(ops);
+                    self.shared.writes_abandoned.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(e);
+            }
+        };
+        let slot = Arc::new(Mutex::new(None));
+        self.shared
+            .commit_queue
+            .lock()
+            .unwrap()
+            .push_back(CommitReq {
+                ops,
+                slot: Arc::clone(&slot),
+            });
         let mut w = self.shared.writer.lock().unwrap();
-        type Applied = (DetectStats, Vec<TupleId>);
-        let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-            || -> Result<Applied, EngineError> {
-                let mut inserted = Vec::new();
-                for op in &ops {
-                    match op {
-                        WriteOp::Insert { table, rows } => {
-                            inserted.extend(w.hippo.insert_tuples(table, rows.clone())?);
+        if let Some(done) = slot.lock().unwrap().take() {
+            // A leader that held the writer slot drained the queue —
+            // our transaction included — while we waited for it.
+            return done;
+        }
+        self.lead_commit(&mut w);
+        drop(w);
+        drop(permit);
+        let res = slot.lock().unwrap().take();
+        res.expect("commit leader fills every drained slot")
+    }
+
+    /// Submit several transactions as one admission request and one
+    /// commit group: the whole batch shares a single reconciliation,
+    /// log write, fsync and epoch swap, but each transaction gets its
+    /// own receipt (or error — one bad transaction does not fail its
+    /// groupmates). This is the deterministic way to exercise group
+    /// commit; concurrent [`Engine::write`] callers form the same
+    /// groups adaptively.
+    pub fn write_group(
+        &self,
+        txns: Vec<Vec<WriteOp>>,
+    ) -> Result<Vec<Result<WriteReceipt, EngineError>>, EngineError> {
+        let permit = match self.shared.admission.admit(None) {
+            Ok(p) => p,
+            Err(e) => {
+                if e.is_shutdown() {
+                    let mut ab = self.shared.abandoned.lock().unwrap();
+                    self.shared
+                        .writes_abandoned
+                        .fetch_add(txns.len() as u64, Ordering::Relaxed);
+                    ab.extend(txns);
+                }
+                return Err(e);
+            }
+        };
+        let slots: Vec<CommitSlot> = txns.iter().map(|_| Arc::new(Mutex::new(None))).collect();
+        {
+            let mut q = self.shared.commit_queue.lock().unwrap();
+            for (ops, slot) in txns.into_iter().zip(&slots) {
+                q.push_back(CommitReq {
+                    ops,
+                    slot: Arc::clone(slot),
+                });
+            }
+        }
+        let mut w = self.shared.writer.lock().unwrap();
+        self.lead_commit(&mut w);
+        drop(w);
+        drop(permit);
+        Ok(slots
+            .iter()
+            .map(|s| {
+                let res = s.lock().unwrap().take();
+                res.expect("commit leader fills every drained slot")
+            })
+            .collect())
+    }
+
+    /// Drain the commit queue and process it as one group, filling
+    /// every drained slot. Runs with the writer slot held.
+    fn lead_commit(&self, w: &mut WriterState) {
+        let group: Vec<CommitReq> = self.shared.commit_queue.lock().unwrap().drain(..).collect();
+        if group.is_empty() {
+            return;
+        }
+        if group.len() > 1 {
+            self.shared.group_commits.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .grouped_writes
+                .fetch_add(group.len() as u64, Ordering::Relaxed);
+        }
+        if w.needs_rebuild {
+            self.reset_writer(w);
+            if w.needs_rebuild {
+                let err = EngineError::new(
+                    "write: durable writer rebuild failed and is still pending; \
+                     this write was not attempted",
+                );
+                for req in &group {
+                    *req.slot.lock().unwrap() = Some(Err(err.clone()));
+                }
+                return;
+            }
+        }
+        let outcomes = self.process_group(w, &group);
+        for (req, outcome) in group.iter().zip(outcomes) {
+            *req.slot.lock().unwrap() = Some(outcome);
+        }
+    }
+
+    /// Apply, reconcile, log and publish one commit group. Exactly one
+    /// epoch is published if any transaction survives; none otherwise.
+    fn process_group(
+        &self,
+        w: &mut WriterState,
+        group: &[CommitReq],
+    ) -> Vec<Result<WriteReceipt, EngineError>> {
+        let n = group.len();
+        let durable = w.durability.is_some();
+        let mut results: Vec<Option<Result<WriteReceipt, EngineError>>> =
+            (0..n).map(|_| None).collect();
+        // Recorded effects of transactions applied in the current pass.
+        let mut applied: Vec<Option<(Vec<WalOp>, Vec<TupleId>)>> = (0..n).map(|_| None).collect();
+        let fail = |results: &mut Vec<Option<Result<WriteReceipt, EngineError>>>,
+                    i: usize,
+                    e: EngineError| {
+            results[i] = Some(Err(e));
+            self.shared
+                .writer_recoveries
+                .fetch_add(1, Ordering::Relaxed);
+        };
+
+        // Apply pass. A transaction that fails cleanly (validated
+        // up-front, zero ops landed) just resolves to its error. A
+        // partial failure or panic resolves the transaction AND resets
+        // the writer: durable engines rebuild from the published epoch
+        // and restart the pass — every already-applied groupmate is
+        // re-applied so the live state holds exactly the surviving
+        // transactions — while non-durable engines keep the PR 7
+        // poison-and-ride-along semantics. Each restart permanently
+        // resolves at least one transaction, so the loop is bounded.
+        'apply: loop {
+            for i in 0..n {
+                if results[i].is_some() || applied[i].is_some() {
+                    continue;
+                }
+                let ops = &group[i].ops;
+                let mut walops: Vec<WalOp> = Vec::with_capacity(ops.len());
+                let mut inserted: Vec<TupleId> = Vec::new();
+                let mut ops_done = 0usize;
+                let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<(), EngineError> {
+                    for op in ops {
+                        match op {
+                            WriteOp::Insert { table, rows } => {
+                                let tids = w.hippo.insert_tuples(table, rows.clone())?;
+                                inserted.extend(tids.iter().copied());
+                                walops.push(WalOp::Insert {
+                                    table: table.clone(),
+                                    rows: rows.clone(),
+                                    tids,
+                                });
+                            }
+                            WriteOp::Delete { table, tids } => {
+                                // The engine skips unknown ids; the log
+                                // must record only real deletions or
+                                // replay would refuse the frame.
+                                let live: Vec<TupleId> = w
+                                    .hippo
+                                    .db()
+                                    .catalog()
+                                    .table(table)
+                                    .map(|t| {
+                                        tids.iter()
+                                            .copied()
+                                            .filter(|&id| t.get(id).is_some())
+                                            .collect()
+                                    })
+                                    .unwrap_or_default();
+                                w.hippo.delete_tuples(table, tids)?;
+                                walops.push(WalOp::Delete {
+                                    table: table.clone(),
+                                    tids: live,
+                                });
+                            }
+                            WriteOp::Update { table, updates } => {
+                                w.hippo.update_tuples(table, updates.clone())?;
+                                walops.push(WalOp::Update {
+                                    table: table.clone(),
+                                    updates: updates.clone(),
+                                });
+                            }
                         }
-                        WriteOp::Delete { table, tids } => {
-                            w.hippo.delete_tuples(table, tids)?;
-                        }
-                        WriteOp::Update { table, updates } => {
-                            w.hippo.update_tuples(table, updates.clone())?;
+                        ops_done += 1;
+                    }
+                    Ok(())
+                }));
+                match attempt {
+                    Ok(Ok(())) => {
+                        applied[i] = Some((walops, inserted));
+                    }
+                    Ok(Err(e)) => {
+                        fail(&mut results, i, e);
+                        if ops_done > 0 {
+                            if durable {
+                                self.reset_writer(w);
+                                if w.needs_rebuild {
+                                    return self.fail_unresolved(results, applied);
+                                }
+                                applied.iter_mut().for_each(|a| *a = None);
+                                continue 'apply;
+                            }
+                            let _ = w.hippo.db_mut();
                         }
                     }
+                    Err(payload) => {
+                        fail(
+                            &mut results,
+                            i,
+                            EngineError::worker_panic("write", 0, &panic_message(payload.as_ref())),
+                        );
+                        if durable {
+                            self.reset_writer(w);
+                            if w.needs_rebuild {
+                                return self.fail_unresolved(results, applied);
+                            }
+                            applied.iter_mut().for_each(|a| *a = None);
+                            continue 'apply;
+                        }
+                        // A panic may have interrupted op application,
+                        // leaving recorded state out of sync with the
+                        // catalog — poison so the next redetect rebuilds.
+                        let _ = w.hippo.db_mut();
+                    }
                 }
+            }
+            break;
+        }
+
+        let survivors: Vec<usize> = (0..n).filter(|&i| applied[i].is_some()).collect();
+        if survivors.is_empty() {
+            return results.into_iter().map(Option::unwrap).collect();
+        }
+
+        // One reconciliation + freeze for the whole group.
+        let finish = catch_unwind(AssertUnwindSafe(
+            || -> Result<(DetectStats, FrozenHippo), EngineError> {
                 let stats = w.hippo.redetect()?;
-                Ok((stats, inserted))
+                let frozen = w.hippo.freeze()?;
+                Ok((stats, frozen))
             },
         ));
-        match applied {
-            Ok(Ok((detect, inserted))) => {
-                let frozen = w.hippo.freeze()?;
-                w.writes_applied += 1;
-                let epoch = {
-                    let mut cur = self.shared.epoch.write().unwrap();
-                    let id = cur.id + 1;
-                    *cur = Arc::new(Epoch {
-                        id,
-                        frozen,
-                        writes_applied: w.writes_applied,
-                        published_at: Instant::now(),
-                    });
-                    id
-                };
-                self.shared.epochs_published.fetch_add(1, Ordering::Relaxed);
-                Ok(WriteReceipt {
-                    epoch,
-                    detect,
-                    inserted,
-                })
-            }
+        let (detect, frozen) = match finish {
+            Ok(Ok(v)) => v,
             Ok(Err(e)) => {
-                // Structured failure (validation, budget trip, injected
-                // fault): `redetect`'s poison-on-entry already forces
-                // the next reconciliation onto the full path.
+                for &i in &survivors {
+                    fail(&mut results, i, e.clone());
+                }
+                self.recover_writer(w, durable);
+                return results.into_iter().map(Option::unwrap).collect();
+            }
+            Err(payload) => {
+                let e = EngineError::worker_panic("write", 0, &panic_message(payload.as_ref()));
+                for &i in &survivors {
+                    fail(&mut results, i, e.clone());
+                }
+                self.recover_writer(w, durable);
+                return results.into_iter().map(Option::unwrap).collect();
+            }
+        };
+
+        // Group commit: every survivor's frame in one append, one
+        // fsync — the commit point, strictly before the epoch swap.
+        if w.durability.is_some() {
+            let gov = w.hippo.options.governance();
+            let dur = w.durability.as_mut().unwrap();
+            let batch: Vec<(FrameKind, Vec<WalOp>)> = survivors
+                .iter()
+                .map(|&i| (FrameKind::Commit, applied[i].as_ref().unwrap().0.clone()))
+                .collect();
+            let appended = catch_unwind(AssertUnwindSafe(|| dur.wal.append(&batch, &gov)));
+            match appended {
+                Ok(Ok(lsns)) => {
+                    dur.last_lsn = *lsns.last().unwrap();
+                    dur.frames_since_checkpoint += lsns.len() as u64;
+                    self.shared
+                        .wal_frames
+                        .fetch_add(lsns.len() as u64, Ordering::Relaxed);
+                    self.shared.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Err(e)) => {
+                    for &i in &survivors {
+                        fail(&mut results, i, e.clone());
+                    }
+                    self.recover_writer(w, true);
+                    return results.into_iter().map(Option::unwrap).collect();
+                }
+                Err(payload) => {
+                    let e = EngineError::worker_panic("write", 0, &panic_message(payload.as_ref()));
+                    for &i in &survivors {
+                        fail(&mut results, i, e.clone());
+                    }
+                    self.recover_writer(w, true);
+                    return results.into_iter().map(Option::unwrap).collect();
+                }
+            }
+        }
+
+        // Publish: one epoch swap for the whole group.
+        w.writes_applied += survivors.len() as u64;
+        let epoch_id = {
+            let mut cur = self.shared.epoch.write().unwrap();
+            let id = cur.id + 1;
+            *cur = Arc::new(Epoch {
+                id,
+                frozen,
+                writes_applied: w.writes_applied,
+                published_at: Instant::now(),
+            });
+            id
+        };
+        self.shared.epochs_published.fetch_add(1, Ordering::Relaxed);
+        for &i in &survivors {
+            let (_, inserted) = applied[i].take().unwrap();
+            results[i] = Some(Ok(WriteReceipt {
+                epoch: epoch_id,
+                detect,
+                inserted,
+            }));
+        }
+
+        self.maybe_checkpoint(w);
+        results.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Resolve every still-unresolved transaction with the pending-
+    /// rebuild error (used when a mid-group rebuild fails).
+    fn fail_unresolved(
+        &self,
+        mut results: Vec<Option<Result<WriteReceipt, EngineError>>>,
+        _applied: Vec<Option<(Vec<WalOp>, Vec<TupleId>)>>,
+    ) -> Vec<Result<WriteReceipt, EngineError>> {
+        let err =
+            EngineError::new("write: durable writer rebuild failed; transaction not committed");
+        for r in results.iter_mut() {
+            if r.is_none() {
+                *r = Some(Err(err.clone()));
                 self.shared
                     .writer_recoveries
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        results.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Post-failure writer recovery: durable engines rebuild the live
+    /// state from the published epoch (failed writes must not ride
+    /// along — the WAL never saw them); non-durable engines poison so
+    /// the next reconciliation runs the full path (PR 7 semantics:
+    /// partial ops become visible with the next success).
+    fn recover_writer(&self, w: &mut WriterState, durable: bool) {
+        if durable {
+            self.reset_writer(w);
+        } else {
+            let _ = w.hippo.db_mut();
+        }
+    }
+
+    /// Rebuild the writer's Hippo from the currently published epoch's
+    /// catalog (full ungoverned re-detection, then the original options
+    /// restored so unfired fault arms survive). On failure flags
+    /// `needs_rebuild`; the next commit attempt retries.
+    fn reset_writer(&self, w: &mut WriterState) {
+        let epoch = self.current_epoch();
+        let rebuilt = catch_unwind(AssertUnwindSafe(|| -> Result<Hippo, EngineError> {
+            let db = Database::from_catalog(epoch.frozen().catalog().clone());
+            let constraints = w.hippo.constraints().to_vec();
+            let fks = w.hippo.foreign_keys().to_vec();
+            let options = w.hippo.options.clone();
+            let mut h = Hippo::with_foreign_keys(db, constraints, fks)?;
+            h.options = options;
+            Ok(h)
+        }));
+        match rebuilt {
+            Ok(Ok(h)) => {
+                w.hippo = h;
+                w.needs_rebuild = false;
+            }
+            _ => {
+                w.needs_rebuild = true;
+            }
+        }
+    }
+
+    /// Force a snapshot checkpoint now (durable engines only): write
+    /// the catalog image, then truncate the absorbed log.
+    pub fn checkpoint(&self) -> Result<(), EngineError> {
+        let mut w = self.shared.writer.lock().unwrap();
+        self.checkpoint_writer(&mut w)
+    }
+
+    /// Checkpoint if the cadence says so; failures are counted, not
+    /// fatal (the log is still intact, so nothing is lost).
+    fn maybe_checkpoint(&self, w: &mut WriterState) {
+        let due = match &w.durability {
+            Some(d) => d.checkpoint_every > 0 && d.frames_since_checkpoint >= d.checkpoint_every,
+            None => false,
+        };
+        if due {
+            let _ = self.checkpoint_writer(w);
+        }
+    }
+
+    fn checkpoint_writer(&self, w: &mut WriterState) -> Result<(), EngineError> {
+        let gov = w.hippo.options.governance();
+        let hippo = &w.hippo;
+        let Some(dur) = w.durability.as_mut() else {
+            return Err(EngineError::new(
+                "checkpoint: engine has no durability directory",
+            ));
+        };
+        // The writer state equals the published state here (failures
+        // always reset it), so its catalog is the correct image for
+        // everything up to `last_lsn`.
+        let catalog = hippo.db().catalog();
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            write_checkpoint(&dur.dir, catalog, dur.last_lsn, &gov)
+        }));
+        match attempt {
+            Ok(Ok(())) => {
+                dur.wal.truncate_all()?;
+                dur.frames_since_checkpoint = 0;
+                self.shared.checkpoints.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Ok(Err(e)) => {
+                self.shared
+                    .checkpoint_failures
                     .fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
             Err(payload) => {
-                // A panic may have interrupted op application itself,
-                // leaving recorded state out of sync with the catalog —
-                // poison explicitly so the next redetect rebuilds.
-                let _ = w.hippo.db_mut();
                 self.shared
-                    .writer_recoveries
+                    .checkpoint_failures
                     .fetch_add(1, Ordering::Relaxed);
                 Err(EngineError::worker_panic(
-                    "write",
+                    "checkpoint",
                     0,
                     &panic_message(payload.as_ref()),
                 ))
@@ -341,9 +979,38 @@ impl Engine {
 
     /// Graceful shutdown: reject new requests with `Shutdown`, wake
     /// queued waiters into `Shutdown`, and block until every in-flight
-    /// request has finished (or tripped its budget). Idempotent.
-    pub fn drain(&self) {
+    /// request has finished (or tripped its budget). Returns the total
+    /// number of writes abandoned at the gate so far; on a durable
+    /// engine their ops are logged as abandoned-**audit** frames
+    /// (fsync'd, skipped by replay) before this returns — a lossy
+    /// shutdown leaves evidence of what was lost. Idempotent; a second
+    /// call flushes any straggler that lost the race between being
+    /// refused and being recorded.
+    pub fn drain(&self) -> u64 {
         self.shared.admission.drain();
+        let pending: Vec<Vec<WriteOp>> =
+            std::mem::take(&mut *self.shared.abandoned.lock().unwrap());
+        if !pending.is_empty() {
+            let mut w = self.shared.writer.lock().unwrap();
+            let gov = w.hippo.options.governance();
+            if let Some(dur) = w.durability.as_mut() {
+                let batch: Vec<(FrameKind, Vec<WalOp>)> = pending
+                    .iter()
+                    .map(|ops| (FrameKind::Abandoned, audit_walops(ops)))
+                    .collect();
+                // Best-effort: the audit trail must never turn a clean
+                // drain into a crash, so injected faults are absorbed.
+                let appended = catch_unwind(AssertUnwindSafe(|| dur.wal.append(&batch, &gov)));
+                if let Ok(Ok(lsns)) = appended {
+                    dur.last_lsn = *lsns.last().unwrap();
+                    self.shared
+                        .wal_frames
+                        .fetch_add(lsns.len() as u64, Ordering::Relaxed);
+                    self.shared.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.shared.writes_abandoned.load(Ordering::Relaxed)
     }
 
     /// Has [`Engine::drain`] begun?
@@ -361,12 +1028,42 @@ impl Engine {
             requests_admitted: self.shared.admission.admitted_count(),
             requests_shed: self.shared.admission.shed_count(),
             writer_recoveries: self.shared.writer_recoveries.load(Ordering::Relaxed),
+            wal_frames: self.shared.wal_frames.load(Ordering::Relaxed),
+            wal_fsyncs: self.shared.wal_fsyncs.load(Ordering::Relaxed),
+            checkpoints: self.shared.checkpoints.load(Ordering::Relaxed),
+            checkpoint_failures: self.shared.checkpoint_failures.load(Ordering::Relaxed),
+            group_commits: self.shared.group_commits.load(Ordering::Relaxed),
+            grouped_writes: self.shared.grouped_writes.load(Ordering::Relaxed),
+            writes_abandoned: self.shared.writes_abandoned.load(Ordering::Relaxed),
             active,
             queued,
             epoch_age: epoch.age(),
             draining: self.is_draining(),
+            durable: self.shared.durable,
         }
     }
+}
+
+/// Strip a refused transaction's ops down to loggable audit records
+/// (inserts carry no tuple ids — none were ever assigned).
+fn audit_walops(ops: &[WriteOp]) -> Vec<WalOp> {
+    ops.iter()
+        .map(|op| match op {
+            WriteOp::Insert { table, rows } => WalOp::Insert {
+                table: table.clone(),
+                rows: rows.clone(),
+                tids: Vec::new(),
+            },
+            WriteOp::Delete { table, tids } => WalOp::Delete {
+                table: table.clone(),
+                tids: tids.clone(),
+            },
+            WriteOp::Update { table, updates } => WalOp::Update {
+                table: table.clone(),
+                updates: updates.clone(),
+            },
+        })
+        .collect()
 }
 
 /// A reader session: pinned to one epoch until [`Session::refresh`],

@@ -1,0 +1,257 @@
+//! Crash recovery: checkpoint + committed log suffix → the exact
+//! pre-crash published state.
+//!
+//! ```text
+//! recover(dir):
+//!   1. read checkpoint.bin        → catalog image, last_lsn
+//!   2. scan wal.bin               → committed frames, torn tail gone
+//!   3. replay frames lsn > last_lsn onto the catalog, in LSN order
+//!   4. (caller) rebuild Hippo     → full conflict re-detection
+//!   5. (caller) publish epoch 1
+//! ```
+//!
+//! Replay is **self-verifying**: each logged insert carries the tuple
+//! ids the live engine assigned, and the replayed insert must be
+//! assigned the same ids. Because the checkpoint preserves slot
+//! structure exactly (tombstones included) and inserts always append,
+//! any mismatch means the checkpoint and log disagree about history —
+//! a corruption we refuse to paper over. Abandoned-audit frames are
+//! counted but never replayed.
+//!
+//! Conflict state is *not* logged: the hypergraph is derived data, so
+//! step 4 recomputes it from scratch — recovery can never resurrect a
+//! stale conflict verdict.
+
+use crate::checkpoint::read_checkpoint;
+use crate::wal::{FrameKind, Wal, WalOp};
+use hippo_engine::{Catalog, EngineError};
+use std::path::Path;
+
+/// What a recovery pass found and did (exposed via
+/// [`crate::Engine::recovery_report`]).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// The WAL position the checkpoint already covered.
+    pub checkpoint_lsn: u64,
+    /// Committed frames replayed on top of it.
+    pub frames_replayed: u64,
+    /// Individual ops inside those frames.
+    pub ops_replayed: u64,
+    /// Abandoned-audit frames seen (and skipped).
+    pub abandoned_skipped: u64,
+    /// Whether a torn/corrupt log tail was truncated.
+    pub torn_tail_truncated: bool,
+    /// Bytes discarded with that tail.
+    pub truncated_bytes: u64,
+    /// Committed log size after the scan.
+    pub wal_bytes: u64,
+}
+
+fn diverged(what: impl std::fmt::Display) -> EngineError {
+    EngineError::new(format!(
+        "recover: replay diverged from the log ({what}) — checkpoint and WAL \
+         disagree about history; the durability directory is corrupt"
+    ))
+}
+
+fn apply_op(catalog: &mut Catalog, lsn: u64, op: &WalOp) -> Result<(), EngineError> {
+    match op {
+        WalOp::Insert { table, rows, tids } => {
+            let t = catalog
+                .table_mut(table)
+                .map_err(|_| diverged(format!("frame {lsn} inserts into missing table {table}")))?;
+            for (row, want) in rows.iter().zip(tids) {
+                let got = t
+                    .insert(row.clone())
+                    .map_err(|e| diverged(format!("frame {lsn} insert rejected: {e}")))?;
+                if got != *want {
+                    return Err(diverged(format!(
+                        "frame {lsn} insert into {table} got tid {} but the log recorded {}",
+                        got.0, want.0
+                    )));
+                }
+            }
+        }
+        WalOp::Delete { table, tids } => {
+            let t = catalog
+                .table_mut(table)
+                .map_err(|_| diverged(format!("frame {lsn} deletes from missing table {table}")))?;
+            for tid in tids {
+                if !t.delete(*tid) {
+                    return Err(diverged(format!(
+                        "frame {lsn} deletes absent tuple {} from {table}",
+                        tid.0
+                    )));
+                }
+            }
+        }
+        WalOp::Update { table, updates } => {
+            let t = catalog
+                .table_mut(table)
+                .map_err(|_| diverged(format!("frame {lsn} updates missing table {table}")))?;
+            for (tid, row) in updates {
+                t.update(*tid, row.clone())
+                    .map_err(|e| diverged(format!("frame {lsn} update rejected: {e}")))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Load the directory's checkpoint, scan its log, and replay the
+/// committed suffix. Returns the recovered catalog, the open log
+/// (positioned for further appends), and a report. The caller owns
+/// re-running conflict detection and publishing.
+///
+/// Errors if no checkpoint exists — a durability directory is always
+/// born with one (see [`crate::Engine::new_durable`]), so its absence
+/// means this was never a durability directory.
+pub fn recover_dir(dir: &Path) -> Result<(Catalog, Wal, RecoveryReport), EngineError> {
+    let ck = read_checkpoint(dir)?.ok_or_else(|| {
+        EngineError::new(format!(
+            "recover: no checkpoint in {} — not a durability directory \
+             (Engine::new_durable creates one at birth)",
+            dir.display()
+        ))
+    })?;
+    let (wal, scan) = Wal::open(dir)?;
+    let mut report = RecoveryReport {
+        checkpoint_lsn: ck.last_lsn,
+        torn_tail_truncated: scan.torn_tail,
+        truncated_bytes: scan.truncated_bytes,
+        wal_bytes: wal.len(),
+        ..RecoveryReport::default()
+    };
+    let mut catalog = ck.catalog;
+    for frame in &scan.frames {
+        if frame.kind == FrameKind::Abandoned {
+            report.abandoned_skipped += 1;
+            continue;
+        }
+        if frame.lsn <= ck.last_lsn {
+            // Already folded into the checkpoint (crash landed between
+            // the checkpoint rename and the log truncation).
+            continue;
+        }
+        for op in &frame.ops {
+            apply_op(&mut catalog, frame.lsn, op)?;
+            report.ops_replayed += 1;
+        }
+        report.frames_replayed += 1;
+    }
+    Ok((catalog, wal, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::write_checkpoint;
+    use hippo_cqa::budget::Governance;
+    use hippo_engine::{Database, TupleId, Value};
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "hippo-rec-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn seed_catalog() -> Catalog {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+            .unwrap();
+        db.catalog().clone()
+    }
+
+    #[test]
+    fn replays_committed_suffix_and_skips_covered_and_abandoned() {
+        let dir = tmp_dir("replay");
+        let gov = Governance::default();
+        write_checkpoint(&dir, &seed_catalog(), 0, &gov).unwrap();
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            wal.append(
+                &[
+                    (
+                        FrameKind::Commit,
+                        vec![WalOp::Insert {
+                            table: "t".into(),
+                            rows: vec![vec![Value::Int(3), Value::text("z")]],
+                            tids: vec![TupleId(2)],
+                        }],
+                    ),
+                    (
+                        FrameKind::Abandoned,
+                        vec![WalOp::Delete {
+                            table: "t".into(),
+                            tids: vec![TupleId(0)],
+                        }],
+                    ),
+                    (
+                        FrameKind::Commit,
+                        vec![WalOp::Delete {
+                            table: "t".into(),
+                            tids: vec![TupleId(1)],
+                        }],
+                    ),
+                ],
+                &gov,
+            )
+            .unwrap();
+        }
+        let (catalog, _wal, report) = recover_dir(&dir).unwrap();
+        assert_eq!(report.frames_replayed, 2);
+        assert_eq!(report.abandoned_skipped, 1);
+        assert_eq!(report.ops_replayed, 2);
+        let t = catalog.table("t").unwrap();
+        assert!(t.get(TupleId(0)).is_some(), "abandoned delete not applied");
+        assert!(t.get(TupleId(1)).is_none(), "committed delete applied");
+        assert_eq!(
+            t.get(TupleId(2)).unwrap()[0],
+            Value::Int(3),
+            "insert replayed at the recorded tid"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tid_mismatch_is_a_loud_corruption_error() {
+        let dir = tmp_dir("tidmismatch");
+        let gov = Governance::default();
+        write_checkpoint(&dir, &seed_catalog(), 0, &gov).unwrap();
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            // The live engine would have assigned tid 2; the log lies.
+            wal.append(
+                &[(
+                    FrameKind::Commit,
+                    vec![WalOp::Insert {
+                        table: "t".into(),
+                        rows: vec![vec![Value::Int(3), Value::text("z")]],
+                        tids: vec![TupleId(9)],
+                    }],
+                )],
+                &gov,
+            )
+            .unwrap();
+        }
+        let err = recover_dir(&dir).unwrap_err();
+        assert!(err.message.contains("diverged"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_checkpoint_is_refused() {
+        let dir = tmp_dir("nockp");
+        let err = recover_dir(&dir).unwrap_err();
+        assert!(err.message.contains("no checkpoint"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

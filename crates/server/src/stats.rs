@@ -20,6 +20,21 @@ pub struct ServiceStats {
     /// without publishing — the writer recovered and the previous
     /// epoch stayed live.
     pub writer_recoveries: u64,
+    /// WAL frames durably committed (commit + abandoned-audit).
+    pub wal_frames: u64,
+    /// WAL fsyncs issued; `wal_frames / wal_fsyncs` is the realized
+    /// group-commit batch factor.
+    pub wal_fsyncs: u64,
+    /// Snapshot checkpoints written (each truncates the absorbed log).
+    pub checkpoints: u64,
+    /// Checkpoint attempts that failed (non-fatal: the log survives).
+    pub checkpoint_failures: u64,
+    /// Commit groups holding more than one transaction.
+    pub group_commits: u64,
+    /// Transactions that committed inside such groups.
+    pub grouped_writes: u64,
+    /// Writes refused at the admission gate during drain.
+    pub writes_abandoned: u64,
     /// Requests executing right now.
     pub active: usize,
     /// Requests waiting in the admission queue right now.
@@ -28,6 +43,8 @@ pub struct ServiceStats {
     pub epoch_age: Duration,
     /// The service is draining: new requests get `Shutdown`.
     pub draining: bool,
+    /// The engine writes a WAL (durability attached).
+    pub durable: bool,
 }
 
 impl fmt::Display for ServiceStats {
@@ -48,6 +65,20 @@ impl fmt::Display for ServiceStats {
             self.queued,
             self.epoch_age.as_secs_f64() * 1e3,
         )?;
+        if self.durable {
+            write!(
+                f,
+                " wal_frames={} wal_fsyncs={} checkpoints={} checkpoint_failures={} \
+                 group_commits={} grouped_writes={} writes_abandoned={}",
+                self.wal_frames,
+                self.wal_fsyncs,
+                self.checkpoints,
+                self.checkpoint_failures,
+                self.group_commits,
+                self.grouped_writes,
+                self.writes_abandoned,
+            )?;
+        }
         if self.draining {
             write!(f, " draining")?;
         }
@@ -97,7 +128,7 @@ mod tests {
             active: 2,
             queued: 1,
             epoch_age: Duration::from_micros(1500),
-            draining: false,
+            ..ServiceStats::default()
         };
         let line = s.to_string();
         assert!(line.contains("epochs_published=3"), "{line}");
@@ -105,11 +136,31 @@ mod tests {
         assert!(line.contains("writer_recoveries=1"), "{line}");
         assert!(line.contains("epoch_age=1.500ms"), "{line}");
         assert!(!line.contains("draining"), "{line}");
+        assert!(
+            !line.contains("wal_frames"),
+            "durability counters hidden on non-durable engines: {line}"
+        );
         let d = ServiceStats {
             draining: true,
-            ..s
+            ..s.clone()
         };
         assert!(d.to_string().ends_with("draining"));
+        let dur = ServiceStats {
+            durable: true,
+            wal_frames: 12,
+            wal_fsyncs: 4,
+            checkpoints: 1,
+            group_commits: 2,
+            grouped_writes: 9,
+            writes_abandoned: 3,
+            ..s
+        };
+        let line = dur.to_string();
+        assert!(line.contains("wal_frames=12"), "{line}");
+        assert!(line.contains("wal_fsyncs=4"), "{line}");
+        assert!(line.contains("checkpoints=1"), "{line}");
+        assert!(line.contains("group_commits=2"), "{line}");
+        assert!(line.contains("writes_abandoned=3"), "{line}");
     }
 
     #[test]
