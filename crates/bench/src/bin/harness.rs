@@ -1,7 +1,7 @@
 //! Experiment harness: regenerates every table/figure of the reproduction.
 //!
 //! Usage:
-//!   harness [--quick] [--json PATH] [all|d1|d2|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14]...
+//!   harness [--quick] [--json PATH] [all|d1|d2|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15]...
 //!
 //! With no experiment arguments, runs everything. `--quick` shrinks
 //! workload sizes (used in CI and on laptops; the full sizes match
@@ -12,10 +12,11 @@
 use hippo_bench::experiments as ex;
 
 fn main() {
-    // Hidden crash-child mode for E14: selected purely by env var so
-    // arbitrary argv (meant for libtest targets) is ignored. Never
-    // returns when active — the parent SIGKILLs this process.
+    // Hidden crash-child modes for E14/E15: selected purely by env var
+    // so arbitrary argv (meant for libtest targets) is ignored. Never
+    // return when active — the parent SIGKILLs this process.
     ex::e14_child_from_env();
+    ex::e15_child_from_env();
 
     let mut args = std::env::args().skip(1).peekable();
     let mut quick = false;
@@ -77,6 +78,7 @@ fn main() {
     run("e12", &ex::e12_governance);
     run("e13", &ex::e13_chaos_service);
     run("e14", &ex::e14_crash_recovery);
+    run("e15", &ex::e15_replication_failover);
 
     if let Some(path) = json_path {
         let json = render_json(quick, &tables);

@@ -1909,7 +1909,7 @@ pub fn e14_crash_recovery(quick: bool) -> Result<Table, Box<dyn std::error::Erro
     };
     let recover = |dir: &std::path::Path| -> Result<Engine, Box<dyn std::error::Error>> {
         let (_, cons) = e14_workload(rows, seed)?;
-        Ok(Engine::recover(
+        let eng = Engine::recover(
             EngineConfig::default(),
             DurabilityConfig {
                 dir: dir.to_path_buf(),
@@ -1918,7 +1918,11 @@ pub fn e14_crash_recovery(quick: bool) -> Result<Table, Box<dyn std::error::Erro
             cons,
             Vec::new(),
             HippoOptions::full(),
-        )?)
+        )?;
+        if let Some(report) = eng.recovery_report() {
+            println!("  [E14 recover] {report}");
+        }
+        Ok(eng)
     };
 
     // Phase 1: in-process panics at every durability fault point.
@@ -2216,6 +2220,607 @@ pub fn e14_crash_recovery(quick: bool) -> Result<Table, Box<dyn std::error::Erro
     Ok(t)
 }
 
+// =====================================================================
+// E15: replication failover — kill-tested promotion, fencing, chaos
+// transports, catch-up time and steady-state lag.
+// =====================================================================
+
+fn e15_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("hippo-e15-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn e15_replica_config(seed: u64) -> hippo_server::ReplicaConfig {
+    let (_, cons) = e14_workload(1, seed).unwrap();
+    let mut config = hippo_server::ReplicaConfig::new(cons);
+    config.options = HippoOptions::full();
+    config.resync_after = Duration::from_millis(30);
+    config
+}
+
+/// Poll `cond` until it holds or `deadline` passes (structured error,
+/// never a hang — experiments must fail loudly).
+fn e15_wait(
+    mut cond: impl FnMut() -> bool,
+    what: &str,
+    deadline: Duration,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let start = Instant::now();
+    while !cond() {
+        if start.elapsed() > deadline {
+            return Err(format!("E15: timed out waiting for {what}").into());
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    Ok(())
+}
+
+/// Count the sequenced crash-traffic keys an engine holds and demand
+/// they form a contiguous prefix `0..k`.
+fn e15_applied_prefix(eng: &hippo_server::Engine) -> Result<u64, Box<dyn std::error::Error>> {
+    let session = eng.session();
+    let mut keys: Vec<i64> = session
+        .epoch()
+        .frozen()
+        .catalog()
+        .table("t")?
+        .iter()
+        .filter_map(|(_, r)| match r[0] {
+            Value::Int(k) if k >= E14_BASE_KEY => Some(k - E14_BASE_KEY),
+            _ => None,
+        })
+        .collect();
+    keys.sort_unstable();
+    for (i, &k) in keys.iter().enumerate() {
+        if k != i as i64 {
+            return Err(format!("E15: applied keys have gaps at index {i} (key {k})").into());
+        }
+    }
+    Ok(keys.len() as u64)
+}
+
+/// Hidden crash-child entry point for E15, selected purely by
+/// environment (`HIPPO_E15_CHILD=dir|rows|seed|limit`): open a durable
+/// engine in `dir`, serve replication on an ephemeral TCP port
+/// (announced as `port N` on stdout), then append sequenced single-row
+/// transactions, acking each durable commit, until SIGKILL'd.
+pub fn e15_child_from_env() {
+    let Ok(spec) = std::env::var("HIPPO_E15_CHILD") else {
+        return;
+    };
+    use hippo_server::{DurabilityConfig, Engine, EngineConfig, WriteOp};
+    let parts: Vec<&str> = spec.split('|').collect();
+    let (dir, rows, seed, limit) = (
+        std::path::PathBuf::from(parts[0]),
+        parts[1].parse::<usize>().unwrap(),
+        parts[2].parse::<u64>().unwrap(),
+        parts[3].parse::<u64>().unwrap(),
+    );
+    let (db, cons) = e14_workload(rows, seed).unwrap();
+    let hippo = Hippo::with_options(db, cons, HippoOptions::full()).unwrap();
+    let eng = Engine::new_durable(
+        hippo,
+        EngineConfig::default(),
+        DurabilityConfig {
+            dir,
+            checkpoint_every_frames: 8,
+        },
+    )
+    .unwrap();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let server = eng.serve_replication(listener).unwrap();
+    // Line-buffered stdout: the parent reads this before attaching.
+    println!("port {}", server.addr().port());
+    for i in 0..limit {
+        eng.write(vec![WriteOp::Insert {
+            table: "t".into(),
+            rows: vec![e14_row(E14_BASE_KEY + i as i64)],
+        }])
+        .unwrap();
+        println!("acked {i}");
+    }
+    // Limit reached before the parent's kill: idle and wait for it.
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// E15: WAL-shipping replication and kill-tested failover. Five phases:
+///
+/// 1. `failover`: an out-of-process primary serves replication over
+///    TCP and runs acked write traffic; a replica follows; the primary
+///    is SIGKILL'd mid-flight and the replica is **promoted**. The
+///    promoted node's consistent answers must be bit-identical to a
+///    serial oracle on its applied prefix, the term must bump, and
+///    recovering the dead primary's directory must show the replica
+///    applied a prefix of what was committed.
+/// 2. `fencing`: a crafted higher-term heartbeat turns the live
+///    primary into a zombie; its frames must be rejected without
+///    touching replica state, and the rejection must teach the zombie
+///    to stop feeding.
+/// 3. `chaos`: armed `repl:drop`/`repl:corrupt`/`repl:delay` faults on
+///    the shipping path heal via resync (bit-identical convergence);
+///    `repl:disconnect` surfaces structurally and a re-attach recovers.
+/// 4. `catchup`: a partitioned replica rejoins after N frames of
+///    missed traffic; catch-up must go through the incremental WAL
+///    path (no snapshot), timed per N.
+/// 5. `lag`: steady-state replication lag sampled under write traffic,
+///    converging to zero.
+pub fn e15_replication_failover(quick: bool) -> Result<Table, Box<dyn std::error::Error>> {
+    use hippo_cqa::budget::{FaultKind, FaultPlan};
+    use hippo_server::replicate::ReplMsg;
+    use hippo_server::{
+        ChannelTransport, DurabilityConfig, Engine, EngineConfig, Replica, TcpTransport, Transport,
+        WriteOp,
+    };
+
+    let rows = if quick { 400 } else { 1_500 };
+    let seed = 79u64;
+    let mut t = Table::new(
+        "E15",
+        format!("replication failover: SIGKILL'd primary, promotion, fencing, chaos transports, catch-up and lag (|t|={rows})"),
+        &["phase", "case", "detail", "lsns", "ms", "result"],
+    );
+
+    let insert = |key: i64| -> WriteOp {
+        WriteOp::Insert {
+            table: "t".into(),
+            rows: vec![e14_row(key)],
+        }
+    };
+    let durable = |dir: &std::path::Path| -> Result<Engine, Box<dyn std::error::Error>> {
+        let (db, cons) = e14_workload(rows, seed)?;
+        let hippo = Hippo::with_options(db, cons, HippoOptions::full())?;
+        Ok(Engine::new_durable(
+            hippo,
+            EngineConfig::default(),
+            DurabilityConfig {
+                dir: dir.to_path_buf(),
+                checkpoint_every_frames: 0,
+            },
+        )?)
+    };
+    let recover = |dir: &std::path::Path| -> Result<Engine, Box<dyn std::error::Error>> {
+        let (_, cons) = e14_workload(rows, seed)?;
+        let eng = Engine::recover(
+            EngineConfig::default(),
+            DurabilityConfig {
+                dir: dir.to_path_buf(),
+                checkpoint_every_frames: 0,
+            },
+            cons,
+            Vec::new(),
+            HippoOptions::full(),
+        )?;
+        if let Some(report) = eng.recovery_report() {
+            println!("  [E15 recover] {report}");
+        }
+        Ok(eng)
+    };
+    let wait_caught_up = |eng: &Engine, replica: &Replica, what: &str| {
+        let target = eng.replication_stats().last_lsn;
+        e15_wait(
+            || replica.staleness().applied_lsn >= target && replica.broken().is_none(),
+            what,
+            Duration::from_secs(30),
+        )
+    };
+
+    // -----------------------------------------------------------------
+    // Phase 1: SIGKILL the primary mid-traffic, promote the replica.
+    // -----------------------------------------------------------------
+    {
+        let dir = e15_dir("failover");
+        let min_acks = if quick { 25 } else { 60 };
+        let exe = std::env::current_exe()?;
+        let mut child = std::process::Command::new(&exe)
+            .env(
+                "HIPPO_E15_CHILD",
+                format!("{}|{rows}|{seed}|4000", dir.display()),
+            )
+            // Libtest-target argv (see E14): selects the child entry
+            // test and un-captures stdout; the harness binary checks
+            // the env var first and ignores these.
+            .args(["e15_child_entry", "--nocapture", "--test-threads=1"])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()?;
+        // The port arrives on stdout *before* the kill, so the stream
+        // must be read incrementally — a reader thread feeds a channel.
+        let stdout = child.stdout.take().ok_or("E15: no child stdout")?;
+        let (line_tx, line_rx) = std::sync::mpsc::channel::<String>();
+        let reader = std::thread::spawn(move || {
+            use std::io::BufRead as _;
+            for line in std::io::BufReader::new(stdout).lines() {
+                let Ok(l) = line else { break };
+                if line_tx.send(l).is_err() {
+                    break;
+                }
+            }
+        });
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut port: Option<u16> = None;
+        let mut acked = 0u64;
+        while port.is_none() {
+            if Instant::now() > deadline {
+                let _ = child.kill();
+                return Err("E15 failover: child never announced its port".into());
+            }
+            if let Ok(l) = line_rx.recv_timeout(Duration::from_millis(50)) {
+                // Libtest glues its preamble onto the first line.
+                if let Some(at) = l.rfind("port ") {
+                    port = l[at + 5..].trim().parse().ok();
+                }
+            }
+        }
+        let transport = TcpTransport::connect(&format!("127.0.0.1:{}", port.unwrap()))?;
+        let replica = Replica::start(Box::new(transport), e15_replica_config(seed));
+
+        // Let real traffic flow: count acks until the kill threshold.
+        while acked < min_acks {
+            if Instant::now() > deadline {
+                let _ = child.kill();
+                return Err(format!("E15 failover: only {acked} acks before deadline").into());
+            }
+            if let Ok(l) = line_rx.recv_timeout(Duration::from_millis(50)) {
+                if l.contains("acked ") {
+                    acked += 1;
+                }
+            }
+        }
+        child.kill()?; // SIGKILL — no destructors, no flushes
+        child.wait()?;
+        // Drain the acks that were in flight when the kill landed.
+        while let Ok(l) = line_rx.recv_timeout(Duration::from_millis(100)) {
+            if l.contains("acked ") {
+                acked += 1;
+            }
+        }
+        reader.join().ok();
+
+        // Let in-flight frames settle, then promote.
+        let settle = Instant::now();
+        let mut last = replica.staleness().applied_lsn;
+        loop {
+            std::thread::sleep(Duration::from_millis(60));
+            let now = replica.staleness().applied_lsn;
+            if now == last || settle.elapsed() > Duration::from_secs(10) {
+                break;
+            }
+            last = now;
+        }
+        let term_before = replica.term();
+        let start = Instant::now();
+        let (promoted, report) = replica.promote(EngineConfig::default(), None)?;
+        let promote_ms = start.elapsed();
+        if report.term != term_before + 1 || promoted.term() != report.term {
+            return Err(format!(
+                "E15 failover: promotion must bump the fencing term ({term_before} -> {:?})",
+                report
+            )
+            .into());
+        }
+
+        // The promoted node serves exactly its applied prefix...
+        let k = e15_applied_prefix(&promoted)?;
+        let got = promoted.session().consistent_answers(&e14_query())?;
+        if got != e14_oracle(rows, seed, k)? {
+            return Err("E15 failover: promoted answers diverged from the serial oracle".into());
+        }
+        // ...which is a prefix of what the dead primary committed, and
+        // every acked transaction survived in the primary's own log.
+        let dead = recover(&dir)?;
+        let m = e15_applied_prefix(&dead)?;
+        let dead_got = dead.session().consistent_answers(&e14_query())?;
+        if dead_got != e14_oracle(rows, seed, m)? {
+            return Err("E15 failover: recovered primary diverged from the serial oracle".into());
+        }
+        if k > m {
+            return Err(format!(
+                "E15 failover: replica applied {k} writes but only {m} were committed"
+            )
+            .into());
+        }
+        if acked > m {
+            return Err(format!(
+                "E15 failover: {acked} acked writes but only {m} recovered — durability lost"
+            )
+            .into());
+        }
+        t.rows.push(vec![
+            "failover".into(),
+            "sigkill + promote".into(),
+            format!(
+                "acked={acked} applied={k} committed={m} term={}",
+                report.term
+            ),
+            report.applied_lsn.to_string(),
+            ms(promote_ms),
+            "prefix+oracle ok".into(),
+        ]);
+        drop(dead);
+        drop(promoted);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -----------------------------------------------------------------
+    // Phase 2: fencing — a zombie primary's frames are rejected.
+    // -----------------------------------------------------------------
+    {
+        let dir = e15_dir("fencing");
+        let eng = durable(&dir)?;
+        let (a, b) = ChannelTransport::pair();
+        let replica = Replica::start(Box::new(b), e15_replica_config(seed));
+        eng.attach_replica(Box::new(a))?;
+        eng.write(vec![insert(E14_BASE_KEY)])?;
+        wait_caught_up(&eng, &replica, "fencing: initial sync")?;
+        let settled = {
+            let mut s = replica.session()?;
+            s.consistent_answers(&e14_query())?
+        };
+
+        // A higher-term heartbeat teaches the replica the cluster
+        // moved on; the still-live old primary is now a zombie.
+        let (mut ours, theirs) = ChannelTransport::pair();
+        replica.attach(Box::new(theirs));
+        ours.send(
+            &ReplMsg::Heartbeat {
+                term: eng.term() + 1,
+                last_lsn: replica.staleness().applied_lsn,
+            }
+            .encode(),
+        )?;
+        e15_wait(
+            || replica.term() == eng.term() + 1,
+            "fencing: term adoption",
+            Duration::from_secs(10),
+        )?;
+        eng.write(vec![insert(E14_BASE_KEY + 1)])?;
+        e15_wait(
+            || replica.stats().frames_fenced >= 1,
+            "fencing: stale frames rejected",
+            Duration::from_secs(10),
+        )?;
+        let now = {
+            let mut s = replica.session()?;
+            s.consistent_answers(&e14_query())?
+        };
+        if now != settled {
+            return Err("E15 fencing: fenced frames must not touch replica state".into());
+        }
+        e15_wait(
+            || eng.replication_stats().feeds_fenced >= 1,
+            "fencing: zombie learns via ack",
+            Duration::from_secs(10),
+        )?;
+        let rs = replica.stats();
+        t.rows.push(vec![
+            "fencing".into(),
+            "zombie primary".into(),
+            format!(
+                "frames_fenced={} feeds_fenced={}",
+                rs.frames_fenced,
+                eng.replication_stats().feeds_fenced
+            ),
+            rs.applied_lsn.to_string(),
+            "-".into(),
+            "state unchanged".into(),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -----------------------------------------------------------------
+    // Phase 3: chaos transports — drop/corrupt/delay heal, disconnect
+    // surfaces structurally and a re-attach recovers.
+    // -----------------------------------------------------------------
+    {
+        let dir = e15_dir("chaos");
+        let eng = durable(&dir)?;
+        let gov = HippoOptions::full()
+            .with_faults(
+                FaultPlan::parse("repl:drop:*:drop,repl:corrupt:*:corrupt,repl:delay:*:delay5")
+                    .map_err(|e| format!("E15 chaos: {e}"))?,
+            )
+            .governance();
+        let (a, b) = ChannelTransport::pair();
+        let replica = Replica::start(Box::new(b), e15_replica_config(seed));
+        eng.attach_replica(Box::new(a.with_faults(gov, 0)))?;
+        let start = Instant::now();
+        for i in 0..8 {
+            eng.write(vec![insert(E14_BASE_KEY + i)])?;
+        }
+        wait_caught_up(&eng, &replica, "chaos: convergence through faults")?;
+        let elapsed = start.elapsed();
+        let got = {
+            let mut s = replica.session()?;
+            s.consistent_answers(&e14_query())?
+        };
+        if got != eng.session().consistent_answers(&e14_query())? {
+            return Err("E15 chaos: dropped/corrupted frames must heal, not diverge".into());
+        }
+        let rs = replica.stats();
+        if rs.broken {
+            return Err(format!("E15 chaos: replica broke: {rs}").into());
+        }
+        if rs.msgs_corrupt < 1 || rs.gaps_detected + rs.resync_requests < 1 {
+            return Err(format!("E15 chaos: armed faults never fired: {rs}").into());
+        }
+        t.rows.push(vec![
+            "chaos".into(),
+            "drop+corrupt+delay".into(),
+            format!(
+                "corrupt={} resyncs={} snapshots={}",
+                rs.msgs_corrupt,
+                rs.gaps_detected + rs.resync_requests,
+                rs.snapshots_loaded
+            ),
+            rs.applied_lsn.to_string(),
+            ms(elapsed),
+            "bit-identical".into(),
+        ]);
+
+        // Disconnect: structured hangup, then a clean re-attach.
+        let disc_gov = HippoOptions::full()
+            .with_faults(FaultPlan::new(
+                "repl:disconnect",
+                None,
+                FaultKind::Disconnect,
+            ))
+            .governance();
+        let (a2, b2) = ChannelTransport::pair();
+        let replica2 = Replica::start(Box::new(b2), e15_replica_config(seed));
+        eng.attach_replica(Box::new(a2.with_faults(disc_gov, 0)))?;
+        eng.write(vec![insert(E14_BASE_KEY + 8)])?;
+        e15_wait(
+            || replica2.stats().disconnects >= 1,
+            "chaos: structured disconnect",
+            Duration::from_secs(10),
+        )?;
+        if replica2.broken().is_some() {
+            return Err("E15 chaos: a disconnect must never break replica state".into());
+        }
+        let (a3, b3) = ChannelTransport::pair();
+        replica2.attach(Box::new(b3));
+        eng.attach_replica(Box::new(a3))?;
+        wait_caught_up(&eng, &replica2, "chaos: post-disconnect recovery")?;
+        let got = {
+            let mut s = replica2.session()?;
+            s.consistent_answers(&e14_query())?
+        };
+        if got != eng.session().consistent_answers(&e14_query())? {
+            return Err("E15 chaos: re-attached replica diverged".into());
+        }
+        t.rows.push(vec![
+            "chaos".into(),
+            "disconnect + reattach".into(),
+            format!("disconnects={}", replica2.stats().disconnects),
+            replica2.staleness().applied_lsn.to_string(),
+            "-".into(),
+            "bit-identical".into(),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -----------------------------------------------------------------
+    // Phase 4: catch-up time versus missed-log length. A replica syncs,
+    // is partitioned (its primary dies), a successor commits N more
+    // frames, and the replica rejoins — the catch-up must ride the
+    // incremental WAL path, not a fresh snapshot.
+    // -----------------------------------------------------------------
+    for frames in if quick {
+        [8u64, 32, 128]
+    } else {
+        [16, 64, 256]
+    } {
+        let dir = e15_dir(&format!("catchup-{frames}"));
+        let eng = durable(&dir)?;
+        let (a, b) = ChannelTransport::pair();
+        let replica = Replica::start(Box::new(b), e15_replica_config(seed));
+        eng.attach_replica(Box::new(a))?;
+        eng.write(vec![insert(E14_BASE_KEY)])?;
+        wait_caught_up(&eng, &replica, "catchup: initial sync")?;
+        drop(eng); // partition: the feed dies with its engine
+
+        let eng2 = recover(&dir)?;
+        for i in 0..frames {
+            eng2.write(vec![insert(E14_BASE_KEY + 1 + i as i64)])?;
+        }
+        let snapshots_before = replica.stats().snapshots_loaded;
+        let (a2, b2) = ChannelTransport::pair();
+        replica.attach(Box::new(b2));
+        let start = Instant::now();
+        eng2.attach_replica(Box::new(a2))?;
+        wait_caught_up(&eng2, &replica, "catchup: rejoin")?;
+        let elapsed = start.elapsed();
+        let rs = replica.stats();
+        if rs.snapshots_loaded != snapshots_before {
+            return Err(format!(
+                "E15 catchup frames={frames}: rejoin took a snapshot instead of the log: {rs}"
+            )
+            .into());
+        }
+        let got = {
+            let mut s = replica.session()?;
+            s.consistent_answers(&e14_query())?
+        };
+        if got != eng2.session().consistent_answers(&e14_query())? {
+            return Err(format!("E15 catchup frames={frames}: diverged after rejoin").into());
+        }
+        t.rows.push(vec![
+            "catchup".into(),
+            format!("frames={frames}"),
+            format!(
+                "incremental replay (frames_applied={} ops={})",
+                rs.frames_applied, rs.ops_applied
+            ),
+            rs.applied_lsn.to_string(),
+            ms(elapsed),
+            "incremental ok".into(),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -----------------------------------------------------------------
+    // Phase 5: steady-state replication lag under write traffic.
+    // -----------------------------------------------------------------
+    {
+        let dir = e15_dir("lag");
+        let eng = durable(&dir)?;
+        let (a, b) = ChannelTransport::pair();
+        let replica = Replica::start(Box::new(b), e15_replica_config(seed));
+        eng.attach_replica(Box::new(a))?;
+        let writes = if quick { 30u64 } else { 80 };
+        let mut max_lag = 0u64;
+        let mut lag_sum = 0u64;
+        let start = Instant::now();
+        for i in 0..writes {
+            eng.write(vec![insert(E14_BASE_KEY + i as i64)])?;
+            let lag = replica.staleness().lsn_lag;
+            max_lag = max_lag.max(lag);
+            lag_sum += lag;
+        }
+        wait_caught_up(&eng, &replica, "lag: final convergence")?;
+        let elapsed = start.elapsed();
+        let st = replica.staleness();
+        if st.lsn_lag != 0 {
+            return Err(format!("E15 lag: settled replica still lags: {st:?}").into());
+        }
+        let got = {
+            let mut s = replica.session()?;
+            s.consistent_answers(&e14_query())?
+        };
+        if got != eng.session().consistent_answers(&e14_query())? {
+            return Err("E15 lag: converged replica diverged".into());
+        }
+        t.rows.push(vec![
+            "lag".into(),
+            format!("writes={writes}"),
+            format!(
+                "max_lag={max_lag} mean_lag={:.1} settled_lag=0",
+                lag_sum as f64 / writes as f64
+            ),
+            st.applied_lsn.to_string(),
+            ms(elapsed),
+            "converged to 0".into(),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    t.notes.push(
+        "oracle = fresh single-threaded Hippo over the seeded base table plus the applied \
+         committed prefix; failover requires promoted answers bit-identical to it and \
+         applied <= committed (no invented writes), acked <= committed (no lost acks)"
+            .into(),
+    );
+    t.notes.push(
+        "fencing: promotion bumps a monotonic term carried in every frame; stale-term frames \
+         are rejected without touching state and the rejection teaches the zombie to stop"
+            .into(),
+    );
+    Ok(t)
+}
+
 /// Run every experiment; `quick` shrinks sizes for CI.
 pub fn run_all(quick: bool) -> Result<Vec<Table>, Box<dyn std::error::Error>> {
     Ok(vec![
@@ -2235,6 +2840,7 @@ pub fn run_all(quick: bool) -> Result<Vec<Table>, Box<dyn std::error::Error>> {
         e12_governance(quick)?,
         e13_chaos_service(quick)?,
         e14_crash_recovery(quick)?,
+        e15_replication_failover(quick)?,
     ])
 }
 
@@ -2400,6 +3006,33 @@ mod tests {
     #[test]
     fn e14_child_entry() {
         e14_child_from_env();
+    }
+
+    /// SIGKILL target for [`e15_replication_failover`]: a no-op unless
+    /// the parent set `HIPPO_E15_CHILD`, in which case it never
+    /// returns — it serves replication and runs durable write traffic
+    /// until the parent kills it.
+    #[test]
+    fn e15_child_entry() {
+        e15_child_from_env();
+    }
+
+    #[test]
+    fn e15_replication_failover_invariants_hold_quick() {
+        // The failover, fencing, chaos and catch-up invariants are
+        // enforced inside the experiment: Ok means promotion bumped
+        // the term, promoted answers matched the serial oracle on the
+        // applied prefix, no acked write was lost, fenced frames never
+        // touched state, and every rejoin rode the incremental path.
+        let t = e15_replication_failover(true).unwrap();
+        assert_eq!(t.rows.iter().filter(|r| r[0] == "failover").count(), 1);
+        assert_eq!(t.rows.iter().filter(|r| r[0] == "fencing").count(), 1);
+        assert_eq!(t.rows.iter().filter(|r| r[0] == "chaos").count(), 2);
+        assert_eq!(t.rows.iter().filter(|r| r[0] == "catchup").count(), 3);
+        assert_eq!(t.rows.iter().filter(|r| r[0] == "lag").count(), 1);
+        let failover = t.rows.iter().find(|r| r[0] == "failover").unwrap();
+        assert!(failover[2].contains("term=2"), "{failover:?}");
+        assert_eq!(failover[5], "prefix+oracle ok");
     }
 
     #[test]

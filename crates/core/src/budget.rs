@@ -10,35 +10,45 @@
 //! [`ConsistentAnswer`] carrying a [`Completeness`] marker in degraded
 //! mode.
 //!
-//! # Stages
+//! # Fault-point catalog
 //!
-//! Checkpoints are identified by stage name, in pipeline order:
+//! Checkpoints are identified by stage name. This table is the one
+//! authoritative list, across every layer of the system:
 //!
-//! | stage        | where it is checked                                     |
-//! |--------------|---------------------------------------------------------|
-//! | `detect`     | conflict-detection shard loops (`detect.rs`)            |
-//! | `envelope`   | the candidate query's executor loops (engine `exec.rs`) |
-//! | `corefilter` | the core-filter probe (`corefilter.rs`)                 |
-//! | `membership` | base-mode membership probing (`kg.rs`)                  |
-//! | `prover`     | the per-candidate prover shard loops (`hippo.rs`)       |
+//! | stage             | layer       | where it is checked                                      |
+//! |-------------------|-------------|----------------------------------------------------------|
+//! | `detect`          | CQA pipeline| conflict-detection shard loops (`detect.rs`)             |
+//! | `envelope`        | CQA pipeline| the candidate query's executor loops (engine `exec.rs`)  |
+//! | `corefilter`      | CQA pipeline| the core-filter probe (`corefilter.rs`)                  |
+//! | `membership`      | CQA pipeline| base-mode membership probing (`kg.rs`)                   |
+//! | `prover`          | CQA pipeline| the per-candidate prover shard loops (`hippo.rs`)        |
+//! | `wal:append`      | durability  | before WAL bytes are written (`server/wal.rs`)           |
+//! | `wal:fsync`       | durability  | between WAL write and fsync (`server/wal.rs`)            |
+//! | `checkpoint:write`| durability  | before the checkpoint tmp file lands (`server/checkpoint.rs`) |
+//! | `checkpoint:swap` | durability  | between tmp fsync and the atomic rename (`server/checkpoint.rs`) |
+//! | `repl:drop`       | replication | per frame, on the transport send path (`server/transport.rs`) |
+//! | `repl:corrupt`    | replication | per frame, after `repl:drop`                             |
+//! | `repl:delay`      | replication | per frame, after `repl:corrupt`                          |
+//! | `repl:disconnect` | replication | per frame, after `repl:delay`                            |
 //!
 //! Detection trips are **always strict errors**: an incomplete conflict
 //! hypergraph would make the prover unsound, so there is no partial
-//! result to degrade to. Every later stage can degrade — whatever was
-//! fully proved before the trip is consistent in its own right
-//! (answer-set monotonicity over candidate prefixes), so the degraded
-//! answer set is always a subset of the complete one.
+//! result to degrade to. Every later pipeline stage can degrade —
+//! whatever was fully proved before the trip is consistent in its own
+//! right (answer-set monotonicity over candidate prefixes), so the
+//! degraded answer set is always a subset of the complete one.
 //!
 //! # Fault injection
 //!
 //! A [`FaultPlan`] deterministically forces a panic, an injected delay,
-//! a budget trip, or a short write at `(stage, shard)` checkpoints.
-//! Each armed fault fires **at most once** (an atomic latch), so a test
-//! can inject a panic, observe the structured failure, and immediately
-//! re-run the same call to verify the system stayed usable. Plans come
-//! from the `HIPPO_FAULT` environment variable — a comma-separated list
-//! of `stage:shard:kind` arms (shard `*` = any shard; kind `panic`,
-//! `trip`, `delay<ms>`, or `shortwrite`), e.g.
+//! a budget trip, a short write, or a transport fault at
+//! `(stage, shard)` checkpoints. Each armed fault fires **at most
+//! once** (an atomic latch), so a test can inject a panic, observe the
+//! structured failure, and immediately re-run the same call to verify
+//! the system stayed usable. Plans come from the `HIPPO_FAULT`
+//! environment variable — a comma-separated list of `stage:shard:kind`
+//! arms (shard `*` = any shard; kind `panic`, `trip`, `delay<ms>`,
+//! `shortwrite`, `drop`, `corrupt`, or `disconnect`), e.g.
 //! `HIPPO_FAULT=wal:0:panic,detect:0:trip` — via [`FaultPlan::from_env`],
 //! or programmatically via [`FaultPlan::new`] / [`FaultPlan::parse`] —
 //! tests prefer the API because environment mutation is racy under a
@@ -49,10 +59,12 @@
 //! A fault armed at stage `wal` also fires at the sub-stage checkpoints
 //! `wal:append` and `wal:fsync` (segment-prefix matching), so one spec
 //! can cover a whole subsystem while `wal:fsync:0:panic` pins a single
+//! checkpoint; likewise `repl:*:drop` covers every transport
 //! checkpoint. [`FaultKind::ShortWrite`] is implemented by the
-//! file-writing stages themselves (they truncate the write and fail);
-//! at stages that do not write files it degrades to a loud injected
-//! error.
+//! file-writing stages themselves (they truncate the write and fail),
+//! and the transport kinds ([`FaultKind::Drop`], [`FaultKind::Corrupt`],
+//! [`FaultKind::Disconnect`]) by the frame-sending stages; at stages
+//! that cannot honor them they degrade to a loud injected error.
 
 use hippo_engine::EngineError;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -113,6 +125,17 @@ pub enum FaultKind {
     /// frame a power loss mid-`write(2)` leaves behind. Stages that do
     /// not write files turn this into a loud injected error.
     ShortWrite,
+    /// At a frame-sending checkpoint (`repl:*`): silently discard the
+    /// frame — the sender believes it was delivered. Exercises gap
+    /// detection and resync on the receiver.
+    Drop,
+    /// At a frame-sending checkpoint: flip a payload byte *after* the
+    /// CRC was computed, so the receiver's checksum rejects the frame.
+    /// Exercises the corrupt-frame skip-and-resync path.
+    Corrupt,
+    /// At a frame-sending checkpoint: sever the connection after this
+    /// frame fails to send. Exercises reconnect/re-attach handling.
+    Disconnect,
 }
 
 /// One armed fault: a [`FaultKind`] at one `(stage, shard)` checkpoint,
@@ -212,6 +235,9 @@ impl FaultPlan {
             "panic" => FaultKind::Panic,
             "trip" => FaultKind::BudgetTrip,
             "shortwrite" => FaultKind::ShortWrite,
+            "drop" => FaultKind::Drop,
+            "corrupt" => FaultKind::Corrupt,
+            "disconnect" => FaultKind::Disconnect,
             k => match k.strip_prefix("delay") {
                 Some(ms) => {
                     let ms = ms.parse::<u64>().map_err(|_| {
@@ -221,8 +247,8 @@ impl FaultPlan {
                 }
                 None => {
                     return Err(format!(
-                        "unknown fault kind {k:?} in {spec:?} \
-                         (expected panic, trip, delay<ms>, or shortwrite)"
+                        "unknown fault kind {k:?} in {spec:?} (expected panic, trip, \
+                         delay<ms>, shortwrite, drop, corrupt, or disconnect)"
                     ));
                 }
             },
@@ -327,6 +353,12 @@ impl Governance {
                         return Err(EngineError::new(format!(
                             "injected fault: short write at {stage}:{shard} \
                              (stage writes no file; arm shortwrite at a wal/checkpoint stage)"
+                        )));
+                    }
+                    FaultKind::Drop | FaultKind::Corrupt | FaultKind::Disconnect => {
+                        return Err(EngineError::new(format!(
+                            "injected fault: {kind:?} at {stage}:{shard} \
+                             (stage sends no frames; arm it at a repl stage)"
                         )));
                     }
                 }
@@ -448,6 +480,25 @@ mod tests {
             assert!(err.contains(names), "{bad:?}: {err}");
             assert!(err.contains(bad), "error quotes the spec: {err}");
         }
+    }
+
+    #[test]
+    fn transport_kinds_parse_and_cover_repl_checkpoints() {
+        let p =
+            FaultPlan::parse("repl:drop:*:drop,repl:corrupt:0:corrupt,repl:*:disconnect").unwrap();
+        assert_eq!(p.try_fire("repl:drop", 3), Some(FaultKind::Drop));
+        assert_eq!(p.try_fire("repl:corrupt", 0), Some(FaultKind::Corrupt));
+        // The loose `repl` arm covers every transport sub-checkpoint.
+        assert_eq!(p.try_fire("repl:delay", 1), Some(FaultKind::Disconnect));
+        assert!(p.all_fired());
+        // At a stage that sends no frames, transport kinds fail loudly.
+        let gov = Governance {
+            budget: None,
+            faults: Some(Arc::new(FaultPlan::new("prover", None, FaultKind::Drop))),
+            degraded: false,
+        };
+        let err = gov.fault_point("prover", 0).unwrap_err();
+        assert!(err.message.contains("sends no frames"), "{err}");
     }
 
     #[test]

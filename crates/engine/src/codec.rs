@@ -81,6 +81,64 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
 }
 
 // ---------------------------------------------------------------------------
+// Checked frames
+// ---------------------------------------------------------------------------
+
+/// Bytes of envelope before a checked frame's payload (len + crc).
+pub const CHECKED_FRAME_OVERHEAD: usize = 8;
+
+/// Wrap `payload` in the shared checked-frame envelope the WAL and the
+/// replication transport both speak: `len u32 · crc32(payload) u32 ·
+/// payload`.
+pub fn encode_checked(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(CHECKED_FRAME_OVERHEAD + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Append the checked-frame envelope + payload to `out` (the allocation-
+/// free sibling of [`encode_checked`], for batched writers).
+pub fn put_checked(out: &mut Vec<u8>, payload: &[u8]) {
+    put_u32(out, payload.len() as u32);
+    put_u32(out, crc32(payload));
+    out.extend_from_slice(payload);
+}
+
+/// Try to split one checked frame off the front of `bytes`.
+///
+/// * `Ok(Some((payload, consumed)))` — a complete frame whose CRC
+///   verifies; `consumed` covers envelope + payload.
+/// * `Ok(None)` — `bytes` is a (possibly empty) prefix of a frame: more
+///   input is needed. A torn file tail and a half-received network
+///   buffer look identical here, by design.
+/// * `Err(_)` — the envelope is present but lies: the length exceeds
+///   `max_len` (a hostile or garbage prefix that must not drive an
+///   allocation) or the CRC does not match the payload.
+pub fn split_checked(bytes: &[u8], max_len: u32) -> Result<Option<(&[u8], usize)>, EngineError> {
+    if bytes.len() < CHECKED_FRAME_OVERHEAD {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if len > max_len {
+        return Err(corrupt(&format!(
+            "checked frame claims {len} bytes (max {max_len})"
+        )));
+    }
+    let total = CHECKED_FRAME_OVERHEAD + len as usize;
+    if bytes.len() < total {
+        return Ok(None);
+    }
+    let payload = &bytes[CHECKED_FRAME_OVERHEAD..total];
+    if crc32(payload) != crc {
+        return Err(corrupt("checked frame crc mismatch"));
+    }
+    Ok(Some((payload, total)))
+}
+
+// ---------------------------------------------------------------------------
 // Bounds-checked reader
 // ---------------------------------------------------------------------------
 
@@ -527,6 +585,33 @@ mod tests {
         }
         assert!(decode_catalog(b"HIPPOCATxxxx").is_err());
         assert!(decode_catalog(b"").is_err());
+    }
+
+    #[test]
+    fn checked_frames_roundtrip_and_reject_corruption() {
+        let payload = b"hello frames".as_slice();
+        let framed = encode_checked(payload);
+        assert_eq!(framed.len(), CHECKED_FRAME_OVERHEAD + payload.len());
+        let mut batched = Vec::new();
+        put_checked(&mut batched, payload);
+        assert_eq!(framed, batched, "both writers produce identical bytes");
+        let (got, consumed) = split_checked(&framed, 1 << 20).unwrap().unwrap();
+        assert_eq!((got, consumed), (payload, framed.len()));
+        // Every strict prefix is "incomplete", never an error or panic.
+        for cut in 0..framed.len() {
+            assert!(split_checked(&framed[..cut], 1 << 20).unwrap().is_none());
+        }
+        // Flipping any payload or crc byte is caught.
+        for i in 4..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0xFF;
+            assert!(split_checked(&bad, 1 << 20).is_err(), "byte {i}");
+        }
+        // A hostile length is rejected before any allocation.
+        let mut hostile = Vec::new();
+        put_u32(&mut hostile, u32::MAX);
+        put_u32(&mut hostile, 0);
+        assert!(split_checked(&hostile, 1 << 20).is_err());
     }
 
     #[test]

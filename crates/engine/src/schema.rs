@@ -232,6 +232,13 @@ pub enum ErrorKind {
     /// engine (this process or another); double-opening is refused
     /// rather than risking interleaved log writes.
     Locked,
+    /// The write was sent to a replica. Replicas serve reads from
+    /// replayed epochs but never accept writes — the client must
+    /// resubmit to the primary of the carried fencing term.
+    NotPrimary {
+        /// The replication fencing term the replica currently follows.
+        term: u64,
+    },
 }
 
 /// The engine error type (also used by the planner and executor).
@@ -309,6 +316,18 @@ impl EngineError {
         }
     }
 
+    /// A replica refusing a write (see [`ErrorKind::NotPrimary`]):
+    /// `term` is the fencing term the replica currently follows.
+    pub fn not_primary(term: u64) -> EngineError {
+        EngineError {
+            message: format!(
+                "not primary: this node is a replica (fencing term {term}); \
+                 writes must go to the primary"
+            ),
+            kind: ErrorKind::NotPrimary { term },
+        }
+    }
+
     /// Is this a budget-exhaustion error?
     pub fn is_budget(&self) -> bool {
         matches!(self.kind, ErrorKind::Budget { .. })
@@ -337,6 +356,11 @@ impl EngineError {
     /// Is the durability directory held by another engine?
     pub fn is_locked(&self) -> bool {
         matches!(self.kind, ErrorKind::Locked)
+    }
+
+    /// Was the write refused because this node is a replica?
+    pub fn is_not_primary(&self) -> bool {
+        matches!(self.kind, ErrorKind::NotPrimary { .. })
     }
 
     /// The back-off hint of an [`ErrorKind::Overloaded`] error.

@@ -133,6 +133,14 @@ pub fn write_checkpoint(
                 "checkpoint: injected short write at checkpoint:write (tmp torn)",
             ));
         }
+        Some(k @ (FaultKind::Drop | FaultKind::Corrupt | FaultKind::Disconnect)) => {
+            // Transport-only kinds armed at a file stage: loud, so a
+            // misaimed fault plan never passes silently.
+            return Err(EngineError::new(format!(
+                "checkpoint: injected fault: {k:?} at checkpoint:write \
+                 (transport-only kind; arm it at a repl stage)"
+            )));
+        }
         None => {}
     }
 
@@ -145,7 +153,13 @@ pub fn write_checkpoint(
     match gov.take_fault("checkpoint:swap", 0) {
         Some(FaultKind::Panic) => panic!("injected fault: panic at checkpoint:swap"),
         Some(FaultKind::Delay(d)) => std::thread::sleep(d),
-        Some(FaultKind::BudgetTrip | FaultKind::ShortWrite) => {
+        Some(
+            FaultKind::BudgetTrip
+            | FaultKind::ShortWrite
+            | FaultKind::Drop
+            | FaultKind::Corrupt
+            | FaultKind::Disconnect,
+        ) => {
             // The rename is a single syscall — it cannot be torn, only
             // skipped.
             return Err(EngineError::budget("checkpoint:swap", 0, 0));

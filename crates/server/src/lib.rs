@@ -94,17 +94,69 @@
 //! partially applied ops become visible with the next success.)
 //! Conflict state is derived data and never logged — recovery recomputes
 //! it, so a stale verdict cannot survive a crash.
+//!
+//! # Replication and failover
+//!
+//! A durable engine ships its committed WAL frames to any number of
+//! [`Replica`]s over a [`Transport`] (in-process channel or TCP —
+//! every message rides the same crc-checked frame envelope as the log
+//! itself). The ship point sits strictly after the group-commit fsync:
+//! a replica can only ever see frames the primary is committed to.
+//! Replicas replay with crash-recovery's discipline (contiguous LSNs,
+//! verified tuple ids, abandoned-audit frames skipped), publish each
+//! applied batch as a fresh epoch, and serve reads/CQA with surfaced
+//! staleness; writes are refused with a structured `NotPrimary` error.
+//!
+//! ```text
+//!                         PRIMARY (term T)
+//!   write ─▶ fsync ─▶ publish ─▶ hub.ship ──▶ feeder ──▶ transport ──┐
+//!                        (per-replica acked LSNs ◀── Ack{T, lsn} ◀─) │
+//!                                                                    ▼
+//!   REPLICA states:                                            Frames{T,…}
+//!
+//!      ┌─────────┐ Hello{needs_snapshot}  ┌──────────┐  lsn = applied+1
+//!      │ EMPTY   │ ──────────────────────▶│ SYNCING  │─────────────────┐
+//!      └─────────┘        Snapshot{T,lsn} └──────────┘ apply ▶ publish │
+//!           ▲                                  ▲                       ▼
+//!           │              gap / corrupt /     │ Hello{applied}  ┌───────────┐
+//!           │              silent lag ─────────┴─────────────────│ FOLLOWING │
+//!           │                                                    └─────┬─────┘
+//!           │ msg.term < T′: reject + Ack{T′}  (fencing)               │ promote()
+//!           │                                                          ▼
+//!      zombie ex-primary (term T) ◀── Ack{T′} tells it it's fenced ┌─────────┐
+//!                                                                  │ PRIMARY │
+//!                                                                  │ term T′ │
+//!                                                                  │  = T+1  │
+//!                                                                  └─────────┘
+//! ```
+//!
+//! [`Replica::promote`] finishes replaying every received committed
+//! frame, bumps the fencing term, and stands up a fresh [`Engine`];
+//! every message carries its sender's term, so a zombie ex-primary's
+//! frames are rejected by replicas that follow the new primary (and
+//! the zombie learns it is fenced from the higher term in the `Ack`s
+//! it gets back). The four `repl:*` fault points (see
+//! `hippo_cqa::budget`) inject drops, corruption, delays and
+//! disconnects on the ship path to chaos-test all of this.
+//!
+//! [`Replica`]: replicate::Replica
+//! [`Replica::promote`]: replicate::Replica::promote
+//! [`Transport`]: transport::Transport
 
 mod admission;
 pub mod checkpoint;
 pub mod recover;
+pub mod replicate;
 mod retry;
 mod stats;
+pub mod transport;
 pub mod wal;
 
 pub use recover::RecoveryReport;
+pub use replicate::{PromotionReport, Replica, ReplicaConfig, ReplicaSession};
 pub use retry::RetryPolicy;
-pub use stats::{ServiceStats, SessionStats};
+pub use stats::{ReplicaStats, ReplicationStats, ServiceStats, SessionStats, Staleness};
+pub use transport::{ChannelTransport, TcpTransport, Transport};
 pub use wal::DirLock;
 
 use admission::Admission;
@@ -124,7 +176,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
-use wal::{FrameKind, Wal, WalOp};
+use wal::{Frame, FrameKind, Wal, WalOp};
 
 /// Service configuration. The defaults suit tests; production-ish
 /// callers size `max_active` to core count and set a deadline.
@@ -278,6 +330,8 @@ struct Shared {
     admission: Admission,
     config: EngineConfig,
     durable: bool,
+    /// Replication state: fencing term, commit horizon, live feeds.
+    hub: replicate::ReplicationHub,
     recovery: Option<recover::RecoveryReport>,
     epochs_published: AtomicU64,
     writer_recoveries: AtomicU64,
@@ -298,9 +352,17 @@ impl Shared {
         recovery: Option<recover::RecoveryReport>,
     ) -> Shared {
         let admission = Admission::new(config.max_active, config.max_queue, config.retry_after);
+        let hub = replicate::ReplicationHub::new();
+        if let Some(d) = &writer.durability {
+            // A recovered engine's horizon starts at the recovered log
+            // position, so replicas resuming from an older LSN resync
+            // rather than silently matching.
+            hub.note_lsn(d.last_lsn);
+        }
         Shared {
             epoch: RwLock::new(epoch),
             durable: writer.durability.is_some(),
+            hub,
             writer: Mutex::new(writer),
             commit_queue: Mutex::new(VecDeque::new()),
             abandoned: Mutex::new(Vec::new()),
@@ -805,6 +867,16 @@ impl Engine {
                         .wal_frames
                         .fetch_add(lsns.len() as u64, Ordering::Relaxed);
                     self.shared.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+                    // Ship point: strictly after the fsync — replicas
+                    // only ever see frames the primary is committed to.
+                    // Shipping enqueues to per-replica feeds and never
+                    // fails the commit.
+                    let frames: Vec<Frame> = lsns
+                        .iter()
+                        .zip(batch)
+                        .map(|(&lsn, (kind, ops))| Frame { lsn, kind, ops })
+                        .collect();
+                    self.shared.hub.ship(frames);
                 }
                 Ok(Err(e)) => {
                     for &i in &survivors {
@@ -1007,6 +1079,14 @@ impl Engine {
                         .wal_frames
                         .fetch_add(lsns.len() as u64, Ordering::Relaxed);
                     self.shared.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+                    // Abandoned-audit frames ship too: replicas keep
+                    // the same evidence trail (replay skips them).
+                    let frames: Vec<Frame> = lsns
+                        .iter()
+                        .zip(batch)
+                        .map(|(&lsn, (kind, ops))| Frame { lsn, kind, ops })
+                        .collect();
+                    self.shared.hub.ship(frames);
                 }
             }
         }
@@ -1042,6 +1122,199 @@ impl Engine {
             durable: self.shared.durable,
         }
     }
+
+    /// The fencing term this engine stamps on every replication
+    /// message (1 for a freshly started primary; promoted engines
+    /// carry their predecessor's term + 1).
+    pub fn term(&self) -> u64 {
+        self.shared.hub.term()
+    }
+
+    /// Start streaming committed WAL frames to one replica over
+    /// `transport`. Spawns a feeder thread that waits for the
+    /// replica's `Hello`, serves its initial sync (incremental frames
+    /// when the log still holds the suffix, a full catalog snapshot
+    /// otherwise), then relays every group commit, heartbeats when
+    /// idle, and tracks the replica's acked LSN. The feeder holds only
+    /// a weak reference: dropping the engine ends replication.
+    ///
+    /// Only durable engines can host replicas — the WAL is the
+    /// shipping source.
+    pub fn attach_replica(&self, transport: Box<dyn Transport>) -> Result<(), EngineError> {
+        if !self.shared.durable {
+            return Err(EngineError::new(
+                "replication: only durable engines can host replicas \
+                 (the WAL is the shipping source)",
+            ));
+        }
+        let weak = Arc::downgrade(&self.shared);
+        std::thread::Builder::new()
+            .name("hippo-repl-feed".into())
+            .spawn(move || replicate::feed_loop(weak, transport))
+            .map_err(|e| EngineError::new(format!("replication: spawn feeder: {e}")))?;
+        Ok(())
+    }
+
+    /// Accept replicas over TCP: each accepted connection becomes an
+    /// [`Engine::attach_replica`]-style feeder. Returns a handle whose
+    /// drop (or [`ReplicationServer::stop`]) shuts the acceptor down;
+    /// already-attached feeders keep running until their transport or
+    /// the engine goes away.
+    pub fn serve_replication(
+        &self,
+        listener: std::net::TcpListener,
+    ) -> Result<ReplicationServer, EngineError> {
+        if !self.shared.durable {
+            return Err(EngineError::new(
+                "replication: only durable engines can host replicas \
+                 (the WAL is the shipping source)",
+            ));
+        }
+        let addr = listener
+            .local_addr()
+            .map_err(|e| EngineError::new(format!("replication: local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| EngineError::new(format!("replication: set_nonblocking: {e}")))?;
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let weak = Arc::downgrade(&self.shared);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("hippo-repl-accept".into())
+            .spawn(move || loop {
+                if thread_stop.load(Ordering::SeqCst) || weak.upgrade().is_none() {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        if let Ok(transport) = transport::TcpTransport::new(stream) {
+                            let feeder = weak.clone();
+                            let _ = std::thread::Builder::new()
+                                .name("hippo-repl-feed".into())
+                                .spawn(move || replicate::feed_loop(feeder, Box::new(transport)));
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            })
+            .map_err(|e| EngineError::new(format!("replication: spawn acceptor: {e}")))?;
+        Ok(ReplicationServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Point-in-time primary-side replication counters.
+    pub fn replication_stats(&self) -> ReplicationStats {
+        let hub = &self.shared.hub;
+        let (replicas, min_acked_lsn) = hub.ack_floor();
+        ReplicationStats {
+            term: hub.term(),
+            last_lsn: hub.last_lsn(),
+            replicas,
+            min_acked_lsn,
+            frames_shipped: hub.frames_shipped.load(Ordering::Relaxed),
+            snapshots_shipped: hub.snapshots_shipped.load(Ordering::Relaxed),
+            incremental_syncs: hub.incremental_syncs.load(Ordering::Relaxed),
+            acks_received: hub.acks_received.load(Ordering::Relaxed),
+            heartbeats_sent: hub.heartbeats_sent.load(Ordering::Relaxed),
+            feeds_fenced: hub.feeds_fenced.load(Ordering::Relaxed),
+            feeds_dropped: hub.feeds_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Handle for a TCP replication acceptor (see
+/// [`Engine::serve_replication`]). Dropping it stops accepting new
+/// replicas.
+pub struct ReplicationServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReplicationServer {
+    /// The address replicas connect to (useful with port 0 listeners).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting new replicas (existing feeders keep running).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReplicationServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve a replica's `Hello` on the primary: under the writer lock
+/// (so registration is atomic with the payload — no frame can commit
+/// and ship between the two), register the feed if new, then build
+/// either an incremental `Frames` response (the log still holds every
+/// frame past the replica's position, same term, same history) or a
+/// full catalog `Snapshot`. A `Hello` carrying a *newer* term means
+/// this primary is a fenced zombie: the feeder gets an error and
+/// stops.
+pub(crate) fn serve_hello(
+    shared: &Shared,
+    hello_term: u64,
+    hello_lsn: u64,
+    needs_snapshot: bool,
+    feed: &mut Option<(u64, std::sync::mpsc::Receiver<Vec<u8>>)>,
+    acked: &Arc<AtomicU64>,
+    alive: &Arc<std::sync::atomic::AtomicBool>,
+) -> Result<Vec<u8>, EngineError> {
+    let w = shared.writer.lock().unwrap();
+    let term = shared.hub.term();
+    if hello_term > term {
+        shared.hub.feeds_fenced.fetch_add(1, Ordering::Relaxed);
+        return Err(EngineError::not_primary(hello_term));
+    }
+    if feed.is_none() {
+        *feed = Some(shared.hub.register(Arc::clone(acked), Arc::clone(alive)));
+    }
+    let dur = w
+        .durability
+        .as_ref()
+        .expect("attach_replica requires a durable engine");
+    let last_lsn = dur.last_lsn;
+    shared.hub.note_lsn(last_lsn);
+    // Incremental resync only within one history: a replica that last
+    // followed an older term may share LSNs but not frames with us.
+    if !needs_snapshot && hello_term == term && hello_lsn <= last_lsn {
+        if let Ok(frames) = dur.wal.read_frames_since(hello_lsn) {
+            shared.hub.incremental_syncs.fetch_add(1, Ordering::Relaxed);
+            return Ok(replicate::ReplMsg::Frames { term, frames }.encode());
+        }
+        // A checkpoint absorbed part of the suffix; fall through.
+    }
+    // The published epoch is exactly "checkpoint + committed log" =
+    // everything up to last_lsn (abandoned frames are no-ops).
+    let catalog =
+        hippo_engine::codec::encode_catalog(shared.epoch.read().unwrap().frozen.catalog());
+    shared.hub.snapshots_shipped.fetch_add(1, Ordering::Relaxed);
+    Ok(replicate::ReplMsg::Snapshot {
+        term,
+        last_lsn,
+        catalog,
+    }
+    .encode())
 }
 
 /// Strip a refused transaction's ops down to loggable audit records

@@ -47,14 +47,35 @@ pub struct RecoveryReport {
     pub wal_bytes: u64,
 }
 
-fn diverged(what: impl std::fmt::Display) -> EngineError {
+impl std::fmt::Display for RecoveryReport {
+    /// One-line report in the `DetectStats`/`ServiceStats` family
+    /// style: counters first, sizes after, flags last.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoint_lsn={} frames_replayed={} ops_replayed={} \
+             abandoned_skipped={} wal_bytes={}",
+            self.checkpoint_lsn,
+            self.frames_replayed,
+            self.ops_replayed,
+            self.abandoned_skipped,
+            self.wal_bytes,
+        )?;
+        if self.torn_tail_truncated {
+            write!(f, " torn_tail_truncated={}B", self.truncated_bytes)?;
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn diverged(what: impl std::fmt::Display) -> EngineError {
     EngineError::new(format!(
         "recover: replay diverged from the log ({what}) — checkpoint and WAL \
          disagree about history; the durability directory is corrupt"
     ))
 }
 
-fn apply_op(catalog: &mut Catalog, lsn: u64, op: &WalOp) -> Result<(), EngineError> {
+pub(crate) fn apply_op(catalog: &mut Catalog, lsn: u64, op: &WalOp) -> Result<(), EngineError> {
     match op {
         WalOp::Insert { table, rows, tids } => {
             let t = catalog
@@ -114,7 +135,11 @@ pub fn recover_dir(dir: &Path) -> Result<(Catalog, Wal, RecoveryReport), EngineE
             dir.display()
         ))
     })?;
-    let (wal, scan) = Wal::open(dir)?;
+    let (mut wal, scan) = Wal::open(dir)?;
+    // Re-teach the log the checkpoint's position: an empty (truncated)
+    // log must keep assigning LSNs *past* the checkpoint, or the next
+    // recovery would skip the new frames as already-covered.
+    wal.set_floor(ck.last_lsn);
     let mut report = RecoveryReport {
         checkpoint_lsn: ck.last_lsn,
         torn_tail_truncated: scan.torn_tail,
@@ -244,6 +269,45 @@ mod tests {
         }
         let err = recover_dir(&dir).unwrap_err();
         assert!(err.message.contains("diverged"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_display_is_one_line() {
+        let r = RecoveryReport {
+            checkpoint_lsn: 5,
+            frames_replayed: 3,
+            ops_replayed: 7,
+            abandoned_skipped: 1,
+            torn_tail_truncated: false,
+            truncated_bytes: 0,
+            wal_bytes: 480,
+        };
+        let line = r.to_string();
+        assert!(line.contains("checkpoint_lsn=5"), "{line}");
+        assert!(line.contains("frames_replayed=3"), "{line}");
+        assert!(!line.contains("torn_tail"), "{line}");
+        let torn = RecoveryReport {
+            torn_tail_truncated: true,
+            truncated_bytes: 12,
+            ..r
+        };
+        assert!(torn.to_string().ends_with("torn_tail_truncated=12B"));
+    }
+
+    #[test]
+    fn recovered_wal_continues_lsns_past_the_checkpoint() {
+        let dir = tmp_dir("lsncont");
+        let gov = Governance::default();
+        // A checkpoint at lsn 40 whose log was already truncated.
+        write_checkpoint(&dir, &seed_catalog(), 40, &gov).unwrap();
+        let (_, wal, report) = recover_dir(&dir).unwrap();
+        assert_eq!(report.checkpoint_lsn, 40);
+        assert_eq!(
+            wal.next_lsn(),
+            41,
+            "an empty recovered log must not reuse checkpointed LSNs"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

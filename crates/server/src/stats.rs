@@ -113,6 +113,166 @@ impl fmt::Display for SessionStats {
     }
 }
 
+/// Primary-side replication counters (see
+/// [`crate::Engine::replication_stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// The fencing term this primary stamps on every message.
+    pub term: u64,
+    /// Highest committed LSN (the shipping horizon).
+    pub last_lsn: u64,
+    /// Live attached replicas.
+    pub replicas: usize,
+    /// Minimum acked LSN across live replicas (0 with none attached):
+    /// everything at or below it is applied everywhere.
+    pub min_acked_lsn: u64,
+    /// Frames enqueued to feeds (counted per replica).
+    pub frames_shipped: u64,
+    /// Full catalog snapshots served (fresh or unrecoverably-behind
+    /// replicas).
+    pub snapshots_shipped: u64,
+    /// Resyncs served from the log suffix instead of a snapshot.
+    pub incremental_syncs: u64,
+    /// Acks received from replicas.
+    pub acks_received: u64,
+    /// Heartbeats sent on idle streams.
+    pub heartbeats_sent: u64,
+    /// Feeds stopped because a higher term fenced this primary.
+    pub feeds_fenced: u64,
+    /// Feeds dropped (transport died or replica went away).
+    pub feeds_dropped: u64,
+}
+
+impl fmt::Display for ReplicationStats {
+    /// One-line report in the `ServiceStats` family style.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "term={} last_lsn={} replicas={} min_acked_lsn={} frames_shipped={} \
+             snapshots_shipped={} incremental_syncs={} acks_received={} \
+             heartbeats_sent={} feeds_fenced={} feeds_dropped={}",
+            self.term,
+            self.last_lsn,
+            self.replicas,
+            self.min_acked_lsn,
+            self.frames_shipped,
+            self.snapshots_shipped,
+            self.incremental_syncs,
+            self.acks_received,
+            self.heartbeats_sent,
+            self.feeds_fenced,
+            self.feeds_dropped,
+        )
+    }
+}
+
+/// How far a [`crate::replicate::Replica`] trails its primary, as
+/// surfaced on every replica read path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Staleness {
+    /// The fencing term the replica follows (0 = never contacted).
+    pub term: u64,
+    /// Highest LSN the replica has applied.
+    pub applied_lsn: u64,
+    /// The primary's last known commit horizon.
+    pub primary_lsn: u64,
+    /// `primary_lsn - applied_lsn`: committed frames not yet applied
+    /// here.
+    pub lsn_lag: u64,
+    /// Time since the replica last knew it was caught up (~0 while
+    /// tracking the primary; grows while behind *or* partitioned).
+    pub lag_time: Duration,
+}
+
+impl fmt::Display for Staleness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "term={} applied_lsn={} primary_lsn={} lsn_lag={} lag_time={:.3}ms",
+            self.term,
+            self.applied_lsn,
+            self.primary_lsn,
+            self.lsn_lag,
+            self.lag_time.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// Replica-side counters (see [`crate::replicate::Replica::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// The fencing term the replica follows.
+    pub term: u64,
+    /// Highest LSN applied.
+    pub applied_lsn: u64,
+    /// The primary's last known horizon.
+    pub primary_lsn: u64,
+    /// Committed frames not yet applied here.
+    pub lsn_lag: u64,
+    /// Time since last known caught-up.
+    pub lag_time: Duration,
+    /// Epochs this replica has published from replayed state.
+    pub epochs_published: u64,
+    /// Commit frames applied.
+    pub frames_applied: u64,
+    /// Individual ops inside those frames.
+    pub ops_applied: u64,
+    /// Messages rejected for carrying a stale (fenced) term.
+    pub frames_fenced: u64,
+    /// Messages lost to corruption (transport crc or decode).
+    pub msgs_corrupt: u64,
+    /// LSN gaps detected (each triggers a resync, never a skip).
+    pub gaps_detected: u64,
+    /// Resync `Hello`s sent (gaps, corruption, or silent lag).
+    pub resync_requests: u64,
+    /// Full snapshots loaded.
+    pub snapshots_loaded: u64,
+    /// Transports that died and were detached.
+    pub disconnects: u64,
+    /// Live attached sources.
+    pub sources: usize,
+    /// The replica has replicated state and can serve sessions.
+    pub has_state: bool,
+    /// A divergence/apply error broke this replica (it serves its last
+    /// good epoch but refuses promotion).
+    pub broken: bool,
+}
+
+impl fmt::Display for ReplicaStats {
+    /// One-line report: position first, counters after, flags last.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "term={} applied_lsn={} primary_lsn={} lsn_lag={} lag_time={:.3}ms \
+             epochs_published={} frames_applied={} ops_applied={} frames_fenced={} \
+             msgs_corrupt={} gaps_detected={} resync_requests={} snapshots_loaded={} \
+             disconnects={} sources={}",
+            self.term,
+            self.applied_lsn,
+            self.primary_lsn,
+            self.lsn_lag,
+            self.lag_time.as_secs_f64() * 1e3,
+            self.epochs_published,
+            self.frames_applied,
+            self.ops_applied,
+            self.frames_fenced,
+            self.msgs_corrupt,
+            self.gaps_detected,
+            self.resync_requests,
+            self.snapshots_loaded,
+            self.disconnects,
+            self.sources,
+        )?;
+        if !self.has_state {
+            write!(f, " no_state")?;
+        }
+        if self.broken {
+            write!(f, " BROKEN")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +321,63 @@ mod tests {
         assert!(line.contains("checkpoints=1"), "{line}");
         assert!(line.contains("group_commits=2"), "{line}");
         assert!(line.contains("writes_abandoned=3"), "{line}");
+    }
+
+    #[test]
+    fn replication_stats_one_line_reports() {
+        let p = ReplicationStats {
+            term: 2,
+            last_lsn: 40,
+            replicas: 3,
+            min_acked_lsn: 38,
+            frames_shipped: 120,
+            snapshots_shipped: 3,
+            ..ReplicationStats::default()
+        };
+        let line = p.to_string();
+        assert!(line.contains("term=2"), "{line}");
+        assert!(line.contains("min_acked_lsn=38"), "{line}");
+        assert!(!line.contains('\n'), "{line}");
+
+        let st = Staleness {
+            term: 2,
+            applied_lsn: 38,
+            primary_lsn: 40,
+            lsn_lag: 2,
+            lag_time: Duration::from_millis(5),
+        };
+        assert!(st.to_string().contains("lsn_lag=2"));
+
+        let r = ReplicaStats {
+            term: 2,
+            applied_lsn: 38,
+            primary_lsn: 40,
+            lsn_lag: 2,
+            lag_time: Duration::from_millis(5),
+            epochs_published: 9,
+            frames_applied: 38,
+            ops_applied: 70,
+            frames_fenced: 1,
+            msgs_corrupt: 0,
+            gaps_detected: 0,
+            resync_requests: 0,
+            snapshots_loaded: 1,
+            disconnects: 0,
+            sources: 1,
+            has_state: true,
+            broken: false,
+        };
+        let line = r.to_string();
+        assert!(line.contains("frames_applied=38"), "{line}");
+        assert!(!line.contains("no_state"), "{line}");
+        assert!(!line.contains("BROKEN"), "{line}");
+        let b = ReplicaStats {
+            has_state: false,
+            broken: true,
+            ..r
+        };
+        let line = b.to_string();
+        assert!(line.ends_with("no_state BROKEN"), "{line}");
     }
 
     #[test]

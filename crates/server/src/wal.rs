@@ -42,15 +42,15 @@ use std::path::{Path, PathBuf};
 /// WAL file name inside a durability directory.
 pub const WAL_FILE: &str = "wal.bin";
 
-const WAL_MAGIC: &[u8; 8] = b"HIPPOWAL";
-const WAL_VERSION: u32 = 1;
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"HIPPOWAL";
+/// On-disk format version.
+pub const WAL_VERSION: u32 = 1;
 /// Header bytes before the first frame.
-const HEADER_LEN: u64 = 12;
-/// Bytes of frame framing before the payload (len + crc).
-const FRAME_OVERHEAD: usize = 8;
+pub const HEADER_LEN: u64 = 12;
 /// A frame payload larger than this is treated as tail corruption — no
 /// legitimate transaction frames gigabytes.
-const MAX_FRAME_LEN: u32 = 1 << 30;
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
 
 pub(crate) fn io_err(ctx: &str, e: std::io::Error) -> EngineError {
     EngineError::new(format!("wal: {ctx}: {e}"))
@@ -235,6 +235,30 @@ pub struct WalScan {
     pub truncated_bytes: u64,
 }
 
+/// Scan the committed-frame region of a WAL image (everything after the
+/// header): every intact frame in order, plus the byte offset where the
+/// intact prefix ends. Never panics on any input — a torn envelope, a
+/// crc mismatch, an undecodable payload or a non-ascending LSN all just
+/// end the scan.
+fn scan_frames(body: &[u8]) -> (Vec<Frame>, usize) {
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut pos = 0usize;
+    let mut last_lsn = 0u64;
+    // (torn, short, absurd length, or bit rot all just end the scan)
+    while let Ok(Some((payload, consumed))) = codec::split_checked(&body[pos..], MAX_FRAME_LEN) {
+        let Ok(frame) = decode_frame_payload(payload) else {
+            break; // CRC matched but structure didn't decode: treat as tail
+        };
+        if frame.lsn <= last_lsn {
+            break; // LSNs must ascend; a repeat means garbage
+        }
+        last_lsn = frame.lsn;
+        pos += consumed;
+        frames.push(frame);
+    }
+    (frames, pos)
+}
+
 /// The open write-ahead log: an append handle plus the bookkeeping to
 /// keep appends atomic-per-batch (a failed append is truncated away
 /// before the next one lands).
@@ -247,6 +271,10 @@ pub struct Wal {
     len: u64,
     /// Next LSN to assign.
     next_lsn: u64,
+    /// Highest LSN *not* present in the file (absorbed by a checkpoint
+    /// or never written here). Frames with `lsn > floor_lsn` can be
+    /// re-read for replication resync; older history is gone.
+    floor_lsn: u64,
     /// Set while bytes past `len` may exist (mid-append, or after an
     /// append failed); cleared once the file is known clean again.
     dirty: bool,
@@ -298,6 +326,7 @@ impl Wal {
                     path,
                     len: HEADER_LEN,
                     next_lsn: 1,
+                    floor_lsn: 0,
                     dirty: false,
                 },
                 WalScan {
@@ -317,38 +346,10 @@ impl Wal {
             )));
         }
 
-        let mut frames = Vec::new();
-        let mut pos = HEADER_LEN as usize;
-        let mut valid_len = pos;
-        let mut last_lsn = 0u64;
-        loop {
-            let rest = &bytes[pos..];
-            if rest.is_empty() {
-                break; // clean end
-            }
-            if rest.len() < FRAME_OVERHEAD {
-                break; // torn framing
-            }
-            let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
-            let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
-            if len > MAX_FRAME_LEN || rest.len() - FRAME_OVERHEAD < len as usize {
-                break; // absurd or short payload: torn
-            }
-            let payload = &rest[FRAME_OVERHEAD..FRAME_OVERHEAD + len as usize];
-            if codec::crc32(payload) != crc {
-                break; // bit rot or torn mid-payload
-            }
-            let Ok(frame) = decode_frame_payload(payload) else {
-                break; // CRC matched but structure didn't decode: treat as tail
-            };
-            if frame.lsn <= last_lsn {
-                break; // LSNs must ascend; a repeat means garbage
-            }
-            last_lsn = frame.lsn;
-            pos += FRAME_OVERHEAD + len as usize;
-            valid_len = pos;
-            frames.push(frame);
-        }
+        let (frames, body_len) = scan_frames(&bytes[HEADER_LEN as usize..]);
+        let valid_len = HEADER_LEN as usize + body_len;
+        let floor_lsn = frames.first().map_or(0, |f| f.lsn - 1);
+        let last_lsn = frames.last().map_or(0, |f| f.lsn);
         let torn = valid_len < bytes.len();
         let truncated_bytes = (bytes.len() - valid_len) as u64;
         if torn {
@@ -364,6 +365,7 @@ impl Wal {
                 path,
                 len: valid_len as u64,
                 next_lsn: last_lsn + 1,
+                floor_lsn,
                 dirty: false,
             },
             WalScan {
@@ -377,6 +379,26 @@ impl Wal {
     /// The LSN the next appended frame will get.
     pub fn next_lsn(&self) -> u64 {
         self.next_lsn
+    }
+
+    /// Highest LSN *not* present in this file (absorbed by a checkpoint
+    /// before it, or never written here). Frames with `lsn > floor_lsn`
+    /// up to `next_lsn - 1` can be re-read via
+    /// [`Wal::read_frames_since`].
+    pub fn floor_lsn(&self) -> u64 {
+        self.floor_lsn
+    }
+
+    /// Tell a freshly opened log that everything up to `lsn` was already
+    /// absorbed by a checkpoint, so the LSN counter must continue past
+    /// it even when the file itself is empty. Without this, a log
+    /// truncated by a checkpoint and then reopened would hand out LSNs
+    /// the checkpoint already covers — and replay would silently skip
+    /// those committed frames. [`crate::recover::recover_dir`] calls it
+    /// with the checkpoint's `last_lsn`.
+    pub fn set_floor(&mut self, lsn: u64) {
+        self.floor_lsn = self.floor_lsn.max(lsn);
+        self.next_lsn = self.next_lsn.max(lsn + 1);
     }
 
     /// Committed log length in bytes (header included).
@@ -429,9 +451,7 @@ impl Wal {
             };
             lsns.push(frame.lsn);
             let payload = encode_frame_payload(&frame);
-            codec::put_u32(&mut buf, payload.len() as u32);
-            codec::put_u32(&mut buf, codec::crc32(&payload));
-            buf.extend_from_slice(&payload);
+            codec::put_checked(&mut buf, &payload);
         }
 
         match gov.take_fault("wal:append", 0) {
@@ -448,6 +468,14 @@ impl Wal {
                     "wal: injected short write at wal:append (frame torn)",
                 ));
             }
+            Some(k @ (FaultKind::Drop | FaultKind::Corrupt | FaultKind::Disconnect)) => {
+                // Transport-only kinds armed at a file stage: loud, so
+                // a misaimed fault plan never passes silently.
+                return Err(EngineError::new(format!(
+                    "wal: injected fault: {k:?} at wal:append \
+                     (transport-only kind; arm it at a repl stage)"
+                )));
+            }
             None => {}
         }
 
@@ -457,7 +485,13 @@ impl Wal {
         match gov.take_fault("wal:fsync", 0) {
             Some(FaultKind::Panic) => panic!("injected fault: panic at wal:fsync"),
             Some(FaultKind::Delay(d)) => std::thread::sleep(d),
-            Some(FaultKind::BudgetTrip | FaultKind::ShortWrite) => {
+            Some(
+                FaultKind::BudgetTrip
+                | FaultKind::ShortWrite
+                | FaultKind::Drop
+                | FaultKind::Corrupt
+                | FaultKind::Disconnect,
+            ) => {
                 // Bytes written but never synced: not committed.
                 return Err(EngineError::budget("wal:fsync", 0, 0));
             }
@@ -485,8 +519,30 @@ impl Wal {
             .sync_data()
             .map_err(|e| io_err("fsync truncate", e))?;
         self.len = HEADER_LEN;
+        self.floor_lsn = self.next_lsn - 1;
         self.dirty = false;
         Ok(())
+    }
+
+    /// Re-read every committed frame with `lsn > since` from the file —
+    /// the replication resync path, serving a replica that fell behind
+    /// the live stream. Errors if `since < floor_lsn`: the missing
+    /// history was absorbed by a checkpoint, so the caller must ship a
+    /// full snapshot instead.
+    pub fn read_frames_since(&self, since: u64) -> Result<Vec<Frame>, EngineError> {
+        if since < self.floor_lsn {
+            return Err(EngineError::new(format!(
+                "wal: frames after lsn {since} are not all on disk \
+                 (floor is {}); a checkpoint absorbed them",
+                self.floor_lsn
+            )));
+        }
+        let bytes = std::fs::read(&self.path).map_err(|e| io_err("read", e))?;
+        let body = bytes
+            .get(HEADER_LEN as usize..self.len as usize)
+            .ok_or_else(|| EngineError::new("wal: file shorter than its committed length"))?;
+        let (frames, _) = scan_frames(body);
+        Ok(frames.into_iter().filter(|f| f.lsn > since).collect())
     }
 
     /// The log file's path (diagnostics).
@@ -679,6 +735,55 @@ mod tests {
             .append(&[(FrameKind::Commit, sample_ops(2))], &gov)
             .unwrap();
         assert_eq!(lsns, vec![2], "lsn survives truncation");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn set_floor_continues_lsns_past_an_absorbed_log() {
+        let dir = tmp_dir("floor");
+        let gov = Governance::default();
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            wal.append(&[(FrameKind::Commit, sample_ops(1))], &gov)
+                .unwrap();
+            wal.truncate_all().unwrap();
+            assert_eq!(wal.floor_lsn(), 1);
+        }
+        // A fresh handle has no memory of the truncated frame — the
+        // checkpoint's last_lsn must re-teach it (recover_dir does).
+        let (mut wal, scan) = Wal::open(&dir).unwrap();
+        assert!(scan.frames.is_empty());
+        assert_eq!(wal.next_lsn(), 1, "reopen alone forgets");
+        wal.set_floor(1);
+        assert_eq!(wal.floor_lsn(), 1);
+        let lsns = wal
+            .append(&[(FrameKind::Commit, sample_ops(2))], &gov)
+            .unwrap();
+        assert_eq!(lsns, vec![2], "lsn continues past the checkpoint");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_frames_since_serves_the_suffix_or_refuses() {
+        let dir = tmp_dir("since");
+        let gov = Governance::default();
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        wal.append(
+            &[
+                (FrameKind::Commit, sample_ops(1)),
+                (FrameKind::Commit, sample_ops(2)),
+                (FrameKind::Commit, sample_ops(3)),
+            ],
+            &gov,
+        )
+        .unwrap();
+        let suffix = wal.read_frames_since(1).unwrap();
+        assert_eq!(suffix.iter().map(|f| f.lsn).collect::<Vec<_>>(), vec![2, 3]);
+        assert!(wal.read_frames_since(3).unwrap().is_empty());
+        wal.truncate_all().unwrap();
+        let err = wal.read_frames_since(1).unwrap_err();
+        assert!(err.message.contains("checkpoint absorbed"), "{err}");
+        assert!(wal.read_frames_since(3).unwrap().is_empty(), "at the floor");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
