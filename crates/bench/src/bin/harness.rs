@@ -1,7 +1,7 @@
 //! Experiment harness: regenerates every table/figure of the reproduction.
 //!
 //! Usage:
-//!   harness [--quick] [--json PATH] [all|d1|d2|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15]...
+//!   harness [--quick] [--json PATH] [all|d1|d2|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16]...
 //!
 //! With no experiment arguments, runs everything. `--quick` shrinks
 //! workload sizes (used in CI and on laptops; the full sizes match
@@ -79,6 +79,7 @@ fn main() {
     run("e13", &ex::e13_chaos_service);
     run("e14", &ex::e14_crash_recovery);
     run("e15", &ex::e15_replication_failover);
+    run("e16", &ex::e16_columnar);
 
     if let Some(path) = json_path {
         let json = render_json(quick, &tables);

@@ -453,6 +453,18 @@ fn detect_fd(
     // hash itself; pairs re-verify LHS equality, which also neutralises
     // collisions) and emit an edge per RHS-disagreeing same-LHS pair.
     let chunks = parallel::split_ranges(table.slot_count(), threads);
+    // Vectorized hash pass: when the table has a column store, each
+    // chunk hashes the LHS projection straight off the contiguous typed
+    // column slices (`ColumnStore::hash_cols` writes the exact byte
+    // sequence `Value::hash` produces, and store positions follow slot
+    // order), so the per-shard `(hash, tid, row)` sequences — and with
+    // them every downstream stat and edge — are bit-identical to the
+    // slot-loop fallback below.
+    let store = if hippo_engine::columnar_enabled() {
+        table.column_store()
+    } else {
+        None
+    };
     type FdShardRes<'a> = Result<FdShardOut<'a>, EngineError>;
     let (_bins, outs): (Vec<Vec<Vec<HashedTuple>>>, Vec<FdShardRes>) = parallel::run_fused(
         chunks.len(),
@@ -461,6 +473,17 @@ fn detect_fd(
         |i| {
             let (lo, hi) = chunks[i];
             let mut by_shard: Vec<Vec<HashedTuple>> = (0..shards).map(|_| Vec::new()).collect();
+            if let Some(store) = store {
+                let range = store.tid_range(lo as u32, hi as u32);
+                // NULL LHS components never violate: `for_each_hash`
+                // skips those rows, exactly like `lhs_hash` below.
+                store.for_each_hash::<FxHasher, _>(range, lhs, |pos, h| {
+                    let tid = TupleId(store.tid(pos));
+                    let row = table.get(tid).expect("column store positions are live");
+                    by_shard[shard_of(h, shards)].push((h, tid, row));
+                });
+                return by_shard;
+            }
             for slot in lo..hi {
                 let tid = TupleId(slot as u32);
                 let Some(row) = table.get(tid) else { continue };

@@ -5,9 +5,20 @@
 //! ```text
 //! Query ──▶ Enveloping ──▶ Candidates(SQL) ──▶ Evaluation (RDBMS) ──▶ Prover ──▶ Answer Set
 //!                              ◆ "envelope"       ◆ "corefilter"   ◆ "prover" / "membership"
+//!                              └─ vectorized scans (column batches)
+//!                                 when the engine's columnar store is on
 //! IC, DB ──▶ Conflict Detection ──▶ Conflict Hypergraph (main memory) ──▶ Prover
 //!               ◆ "detect" (always strict)
+//!               └─ FD hash pass off contiguous column slices
+//!                  (`ColumnStore::for_each_hash`, bit-identical shards)
 //! ```
+//!
+//! Both SQL legs ride the engine's two-engine executor (PR 10): the
+//! envelope/KG evaluation and base-mode membership probes vectorize
+//! when their plan shapes are eligible, and the FD detector's Phase A
+//! hashes LHS projections straight off the typed column slices —
+//! answers and every stats counter stay bit-identical either way
+//! (`HIPPO_COLUMNAR=0` forces row mode).
 //!
 //! A checkpoint is a no-op unless the call's [`HippoOptions`] configure
 //! a deadline, row budget, cancellation handle or fault plan. When one
@@ -2536,6 +2547,72 @@ mod tests {
             assert_eq!(s.filtered_consistent, s1.filtered_consistent);
             assert_eq!(s.prover, s1.prover, "prover counters at threads={threads}");
             assert_eq!(s.answers, s1.answers);
+        }
+    }
+
+    #[test]
+    fn columnar_toggle_never_changes_answers_or_stats() {
+        // The vectorized engine claims bit-identical behaviour: same
+        // answers and the same AnswerStats counters (only wall-clock
+        // may differ) in base and KG mode, serial and sharded alike.
+        let mut rows: Vec<(String, i64)> = (0..50).map(|i| (format!("p{i}"), 100 + i)).collect();
+        for c in 0..10 {
+            rows.push((format!("p{c}"), 5000 + c)); // conflicting duplicates
+        }
+        let q = SjudQuery::rel("emp").diff(SjudQuery::rel("emp").select(Pred::cmp_const(
+            1,
+            CmpOp::Ge,
+            5000i64,
+        )));
+        let build = |opts: HippoOptions| {
+            let mut db = Database::new();
+            db.catalog_mut()
+                .create_table(
+                    TableSchema::new(
+                        "emp",
+                        vec![
+                            Column::new("name", DataType::Text),
+                            Column::new("salary", DataType::Int),
+                        ],
+                        &[],
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+            db.insert_rows(
+                "emp",
+                rows.iter()
+                    .map(|(n, s)| vec![Value::text(n.clone()), Value::Int(*s)])
+                    .collect(),
+            )
+            .unwrap();
+            Hippo::with_options(db, fd(), opts).unwrap()
+        };
+        // Every counter except the timings must match exactly.
+        let counters = |mut s: AnswerStats| {
+            s.t_envelope = Duration::ZERO;
+            s.t_filter = Duration::ZERO;
+            s.t_prover = Duration::ZERO;
+            s.t_total = Duration::ZERO;
+            format!("{s:?}")
+        };
+        for threads in [1usize, 4] {
+            for opts in [HippoOptions::base(), HippoOptions::kg()] {
+                let label = format!("threads={threads} options={opts:?}");
+                let run = |columnar: bool| {
+                    hippo_engine::set_columnar_override(Some(columnar));
+                    let out = build(opts.clone().with_prover_threads(threads))
+                        .consistent_answers_with_stats(&q)
+                        .unwrap();
+                    hippo_engine::set_columnar_override(None);
+                    out
+                };
+                let (ans_on, s_on) = run(true);
+                let (ans_off, s_off) = run(false);
+                assert!(s_on.candidates > 0, "{label}");
+                assert_eq!(ans_on, ans_off, "answers diverged: {label}");
+                assert_eq!(counters(s_on), counters(s_off), "stats diverged: {label}");
+            }
         }
     }
 

@@ -19,6 +19,34 @@
 //!   correlated-`EXISTS` hash memo in [`EvalEnv`] covering the hot
 //!   shape.
 //!
+//! Since PR 10 the physical executor is two-engined: before walking an
+//! operator row-wise, [`execute_physical`] offers the whole subtree to
+//! the **vectorized** compiler ([`crate::column::try_execute`]), which
+//! runs eligible scan/aggregate/join shapes batch-at-a-time over the
+//! table's [`crate::column::ColumnStore`]:
+//!
+//! ```text
+//!                 PhysicalPlan subtree
+//!                         │
+//!             column::try_execute(plan, env)?
+//!            ╱                              ╲
+//!   compiles (typed cols,            anything else
+//!   supported ops only)                     │
+//!            │                              ▼
+//!            ▼                      row-mode operators
+//!   ColumnStore ─ 1024-row ─▶ filter ─▶ project/agg/join
+//!   (Arc-shared) ColumnBatch   (selection vector, typed
+//!                               slices, no Value clones)
+//!            ╲                              ╱
+//!             same rows, errors, budget charges — the engine
+//!             choice shows only in EXPLAIN and DbStats
+//!             (batches_executed / vectorized_rows / rowmode_rows)
+//! ```
+//!
+//! Fallback is per-subtree, so a row-mode `SortExec` or `DistinctExec`
+//! still vectorizes its input; see `column.rs` for the eligibility
+//! rules and the charging-parity contract.
+//!
 //! Execution never mutates the catalog: all run state (the enclosing-row
 //! stack, the correlated-`EXISTS` memo, prepared-parameter bindings)
 //! lives in the per-call [`EvalEnv`], which each invocation owns
@@ -97,8 +125,9 @@ pub fn execute(plan: &LogicalPlan, env: &mut EvalEnv<'_>) -> Result<Vec<Row>, En
             let mut out = Vec::with_capacity(l.len().saturating_mul(r.len()));
             for lr in &l {
                 for rr in &r {
-                    let mut row = lr.clone();
-                    row.extend(rr.iter().cloned());
+                    let mut row = Vec::with_capacity(lr.len() + rr.len());
+                    row.extend_from_slice(lr);
+                    row.extend_from_slice(rr);
                     out.push(row);
                 }
             }
@@ -194,10 +223,21 @@ pub fn execute_read_only(
 }
 
 /// Execute a physical plan within an environment.
+///
+/// Every call — including the recursive calls operator arms make on
+/// their inputs — first offers the plan to the vectorized engine
+/// ([`crate::column`]). That placement is what makes batch execution
+/// composable: a `DistinctExec`, `SortExec`, set operation, or
+/// materialising `LimitExec` whose *input* is an eligible
+/// scan/aggregate/join shape runs that subtree on column batches even
+/// though the operator itself stays row-mode.
 pub fn execute_physical(
     plan: &PhysicalPlan,
     env: &mut EvalEnv<'_>,
 ) -> Result<Vec<Row>, EngineError> {
+    if let Some(rows) = crate::column::try_execute(plan, env)? {
+        return Ok(rows);
+    }
     match plan {
         PhysicalPlan::Empty { .. } => Ok(Vec::new()),
         PhysicalPlan::Values { rows, .. } => {
@@ -214,6 +254,7 @@ pub fn execute_physical(
         PhysicalPlan::SeqScan { table } => {
             let rows = env.catalog.table(table)?.rows();
             env.charge_batch(rows.len())?;
+            env.rowmode_rows += rows.len() as u64;
             Ok(rows)
         }
         PhysicalPlan::IndexLookup {
@@ -230,6 +271,7 @@ pub fn execute_physical(
                 let mut out = Vec::new();
                 for (_, row) in t.iter() {
                     env.charge_row()?;
+                    env.rowmode_rows += 1;
                     if eval(predicate, row, env)? == Value::Bool(true) {
                         out.push(row.clone());
                     }
@@ -266,8 +308,9 @@ pub fn execute_physical(
             let mut out = Vec::with_capacity(l.len().saturating_mul(r.len()));
             for lr in &l {
                 for rr in &r {
-                    let mut row = lr.clone();
-                    row.extend(rr.iter().cloned());
+                    let mut row = Vec::with_capacity(lr.len() + rr.len());
+                    row.extend_from_slice(lr);
+                    row.extend_from_slice(rr);
                     out.push(row);
                 }
             }
@@ -474,6 +517,7 @@ fn index_lookup_rows(
     env: &mut EvalEnv<'_>,
 ) -> Result<Vec<Row>, EngineError> {
     let (t, ids) = resolve_index_bucket(table, index_cols, key_exprs, env)?;
+    env.rowmode_rows += ids.len() as u64;
     Ok(ids
         .iter()
         .map(|&id| t.get(id).expect("index buckets hold live ids").clone())
@@ -536,6 +580,7 @@ fn streaming_limit(
                     break;
                 }
                 env.charge_row()?;
+                env.rowmode_rows += 1;
                 if let Some(p) = produce(row, env)? {
                     out.push(p);
                 }
@@ -552,6 +597,7 @@ fn streaming_limit(
                     break;
                 }
                 env.charge_row()?;
+                env.rowmode_rows += 1;
                 let row = t.get(id).expect("index buckets hold live ids");
                 if let Some(p) = produce(row, env)? {
                     out.push(p);
@@ -717,8 +763,12 @@ fn hash_join_rows(
         if !null_key {
             if let Some(candidates) = table.get(&key) {
                 for &i in candidates {
-                    let mut row = lrow.clone();
-                    row.extend(r[i].iter().cloned());
+                    // One exact-size allocation per output row; the old
+                    // `lrow.clone()` + `extend` pattern allocated at the
+                    // left arity and then regrew for the right half.
+                    let mut row = Vec::with_capacity(lrow.len() + r[i].len());
+                    row.extend_from_slice(lrow);
+                    row.extend_from_slice(&r[i]);
                     let keep = match residual {
                         Some(p) => eval(p, &row, env)? == Value::Bool(true),
                         None => true,
@@ -731,7 +781,8 @@ fn hash_join_rows(
             }
         }
         if !matched && join_type == JoinType::Left {
-            let mut row = lrow.clone();
+            let mut row = Vec::with_capacity(lrow.len() + right_arity);
+            row.extend_from_slice(lrow);
             row.extend(std::iter::repeat_n(Value::Null, right_arity));
             out.push(row);
         }
@@ -752,8 +803,9 @@ fn nested_loop_rows(
     for lrow in &l {
         let mut matched = false;
         for rrow in &r {
-            let mut row = lrow.clone();
-            row.extend(rrow.iter().cloned());
+            let mut row = Vec::with_capacity(lrow.len() + rrow.len());
+            row.extend_from_slice(lrow);
+            row.extend_from_slice(rrow);
             let keep = match predicate {
                 Some(p) => eval(p, &row, env)? == Value::Bool(true),
                 None => true,
@@ -764,7 +816,8 @@ fn nested_loop_rows(
             }
         }
         if !matched && join_type == JoinType::Left {
-            let mut row = lrow.clone();
+            let mut row = Vec::with_capacity(lrow.len() + right_arity);
+            row.extend_from_slice(lrow);
             row.extend(std::iter::repeat_n(Value::Null, right_arity));
             out.push(row);
         }
@@ -772,9 +825,13 @@ fn nested_loop_rows(
     Ok(out)
 }
 
-/// Accumulator for one aggregate in one group.
+/// Accumulator for one aggregate in one group. Shared with the
+/// vectorized aggregation path ([`crate::column`]), which feeds it the
+/// same `Value` sequence the row-mode loop would — update/finish
+/// semantics (overflow checks, type errors, DISTINCT replay) are
+/// defined here once.
 #[derive(Debug, Clone)]
-enum Acc {
+pub(crate) enum Acc {
     Count(i64),
     Sum {
         sum_i: i64,
@@ -797,7 +854,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(agg: &AggExpr) -> Acc {
+    pub(crate) fn new(agg: &AggExpr) -> Acc {
         if agg.distinct {
             return Acc::Distinct {
                 values: FxHashSet::default(),
@@ -824,7 +881,7 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, v: Option<Value>) -> Result<(), EngineError> {
+    pub(crate) fn update(&mut self, v: Option<Value>) -> Result<(), EngineError> {
         match self {
             Acc::Count(n) => match v {
                 // COUNT(*) gets None (always counts); COUNT(e) skips NULLs.
@@ -897,7 +954,7 @@ impl Acc {
         Ok(())
     }
 
-    fn finish(self) -> Result<Value, EngineError> {
+    pub(crate) fn finish(self) -> Result<Value, EngineError> {
         Ok(match self {
             Acc::Count(n) => Value::Int(n),
             Acc::Sum {
@@ -954,13 +1011,14 @@ fn aggregate_rows(
             .iter()
             .map(|e| eval(e, row, env))
             .collect::<Result<_, _>>()?;
-        let accs = match groups.get_mut(&key) {
-            Some(a) => a,
-            None => {
-                order.push(key.clone());
-                groups
-                    .entry(key.clone())
-                    .or_insert_with(|| aggregates.iter().map(Acc::new).collect::<Vec<_>>())
+        // Entry API: the key is moved in and cloned once only for
+        // first-seen groups (the old probe-then-insert path cloned it
+        // twice per new group).
+        let accs = match groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                order.push(e.key().clone());
+                e.insert(aggregates.iter().map(Acc::new).collect::<Vec<_>>())
             }
         };
         for (acc, agg) in accs.iter_mut().zip(aggregates) {

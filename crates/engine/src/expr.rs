@@ -8,6 +8,7 @@
 use crate::catalog::Catalog;
 use crate::plan::LogicalPlan;
 use crate::schema::EngineError;
+use crate::table::TupleId;
 use crate::value::Value;
 use hippo_sql::{BinaryOp, UnaryOp};
 
@@ -331,9 +332,11 @@ pub struct EvalEnv<'a> {
     /// Built lazily on the first probe of each `EXISTS` plan; turns the
     /// per-row rescan (O(n) per outer row) into an O(1) probe — the same
     /// effect an index gives the original system's PostgreSQL backend.
-    exists_cache: rustc_hash::FxHashMap<usize, rustc_hash::FxHashMap<Vec<Value>, Vec<Value>>>,
-    /// Row width per cached table partition (rows are stored flattened).
-    exists_cache_width: rustc_hash::FxHashMap<usize, usize>,
+    /// Buckets hold tuple ids (ascending slot order), not row copies:
+    /// a probe clones one small id bucket, never row data, and the
+    /// build reads keys from the table's column store when one is
+    /// available (contiguous typed slices) instead of slot rows.
+    exists_cache: rustc_hash::FxHashMap<usize, rustc_hash::FxHashMap<Vec<Value>, Vec<TupleId>>>,
     /// Optional per-call resource budget; when set, the executor's
     /// streaming loops charge rows here and trip cooperatively.
     budget: Option<&'a crate::budget::Budget>,
@@ -346,6 +349,12 @@ pub struct EvalEnv<'a> {
     /// atomic add per row would ping-pong the budget's cache line
     /// across all worker threads.
     pending_rows: u64,
+    /// Column batches executed by the vectorized engine this call.
+    pub vec_batches: u64,
+    /// Rows examined through the vectorized engine this call.
+    pub vec_rows: u64,
+    /// Rows examined through row-mode source operators this call.
+    pub rowmode_rows: u64,
 }
 
 impl<'a> EvalEnv<'a> {
@@ -356,11 +365,13 @@ impl<'a> EvalEnv<'a> {
             params: &[],
             outer: Vec::new(),
             exists_cache: rustc_hash::FxHashMap::default(),
-            exists_cache_width: rustc_hash::FxHashMap::default(),
             budget: None,
             budget_stage: "engine",
             work: 0,
             pending_rows: 0,
+            vec_batches: 0,
+            vec_rows: 0,
+            rowmode_rows: 0,
         }
     }
 
@@ -493,7 +504,7 @@ fn exists_fast_path(plan: &LogicalPlan) -> Option<ExistsFastPath<'_>> {
     })
 }
 
-fn split_conjuncts_ref(e: &BoundExpr) -> Vec<&BoundExpr> {
+pub(crate) fn split_conjuncts_ref(e: &BoundExpr) -> Vec<&BoundExpr> {
     match e {
         BoundExpr::Binary {
             op: BinaryOp::And,
@@ -517,24 +528,52 @@ fn eval_exists(
 ) -> Result<bool, EngineError> {
     if let Some(fp) = exists_fast_path(plan) {
         let plan_key = plan as *const LogicalPlan as usize;
-        if !env.exists_cache.contains_key(&plan_key) {
-            // Build the partition: key values → flattened matching rows.
-            let table = env.catalog.table(fp.table)?;
-            let width = table.schema.arity();
-            let mut map: rustc_hash::FxHashMap<Vec<Value>, Vec<Value>> =
+        // The table reference outlives `env`'s mutable borrows (it
+        // borrows the `'a` catalog, not the env), so residuals below
+        // can evaluate against borrowed rows with zero row copies.
+        let table = env.catalog.table(fp.table)?;
+        if let std::collections::hash_map::Entry::Vacant(slot) = env.exists_cache.entry(plan_key) {
+            // Build the partition: key values → live tuple ids, in
+            // slot order. Keys are gathered from the column store's
+            // contiguous typed slices when one is available (the KG
+            // envelope's `EXISTS` flags are the hot caller), falling
+            // back to the slot rows otherwise — both produce the same
+            // map bit for bit.
+            let mut map: rustc_hash::FxHashMap<Vec<Value>, Vec<TupleId>> =
                 rustc_hash::FxHashMap::default();
-            'rows: for (_, trow) in table.iter() {
-                let mut key = Vec::with_capacity(fp.key_cols.len());
-                for &c in &fp.key_cols {
-                    if trow[c].is_null() {
-                        continue 'rows; // NULL keys never equi-match
+            let store = if crate::column::columnar_enabled() {
+                table.column_store()
+            } else {
+                None
+            };
+            match store {
+                Some(store) => {
+                    'positions: for pos in 0..store.len() {
+                        let mut key = Vec::with_capacity(fp.key_cols.len());
+                        for &c in &fp.key_cols {
+                            let v = store.column(c).value_at(pos);
+                            if v.is_null() {
+                                continue 'positions; // NULL keys never equi-match
+                            }
+                            key.push(v);
+                        }
+                        map.entry(key).or_default().push(TupleId(store.tid(pos)));
                     }
-                    key.push(trow[c].clone());
                 }
-                map.entry(key).or_default().extend(trow.iter().cloned());
+                None => {
+                    'rows: for (tid, trow) in table.iter() {
+                        let mut key = Vec::with_capacity(fp.key_cols.len());
+                        for &c in &fp.key_cols {
+                            if trow[c].is_null() {
+                                continue 'rows; // NULL keys never equi-match
+                            }
+                            key.push(trow[c].clone());
+                        }
+                        map.entry(key).or_default().push(tid);
+                    }
+                }
             }
-            env.exists_cache.insert(plan_key, map);
-            env.exists_cache_width.insert(plan_key, width);
+            slot.insert(map);
         }
         // Key expressions reference the current row through OuterRef{0},
         // so push it before evaluating them (with an empty inner row).
@@ -548,21 +587,22 @@ fn eval_exists(
                 }
                 key.push(v);
             }
-            let width = env.exists_cache_width[&(plan as *const LogicalPlan as usize)];
-            // Clone the matching partition out to release the borrow on env
-            // (residuals may contain nested subqueries needing &mut env).
-            let matches: Option<Vec<Value>> = env
+            // Clone the matching id bucket out to release the borrow on
+            // env (residuals may contain nested subqueries needing
+            // &mut env); ids are 4 bytes each, not rows.
+            let matches: Option<Vec<TupleId>> = env
                 .exists_cache
                 .get(&(plan as *const LogicalPlan as usize))
                 .and_then(|m| m.get(&key))
                 .cloned();
-            let Some(flat) = matches else {
+            let Some(ids) = matches else {
                 return Ok(false);
             };
             if fp.residual.is_empty() {
-                return Ok(!flat.is_empty());
+                return Ok(!ids.is_empty());
             }
-            for inner in flat.chunks(width) {
+            for id in ids {
+                let inner = table.get(id).expect("cached exists ids are live");
                 let mut ok = true;
                 for r in &fp.residual {
                     if eval(r, inner, env)? != Value::Bool(true) {

@@ -21,6 +21,12 @@
 //!   scalar subqueries — plus the fully materialising logical
 //!   reference executor ([`exec::execute`]) it is differentially
 //!   tested against;
+//! * a **vectorized engine** ([`column`]): lazily maintained typed
+//!   column stores per table (validity bitmaps, dictionary-encoded
+//!   text) and batch-at-a-time filter/project/aggregate/hash-join
+//!   over selection vectors, bit-identical to row mode (answers,
+//!   errors, budget charges) and falling back to it for unconverted
+//!   shapes — `EXPLAIN` shows which engine runs;
 //! * row storage with **stable tuple identifiers** ([`table::Table`],
 //!   [`table::TupleId`]) — the conflict hypergraph's vertices are physical
 //!   tuples, so ids must survive unrelated deletions — and secondary
@@ -40,6 +46,7 @@ pub mod bind;
 pub mod budget;
 pub mod catalog;
 pub mod codec;
+pub mod column;
 pub mod db;
 pub mod exec;
 pub mod expr;
@@ -51,6 +58,10 @@ pub mod value;
 
 pub use budget::{Budget, CancelHandle, CHECK_STRIDE};
 pub use catalog::Catalog;
+pub use column::{
+    columnar_enabled, plan_uses_vectorized, set_columnar_override, ColumnBatch, ColumnData,
+    ColumnStore, ColumnVector, BATCH_ROWS,
+};
 pub use db::{Database, DbSnapshot, DbStats, ExecResult, QueryResult, SnapshotStatsView};
 pub use expr::BoundExpr;
 pub use optimize::{physicalize, physicalize_with, PhysicalOptions};

@@ -29,9 +29,11 @@
 //! the prepared membership probes of the base-mode answer pipeline
 //! O(1) *and* lock-free.
 
+use crate::column::ColumnStore;
 use crate::schema::{EngineError, TableSchema};
 use crate::value::{Row, Value};
 use rustc_hash::FxHashMap;
+use std::sync::{Arc, OnceLock};
 
 /// Stable identifier of a row within one table (slot index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -82,6 +84,12 @@ pub struct Table {
     /// `CREATE INDEX` names → the column set they cover (the primary-key
     /// auto-index is anonymous).
     index_names: FxHashMap<String, Vec<usize>>,
+    /// Lazily built column-major projection (see [`crate::column`]).
+    /// `None` inside the cell = the build failed (ill-typed row; the
+    /// engine then stays on row mode for this table). Any DML clears
+    /// the cell; snapshots share a built store through the `Arc` when
+    /// the catalog is cloned copy-on-write, exactly like indexes.
+    columns: OnceLock<Option<Arc<ColumnStore>>>,
 }
 
 impl Table {
@@ -96,6 +104,7 @@ impl Table {
             live: 0,
             indexes: FxHashMap::default(),
             index_names: FxHashMap::default(),
+            columns: OnceLock::new(),
         };
         if !t.schema.primary_key.is_empty() {
             let cols = t.schema.primary_key.clone();
@@ -126,6 +135,7 @@ impl Table {
         if self.slots.len() > u32::MAX as usize {
             return Err(EngineError::new("table full"));
         }
+        self.columns.take();
         let id = TupleId(self.slots.len() as u32);
         for (cols, index) in &mut self.indexes {
             let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
@@ -147,6 +157,7 @@ impl Table {
             return false;
         };
         let Some(row) = slot.take() else { return false };
+        self.columns.take();
         self.live -= 1;
         for (cols, index) in &mut self.indexes {
             let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
@@ -163,6 +174,7 @@ impl Table {
             .get_mut(id.0 as usize)
             .and_then(|s| s.as_mut())
             .ok_or_else(|| EngineError::new("update of missing tuple"))?;
+        self.columns.take();
         let old = std::mem::replace(slot, new_row);
         // Re-key indexes.
         let new_ref = self.slots[id.0 as usize].as_ref().expect("just replaced");
@@ -188,6 +200,15 @@ impl Table {
     /// Clone all live rows (in slot order).
     pub fn rows(&self) -> Vec<Row> {
         self.iter().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// The column-major projection of the live rows, building it on
+    /// first use (invalidated by any DML). `None` if the build failed —
+    /// callers then stay on the row-mode path.
+    pub fn column_store(&self) -> Option<&ColumnStore> {
+        self.columns
+            .get_or_init(|| ColumnStore::build(self).map(Arc::new))
+            .as_deref()
     }
 
     /// Build (or rebuild) a hash index on the given columns.
@@ -311,6 +332,7 @@ impl Table {
             live,
             indexes: FxHashMap::default(),
             index_names: FxHashMap::default(),
+            columns: OnceLock::new(),
         };
         for cols in index_sets {
             t.create_index(cols)?;
@@ -330,6 +352,7 @@ impl Table {
     /// Remove all rows.
     pub fn clear(&mut self) {
         self.slots.clear();
+        self.columns.take();
         self.live = 0;
         for index in self.indexes.values_mut() {
             index.map.clear();

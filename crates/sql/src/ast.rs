@@ -41,6 +41,9 @@ pub enum Statement {
     },
     /// Any query (`SELECT ...` possibly under set operations).
     Select(Query),
+    /// `EXPLAIN query` — render the execution plan instead of running
+    /// the query.
+    Explain(Query),
 }
 
 /// `CREATE INDEX` definition: a named secondary hash index over a fixed

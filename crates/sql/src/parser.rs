@@ -200,6 +200,10 @@ impl Parser {
             TokenKind::Keyword(Keyword::Select) | TokenKind::LParen => {
                 Ok(Statement::Select(self.query()?))
             }
+            TokenKind::Keyword(Keyword::Explain) => {
+                self.bump();
+                Ok(Statement::Explain(self.query()?))
+            }
             other => self.err(format!("expected statement, found {other}")),
         }
     }
@@ -1047,6 +1051,30 @@ mod tests {
             panic!()
         };
         assert_eq!(ct.columns[0].name, "index");
+    }
+
+    #[test]
+    fn parses_explain() {
+        let stmt = parse_statement("EXPLAIN SELECT a FROM t WHERE b = 1").unwrap();
+        let Statement::Explain(q) = stmt else {
+            panic!("not an explain")
+        };
+        // The payload is an ordinary query — same AST as without EXPLAIN.
+        let Statement::Select(plain) = parse_statement("SELECT a FROM t WHERE b = 1").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(q, plain);
+        // Set operations and parenthesised queries are fine payloads.
+        assert!(matches!(
+            parse_statement("EXPLAIN SELECT a FROM t UNION SELECT a FROM u"),
+            Ok(Statement::Explain(_))
+        ));
+        // EXPLAIN prefixes a query, not DML; and needs a query at all.
+        assert!(parse_statement("EXPLAIN DELETE FROM t").is_err());
+        assert!(parse_statement("EXPLAIN").is_err());
+        // `explain` is a keyword: a bare identifier use now errors.
+        assert!(parse_statement("SELECT explain FROM t").is_err());
     }
 
     #[test]

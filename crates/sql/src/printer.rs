@@ -120,6 +120,7 @@ pub fn print_statement(stmt: &Statement) -> String {
             }
         }
         Statement::Select(q) => s = print_query(q),
+        Statement::Explain(q) => s = format!("EXPLAIN {}", print_query(q)),
     }
     s
 }
@@ -475,6 +476,7 @@ mod tests {
         roundtrip_stmt("INSERT INTO t SELECT * FROM u");
         roundtrip_stmt("DELETE FROM t WHERE a = 1");
         roundtrip_stmt("UPDATE t SET a = 1, b = 'x' WHERE c > 0");
+        roundtrip_stmt("EXPLAIN SELECT a FROM t WHERE (b = 'x')");
     }
 
     #[test]

@@ -150,6 +150,7 @@ keywords! {
     End => "END",
     Except => "EXCEPT",
     Exists => "EXISTS",
+    Explain => "EXPLAIN",
     False => "FALSE",
     From => "FROM",
     Group => "GROUP",
